@@ -1,0 +1,56 @@
+//! Criterion bench behind the Section VI-C1 training-overhead numbers: one
+//! conventional-training step (forward + backward + SGD) versus one
+//! post-training step (forward + backward + Adam on the bounds only) for a
+//! small VGG16.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fitact::{FitAct, FitActConfig};
+use fitact_data::{materialize, SyntheticCifar};
+use fitact_nn::loss::CrossEntropyLoss;
+use fitact_nn::models::{vgg16, ModelConfig};
+use fitact_nn::optim::{Adam, Optimizer, Sgd};
+use fitact_nn::Mode;
+use fitact_tensor::Tensor;
+
+fn bench_training_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(10);
+
+    let dataset = SyntheticCifar::train(10, 16, 0);
+    let (inputs, labels) = materialize(&dataset).expect("synthetic dataset materialises");
+    let batch: Tensor = inputs;
+    let loss = CrossEntropyLoss::new();
+
+    // Stage 1: conventional training step.
+    let config = ModelConfig::new(10).with_width(0.0626).with_seed(1);
+    let mut network = vgg16(&config).expect("vgg16 builds");
+    let mut sgd = Sgd::with_momentum(0.05, 0.9, 5e-4);
+    group.bench_function("conventional_sgd_step", |b| {
+        b.iter(|| {
+            network
+                .train_batch(&batch, &labels, &loss, &mut sgd)
+                .expect("training step succeeds")
+        });
+    });
+
+    // Stage 2: bound post-training step.
+    let fitact = FitAct::new(FitActConfig { batch_size: 16, ..Default::default() });
+    let profile = fitact.calibrate(&mut network, &batch).expect("calibration succeeds");
+    fitact.modify(&mut network, &profile).expect("modification succeeds");
+    let mut adam = Adam::new(0.02);
+    group.bench_function("post_training_adam_step", |b| {
+        b.iter(|| {
+            network.zero_grad();
+            let logits = network.forward(&batch, Mode::Eval).expect("forward");
+            let (_, grad) = loss.forward(&logits, &labels).expect("loss");
+            network.backward(&grad).expect("backward");
+            let mut params = network.params_mut();
+            adam.step(&mut params);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_steps);
+criterion_main!(benches);

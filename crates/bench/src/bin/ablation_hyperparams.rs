@@ -1,0 +1,85 @@
+//! Ablation: FitAct hyper-parameters — the FitReLU slope `k` and the bound
+//! regularisation weight `ζ`.
+//!
+//! The paper says `k` is "empirically computed" and introduces `ζ` in Eq. 10
+//! without a sweep. This harness quantifies both choices: for each value it
+//! post-trains the bounds and reports the fault-free accuracy, the mean bound
+//! after post-training, and the accuracy under a high fault rate.
+
+use fitact::{apply_protection, FitAct, FitActConfig, ProtectionScheme};
+use fitact_bench::report::Table;
+use fitact_bench::setup::{prepare_model, ExperimentScale};
+use fitact_data::DatasetKind;
+use fitact_faults::{quantize_network, Campaign, CampaignConfig};
+use fitact_nn::models::Architecture;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[ablation] preparing AlexNet on synthetic CIFAR-10 at scale `{}` ...", scale.name);
+    let prepared = prepare_model(Architecture::AlexNet, DatasetKind::Cifar10, &scale, 42)?;
+    let fault_rate = 3e-5 * ExperimentScale::rate_scale();
+
+    let evaluate = |slope: f32, zeta: f32| -> Result<(f32, f32, f32), Box<dyn std::error::Error>> {
+        let mut network = prepared.network.clone();
+        apply_protection(&mut network, &prepared.profile, ProtectionScheme::FitAct { slope })?;
+        let config = FitActConfig {
+            slope,
+            zeta,
+            post_train_epochs: 2,
+            batch_size: scale.batch_size,
+            ..Default::default()
+        };
+        let report = FitAct::new(config).post_train(
+            &mut network,
+            &prepared.train_inputs,
+            &prepared.train_labels,
+        )?;
+        quantize_network(&mut network);
+        let fault_free =
+            network.evaluate(&prepared.test_inputs, &prepared.test_labels, scale.batch_size)?;
+        let result = Campaign::new(&mut network, &prepared.test_inputs, &prepared.test_labels)?
+            .run(&CampaignConfig {
+                fault_rate,
+                trials: scale.trials,
+                batch_size: scale.batch_size,
+                seed: 77,
+            })?;
+        Ok((fault_free, result.mean_accuracy(), report.mean_bound_after))
+    };
+
+    let mut slope_table = Table::new(
+        format!("Ablation — FitReLU slope k (AlexNet / CIFAR-10, baseline {:.2}%)", 100.0 * prepared.baseline_accuracy),
+        &["k", "fault_free_%", "acc_under_fault_%", "mean_bound_after"],
+    );
+    for k in [2.0f32, 4.0, 8.0, 16.0, 32.0] {
+        let (fault_free, under_fault, bound) = evaluate(k, FitActConfig::default().zeta)?;
+        slope_table.push_row(vec![
+            format!("{k}"),
+            format!("{:.2}", 100.0 * fault_free),
+            format!("{:.2}", 100.0 * under_fault),
+            format!("{bound:.3}"),
+        ]);
+        eprintln!("[ablation] k = {k}: fault-free {:.2}%, under fault {:.2}%", 100.0 * fault_free, 100.0 * under_fault);
+    }
+    println!("{}", slope_table.to_pretty_string());
+    slope_table.write_csv("ablation_slope.csv")?;
+
+    let mut zeta_table = Table::new(
+        "Ablation — bound regularisation weight zeta (AlexNet / CIFAR-10)",
+        &["zeta", "fault_free_%", "acc_under_fault_%", "mean_bound_after"],
+    );
+    for zeta in [0.0f32, 0.01, 0.05, 0.2, 1.0] {
+        let (fault_free, under_fault, bound) = evaluate(8.0, zeta)?;
+        zeta_table.push_row(vec![
+            format!("{zeta}"),
+            format!("{:.2}", 100.0 * fault_free),
+            format!("{:.2}", 100.0 * under_fault),
+            format!("{bound:.3}"),
+        ]);
+        eprintln!("[ablation] zeta = {zeta}: fault-free {:.2}%, under fault {:.2}%, mean bound {bound:.3}", 100.0 * fault_free, 100.0 * under_fault);
+    }
+    println!("{}", zeta_table.to_pretty_string());
+    let path = zeta_table.write_csv("ablation_zeta.csv")?;
+    println!("series written to {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Figure 2: distribution of the maximum output values of all neurons in
+//! VGG16's second layer.
+//!
+//! Trains the (width-scaled) VGG16 on the synthetic CIFAR-10 stand-in,
+//! profiles the per-neuron activation maxima of the activation slot that
+//! follows the second convolution, and prints the density histogram the
+//! paper's Fig. 2 plots. Writes the series to
+//! `target/experiments/fig2_activation_profile.csv`.
+
+use fitact_bench::report::Table;
+use fitact_bench::setup::{prepare_model, ExperimentScale};
+use fitact_data::DatasetKind;
+use fitact_nn::models::{Architecture, VGG16_SECOND_ACT_SLOT};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[fig2] preparing VGG16 on synthetic CIFAR-10 at scale `{}` ...", scale.name);
+    let prepared = prepare_model(Architecture::Vgg16, DatasetKind::Cifar10, &scale, 42)?;
+    eprintln!(
+        "[fig2] base model trained: fault-free test accuracy {:.2}%",
+        100.0 * prepared.baseline_accuracy
+    );
+
+    let slot = &prepared.profile.slots[VGG16_SECOND_ACT_SLOT];
+    let hist = slot.histogram(20);
+
+    let mut table = Table::new(
+        format!(
+            "Fig. 2 — distribution of per-neuron maximum output values (VGG16 layer `{}`, {} neurons)",
+            slot.label,
+            slot.num_neurons()
+        ),
+        &["bin_center", "density"],
+    );
+    for (center, density) in &hist {
+        table.push_row(vec![format!("{center:.4}"), format!("{density:.4}")]);
+    }
+    println!("{}", table.to_pretty_string());
+    let path = table.write_csv("fig2_activation_profile.csv")?;
+    println!("series written to {}", path.display());
+
+    // The paper's observation: neuron maxima vary widely, so one global bound
+    // cannot fit them all.
+    let maxima = &slot.per_neuron_max;
+    let min = maxima.iter().copied().fold(f32::INFINITY, f32::min);
+    let mean = maxima.iter().sum::<f32>() / maxima.len() as f32;
+    println!();
+    println!(
+        "per-neuron maxima: min {:.3}, mean {:.3}, max {:.3} — the spread that motivates per-neuron bounds",
+        min, mean, slot.layer_max
+    );
+    Ok(())
+}

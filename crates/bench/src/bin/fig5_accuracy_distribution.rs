@@ -1,0 +1,78 @@
+//! Figure 5: model-accuracy distribution for FitAct, Clip-Act, Ranger and the
+//! unprotected model on VGG16 / CIFAR-10 under different fault rates.
+//!
+//! For each (scheme, fault-rate) pair the binary runs a fault-injection
+//! campaign and prints the per-trial accuracy spread (min / q1 / median / q3 /
+//! max), i.e. the data behind the paper's box plots. Fault rates are the
+//! paper's nominal rates scaled so the expected number of bit flips matches
+//! the full-width VGG16 (see EXPERIMENTS.md).
+
+use fitact::ProtectionScheme;
+use fitact_bench::report::Table;
+use fitact_bench::setup::{prepare_model, ExperimentScale};
+use fitact_data::DatasetKind;
+use fitact_faults::{Campaign, CampaignConfig, PAPER_FAULT_RATES};
+use fitact_nn::models::Architecture;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[fig5] preparing VGG16 on synthetic CIFAR-10 at scale `{}` ...", scale.name);
+    let prepared = prepare_model(Architecture::Vgg16, DatasetKind::Cifar10, &scale, 42)?;
+    eprintln!("[fig5] fault-free baseline accuracy: {:.2}%", 100.0 * prepared.baseline_accuracy);
+
+    // Fraction-preserving by default; override with FITACT_RATE_SCALE.
+    let rate_scale = ExperimentScale::rate_scale();
+    eprintln!("[fig5] nominal fault rates scaled by {rate_scale:.1}");
+
+    let mut table = Table::new(
+        "Fig. 5 — accuracy distribution, VGG16 / CIFAR-10",
+        &[
+            "scheme",
+            "nominal_fault_rate",
+            "min_%",
+            "q1_%",
+            "median_%",
+            "q3_%",
+            "max_%",
+            "mean_%",
+        ],
+    );
+
+    for scheme in ProtectionScheme::paper_schemes() {
+        eprintln!("[fig5] protecting with `{scheme}` ...");
+        let mut network = prepared.protected(scheme, &scale)?;
+        for (i, &nominal) in PAPER_FAULT_RATES.iter().enumerate() {
+            let mut campaign =
+                Campaign::new(&mut network, &prepared.test_inputs, &prepared.test_labels)?;
+            let result = campaign.run(&CampaignConfig {
+                fault_rate: nominal * rate_scale,
+                trials: scale.trials,
+                batch_size: scale.batch_size,
+                seed: 100 + i as u64,
+            })?;
+            let s = &result.stats;
+            table.push_row(vec![
+                scheme.name().into(),
+                format!("{nominal:.0e}"),
+                format!("{:.2}", 100.0 * s.min),
+                format!("{:.2}", 100.0 * s.q1),
+                format!("{:.2}", 100.0 * s.median),
+                format!("{:.2}", 100.0 * s.q3),
+                format!("{:.2}", 100.0 * s.max),
+                format!("{:.2}", 100.0 * s.mean),
+            ]);
+            eprintln!(
+                "[fig5]   {scheme} @ {nominal:.0e}: mean {:.2}% (min {:.2}%, max {:.2}%), {} flips total",
+                100.0 * s.mean,
+                100.0 * s.min,
+                100.0 * s.max,
+                result.total_faults
+            );
+        }
+    }
+
+    println!("{}", table.to_pretty_string());
+    let path = table.write_csv("fig5_accuracy_distribution.csv")?;
+    println!("series written to {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Figure 6: average model accuracy for FitAct, Clip-Act, Ranger and the
+//! unprotected model — ResNet50, VGG16 and AlexNet on CIFAR-10 and CIFAR-100,
+//! under fault rates 1e-7 … 3e-5.
+//!
+//! This is the paper's headline comparison grid. One row is printed per
+//! (dataset, architecture, scheme, fault rate) combination; rates are the
+//! paper's nominal rates scaled per architecture so that the expected number
+//! of bit flips matches the full-width model (see EXPERIMENTS.md).
+//!
+//! This is the longest-running harness; use `FITACT_SCALE=tiny` for a smoke
+//! run.
+
+use fitact::ProtectionScheme;
+use fitact_bench::report::Table;
+use fitact_bench::setup::{prepare_model, ExperimentScale};
+use fitact_data::DatasetKind;
+use fitact_faults::{Campaign, CampaignConfig, PAPER_FAULT_RATES};
+use fitact_nn::models::Architecture;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_env();
+    let rate_scale = ExperimentScale::rate_scale();
+    let mut table = Table::new(
+        "Fig. 6 — average accuracy per dataset / architecture / scheme / fault rate",
+        &["dataset", "architecture", "scheme", "nominal_fault_rate", "mean_accuracy_%", "baseline_%"],
+    );
+
+    for kind in DatasetKind::ALL {
+        for architecture in Architecture::ALL {
+            eprintln!(
+                "[fig6] preparing {architecture} on synthetic {kind} at scale `{}` ...",
+                scale.name
+            );
+            let prepared = prepare_model(architecture, kind, &scale, 42)?;
+            eprintln!(
+                "[fig6] {architecture}/{kind}: fault-free baseline {:.2}%",
+                100.0 * prepared.baseline_accuracy
+            );
+
+            for scheme in ProtectionScheme::paper_schemes() {
+                let mut network = prepared.protected(scheme, &scale)?;
+                for (i, &nominal) in PAPER_FAULT_RATES.iter().enumerate() {
+                    let mut campaign = Campaign::new(
+                        &mut network,
+                        &prepared.test_inputs,
+                        &prepared.test_labels,
+                    )?;
+                    let result = campaign.run(&CampaignConfig {
+                        fault_rate: nominal * rate_scale,
+                        trials: scale.trials,
+                        batch_size: scale.batch_size,
+                        seed: 500 + i as u64,
+                    })?;
+                    table.push_row(vec![
+                        kind.name().into(),
+                        architecture.name().into(),
+                        scheme.name().into(),
+                        format!("{nominal:.0e}"),
+                        format!("{:.2}", 100.0 * result.mean_accuracy()),
+                        format!("{:.2}", 100.0 * prepared.baseline_accuracy),
+                    ]);
+                    eprintln!(
+                        "[fig6]   {kind}/{architecture}/{scheme} @ {nominal:.0e}: {:.2}%",
+                        100.0 * result.mean_accuracy()
+                    );
+                }
+            }
+        }
+    }
+
+    println!("{}", table.to_pretty_string());
+    let path = table.write_csv("fig6_average_accuracy.csv")?;
+    println!("series written to {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Section VI-C1: runtime overhead of the resilience post-training stage
+//! relative to conventional training.
+//!
+//! The paper reports that post-training ResNet50 / VGG16 / AlexNet takes
+//! about 21 / 4 / 1 minutes versus 340 / 60 / 17 minutes of conventional
+//! training — a 5.9%–6.7% overhead. This harness measures the wall-clock of
+//! one conventional-training epoch and one post-training epoch for each
+//! architecture at the experiment scale and reports the per-epoch ratio, plus
+//! the projected overhead for the paper's epoch budget (200 conventional
+//! epochs vs 10 post-training epochs, the ratio implied by the paper's
+//! minutes).
+
+use fitact::{FitAct, FitActConfig};
+use fitact_bench::report::Table;
+use fitact_bench::setup::{prepare_data, ExperimentScale};
+use fitact_data::DatasetKind;
+use fitact_nn::models::{Architecture, ModelConfig};
+use std::time::Instant;
+
+/// Conventional-training epochs assumed when projecting the total overhead.
+const CONVENTIONAL_EPOCHS: f64 = 200.0;
+/// Post-training epochs assumed when projecting the total overhead.
+const POST_TRAIN_EPOCHS: f64 = 10.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_env();
+    let (train_inputs, train_labels, _test_inputs, _test_labels) =
+        prepare_data(DatasetKind::Cifar10, &scale, 3)?;
+
+    let mut table = Table::new(
+        "Section VI-C1 — post-training runtime overhead vs conventional training",
+        &[
+            "model",
+            "conventional_epoch_s",
+            "post_train_epoch_s",
+            "per_epoch_ratio_%",
+            "projected_total_overhead_%",
+        ],
+    );
+
+    for architecture in Architecture::ALL {
+        eprintln!("[training_overhead] measuring {architecture} at scale `{}` ...", scale.name);
+        let config = ModelConfig::new(10).with_width(scale.width).with_seed(2);
+        let mut network = architecture.build(&config)?;
+        let fitact =
+            FitAct::new(FitActConfig { batch_size: scale.batch_size, post_train_epochs: 1, ..Default::default() });
+
+        // One conventional-training epoch (stage 1).
+        let start = Instant::now();
+        fitact.train_for_accuracy(&mut network, &train_inputs, &train_labels, 1, 0.05)?;
+        let conventional_epoch = start.elapsed().as_secs_f64();
+
+        // Architecture modification + one post-training epoch (stage 2).
+        let profile = fitact.calibrate(&mut network, &train_inputs)?;
+        fitact.modify(&mut network, &profile)?;
+        let start = Instant::now();
+        fitact.post_train(&mut network, &train_inputs, &train_labels)?;
+        let post_epoch = start.elapsed().as_secs_f64();
+
+        let per_epoch_ratio = 100.0 * post_epoch / conventional_epoch;
+        let projected = 100.0 * (post_epoch * POST_TRAIN_EPOCHS)
+            / (conventional_epoch * CONVENTIONAL_EPOCHS);
+        table.push_row(vec![
+            architecture.name().into(),
+            format!("{conventional_epoch:.2}"),
+            format!("{post_epoch:.2}"),
+            format!("{per_epoch_ratio:.1}"),
+            format!("{projected:.1}"),
+        ]);
+        eprintln!(
+            "[training_overhead] {architecture}: conventional epoch {conventional_epoch:.2}s, \
+             post-train epoch {post_epoch:.2}s, projected overhead {projected:.1}%"
+        );
+    }
+
+    println!("{}", table.to_pretty_string());
+    let path = table.write_csv("training_overhead.csv")?;
+    println!("series written to {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Experiment harnesses for the FitAct reproduction.
+//!
+//! This crate hosts the binaries and Criterion benches that regenerate every
+//! table and figure of the paper. Shared plumbing (experiment configuration,
+//! CSV/report output) lives here; each figure/table has its own binary under
+//! `src/bin/`.
+
+pub mod report;
+pub mod setup;

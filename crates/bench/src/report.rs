@@ -1,0 +1,128 @@
+//! Helpers for printing experiment tables and writing CSV files.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory (relative to the workspace root) where experiment CSVs are
+/// written.
+pub const OUTPUT_DIR: &str = "target/experiments";
+
+/// A simple rectangular results table that can be pretty-printed and written
+/// to CSV.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (converted to strings by the caller).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn to_pretty_string(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `OUTPUT_DIR/<file_name>` and returns the
+    /// full path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing the file.
+    pub fn write_csv(&self, file_name: &str) -> io::Result<PathBuf> {
+        let dir = Path::new(OUTPUT_DIR);
+        fs::create_dir_all(dir)?;
+        let path = dir.join(file_name);
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_text_and_csv() {
+        let mut t = Table::new("Demo", &["scheme", "accuracy"]);
+        t.push_row(vec!["fitact".into(), "90.3".into()]);
+        t.push_row(vec!["clipact".into(), "61.6".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.to_pretty_string();
+        assert!(text.contains("Demo"));
+        assert!(text.contains("fitact"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("scheme,accuracy\n"));
+        assert!(csv.contains("clipact,61.6"));
+    }
+
+    #[test]
+    fn empty_table_is_reported_empty() {
+        let t = Table::new("Empty", &["a"]);
+        assert!(t.is_empty());
+        assert!(t.to_csv().starts_with("a"));
+    }
+}

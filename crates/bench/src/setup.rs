@@ -1,0 +1,284 @@
+//! Shared experiment plumbing: scaling presets, dataset preparation and base
+//! model training.
+//!
+//! Every figure/table binary uses the same pipeline: build a CIFAR-scale
+//! architecture (scaled by a width multiplier so it runs on a CPU in minutes),
+//! train it on the synthetic CIFAR stand-in, quantise it to the Q15.16 grid,
+//! and then hand protected copies to the fault-injection campaigns.
+//!
+//! The experiment scale is selected with the `FITACT_SCALE` environment
+//! variable: `tiny` (seconds, for smoke tests), `quick` (minutes, the
+//! default), or `full` (closer to paper scale; hours on a CPU).
+
+use fitact::{apply_protection, ActivationProfile, ActivationProfiler, FitAct, FitActConfig, ProtectionScheme};
+use fitact_data::{materialize, DataError, Dataset, DatasetKind, SyntheticCifar, SyntheticCifarConfig};
+use fitact_faults::quantize_network;
+use fitact_nn::models::{Architecture, ModelConfig};
+use fitact_nn::Network;
+use fitact_tensor::Tensor;
+
+/// How large an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// Human-readable name of the preset.
+    pub name: &'static str,
+    /// Width multiplier applied to every architecture.
+    pub width: f32,
+    /// Training samples per dataset.
+    pub train_samples: usize,
+    /// Test samples per dataset (the campaign evaluation set).
+    pub test_samples: usize,
+    /// Stage-1 training epochs.
+    pub train_epochs: usize,
+    /// Fault-injection trials per (scheme, rate) point.
+    pub trials: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl ExperimentScale {
+    /// Seconds-scale preset used by smoke tests.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            name: "tiny",
+            width: 0.0626,
+            train_samples: 120,
+            test_samples: 60,
+            train_epochs: 2,
+            trials: 3,
+            batch_size: 20,
+        }
+    }
+
+    /// Minutes-scale preset (default).
+    pub fn quick() -> Self {
+        ExperimentScale {
+            name: "quick",
+            width: 0.125,
+            train_samples: 600,
+            test_samples: 200,
+            train_epochs: 4,
+            trials: 8,
+            batch_size: 32,
+        }
+    }
+
+    /// Closer-to-paper preset (hours on a CPU).
+    pub fn full() -> Self {
+        ExperimentScale {
+            name: "full",
+            width: 0.5,
+            train_samples: 4000,
+            test_samples: 1000,
+            train_epochs: 12,
+            trials: 20,
+            batch_size: 64,
+        }
+    }
+
+    /// Reads the preset from the `FITACT_SCALE` environment variable
+    /// (`tiny` / `quick` / `full`, defaulting to `quick`), then applies the
+    /// optional per-field overrides `FITACT_WIDTH`, `FITACT_TRAIN_SAMPLES`,
+    /// `FITACT_TEST_SAMPLES`, `FITACT_EPOCHS` and `FITACT_TRIALS`.
+    pub fn from_env() -> Self {
+        let mut scale = match std::env::var("FITACT_SCALE").as_deref() {
+            Ok("tiny") => ExperimentScale::tiny(),
+            Ok("full") => ExperimentScale::full(),
+            _ => ExperimentScale::quick(),
+        };
+        fn env<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok().and_then(|v| v.parse().ok())
+        }
+        if let Some(width) = env::<f32>("FITACT_WIDTH") {
+            scale.width = width;
+        }
+        if let Some(samples) = env::<usize>("FITACT_TRAIN_SAMPLES") {
+            scale.train_samples = samples;
+        }
+        if let Some(samples) = env::<usize>("FITACT_TEST_SAMPLES") {
+            scale.test_samples = samples;
+        }
+        if let Some(epochs) = env::<usize>("FITACT_EPOCHS") {
+            scale.train_epochs = epochs;
+        }
+        if let Some(trials) = env::<usize>("FITACT_TRIALS") {
+            scale.trials = trials;
+        }
+        scale
+    }
+
+    /// The fault-rate scaling factor applied to the paper's nominal rates.
+    ///
+    /// By default the nominal per-bit rates are used unchanged
+    /// (fraction-preserving: the width-scaled model sees the same *fraction*
+    /// of corrupted bits as the paper's full-width model). Setting
+    /// `FITACT_RATE_SCALE` overrides the factor — for example to the
+    /// full-width/actual bit ratio if matching the *absolute* flip count is
+    /// desired instead.
+    pub fn rate_scale() -> f64 {
+        std::env::var("FITACT_RATE_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+    }
+}
+
+/// A trained base model together with its train/test splits, ready for
+/// calibration, protection and fault campaigns.
+#[derive(Debug)]
+pub struct PreparedModel {
+    /// The trained (and quantised) base network with plain ReLU activations.
+    pub network: Network,
+    /// Calibrated per-neuron activation maxima.
+    pub profile: ActivationProfile,
+    /// Training inputs `[n, 3, 32, 32]`.
+    pub train_inputs: Tensor,
+    /// Training labels.
+    pub train_labels: Vec<usize>,
+    /// Test inputs `[m, 3, 32, 32]`.
+    pub test_inputs: Tensor,
+    /// Test labels.
+    pub test_labels: Vec<usize>,
+    /// Fault-free test accuracy of the quantised base model.
+    pub baseline_accuracy: f32,
+}
+
+impl PreparedModel {
+    /// Returns a copy of the base network protected with `scheme`.
+    ///
+    /// For the `FitAct` scheme the per-neuron bounds are additionally
+    /// post-trained on the training split (stage 2 of the workflow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration/post-training errors.
+    pub fn protected(
+        &self,
+        scheme: ProtectionScheme,
+        scale: &ExperimentScale,
+    ) -> Result<Network, Box<dyn std::error::Error>> {
+        let mut network = self.network.clone();
+        apply_protection(&mut network, &self.profile, scheme)?;
+        if let ProtectionScheme::FitAct { .. } = scheme {
+            let config = FitActConfig {
+                post_train_epochs: 2,
+                batch_size: scale.batch_size,
+                ..Default::default()
+            };
+            FitAct::new(config).post_train(&mut network, &self.train_inputs, &self.train_labels)?;
+        }
+        quantize_network(&mut network);
+        Ok(network)
+    }
+}
+
+/// Generates the synthetic train and test splits for one dataset kind.
+///
+/// # Errors
+///
+/// Propagates dataset errors.
+pub fn prepare_data(
+    kind: DatasetKind,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<(Tensor, Vec<usize>, Tensor, Vec<usize>), DataError> {
+    let train = SyntheticCifar::try_new(SyntheticCifarConfig {
+        classes: kind.classes(),
+        samples: scale.train_samples,
+        seed,
+        noise: 0.15,
+    })?;
+    let test = SyntheticCifar::test(kind.classes(), scale.test_samples, seed);
+    let (train_inputs, train_labels) = materialize(&train)?;
+    let (test_inputs, test_labels) = materialize(&test)?;
+    debug_assert_eq!(train.num_classes(), kind.classes());
+    Ok((train_inputs, train_labels, test_inputs, test_labels))
+}
+
+/// Builds, trains, quantises and calibrates one architecture on one dataset.
+///
+/// # Errors
+///
+/// Propagates model-construction, training and calibration errors.
+pub fn prepare_model(
+    architecture: Architecture,
+    kind: DatasetKind,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<PreparedModel, Box<dyn std::error::Error>> {
+    let (train_inputs, train_labels, test_inputs, test_labels) = prepare_data(kind, scale, seed)?;
+    let model_config = ModelConfig::new(kind.classes()).with_width(scale.width).with_seed(seed);
+    let mut network = architecture.build(&model_config)?;
+
+    let fitact = FitAct::new(FitActConfig { batch_size: scale.batch_size, ..Default::default() });
+    fitact.train_for_accuracy(
+        &mut network,
+        &train_inputs,
+        &train_labels,
+        scale.train_epochs,
+        0.05,
+    )?;
+    quantize_network(&mut network);
+
+    let profile =
+        ActivationProfiler::new(scale.batch_size)?.profile(&mut network, &train_inputs)?;
+    let baseline_accuracy = network.evaluate(&test_inputs, &test_labels, scale.batch_size)?;
+
+    Ok(PreparedModel {
+        network,
+        profile,
+        train_inputs,
+        train_labels,
+        test_inputs,
+        test_labels,
+        baseline_accuracy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_presets_are_ordered() {
+        let tiny = ExperimentScale::tiny();
+        let quick = ExperimentScale::quick();
+        let full = ExperimentScale::full();
+        assert!(tiny.train_samples < quick.train_samples);
+        assert!(quick.train_samples < full.train_samples);
+        assert!(tiny.width <= quick.width && quick.width <= full.width);
+        assert_eq!(tiny.name, "tiny");
+    }
+
+    #[test]
+    fn from_env_defaults_to_quick() {
+        // The test environment does not set FITACT_SCALE.
+        if std::env::var("FITACT_SCALE").is_err() {
+            assert_eq!(ExperimentScale::from_env().name, "quick");
+        }
+    }
+
+    #[test]
+    fn prepare_data_produces_matching_splits() {
+        let scale = ExperimentScale::tiny();
+        let (train_x, train_y, test_x, test_y) =
+            prepare_data(DatasetKind::Cifar10, &scale, 1).unwrap();
+        assert_eq!(train_x.dims()[0], scale.train_samples);
+        assert_eq!(train_y.len(), scale.train_samples);
+        assert_eq!(test_x.dims()[0], scale.test_samples);
+        assert_eq!(test_y.len(), scale.test_samples);
+        assert_eq!(train_x.dims()[1..], [3, 32, 32]);
+    }
+
+    #[test]
+    fn prepare_model_trains_and_calibrates_a_tiny_alexnet() {
+        let scale = ExperimentScale::tiny();
+        let prepared = prepare_model(Architecture::AlexNet, DatasetKind::Cifar10, &scale, 3).unwrap();
+        assert!(prepared.baseline_accuracy >= 0.0 && prepared.baseline_accuracy <= 1.0);
+        assert!(!prepared.profile.is_empty());
+        // A protected copy can be built for every paper scheme.
+        for scheme in ProtectionScheme::paper_schemes() {
+            let mut protected = prepared.protected(scheme, &scale).unwrap();
+            assert!(protected
+                .evaluate(&prepared.test_inputs, &prepared.test_labels, scale.batch_size)
+                .is_ok());
+        }
+    }
+}

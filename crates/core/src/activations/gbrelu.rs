@@ -1,0 +1,134 @@
+//! Globally bounded ReLU (Clip-Act).
+
+use fitact_nn::{Activation, NnError};
+use fitact_tensor::Tensor;
+
+/// The layer-wise globally bounded ReLU of paper Eq. 4, as used by
+/// Clip-Act (Hoang et al., DATE 2020).
+///
+/// ```text
+/// ξ(x) = 0   if x > λ      (squash suspicious values to zero)
+///        x   if 0 < x ≤ λ
+///        0   if x ≤ 0
+/// ```
+///
+/// A single bound `λ` is shared by every neuron in the layer — the coarse
+/// granularity whose limitation motivates FitAct.
+///
+/// # Example
+///
+/// ```
+/// use fitact::GbRelu;
+/// use fitact_nn::Activation;
+///
+/// let act = GbRelu::new(4.0);
+/// assert_eq!(act.eval_scalar(2.0, 0), 2.0);
+/// assert_eq!(act.eval_scalar(5.0, 0), 0.0);
+/// assert_eq!(act.eval_scalar(-1.0, 0), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GbRelu {
+    bound: f32,
+    cached_input: Option<Tensor>,
+}
+
+impl GbRelu {
+    /// Creates a globally bounded ReLU with bound `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is not finite or is negative.
+    pub fn new(bound: f32) -> Self {
+        assert!(bound.is_finite() && bound >= 0.0, "GBReLU bound must be finite and non-negative");
+        GbRelu { bound, cached_input: None }
+    }
+
+    /// The layer-wide bound λ.
+    pub fn bound(&self) -> f32 {
+        self.bound
+    }
+}
+
+impl Activation for GbRelu {
+    fn name(&self) -> &str {
+        "gbrelu"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.cached_input = Some(input.clone());
+        let bound = self.bound;
+        Ok(input.map(|x| if x > 0.0 && x <= bound { x } else { 0.0 }))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward("gbrelu".into()))?;
+        let bound = self.bound;
+        Ok(input.zip_map(grad_output, |x, g| if x > 0.0 && x <= bound { g } else { 0.0 })?)
+    }
+
+    fn eval_scalar(&self, x: f32, _neuron: usize) -> f32 {
+        if x > 0.0 && x <= self.bound {
+            x
+        } else {
+            0.0
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Activation> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_squashes_above_bound() {
+        let mut act = GbRelu::new(3.0);
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 3.0, 3.1, 100.0], &[1, 5]).unwrap();
+        let y = act.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.5, 3.0, 0.0, 0.0]);
+        assert_eq!(act.bound(), 3.0);
+        assert_eq!(act.name(), "gbrelu");
+    }
+
+    #[test]
+    fn backward_masks_out_of_range_inputs() {
+        let mut act = GbRelu::new(2.0);
+        let x = Tensor::from_vec(vec![-1.0, 1.0, 5.0], &[1, 3]).unwrap();
+        act.forward(&x).unwrap();
+        let g = act.backward(&Tensor::ones(&[1, 3])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut act = GbRelu::new(2.0);
+        assert!(act.backward(&Tensor::ones(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn clone_box_preserves_bound() {
+        let act: Box<dyn Activation> = Box::new(GbRelu::new(1.5));
+        let copy = act.clone();
+        assert_eq!(copy.eval_scalar(1.4, 0), 1.4);
+        assert_eq!(copy.eval_scalar(1.6, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_bound_panics() {
+        let _ = GbRelu::new(-1.0);
+    }
+
+    #[test]
+    fn zero_bound_squashes_everything() {
+        let act = GbRelu::new(0.0);
+        assert_eq!(act.eval_scalar(0.1, 0), 0.0);
+        assert_eq!(act.eval_scalar(-0.1, 0), 0.0);
+    }
+}

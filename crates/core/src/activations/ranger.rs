@@ -1,0 +1,113 @@
+//! Range-restriction activation (Ranger).
+
+use fitact_nn::{Activation, NnError};
+use fitact_tensor::Tensor;
+
+/// The range-restriction scheme of Ranger (Chen et al., DSN 2021): activation
+/// values above the layer bound are **truncated to the bound** rather than
+/// squashed to zero.
+///
+/// ```text
+/// ξ(x) = λ   if x > λ      (truncate — the bound value still propagates)
+///        x   if 0 < x ≤ λ
+///        0   if x ≤ 0
+/// ```
+///
+/// The paper observes that "Ranger truncates an output faulty value to a big
+/// positive bound, which still propagates in the network", which is why it
+/// provides weaker protection than Clip-Act and FitAct.
+#[derive(Debug, Clone)]
+pub struct Ranger {
+    bound: f32,
+    cached_input: Option<Tensor>,
+}
+
+impl Ranger {
+    /// Creates a range-restriction activation with bound `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is not finite or is negative.
+    pub fn new(bound: f32) -> Self {
+        assert!(bound.is_finite() && bound >= 0.0, "Ranger bound must be finite and non-negative");
+        Ranger { bound, cached_input: None }
+    }
+
+    /// The layer-wide bound λ.
+    pub fn bound(&self) -> f32 {
+        self.bound
+    }
+}
+
+impl Activation for Ranger {
+    fn name(&self) -> &str {
+        "ranger"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.cached_input = Some(input.clone());
+        let bound = self.bound;
+        Ok(input.map(|x| x.clamp(0.0, bound)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward("ranger".into()))?;
+        let bound = self.bound;
+        Ok(input.zip_map(grad_output, |x, g| if x > 0.0 && x <= bound { g } else { 0.0 })?)
+    }
+
+    fn eval_scalar(&self, x: f32, _neuron: usize) -> f32 {
+        x.clamp(0.0, self.bound)
+    }
+
+    fn clone_box(&self) -> Box<dyn Activation> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_truncates_to_bound() {
+        let mut act = Ranger::new(3.0);
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 3.0, 3.1, 100.0], &[1, 5]).unwrap();
+        let y = act.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.5, 3.0, 3.0, 3.0]);
+        assert_eq!(act.bound(), 3.0);
+        assert_eq!(act.name(), "ranger");
+    }
+
+    #[test]
+    fn backward_zeroes_gradient_in_saturated_regions() {
+        let mut act = Ranger::new(2.0);
+        let x = Tensor::from_vec(vec![-1.0, 1.0, 5.0], &[1, 3]).unwrap();
+        act.forward(&x).unwrap();
+        let g = act.backward(&Tensor::ones(&[1, 3])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut act = Ranger::new(2.0);
+        assert!(act.backward(&Tensor::ones(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn a_fault_still_propagates_the_bound_value() {
+        // The key difference from GBReLU: a corrupted huge value becomes λ,
+        // which for a large λ is still a strong (wrong) signal downstream.
+        let act = Ranger::new(50.0);
+        assert_eq!(act.eval_scalar(30_000.0, 0), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_bound_panics() {
+        let _ = Ranger::new(f32::NAN);
+    }
+}

@@ -1,0 +1,196 @@
+//! Loader for the real CIFAR-10 / CIFAR-100 binary files.
+//!
+//! The offline reproduction uses [`crate::SyntheticCifar`], but when the
+//! original binary files are available on disk (`data_batch_*.bin`,
+//! `test_batch.bin` for CIFAR-10; `train.bin`, `test.bin` for CIFAR-100) this
+//! loader reads them so the experiments can be re-run against the real data
+//! without code changes.
+
+use crate::{DataError, Dataset, DatasetKind};
+use fitact_tensor::Tensor;
+use std::fs;
+use std::path::Path;
+
+/// Image side length of CIFAR images.
+const IMAGE_SIZE: usize = 32;
+/// Number of channels.
+const IMAGE_CHANNELS: usize = 3;
+/// Bytes of pixel data per record.
+const PIXEL_BYTES: usize = IMAGE_CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+
+/// Per-channel normalisation mean used when decoding (standard CIFAR values).
+const MEAN: [f32; 3] = [0.4914, 0.4822, 0.4465];
+/// Per-channel normalisation standard deviation.
+const STD: [f32; 3] = [0.2470, 0.2435, 0.2616];
+
+/// A CIFAR-10 or CIFAR-100 split loaded from the original binary format.
+#[derive(Debug, Clone)]
+pub struct CifarBinary {
+    kind: DatasetKind,
+    images: Vec<u8>,
+    labels: Vec<u8>,
+}
+
+impl CifarBinary {
+    /// Loads one or more CIFAR binary files and concatenates their records.
+    ///
+    /// * CIFAR-10 records are `1 + 3072` bytes (label, pixels).
+    /// * CIFAR-100 records are `2 + 3072` bytes (coarse label, fine label,
+    ///   pixels); the fine label is used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] if a file cannot be read and
+    /// [`DataError::Malformed`] if a file size is not a multiple of the record
+    /// size.
+    pub fn load<P: AsRef<Path>>(kind: DatasetKind, files: &[P]) -> Result<Self, DataError> {
+        let record = Self::record_size(kind);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for file in files {
+            let bytes = fs::read(file)?;
+            if bytes.is_empty() || bytes.len() % record != 0 {
+                return Err(DataError::Malformed(format!(
+                    "{} has {} bytes, not a multiple of the {record}-byte record",
+                    file.as_ref().display(),
+                    bytes.len()
+                )));
+            }
+            for chunk in bytes.chunks_exact(record) {
+                let label = match kind {
+                    DatasetKind::Cifar10 => chunk[0],
+                    DatasetKind::Cifar100 => chunk[1],
+                };
+                if usize::from(label) >= kind.classes() {
+                    return Err(DataError::Malformed(format!(
+                        "label {label} out of range for {kind}"
+                    )));
+                }
+                labels.push(label);
+                images.extend_from_slice(&chunk[record - PIXEL_BYTES..]);
+            }
+        }
+        Ok(CifarBinary { kind, images, labels })
+    }
+
+    /// Bytes per record in the binary format.
+    fn record_size(kind: DatasetKind) -> usize {
+        match kind {
+            DatasetKind::Cifar10 => 1 + PIXEL_BYTES,
+            DatasetKind::Cifar100 => 2 + PIXEL_BYTES,
+        }
+    }
+
+    /// Which dataset family this split belongs to.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+}
+
+impl Dataset for CifarBinary {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.kind.classes()
+    }
+
+    fn input_shape(&self) -> Vec<usize> {
+        vec![IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE]
+    }
+
+    fn sample(&self, index: usize) -> Result<(Tensor, usize), DataError> {
+        if index >= self.labels.len() {
+            return Err(DataError::IndexOutOfRange { index, len: self.labels.len() });
+        }
+        let raw = &self.images[index * PIXEL_BYTES..(index + 1) * PIXEL_BYTES];
+        let plane = IMAGE_SIZE * IMAGE_SIZE;
+        let mut data = vec![0.0f32; PIXEL_BYTES];
+        for ch in 0..IMAGE_CHANNELS {
+            for p in 0..plane {
+                let v = f32::from(raw[ch * plane + p]) / 255.0;
+                data[ch * plane + p] = (v - MEAN[ch]) / STD[ch];
+            }
+        }
+        let image = Tensor::from_vec(data, &[IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE])
+            .expect("pixel buffer matches image shape");
+        Ok((image, usize::from(self.labels[index])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        let mut f = fs::File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    fn fake_cifar10_record(label: u8, fill: u8) -> Vec<u8> {
+        let mut rec = vec![label];
+        rec.extend(std::iter::repeat(fill).take(PIXEL_BYTES));
+        rec
+    }
+
+    #[test]
+    fn loads_cifar10_records() {
+        let mut bytes = fake_cifar10_record(3, 128);
+        bytes.extend(fake_cifar10_record(7, 255));
+        let path = write_temp("fitact_test_cifar10.bin", &bytes);
+        let ds = CifarBinary::load(DatasetKind::Cifar10, &[&path]).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.kind(), DatasetKind::Cifar10);
+        assert_eq!(ds.num_classes(), 10);
+        assert_eq!(ds.input_shape(), vec![3, 32, 32]);
+        let (img, label) = ds.sample(0).unwrap();
+        assert_eq!(label, 3);
+        assert_eq!(img.dims(), &[3, 32, 32]);
+        // 128/255 normalised by channel-0 stats.
+        let expected = (128.0 / 255.0 - MEAN[0]) / STD[0];
+        assert!((img.as_slice()[0] - expected).abs() < 1e-5);
+        assert!(ds.sample(2).is_err());
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loads_cifar100_fine_labels() {
+        let mut rec = vec![5u8, 42u8]; // coarse 5, fine 42
+        rec.extend(std::iter::repeat(0u8).take(PIXEL_BYTES));
+        let path = write_temp("fitact_test_cifar100.bin", &rec);
+        let ds = CifarBinary::load(DatasetKind::Cifar100, &[&path]).unwrap();
+        assert_eq!(ds.sample(0).unwrap().1, 42);
+        assert_eq!(ds.num_classes(), 100);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_files_and_bad_labels() {
+        let path = write_temp("fitact_test_truncated.bin", &[0u8; 100]);
+        assert!(matches!(
+            CifarBinary::load(DatasetKind::Cifar10, &[&path]),
+            Err(DataError::Malformed(_))
+        ));
+        fs::remove_file(path).ok();
+
+        let bytes = fake_cifar10_record(250, 0); // label out of range
+        let path = write_temp("fitact_test_badlabel.bin", &bytes);
+        assert!(matches!(
+            CifarBinary::load(DatasetKind::Cifar10, &[&path]),
+            Err(DataError::Malformed(_))
+        ));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            CifarBinary::load(DatasetKind::Cifar10, &["/nonexistent/cifar.bin"]),
+            Err(DataError::Io(_))
+        ));
+    }
+}

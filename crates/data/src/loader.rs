@@ -1,0 +1,190 @@
+//! Mini-batch iteration over datasets.
+
+use crate::{DataError, Dataset};
+use fitact_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Materialises an entire dataset into one `[n, ...input_shape]` tensor plus a
+/// label vector.
+///
+/// Convenient for evaluation and for the fault-injection campaigns, which
+/// re-evaluate the same test split many times.
+///
+/// # Errors
+///
+/// Propagates any [`DataError`] from the underlying dataset.
+pub fn materialize<D: Dataset + ?Sized>(dataset: &D) -> Result<(Tensor, Vec<usize>), DataError> {
+    let mut samples = Vec::with_capacity(dataset.len());
+    let mut labels = Vec::with_capacity(dataset.len());
+    for i in 0..dataset.len() {
+        let (x, y) = dataset.sample(i)?;
+        samples.push(x);
+        labels.push(y);
+    }
+    let inputs = Tensor::stack(&samples).map_err(|e| {
+        DataError::InvalidConfig(format!("failed to stack dataset samples: {e}"))
+    })?;
+    Ok((inputs, labels))
+}
+
+/// Iterates over a dataset in shuffled mini-batches.
+///
+/// # Example
+///
+/// ```
+/// use fitact_data::{Blobs, BlobsConfig, DataLoader};
+///
+/// # fn main() -> Result<(), fitact_data::DataError> {
+/// let ds = Blobs::new(BlobsConfig { samples: 10, ..Default::default() })?;
+/// let mut loader = DataLoader::new(&ds, 4, true, 0)?;
+/// let mut seen = 0;
+/// while let Some((inputs, labels)) = loader.next_batch()? {
+///     assert_eq!(inputs.dims()[0], labels.len());
+///     seen += labels.len();
+/// }
+/// assert_eq!(seen, 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DataLoader<'a, D: Dataset + ?Sized> {
+    dataset: &'a D,
+    batch_size: usize,
+    order: Vec<usize>,
+    cursor: usize,
+    shuffle: bool,
+    rng: StdRng,
+}
+
+impl<'a, D: Dataset + ?Sized> DataLoader<'a, D> {
+    /// Creates a loader over `dataset` with the given batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `batch_size == 0`.
+    pub fn new(dataset: &'a D, batch_size: usize, shuffle: bool, seed: u64) -> Result<Self, DataError> {
+        if batch_size == 0 {
+            return Err(DataError::InvalidConfig("batch_size must be non-zero".into()));
+        }
+        let mut loader = DataLoader {
+            dataset,
+            batch_size,
+            order: (0..dataset.len()).collect(),
+            cursor: 0,
+            shuffle,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        loader.reshuffle();
+        Ok(loader)
+    }
+
+    /// Number of batches per epoch (the final batch may be smaller).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.dataset.len().div_ceil(self.batch_size)
+    }
+
+    /// Returns the next mini-batch, or `None` at the end of the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset errors.
+    pub fn next_batch(&mut self) -> Result<Option<(Tensor, Vec<usize>)>, DataError> {
+        if self.cursor >= self.order.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let mut samples = Vec::with_capacity(end - self.cursor);
+        let mut labels = Vec::with_capacity(end - self.cursor);
+        for &idx in &self.order[self.cursor..end] {
+            let (x, y) = self.dataset.sample(idx)?;
+            samples.push(x);
+            labels.push(y);
+        }
+        self.cursor = end;
+        let inputs = Tensor::stack(&samples).map_err(|e| {
+            DataError::InvalidConfig(format!("failed to stack batch samples: {e}"))
+        })?;
+        Ok(Some((inputs, labels)))
+    }
+
+    /// Resets the loader for a new epoch (re-shuffling if enabled).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.reshuffle();
+    }
+
+    fn reshuffle(&mut self) {
+        if self.shuffle {
+            self.order.shuffle(&mut self.rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Blobs, BlobsConfig};
+
+    fn dataset(samples: usize) -> Blobs {
+        Blobs::new(BlobsConfig { samples, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn loader_covers_every_sample_once() {
+        let ds = dataset(10);
+        let mut loader = DataLoader::new(&ds, 3, true, 1).unwrap();
+        assert_eq!(loader.batches_per_epoch(), 4);
+        let mut total = 0;
+        let mut batch_sizes = Vec::new();
+        while let Some((x, y)) = loader.next_batch().unwrap() {
+            assert_eq!(x.dims()[0], y.len());
+            batch_sizes.push(y.len());
+            total += y.len();
+        }
+        assert_eq!(total, 10);
+        assert_eq!(batch_sizes, vec![3, 3, 3, 1]);
+        // Exhausted until reset.
+        assert!(loader.next_batch().unwrap().is_none());
+        loader.reset();
+        assert!(loader.next_batch().unwrap().is_some());
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let ds = dataset(4);
+        assert!(DataLoader::new(&ds, 0, false, 0).is_err());
+    }
+
+    #[test]
+    fn unshuffled_loader_preserves_order() {
+        let ds = dataset(6);
+        let mut loader = DataLoader::new(&ds, 2, false, 0).unwrap();
+        let (_, labels) = loader.next_batch().unwrap().unwrap();
+        // Blobs labels cycle 0,1,2,...
+        assert_eq!(labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn shuffled_loader_changes_order_between_seeds() {
+        let ds = dataset(64);
+        let mut a = DataLoader::new(&ds, 64, true, 1).unwrap();
+        let mut b = DataLoader::new(&ds, 64, true, 2).unwrap();
+        let (_, la) = a.next_batch().unwrap().unwrap();
+        let (_, lb) = b.next_batch().unwrap().unwrap();
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn materialize_builds_full_tensors() {
+        let ds = dataset(5);
+        let (inputs, labels) = materialize(&ds).unwrap();
+        assert_eq!(inputs.dims(), &[5, 8]);
+        assert_eq!(labels.len(), 5);
+        // Matches per-sample access.
+        let (x0, y0) = ds.sample(0).unwrap();
+        assert_eq!(inputs.index_axis0(0).unwrap(), x0);
+        assert_eq!(labels[0], y0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Procedurally generated CIFAR-like image classification data.
+
+use crate::{DataError, Dataset};
+use fitact_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length (matches CIFAR).
+pub const IMAGE_SIZE: usize = 32;
+/// Image channels (RGB).
+pub const IMAGE_CHANNELS: usize = 3;
+
+/// Configuration of a [`SyntheticCifar`] dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticCifarConfig {
+    /// Number of classes (10 for the CIFAR-10 stand-in, 100 for CIFAR-100).
+    pub classes: usize,
+    /// Number of samples in the split.
+    pub samples: usize,
+    /// Master seed; train and test splits should use different seeds.
+    pub seed: u64,
+    /// Standard deviation of the per-pixel Gaussian noise.
+    pub noise: f32,
+}
+
+impl Default for SyntheticCifarConfig {
+    fn default() -> Self {
+        SyntheticCifarConfig { classes: 10, samples: 1024, seed: 0, noise: 0.15 }
+    }
+}
+
+/// Class-conditional synthetic 3×32×32 images.
+///
+/// Each class is defined by a deterministic "prototype": a colour bias plus a
+/// small set of oriented sinusoidal gratings with class-specific frequencies
+/// and phases. Each sample perturbs the prototype with a random phase jitter
+/// and additive Gaussian noise. The task is therefore learnable by a
+/// convolutional network (it has spatial structure), non-trivial (classes
+/// overlap under noise), and fully reproducible from a single seed — which is
+/// exactly what the fault-injection experiments need.
+///
+/// Images are generated lazily from `(seed, class, index)` so the dataset has
+/// O(1) memory regardless of length.
+#[derive(Debug, Clone)]
+pub struct SyntheticCifar {
+    config: SyntheticCifarConfig,
+    prototypes: Vec<ClassPrototype>,
+    /// Offset mixed into the per-sample random stream so that train and test
+    /// splits built from the same seed share class prototypes but not images.
+    index_offset: u64,
+}
+
+/// The deterministic generative description of one class.
+#[derive(Debug, Clone)]
+struct ClassPrototype {
+    /// Per-channel colour bias.
+    color: [f32; IMAGE_CHANNELS],
+    /// Oriented gratings: (frequency_x, frequency_y, phase, amplitude, channel weight).
+    gratings: Vec<(f32, f32, f32, f32, [f32; IMAGE_CHANNELS])>,
+}
+
+impl SyntheticCifar {
+    /// Creates a dataset from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`; use [`SyntheticCifar::try_new`] for a
+    /// fallible constructor.
+    pub fn new(config: SyntheticCifarConfig) -> Self {
+        Self::try_new(config).expect("invalid SyntheticCifarConfig")
+    }
+
+    /// Creates a dataset from its configuration, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `classes == 0` or
+    /// `noise < 0.0`.
+    pub fn try_new(config: SyntheticCifarConfig) -> Result<Self, DataError> {
+        if config.classes == 0 {
+            return Err(DataError::InvalidConfig("classes must be at least 1".into()));
+        }
+        if config.noise < 0.0 {
+            return Err(DataError::InvalidConfig("noise must be non-negative".into()));
+        }
+        let prototypes = (0..config.classes)
+            .map(|c| ClassPrototype::generate(config.seed, c))
+            .collect();
+        Ok(SyntheticCifar { config, prototypes, index_offset: 0 })
+    }
+
+    /// Convenience constructor for the 10-class training split used in
+    /// experiments.
+    pub fn train(classes: usize, samples: usize, seed: u64) -> Self {
+        SyntheticCifar::new(SyntheticCifarConfig { classes, samples, seed, noise: 0.15 })
+    }
+
+    /// Convenience constructor for a held-out test split: same prototypes
+    /// (same master seed), different sample noise stream.
+    pub fn test(classes: usize, samples: usize, seed: u64) -> Self {
+        SyntheticCifar::new(SyntheticCifarConfig {
+            classes,
+            samples,
+            // Prototypes depend only on `seed`, so the test split shares them;
+            // the per-sample stream is offset below via the index hash.
+            seed,
+            noise: 0.15,
+        })
+        .with_index_offset(1 << 40)
+    }
+
+    /// Offsets the per-sample random stream (used to build disjoint splits
+    /// that share class prototypes).
+    #[must_use]
+    fn with_index_offset(mut self, offset: u64) -> Self {
+        self.index_offset = offset;
+        self
+    }
+
+    /// The dataset configuration.
+    pub fn config(&self) -> &SyntheticCifarConfig {
+        &self.config
+    }
+
+    /// The class label of sample `index` (labels cycle through the classes so
+    /// every split is balanced).
+    pub fn label_of(&self, index: usize) -> usize {
+        index % self.config.classes
+    }
+
+    fn sample_rng(&self, index: usize) -> StdRng {
+        // Mix the master seed, the index and the split offset into a
+        // per-sample seed with SplitMix64-style finalisation.
+        let mut z = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index as u64)
+            .wrapping_add(self.index_offset);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+}
+
+impl Dataset for SyntheticCifar {
+    fn len(&self) -> usize {
+        self.config.samples
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config.classes
+    }
+
+    fn input_shape(&self) -> Vec<usize> {
+        vec![IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE]
+    }
+
+    fn sample(&self, index: usize) -> Result<(Tensor, usize), DataError> {
+        if index >= self.config.samples {
+            return Err(DataError::IndexOutOfRange { index, len: self.config.samples });
+        }
+        let label = self.label_of(index);
+        let prototype = &self.prototypes[label];
+        let mut rng = self.sample_rng(index);
+        let jitter: f32 = rng.gen_range(-0.5..0.5);
+        let mut data = vec![0.0f32; IMAGE_CHANNELS * IMAGE_SIZE * IMAGE_SIZE];
+        for ch in 0..IMAGE_CHANNELS {
+            for y in 0..IMAGE_SIZE {
+                for x in 0..IMAGE_SIZE {
+                    let mut v = prototype.color[ch];
+                    for (fx, fy, phase, amplitude, weights) in &prototype.gratings {
+                        let arg = fx * x as f32 + fy * y as f32 + phase + jitter;
+                        v += amplitude * weights[ch] * arg.sin();
+                    }
+                    data[(ch * IMAGE_SIZE + y) * IMAGE_SIZE + x] = v;
+                }
+            }
+        }
+        if self.config.noise > 0.0 {
+            for v in &mut data {
+                // Cheap approximately-normal noise (Irwin–Hall with n = 4).
+                let n: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
+                *v += self.config.noise * n;
+            }
+        }
+        let image = Tensor::from_vec(data, &[IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE])
+            .expect("image buffer matches image shape");
+        Ok((image, label))
+    }
+}
+
+impl ClassPrototype {
+    fn generate(seed: u64, class: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ (class as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let color = [
+            rng.gen_range(-0.6..0.6),
+            rng.gen_range(-0.6..0.6),
+            rng.gen_range(-0.6..0.6),
+        ];
+        let num_gratings = rng.gen_range(2..=3);
+        let gratings = (0..num_gratings)
+            .map(|_| {
+                (
+                    rng.gen_range(0.2..1.2),
+                    rng.gen_range(0.2..1.2),
+                    rng.gen_range(0.0..std::f32::consts::TAU),
+                    rng.gen_range(0.3..0.7),
+                    [
+                        rng.gen_range(0.2..1.0),
+                        rng.gen_range(0.2..1.0),
+                        rng.gen_range(0.2..1.0),
+                    ],
+                )
+            })
+            .collect();
+        ClassPrototype { color, gratings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configuration_validation() {
+        assert!(SyntheticCifar::try_new(SyntheticCifarConfig { classes: 0, ..Default::default() })
+            .is_err());
+        assert!(SyntheticCifar::try_new(SyntheticCifarConfig { noise: -1.0, ..Default::default() })
+            .is_err());
+        assert!(SyntheticCifar::try_new(SyntheticCifarConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn samples_have_cifar_shape_and_valid_labels() {
+        let ds = SyntheticCifar::train(10, 20, 1);
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.num_classes(), 10);
+        assert_eq!(ds.input_shape(), vec![3, 32, 32]);
+        for i in 0..ds.len() {
+            let (img, label) = ds.sample(i).unwrap();
+            assert_eq!(img.dims(), &[3, 32, 32]);
+            assert!(label < 10);
+            assert!(img.is_finite());
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_errors() {
+        let ds = SyntheticCifar::train(10, 4, 0);
+        assert!(ds.sample(4).is_err());
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let ds = SyntheticCifar::train(10, 100, 2);
+        let mut counts = vec![0usize; 10];
+        for i in 0..100 {
+            counts[ds.label_of(i)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticCifar::train(10, 8, 3);
+        let b = SyntheticCifar::train(10, 8, 3);
+        for i in 0..8 {
+            assert_eq!(a.sample(i).unwrap().0, b.sample(i).unwrap().0);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticCifar::train(10, 4, 3);
+        let b = SyntheticCifar::train(10, 4, 4);
+        assert_ne!(a.sample(0).unwrap().0, b.sample(0).unwrap().0);
+    }
+
+    #[test]
+    fn train_and_test_splits_share_prototypes_but_not_samples() {
+        let train = SyntheticCifar::train(10, 16, 5);
+        let test = SyntheticCifar::test(10, 16, 5);
+        // Same class structure (prototype colours equal) …
+        assert_eq!(train.prototypes[0].color, test.prototypes[0].color);
+        // … but different concrete images for the same index.
+        assert_ne!(train.sample(0).unwrap().0, test.sample(0).unwrap().0);
+        // Labels still line up because both cycle through classes.
+        assert_eq!(train.sample(3).unwrap().1, test.sample(3).unwrap().1);
+    }
+
+    #[test]
+    fn same_class_samples_are_more_similar_than_different_class() {
+        // Sanity check that the task is learnable: the average distance
+        // between two samples of the same class should be smaller than
+        // between samples of different classes.
+        let ds = SyntheticCifar::train(10, 40, 7);
+        let dist = |a: &Tensor, b: &Tensor| -> f32 {
+            a.sub(b).unwrap().sq_norm() / a.numel() as f32
+        };
+        let (x0a, _) = ds.sample(0).unwrap(); // class 0
+        let (x0b, _) = ds.sample(10).unwrap(); // class 0 again
+        let (x1, _) = ds.sample(1).unwrap(); // class 1
+        assert!(dist(&x0a, &x0b) < dist(&x0a, &x1));
+    }
+
+    #[test]
+    fn pixel_values_are_in_a_sane_range() {
+        let ds = SyntheticCifar::train(10, 10, 9);
+        for i in 0..10 {
+            let (img, _) = ds.sample(i).unwrap();
+            assert!(img.max() < 5.0);
+            assert!(img.min() > -5.0);
+        }
+    }
+}

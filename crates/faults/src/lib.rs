@@ -1,0 +1,118 @@
+//! Bit-flip fault injection into fixed-point DNN parameter memory.
+//!
+//! The paper's fault model: model parameters (weights, biases, batch-norm
+//! statistics and activation-function bounds) are stored as 32-bit Q15.16
+//! fixed-point words; random memory faults flip individual bits of those words
+//! uniformly over the whole parameter space, at a configurable per-bit fault
+//! rate between 1e-7 and 3e-5.
+//!
+//! The crate provides:
+//!
+//! * [`MemoryMap`] — the addressable parameter memory of a network (optionally
+//!   restricted to particular layers, as in the paper's Fig. 1 experiment),
+//! * [`BitFlipInjector`] — samples fault sites at a given fault rate and
+//!   applies them to a [`fitact_nn::Network`],
+//! * [`Campaign`] — runs repeated inject → evaluate → restore trials and
+//!   aggregates the accuracy distribution (paper Figs. 5 and 6),
+//! * [`quantize_network`] — rounds every stored parameter to its Q15.16
+//!   representation, so that the fault-free baseline and the faulty runs use
+//!   the same arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! use fitact_faults::{BitFlipInjector, MemoryMap};
+//! use fitact_nn::layers::{Linear, Sequential};
+//! use fitact_nn::Network;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), fitact_faults::FaultError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let net = Network::new("mlp", Sequential::new().with(Box::new(Linear::new(4, 2, &mut rng))));
+//! let map = MemoryMap::of_network(&net);
+//! assert_eq!(map.total_bits(), (4 * 2 + 2) * 32);
+//! let mut injector = BitFlipInjector::new(7);
+//! let sites = injector.sample_sites(&map, 1e-2);
+//! assert!(sites.len() < map.total_bits() as usize);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod campaign;
+mod injector;
+mod map;
+mod stuck_at;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignResult};
+pub use injector::{quantize_network, BitFlipInjector, FaultSite};
+pub use map::{MemoryMap, ParamSpan};
+pub use stuck_at::{StuckAtFault, StuckAtInjector, StuckValue};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fault-injection operations.
+#[derive(Debug)]
+pub enum FaultError {
+    /// The network evaluation inside a campaign failed.
+    Nn(fitact_nn::NnError),
+    /// A configuration value was invalid (zero trials, negative rate, …).
+    InvalidConfig(String),
+    /// The memory map is empty (no parameters matched the layer filter).
+    EmptyMemoryMap,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Nn(e) => write!(f, "network evaluation failed during fault campaign: {e}"),
+            FaultError::InvalidConfig(msg) => write!(f, "invalid fault-injection configuration: {msg}"),
+            FaultError::EmptyMemoryMap => {
+                write!(f, "memory map contains no parameters (layer filter matched nothing)")
+            }
+        }
+    }
+}
+
+impl Error for FaultError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FaultError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fitact_nn::NnError> for FaultError {
+    fn from(e: fitact_nn::NnError) -> Self {
+        FaultError::Nn(e)
+    }
+}
+
+/// The fault rates evaluated in the paper (Figs. 5 and 6).
+pub const PAPER_FAULT_RATES: [f64; 5] = [1e-7, 1e-6, 3e-6, 1e-5, 3e-5];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = FaultError::from(fitact_nn::NnError::InvalidConfig("x".into()));
+        assert!(e.to_string().contains("fault campaign"));
+        assert!(Error::source(&e).is_some());
+        assert!(!FaultError::InvalidConfig("bad".into()).to_string().is_empty());
+        assert!(!FaultError::EmptyMemoryMap.to_string().is_empty());
+        assert!(Error::source(&FaultError::EmptyMemoryMap).is_none());
+    }
+
+    #[test]
+    fn paper_fault_rates_are_increasing() {
+        for pair in PAPER_FAULT_RATES.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The addressable parameter memory of a network.
+
+use fitact_nn::Network;
+
+/// One parameter tensor's slice of the fault space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpan {
+    /// Slash-separated parameter path (e.g. `"3/weight"`).
+    pub path: String,
+    /// Index of the parameter in the network's deterministic traversal order.
+    pub param_index: usize,
+    /// Number of scalar elements in the parameter.
+    pub numel: usize,
+    /// First bit address of this parameter in the flat fault space.
+    pub bit_offset: u64,
+}
+
+/// The flat bit-addressable memory that stores a network's parameters.
+///
+/// The paper's fault space is "the weights and biases of different layers, as
+/// well as parameters of activation functions"; every parameter the network
+/// exposes (including batch-norm buffers and FitReLU bounds) is included.
+/// Fig. 1 restricts faults to particular layers — use
+/// [`MemoryMap::of_network_filtered`] with a path predicate for that.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryMap {
+    spans: Vec<ParamSpan>,
+    total_bits: u64,
+}
+
+/// Bits per stored parameter word (Q15.16 fixed point).
+pub const BITS_PER_WORD: u64 = 32;
+
+impl MemoryMap {
+    /// Builds the memory map of every parameter in the network.
+    pub fn of_network(network: &Network) -> Self {
+        Self::of_network_filtered(network, |_| true)
+    }
+
+    /// Builds a memory map restricted to parameters whose path satisfies
+    /// `filter`.
+    ///
+    /// The paper's Fig. 1 case study injects faults only into the input layer
+    /// and the second convolutional layer of VGG16; that corresponds to a
+    /// filter accepting paths starting with those layers' prefixes.
+    pub fn of_network_filtered<F: Fn(&str) -> bool>(network: &Network, filter: F) -> Self {
+        let mut spans = Vec::new();
+        let mut total_bits = 0u64;
+        for (param_index, info) in network.param_info().into_iter().enumerate() {
+            if !filter(&info.path) || info.numel == 0 {
+                continue;
+            }
+            spans.push(ParamSpan {
+                path: info.path,
+                param_index,
+                numel: info.numel,
+                bit_offset: total_bits,
+            });
+            total_bits += info.numel as u64 * BITS_PER_WORD;
+        }
+        MemoryMap { spans, total_bits }
+    }
+
+    /// Total number of bits in the fault space.
+    pub fn total_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Total number of 32-bit words (scalar parameters) in the fault space.
+    pub fn total_words(&self) -> u64 {
+        self.total_bits / BITS_PER_WORD
+    }
+
+    /// The parameter spans making up the map, in traversal order.
+    pub fn spans(&self) -> &[ParamSpan] {
+        &self.spans
+    }
+
+    /// Returns `true` if no parameters are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Resolves a flat bit address into `(param_index, element, bit)`.
+    ///
+    /// Returns `None` if the address is outside the map.
+    pub fn locate(&self, bit_address: u64) -> Option<(usize, usize, u32)> {
+        if bit_address >= self.total_bits {
+            return None;
+        }
+        // Spans are sorted by bit_offset; binary search for the containing span.
+        let idx = match self
+            .spans
+            .binary_search_by(|s| s.bit_offset.cmp(&bit_address))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let span = &self.spans[idx];
+        let local = bit_address - span.bit_offset;
+        let element = (local / BITS_PER_WORD) as usize;
+        let bit = (local % BITS_PER_WORD) as u32;
+        debug_assert!(element < span.numel);
+        Some((span.param_index, element, bit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_network() -> Network {
+        let mut rng = StdRng::seed_from_u64(0);
+        Network::new(
+            "mlp",
+            Sequential::new()
+                .with(Box::new(Linear::new(3, 2, &mut rng)))
+                .with(Box::new(ActivationLayer::relu("h", &[2])))
+                .with(Box::new(Linear::new(2, 2, &mut rng))),
+        )
+    }
+
+    #[test]
+    fn map_counts_every_parameter_bit() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        // (3*2 + 2) + (2*2 + 2) = 14 words.
+        assert_eq!(map.total_words(), 14);
+        assert_eq!(map.total_bits(), 14 * 32);
+        assert_eq!(map.spans().len(), 4);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn filtered_map_keeps_matching_layers_only() {
+        let net = small_network();
+        let map = MemoryMap::of_network_filtered(&net, |path| path.starts_with("0/"));
+        assert_eq!(map.total_words(), 8); // first linear only
+        assert_eq!(map.spans().len(), 2);
+        let empty = MemoryMap::of_network_filtered(&net, |_| false);
+        assert!(empty.is_empty());
+        assert_eq!(empty.total_bits(), 0);
+    }
+
+    #[test]
+    fn locate_resolves_boundaries() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        // First bit of the first parameter.
+        assert_eq!(map.locate(0), Some((0, 0, 0)));
+        // Last bit of the first word.
+        assert_eq!(map.locate(31), Some((0, 0, 31)));
+        // First bit of the second word.
+        assert_eq!(map.locate(32), Some((0, 1, 0)));
+        // First bit of the second parameter (bias of the first linear):
+        // weight has 6 elements → offset 6*32 = 192.
+        assert_eq!(map.locate(192), Some((1, 0, 0)));
+        // Out of range.
+        assert_eq!(map.locate(map.total_bits()), None);
+    }
+
+    #[test]
+    fn locate_covers_every_span() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        for span in map.spans() {
+            let (p, e, b) = map.locate(span.bit_offset).unwrap();
+            assert_eq!(p, span.param_index);
+            assert_eq!((e, b), (0, 0));
+            let last = span.bit_offset + span.numel as u64 * 32 - 1;
+            let (p, e, b) = map.locate(last).unwrap();
+            assert_eq!(p, span.param_index);
+            assert_eq!(e, span.numel - 1);
+            assert_eq!(b, 31);
+        }
+    }
+
+    #[test]
+    fn span_paths_match_network_paths() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let paths: Vec<&str> = map.spans().iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["0/weight", "0/bias", "2/weight", "2/bias"]);
+    }
+}

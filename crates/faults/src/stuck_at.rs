@@ -1,0 +1,229 @@
+//! Stuck-at fault model (extension beyond the paper's transient bit flips).
+//!
+//! The paper injects transient single-bit flips. Real memories also exhibit
+//! *permanent* faults where a cell is stuck at 0 or 1 regardless of what is
+//! written. This module models those: a set of bit positions is chosen once
+//! (the defect map) and every affected parameter word has those bits forced to
+//! the stuck value. Because the protection mechanisms under study act on
+//! activation values, they are agnostic to whether the corruption was
+//! transient or permanent — which makes this a natural robustness extension.
+
+use crate::injector::FaultSite;
+use crate::map::MemoryMap;
+use fitact_nn::Network;
+use fitact_tensor::Fixed32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The value a faulty cell is stuck at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckValue {
+    /// The cell always reads 0.
+    Zero,
+    /// The cell always reads 1.
+    One,
+}
+
+/// One permanent defect: a bit of one parameter word stuck at a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StuckAtFault {
+    /// Where the defect is.
+    pub site: FaultSite,
+    /// What the cell is stuck at.
+    pub value: StuckValue,
+}
+
+/// Samples and applies permanent stuck-at faults.
+#[derive(Debug, Clone)]
+pub struct StuckAtInjector {
+    rng: StdRng,
+}
+
+impl StuckAtInjector {
+    /// Creates an injector with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        StuckAtInjector { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Samples a defect map: each bit of the mapped memory is defective with
+    /// probability `defect_rate`, stuck at 0 or 1 with equal probability.
+    ///
+    /// Sampling uses the same binomial count / uniform location scheme as the
+    /// transient injector, so defect maps stay cheap to draw even for large
+    /// models.
+    pub fn sample_defects(&mut self, map: &MemoryMap, defect_rate: f64) -> Vec<StuckAtFault> {
+        if map.is_empty() || defect_rate <= 0.0 {
+            return Vec::new();
+        }
+        let expected = (map.total_bits() as f64 * defect_rate).ceil() as u64;
+        let mut seen = std::collections::HashSet::new();
+        let mut defects = Vec::new();
+        for _ in 0..expected {
+            let address = self.rng.gen_range(0..map.total_bits());
+            if !seen.insert(address) {
+                continue;
+            }
+            if let Some((param_index, element, bit)) = map.locate(address) {
+                let value = if self.rng.gen_bool(0.5) { StuckValue::One } else { StuckValue::Zero };
+                defects.push(StuckAtFault { site: FaultSite { param_index, element, bit }, value });
+            }
+        }
+        defects
+    }
+
+    /// Applies a defect map to the network: every affected word is re-encoded
+    /// with the stuck bits forced to their stuck values.
+    ///
+    /// Unlike a transient flip, applying the same defect map twice is
+    /// idempotent.
+    pub fn apply(&self, network: &mut Network, defects: &[StuckAtFault]) {
+        if defects.is_empty() {
+            return;
+        }
+        let mut by_param: HashMap<usize, Vec<&StuckAtFault>> = HashMap::new();
+        for defect in defects {
+            by_param.entry(defect.site.param_index).or_default().push(defect);
+        }
+        let mut index = 0usize;
+        network.visit_params_mut(&mut |_, param| {
+            if let Some(faults) = by_param.get(&index) {
+                let data = param.data_mut().as_mut_slice();
+                for fault in faults {
+                    if let Some(value) = data.get_mut(fault.site.element) {
+                        let word = Fixed32::from_f32(*value);
+                        let bits = word.bits();
+                        let mask = 1u32 << fault.site.bit;
+                        let stuck = match fault.value {
+                            StuckValue::One => bits | mask,
+                            StuckValue::Zero => bits & !mask,
+                        };
+                        *value = Fixed32::from_bits(stuck).to_f32();
+                    }
+                }
+            }
+            index += 1;
+        });
+    }
+
+    /// Samples a defect map at `defect_rate` and applies it, returning the
+    /// defects for reporting.
+    pub fn inject_random(
+        &mut self,
+        network: &mut Network,
+        map: &MemoryMap,
+        defect_rate: f64,
+    ) -> Vec<StuckAtFault> {
+        let defects = self.sample_defects(map, defect_rate);
+        self.apply(network, &defects);
+        defects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fitact_nn::layers::{Linear, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_network() -> Network {
+        let mut rng = StdRng::seed_from_u64(1);
+        Network::new(
+            "mlp",
+            Sequential::new()
+                .with(Box::new(Linear::new(4, 8, &mut rng)))
+                .with(Box::new(Linear::new(8, 2, &mut rng))),
+        )
+    }
+
+    #[test]
+    fn zero_rate_produces_no_defects() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let mut injector = StuckAtInjector::new(0);
+        assert!(injector.sample_defects(&map, 0.0).is_empty());
+    }
+
+    #[test]
+    fn defect_count_roughly_tracks_rate() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let mut injector = StuckAtInjector::new(1);
+        let defects = injector.sample_defects(&map, 0.01);
+        let expected = (map.total_bits() as f64 * 0.01).ceil() as usize;
+        assert!(defects.len() <= expected);
+        assert!(!defects.is_empty());
+        // All sites are in bounds.
+        let info = net.param_info();
+        for d in &defects {
+            assert!(d.site.param_index < info.len());
+            assert!(d.site.element < info[d.site.param_index].numel);
+            assert!(d.site.bit < 32);
+        }
+    }
+
+    #[test]
+    fn stuck_at_one_forces_the_bit() {
+        let mut net = small_network();
+        net.params_mut()[0].data_mut().fill(0.0);
+        let injector = StuckAtInjector::new(2);
+        let fault = StuckAtFault {
+            site: FaultSite { param_index: 0, element: 0, bit: 16 },
+            value: StuckValue::One,
+        };
+        injector.apply(&mut net, &[fault]);
+        // Bit 16 has weight 1.0 in Q15.16.
+        assert_eq!(net.params()[0].data().as_slice()[0], 1.0);
+        // Applying the same defect again changes nothing (idempotent).
+        injector.apply(&mut net, &[fault]);
+        assert_eq!(net.params()[0].data().as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn stuck_at_zero_clears_the_bit() {
+        let mut net = small_network();
+        net.params_mut()[0].data_mut().fill(1.5);
+        let injector = StuckAtInjector::new(3);
+        let fault = StuckAtFault {
+            site: FaultSite { param_index: 0, element: 0, bit: 16 },
+            value: StuckValue::Zero,
+        };
+        injector.apply(&mut net, &[fault]);
+        assert_eq!(net.params()[0].data().as_slice()[0], 0.5);
+        // A value whose bit is already clear is untouched.
+        let fault2 = StuckAtFault {
+            site: FaultSite { param_index: 0, element: 1, bit: 31 },
+            value: StuckValue::Zero,
+        };
+        let before = net.params()[0].data().as_slice()[1];
+        injector.apply(&mut net, &[fault2]);
+        assert_eq!(net.params()[0].data().as_slice()[1], before);
+    }
+
+    #[test]
+    fn inject_random_applies_and_reports() {
+        let mut net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let before = net.snapshot();
+        let mut injector = StuckAtInjector::new(4);
+        let defects = injector.inject_random(&mut net, &map, 0.02);
+        assert!(!defects.is_empty());
+        assert_ne!(net.snapshot(), before);
+    }
+
+    #[test]
+    fn out_of_range_sites_are_ignored() {
+        let mut net = small_network();
+        let before = net.snapshot();
+        let injector = StuckAtInjector::new(5);
+        injector.apply(
+            &mut net,
+            &[StuckAtFault {
+                site: FaultSite { param_index: 0, element: 99_999, bit: 0 },
+                value: StuckValue::One,
+            }],
+        );
+        assert_eq!(net.snapshot(), before);
+    }
+}

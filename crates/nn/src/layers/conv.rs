@@ -1,0 +1,343 @@
+//! 2-D convolution via im2col.
+
+use crate::layers::{Layer, Mode};
+use crate::{NnError, Parameter};
+use fitact_tensor::{col2im, conv_output_size, im2col, init, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution layer over `[batch, channels, height, width]` inputs.
+///
+/// The convolution is lowered to a matrix multiplication with
+/// [`fitact_tensor::im2col`]: the weight tensor `[out_ch, in_ch, kh, kw]` is
+/// viewed as a `[out_ch, in_ch·kh·kw]` matrix and multiplied with the column
+/// matrix of every sample.
+///
+/// # Example
+///
+/// ```
+/// use fitact_nn::{layers::Conv2d, Layer, Mode};
+/// use fitact_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), fitact_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let y = conv.forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)?;
+/// assert_eq!(y.dims(), &[2, 8, 16, 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Parameter,
+    bias: Parameter,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-normal weights and zero bias.
+    ///
+    /// `kernel` is the (square) kernel size, `stride` the step and `padding`
+    /// the zero padding applied on every spatial border.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = init::kaiming_normal(&[out_channels, in_channels, kernel, kernel], fan_in, rng);
+        Conv2d {
+            weight: Parameter::new("weight", weight),
+            bias: Parameter::new("bias", Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels (feature maps).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Spatial output size for a given input size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the kernel does not fit the padded input.
+    pub fn output_size(&self, input: (usize, usize)) -> Result<(usize, usize), NnError> {
+        Ok(conv_output_size(input, (self.kernel, self.kernel), self.stride, self.padding)?)
+    }
+
+    /// The weight matrix viewed as `[out_ch, in_ch·kh·kw]`.
+    fn weight_matrix(&self) -> Result<Tensor, NnError> {
+        let k = self.in_channels * self.kernel * self.kernel;
+        Ok(self.weight.data().reshape(&[self.out_channels, k])?)
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize), NnError> {
+        if input.ndim() != 4 || input.dims()[1] != self.in_channels {
+            return Err(NnError::InvalidInput {
+                layer: self.name(),
+                expected: format!("[batch, {}, h, w]", self.in_channels),
+                actual: input.dims().to_vec(),
+            });
+        }
+        Ok((input.dims()[0], input.dims()[2], input.dims()[3]))
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        format!(
+            "conv2d({}→{}, k{}, s{}, p{})",
+            self.in_channels, self.out_channels, self.kernel, self.stride, self.padding
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
+        let (batch, h, w) = self.check_input(input)?;
+        let (out_h, out_w) = self.output_size((h, w))?;
+        self.cached_input = Some(input.clone());
+        let wmat = self.weight_matrix()?;
+        let bias = self.bias.data().as_slice().to_vec();
+        let spatial = out_h * out_w;
+        let mut out = Tensor::zeros(&[batch, self.out_channels, out_h, out_w]);
+        let out_slice = out.as_mut_slice();
+        for n in 0..batch {
+            let sample = input.index_axis0(n)?;
+            let cols = im2col(&sample, (self.kernel, self.kernel), self.stride, self.padding)?;
+            let y = wmat.matmul(&cols)?; // [out_ch, out_h*out_w]
+            let base = n * self.out_channels * spatial;
+            for oc in 0..self.out_channels {
+                let row = &y.as_slice()[oc * spatial..(oc + 1) * spatial];
+                let dst = &mut out_slice[base + oc * spatial..base + (oc + 1) * spatial];
+                let b = bias[oc];
+                for (d, v) in dst.iter_mut().zip(row) {
+                    *d = v + b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward(self.name()))?
+            .clone();
+        let (batch, h, w) = self.check_input(&input)?;
+        let (out_h, out_w) = self.output_size((h, w))?;
+        if grad_output.dims() != [batch, self.out_channels, out_h, out_w] {
+            return Err(NnError::InvalidInput {
+                layer: self.name(),
+                expected: format!("[{batch}, {}, {out_h}, {out_w}] gradient", self.out_channels),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let wmat = self.weight_matrix()?;
+        let spatial = out_h * out_w;
+        let k = self.in_channels * self.kernel * self.kernel;
+        let mut dw = Tensor::zeros(&[self.out_channels, k]);
+        let mut db = vec![0.0f32; self.out_channels];
+        let mut dx = Tensor::zeros(input.dims());
+        let dx_slice_len = self.in_channels * h * w;
+        for n in 0..batch {
+            let sample = input.index_axis0(n)?;
+            let cols = im2col(&sample, (self.kernel, self.kernel), self.stride, self.padding)?;
+            let g = grad_output.index_axis0(n)?.reshape(&[self.out_channels, spatial])?;
+            // dW += g · colsᵀ
+            dw.add_assign(&g.matmul_nt(&cols)?)?;
+            // db += row sums of g
+            for oc in 0..self.out_channels {
+                db[oc] += g.as_slice()[oc * spatial..(oc + 1) * spatial].iter().sum::<f32>();
+            }
+            // dcols = Wᵀ · g, then scatter back to the image
+            let dcols = wmat.matmul_tn(&g)?;
+            let dimg = col2im(
+                &dcols,
+                (self.in_channels, h, w),
+                (self.kernel, self.kernel),
+                self.stride,
+                self.padding,
+            )?;
+            dx.as_mut_slice()[n * dx_slice_len..(n + 1) * dx_slice_len]
+                .copy_from_slice(dimg.as_slice());
+        }
+        let dw = dw.reshape(self.weight.data().dims())?;
+        self.weight.grad_mut().add_assign(&dw)?;
+        self.bias.grad_mut().add_assign(&Tensor::from_vec(db, &[self.out_channels])?)?;
+        Ok(dx)
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_with_padding_and_stride() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 6, 3, 1, 1, &mut rng);
+        let y = conv.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 6, 8, 8]);
+        let mut strided = Conv2d::new(3, 4, 3, 2, 1, &mut rng);
+        let y = strided.forward(&Tensor::zeros(&[1, 3, 8, 8]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // A 1x1 convolution whose weight is the identity over channels.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(2, 2, 1, 1, 0, &mut rng);
+        *conv.weight.data_mut() = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]).unwrap();
+        conv.bias.data_mut().fill(0.0);
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_convolution_values() {
+        // Single channel, 3x3 input, 2x2 kernel of all ones: each output is the
+        // sum of a 2x2 patch.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng);
+        *conv.weight.data_mut() = Tensor::ones(&[1, 1, 2, 2]);
+        conv.bias.data_mut().fill(1.0);
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[13.0, 17.0, 25.0, 29.0]); // patch sums + bias 1
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
+        conv.weight.data_mut().fill(0.0);
+        *conv.bias.data_mut() = Tensor::from_vec(vec![1.5, -2.5], &[2]).unwrap();
+        let y = conv.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).unwrap();
+        assert_eq!(&y.as_slice()[..4], &[1.5; 4]);
+        assert_eq!(&y.as_slice()[4..], &[-2.5; 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+        assert!(conv.forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval).is_err());
+        assert!(conv.forward(&Tensor::zeros(&[3, 8, 8]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        assert!(matches!(
+            conv.backward(&Tensor::zeros(&[1, 1, 4, 4])),
+            Err(NnError::BackwardBeforeForward(_))
+        ));
+    }
+
+    #[test]
+    fn backward_gradient_check_weights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = init::uniform(&[2, 2, 5, 5], -1.0, 1.0, &mut rng);
+        conv.forward(&x, Mode::Train).unwrap();
+        let ones = Tensor::ones(&[2, 3, 5, 5]);
+        conv.backward(&ones).unwrap();
+        let analytic = conv.weight.grad().clone();
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 23, analytic.numel() - 1] {
+            let orig = conv.weight.data().as_slice()[idx];
+            conv.weight.data_mut().as_mut_slice()[idx] = orig + eps;
+            let plus = conv.forward(&x, Mode::Train).unwrap().sum();
+            conv.weight.data_mut().as_mut_slice()[idx] = orig - eps;
+            let minus = conv.forward(&x, Mode::Train).unwrap().sum();
+            conv.weight.data_mut().as_mut_slice()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic.as_slice()[idx];
+            assert!((a - numeric).abs() < 0.05, "idx {idx}: analytic {a} vs numeric {numeric}");
+        }
+    }
+
+    #[test]
+    fn backward_gradient_check_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut conv = Conv2d::new(1, 2, 3, 2, 1, &mut rng);
+        let x = init::uniform(&[1, 1, 6, 6], -1.0, 1.0, &mut rng);
+        conv.forward(&x, Mode::Train).unwrap();
+        let out_dims = conv.forward(&x, Mode::Train).unwrap().dims().to_vec();
+        let ones = Tensor::ones(&out_dims);
+        let dx = conv.backward(&ones).unwrap();
+        let eps = 1e-2f32;
+        let mut x_pert = x.clone();
+        for idx in [0usize, 17, 35] {
+            let orig = x.as_slice()[idx];
+            x_pert.as_mut_slice()[idx] = orig + eps;
+            let plus = conv.forward(&x_pert, Mode::Train).unwrap().sum();
+            x_pert.as_mut_slice()[idx] = orig - eps;
+            let minus = conv.forward(&x_pert, Mode::Train).unwrap().sum();
+            x_pert.as_mut_slice()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = dx.as_slice()[idx];
+            assert!((a - numeric).abs() < 0.05, "idx {idx}: analytic {a} vs numeric {numeric}");
+        }
+    }
+
+    #[test]
+    fn bias_gradient_sums_spatial_and_batch() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
+        let x = Tensor::ones(&[3, 1, 2, 2]);
+        conv.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(&[3, 2, 2, 2]);
+        conv.backward(&g).unwrap();
+        // Each bias receives 3 samples × 4 spatial positions of gradient 1.
+        assert_eq!(conv.bias.grad().as_slice(), &[12.0, 12.0]);
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let conv = Conv2d::new(3, 16, 3, 1, 1, &mut rng);
+        assert_eq!(conv.in_channels(), 3);
+        assert_eq!(conv.out_channels(), 16);
+        assert_eq!(conv.output_size((32, 32)).unwrap(), (32, 32));
+        assert!(conv.name().contains("conv2d"));
+        assert_eq!(conv.params().len(), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Sequential composition of layers.
+
+use crate::layers::{join_path, ActivationLayer, Layer, Mode};
+use crate::{NnError, Parameter};
+use fitact_tensor::Tensor;
+
+/// A container that applies its child layers in order.
+///
+/// `Sequential` is itself a [`Layer`], so it can be nested (the ResNet
+/// bottleneck block uses nested `Sequential`s for its main path and shortcut).
+///
+/// # Example
+///
+/// ```
+/// use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+/// use fitact_nn::{Layer, Mode};
+/// use fitact_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), fitact_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Box::new(Linear::new(8, 4, &mut rng)));
+/// net.push(Box::new(ActivationLayer::relu("fc1", &[4])));
+/// net.push(Box::new(Linear::new(4, 2, &mut rng)));
+/// let y = net.forward(&Tensor::zeros(&[5, 8]), Mode::Eval)?;
+/// assert_eq!(y.dims(), &[5, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the stack.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Builder-style [`Sequential::push`].
+    #[must_use]
+    pub fn with(mut self, layer: Box<dyn Layer>) -> Self {
+        self.push(layer);
+        self
+    }
+
+    /// Number of direct child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` if the container has no children.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Read-only access to the child layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the child layers.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+}
+
+impl FromIterator<Box<dyn Layer>> for Sequential {
+    fn from_iter<I: IntoIterator<Item = Box<dyn Layer>>>(iter: I) -> Self {
+        Sequential { layers: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Box<dyn Layer>> for Sequential {
+    fn extend<I: IntoIterator<Item = Box<dyn Layer>>>(&mut self, iter: I) {
+        self.layers.extend(iter);
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> String {
+        format!("sequential({} layers)", self.layers.len())
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn visit_params(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Parameter)) {
+        for (i, layer) in self.layers.iter().enumerate() {
+            let child_prefix = join_path(prefix, &i.to_string());
+            layer.visit_params(&child_prefix, visitor);
+        }
+    }
+
+    fn visit_params_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Parameter)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let child_prefix = join_path(prefix, &i.to_string());
+            layer.visit_params_mut(&child_prefix, visitor);
+        }
+    }
+
+    fn activation_slots(&mut self) -> Vec<&mut ActivationLayer> {
+        self.layers.iter_mut().flat_map(|l| l.activation_slots()).collect()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_layer_net() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(0);
+        Sequential::new()
+            .with(Box::new(Linear::new(4, 3, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h", &[3])))
+            .with(Box::new(Linear::new(3, 2, &mut rng)))
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut net = two_layer_net();
+        let y = net.forward(&Tensor::zeros(&[7, 4]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[7, 2]);
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn backward_runs_in_reverse() {
+        let mut net = two_layer_net();
+        net.forward(&Tensor::ones(&[2, 4]), Mode::Train).unwrap();
+        let dx = net.backward(&Tensor::ones(&[2, 2])).unwrap();
+        assert_eq!(dx.dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn params_are_concatenated_in_order() {
+        let net = two_layer_net();
+        // linear(4→3): weight+bias, relu: none, linear(3→2): weight+bias.
+        assert_eq!(net.params().len(), 4);
+    }
+
+    #[test]
+    fn visit_params_uses_child_indices() {
+        let net = two_layer_net();
+        let mut paths = Vec::new();
+        net.visit_params("root", &mut |path, _p| paths.push(path.to_owned()));
+        assert_eq!(
+            paths,
+            vec!["root/0/weight", "root/0/bias", "root/2/weight", "root/2/bias"]
+        );
+    }
+
+    #[test]
+    fn visit_params_mut_matches_immutable_order() {
+        let mut net = two_layer_net();
+        let mut immutable = Vec::new();
+        net.visit_params("", &mut |path, _| immutable.push(path.to_owned()));
+        let mut mutable = Vec::new();
+        net.visit_params_mut("", &mut |path, _| mutable.push(path.to_owned()));
+        assert_eq!(immutable, mutable);
+    }
+
+    #[test]
+    fn activation_slots_are_collected_recursively() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inner = Sequential::new().with(Box::new(ActivationLayer::relu("inner", &[2])));
+        let mut outer = Sequential::new()
+            .with(Box::new(Linear::new(2, 2, &mut rng)))
+            .with(Box::new(inner))
+            .with(Box::new(ActivationLayer::relu("outer", &[2])));
+        let slots = outer.activation_slots();
+        let labels: Vec<&str> = slots.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["inner", "outer"]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net: Sequential =
+            vec![Box::new(Linear::new(2, 2, &mut rng)) as Box<dyn Layer>].into_iter().collect();
+        net.extend(vec![Box::new(ActivationLayer::relu("a", &[2])) as Box<dyn Layer>]);
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.layers().len(), 2);
+        assert_eq!(net.layers_mut().len(), 2);
+    }
+}

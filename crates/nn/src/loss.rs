@@ -1,0 +1,172 @@
+//! Loss functions.
+
+use crate::NnError;
+use fitact_tensor::Tensor;
+
+/// Softmax cross-entropy loss over class logits.
+///
+/// `forward` returns both the mean loss over the batch and the gradient of
+/// that loss with respect to the logits, because the two are computed from the
+/// same softmax and every caller needs both.
+///
+/// # Example
+///
+/// ```
+/// use fitact_nn::loss::CrossEntropyLoss;
+/// use fitact_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fitact_nn::NnError> {
+/// let loss = CrossEntropyLoss::new();
+/// let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0], &[2, 2])?;
+/// let (value, grad) = loss.forward(&logits, &[0, 1])?;
+/// assert!(value < 0.1);
+/// assert_eq!(grad.dims(), &[2, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Creates the loss function.
+    pub fn new() -> Self {
+        CrossEntropyLoss
+    }
+
+    /// Computes the mean cross-entropy loss and its gradient w.r.t. the logits.
+    ///
+    /// `logits` must be `[batch, classes]` and `targets` must contain one class
+    /// index per batch row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidInput`] if shapes disagree or a target is out
+    /// of range.
+    pub fn forward(&self, logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor), NnError> {
+        if logits.ndim() != 2 || logits.dims()[0] != targets.len() {
+            return Err(NnError::InvalidInput {
+                layer: "cross_entropy".into(),
+                expected: format!("[{}, classes] logits", targets.len()),
+                actual: logits.dims().to_vec(),
+            });
+        }
+        let batch = logits.dims()[0];
+        let classes = logits.dims()[1];
+        if let Some(&bad) = targets.iter().find(|&&t| t >= classes) {
+            return Err(NnError::InvalidInput {
+                layer: "cross_entropy".into(),
+                expected: format!("targets < {classes}"),
+                actual: vec![bad],
+            });
+        }
+        let x = logits.as_slice();
+        let mut grad = Tensor::zeros(logits.dims());
+        let g = grad.as_mut_slice();
+        let mut total_loss = 0.0f64;
+        for (n, &target) in targets.iter().enumerate() {
+            let row = &x[n * classes..(n + 1) * classes];
+            // Numerically stable softmax.
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exp: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+            let sum: f32 = exp.iter().sum();
+            let log_sum = sum.ln() + max;
+            total_loss += f64::from(log_sum - row[target]);
+            let grow = &mut g[n * classes..(n + 1) * classes];
+            for (c, e) in exp.iter().enumerate() {
+                let p = e / sum;
+                grow[c] = (p - if c == target { 1.0 } else { 0.0 }) / batch as f32;
+            }
+        }
+        Ok(((total_loss / batch as f64) as f32, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k_loss() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::zeros(&[4, 10]);
+        let (value, _) = loss.forward(&logits, &[0, 3, 5, 9]).unwrap();
+        assert!((value - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let (value, _) = loss.forward(&logits, &[0]).unwrap();
+        assert!(value < 1e-3);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_large_loss() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let (value, _) = loss.forward(&logits, &[2]).unwrap();
+        assert!(value > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_softmax_minus_onehot() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let (_, grad) = loss.forward(&logits, &[1]).unwrap();
+        let exp: Vec<f32> = [1.0f32, 2.0, 3.0].iter().map(|v| v.exp()).collect();
+        let sum: f32 = exp.iter().sum();
+        let expected = [exp[0] / sum, exp[1] / sum - 1.0, exp[2] / sum];
+        for (g, e) in grad.as_slice().iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0, 3.0, 0.0, -2.0], &[2, 3]).unwrap();
+        let (_, grad) = loss.forward(&logits, &[2, 0]).unwrap();
+        for row in grad.as_slice().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1], &[2, 2]).unwrap();
+        let targets = [1usize, 0];
+        let (_, grad) = loss.forward(&logits, &targets).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let (lp, _) = loss.forward(&plus, &targets).unwrap();
+            let (lm, _) = loss.forward(&minus, &targets).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((grad.as_slice()[idx] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_targets() {
+        let loss = CrossEntropyLoss::new();
+        assert!(loss.forward(&Tensor::zeros(&[2, 3]), &[0]).is_err());
+        assert!(loss.forward(&Tensor::zeros(&[3]), &[0]).is_err());
+        assert!(loss.forward(&Tensor::zeros(&[1, 3]), &[3]).is_err());
+    }
+
+    #[test]
+    fn loss_is_stable_for_huge_logits() {
+        // Fault-corrupted activations can reach ~3e4; the loss must not overflow.
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![30000.0, -30000.0], &[1, 2]).unwrap();
+        let (value, grad) = loss.forward(&logits, &[1]).unwrap();
+        assert!(value.is_finite());
+        assert!(grad.is_finite());
+    }
+}

@@ -1,0 +1,130 @@
+//! AlexNet (CIFAR variant).
+
+use crate::layers::{ActivationLayer, Conv2d, Dropout, Flatten, Linear, MaxPool2d, Sequential};
+use crate::models::{ModelConfig, INPUT_CHANNELS, INPUT_SIZE};
+use crate::{Network, NnError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the CIFAR-scale AlexNet used in the paper's evaluation.
+///
+/// The network follows the standard CIFAR adaptation of AlexNet: five
+/// convolutional layers with ReLU activations and three max-pooling stages,
+/// followed by a dropout-regularised three-layer fully-connected classifier.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if the configuration is invalid.
+///
+/// # Example
+///
+/// ```
+/// use fitact_nn::models::{alexnet, ModelConfig};
+/// use fitact_nn::Mode;
+/// use fitact_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fitact_nn::NnError> {
+/// let mut net = alexnet(&ModelConfig::new(10).with_width(0.125))?;
+/// let logits = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval)?;
+/// assert_eq!(logits.dims(), &[1, 10]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn alexnet(config: &ModelConfig) -> Result<Network, NnError> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut net = Sequential::new();
+    let mut size = INPUT_SIZE;
+
+    // Convolutional trunk: (out_channels, pool_after)
+    let trunk: [(usize, bool); 5] =
+        [(64, true), (192, true), (384, false), (256, false), (256, true)];
+    let mut in_ch = INPUT_CHANNELS;
+    for (i, (channels, pool)) in trunk.into_iter().enumerate() {
+        let out_ch = config.scale(channels);
+        net.push(Box::new(Conv2d::new(in_ch, out_ch, 3, 1, 1, &mut rng)));
+        net.push(Box::new(ActivationLayer::relu(
+            format!("features.{i}"),
+            &[out_ch, size, size],
+        )));
+        if pool {
+            net.push(Box::new(MaxPool2d::new(2, 2)));
+            size /= 2;
+        }
+        in_ch = out_ch;
+    }
+
+    // Classifier.
+    let flat = in_ch * size * size;
+    let fc1 = config.scale(1024);
+    let fc2 = config.scale(512);
+    net.push(Box::new(Flatten::new()));
+    net.push(Box::new(Dropout::new(config.dropout, config.seed.wrapping_add(1))?));
+    net.push(Box::new(Linear::new(flat, fc1, &mut rng)));
+    net.push(Box::new(ActivationLayer::relu("classifier.0", &[fc1])));
+    net.push(Box::new(Dropout::new(config.dropout, config.seed.wrapping_add(2))?));
+    net.push(Box::new(Linear::new(fc1, fc2, &mut rng)));
+    net.push(Box::new(ActivationLayer::relu("classifier.1", &[fc2])));
+    net.push(Box::new(Linear::new(fc2, config.num_classes, &mut rng)));
+
+    Ok(Network::new("alexnet", net))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use fitact_tensor::Tensor;
+
+    fn tiny_config() -> ModelConfig {
+        ModelConfig::new(10).with_width(0.0626).with_seed(1)
+    }
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let mut net = alexnet(&tiny_config()).unwrap();
+        let y = net.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn has_seven_activation_slots() {
+        // 5 convolutional ReLUs + 2 classifier ReLUs.
+        let mut net = alexnet(&tiny_config()).unwrap();
+        assert_eq!(net.activation_slots().len(), 7);
+    }
+
+    #[test]
+    fn cifar100_head_has_100_outputs() {
+        let cfg = ModelConfig::new(100).with_width(0.0626);
+        let mut net = alexnet(&cfg).unwrap();
+        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 100]);
+    }
+
+    #[test]
+    fn width_multiplier_shrinks_parameter_count() {
+        let small = alexnet(&ModelConfig::new(10).with_width(0.125)).unwrap();
+        let smaller = alexnet(&ModelConfig::new(10).with_width(0.0626)).unwrap();
+        assert!(small.num_parameters() > smaller.num_parameters());
+    }
+
+    #[test]
+    fn full_width_parameter_count_is_alexnet_scale() {
+        // The CIFAR AlexNet has a handful of millions of parameters.
+        let net = alexnet(&ModelConfig::new(10)).unwrap();
+        let params = net.num_parameters();
+        assert!(params > 3_000_000, "got {params}");
+        assert!(params < 30_000_000, "got {params}");
+    }
+
+    #[test]
+    fn backward_pass_runs() {
+        let mut net = alexnet(&tiny_config()).unwrap();
+        let x = Tensor::zeros(&[1, 3, 32, 32]);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let dx = net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+    }
+}

@@ -1,0 +1,190 @@
+//! CIFAR-scale model zoo: AlexNet, VGG16 and ResNet50.
+//!
+//! These are the three architectures the FitAct paper evaluates. Each builder
+//! produces a [`Network`] whose every ReLU lives in an
+//! [`crate::layers::ActivationLayer`] slot, so protection schemes can later
+//! replace them. A width multiplier scales every channel count so the full
+//! topology can be exercised quickly on a CPU; `width_multiplier = 1.0`
+//! reproduces the standard CIFAR variants of the architectures.
+
+mod alexnet;
+mod resnet;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use resnet::resnet50;
+pub use vgg::{vgg16, VGG16_FIRST_CONV_PREFIX, VGG16_SECOND_ACT_SLOT, VGG16_SECOND_CONV_PREFIX};
+
+use crate::{Network, NnError};
+
+/// Input channels of the CIFAR images.
+pub const INPUT_CHANNELS: usize = 3;
+/// Spatial size of the CIFAR images.
+pub const INPUT_SIZE: usize = 32;
+
+/// Configuration shared by all model builders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Number of output classes (10 for CIFAR-10, 100 for CIFAR-100).
+    pub num_classes: usize,
+    /// Multiplier applied to every channel count (1.0 = paper-scale CIFAR
+    /// variant; smaller values shrink the model for fast CPU experiments).
+    pub width_multiplier: f32,
+    /// Dropout probability used in the fully-connected classifiers.
+    pub dropout: f32,
+    /// Seed for weight initialisation (and dropout masks).
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig { num_classes: 10, width_multiplier: 1.0, dropout: 0.5, seed: 42 }
+    }
+}
+
+impl ModelConfig {
+    /// Creates a configuration for `num_classes` classes at full width.
+    pub fn new(num_classes: usize) -> Self {
+        ModelConfig { num_classes, ..Default::default() }
+    }
+
+    /// Builder-style width multiplier override.
+    #[must_use]
+    pub fn with_width(mut self, width_multiplier: f32) -> Self {
+        self.width_multiplier = width_multiplier;
+        self
+    }
+
+    /// Builder-style seed override.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style dropout override.
+    #[must_use]
+    pub fn with_dropout(mut self, dropout: f32) -> Self {
+        self.dropout = dropout;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero classes, a non-positive
+    /// width multiplier or an out-of-range dropout probability.
+    pub fn validate(&self) -> Result<(), NnError> {
+        if self.num_classes == 0 {
+            return Err(NnError::InvalidConfig("num_classes must be at least 1".into()));
+        }
+        if !(self.width_multiplier > 0.0) {
+            return Err(NnError::InvalidConfig(format!(
+                "width_multiplier must be positive, got {}",
+                self.width_multiplier
+            )));
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(NnError::InvalidConfig(format!(
+                "dropout must be in [0, 1), got {}",
+                self.dropout
+            )));
+        }
+        Ok(())
+    }
+
+    /// Scales a channel count by the width multiplier (never below 4 so batch
+    /// normalisation stays meaningful).
+    pub fn scale(&self, channels: usize) -> usize {
+        ((channels as f32 * self.width_multiplier).round() as usize).max(4)
+    }
+}
+
+/// The three DNN architectures evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// AlexNet (CIFAR variant).
+    AlexNet,
+    /// VGG16 with batch normalisation (CIFAR variant).
+    Vgg16,
+    /// ResNet50 (CIFAR variant).
+    ResNet50,
+}
+
+impl Architecture {
+    /// All architectures, in the order used by the paper's Fig. 6.
+    pub const ALL: [Architecture; 3] =
+        [Architecture::ResNet50, Architecture::Vgg16, Architecture::AlexNet];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::AlexNet => "alexnet",
+            Architecture::Vgg16 => "vgg16",
+            Architecture::ResNet50 => "resnet50",
+        }
+    }
+
+    /// Builds the architecture with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for invalid configurations.
+    pub fn build(self, config: &ModelConfig) -> Result<Network, NnError> {
+        match self {
+            Architecture::AlexNet => alexnet(config),
+            Architecture::Vgg16 => vgg16(config),
+            Architecture::ResNet50 => resnet50(config),
+        }
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ModelConfig::default().validate().is_ok());
+        assert!(ModelConfig::new(100).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(ModelConfig { num_classes: 0, ..Default::default() }.validate().is_err());
+        assert!(ModelConfig::new(10).with_width(0.0).validate().is_err());
+        assert!(ModelConfig::new(10).with_width(-1.0).validate().is_err());
+        assert!(ModelConfig::new(10).with_dropout(1.5).validate().is_err());
+    }
+
+    #[test]
+    fn scale_applies_multiplier_with_floor() {
+        let cfg = ModelConfig::new(10).with_width(0.25);
+        assert_eq!(cfg.scale(64), 16);
+        assert_eq!(cfg.scale(8), 4); // floor at 4
+        let full = ModelConfig::new(10);
+        assert_eq!(full.scale(64), 64);
+    }
+
+    #[test]
+    fn architecture_names_and_display() {
+        assert_eq!(Architecture::AlexNet.name(), "alexnet");
+        assert_eq!(Architecture::Vgg16.to_string(), "vgg16");
+        assert_eq!(Architecture::ALL.len(), 3);
+    }
+
+    #[test]
+    fn builders_reject_invalid_config() {
+        let bad = ModelConfig { num_classes: 0, ..Default::default() };
+        for arch in Architecture::ALL {
+            assert!(arch.build(&bad).is_err());
+        }
+    }
+}

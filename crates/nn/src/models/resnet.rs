@@ -1,0 +1,142 @@
+//! ResNet50 (CIFAR variant).
+
+use crate::layers::{
+    ActivationLayer, BatchNorm2d, Bottleneck, Conv2d, GlobalAvgPool, Linear, Sequential,
+};
+use crate::models::{ModelConfig, INPUT_CHANNELS, INPUT_SIZE};
+use crate::{Network, NnError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of bottleneck blocks per stage in ResNet50.
+const BLOCKS_PER_STAGE: [usize; 4] = [3, 4, 6, 3];
+/// Internal width (planes) of the four stages before the expansion factor.
+const STAGE_PLANES: [usize; 4] = [64, 128, 256, 512];
+/// Stride of the first block in each stage.
+const STAGE_STRIDES: [usize; 4] = [1, 2, 2, 2];
+
+/// Builds the CIFAR-scale ResNet50 used in the paper's evaluation.
+///
+/// Structure: a 3×3 stem convolution with batch normalisation, four stages of
+/// bottleneck blocks (`3/4/6/3` blocks with planes `64/128/256/512` and the
+/// usual ×4 expansion), global average pooling and a linear classifier.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if the configuration is invalid.
+pub fn resnet50(config: &ModelConfig) -> Result<Network, NnError> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut net = Sequential::new();
+    let mut size = INPUT_SIZE;
+
+    // Stem: 3×3 convolution keeping the 32×32 resolution (the ImageNet 7×7/s2
+    // stem and initial max-pool are dropped in CIFAR variants).
+    let stem = config.scale(64);
+    net.push(Box::new(Conv2d::new(INPUT_CHANNELS, stem, 3, 1, 1, &mut rng)));
+    net.push(Box::new(BatchNorm2d::new(stem)));
+    net.push(Box::new(ActivationLayer::relu("stem", &[stem, size, size])));
+
+    let mut in_channels = stem;
+    for (stage, ((blocks, planes), stride)) in BLOCKS_PER_STAGE
+        .into_iter()
+        .zip(STAGE_PLANES)
+        .zip(STAGE_STRIDES)
+        .enumerate()
+    {
+        let planes = config.scale(planes);
+        for block in 0..blocks {
+            let block_stride = if block == 0 { stride } else { 1 };
+            let label = format!("stage{stage}.block{block}");
+            let bottleneck = Bottleneck::new(
+                in_channels,
+                planes,
+                block_stride,
+                (size, size),
+                &label,
+                &mut rng,
+            )?;
+            net.push(Box::new(bottleneck));
+            if block == 0 {
+                size = size.div_ceil(block_stride);
+            }
+            in_channels = planes * Bottleneck::EXPANSION;
+        }
+    }
+
+    net.push(Box::new(GlobalAvgPool::new()));
+    net.push(Box::new(Linear::new(in_channels, config.num_classes, &mut rng)));
+
+    Ok(Network::new("resnet50", net))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use fitact_tensor::Tensor;
+
+    fn tiny_config() -> ModelConfig {
+        // Very narrow so the 50-layer topology stays fast in unit tests.
+        ModelConfig::new(10).with_width(0.0626).with_seed(4)
+    }
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let mut net = resnet50(&tiny_config()).unwrap();
+        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn has_expected_number_of_activation_slots() {
+        // Stem ReLU + 3 ReLUs per bottleneck × 16 blocks = 49.
+        let mut net = resnet50(&tiny_config()).unwrap();
+        assert_eq!(net.activation_slots().len(), 1 + 3 * 16);
+    }
+
+    #[test]
+    fn has_sixteen_bottleneck_blocks() {
+        let net = resnet50(&tiny_config()).unwrap();
+        let bottlenecks = net
+            .root()
+            .layers()
+            .iter()
+            .filter(|l| l.name().starts_with("bottleneck"))
+            .count();
+        assert_eq!(bottlenecks, BLOCKS_PER_STAGE.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn cifar100_head_has_100_outputs() {
+        let cfg = ModelConfig::new(100).with_width(0.0626);
+        let mut net = resnet50(&cfg).unwrap();
+        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 100]);
+    }
+
+    #[test]
+    fn full_width_parameter_count_is_resnet50_scale() {
+        let net = resnet50(&ModelConfig::new(10)).unwrap();
+        let params = net.num_parameters();
+        // The CIFAR ResNet50 has ~23.5M parameters.
+        assert!(params > 15_000_000, "got {params}");
+        assert!(params < 40_000_000, "got {params}");
+    }
+
+    #[test]
+    fn backward_pass_runs_in_train_mode() {
+        let mut net = resnet50(&tiny_config()).unwrap();
+        let x = fitact_tensor::init::uniform(
+            &[1, 3, 32, 32],
+            -1.0,
+            1.0,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let dx = net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+        assert!(dx.is_finite());
+    }
+}

@@ -1,0 +1,178 @@
+//! VGG16 with batch normalisation (CIFAR variant).
+
+use crate::layers::{
+    ActivationLayer, BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, Sequential,
+};
+use crate::models::{ModelConfig, INPUT_CHANNELS, INPUT_SIZE};
+use crate::{Network, NnError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Path prefix (under the network root) of VGG16's first convolution — the
+/// "input layer" in the paper's Fig. 1 experiment.
+pub const VGG16_FIRST_CONV_PREFIX: &str = "0";
+
+/// Path prefix of VGG16's second convolution — the layer whose activation
+/// bound is swept in the paper's Fig. 1 and profiled in Fig. 2.
+pub const VGG16_SECOND_CONV_PREFIX: &str = "3";
+
+/// Index (into [`crate::Network::activation_slots`]) of the activation that
+/// follows VGG16's second convolution.
+pub const VGG16_SECOND_ACT_SLOT: usize = 1;
+
+/// Per-block channel configuration of VGG16; `None` marks a max-pooling stage.
+const VGG16_LAYOUT: [Option<usize>; 18] = [
+    Some(64),
+    Some(64),
+    None,
+    Some(128),
+    Some(128),
+    None,
+    Some(256),
+    Some(256),
+    Some(256),
+    None,
+    Some(512),
+    Some(512),
+    Some(512),
+    None,
+    Some(512),
+    Some(512),
+    Some(512),
+    None,
+];
+
+/// Builds the CIFAR-scale VGG16 (with batch normalisation) used throughout the
+/// paper's evaluation and in its motivating Fig. 1/Fig. 2 experiments.
+///
+/// Layer layout per convolutional block: `Conv2d → BatchNorm2d → ReLU`, with
+/// max pooling after each of the five stages, followed by a two-layer
+/// fully-connected classifier with dropout.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if the configuration is invalid.
+pub fn vgg16(config: &ModelConfig) -> Result<Network, NnError> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut net = Sequential::new();
+    let mut size = INPUT_SIZE;
+    let mut in_ch = INPUT_CHANNELS;
+    let mut conv_index = 0usize;
+
+    for entry in VGG16_LAYOUT {
+        match entry {
+            Some(channels) => {
+                let out_ch = config.scale(channels);
+                net.push(Box::new(Conv2d::new(in_ch, out_ch, 3, 1, 1, &mut rng)));
+                net.push(Box::new(BatchNorm2d::new(out_ch)));
+                net.push(Box::new(ActivationLayer::relu(
+                    format!("features.{conv_index}"),
+                    &[out_ch, size, size],
+                )));
+                in_ch = out_ch;
+                conv_index += 1;
+            }
+            None => {
+                net.push(Box::new(MaxPool2d::new(2, 2)));
+                size /= 2;
+            }
+        }
+    }
+
+    // After five pooling stages the 32×32 input is 1×1 spatially.
+    let flat = in_ch * size * size;
+    let hidden = config.scale(512);
+    net.push(Box::new(Flatten::new()));
+    net.push(Box::new(Linear::new(flat, hidden, &mut rng)));
+    net.push(Box::new(ActivationLayer::relu("classifier.0", &[hidden])));
+    net.push(Box::new(Dropout::new(config.dropout, config.seed.wrapping_add(1))?));
+    net.push(Box::new(Linear::new(hidden, config.num_classes, &mut rng)));
+
+    Ok(Network::new("vgg16", net))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use fitact_tensor::Tensor;
+
+    fn tiny_config() -> ModelConfig {
+        ModelConfig::new(10).with_width(0.0626).with_seed(2)
+    }
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let mut net = vgg16(&tiny_config()).unwrap();
+        let y = net.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn has_fourteen_activation_slots() {
+        // 13 convolutional ReLUs + 1 classifier ReLU.
+        let mut net = vgg16(&tiny_config()).unwrap();
+        assert_eq!(net.activation_slots().len(), 14);
+    }
+
+    #[test]
+    fn second_conv_constants_point_at_convolutions() {
+        let net = vgg16(&tiny_config()).unwrap();
+        let info = net.param_info();
+        let first: Vec<&str> = info
+            .iter()
+            .filter(|i| i.path.starts_with(&format!("{VGG16_FIRST_CONV_PREFIX}/")))
+            .map(|i| i.path.as_str())
+            .collect();
+        assert_eq!(first, vec!["0/weight", "0/bias"]);
+        let second: Vec<&str> = info
+            .iter()
+            .filter(|i| i.path.starts_with(&format!("{VGG16_SECOND_CONV_PREFIX}/")))
+            .map(|i| i.path.as_str())
+            .collect();
+        assert_eq!(second, vec!["3/weight", "3/bias"]);
+    }
+
+    #[test]
+    fn second_activation_slot_follows_second_conv() {
+        let mut net = vgg16(&tiny_config()).unwrap();
+        let slots = net.activation_slots();
+        assert_eq!(slots[VGG16_SECOND_ACT_SLOT].label(), "features.1");
+        // Its feature map is still 32×32 (before the first pooling stage).
+        assert_eq!(&slots[VGG16_SECOND_ACT_SLOT].feature_shape()[1..], &[32, 32]);
+    }
+
+    #[test]
+    fn cifar100_head_has_100_outputs() {
+        let cfg = ModelConfig::new(100).with_width(0.0626);
+        let mut net = vgg16(&cfg).unwrap();
+        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 100]);
+    }
+
+    #[test]
+    fn full_width_parameter_count_is_vgg16_scale() {
+        let net = vgg16(&ModelConfig::new(10)).unwrap();
+        let params = net.num_parameters();
+        // CIFAR VGG16-BN is ~15M parameters.
+        assert!(params > 10_000_000, "got {params}");
+        assert!(params < 25_000_000, "got {params}");
+    }
+
+    #[test]
+    fn backward_pass_runs_in_train_mode() {
+        let mut net = vgg16(&tiny_config()).unwrap();
+        let x = fitact_tensor::init::uniform(
+            &[2, 3, 32, 32],
+            -1.0,
+            1.0,
+            &mut StdRng::seed_from_u64(3),
+        );
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let dx = net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+        assert!(dx.is_finite());
+    }
+}

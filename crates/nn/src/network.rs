@@ -1,0 +1,400 @@
+//! A complete network with training and evaluation helpers.
+
+use crate::layers::{ActivationLayer, Layer, Mode, Sequential};
+use crate::loss::CrossEntropyLoss;
+use crate::metrics::{accuracy, RunningMean};
+use crate::optim::Optimizer;
+use crate::{NnError, Parameter};
+use fitact_tensor::Tensor;
+
+/// A neural network: a named [`Sequential`] stack plus the bookkeeping the
+/// FitAct workflow and the fault injector need (parameter enumeration,
+/// snapshots, activation-slot access).
+///
+/// # Example
+///
+/// ```
+/// use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+/// use fitact_nn::{Mode, Network};
+/// use fitact_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), fitact_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let root = Sequential::new()
+///     .with(Box::new(Linear::new(4, 8, &mut rng)))
+///     .with(Box::new(ActivationLayer::relu("fc1", &[8])))
+///     .with(Box::new(Linear::new(8, 3, &mut rng)));
+/// let mut net = Network::new("mlp", root);
+/// let logits = net.forward(&Tensor::zeros(&[2, 4]), Mode::Eval)?;
+/// assert_eq!(logits.dims(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    name: String,
+    root: Sequential,
+}
+
+/// Metadata about one parameter tensor, in deterministic traversal order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamInfo {
+    /// Slash-separated path of the parameter (e.g. `"features/0/weight"`).
+    pub path: String,
+    /// Number of scalar elements.
+    pub numel: usize,
+    /// Whether the parameter is currently trainable.
+    pub trainable: bool,
+}
+
+/// Loss/accuracy summary of one pass over a dataset split.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochStats {
+    /// Mean loss over all samples.
+    pub loss: f32,
+    /// Mean top-1 accuracy over all samples.
+    pub accuracy: f32,
+}
+
+impl Network {
+    /// Wraps a sequential stack as a named network.
+    pub fn new(name: impl Into<String>, root: Sequential) -> Self {
+        Network { name: name.into(), root }
+    }
+
+    /// The network's name (e.g. `"vgg16"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Read-only access to the layer stack.
+    pub fn root(&self) -> &Sequential {
+        &self.root
+    }
+
+    /// Mutable access to the layer stack.
+    pub fn root_mut(&mut self) -> &mut Sequential {
+        &mut self.root
+    }
+
+    /// Runs a forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer error (shape mismatches and friends).
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
+        self.root.forward(input, mode)
+    }
+
+    /// Runs a backward pass from the loss gradient at the output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer error.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        self.root.backward(grad_output)
+    }
+
+    /// All parameters (weights, biases, buffers, activation bounds) in
+    /// deterministic traversal order.
+    pub fn params(&self) -> Vec<&Parameter> {
+        self.root.params()
+    }
+
+    /// Mutable access to all parameters in the same order as
+    /// [`Network::params`].
+    pub fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        self.root.params_mut()
+    }
+
+    /// Metadata for every parameter, in the same deterministic order used by
+    /// [`Network::visit_params_mut`]. This is what the fault injector uses to
+    /// build its memory map.
+    pub fn param_info(&self) -> Vec<ParamInfo> {
+        let mut out = Vec::new();
+        self.root.visit_params("", &mut |path, p| {
+            out.push(ParamInfo { path: path.to_owned(), numel: p.numel(), trainable: p.trainable() });
+        });
+        out
+    }
+
+    /// Visits every parameter mutably with its path, in the order reported by
+    /// [`Network::param_info`].
+    pub fn visit_params_mut(&mut self, visitor: &mut dyn FnMut(&str, &mut Parameter)) {
+        self.root.visit_params_mut("", visitor);
+    }
+
+    /// Visits every parameter immutably with its path.
+    pub fn visit_params(&self, visitor: &mut dyn FnMut(&str, &Parameter)) {
+        self.root.visit_params("", visitor);
+    }
+
+    /// Total number of scalar parameters (including buffers and activation
+    /// bounds).
+    pub fn num_parameters(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Every activation slot in forward order.
+    pub fn activation_slots(&mut self) -> Vec<&mut ActivationLayer> {
+        self.root.activation_slots()
+    }
+
+    /// Copies the current values of every parameter (for restore after a
+    /// fault-injection trial).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.params().iter().map(|p| p.data().clone()).collect()
+    }
+
+    /// Restores parameter values from a snapshot taken with
+    /// [`Network::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the snapshot does not match the
+    /// current parameter list.
+    pub fn restore(&mut self, snapshot: &[Tensor]) -> Result<(), NnError> {
+        let mut params = self.params_mut();
+        if params.len() != snapshot.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "snapshot has {} tensors but the network has {} parameters",
+                snapshot.len(),
+                params.len()
+            )));
+        }
+        for (p, s) in params.iter_mut().zip(snapshot) {
+            if p.data().dims() != s.dims() {
+                return Err(NnError::InvalidConfig(format!(
+                    "snapshot tensor shape {:?} does not match parameter `{}` shape {:?}",
+                    s.dims(),
+                    p.name(),
+                    p.data().dims()
+                )));
+            }
+            *p.data_mut() = s.clone();
+        }
+        Ok(())
+    }
+
+    /// Clears all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Predicts class indices for a batch of inputs (eval mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>, NnError> {
+        let logits = self.forward(input, Mode::Eval)?;
+        Ok(logits.argmax_rows()?)
+    }
+
+    /// Evaluates top-1 accuracy over a dataset given as one big input tensor
+    /// `[n, ...]` plus targets, processing `batch_size` samples at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors; returns [`NnError::InvalidConfig`] for a
+    /// zero batch size or mismatched target count.
+    pub fn evaluate(
+        &mut self,
+        inputs: &Tensor,
+        targets: &[usize],
+        batch_size: usize,
+    ) -> Result<f32, NnError> {
+        if batch_size == 0 {
+            return Err(NnError::InvalidConfig("batch_size must be non-zero".into()));
+        }
+        if inputs.ndim() == 0 || inputs.dims()[0] != targets.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "inputs have {} samples but {} targets were given",
+                inputs.dims().first().copied().unwrap_or(0),
+                targets.len()
+            )));
+        }
+        let n = targets.len();
+        let mut acc = RunningMean::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + batch_size).min(n);
+            let batch = slice_batch(inputs, start, end)?;
+            let logits = self.forward(&batch, Mode::Eval)?;
+            let batch_acc = accuracy(&logits, &targets[start..end])?;
+            acc.push_weighted(batch_acc, end - start);
+            start = end;
+        }
+        Ok(acc.mean())
+    }
+
+    /// Runs one optimisation step on a single mini-batch: forward in train
+    /// mode, cross-entropy loss, backward, optimiser step, gradients cleared.
+    ///
+    /// Returns the batch loss and accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and loss errors.
+    pub fn train_batch(
+        &mut self,
+        inputs: &Tensor,
+        targets: &[usize],
+        loss: &CrossEntropyLoss,
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<EpochStats, NnError> {
+        self.zero_grad();
+        let logits = self.forward(inputs, Mode::Train)?;
+        let (loss_value, grad) = loss.forward(&logits, targets)?;
+        let batch_accuracy = accuracy(&logits, targets)?;
+        self.backward(&grad)?;
+        let mut params = self.params_mut();
+        optimizer.step(&mut params);
+        self.zero_grad();
+        Ok(EpochStats { loss: loss_value, accuracy: batch_accuracy })
+    }
+}
+
+/// Copies rows `[start, end)` of a batched tensor into a new tensor.
+fn slice_batch(inputs: &Tensor, start: usize, end: usize) -> Result<Tensor, NnError> {
+    let mut rows = Vec::with_capacity(end - start);
+    for i in start..end {
+        rows.push(inputs.index_axis0(i)?);
+    }
+    Ok(Tensor::stack(&rows)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::optim::Sgd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_mlp(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root = Sequential::new()
+            .with(Box::new(Linear::new(2, 8, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h1", &[8])))
+            .with(Box::new(Linear::new(8, 2, &mut rng)));
+        Network::new("tiny", root)
+    }
+
+    /// A linearly separable toy problem: class = (x0 > x1).
+    fn toy_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs = fitact_tensor::init::uniform(&[n, 2], -1.0, 1.0, &mut rng);
+        let targets = (0..n)
+            .map(|i| {
+                let row = &inputs.as_slice()[i * 2..(i + 1) * 2];
+                usize::from(row[0] > row[1])
+            })
+            .collect();
+        (inputs, targets)
+    }
+
+    #[test]
+    fn forward_and_predict_shapes() {
+        let mut net = tiny_mlp(0);
+        assert_eq!(net.name(), "tiny");
+        let y = net.forward(&Tensor::zeros(&[4, 2]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+        assert_eq!(net.predict(&Tensor::zeros(&[4, 2])).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn param_info_matches_params() {
+        let net = tiny_mlp(1);
+        let info = net.param_info();
+        assert_eq!(info.len(), net.params().len());
+        assert_eq!(
+            info.iter().map(|i| i.numel).sum::<usize>(),
+            net.num_parameters()
+        );
+        assert!(info.iter().all(|i| i.trainable));
+        assert_eq!(info[0].path, "0/weight");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut net = tiny_mlp(2);
+        let snap = net.snapshot();
+        // Corrupt every parameter.
+        for p in net.params_mut() {
+            p.data_mut().fill(99.0);
+        }
+        assert!(net.params()[0].data().as_slice().iter().all(|&v| v == 99.0));
+        net.restore(&snap).unwrap();
+        for (p, s) in net.params().iter().zip(&snap) {
+            assert_eq!(p.data(), s);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let mut net = tiny_mlp(3);
+        assert!(net.restore(&[]).is_err());
+        let mut snap = net.snapshot();
+        snap[0] = Tensor::zeros(&[1]);
+        assert!(net.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn training_learns_separable_toy_problem() {
+        let mut net = tiny_mlp(4);
+        let (inputs, targets) = toy_data(256, 5);
+        let loss = CrossEntropyLoss::new();
+        let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+        let before = net.evaluate(&inputs, &targets, 64).unwrap();
+        for _ in 0..60 {
+            net.train_batch(&inputs, &targets, &loss, &mut opt).unwrap();
+        }
+        let after = net.evaluate(&inputs, &targets, 64).unwrap();
+        assert!(after > before.max(0.85), "before {before}, after {after}");
+    }
+
+    #[test]
+    fn evaluate_validates_arguments() {
+        let mut net = tiny_mlp(6);
+        let x = Tensor::zeros(&[4, 2]);
+        assert!(net.evaluate(&x, &[0, 1], 2).is_err());
+        assert!(net.evaluate(&x, &[0, 1, 0, 1], 0).is_err());
+        assert!(net.evaluate(&x, &[0, 1, 0, 1], 3).is_ok());
+    }
+
+    #[test]
+    fn zero_grad_clears_gradients() {
+        let mut net = tiny_mlp(7);
+        let (inputs, targets) = toy_data(8, 8);
+        let loss = CrossEntropyLoss::new();
+        let logits = net.forward(&inputs, Mode::Train).unwrap();
+        let (_, grad) = loss.forward(&logits, &targets).unwrap();
+        net.backward(&grad).unwrap();
+        assert!(net.params().iter().any(|p| p.grad().sq_norm() > 0.0));
+        net.zero_grad();
+        assert!(net.params().iter().all(|p| p.grad().sq_norm() == 0.0));
+    }
+
+    #[test]
+    fn activation_slots_accessible_through_network() {
+        let mut net = tiny_mlp(9);
+        let slots = net.activation_slots();
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].label(), "h1");
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut net = tiny_mlp(10);
+        let clone = net.clone();
+        for p in net.params_mut() {
+            p.data_mut().fill(0.0);
+        }
+        // The clone keeps its original (non-zero) weights.
+        assert!(clone.params().iter().any(|p| p.data().sq_norm() > 0.0));
+    }
+}

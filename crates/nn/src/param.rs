@@ -1,0 +1,151 @@
+//! Named trainable parameters.
+
+use fitact_tensor::Tensor;
+
+/// A named tensor of learnable values together with its gradient.
+///
+/// Parameters are what the optimiser updates and — crucially for this
+/// reproduction — what the fault injector corrupts: the paper's fault space is
+/// "the weights and biases of different layers, as well as parameters of
+/// activation functions".
+///
+/// The `trainable` flag distinguishes the two training stages of FitAct: in
+/// conventional training the weights/biases are trainable and the activation
+/// bounds do not exist yet; in post-training the weights/biases are frozen and
+/// only the bound parameters are trainable.
+///
+/// # Example
+///
+/// ```
+/// use fitact_nn::Parameter;
+/// use fitact_tensor::Tensor;
+///
+/// let mut p = Parameter::new("fc.weight", Tensor::zeros(&[2, 2]));
+/// assert!(p.trainable());
+/// p.freeze();
+/// assert!(!p.trainable());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parameter {
+    name: String,
+    data: Tensor,
+    grad: Tensor,
+    trainable: bool,
+}
+
+impl Parameter {
+    /// Creates a trainable parameter with a zeroed gradient of matching shape.
+    pub fn new(name: impl Into<String>, data: Tensor) -> Self {
+        let grad = Tensor::zeros(data.dims());
+        Parameter { name: name.into(), data, grad, trainable: true }
+    }
+
+    /// Creates a non-trainable parameter (a buffer, e.g. batch-norm running
+    /// statistics). Buffers are still part of the fault space.
+    pub fn buffer(name: impl Into<String>, data: Tensor) -> Self {
+        let mut p = Parameter::new(name, data);
+        p.trainable = false;
+        p
+    }
+
+    /// Returns the parameter's name (e.g. `"features.3.conv.weight"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Prefixes the parameter name with `scope.` — used when a container layer
+    /// namespaces its children.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Returns the parameter values.
+    pub fn data(&self) -> &Tensor {
+        &self.data
+    }
+
+    /// Returns mutable access to the parameter values.
+    pub fn data_mut(&mut self) -> &mut Tensor {
+        &mut self.data
+    }
+
+    /// Returns the accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Returns mutable access to the accumulated gradient.
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Returns whether the optimiser should update this parameter.
+    pub fn trainable(&self) -> bool {
+        self.trainable
+    }
+
+    /// Marks the parameter as frozen (ignored by optimisers).
+    pub fn freeze(&mut self) {
+        self.trainable = false;
+    }
+
+    /// Marks the parameter as trainable.
+    pub fn unfreeze(&mut self) {
+        self.trainable = true;
+    }
+
+    /// Number of scalar values stored in this parameter.
+    pub fn numel(&self) -> usize {
+        self.data.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_parameter_has_zero_grad_same_shape() {
+        let p = Parameter::new("w", Tensor::ones(&[3, 4]));
+        assert_eq!(p.grad().dims(), &[3, 4]);
+        assert_eq!(p.grad().sum(), 0.0);
+        assert_eq!(p.name(), "w");
+        assert_eq!(p.numel(), 12);
+        assert!(p.trainable());
+    }
+
+    #[test]
+    fn buffer_is_not_trainable() {
+        let p = Parameter::buffer("bn.running_mean", Tensor::zeros(&[8]));
+        assert!(!p.trainable());
+    }
+
+    #[test]
+    fn freeze_unfreeze_toggles() {
+        let mut p = Parameter::new("w", Tensor::zeros(&[1]));
+        p.freeze();
+        assert!(!p.trainable());
+        p.unfreeze();
+        assert!(p.trainable());
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut p = Parameter::new("w", Tensor::zeros(&[2]));
+        p.grad_mut().as_mut_slice()[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad().sum(), 0.0);
+    }
+
+    #[test]
+    fn rename_changes_name() {
+        let mut p = Parameter::new("w", Tensor::zeros(&[1]));
+        p.set_name("block.w");
+        assert_eq!(p.name(), "block.w");
+    }
+}

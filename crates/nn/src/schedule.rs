@@ -1,0 +1,180 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains its models with standard recipes (multi-step / cosine
+//! decay are the usual CIFAR schedules); these schedulers drive any
+//! [`crate::optim::Optimizer`] by updating its learning rate at epoch
+//! boundaries.
+
+use crate::optim::Optimizer;
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+pub trait LrSchedule: std::fmt::Debug {
+    /// The learning rate to use during `epoch` (0-based).
+    fn learning_rate(&self, epoch: usize) -> f32;
+
+    /// Applies the schedule for `epoch` to an optimiser.
+    fn apply(&self, epoch: usize, optimizer: &mut dyn Optimizer) {
+        optimizer.set_learning_rate(self.learning_rate(epoch));
+    }
+}
+
+/// A constant learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLr {
+    /// The learning rate used for every epoch.
+    pub lr: f32,
+}
+
+impl LrSchedule for ConstantLr {
+    fn learning_rate(&self, _epoch: usize) -> f32 {
+        self.lr
+    }
+}
+
+/// Multiplies the learning rate by `gamma` every `step_size` epochs
+/// (PyTorch's `StepLR`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub initial_lr: f32,
+    /// Number of epochs between decays.
+    pub step_size: usize,
+    /// Multiplicative decay factor.
+    pub gamma: f32,
+}
+
+impl StepDecay {
+    /// Creates a step-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_size == 0`.
+    pub fn new(initial_lr: f32, step_size: usize, gamma: f32) -> Self {
+        assert!(step_size > 0, "step_size must be non-zero");
+        StepDecay { initial_lr, step_size, gamma }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn learning_rate(&self, epoch: usize) -> f32 {
+        self.initial_lr * self.gamma.powi((epoch / self.step_size) as i32)
+    }
+}
+
+/// Cosine annealing from the initial learning rate down to `min_lr` over
+/// `total_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineAnnealing {
+    /// Initial (maximum) learning rate.
+    pub initial_lr: f32,
+    /// Final (minimum) learning rate.
+    pub min_lr: f32,
+    /// Number of epochs over which to anneal.
+    pub total_epochs: usize,
+}
+
+impl CosineAnnealing {
+    /// Creates a cosine-annealing schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epochs == 0`.
+    pub fn new(initial_lr: f32, min_lr: f32, total_epochs: usize) -> Self {
+        assert!(total_epochs > 0, "total_epochs must be non-zero");
+        CosineAnnealing { initial_lr, min_lr, total_epochs }
+    }
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn learning_rate(&self, epoch: usize) -> f32 {
+        let progress = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
+        let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        self.min_lr + (self.initial_lr - self.min_lr) * cosine
+    }
+}
+
+/// Linear warm-up for the first `warmup_epochs`, then delegates to an inner
+/// schedule (shifted so the inner schedule starts at epoch 0 after warm-up).
+#[derive(Debug)]
+pub struct Warmup<S: LrSchedule> {
+    /// Number of warm-up epochs.
+    pub warmup_epochs: usize,
+    /// The schedule to follow after warm-up.
+    pub inner: S,
+}
+
+impl<S: LrSchedule> LrSchedule for Warmup<S> {
+    fn learning_rate(&self, epoch: usize) -> f32 {
+        if self.warmup_epochs == 0 || epoch >= self.warmup_epochs {
+            self.inner.learning_rate(epoch - self.warmup_epochs.min(epoch))
+        } else {
+            let target = self.inner.learning_rate(0);
+            target * (epoch + 1) as f32 / self.warmup_epochs as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn constant_schedule_never_changes() {
+        let s = ConstantLr { lr: 0.1 };
+        assert_eq!(s.learning_rate(0), 0.1);
+        assert_eq!(s.learning_rate(100), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_at_boundaries() {
+        let s = StepDecay::new(0.1, 10, 0.5);
+        assert_eq!(s.learning_rate(0), 0.1);
+        assert_eq!(s.learning_rate(9), 0.1);
+        assert!((s.learning_rate(10) - 0.05).abs() < 1e-7);
+        assert!((s.learning_rate(25) - 0.025).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "step_size")]
+    fn zero_step_size_panics() {
+        let _ = StepDecay::new(0.1, 0, 0.5);
+    }
+
+    #[test]
+    fn cosine_annealing_hits_both_ends() {
+        let s = CosineAnnealing::new(0.1, 0.001, 20);
+        assert!((s.learning_rate(0) - 0.1).abs() < 1e-6);
+        assert!((s.learning_rate(20) - 0.001).abs() < 1e-6);
+        // Monotone decreasing over the annealing window.
+        let mut prev = s.learning_rate(0);
+        for epoch in 1..=20 {
+            let lr = s.learning_rate(epoch);
+            assert!(lr <= prev + 1e-7, "epoch {epoch}");
+            prev = lr;
+        }
+        // Clamped after the window.
+        assert!((s.learning_rate(50) - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_ramps_then_delegates() {
+        let s = Warmup { warmup_epochs: 4, inner: ConstantLr { lr: 0.2 } };
+        assert!((s.learning_rate(0) - 0.05).abs() < 1e-6);
+        assert!((s.learning_rate(1) - 0.10).abs() < 1e-6);
+        assert!((s.learning_rate(3) - 0.20).abs() < 1e-6);
+        assert_eq!(s.learning_rate(4), 0.2);
+        assert_eq!(s.learning_rate(10), 0.2);
+        // Zero warm-up is just the inner schedule.
+        let s = Warmup { warmup_epochs: 0, inner: ConstantLr { lr: 0.3 } };
+        assert_eq!(s.learning_rate(0), 0.3);
+    }
+
+    #[test]
+    fn apply_updates_the_optimizer() {
+        let s = StepDecay::new(0.1, 1, 0.1);
+        let mut opt = Sgd::new(123.0);
+        s.apply(2, &mut opt);
+        assert!((opt.learning_rate() - 0.001).abs() < 1e-7);
+    }
+}

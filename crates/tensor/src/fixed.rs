@@ -1,0 +1,348 @@
+//! 32-bit fixed-point arithmetic in the paper's Q15.16 format.
+//!
+//! The FitAct paper stores model parameters as 32-bit fixed-point words with
+//! 1 sign bit, 15 integer bits and 16 fractional bits, and injects faults as
+//! random bit flips in that representation. [`Fixed32`] models exactly that
+//! word: conversion to/from `f32`, saturating encode, bit-level access and
+//! single-bit flips.
+//!
+//! # Example
+//!
+//! ```
+//! use fitact_tensor::Fixed32;
+//!
+//! let x = Fixed32::from_f32(1.5);
+//! assert_eq!(x.to_f32(), 1.5);
+//! // Flipping the most significant fractional bit adds/removes 0.5.
+//! let y = x.with_bit_flipped(15);
+//! assert_eq!(y.to_f32(), 1.0);
+//! ```
+
+use std::fmt;
+
+/// Number of fractional bits in the Q15.16 format.
+pub const FRACTION_BITS: u32 = 16;
+
+/// Total number of bits in the stored word.
+pub const WORD_BITS: u32 = 32;
+
+/// Scale factor between the real value and the raw integer representation.
+pub const SCALE: f32 = (1u32 << FRACTION_BITS) as f32;
+
+/// A signed 32-bit fixed-point number with 15 integer and 16 fractional bits.
+///
+/// This is the storage format the paper assumes for all model parameters when
+/// simulating memory faults: "32-bit fixed-point representation (1 sign bit,
+/// 15 integral bits and 16 fractional bits)". Values outside the representable
+/// range saturate on encode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fixed32 {
+    raw: i32,
+}
+
+impl Fixed32 {
+    /// The largest representable value (just under 32768).
+    pub const MAX: Fixed32 = Fixed32 { raw: i32::MAX };
+
+    /// The most negative representable value (−32768).
+    pub const MIN: Fixed32 = Fixed32 { raw: i32::MIN };
+
+    /// Zero.
+    pub const ZERO: Fixed32 = Fixed32 { raw: 0 };
+
+    /// Creates a fixed-point value from its raw two's-complement integer.
+    pub fn from_raw(raw: i32) -> Self {
+        Fixed32 { raw }
+    }
+
+    /// Returns the raw two's-complement integer representation.
+    pub fn raw(self) -> i32 {
+        self.raw
+    }
+
+    /// Creates a fixed-point value from the 32 stored bits.
+    pub fn from_bits(bits: u32) -> Self {
+        Fixed32 { raw: bits as i32 }
+    }
+
+    /// Returns the 32 stored bits.
+    pub fn bits(self) -> u32 {
+        self.raw as u32
+    }
+
+    /// Encodes an `f32`, rounding to the nearest representable value and
+    /// saturating at the ends of the range. Non-finite inputs saturate in the
+    /// direction of their sign (NaN encodes as zero).
+    pub fn from_f32(value: f32) -> Self {
+        if value.is_nan() {
+            return Fixed32::ZERO;
+        }
+        let scaled = (value as f64 * SCALE as f64).round();
+        if scaled >= i32::MAX as f64 {
+            Fixed32::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Fixed32::MIN
+        } else {
+            Fixed32 { raw: scaled as i32 }
+        }
+    }
+
+    /// Decodes the fixed-point value back to `f32`.
+    pub fn to_f32(self) -> f32 {
+        self.raw as f32 / SCALE
+    }
+
+    /// Returns a copy with bit `bit` (0 = least significant) flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    pub fn with_bit_flipped(self, bit: u32) -> Self {
+        assert!(bit < WORD_BITS, "bit index {bit} out of range for a 32-bit word");
+        Fixed32 { raw: self.raw ^ (1i32 << bit) }
+    }
+
+    /// Returns `true` if bit `bit` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    pub fn bit(self, bit: u32) -> bool {
+        assert!(bit < WORD_BITS, "bit index {bit} out of range for a 32-bit word");
+        (self.raw >> bit) & 1 == 1
+    }
+
+    /// Quantises an `f32` through the fixed-point format and back.
+    ///
+    /// This is the value the hardware would actually compute with, and the
+    /// value the fault injector perturbs.
+    pub fn quantize(value: f32) -> f32 {
+        Fixed32::from_f32(value).to_f32()
+    }
+}
+
+impl From<f32> for Fixed32 {
+    fn from(value: f32) -> Self {
+        Fixed32::from_f32(value)
+    }
+}
+
+impl From<Fixed32> for f32 {
+    fn from(value: Fixed32) -> Self {
+        value.to_f32()
+    }
+}
+
+impl fmt::Display for Fixed32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl fmt::LowerHex for Fixed32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits(), f)
+    }
+}
+
+impl fmt::UpperHex for Fixed32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.bits(), f)
+    }
+}
+
+impl fmt::Binary for Fixed32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits(), f)
+    }
+}
+
+impl fmt::Octal for Fixed32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.bits(), f)
+    }
+}
+
+/// Encodes a slice of `f32` values into their Q15.16 bit patterns.
+pub fn encode_slice(values: &[f32]) -> Vec<Fixed32> {
+    values.iter().map(|&v| Fixed32::from_f32(v)).collect()
+}
+
+/// Decodes a slice of Q15.16 words back into `f32` values.
+pub fn decode_slice(words: &[Fixed32]) -> Vec<f32> {
+    words.iter().map(|w| w.to_f32()).collect()
+}
+
+/// Quantises every element of a slice in place (encode + decode round trip).
+pub fn quantize_slice_in_place(values: &mut [f32]) {
+    for v in values {
+        *v = Fixed32::quantize(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_encodes_to_zero() {
+        assert_eq!(Fixed32::from_f32(0.0).raw(), 0);
+        assert_eq!(Fixed32::ZERO.to_f32(), 0.0);
+    }
+
+    #[test]
+    fn exact_values_roundtrip() {
+        for v in [1.0, -1.0, 0.5, -0.5, 1.5, 100.25, -2048.0, 0.0000152587890625] {
+            assert_eq!(Fixed32::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn saturates_at_range_limits() {
+        assert_eq!(Fixed32::from_f32(1e9), Fixed32::MAX);
+        assert_eq!(Fixed32::from_f32(-1e9), Fixed32::MIN);
+        assert_eq!(Fixed32::from_f32(f32::INFINITY), Fixed32::MAX);
+        assert_eq!(Fixed32::from_f32(f32::NEG_INFINITY), Fixed32::MIN);
+        assert_eq!(Fixed32::from_f32(f32::NAN), Fixed32::ZERO);
+    }
+
+    #[test]
+    fn max_value_is_just_under_32768() {
+        let max = Fixed32::MAX.to_f32();
+        assert!(max > 32767.9 && max < 32768.0 + 1.0);
+        assert!((Fixed32::MIN.to_f32() + 32768.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fraction_bit_weights() {
+        // Bit 16 is the least significant integer bit (weight 1.0).
+        let one = Fixed32::ZERO.with_bit_flipped(16);
+        assert_eq!(one.to_f32(), 1.0);
+        // Bit 15 is the most significant fraction bit (weight 0.5).
+        let half = Fixed32::ZERO.with_bit_flipped(15);
+        assert_eq!(half.to_f32(), 0.5);
+        // Bit 0 is the least significant fraction bit.
+        let eps = Fixed32::ZERO.with_bit_flipped(0);
+        assert_eq!(eps.to_f32(), 1.0 / 65536.0);
+    }
+
+    #[test]
+    fn sign_bit_flip_makes_large_negative() {
+        // Flipping the sign bit of a small positive value produces a huge
+        // negative value — this is precisely the kind of corruption that
+        // propagates through unbounded activations.
+        let x = Fixed32::from_f32(0.75);
+        let y = x.with_bit_flipped(31);
+        assert!(y.to_f32() < -32000.0);
+    }
+
+    #[test]
+    fn high_integer_bit_flip_makes_large_value() {
+        let x = Fixed32::from_f32(0.1);
+        let y = x.with_bit_flipped(30);
+        assert!(y.to_f32() > 16000.0);
+    }
+
+    #[test]
+    fn bit_accessor_matches_flip() {
+        let x = Fixed32::from_f32(1.0);
+        assert!(x.bit(16));
+        assert!(!x.bit(15));
+        let y = x.with_bit_flipped(16);
+        assert!(!y.bit(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_out_of_range_panics() {
+        let _ = Fixed32::ZERO.with_bit_flipped(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        let _ = Fixed32::ZERO.bit(32);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let x = Fixed32::from_f32(-3.25);
+        assert_eq!(Fixed32::from_bits(x.bits()), x);
+        assert_eq!(Fixed32::from_raw(x.raw()), x);
+    }
+
+    #[test]
+    fn slice_helpers_roundtrip() {
+        let values = vec![0.5, -1.25, 3.0, 0.1];
+        let encoded = encode_slice(&values);
+        let decoded = decode_slice(&encoded);
+        for (orig, dec) in values.iter().zip(&decoded) {
+            assert!((orig - dec).abs() <= 1.0 / SCALE);
+        }
+        let mut q = values.clone();
+        quantize_slice_in_place(&mut q);
+        assert_eq!(q, decoded);
+    }
+
+    #[test]
+    fn formatting_traits() {
+        let x = Fixed32::from_f32(1.0);
+        assert_eq!(format!("{x}"), "1");
+        assert_eq!(format!("{x:x}"), "10000");
+        assert_eq!(format!("{x:X}"), "10000");
+        assert_eq!(format!("{x:b}"), "10000000000000000");
+        assert!(!format!("{x:o}").is_empty());
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let x: Fixed32 = 2.5f32.into();
+        let back: f32 = x.into();
+        assert_eq!(back, 2.5);
+    }
+
+    proptest! {
+        /// Encoding then decoding never moves a value by more than half an LSB
+        /// (plus rounding), for values well inside the representable range.
+        #[test]
+        fn roundtrip_error_is_bounded(v in -30000.0f32..30000.0f32) {
+            let q = Fixed32::quantize(v);
+            prop_assert!((q - v).abs() <= 0.5 / SCALE + f32::EPSILON * v.abs());
+        }
+
+        /// Quantisation is idempotent.
+        #[test]
+        fn quantize_is_idempotent(v in -30000.0f32..30000.0f32) {
+            let q = Fixed32::quantize(v);
+            prop_assert_eq!(Fixed32::quantize(q), q);
+        }
+
+        /// Flipping the same bit twice restores the original word.
+        #[test]
+        fn bit_flip_is_involution(v in any::<i32>(), bit in 0u32..32) {
+            let x = Fixed32::from_raw(v);
+            prop_assert_eq!(x.with_bit_flipped(bit).with_bit_flipped(bit), x);
+        }
+
+        /// A single bit flip changes exactly one bit of the stored word.
+        #[test]
+        fn bit_flip_changes_one_bit(v in any::<i32>(), bit in 0u32..32) {
+            let x = Fixed32::from_raw(v);
+            let y = x.with_bit_flipped(bit);
+            prop_assert_eq!((x.bits() ^ y.bits()).count_ones(), 1);
+        }
+
+        /// Ordering of the raw representation matches ordering of the wrapper
+        /// (two's complement is monotone in the decoded value).
+        #[test]
+        fn raw_order_matches_value_order(a in any::<i32>(), b in any::<i32>()) {
+            let fa = Fixed32::from_raw(a);
+            let fb = Fixed32::from_raw(b);
+            prop_assert_eq!(a.cmp(&b), fa.cmp(&fb));
+            if fa.to_f32() < fb.to_f32() {
+                prop_assert!(a < b);
+            }
+        }
+    }
+}

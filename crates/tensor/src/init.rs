@@ -1,0 +1,119 @@
+//! Deterministic random tensor initialisers.
+//!
+//! Every initialiser takes an explicit [`rand::Rng`] so that experiments are
+//! reproducible from a single seed threaded through the whole pipeline.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Fills a new tensor with samples from the uniform distribution `[low, high)`.
+///
+/// # Example
+///
+/// ```
+/// use fitact_tensor::init;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let t = init::uniform(&[4, 4], -0.1, 0.1, &mut rng);
+/// assert!(t.as_slice().iter().all(|v| (-0.1..0.1).contains(v)));
+/// ```
+pub fn uniform<R: Rng + ?Sized>(shape: &[usize], low: f32, high: f32, rng: &mut R) -> Tensor {
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = rng.gen_range(low..high);
+    }
+    t
+}
+
+/// Fills a new tensor with samples from a normal distribution with the given
+/// mean and standard deviation (Box–Muller transform; no extra dependency).
+pub fn normal<R: Rng + ?Sized>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Tensor {
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = mean + std * sample_standard_normal(rng);
+    }
+    t
+}
+
+/// Kaiming/He-normal initialisation for layers followed by ReLU-family
+/// activations: `std = sqrt(2 / fan_in)`.
+pub fn kaiming_normal<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+/// Xavier/Glorot-uniform initialisation: `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(shape, -limit, limit, rng)
+}
+
+/// Draws one sample from the standard normal distribution.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Box–Muller; guard against log(0).
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds_and_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&[10, 10], -2.0, 3.0, &mut rng);
+        assert_eq!(t.dims(), &[10, 10]);
+        assert!(t.as_slice().iter().all(|&v| (-2.0..3.0).contains(&v)));
+    }
+
+    #[test]
+    fn same_seed_same_tensor() {
+        let a = uniform(&[32], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = uniform(&[32], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_tensor() {
+        let a = uniform(&[32], 0.0, 1.0, &mut StdRng::seed_from_u64(1));
+        let b = uniform(&[32], 0.0, 1.0, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = normal(&[20000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+        assert!(t.is_finite());
+    }
+
+    #[test]
+    fn kaiming_scale_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let wide = kaiming_normal(&[5000], 10, &mut rng);
+        let narrow = kaiming_normal(&[5000], 1000, &mut rng);
+        assert!(wide.sq_norm() / 5000.0 > narrow.sq_norm() / 5000.0);
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = xavier_uniform(&[1000], 100, 200, &mut rng);
+        let limit = (6.0f32 / 300.0).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= limit));
+    }
+}

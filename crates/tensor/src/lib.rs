@@ -1,0 +1,136 @@
+//! N-dimensional tensors and Q15.16 fixed-point arithmetic.
+//!
+//! This crate is the lowest-level substrate of the FitAct reproduction. It
+//! provides:
+//!
+//! * [`Tensor`] — a dense, row-major, `f32` n-dimensional array with the small
+//!   set of operations a CPU DNN framework needs (element-wise arithmetic,
+//!   matrix multiplication, reductions, im2col for convolutions),
+//! * [`Shape`] — shape/stride bookkeeping shared by every tensor operation,
+//! * [`fixed::Fixed32`] — the 32-bit fixed-point representation used by the
+//!   paper (1 sign bit, 15 integer bits, 16 fractional bits) together with
+//!   bit-level access used by the fault injector,
+//! * [`init`] — deterministic random initialisers (Kaiming/Xavier/uniform).
+//!
+//! # Example
+//!
+//! ```
+//! # use fitact_tensor::{Tensor, TensorError};
+//! # fn main() -> Result<(), TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fixed;
+pub mod init;
+mod shape;
+mod tensor;
+
+pub use fixed::Fixed32;
+pub use shape::Shape;
+pub use tensor::{col2im, conv_output_size, im2col, Tensor};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// All fallible operations in this crate return `Result<_, TensorError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data length.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that must agree (element-wise ops, reshape) do not agree.
+    ShapeMismatch {
+        /// Shape of the left/first operand.
+        left: Vec<usize>,
+        /// Shape of the right/second operand.
+        right: Vec<usize>,
+    },
+    /// Matrix multiplication inner dimensions differ, or an operand is not 2-D.
+    MatmulShape {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// A shape with zero dimensions or a zero-sized axis where it is not allowed.
+    InvalidShape(Vec<usize>),
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// An axis argument referred to a dimension the tensor does not have.
+    InvalidAxis {
+        /// The requested axis.
+        axis: usize,
+        /// Number of dimensions in the tensor.
+        ndim: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::MatmulShape { left, right } => {
+                write!(f, "cannot matrix-multiply shapes {left:?} and {right:?}")
+            }
+            TensorError::InvalidShape(s) => write!(f, "invalid shape {s:?}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidAxis { axis, ndim } => {
+                write!(f, "axis {axis} out of range for tensor with {ndim} dimensions")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errors = [
+            TensorError::LengthMismatch { expected: 4, actual: 3 },
+            TensorError::ShapeMismatch { left: vec![2], right: vec![3] },
+            TensorError::MatmulShape { left: vec![2, 2], right: vec![3, 3] },
+            TensorError::InvalidShape(vec![0]),
+            TensorError::IndexOutOfBounds { index: vec![5], shape: vec![2] },
+            TensorError::InvalidAxis { axis: 3, ndim: 2 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,1021 @@
+//! Dense row-major `f32` tensors.
+
+use crate::{Shape, TensorError};
+use std::fmt;
+
+/// Minimum number of multiply–accumulate operations before [`Tensor::matmul`]
+/// spreads work across threads.
+const PARALLEL_MATMUL_THRESHOLD: usize = 1 << 20;
+
+/// A dense, row-major, `f32` n-dimensional array.
+///
+/// `Tensor` is deliberately small: it supports exactly the operations the
+/// FitAct reproduction needs (layer forward/backward passes, activation
+/// statistics and fault-injection bookkeeping) and nothing more. All data is
+/// owned and contiguous, which keeps fault injection over parameter memory
+/// straightforward.
+///
+/// # Example
+///
+/// ```
+/// # use fitact_tensor::{Tensor, TensorError};
+/// # fn main() -> Result<(), TensorError> {
+/// let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3])?;
+/// let relu = x.map(|v| v.max(0.0));
+/// assert_eq!(relu.as_slice(), &[1.0, 0.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().copied().take(8).collect();
+        f.debug_struct("Tensor")
+            .field("shape", &self.shape)
+            .field("numel", &self.data.len())
+            .field("data_prefix", &preview)
+            .finish()
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let shape = Shape::new(shape);
+        Tensor { data: vec![value; shape.numel()], shape }
+    }
+
+    /// Creates a tensor of the given shape filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::full(shape, 0.0)
+    }
+
+    /// Creates a tensor of the given shape filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a square identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the number of elements implied by `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(shape);
+        if data.len() != shape.numel() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a 0-d tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { data: vec![value], shape: Shape::new(&[]) }
+    }
+
+    /// Returns the shape of the tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Returns the axis lengths as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Returns the number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.ndim()
+    }
+
+    /// Returns the total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns a read-only view of the underlying storage in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns a mutable view of the underlying storage in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn get(&self, index: &[usize]) -> Result<f32, TensorError> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a copy of this tensor with a new shape holding the same data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the new shape has a different
+    /// number of elements.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, TensorError> {
+        let new_shape = Shape::new(shape);
+        if new_shape.numel() != self.numel() {
+            return Err(TensorError::LengthMismatch {
+                expected: new_shape.numel(),
+                actual: self.numel(),
+            });
+        }
+        Ok(Tensor { data: self.data.clone(), shape: new_shape })
+    }
+
+    /// Reinterprets the tensor in place with a new shape holding the same data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the new shape has a different
+    /// number of elements.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) -> Result<(), TensorError> {
+        let new_shape = Shape::new(shape);
+        if new_shape.numel() != self.numel() {
+            return Err(TensorError::LengthMismatch {
+                expected: new_shape.numel(),
+                actual: self.numel(),
+            });
+        }
+        self.shape = new_shape;
+        Ok(())
+    }
+
+    /// Applies `f` to every element, returning a new tensor of the same shape.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two tensors element-wise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor, TensorError> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise multiplication (Hadamard product).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Element-wise division.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<(), TensorError> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Adds `scale * other` into `self` in place (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, scale: f32) -> Result<(), TensorError> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Returns a new tensor with `scalar` added to every element.
+    pub fn add_scalar(&self, scalar: f32) -> Tensor {
+        self.map(|v| v + scalar)
+    }
+
+    /// Returns a new tensor with every element multiplied by `scalar`.
+    pub fn mul_scalar(&self, scalar: f32) -> Tensor {
+        self.map(|v| v * scalar)
+    }
+
+    /// Fills the tensor with a constant value.
+    pub fn fill(&mut self, value: f32) {
+        for v in &mut self.data {
+            *v = value;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// Returns `0.0` for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element, or `f32::NEG_INFINITY` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element, or `f32::INFINITY` for an empty tensor.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in row-major order (ties go to the first).
+    ///
+    /// Returns `None` for an empty tensor.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Treats the tensor as `[rows, cols]` and returns the argmax of each row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if the tensor is not 2-D.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::InvalidShape(self.dims().to_vec()));
+        }
+        let rows = self.dims()[0];
+        let cols = self.dims()[1];
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Sums a 2-D tensor over its rows, producing a 1-D tensor of length `cols`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if the tensor is not 2-D.
+    pub fn sum_axis0(&self) -> Result<Tensor, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::InvalidShape(self.dims().to_vec()));
+        }
+        let rows = self.dims()[0];
+        let cols = self.dims()[1];
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c] += self.data[r * cols + c];
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    /// Transposes a 2-D tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if the tensor is not 2-D.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        if self.ndim() != 2 {
+            return Err(TensorError::InvalidShape(self.dims().to_vec()));
+        }
+        let rows = self.dims()[0];
+        let cols = self.dims()[1];
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Tensor::from_vec(out, &[cols, rows])
+    }
+
+    /// Matrix multiplication of two 2-D tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// Large products are split across threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulShape`] if either operand is not 2-D or the
+    /// inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.ndim() != 2 || other.ndim() != 2 || self.dims()[1] != other.dims()[0] {
+            return Err(TensorError::MatmulShape {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let m = self.dims()[0];
+        let k = self.dims()[1];
+        let n = other.dims()[1];
+        let mut out = vec![0.0f32; m * n];
+        matmul_kernel(&self.data, &other.data, &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Computes `selfᵀ × other` without materialising the transpose:
+    /// `[k, m]ᵀ × [k, n] → [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulShape`] if either operand is not 2-D or the
+    /// shared dimension disagrees.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.ndim() != 2 || other.ndim() != 2 || self.dims()[0] != other.dims()[0] {
+            return Err(TensorError::MatmulShape {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let k = self.dims()[0];
+        let m = self.dims()[1];
+        let n = other.dims()[1];
+        let mut out = vec![0.0f32; m * n];
+        // out[i, j] = sum_p self[p, i] * other[p, j]
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for i in 0..m {
+                let a = a_row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Computes `self × otherᵀ` without materialising the transpose:
+    /// `[m, k] × [n, k]ᵀ → [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulShape`] if either operand is not 2-D or the
+    /// shared dimension disagrees.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.ndim() != 2 || other.ndim() != 2 || self.dims()[1] != other.dims()[1] {
+            return Err(TensorError::MatmulShape {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let m = self.dims()[0];
+        let k = self.dims()[1];
+        let n = other.dims()[0];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                out_row[j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Extracts the `i`-th sub-tensor along the first axis.
+    ///
+    /// For a `[n, ...rest]` tensor this returns a `[...rest]` tensor copied out
+    /// of row `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `i` is out of range or the
+    /// tensor is 0-d.
+    pub fn index_axis0(&self, i: usize) -> Result<Tensor, TensorError> {
+        if self.ndim() == 0 || i >= self.dims()[0] {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: self.dims().to_vec(),
+            });
+        }
+        let rest: Vec<usize> = self.dims()[1..].to_vec();
+        let chunk = rest.iter().product::<usize>().max(1);
+        let data = self.data[i * chunk..(i + 1) * chunk].to_vec();
+        Tensor::from_vec(data, &rest)
+    }
+
+    /// Stacks tensors of identical shape along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if `items` is empty and
+    /// [`TensorError::ShapeMismatch`] if any item disagrees with the first.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = items.first().ok_or(TensorError::InvalidShape(vec![]))?;
+        let mut data = Vec::with_capacity(first.numel() * items.len());
+        for item in items {
+            if !item.shape.same_as(&first.shape) {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.dims().to_vec(),
+                    right: item.dims().to_vec(),
+                });
+            }
+            data.extend_from_slice(&item.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Returns the squared L2 norm of the tensor.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Returns `true` if every element is finite (not NaN or infinite).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// im2col for a single image in `[channels, height, width]` layout.
+///
+/// Produces a `[channels * kh * kw, out_h * out_w]` matrix where each column is
+/// the receptive field of one output position, so a convolution becomes a
+/// single matrix multiplication with a `[out_channels, channels * kh * kw]`
+/// weight matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `image` is not 3-D or the kernel
+/// configuration produces no output positions.
+pub fn im2col(
+    image: &Tensor,
+    kernel: (usize, usize),
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, TensorError> {
+    if image.ndim() != 3 || stride == 0 {
+        return Err(TensorError::InvalidShape(image.dims().to_vec()));
+    }
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    let (kh, kw) = kernel;
+    let (out_h, out_w) = conv_output_size((h, w), kernel, stride, padding)?;
+    let rows = c * kh * kw;
+    let cols = out_h * out_w;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = image.as_slice();
+    for ch in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ky) as isize - padding as isize;
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kx) as isize - padding as isize;
+                        let col = oy * out_w + ox;
+                        let value = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            data[(ch * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out[row * cols + col] = value;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Inverse of [`im2col`]: scatters a `[channels * kh * kw, out_h * out_w]`
+/// matrix of column gradients back onto an image of shape
+/// `[channels, height, width]`, summing overlapping contributions.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `cols` does not have the shape
+/// implied by the image/kernel configuration.
+pub fn col2im(
+    cols: &Tensor,
+    image_dims: (usize, usize, usize),
+    kernel: (usize, usize),
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, TensorError> {
+    let (c, h, w) = image_dims;
+    let (kh, kw) = kernel;
+    let (out_h, out_w) = conv_output_size((h, w), kernel, stride, padding)?;
+    if cols.ndim() != 2 || cols.dims()[0] != c * kh * kw || cols.dims()[1] != out_h * out_w {
+        return Err(TensorError::InvalidShape(cols.dims().to_vec()));
+    }
+    let mut out = vec![0.0f32; c * h * w];
+    let data = cols.as_slice();
+    let ncols = out_h * out_w;
+    for ch in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ky) as isize - padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kx) as isize - padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let col = oy * out_w + ox;
+                        out[(ch * h + iy as usize) * w + ix as usize] += data[row * ncols + col];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// Computes the spatial output size of a convolution or pooling window.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if the window does not fit the padded
+/// input at least once or `stride == 0`.
+pub fn conv_output_size(
+    input: (usize, usize),
+    kernel: (usize, usize),
+    stride: usize,
+    padding: usize,
+) -> Result<(usize, usize), TensorError> {
+    let (h, w) = input;
+    let (kh, kw) = kernel;
+    if stride == 0 || h + 2 * padding < kh || w + 2 * padding < kw {
+        return Err(TensorError::InvalidShape(vec![h, w, kh, kw, stride, padding]));
+    }
+    Ok(((h + 2 * padding - kh) / stride + 1, (w + 2 * padding - kw) / stride + 1))
+}
+
+/// Row-parallel matmul kernel: `out[m, n] = a[m, k] × b[k, n]`.
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let work = m * n * k;
+    let threads = if work >= PARALLEL_MATMUL_THRESHOLD {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(m.max(1))
+    } else {
+        1
+    };
+    if threads <= 1 {
+        matmul_rows(a, b, out, 0, m, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut remaining = out;
+        let mut row_start = 0usize;
+        while row_start < m {
+            let rows = rows_per.min(m - row_start);
+            let (chunk, rest) = remaining.split_at_mut(rows * n);
+            remaining = rest;
+            let start = row_start;
+            scope.spawn(move || {
+                matmul_rows(a, b, chunk, start, rows, k, n);
+            });
+            row_start += rows;
+        }
+    });
+}
+
+/// Computes `rows` rows of the product starting at `row_start`, writing into a
+/// chunk that is indexed from zero.
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row_start: usize, rows: usize, k: usize, n: usize) {
+    for local in 0..rows {
+        let i = row_start + local;
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[local * n..(local + 1) * n];
+        for (p, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for j in 0..n {
+                out_row[j] += a_val * b_row[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_fill_values() {
+        assert!(Tensor::zeros(&[2, 2]).as_slice().iter().all(|&v| v == 0.0));
+        assert!(Tensor::ones(&[3]).as_slice().iter().all(|&v| v == 1.0));
+        assert_eq!(Tensor::full(&[2], 7.5).as_slice(), &[7.5, 7.5]);
+        assert_eq!(Tensor::scalar(3.0).numel(), 1);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[3, 3]).unwrap();
+        assert_eq!(x.matmul(&i).unwrap(), x);
+        assert_eq!(i.matmul(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 5.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 5.0);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 0.0);
+        assert!(t.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().as_slice(), &[4.0, 2.5, 2.0]);
+        assert_eq!(a.add_scalar(1.0).as_slice(), &[2.0, 3.0, 4.0]);
+        assert_eq!(a.mul_scalar(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_errors() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+        assert!(a.mul(&b).is_err());
+        let mut c = Tensor::zeros(&[2]);
+        assert!(c.add_assign(&b).is_err());
+        assert!(c.add_scaled_assign(&b, 1.0).is_err());
+    }
+
+    #[test]
+    fn add_assign_and_axpy() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![2.0, 3.0], &[2]).unwrap();
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[3.0, 4.0]);
+        a.add_scaled_assign(&b, -1.0).unwrap();
+        assert_eq!(a.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(a.matmul(&v).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[4, 3]).unwrap();
+        let b = Tensor::from_vec((0..8).map(|v| v as f32 * 0.5).collect(), &[4, 2]).unwrap();
+        let expected = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(a.matmul_tn(&b).unwrap(), expected);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap();
+        let b = Tensor::from_vec((0..8).map(|v| v as f32 * 0.25).collect(), &[2, 4]).unwrap();
+        let expected = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(a.matmul_nt(&b).unwrap(), expected);
+    }
+
+    #[test]
+    fn large_matmul_uses_threads_and_matches_serial() {
+        // Big enough to cross PARALLEL_MATMUL_THRESHOLD.
+        let m = 128;
+        let k = 96;
+        let n = 128;
+        let a = Tensor::from_vec((0..m * k).map(|v| (v % 17) as f32 * 0.1).collect(), &[m, k]).unwrap();
+        let b = Tensor::from_vec((0..k * n).map(|v| (v % 13) as f32 * 0.2).collect(), &[k, n]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        // Spot-check a few entries against a direct dot product.
+        for &(i, j) in &[(0usize, 0usize), (m - 1, n - 1), (37, 59)] {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+            }
+            let got = c.as_slice()[i * n + j];
+            assert!((acc - got).abs() < 1e-3, "mismatch at ({i},{j}): {acc} vs {got}");
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[4]).unwrap();
+        assert_eq!(a.sum(), 2.5);
+        assert_eq!(a.mean(), 0.625);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(a.argmax(), Some(2));
+        assert_eq!(a.sq_norm(), 1.0 + 4.0 + 9.0 + 0.25);
+    }
+
+    #[test]
+    fn argmax_rows_per_row() {
+        let a = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], &[2, 3]).unwrap();
+        assert_eq!(a.argmax_rows().unwrap(), vec![1, 0]);
+        assert!(Tensor::zeros(&[3]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn sum_axis0_sums_rows() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(a.sum_axis0().unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let b = a.reshape(&[3, 2]).unwrap();
+        assert_eq!(b.dims(), &[3, 2]);
+        assert_eq!(b.as_slice(), a.as_slice());
+        assert!(a.reshape(&[4]).is_err());
+        let mut c = a.clone();
+        c.reshape_in_place(&[6]).unwrap();
+        assert_eq!(c.dims(), &[6]);
+        assert!(c.reshape_in_place(&[7]).is_err());
+    }
+
+    #[test]
+    fn index_axis0_extracts_rows() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[3, 2]).unwrap();
+        assert_eq!(a.index_axis0(1).unwrap().as_slice(), &[2.0, 3.0]);
+        assert!(a.index_axis0(3).is_err());
+    }
+
+    #[test]
+    fn stack_builds_batch() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        let s = Tensor::stack(&[a.clone(), b]).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.index_axis0(0).unwrap(), a);
+        assert!(Tensor::stack(&[]).is_err());
+        let c = Tensor::zeros(&[3]);
+        assert!(Tensor::stack(&[a, c]).is_err());
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap();
+        assert_eq!(a.map(f32::abs).as_slice(), &[1.0, 2.0]);
+        let mut b = a.clone();
+        b.map_in_place(|v| v * 10.0);
+        assert_eq!(b.as_slice(), &[-10.0, 20.0]);
+        let z = a.zip_map(&b, |x, y| x + y).unwrap();
+        assert_eq!(z.as_slice(), &[-11.0, 22.0]);
+    }
+
+    #[test]
+    fn conv_output_size_formula() {
+        assert_eq!(conv_output_size((32, 32), (3, 3), 1, 1).unwrap(), (32, 32));
+        assert_eq!(conv_output_size((32, 32), (2, 2), 2, 0).unwrap(), (16, 16));
+        assert_eq!(conv_output_size((5, 5), (3, 3), 2, 0).unwrap(), (2, 2));
+        assert!(conv_output_size((2, 2), (3, 3), 1, 0).is_err());
+        assert!(conv_output_size((4, 4), (3, 3), 0, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // A 1x1 kernel with stride 1 and no padding is just a reshape.
+        let img = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 2, 2]).unwrap();
+        let cols = im2col(&img, (1, 1), 1, 0).unwrap();
+        assert_eq!(cols.dims(), &[3, 4]);
+        assert_eq!(cols.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn im2col_known_values() {
+        // Single channel 3x3 image, 2x2 kernel, stride 1, no padding.
+        let img = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let cols = im2col(&img, (2, 2), 1, 0).unwrap();
+        assert_eq!(cols.dims(), &[4, 4]);
+        // Columns are the four 2x2 patches in row-major output order.
+        let expect = vec![
+            1.0, 2.0, 4.0, 5.0, // kernel position (0,0)
+            2.0, 3.0, 5.0, 6.0, // kernel position (0,1)
+            4.0, 5.0, 7.0, 8.0, // kernel position (1,0)
+            5.0, 6.0, 8.0, 9.0, // kernel position (1,1)
+        ];
+        assert_eq!(cols.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let img = Tensor::ones(&[1, 2, 2]);
+        let cols = im2col(&img, (3, 3), 1, 1).unwrap();
+        assert_eq!(cols.dims(), &[9, 4]);
+        // Centre kernel tap always hits the image; corner taps hit padding.
+        let total: f32 = cols.as_slice().iter().sum();
+        assert_eq!(total, 16.0); // each of the 4 ones appears in 4 of the 9 taps
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col_for_disjoint_patches() {
+        // With stride equal to kernel size the patches are disjoint, so
+        // col2im(im2col(x)) == x exactly.
+        let img = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 4]).unwrap();
+        let cols = im2col(&img, (2, 2), 2, 0).unwrap();
+        let back = col2im(&cols, (1, 4, 4), (2, 2), 2, 0).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        let img = Tensor::ones(&[1, 3, 3]);
+        let cols = im2col(&img, (2, 2), 1, 0).unwrap();
+        let back = col2im(&cols, (1, 3, 3), (2, 2), 1, 0).unwrap();
+        // The centre pixel participates in all four patches.
+        assert_eq!(back.get(&[0, 1, 1]).unwrap(), 4.0);
+        // Corners participate in exactly one patch.
+        assert_eq!(back.get(&[0, 0, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn col2im_rejects_wrong_shapes() {
+        let cols = Tensor::zeros(&[4, 5]);
+        assert!(col2im(&cols, (1, 3, 3), (2, 2), 1, 0).is_err());
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut t = Tensor::ones(&[2]);
+        assert!(t.is_finite());
+        t.as_mut_slice()[0] = f32::NAN;
+        assert!(!t.is_finite());
+    }
+
+    #[test]
+    fn debug_output_is_compact() {
+        let t = Tensor::zeros(&[100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("numel"));
+        assert!(s.len() < 300);
+    }
+}

@@ -1,0 +1,67 @@
+//! Fault-rate sweep: resilience curves of a protected vs unprotected model.
+//!
+//! ```bash
+//! cargo run --release --example fault_rate_sweep
+//! ```
+//!
+//! Scenario from the paper's introduction: a safety-critical controller (think
+//! a perception model in a self-driving stack) must keep its accuracy as the
+//! memory fault rate rises. The example produces the accuracy-vs-fault-rate
+//! curve for the unprotected model and the FitAct-protected model — the same
+//! series as one panel of the paper's Fig. 6.
+
+use fitact::{evaluate_resilience, FitAct, FitActConfig};
+use fitact_data::{materialize, Blobs, BlobsConfig};
+use fitact_faults::quantize_network;
+use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+use fitact_nn::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let root = Sequential::new()
+        .with(Box::new(Linear::new(8, 64, &mut rng)))
+        .with(Box::new(ActivationLayer::relu("h1", &[64])))
+        .with(Box::new(Linear::new(64, 32, &mut rng)))
+        .with(Box::new(ActivationLayer::relu("h2", &[32])))
+        .with(Box::new(Linear::new(32, 3, &mut rng)));
+    let mut network = Network::new("controller", root);
+
+    let train = Blobs::new(BlobsConfig { samples: 512, seed: 20, ..Default::default() })?;
+    let test = Blobs::new(BlobsConfig { samples: 256, seed: 21, ..Default::default() })?;
+    let (train_x, train_y) = materialize(&train)?;
+    let (test_x, test_y) = materialize(&test)?;
+
+    let fitact = FitAct::new(FitActConfig { post_train_epochs: 3, ..Default::default() });
+    fitact.train_for_accuracy(&mut network, &train_x, &train_y, 25, 0.05)?;
+
+    let mut unprotected = network.clone();
+    quantize_network(&mut unprotected);
+    let mut protected = fitact.build_resilient(network, &train_x, &train_y)?;
+    quantize_network(protected.network_mut());
+
+    let rates = [1e-5, 1e-4, 3e-4, 1e-3, 3e-3];
+    let trials = 15;
+    println!("accuracy (%) vs per-bit fault rate, {} trials per point:", trials);
+    println!("  {:>10}  {:>12}  {:>12}", "fault rate", "unprotected", "fitact");
+    let unprotected_curve =
+        evaluate_resilience(&mut unprotected, &test_x, &test_y, &rates, trials, 64, 3)?;
+    let protected_curve =
+        evaluate_resilience(protected.network_mut(), &test_x, &test_y, &rates, trials, 64, 3)?;
+    for (u, p) in unprotected_curve.iter().zip(&protected_curve) {
+        println!(
+            "  {:>10.0e}  {:>12.1}  {:>12.1}",
+            u.fault_rate,
+            u.mean_accuracy_percent(),
+            p.mean_accuracy_percent()
+        );
+    }
+    println!();
+    println!(
+        "fault-free accuracy: unprotected {:.1}%, fitact {:.1}%",
+        100.0 * unprotected_curve[0].result.fault_free_accuracy,
+        100.0 * protected_curve[0].result.fault_free_accuracy
+    );
+    Ok(())
+}

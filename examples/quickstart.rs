@@ -1,0 +1,79 @@
+//! Quickstart: the full FitAct workflow on a small MLP.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example trains a small classifier (stage 1), builds the FitAct-protected
+//! variant (calibration + FitReLU + bound post-training, stage 2), and then
+//! compares the accuracy of the unprotected and protected models under random
+//! bit-flip faults in their parameter memory.
+
+use fitact::{FitAct, FitActConfig};
+use fitact_data::{materialize, Blobs, BlobsConfig};
+use fitact_faults::{quantize_network, Campaign, CampaignConfig};
+use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+use fitact_nn::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small base model with plain ReLU activations.
+    let mut rng = StdRng::seed_from_u64(0);
+    let root = Sequential::new()
+        .with(Box::new(Linear::new(8, 32, &mut rng)))
+        .with(Box::new(ActivationLayer::relu("hidden", &[32])))
+        .with(Box::new(Linear::new(32, 3, &mut rng)));
+    let mut network = Network::new("quickstart-mlp", root);
+
+    // 2. A small synthetic classification dataset.
+    let train = Blobs::new(BlobsConfig { samples: 384, seed: 1, ..Default::default() })?;
+    let test = Blobs::new(BlobsConfig { samples: 192, seed: 2, ..Default::default() })?;
+    let (train_x, train_y) = materialize(&train)?;
+    let (test_x, test_y) = materialize(&test)?;
+
+    // 3. Stage 1: conventional training for accuracy.
+    let fitact = FitAct::new(FitActConfig { post_train_epochs: 3, ..Default::default() });
+    let report = fitact.train_for_accuracy(&mut network, &train_x, &train_y, 20, 0.05)?;
+    println!(
+        "stage 1 (accuracy training): {} epochs, final train accuracy {:.1}%",
+        report.epochs,
+        100.0 * report.final_accuracy
+    );
+
+    // 4. Keep an unprotected copy for comparison, then build the resilient model.
+    let mut unprotected = network.clone();
+    quantize_network(&mut unprotected);
+    let mut resilient = fitact.build_resilient(network, &train_x, &train_y)?;
+    quantize_network(resilient.network_mut());
+    println!(
+        "stage 2 (resilience post-training): {} epochs, fault-free accuracy {:.1}% -> {:.1}%, mean bound {:.3} -> {:.3}",
+        resilient.report().epochs_run,
+        100.0 * resilient.report().initial_accuracy,
+        100.0 * resilient.report().final_accuracy,
+        resilient.report().mean_bound_before,
+        resilient.report().mean_bound_after,
+    );
+
+    // 5. Compare resilience under random bit flips in parameter memory.
+    let fault_rate = 2e-3; // aggressive, because the toy model is tiny
+    let config = CampaignConfig { fault_rate, trials: 20, batch_size: 64, seed: 7 };
+    let unprotected_result =
+        Campaign::new(&mut unprotected, &test_x, &test_y)?.run(&config)?;
+    let protected_result =
+        Campaign::new(resilient.network_mut(), &test_x, &test_y)?.run(&config)?;
+
+    println!();
+    println!("fault rate {fault_rate:.0e} (per bit), {} trials:", config.trials);
+    println!(
+        "  unprotected : fault-free {:.1}%, mean under fault {:.1}%",
+        100.0 * unprotected_result.fault_free_accuracy,
+        100.0 * unprotected_result.mean_accuracy()
+    );
+    println!(
+        "  FitAct      : fault-free {:.1}%, mean under fault {:.1}%",
+        100.0 * protected_result.fault_free_accuracy,
+        100.0 * protected_result.mean_accuracy()
+    );
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Workspace root crate for the FitAct reproduction.
+//!
+//! This crate only re-exports the member crates so that the runnable
+//! `examples/` and the cross-crate integration tests in `tests/` have a single
+//! dependency root. The actual functionality lives in:
+//!
+//! * [`fitact_tensor`] — tensors and Q15.16 fixed-point arithmetic,
+//! * [`fitact_nn`] — the from-scratch DNN substrate (layers, models, training),
+//! * [`fitact_data`] — synthetic CIFAR-like datasets and data loading,
+//! * [`fitact_faults`] — bit-flip fault injection and campaign running,
+//! * [`fitact`] — the paper's contribution: FitReLU and the FitAct workflow.
+pub use fitact;
+pub use fitact_data;
+pub use fitact_faults;
+pub use fitact_nn;
+pub use fitact_tensor;

@@ -1,0 +1,66 @@
+//! Integration test of the pipeline on a (very small) convolutional network
+//! and the synthetic CIFAR stand-in: the path every figure harness follows.
+
+use fitact::{apply_protection, ActivationProfiler, FitAct, FitActConfig, ProtectionScheme};
+use fitact_data::{materialize, Dataset, SyntheticCifar};
+use fitact_faults::{quantize_network, Campaign, CampaignConfig};
+use fitact_nn::models::{alexnet, ModelConfig};
+
+#[test]
+fn alexnet_learns_the_synthetic_task_and_protection_preserves_accuracy() {
+    let train = SyntheticCifar::train(10, 160, 33);
+    let test = SyntheticCifar::test(10, 80, 33);
+    assert_eq!(train.num_classes(), 10);
+    let (train_x, train_y) = materialize(&train).unwrap();
+    let (test_x, test_y) = materialize(&test).unwrap();
+
+    let mut net =
+        alexnet(&ModelConfig::new(10).with_width(0.0626).with_seed(7).with_dropout(0.1)).unwrap();
+    let fitact = FitAct::new(FitActConfig { post_train_epochs: 1, batch_size: 20, ..Default::default() });
+    fitact.train_for_accuracy(&mut net, &train_x, &train_y, 4, 0.05).unwrap();
+    quantize_network(&mut net);
+
+    let baseline = net.evaluate(&test_x, &test_y, 40).unwrap();
+    assert!(
+        baseline > 0.15,
+        "a briefly-trained AlexNet should beat 10% chance, got {baseline}"
+    );
+
+    // Calibration + Clip-Act protection keeps the fault-free accuracy intact.
+    let profile = ActivationProfiler::new(40).unwrap().profile(&mut net, &train_x).unwrap();
+    let mut clipact = net.clone();
+    apply_protection(&mut clipact, &profile, ProtectionScheme::ClipAct).unwrap();
+    let clipact_accuracy = clipact.evaluate(&test_x, &test_y, 40).unwrap();
+    assert!(
+        (clipact_accuracy - baseline).abs() < 0.1,
+        "Clip-Act with calibrated bounds should not change fault-free accuracy much: {clipact_accuracy} vs {baseline}"
+    );
+
+    // A short fault campaign runs end-to-end on the CNN and restores it.
+    let before = clipact.snapshot();
+    let result = Campaign::new(&mut clipact, &test_x, &test_y)
+        .unwrap()
+        .run(&CampaignConfig { fault_rate: 1e-4, trials: 2, batch_size: 40, seed: 1 })
+        .unwrap();
+    assert_eq!(clipact.snapshot(), before);
+    assert!(result.mean_accuracy() >= 0.0 && result.mean_accuracy() <= 1.0);
+}
+
+#[test]
+fn fitact_modification_and_post_training_work_on_a_cnn() {
+    let train = SyntheticCifar::train(10, 100, 44);
+    let (train_x, train_y) = materialize(&train).unwrap();
+    let mut net = alexnet(&ModelConfig::new(10).with_width(0.0626).with_seed(8)).unwrap();
+    let fitact = FitAct::new(FitActConfig { post_train_epochs: 1, batch_size: 20, ..Default::default() });
+    fitact.train_for_accuracy(&mut net, &train_x, &train_y, 1, 0.05).unwrap();
+
+    let profile = fitact.calibrate(&mut net, &train_x).unwrap();
+    assert_eq!(profile.len(), 7, "AlexNet has 7 activation slots");
+    fitact.modify(&mut net, &profile).unwrap();
+    for slot in net.activation_slots() {
+        assert_eq!(slot.activation().name(), "fitrelu");
+    }
+    let report = fitact.post_train(&mut net, &train_x, &train_y).unwrap();
+    assert!(report.epochs_run >= 1);
+    assert!(report.mean_bound_after <= report.mean_bound_before + 1e-6);
+}

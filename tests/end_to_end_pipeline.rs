@@ -1,0 +1,156 @@
+//! End-to-end integration test of the full FitAct workflow on a small MLP:
+//! stage-1 training, calibration, architecture modification, stage-2 bound
+//! post-training, and a fault-injection campaign comparing protected and
+//! unprotected models.
+
+use fitact::{FitAct, FitActConfig, ProtectionScheme};
+use fitact_data::{materialize, Blobs, BlobsConfig};
+use fitact_faults::{quantize_network, Campaign, CampaignConfig};
+use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+use fitact_nn::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn base_network(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::new(
+        "mlp",
+        Sequential::new()
+            .with(Box::new(Linear::new(8, 32, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h1", &[32])))
+            .with(Box::new(Linear::new(32, 3, &mut rng))),
+    )
+}
+
+fn data(samples: usize, seed: u64) -> (fitact_tensor::Tensor, Vec<usize>) {
+    let ds = Blobs::new(BlobsConfig { samples, seed, ..Default::default() }).unwrap();
+    materialize(&ds).unwrap()
+}
+
+#[test]
+fn full_workflow_produces_a_more_resilient_model() {
+    let (train_x, train_y) = data(384, 1);
+    // The evaluation set shares the class structure of the training set (the
+    // Blobs centres are derived from the seed); resilience, not
+    // generalisation, is what this test measures.
+    let (test_x, test_y) = data(192, 1);
+
+    // Stage 1: accuracy training.
+    let mut network = base_network(0);
+    let fitact = FitAct::new(FitActConfig { post_train_epochs: 3, zeta: 0.1, ..Default::default() });
+    fitact.train_for_accuracy(&mut network, &train_x, &train_y, 25, 0.05).unwrap();
+    let mut unprotected = network.clone();
+    quantize_network(&mut unprotected);
+    let baseline = unprotected.evaluate(&test_x, &test_y, 64).unwrap();
+    assert!(baseline > 0.85, "stage-1 training should learn the blobs problem, got {baseline}");
+
+    // Stage 2: resilience post-training.
+    let mut resilient = fitact.build_resilient(network, &train_x, &train_y).unwrap();
+    quantize_network(resilient.network_mut());
+    let report = *resilient.report();
+    assert!(report.constraint_satisfied, "accuracy-drop constraint must hold");
+    assert!(
+        report.initial_accuracy - report.final_accuracy <= fitact.config().delta + 1e-6,
+        "fault-free accuracy dropped more than delta"
+    );
+    assert!(
+        report.mean_bound_after <= report.mean_bound_before,
+        "post-training should not grow the bounds"
+    );
+
+    // Fault campaign at an aggressive rate (the toy model is tiny, so the rate
+    // is far above the paper's — what matters is the protected-vs-unprotected
+    // ordering).
+    let config = CampaignConfig { fault_rate: 3e-3, trials: 15, batch_size: 64, seed: 5 };
+    let unprotected_result =
+        Campaign::new(&mut unprotected, &test_x, &test_y).unwrap().run(&config).unwrap();
+    let protected_result = Campaign::new(resilient.network_mut(), &test_x, &test_y)
+        .unwrap()
+        .run(&config)
+        .unwrap();
+
+    assert!(
+        protected_result.mean_accuracy() >= unprotected_result.mean_accuracy(),
+        "FitAct ({:.3}) should be at least as resilient as unprotected ({:.3})",
+        protected_result.mean_accuracy(),
+        unprotected_result.mean_accuracy()
+    );
+    // The protected model keeps most of its fault-free accuracy.
+    assert!(
+        protected_result.fault_free_accuracy >= baseline - 0.06,
+        "protection cost too much clean accuracy: {} vs {}",
+        protected_result.fault_free_accuracy,
+        baseline
+    );
+}
+
+#[test]
+fn all_paper_schemes_run_through_the_pipeline() {
+    let (train_x, train_y) = data(192, 3);
+    let (test_x, test_y) = data(96, 4);
+    let mut network = base_network(1);
+    let fitact = FitAct::new(FitActConfig { post_train_epochs: 1, ..Default::default() });
+    fitact.train_for_accuracy(&mut network, &train_x, &train_y, 10, 0.05).unwrap();
+    let profile = fitact.calibrate(&mut network, &train_x).unwrap();
+
+    for scheme in ProtectionScheme::paper_schemes() {
+        let mut protected = network.clone();
+        fitact::apply_protection(&mut protected, &profile, scheme).unwrap();
+        quantize_network(&mut protected);
+        let accuracy = protected.evaluate(&test_x, &test_y, 32).unwrap();
+        assert!(accuracy > 0.3, "{scheme} destroyed the model: accuracy {accuracy}");
+        // A campaign runs and restores the network.
+        let before = protected.snapshot();
+        Campaign::new(&mut protected, &test_x, &test_y)
+            .unwrap()
+            .run(&CampaignConfig { fault_rate: 1e-3, trials: 3, batch_size: 32, seed: 9 })
+            .unwrap();
+        assert_eq!(protected.snapshot(), before);
+    }
+}
+
+#[test]
+fn post_training_only_touches_bound_parameters() {
+    let (train_x, train_y) = data(128, 5);
+    let mut network = base_network(2);
+    let fitact = FitAct::new(FitActConfig { post_train_epochs: 2, ..Default::default() });
+    fitact.train_for_accuracy(&mut network, &train_x, &train_y, 5, 0.05).unwrap();
+    let profile = fitact.calibrate(&mut network, &train_x).unwrap();
+    fitact.modify(&mut network, &profile).unwrap();
+
+    let weights_before: Vec<_> = network
+        .param_info()
+        .iter()
+        .zip(network.params())
+        .filter(|(info, _)| !info.path.ends_with("lambda"))
+        .map(|(_, p)| p.data().clone())
+        .collect();
+    let bounds_before: Vec<_> = network
+        .param_info()
+        .iter()
+        .zip(network.params())
+        .filter(|(info, _)| info.path.ends_with("lambda"))
+        .map(|(_, p)| p.data().clone())
+        .collect();
+    assert!(!bounds_before.is_empty());
+
+    fitact.post_train(&mut network, &train_x, &train_y).unwrap();
+
+    let weights_after: Vec<_> = network
+        .param_info()
+        .iter()
+        .zip(network.params())
+        .filter(|(info, _)| !info.path.ends_with("lambda"))
+        .map(|(_, p)| p.data().clone())
+        .collect();
+    let bounds_after: Vec<_> = network
+        .param_info()
+        .iter()
+        .zip(network.params())
+        .filter(|(info, _)| info.path.ends_with("lambda"))
+        .map(|(_, p)| p.data().clone())
+        .collect();
+
+    assert_eq!(weights_before, weights_after, "Θ_A must be frozen during post-training");
+    assert_ne!(bounds_before, bounds_after, "Θ_R should have been updated");
+}

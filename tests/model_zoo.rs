@@ -1,0 +1,92 @@
+//! Integration tests of the model zoo: every paper architecture builds,
+//! runs forward and backward, and exposes the structure the FitAct workflow
+//! and the fault injector rely on.
+
+use fitact_faults::MemoryMap;
+use fitact_nn::models::{Architecture, ModelConfig};
+use fitact_nn::Mode;
+use fitact_tensor::Tensor;
+
+fn tiny(classes: usize) -> ModelConfig {
+    ModelConfig::new(classes).with_width(0.0626).with_seed(9)
+}
+
+#[test]
+fn all_architectures_build_and_classify_both_datasets() {
+    for architecture in Architecture::ALL {
+        for classes in [10usize, 100] {
+            let mut net = architecture.build(&tiny(classes)).unwrap();
+            let logits = net.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval).unwrap();
+            assert_eq!(logits.dims(), &[2, classes], "{architecture} with {classes} classes");
+            assert!(logits.is_finite());
+        }
+    }
+}
+
+#[test]
+fn all_architectures_support_backward() {
+    for architecture in Architecture::ALL {
+        let mut net = architecture.build(&tiny(10)).unwrap();
+        let x = Tensor::ones(&[1, 3, 32, 32]);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let dx = net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(dx.dims(), x.dims(), "{architecture}");
+        // At least one parameter received gradient.
+        assert!(
+            net.params().iter().any(|p| p.grad().sq_norm() > 0.0),
+            "{architecture} produced no gradients"
+        );
+    }
+}
+
+#[test]
+fn activation_slot_counts_match_the_architectures() {
+    let expectations = [
+        (Architecture::AlexNet, 7),    // 5 conv + 2 classifier ReLUs
+        (Architecture::Vgg16, 14),     // 13 conv + 1 classifier ReLUs
+        (Architecture::ResNet50, 49),  // stem + 3 per bottleneck × 16
+    ];
+    for (architecture, expected) in expectations {
+        let mut net = architecture.build(&tiny(10)).unwrap();
+        assert_eq!(net.activation_slots().len(), expected, "{architecture}");
+    }
+}
+
+#[test]
+fn parameter_paths_are_unique_and_cover_the_memory_map() {
+    for architecture in Architecture::ALL {
+        let net = architecture.build(&tiny(10)).unwrap();
+        let info = net.param_info();
+        let mut paths: Vec<&str> = info.iter().map(|i| i.path.as_str()).collect();
+        let total: usize = info.iter().map(|i| i.numel).sum();
+        paths.sort();
+        let before = paths.len();
+        paths.dedup();
+        assert_eq!(paths.len(), before, "{architecture} has duplicate parameter paths");
+        let map = MemoryMap::of_network(&net);
+        assert_eq!(map.total_words() as usize, total, "{architecture}");
+        assert_eq!(net.num_parameters(), total, "{architecture}");
+    }
+}
+
+#[test]
+fn width_multiplier_scales_every_architecture() {
+    for architecture in Architecture::ALL {
+        let narrow = architecture.build(&tiny(10)).unwrap().num_parameters();
+        let wider = architecture
+            .build(&ModelConfig::new(10).with_width(0.25).with_seed(9))
+            .unwrap()
+            .num_parameters();
+        assert!(wider > narrow, "{architecture}: {wider} should exceed {narrow}");
+    }
+}
+
+#[test]
+fn resnet_is_the_largest_model_at_full_width() {
+    let resnet = Architecture::ResNet50.build(&ModelConfig::new(10)).unwrap().num_parameters();
+    let vgg = Architecture::Vgg16.build(&ModelConfig::new(10)).unwrap().num_parameters();
+    let alex = Architecture::AlexNet.build(&ModelConfig::new(10)).unwrap().num_parameters();
+    // Matches the ordering of the paper's Table I memory column.
+    assert!(resnet > vgg);
+    assert!(vgg > alex);
+}

@@ -1,0 +1,105 @@
+//! Cross-crate property tests of the protection schemes: bounded activations
+//! really do stop fault propagation, and the fault space includes the
+//! activation-bound parameters.
+
+use fitact::{apply_protection, ActivationProfiler, ProtectionScheme};
+use fitact_data::{materialize, Blobs, BlobsConfig};
+use fitact_faults::{BitFlipInjector, FaultSite, MemoryMap};
+use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+use fitact_nn::loss::CrossEntropyLoss;
+use fitact_nn::optim::Sgd;
+use fitact_nn::{Mode, Network};
+use fitact_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trained_network() -> (Network, Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let root = Sequential::new()
+        .with(Box::new(Linear::new(8, 24, &mut rng)))
+        .with(Box::new(ActivationLayer::relu("h1", &[24])))
+        .with(Box::new(Linear::new(24, 16, &mut rng)))
+        .with(Box::new(ActivationLayer::relu("h2", &[16])))
+        .with(Box::new(Linear::new(16, 3, &mut rng)));
+    let mut net = Network::new("mlp", root);
+    let ds = Blobs::new(BlobsConfig { samples: 256, seed: 1, ..Default::default() }).unwrap();
+    let (x, y) = materialize(&ds).unwrap();
+    let loss = CrossEntropyLoss::new();
+    let mut opt = Sgd::with_momentum(0.05, 0.9, 0.0);
+    for _ in 0..40 {
+        net.train_batch(&x, &y, &loss, &mut opt).unwrap();
+    }
+    (net, x, y)
+}
+
+#[test]
+fn protected_activations_never_exceed_their_bounds_under_weight_corruption() {
+    let (mut net, x, _) = trained_network();
+    let profile = ActivationProfiler::new(64).unwrap().profile(&mut net, &x).unwrap();
+
+    for scheme in [ProtectionScheme::ClipAct, ProtectionScheme::FitActNaive] {
+        let mut protected = net.clone();
+        apply_protection(&mut protected, &profile, scheme).unwrap();
+        // Corrupt the first-layer weights with sign-bit flips (the worst case).
+        let injector = BitFlipInjector::new(3);
+        let sites: Vec<FaultSite> =
+            (0..8).map(|e| FaultSite { param_index: 0, element: e, bit: 31 }).collect();
+        injector.inject(&mut protected, &sites);
+        // The hidden activations cannot exceed the calibrated layer maxima, so
+        // the logits stay in a sane range instead of exploding to ~1e4.
+        let logits = protected.forward(&x, Mode::Eval).unwrap();
+        assert!(logits.is_finite());
+        let limit = 100.0 * (profile.slots[0].layer_max + profile.slots[1].layer_max + 1.0);
+        assert!(
+            logits.max().abs() < limit && logits.min().abs() < limit,
+            "{scheme}: corrupted logits escaped the bounded range: {} / {}",
+            logits.max(),
+            logits.min()
+        );
+    }
+}
+
+#[test]
+fn unprotected_network_lets_corrupted_values_explode() {
+    let (mut net, x, _) = trained_network();
+    let injector = BitFlipInjector::new(3);
+    let sites: Vec<FaultSite> =
+        (0..8).map(|e| FaultSite { param_index: 0, element: e, bit: 31 }).collect();
+    injector.inject(&mut net, &sites);
+    let logits = net.forward(&x, Mode::Eval).unwrap();
+    // With plain ReLU the sign-flipped weights (≈ ±32768) drive the logits to
+    // enormous magnitudes — the failure mode the paper protects against.
+    assert!(logits.max().abs() > 1_000.0 || logits.min().abs() > 1_000.0);
+}
+
+#[test]
+fn fitact_bound_parameters_are_part_of_the_fault_space() {
+    let (mut net, x, _) = trained_network();
+    let profile = ActivationProfiler::new(64).unwrap().profile(&mut net, &x).unwrap();
+    let base_bits = MemoryMap::of_network(&net).total_bits();
+    apply_protection(&mut net, &profile, ProtectionScheme::FitAct { slope: 8.0 }).unwrap();
+    let protected_bits = MemoryMap::of_network(&net).total_bits();
+    let extra_words = (protected_bits - base_bits) / 32;
+    assert_eq!(extra_words as usize, profile.total_neurons());
+    // And the lambda spans are addressable by the injector.
+    let map = MemoryMap::of_network(&net);
+    assert!(map.spans().iter().any(|s| s.path.ends_with("lambda")));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever single bit is flipped anywhere in the parameter memory, the
+    /// Clip-Act protected model's output stays finite and bounded.
+    #[test]
+    fn any_single_bit_flip_is_contained_by_clipact(bit in 0u32..32, element in 0usize..16, param in 0usize..6) {
+        let (mut net, x, _) = trained_network();
+        let profile = ActivationProfiler::new(64).unwrap().profile(&mut net, &x).unwrap();
+        apply_protection(&mut net, &profile, ProtectionScheme::ClipAct).unwrap();
+        let injector = BitFlipInjector::new(0);
+        injector.inject(&mut net, &[FaultSite { param_index: param, element, bit }]);
+        let logits = net.forward(&x, Mode::Eval).unwrap();
+        prop_assert!(logits.is_finite());
+    }
+}
