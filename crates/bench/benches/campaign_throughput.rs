@@ -1,0 +1,84 @@
+//! Criterion bench for fault-injection campaign throughput.
+//!
+//! The Monte-Carlo campaigns behind the paper's Figs. 5–6 run thousands of
+//! inject → evaluate → restore trials; this bench measures trials/second of
+//! the serial path against the trial-parallel path at the machine's core
+//! count, on the same small quantised MLP the campaign tests use. The two
+//! paths produce bit-identical results (pinned by
+//! `parallel_campaign_matches_serial_bit_for_bit`), so any gap is pure
+//! scheduling overhead or speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fitact_faults::{quantize_network, Campaign, CampaignConfig};
+use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+use fitact_nn::loss::CrossEntropyLoss;
+use fitact_nn::optim::Sgd;
+use fitact_nn::Network;
+use fitact_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small trained, quantised MLP plus its evaluation set.
+fn trained_setup() -> (Network, Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let root = Sequential::new()
+        .with(Box::new(Linear::new(16, 64, &mut rng)))
+        .with(Box::new(ActivationLayer::relu("h", &[64])))
+        .with(Box::new(Linear::new(64, 4, &mut rng)));
+    let mut net = Network::new("mlp", root);
+    let inputs = init::uniform(&[256, 16], -1.0, 1.0, &mut rng);
+    let targets: Vec<usize> = (0..256)
+        .map(|i| {
+            let row = &inputs.as_slice()[i * 16..(i + 1) * 16];
+            usize::from(row[0] > row[1]) + 2 * usize::from(row[2] > row[3])
+        })
+        .collect();
+    let loss = CrossEntropyLoss::new();
+    let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+    for _ in 0..20 {
+        net.train_batch(&inputs, &targets, &loss, &mut opt)
+            .expect("training step");
+    }
+    quantize_network(&mut net);
+    (net, inputs, targets)
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let (mut net, inputs, targets) = trained_setup();
+    let config = CampaignConfig {
+        fault_rate: 1e-4,
+        trials: 64,
+        batch_size: 64,
+        seed: 42,
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("serial", config.trials), &(), |b, ()| {
+        b.iter(|| {
+            Campaign::new(&mut net, &inputs, &targets)
+                .expect("campaign builds")
+                .run_serial(&config)
+                .expect("campaign runs")
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new(format!("parallel_x{cores}"), config.trials),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                Campaign::new(&mut net, &inputs, &targets)
+                    .expect("campaign builds")
+                    .run_with_threads(&config, cores)
+                    .expect("campaign runs")
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion bench for the cache-blocked matmul kernel.
+//!
+//! Measures the packed GEBP kernel behind `Tensor::matmul` across the square
+//! sizes that dominate this workload (64–512), its transposed variants, and —
+//! as the speedup reference — a faithful copy of the seed's scalar
+//! `matmul_rows` kernel (branchy zero-skip row loop). The acceptance bar for
+//! the kernel overhaul is ≥ 3× over that scalar kernel at 256×256×256 on a
+//! single thread.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fitact_tensor::matmul::{matmul_into, Layout};
+
+/// The seed repository's scalar kernel, kept verbatim as the baseline: row
+/// loop, `a_val == 0.0` skip, axpy inner loop over `b` rows.
+fn seed_scalar_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for j in 0..n {
+                out_row[j] += a_val * b_row[j];
+            }
+        }
+    }
+}
+
+fn operands(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+    let gen = |len: usize, salt: u32| -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                ((i as u32).wrapping_mul(2_654_435_761).wrapping_add(salt) % 1000) as f32 / 500.0
+                    - 1.0
+            })
+            .collect()
+    };
+    (gen(m * k, 1), gen(k * n, 2))
+}
+
+fn bench_square_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for size in [64usize, 128, 256, 512] {
+        let (a, b) = operands(size, size, size);
+        let mut out = vec![0.0f32; size * size];
+        group.bench_with_input(BenchmarkId::new("blocked", size), &(), |bench, ()| {
+            bench.iter(|| {
+                matmul_into(
+                    Layout::Nn,
+                    black_box(&a),
+                    black_box(&b),
+                    &mut out,
+                    size,
+                    size,
+                    size,
+                    false,
+                );
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("seed_scalar", size), &(), |bench, ()| {
+            bench.iter(|| {
+                out.fill(0.0);
+                seed_scalar_kernel(black_box(&a), black_box(&b), &mut out, size, size, size);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_transposed_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_variants");
+    group.sample_size(20);
+    let size = 256usize;
+    let (a, b) = operands(size, size, size);
+    let mut out = vec![0.0f32; size * size];
+    for (name, layout) in [("nn", Layout::Nn), ("tn", Layout::Tn), ("nt", Layout::Nt)] {
+        group.bench_with_input(BenchmarkId::new(name, size), &(), |bench, ()| {
+            bench.iter(|| {
+                matmul_into(
+                    layout,
+                    black_box(&a),
+                    black_box(&b),
+                    &mut out,
+                    size,
+                    size,
+                    size,
+                    false,
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_square_sizes, bench_transposed_variants);
+criterion_main!(benches);

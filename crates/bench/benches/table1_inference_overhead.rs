@@ -36,15 +36,27 @@ fn bench_inference(c: &mut Criterion) {
         let mut relu_net = architecture.build(&config).expect("model builds");
         let profile = unit_profile(&mut relu_net);
         let mut fitact_net = relu_net.clone();
-        apply_protection(&mut fitact_net, &profile, ProtectionScheme::FitAct { slope: 8.0 })
-            .expect("protection applies");
+        apply_protection(
+            &mut fitact_net,
+            &profile,
+            ProtectionScheme::FitAct { slope: 8.0 },
+        )
+        .expect("protection applies");
 
-        group.bench_with_input(BenchmarkId::new("relu", architecture.name()), &(), |b, ()| {
-            b.iter(|| relu_net.forward(&input, Mode::Eval).expect("forward"));
-        });
-        group.bench_with_input(BenchmarkId::new("fitact", architecture.name()), &(), |b, ()| {
-            b.iter(|| fitact_net.forward(&input, Mode::Eval).expect("forward"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("relu", architecture.name()),
+            &(),
+            |b, ()| {
+                b.iter(|| relu_net.forward(&input, Mode::Eval).expect("forward"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fitact", architecture.name()),
+            &(),
+            |b, ()| {
+                b.iter(|| fitact_net.forward(&input, Mode::Eval).expect("forward"));
+            },
+        );
     }
     group.finish();
 }

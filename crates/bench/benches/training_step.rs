@@ -34,9 +34,16 @@ fn bench_training_steps(c: &mut Criterion) {
     });
 
     // Stage 2: bound post-training step.
-    let fitact = FitAct::new(FitActConfig { batch_size: 16, ..Default::default() });
-    let profile = fitact.calibrate(&mut network, &batch).expect("calibration succeeds");
-    fitact.modify(&mut network, &profile).expect("modification succeeds");
+    let fitact = FitAct::new(FitActConfig {
+        batch_size: 16,
+        ..Default::default()
+    });
+    let profile = fitact
+        .calibrate(&mut network, &batch)
+        .expect("calibration succeeds");
+    fitact
+        .modify(&mut network, &profile)
+        .expect("modification succeeds");
     let mut adam = Adam::new(0.02);
     group.bench_function("post_training_adam_step", |b| {
         b.iter(|| {

@@ -15,7 +15,10 @@ use fitact_nn::models::Architecture;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::from_env();
-    eprintln!("[ablation] preparing VGG16 on synthetic CIFAR-10 at scale `{}` ...", scale.name);
+    eprintln!(
+        "[ablation] preparing VGG16 on synthetic CIFAR-10 at scale `{}` ...",
+        scale.name
+    );
     let prepared = prepare_model(Architecture::Vgg16, DatasetKind::Cifar10, &scale, 42)?;
     let rate_scale = ExperimentScale::rate_scale();
 
@@ -32,7 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "Ablation — bound granularity (VGG16 / CIFAR-10, baseline {:.2}%)",
             100.0 * prepared.baseline_accuracy
         ),
-        &["granularity", "extra_bound_words", "fault_free_%", "acc@1e-6_%", "acc@3e-6_%", "acc@1e-5_%"],
+        &[
+            "granularity",
+            "extra_bound_words",
+            "fault_free_%",
+            "acc@1e-6_%",
+            "acc@3e-6_%",
+            "acc@1e-5_%",
+        ],
     );
 
     for scheme in schemes {
@@ -43,8 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|i| i.path.ends_with("lambda"))
             .map(|i| i.numel)
             .sum();
-        let fault_free =
-            network.evaluate(&prepared.test_inputs, &prepared.test_labels, scale.batch_size)?;
+        let fault_free = network.evaluate(
+            &prepared.test_inputs,
+            &prepared.test_labels,
+            scale.batch_size,
+        )?;
         let mut row = vec![
             scheme.name().to_string(),
             extra_words.to_string(),

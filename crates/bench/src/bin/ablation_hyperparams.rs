@@ -15,13 +15,20 @@ use fitact_nn::models::Architecture;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::from_env();
-    eprintln!("[ablation] preparing AlexNet on synthetic CIFAR-10 at scale `{}` ...", scale.name);
+    eprintln!(
+        "[ablation] preparing AlexNet on synthetic CIFAR-10 at scale `{}` ...",
+        scale.name
+    );
     let prepared = prepare_model(Architecture::AlexNet, DatasetKind::Cifar10, &scale, 42)?;
     let fault_rate = 3e-5 * ExperimentScale::rate_scale();
 
     let evaluate = |slope: f32, zeta: f32| -> Result<(f32, f32, f32), Box<dyn std::error::Error>> {
         let mut network = prepared.network.clone();
-        apply_protection(&mut network, &prepared.profile, ProtectionScheme::FitAct { slope })?;
+        apply_protection(
+            &mut network,
+            &prepared.profile,
+            ProtectionScheme::FitAct { slope },
+        )?;
         let config = FitActConfig {
             slope,
             zeta,
@@ -35,8 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &prepared.train_labels,
         )?;
         quantize_network(&mut network);
-        let fault_free =
-            network.evaluate(&prepared.test_inputs, &prepared.test_labels, scale.batch_size)?;
+        let fault_free = network.evaluate(
+            &prepared.test_inputs,
+            &prepared.test_labels,
+            scale.batch_size,
+        )?;
         let result = Campaign::new(&mut network, &prepared.test_inputs, &prepared.test_labels)?
             .run(&CampaignConfig {
                 fault_rate,
@@ -48,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let mut slope_table = Table::new(
-        format!("Ablation — FitReLU slope k (AlexNet / CIFAR-10, baseline {:.2}%)", 100.0 * prepared.baseline_accuracy),
+        format!(
+            "Ablation — FitReLU slope k (AlexNet / CIFAR-10, baseline {:.2}%)",
+            100.0 * prepared.baseline_accuracy
+        ),
         &["k", "fault_free_%", "acc_under_fault_%", "mean_bound_after"],
     );
     for k in [2.0f32, 4.0, 8.0, 16.0, 32.0] {
@@ -59,14 +72,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.2}", 100.0 * under_fault),
             format!("{bound:.3}"),
         ]);
-        eprintln!("[ablation] k = {k}: fault-free {:.2}%, under fault {:.2}%", 100.0 * fault_free, 100.0 * under_fault);
+        eprintln!(
+            "[ablation] k = {k}: fault-free {:.2}%, under fault {:.2}%",
+            100.0 * fault_free,
+            100.0 * under_fault
+        );
     }
     println!("{}", slope_table.to_pretty_string());
     slope_table.write_csv("ablation_slope.csv")?;
 
     let mut zeta_table = Table::new(
         "Ablation — bound regularisation weight zeta (AlexNet / CIFAR-10)",
-        &["zeta", "fault_free_%", "acc_under_fault_%", "mean_bound_after"],
+        &[
+            "zeta",
+            "fault_free_%",
+            "acc_under_fault_%",
+            "mean_bound_after",
+        ],
     );
     for zeta in [0.0f32, 0.01, 0.05, 0.2, 1.0] {
         let (fault_free, under_fault, bound) = evaluate(8.0, zeta)?;

@@ -28,10 +28,16 @@ const PAPER_FAULT_RATE: f64 = 1e-5;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::from_env();
-    eprintln!("[fig1] preparing VGG16 on synthetic CIFAR-10 at scale `{}` ...", scale.name);
+    eprintln!(
+        "[fig1] preparing VGG16 on synthetic CIFAR-10 at scale `{}` ...",
+        scale.name
+    );
     let prepared = prepare_model(Architecture::Vgg16, DatasetKind::Cifar10, &scale, 7)?;
     let baseline = prepared.baseline_accuracy;
-    eprintln!("[fig1] fault-free baseline accuracy: {:.2}%", 100.0 * baseline);
+    eprintln!(
+        "[fig1] fault-free baseline accuracy: {:.2}%",
+        100.0 * baseline
+    );
 
     // Scale the fault rate so the expected flip count in the two targeted
     // layers matches the paper's full-width model at PAPER_FAULT_RATE.
@@ -67,8 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         // Fault-free accuracy with this bound installed (shows the accuracy
         // loss when the bound is too small).
-        let fault_free =
-            network.evaluate(&prepared.test_inputs, &prepared.test_labels, scale.batch_size)?;
+        let fault_free = network.evaluate(
+            &prepared.test_inputs,
+            &prepared.test_labels,
+            scale.batch_size,
+        )?;
         let mut campaign = Campaign::with_layer_filter(
             &mut network,
             &prepared.test_inputs,

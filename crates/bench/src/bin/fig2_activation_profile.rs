@@ -14,7 +14,10 @@ use fitact_nn::models::{Architecture, VGG16_SECOND_ACT_SLOT};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::from_env();
-    eprintln!("[fig2] preparing VGG16 on synthetic CIFAR-10 at scale `{}` ...", scale.name);
+    eprintln!(
+        "[fig2] preparing VGG16 on synthetic CIFAR-10 at scale `{}` ...",
+        scale.name
+    );
     let prepared = prepare_model(Architecture::Vgg16, DatasetKind::Cifar10, &scale, 42)?;
     eprintln!(
         "[fig2] base model trained: fault-free test accuracy {:.2}%",

@@ -16,9 +16,15 @@ use fitact_nn::models::Architecture;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::from_env();
-    eprintln!("[fig5] preparing VGG16 on synthetic CIFAR-10 at scale `{}` ...", scale.name);
+    eprintln!(
+        "[fig5] preparing VGG16 on synthetic CIFAR-10 at scale `{}` ...",
+        scale.name
+    );
     let prepared = prepare_model(Architecture::Vgg16, DatasetKind::Cifar10, &scale, 42)?;
-    eprintln!("[fig5] fault-free baseline accuracy: {:.2}%", 100.0 * prepared.baseline_accuracy);
+    eprintln!(
+        "[fig5] fault-free baseline accuracy: {:.2}%",
+        100.0 * prepared.baseline_accuracy
+    );
 
     // Fraction-preserving by default; override with FITACT_RATE_SCALE.
     let rate_scale = ExperimentScale::rate_scale();

@@ -22,7 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rate_scale = ExperimentScale::rate_scale();
     let mut table = Table::new(
         "Fig. 6 — average accuracy per dataset / architecture / scheme / fault rate",
-        &["dataset", "architecture", "scheme", "nominal_fault_rate", "mean_accuracy_%", "baseline_%"],
+        &[
+            "dataset",
+            "architecture",
+            "scheme",
+            "nominal_fault_rate",
+            "mean_accuracy_%",
+            "baseline_%",
+        ],
     );
 
     for kind in DatasetKind::ALL {
@@ -40,11 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for scheme in ProtectionScheme::paper_schemes() {
                 let mut network = prepared.protected(scheme, &scale)?;
                 for (i, &nominal) in PAPER_FAULT_RATES.iter().enumerate() {
-                    let mut campaign = Campaign::new(
-                        &mut network,
-                        &prepared.test_inputs,
-                        &prepared.test_labels,
-                    )?;
+                    let mut campaign =
+                        Campaign::new(&mut network, &prepared.test_inputs, &prepared.test_labels)?;
                     let result = campaign.run(&CampaignConfig {
                         fault_rate: nominal * rate_scale,
                         trials: scale.trials,

@@ -10,8 +10,8 @@
 //! work per activation). Criterion-based timing lives in
 //! `benches/table1_inference_overhead.rs`.
 
-use fitact::{apply_protection, MemoryModel, ProtectionScheme, SlotProfile};
 use fitact::ActivationProfile;
+use fitact::{apply_protection, MemoryModel, ProtectionScheme, SlotProfile};
 use fitact_bench::report::Table;
 use fitact_bench::setup::ExperimentScale;
 use fitact_data::DatasetKind;
@@ -85,13 +85,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             drop(full);
 
             // --- Runtime (width-scaled models, single image). ---
-            let small_config =
-                ModelConfig::new(kind.classes()).with_width(runtime_width).with_seed(1);
+            let small_config = ModelConfig::new(kind.classes())
+                .with_width(runtime_width)
+                .with_seed(1);
             let mut relu_net = architecture.build(&small_config)?;
             let relu_ms = forward_ms(&mut relu_net, reps)?;
             let profile = unit_profile(&mut relu_net);
             let mut fitact_net = relu_net.clone();
-            apply_protection(&mut fitact_net, &profile, ProtectionScheme::FitAct { slope: 8.0 })?;
+            apply_protection(
+                &mut fitact_net,
+                &profile,
+                ProtectionScheme::FitAct { slope: 8.0 },
+            )?;
             let fitact_ms = forward_ms(&mut fitact_net, reps)?;
 
             let runtime_overhead = 100.0 * (fitact_ms - relu_ms) / relu_ms;

@@ -39,11 +39,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for architecture in Architecture::ALL {
-        eprintln!("[training_overhead] measuring {architecture} at scale `{}` ...", scale.name);
+        eprintln!(
+            "[training_overhead] measuring {architecture} at scale `{}` ...",
+            scale.name
+        );
         let config = ModelConfig::new(10).with_width(scale.width).with_seed(2);
         let mut network = architecture.build(&config)?;
-        let fitact =
-            FitAct::new(FitActConfig { batch_size: scale.batch_size, post_train_epochs: 1, ..Default::default() });
+        let fitact = FitAct::new(FitActConfig {
+            batch_size: scale.batch_size,
+            post_train_epochs: 1,
+            ..Default::default()
+        });
 
         // One conventional-training epoch (stage 1).
         let start = Instant::now();
@@ -58,8 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let post_epoch = start.elapsed().as_secs_f64();
 
         let per_epoch_ratio = 100.0 * post_epoch / conventional_epoch;
-        let projected = 100.0 * (post_epoch * POST_TRAIN_EPOCHS)
-            / (conventional_epoch * CONVENTIONAL_EPOCHS);
+        let projected =
+            100.0 * (post_epoch * POST_TRAIN_EPOCHS) / (conventional_epoch * CONVENTIONAL_EPOCHS);
         table.push_row(vec![
             architecture.name().into(),
             format!("{conventional_epoch:.2}"),

@@ -10,8 +10,12 @@
 //! variable: `tiny` (seconds, for smoke tests), `quick` (minutes, the
 //! default), or `full` (closer to paper scale; hours on a CPU).
 
-use fitact::{apply_protection, ActivationProfile, ActivationProfiler, FitAct, FitActConfig, ProtectionScheme};
-use fitact_data::{materialize, DataError, Dataset, DatasetKind, SyntheticCifar, SyntheticCifarConfig};
+use fitact::{
+    apply_protection, ActivationProfile, ActivationProfiler, FitAct, FitActConfig, ProtectionScheme,
+};
+use fitact_data::{
+    materialize, DataError, Dataset, DatasetKind, SyntheticCifar, SyntheticCifarConfig,
+};
 use fitact_faults::quantize_network;
 use fitact_nn::models::{Architecture, ModelConfig};
 use fitact_nn::Network;
@@ -116,7 +120,10 @@ impl ExperimentScale {
     /// full-width/actual bit ratio if matching the *absolute* flip count is
     /// desired instead.
     pub fn rate_scale() -> f64 {
-        std::env::var("FITACT_RATE_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+        std::env::var("FITACT_RATE_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0)
     }
 }
 
@@ -204,10 +211,15 @@ pub fn prepare_model(
     seed: u64,
 ) -> Result<PreparedModel, Box<dyn std::error::Error>> {
     let (train_inputs, train_labels, test_inputs, test_labels) = prepare_data(kind, scale, seed)?;
-    let model_config = ModelConfig::new(kind.classes()).with_width(scale.width).with_seed(seed);
+    let model_config = ModelConfig::new(kind.classes())
+        .with_width(scale.width)
+        .with_seed(seed);
     let mut network = architecture.build(&model_config)?;
 
-    let fitact = FitAct::new(FitActConfig { batch_size: scale.batch_size, ..Default::default() });
+    let fitact = FitAct::new(FitActConfig {
+        batch_size: scale.batch_size,
+        ..Default::default()
+    });
     fitact.train_for_accuracy(
         &mut network,
         &train_inputs,
@@ -270,14 +282,19 @@ mod tests {
     #[test]
     fn prepare_model_trains_and_calibrates_a_tiny_alexnet() {
         let scale = ExperimentScale::tiny();
-        let prepared = prepare_model(Architecture::AlexNet, DatasetKind::Cifar10, &scale, 3).unwrap();
+        let prepared =
+            prepare_model(Architecture::AlexNet, DatasetKind::Cifar10, &scale, 3).unwrap();
         assert!(prepared.baseline_accuracy >= 0.0 && prepared.baseline_accuracy <= 1.0);
         assert!(!prepared.profile.is_empty());
         // A protected copy can be built for every paper scheme.
         for scheme in ProtectionScheme::paper_schemes() {
             let mut protected = prepared.protected(scheme, &scale).unwrap();
             assert!(protected
-                .evaluate(&prepared.test_inputs, &prepared.test_labels, scale.batch_size)
+                .evaluate(
+                    &prepared.test_inputs,
+                    &prepared.test_labels,
+                    scale.batch_size
+                )
                 .is_ok());
         }
     }

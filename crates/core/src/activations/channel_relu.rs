@@ -28,7 +28,10 @@ impl ChannelRelu {
     /// Panics if `bounds` is empty, `plane == 0`, or any bound is negative or
     /// non-finite.
     pub fn from_bounds(bounds: &[f32], plane: usize) -> Self {
-        assert!(!bounds.is_empty(), "ChannelReLU needs at least one channel bound");
+        assert!(
+            !bounds.is_empty(),
+            "ChannelReLU needs at least one channel bound"
+        );
         assert!(plane > 0, "ChannelReLU plane size must be non-zero");
         assert!(
             bounds.iter().all(|b| b.is_finite() && *b >= 0.0),
@@ -38,7 +41,11 @@ impl ChannelRelu {
             .expect("bounds vector matches its own length");
         let mut param = Parameter::new("lambda", tensor);
         param.freeze();
-        ChannelRelu { bounds: param, plane, cached_input: None }
+        ChannelRelu {
+            bounds: param,
+            plane,
+            cached_input: None,
+        }
     }
 
     /// Number of channels covered by this activation.

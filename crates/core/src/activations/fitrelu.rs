@@ -54,15 +54,25 @@ impl FitRelu {
     /// Panics if `bounds` is empty, contains a negative or non-finite value,
     /// or `slope` is not strictly positive.
     pub fn from_bounds(bounds: &[f32], slope: f32) -> Self {
-        assert!(!bounds.is_empty(), "FitReLU needs at least one neuron bound");
+        assert!(
+            !bounds.is_empty(),
+            "FitReLU needs at least one neuron bound"
+        );
         assert!(
             bounds.iter().all(|b| b.is_finite() && *b >= 0.0),
             "FitReLU bounds must be finite and non-negative"
         );
-        assert!(slope > 0.0 && slope.is_finite(), "FitReLU slope k must be positive and finite");
+        assert!(
+            slope > 0.0 && slope.is_finite(),
+            "FitReLU slope k must be positive and finite"
+        );
         let tensor = Tensor::from_vec(bounds.to_vec(), &[bounds.len()])
             .expect("bounds vector matches its own length");
-        FitRelu { bounds: Parameter::new("lambda", tensor), slope, cached_input: None }
+        FitRelu {
+            bounds: Parameter::new("lambda", tensor),
+            slope,
+            cached_input: None,
+        }
     }
 
     /// Number of neurons covered by this activation.
@@ -257,8 +267,14 @@ mod tests {
             bounds_plus[neuron] += eps;
             let mut bounds_minus = vec![2.0, 3.0];
             bounds_minus[neuron] -= eps;
-            let yp = FitRelu::from_bounds(&bounds_plus, 4.0).forward(&x).unwrap().sum();
-            let ym = FitRelu::from_bounds(&bounds_minus, 4.0).forward(&x).unwrap().sum();
+            let yp = FitRelu::from_bounds(&bounds_plus, 4.0)
+                .forward(&x)
+                .unwrap()
+                .sum();
+            let ym = FitRelu::from_bounds(&bounds_minus, 4.0)
+                .forward(&x)
+                .unwrap()
+                .sum();
             let numeric = (yp - ym) / (2.0 * eps);
             assert!(
                 (analytic_lambda.as_slice()[neuron] - numeric).abs() < 1e-2,
@@ -276,7 +292,8 @@ mod tests {
         act.backward(&Tensor::ones(&[3, 1])).unwrap();
         let single = {
             let mut a = FitRelu::from_bounds(&[2.0], 4.0);
-            a.forward(&Tensor::from_vec(vec![1.9], &[1, 1]).unwrap()).unwrap();
+            a.forward(&Tensor::from_vec(vec![1.9], &[1, 1]).unwrap())
+                .unwrap();
             a.backward(&Tensor::ones(&[1, 1])).unwrap();
             a.bounds.grad().as_slice()[0]
         };

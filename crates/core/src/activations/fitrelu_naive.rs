@@ -30,7 +30,10 @@ impl FitReluNaive {
     ///
     /// Panics if `bounds` is empty or contains a negative/non-finite value.
     pub fn from_bounds(bounds: &[f32]) -> Self {
-        assert!(!bounds.is_empty(), "FitReLU-Naive needs at least one neuron bound");
+        assert!(
+            !bounds.is_empty(),
+            "FitReLU-Naive needs at least one neuron bound"
+        );
         assert!(
             bounds.iter().all(|b| b.is_finite() && *b >= 0.0),
             "FitReLU-Naive bounds must be finite and non-negative"
@@ -40,7 +43,10 @@ impl FitReluNaive {
         let mut param = Parameter::new("lambda", tensor);
         // Not trainable: Eq. 5 has no usable gradient with respect to λ.
         param.freeze();
-        FitReluNaive { bounds: param, cached_input: None }
+        FitReluNaive {
+            bounds: param,
+            cached_input: None,
+        }
     }
 
     /// Number of neurons covered by this activation.
@@ -55,7 +61,10 @@ impl FitReluNaive {
 
     fn check_input(&self, input: &Tensor) -> Result<usize, NnError> {
         let neurons = self.num_neurons();
-        if input.ndim() < 2 || input.numel() % neurons != 0 || input.dims()[1..].iter().product::<usize>() != neurons {
+        if input.ndim() < 2
+            || !input.numel().is_multiple_of(neurons)
+            || input.dims()[1..].iter().product::<usize>() != neurons
+        {
             return Err(NnError::InvalidInput {
                 layer: "fitrelu_naive".into(),
                 expected: format!("[batch, ...] with {neurons} features per sample"),
@@ -201,7 +210,8 @@ mod tests {
     fn multidimensional_feature_shapes_work() {
         // A [2, 1, 2, 2] conv feature map with 4 neurons (1×2×2).
         let mut act = FitReluNaive::from_bounds(&[1.0, 1.0, 1.0, 5.0]);
-        let x = Tensor::from_vec(vec![2.0, 2.0, 2.0, 2.0, 0.5, 0.5, 0.5, 0.5], &[2, 1, 2, 2]).unwrap();
+        let x =
+            Tensor::from_vec(vec![2.0, 2.0, 2.0, 2.0, 0.5, 0.5, 0.5, 0.5], &[2, 1, 2, 2]).unwrap();
         let y = act.forward(&x).unwrap();
         assert_eq!(y.as_slice(), &[0.0, 0.0, 0.0, 2.0, 0.5, 0.5, 0.5, 0.5]);
     }

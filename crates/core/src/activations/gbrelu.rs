@@ -39,8 +39,14 @@ impl GbRelu {
     ///
     /// Panics if `bound` is not finite or is negative.
     pub fn new(bound: f32) -> Self {
-        assert!(bound.is_finite() && bound >= 0.0, "GBReLU bound must be finite and non-negative");
-        GbRelu { bound, cached_input: None }
+        assert!(
+            bound.is_finite() && bound >= 0.0,
+            "GBReLU bound must be finite and non-negative"
+        );
+        GbRelu {
+            bound,
+            cached_input: None,
+        }
     }
 
     /// The layer-wide bound λ.
@@ -66,7 +72,10 @@ impl Activation for GbRelu {
             .as_ref()
             .ok_or_else(|| NnError::BackwardBeforeForward("gbrelu".into()))?;
         let bound = self.bound;
-        Ok(input.zip_map(grad_output, |x, g| if x > 0.0 && x <= bound { g } else { 0.0 })?)
+        Ok(input.zip_map(
+            grad_output,
+            |x, g| if x > 0.0 && x <= bound { g } else { 0.0 },
+        )?)
     }
 
     fn eval_scalar(&self, x: f32, _neuron: usize) -> f32 {

@@ -65,7 +65,10 @@ mod tests {
         let bound = 2.0f32;
         assert_eq!(Ranger::new(bound).eval_scalar(10.0, 0), bound);
         assert_eq!(GbRelu::new(bound).eval_scalar(10.0, 0), 0.0);
-        assert_eq!(FitReluNaive::from_bounds(&[bound]).eval_scalar(10.0, 0), 0.0);
+        assert_eq!(
+            FitReluNaive::from_bounds(&[bound]).eval_scalar(10.0, 0),
+            0.0
+        );
         assert!(FitRelu::from_bounds(&[bound], DEFAULT_SLOPE).eval_scalar(10.0, 0) < 0.01);
     }
 }

@@ -29,8 +29,14 @@ impl Ranger {
     ///
     /// Panics if `bound` is not finite or is negative.
     pub fn new(bound: f32) -> Self {
-        assert!(bound.is_finite() && bound >= 0.0, "Ranger bound must be finite and non-negative");
-        Ranger { bound, cached_input: None }
+        assert!(
+            bound.is_finite() && bound >= 0.0,
+            "Ranger bound must be finite and non-negative"
+        );
+        Ranger {
+            bound,
+            cached_input: None,
+        }
     }
 
     /// The layer-wide bound λ.
@@ -56,7 +62,10 @@ impl Activation for Ranger {
             .as_ref()
             .ok_or_else(|| NnError::BackwardBeforeForward("ranger".into()))?;
         let bound = self.bound;
-        Ok(input.zip_map(grad_output, |x, g| if x > 0.0 && x <= bound { g } else { 0.0 })?)
+        Ok(input.zip_map(
+            grad_output,
+            |x, g| if x > 0.0 && x <= bound { g } else { 0.0 },
+        )?)
     }
 
     fn eval_scalar(&self, x: f32, _neuron: usize) -> f32 {

@@ -101,7 +101,9 @@ impl ActivationProfiler {
     /// Returns [`FitActError::InvalidConfig`] if `batch_size == 0`.
     pub fn new(batch_size: usize) -> Result<Self, FitActError> {
         if batch_size == 0 {
-            return Err(FitActError::InvalidConfig("profiler batch_size must be non-zero".into()));
+            return Err(FitActError::InvalidConfig(
+                "profiler batch_size must be non-zero".into(),
+            ));
         }
         Ok(ActivationProfiler { batch_size })
     }
@@ -150,13 +152,22 @@ impl ActivationProfiler {
             .map(|((label, feature_shape), recorder)| {
                 let per_neuron_max = recorder.lock().expect("profiler mutex poisoned").clone();
                 let layer_max = per_neuron_max.iter().copied().fold(0.0f32, f32::max);
-                SlotProfile { label, feature_shape, per_neuron_max, layer_max }
+                SlotProfile {
+                    label,
+                    feature_shape,
+                    per_neuron_max,
+                    layer_max,
+                }
             })
             .collect();
         Ok(ActivationProfile { slots })
     }
 
-    fn run_forward_passes(&self, network: &mut Network, inputs: &Tensor) -> Result<(), FitActError> {
+    fn run_forward_passes(
+        &self,
+        network: &mut Network,
+        inputs: &Tensor,
+    ) -> Result<(), FitActError> {
         if inputs.ndim() == 0 || inputs.dims()[0] == 0 {
             return Err(FitActError::InvalidConfig(
                 "calibration set must contain at least one sample".into(),
@@ -188,7 +199,11 @@ struct RecordingRelu {
 
 impl RecordingRelu {
     fn new(maxima: Arc<Mutex<Vec<f32>>>, neurons: usize) -> Self {
-        RecordingRelu { maxima, neurons, cached_input: None }
+        RecordingRelu {
+            maxima,
+            neurons,
+            cached_input: None,
+        }
     }
 }
 
@@ -290,7 +305,10 @@ mod tests {
         let mut net = network_with_known_weights();
         let before = net.snapshot();
         let inputs = Tensor::from_vec(vec![1.0, -1.0, 0.3, 0.7], &[2, 2]).unwrap();
-        ActivationProfiler::new(4).unwrap().profile(&mut net, &inputs).unwrap();
+        ActivationProfiler::new(4)
+            .unwrap()
+            .profile(&mut net, &inputs)
+            .unwrap();
         assert_eq!(net.snapshot(), before);
     }
 
@@ -333,7 +351,10 @@ mod tests {
         // x1 always negative → neuron 1 output (-x1) positive; neuron 0 sees
         // only negative x0 → never fires.
         let inputs = Tensor::from_vec(vec![-1.0, -2.0, -0.5, -4.0], &[2, 2]).unwrap();
-        let profile = ActivationProfiler::new(2).unwrap().profile(&mut net, &inputs).unwrap();
+        let profile = ActivationProfiler::new(2)
+            .unwrap()
+            .profile(&mut net, &inputs)
+            .unwrap();
         assert_eq!(profile.slots[0].per_neuron_max[0], 0.0);
         assert!(profile.slots[0].per_neuron_max[1] > 0.0);
     }

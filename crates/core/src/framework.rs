@@ -64,20 +64,28 @@ impl FitActConfig {
     /// Returns [`FitActError::InvalidConfig`] for non-positive slope/learning
     /// rate/batch size, a negative ζ, or a δ outside `[0, 1]`.
     pub fn validate(&self) -> Result<(), FitActError> {
-        if !(self.slope > 0.0) {
-            return Err(FitActError::InvalidConfig("slope k must be positive".into()));
+        if self.slope.is_nan() || self.slope <= 0.0 {
+            return Err(FitActError::InvalidConfig(
+                "slope k must be positive".into(),
+            ));
         }
         if self.zeta < 0.0 {
-            return Err(FitActError::InvalidConfig("zeta must be non-negative".into()));
+            return Err(FitActError::InvalidConfig(
+                "zeta must be non-negative".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.delta) {
             return Err(FitActError::InvalidConfig("delta must be in [0, 1]".into()));
         }
         if self.post_train_lr <= 0.0 {
-            return Err(FitActError::InvalidConfig("post_train_lr must be positive".into()));
+            return Err(FitActError::InvalidConfig(
+                "post_train_lr must be positive".into(),
+            ));
         }
         if self.batch_size == 0 {
-            return Err(FitActError::InvalidConfig("batch_size must be non-zero".into()));
+            return Err(FitActError::InvalidConfig(
+                "batch_size must be non-zero".into(),
+            ));
         }
         Ok(())
     }
@@ -154,15 +162,9 @@ impl ResilientModel {
 }
 
 /// The FitAct workflow driver.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct FitAct {
     config: FitActConfig,
-}
-
-impl Default for FitAct {
-    fn default() -> Self {
-        FitAct { config: FitActConfig::default() }
-    }
 }
 
 impl FitAct {
@@ -251,7 +253,13 @@ impl FitAct {
         network: &mut Network,
         profile: &ActivationProfile,
     ) -> Result<(), FitActError> {
-        apply_protection(network, profile, ProtectionScheme::FitAct { slope: self.config.slope })
+        apply_protection(
+            network,
+            profile,
+            ProtectionScheme::FitAct {
+                slope: self.config.slope,
+            },
+        )
     }
 
     /// Stage 2: post-training of the bound parameters Θ_R for resilience.
@@ -406,7 +414,11 @@ impl FitAct {
         let profile = self.calibrate(&mut network, inputs)?;
         self.modify(&mut network, &profile)?;
         let report = self.post_train(&mut network, inputs, targets)?;
-        Ok(ResilientModel { network, profile, report })
+        Ok(ResilientModel {
+            network,
+            profile,
+            report,
+        })
     }
 }
 
@@ -447,6 +459,7 @@ fn restore_lambda(network: &mut Network, indices: &[usize], snapshot: &[Tensor])
 
 /// Runs one epoch of mini-batches over `(inputs, targets)` with a shuffled
 /// order, calling `step` per batch. Returns `(mean loss, mean accuracy)`.
+#[allow(clippy::type_complexity)]
 fn run_epoch(
     network: &mut Network,
     inputs: &Tensor,
@@ -506,24 +519,57 @@ mod tests {
     }
 
     fn blob_data(samples: usize, seed: u64) -> (Tensor, Vec<usize>) {
-        let ds = Blobs::new(BlobsConfig { samples, seed, ..Default::default() }).unwrap();
+        let ds = Blobs::new(BlobsConfig {
+            samples,
+            seed,
+            ..Default::default()
+        })
+        .unwrap();
         materialize(&ds).unwrap()
     }
 
     #[test]
     fn config_validation() {
         assert!(FitActConfig::default().validate().is_ok());
-        assert!(FitActConfig { slope: 0.0, ..Default::default() }.validate().is_err());
-        assert!(FitActConfig { zeta: -1.0, ..Default::default() }.validate().is_err());
-        assert!(FitActConfig { delta: 2.0, ..Default::default() }.validate().is_err());
-        assert!(FitActConfig { post_train_lr: 0.0, ..Default::default() }.validate().is_err());
-        assert!(FitActConfig { batch_size: 0, ..Default::default() }.validate().is_err());
+        assert!(FitActConfig {
+            slope: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FitActConfig {
+            zeta: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FitActConfig {
+            delta: 2.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FitActConfig {
+            post_train_lr: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FitActConfig {
+            batch_size: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     #[should_panic(expected = "invalid FitActConfig")]
     fn new_panics_on_invalid_config() {
-        let _ = FitAct::new(FitActConfig { slope: -1.0, ..Default::default() });
+        let _ = FitAct::new(FitActConfig {
+            slope: -1.0,
+            ..Default::default()
+        });
     }
 
     #[test]
@@ -532,10 +578,15 @@ mod tests {
         let (inputs, targets) = blob_data(192, 1);
         let fitact = FitAct::default();
         let before = net.evaluate(&inputs, &targets, 32).unwrap();
-        let report = fitact.train_for_accuracy(&mut net, &inputs, &targets, 15, 0.05).unwrap();
+        let report = fitact
+            .train_for_accuracy(&mut net, &inputs, &targets, 15, 0.05)
+            .unwrap();
         let after = net.evaluate(&inputs, &targets, 32).unwrap();
         assert!(after > before, "before {before}, after {after}");
-        assert!(after > 0.8, "expected the blobs problem to be learned, got {after}");
+        assert!(
+            after > 0.8,
+            "expected the blobs problem to be learned, got {after}"
+        );
         assert_eq!(report.epochs, 15);
         assert!(report.final_loss.is_finite());
         assert!(report.duration > Duration::ZERO);
@@ -556,9 +607,15 @@ mod tests {
     fn post_train_shrinks_bounds_and_respects_delta() {
         let mut net = mlp(2);
         let (inputs, targets) = blob_data(192, 3);
-        let config = FitActConfig { post_train_epochs: 4, zeta: 0.2, ..Default::default() };
+        let config = FitActConfig {
+            post_train_epochs: 4,
+            zeta: 0.2,
+            ..Default::default()
+        };
         let fitact = FitAct::new(config);
-        fitact.train_for_accuracy(&mut net, &inputs, &targets, 15, 0.05).unwrap();
+        fitact
+            .train_for_accuracy(&mut net, &inputs, &targets, 15, 0.05)
+            .unwrap();
         let profile = fitact.calibrate(&mut net, &inputs).unwrap();
         fitact.modify(&mut net, &profile).unwrap();
         let report = fitact.post_train(&mut net, &inputs, &targets).unwrap();
@@ -579,8 +636,13 @@ mod tests {
     fn post_train_does_not_change_weights() {
         let mut net = mlp(3);
         let (inputs, targets) = blob_data(96, 4);
-        let fitact = FitAct::new(FitActConfig { post_train_epochs: 2, ..Default::default() });
-        fitact.train_for_accuracy(&mut net, &inputs, &targets, 5, 0.05).unwrap();
+        let fitact = FitAct::new(FitActConfig {
+            post_train_epochs: 2,
+            ..Default::default()
+        });
+        fitact
+            .train_for_accuracy(&mut net, &inputs, &targets, 5, 0.05)
+            .unwrap();
         let profile = fitact.calibrate(&mut net, &inputs).unwrap();
         fitact.modify(&mut net, &profile).unwrap();
         // Record Θ_A (everything that is not a bound).
@@ -612,8 +674,11 @@ mod tests {
     /// Helper for the weight-freeze test: the original bound initialisation of
     /// the single slot (works because the test MLP has one activation slot).
     fn profile_bounds_for_index(profile: &ActivationProfile, _index: usize) -> Tensor {
-        let bounds: Vec<f32> =
-            profile.slots[0].per_neuron_max.iter().map(|&v| v.max(crate::protect::BOUND_FLOOR)).collect();
+        let bounds: Vec<f32> = profile.slots[0]
+            .per_neuron_max
+            .iter()
+            .map(|&v| v.max(crate::protect::BOUND_FLOOR))
+            .collect();
         Tensor::from_vec(bounds.clone(), &[bounds.len()]).unwrap()
     }
 
@@ -621,7 +686,10 @@ mod tests {
     fn post_train_restores_trainable_flags() {
         let mut net = mlp(4);
         let (inputs, targets) = blob_data(64, 5);
-        let fitact = FitAct::new(FitActConfig { post_train_epochs: 1, ..Default::default() });
+        let fitact = FitAct::new(FitActConfig {
+            post_train_epochs: 1,
+            ..Default::default()
+        });
         let profile = fitact.calibrate(&mut net, &inputs).unwrap();
         fitact.modify(&mut net, &profile).unwrap();
         let flags_before: Vec<bool> = net.params().iter().map(|p| p.trainable()).collect();
@@ -634,8 +702,13 @@ mod tests {
     fn build_resilient_runs_the_full_pipeline() {
         let mut net = mlp(5);
         let (inputs, targets) = blob_data(128, 6);
-        let fitact = FitAct::new(FitActConfig { post_train_epochs: 2, ..Default::default() });
-        fitact.train_for_accuracy(&mut net, &inputs, &targets, 10, 0.05).unwrap();
+        let fitact = FitAct::new(FitActConfig {
+            post_train_epochs: 2,
+            ..Default::default()
+        });
+        fitact
+            .train_for_accuracy(&mut net, &inputs, &targets, 10, 0.05)
+            .unwrap();
         let mut resilient = fitact.build_resilient(net, &inputs, &targets).unwrap();
         // Every slot now hosts a FitReLU.
         for slot in resilient.network_mut().activation_slots() {
@@ -651,9 +724,14 @@ mod tests {
     fn run_epoch_validates_inputs() {
         let mut net = mlp(6);
         let mut rng = StdRng::seed_from_u64(0);
-        let bad = run_epoch(&mut net, &Tensor::zeros(&[4, 8]), &[0, 1], 2, &mut rng, &mut |_, _, _| {
-            Ok((0.0, 0.0))
-        });
+        let bad = run_epoch(
+            &mut net,
+            &Tensor::zeros(&[4, 8]),
+            &[0, 1],
+            2,
+            &mut rng,
+            &mut |_, _, _| Ok((0.0, 0.0)),
+        );
         assert!(bad.is_err());
     }
 }

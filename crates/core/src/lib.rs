@@ -144,8 +144,12 @@ mod tests {
         assert!(e.to_string().contains("fault"));
         let e: FitActError = fitact_data::DataError::InvalidConfig("y".into()).into();
         assert!(e.to_string().contains("dataset"));
-        assert!(!FitActError::InvalidConfig("z".into()).to_string().is_empty());
-        assert!(!FitActError::ProfileMismatch("w".into()).to_string().is_empty());
+        assert!(!FitActError::InvalidConfig("z".into())
+            .to_string()
+            .is_empty());
+        assert!(!FitActError::ProfileMismatch("w".into())
+            .to_string()
+            .is_empty());
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl MemoryModel {
                 base_words += info.numel;
             }
         }
-        MemoryModel { base_words, bound_words }
+        MemoryModel {
+            base_words,
+            bound_words,
+        }
     }
 
     /// Memory of the base model in bytes.
@@ -109,7 +112,10 @@ mod tests {
         let mut net = mlp();
         let mut rng = StdRng::seed_from_u64(1);
         let inputs = init::uniform(&[16, 10], -1.0, 1.0, &mut rng);
-        let profile = ActivationProfiler::new(8).unwrap().profile(&mut net, &inputs).unwrap();
+        let profile = ActivationProfiler::new(8)
+            .unwrap()
+            .profile(&mut net, &inputs)
+            .unwrap();
         apply_protection(&mut net, &profile, ProtectionScheme::FitAct { slope: 8.0 }).unwrap();
         let model = MemoryModel::of_network(&net);
         assert_eq!(model.base_words, 325);
@@ -122,7 +128,10 @@ mod tests {
 
     #[test]
     fn zero_base_model_reports_zero_overhead() {
-        let model = MemoryModel { base_words: 0, bound_words: 10 };
+        let model = MemoryModel {
+            base_words: 0,
+            bound_words: 10,
+        };
         assert_eq!(model.overhead_percent(), 0.0);
     }
 }

@@ -37,7 +37,9 @@ impl ProtectionScheme {
     /// The four schemes of the paper's comparison, in plot order.
     pub fn paper_schemes() -> [ProtectionScheme; 4] {
         [
-            ProtectionScheme::FitAct { slope: DEFAULT_SLOPE },
+            ProtectionScheme::FitAct {
+                slope: DEFAULT_SLOPE,
+            },
             ProtectionScheme::ClipAct,
             ProtectionScheme::Ranger,
             ProtectionScheme::Unprotected,
@@ -58,7 +60,10 @@ impl ProtectionScheme {
 
     /// Whether this scheme adds per-neuron bound parameters to the model.
     pub fn has_per_neuron_bounds(&self) -> bool {
-        matches!(self, ProtectionScheme::FitAct { .. } | ProtectionScheme::FitActNaive)
+        matches!(
+            self,
+            ProtectionScheme::FitAct { .. } | ProtectionScheme::FitActNaive
+        )
     }
 }
 
@@ -116,7 +121,12 @@ pub fn apply_protection(
             ProtectionScheme::ClipActPerChannel => {
                 // One bound per leading feature dimension (the channel for
                 // conv feature maps, the neuron itself for dense layers).
-                let channels = slot_profile.feature_shape.first().copied().unwrap_or(1).max(1);
+                let channels = slot_profile
+                    .feature_shape
+                    .first()
+                    .copied()
+                    .unwrap_or(1)
+                    .max(1);
                 let plane = (slot_profile.num_neurons() / channels).max(1);
                 let mut bounds = vec![BOUND_FLOOR; channels];
                 for (i, &v) in slot_profile.per_neuron_max.iter().enumerate() {
@@ -168,7 +178,10 @@ mod tests {
     fn calibrated(network: &mut Network) -> ActivationProfile {
         let mut rng = StdRng::seed_from_u64(1);
         let inputs = init::uniform(&[32, 4], -1.0, 1.0, &mut rng);
-        ActivationProfiler::new(8).unwrap().profile(network, &inputs).unwrap()
+        ActivationProfiler::new(8)
+            .unwrap()
+            .profile(network, &inputs)
+            .unwrap()
     }
 
     #[test]
@@ -241,7 +254,9 @@ mod tests {
         let mut net = small_network();
         let profile = calibrated(&mut net);
         // Too few slots.
-        let truncated = ActivationProfile { slots: profile.slots[..1].to_vec() };
+        let truncated = ActivationProfile {
+            slots: profile.slots[..1].to_vec(),
+        };
         assert!(matches!(
             apply_protection(&mut net, &truncated, ProtectionScheme::ClipAct),
             Err(FitActError::ProfileMismatch(_))

@@ -51,7 +51,10 @@ pub fn evaluate_resilience(
             batch_size,
             seed: seed.wrapping_add(i as u64),
         })?;
-        points.push(ResiliencePoint { fault_rate: rate, result });
+        points.push(ResiliencePoint {
+            fault_rate: rate,
+            result,
+        });
     }
     Ok(points)
 }
@@ -109,7 +112,10 @@ mod tests {
     fn protection_improves_resilience_at_high_fault_rates() {
         let (mut net, inputs, targets) = trained_setup();
         // Calibrate and build a protected copy.
-        let profile = ActivationProfiler::new(64).unwrap().profile(&mut net, &inputs).unwrap();
+        let profile = ActivationProfiler::new(64)
+            .unwrap()
+            .profile(&mut net, &inputs)
+            .unwrap();
         let mut protected = net.clone();
         apply_protection(&mut protected, &profile, ProtectionScheme::ClipAct).unwrap();
 

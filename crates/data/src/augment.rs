@@ -23,7 +23,11 @@ pub struct AugmentConfig {
 
 impl Default for AugmentConfig {
     fn default() -> Self {
-        AugmentConfig { flip_probability: 0.5, max_shift: 4, seed: 0 }
+        AugmentConfig {
+            flip_probability: 0.5,
+            max_shift: 4,
+            seed: 0,
+        }
     }
 }
 
@@ -59,7 +63,11 @@ impl<D: Dataset> Augmented<D> {
                 "augmentation requires [channels, height, width] samples".into(),
             ));
         }
-        Ok(Augmented { inner, config, epoch: 0 })
+        Ok(Augmented {
+            inner,
+            config,
+            epoch: 0,
+        })
     }
 
     /// Advances the augmentation stream to a new epoch.
@@ -160,7 +168,10 @@ mod tests {
     use crate::{SyntheticCifar, SyntheticCifarConfig};
 
     fn base() -> SyntheticCifar {
-        SyntheticCifar::new(SyntheticCifarConfig { samples: 8, ..Default::default() })
+        SyntheticCifar::new(SyntheticCifarConfig {
+            samples: 8,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -178,8 +189,14 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(Augmented::new(base(), AugmentConfig { flip_probability: 1.5, ..Default::default() })
-            .is_err());
+        assert!(Augmented::new(
+            base(),
+            AugmentConfig {
+                flip_probability: 1.5,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let blobs = crate::Blobs::new(crate::BlobsConfig::default()).unwrap();
         assert!(Augmented::new(blobs, AugmentConfig::default()).is_err());
     }
@@ -200,7 +217,11 @@ mod tests {
     fn disabled_augmentation_is_identity() {
         let aug = Augmented::new(
             base(),
-            AugmentConfig { flip_probability: 0.0, max_shift: 0, seed: 0 },
+            AugmentConfig {
+                flip_probability: 0.0,
+                max_shift: 0,
+                seed: 0,
+            },
         )
         .unwrap();
         let (augmented, _) = aug.sample(3).unwrap();

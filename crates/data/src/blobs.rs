@@ -22,7 +22,13 @@ pub struct BlobsConfig {
 
 impl Default for BlobsConfig {
     fn default() -> Self {
-        BlobsConfig { classes: 3, features: 8, samples: 256, spread: 0.3, seed: 0 }
+        BlobsConfig {
+            classes: 3,
+            features: 8,
+            samples: 256,
+            spread: 0.3,
+            seed: 0,
+        }
     }
 }
 
@@ -52,18 +58,26 @@ impl Blobs {
         }
         let mut rng = StdRng::seed_from_u64(config.seed);
         let centres: Vec<Vec<f32>> = (0..config.classes)
-            .map(|_| (0..config.features).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .map(|_| {
+                (0..config.features)
+                    .map(|_| rng.gen_range(-2.0..2.0))
+                    .collect()
+            })
             .collect();
         let mut inputs = Vec::with_capacity(config.samples * config.features);
         let mut labels = Vec::with_capacity(config.samples);
         for i in 0..config.samples {
             let label = i % config.classes;
             labels.push(label);
-            for d in 0..config.features {
-                inputs.push(centres[label][d] + config.spread * (rng.gen_range(-1.0f32..1.0)));
+            for &centre in &centres[label] {
+                inputs.push(centre + config.spread * (rng.gen_range(-1.0f32..1.0)));
             }
         }
-        Ok(Blobs { config, inputs, labels })
+        Ok(Blobs {
+            config,
+            inputs,
+            labels,
+        })
     }
 
     /// The dataset configuration.
@@ -87,7 +101,10 @@ impl Dataset for Blobs {
 
     fn sample(&self, index: usize) -> Result<(Tensor, usize), DataError> {
         if index >= self.config.samples {
-            return Err(DataError::IndexOutOfRange { index, len: self.config.samples });
+            return Err(DataError::IndexOutOfRange {
+                index,
+                len: self.config.samples,
+            });
         }
         let f = self.config.features;
         let data = self.inputs[index * f..(index + 1) * f].to_vec();
@@ -114,9 +131,21 @@ mod tests {
 
     #[test]
     fn rejects_invalid_config_and_indices() {
-        assert!(Blobs::new(BlobsConfig { classes: 0, ..Default::default() }).is_err());
-        assert!(Blobs::new(BlobsConfig { features: 0, ..Default::default() }).is_err());
-        let ds = Blobs::new(BlobsConfig { samples: 3, ..Default::default() }).unwrap();
+        assert!(Blobs::new(BlobsConfig {
+            classes: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Blobs::new(BlobsConfig {
+            features: 0,
+            ..Default::default()
+        })
+        .is_err());
+        let ds = Blobs::new(BlobsConfig {
+            samples: 3,
+            ..Default::default()
+        })
+        .unwrap();
         assert!(ds.sample(3).is_err());
     }
 
@@ -125,13 +154,21 @@ mod tests {
         let a = Blobs::new(BlobsConfig::default()).unwrap();
         let b = Blobs::new(BlobsConfig::default()).unwrap();
         assert_eq!(a.sample(0).unwrap().0, b.sample(0).unwrap().0);
-        let c = Blobs::new(BlobsConfig { seed: 9, ..Default::default() }).unwrap();
+        let c = Blobs::new(BlobsConfig {
+            seed: 9,
+            ..Default::default()
+        })
+        .unwrap();
         assert_ne!(a.sample(0).unwrap().0, c.sample(0).unwrap().0);
     }
 
     #[test]
     fn classes_form_separated_clusters() {
-        let ds = Blobs::new(BlobsConfig { spread: 0.1, ..Default::default() }).unwrap();
+        let ds = Blobs::new(BlobsConfig {
+            spread: 0.1,
+            ..Default::default()
+        })
+        .unwrap();
         // Two samples of class 0 are closer than a class-0 and a class-1 sample.
         let (a, _) = ds.sample(0).unwrap();
         let (b, _) = ds.sample(3).unwrap();

@@ -70,7 +70,11 @@ impl CifarBinary {
                 images.extend_from_slice(&chunk[record - PIXEL_BYTES..]);
             }
         }
-        Ok(CifarBinary { kind, images, labels })
+        Ok(CifarBinary {
+            kind,
+            images,
+            labels,
+        })
     }
 
     /// Bytes per record in the binary format.
@@ -102,7 +106,10 @@ impl Dataset for CifarBinary {
 
     fn sample(&self, index: usize) -> Result<(Tensor, usize), DataError> {
         if index >= self.labels.len() {
-            return Err(DataError::IndexOutOfRange { index, len: self.labels.len() });
+            return Err(DataError::IndexOutOfRange {
+                index,
+                len: self.labels.len(),
+            });
         }
         let raw = &self.images[index * PIXEL_BYTES..(index + 1) * PIXEL_BYTES];
         let plane = IMAGE_SIZE * IMAGE_SIZE;
@@ -133,7 +140,7 @@ mod tests {
 
     fn fake_cifar10_record(label: u8, fill: u8) -> Vec<u8> {
         let mut rec = vec![label];
-        rec.extend(std::iter::repeat(fill).take(PIXEL_BYTES));
+        rec.extend(std::iter::repeat_n(fill, PIXEL_BYTES));
         rec
     }
 
@@ -160,7 +167,7 @@ mod tests {
     #[test]
     fn loads_cifar100_fine_labels() {
         let mut rec = vec![5u8, 42u8]; // coarse 5, fine 42
-        rec.extend(std::iter::repeat(0u8).take(PIXEL_BYTES));
+        rec.extend(std::iter::repeat_n(0u8, PIXEL_BYTES));
         let path = write_temp("fitact_test_cifar100.bin", &rec);
         let ds = CifarBinary::load(DatasetKind::Cifar100, &[&path]).unwrap();
         assert_eq!(ds.sample(0).unwrap().1, 42);

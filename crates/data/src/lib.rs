@@ -66,7 +66,10 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::IndexOutOfRange { index, len } => {
-                write!(f, "sample index {index} out of range for dataset of length {len}")
+                write!(
+                    f,
+                    "sample index {index} out of range for dataset of length {len}"
+                )
             }
             DataError::InvalidConfig(msg) => write!(f, "invalid dataset configuration: {msg}"),
             DataError::Io(e) => write!(f, "dataset i/o error: {e}"),
@@ -177,7 +180,7 @@ mod tests {
 
     #[test]
     fn io_error_has_source() {
-        let e = DataError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let e = DataError::from(std::io::Error::other("x"));
         assert!(Error::source(&e).is_some());
     }
 }

@@ -23,9 +23,8 @@ pub fn materialize<D: Dataset + ?Sized>(dataset: &D) -> Result<(Tensor, Vec<usiz
         samples.push(x);
         labels.push(y);
     }
-    let inputs = Tensor::stack(&samples).map_err(|e| {
-        DataError::InvalidConfig(format!("failed to stack dataset samples: {e}"))
-    })?;
+    let inputs = Tensor::stack(&samples)
+        .map_err(|e| DataError::InvalidConfig(format!("failed to stack dataset samples: {e}")))?;
     Ok((inputs, labels))
 }
 
@@ -64,9 +63,16 @@ impl<'a, D: Dataset + ?Sized> DataLoader<'a, D> {
     /// # Errors
     ///
     /// Returns [`DataError::InvalidConfig`] if `batch_size == 0`.
-    pub fn new(dataset: &'a D, batch_size: usize, shuffle: bool, seed: u64) -> Result<Self, DataError> {
+    pub fn new(
+        dataset: &'a D,
+        batch_size: usize,
+        shuffle: bool,
+        seed: u64,
+    ) -> Result<Self, DataError> {
         if batch_size == 0 {
-            return Err(DataError::InvalidConfig("batch_size must be non-zero".into()));
+            return Err(DataError::InvalidConfig(
+                "batch_size must be non-zero".into(),
+            ));
         }
         let mut loader = DataLoader {
             dataset,
@@ -103,9 +109,8 @@ impl<'a, D: Dataset + ?Sized> DataLoader<'a, D> {
             labels.push(y);
         }
         self.cursor = end;
-        let inputs = Tensor::stack(&samples).map_err(|e| {
-            DataError::InvalidConfig(format!("failed to stack batch samples: {e}"))
-        })?;
+        let inputs = Tensor::stack(&samples)
+            .map_err(|e| DataError::InvalidConfig(format!("failed to stack batch samples: {e}")))?;
         Ok(Some((inputs, labels)))
     }
 
@@ -128,7 +133,11 @@ mod tests {
     use crate::{Blobs, BlobsConfig};
 
     fn dataset(samples: usize) -> Blobs {
-        Blobs::new(BlobsConfig { samples, ..Default::default() }).unwrap()
+        Blobs::new(BlobsConfig {
+            samples,
+            ..Default::default()
+        })
+        .unwrap()
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub struct SyntheticCifarConfig {
 
 impl Default for SyntheticCifarConfig {
     fn default() -> Self {
-        SyntheticCifarConfig { classes: 10, samples: 1024, seed: 0, noise: 0.15 }
+        SyntheticCifarConfig {
+            classes: 10,
+            samples: 1024,
+            seed: 0,
+            noise: 0.15,
+        }
     }
 }
 
@@ -78,21 +83,34 @@ impl SyntheticCifar {
     /// `noise < 0.0`.
     pub fn try_new(config: SyntheticCifarConfig) -> Result<Self, DataError> {
         if config.classes == 0 {
-            return Err(DataError::InvalidConfig("classes must be at least 1".into()));
+            return Err(DataError::InvalidConfig(
+                "classes must be at least 1".into(),
+            ));
         }
         if config.noise < 0.0 {
-            return Err(DataError::InvalidConfig("noise must be non-negative".into()));
+            return Err(DataError::InvalidConfig(
+                "noise must be non-negative".into(),
+            ));
         }
         let prototypes = (0..config.classes)
             .map(|c| ClassPrototype::generate(config.seed, c))
             .collect();
-        Ok(SyntheticCifar { config, prototypes, index_offset: 0 })
+        Ok(SyntheticCifar {
+            config,
+            prototypes,
+            index_offset: 0,
+        })
     }
 
     /// Convenience constructor for the 10-class training split used in
     /// experiments.
     pub fn train(classes: usize, samples: usize, seed: u64) -> Self {
-        SyntheticCifar::new(SyntheticCifarConfig { classes, samples, seed, noise: 0.15 })
+        SyntheticCifar::new(SyntheticCifarConfig {
+            classes,
+            samples,
+            seed,
+            noise: 0.15,
+        })
     }
 
     /// Convenience constructor for a held-out test split: same prototypes
@@ -158,7 +176,10 @@ impl Dataset for SyntheticCifar {
 
     fn sample(&self, index: usize) -> Result<(Tensor, usize), DataError> {
         if index >= self.config.samples {
-            return Err(DataError::IndexOutOfRange { index, len: self.config.samples });
+            return Err(DataError::IndexOutOfRange {
+                index,
+                len: self.config.samples,
+            });
         }
         let label = self.label_of(index);
         let prototype = &self.prototypes[label];
@@ -192,7 +213,8 @@ impl Dataset for SyntheticCifar {
 
 impl ClassPrototype {
     fn generate(seed: u64, class: usize) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ (class as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (class as u64).wrapping_mul(0xA24B_AED4_963E_E407));
         let color = [
             rng.gen_range(-0.6..0.6),
             rng.gen_range(-0.6..0.6),
@@ -224,10 +246,16 @@ mod tests {
 
     #[test]
     fn configuration_validation() {
-        assert!(SyntheticCifar::try_new(SyntheticCifarConfig { classes: 0, ..Default::default() })
-            .is_err());
-        assert!(SyntheticCifar::try_new(SyntheticCifarConfig { noise: -1.0, ..Default::default() })
-            .is_err());
+        assert!(SyntheticCifar::try_new(SyntheticCifarConfig {
+            classes: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(SyntheticCifar::try_new(SyntheticCifarConfig {
+            noise: -1.0,
+            ..Default::default()
+        })
+        .is_err());
         assert!(SyntheticCifar::try_new(SyntheticCifarConfig::default()).is_ok());
     }
 
@@ -255,7 +283,7 @@ mod tests {
     #[test]
     fn labels_are_balanced() {
         let ds = SyntheticCifar::train(10, 100, 2);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for i in 0..100 {
             counts[ds.label_of(i)] += 1;
         }
@@ -296,9 +324,8 @@ mod tests {
         // between two samples of the same class should be smaller than
         // between samples of different classes.
         let ds = SyntheticCifar::train(10, 40, 7);
-        let dist = |a: &Tensor, b: &Tensor| -> f32 {
-            a.sub(b).unwrap().sq_norm() / a.numel() as f32
-        };
+        let dist =
+            |a: &Tensor, b: &Tensor| -> f32 { a.sub(b).unwrap().sq_norm() / a.numel() as f32 };
         let (x0a, _) = ds.sample(0).unwrap(); // class 0
         let (x0b, _) = ds.sample(10).unwrap(); // class 0 again
         let (x1, _) = ds.sample(1).unwrap(); // class 1

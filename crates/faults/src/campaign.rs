@@ -23,7 +23,12 @@ pub struct CampaignConfig {
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { fault_rate: 1e-6, trials: 20, batch_size: 64, seed: 0 }
+        CampaignConfig {
+            fault_rate: 1e-6,
+            trials: 20,
+            batch_size: 64,
+            seed: 0,
+        }
     }
 }
 
@@ -39,7 +44,9 @@ impl CampaignConfig {
             return Err(FaultError::InvalidConfig("trials must be non-zero".into()));
         }
         if self.batch_size == 0 {
-            return Err(FaultError::InvalidConfig("batch_size must be non-zero".into()));
+            return Err(FaultError::InvalidConfig(
+                "batch_size must be non-zero".into(),
+            ));
         }
         if self.fault_rate < 0.0 {
             return Err(FaultError::InvalidConfig(format!(
@@ -125,7 +132,12 @@ impl<'a> Campaign<'a> {
         if map.is_empty() {
             return Err(FaultError::EmptyMemoryMap);
         }
-        Ok(Campaign { network, inputs, targets, map })
+        Ok(Campaign {
+            network,
+            inputs,
+            targets,
+            map,
+        })
     }
 
     /// The memory map the campaign injects into.
@@ -137,6 +149,14 @@ impl<'a> Campaign<'a> {
     /// `config.fault_rate`, inject them, evaluate accuracy on the evaluation
     /// set, and restore the original parameters.
     ///
+    /// Trials are independent, so they are spread across all available cores.
+    /// Each trial draws its fault sites from a private RNG stream derived
+    /// from `(config.seed, trial_index)` ([`BitFlipInjector::for_trial`]), so
+    /// the per-trial results — and therefore the whole campaign — are
+    /// **bit-identical regardless of the number of worker threads**, including
+    /// the fully serial path ([`Campaign::run_serial`]). This is pinned by the
+    /// `parallel_campaign_matches_serial_bit_for_bit` test.
+    ///
     /// The network is returned to its pre-campaign state afterwards (this is
     /// verified by the restore-snapshot test below).
     ///
@@ -144,23 +164,101 @@ impl<'a> Campaign<'a> {
     ///
     /// Returns configuration errors and propagates evaluation failures.
     pub fn run(&mut self, config: &CampaignConfig) -> Result<CampaignResult, FaultError> {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.run_with_threads(config, threads)
+    }
+
+    /// Runs the campaign on the calling thread only; produces exactly the
+    /// same result as [`Campaign::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors and propagates evaluation failures.
+    pub fn run_serial(&mut self, config: &CampaignConfig) -> Result<CampaignResult, FaultError> {
+        self.run_with_threads(config, 1)
+    }
+
+    /// Runs the campaign with an explicit worker-thread count (mainly for
+    /// scaling experiments; results do not depend on `threads`).
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors and propagates evaluation failures.
+    pub fn run_with_threads(
+        &mut self,
+        config: &CampaignConfig,
+        threads: usize,
+    ) -> Result<CampaignResult, FaultError> {
         config.validate()?;
         let snapshot = self.network.snapshot();
         let fault_free_accuracy =
-            self.network.evaluate(self.inputs, self.targets, config.batch_size)?;
-        let mut injector = BitFlipInjector::new(config.seed);
+            self.network
+                .evaluate(self.inputs, self.targets, config.batch_size)?;
+        let threads = threads.clamp(1, config.trials);
+        let mut outcomes: Vec<Option<Result<(f32, u64), FaultError>>> =
+            (0..config.trials).map(|_| None).collect();
+        if threads <= 1 {
+            run_trials(
+                self.network,
+                &snapshot,
+                self.inputs,
+                self.targets,
+                &self.map,
+                config,
+                0,
+                &mut outcomes,
+            );
+            // `run_trials` restores after every trial, so the borrowed
+            // network ends the campaign in its pre-campaign state.
+        } else {
+            // Trial-level parallelism: each worker gets a private clone of the
+            // network (evaluation mutates layer caches) and a contiguous range
+            // of trial indices; outcome slots are disjoint `split_at_mut`
+            // chunks, so workers never synchronise until the final join.
+            let trials_per = config.trials.div_ceil(threads);
+            let network = &*self.network;
+            let (inputs, targets, map) = (self.inputs, self.targets, &self.map);
+            std::thread::scope(|scope| {
+                let mut remaining = outcomes.as_mut_slice();
+                let mut first_trial = 0usize;
+                while first_trial < config.trials {
+                    let count = trials_per.min(config.trials - first_trial);
+                    let (chunk, rest) = remaining.split_at_mut(count);
+                    remaining = rest;
+                    let mut worker_net = network.clone();
+                    let snapshot = &snapshot;
+                    let start = first_trial;
+                    scope.spawn(move || {
+                        // One campaign worker already occupies this core;
+                        // nested matmul fan-out would oversubscribe the
+                        // machine (results are thread-count-invariant either
+                        // way).
+                        fitact_tensor::matmul::serial_scope(|| {
+                            run_trials(
+                                &mut worker_net,
+                                snapshot,
+                                inputs,
+                                targets,
+                                map,
+                                config,
+                                start,
+                                chunk,
+                            );
+                        });
+                    });
+                    first_trial += count;
+                }
+            });
+        }
         let mut accuracies = Vec::with_capacity(config.trials);
         let mut total_faults = 0u64;
-        for _ in 0..config.trials {
-            let sites = injector.sample_sites(&self.map, config.fault_rate);
-            total_faults += sites.len() as u64;
-            injector.inject(self.network, &sites);
-            let result = self.network.evaluate(self.inputs, self.targets, config.batch_size);
-            // Always restore, even if evaluation failed.
-            self.network
-                .restore(&snapshot)
-                .expect("snapshot taken from the same network always restores");
-            accuracies.push(result?);
+        for outcome in outcomes {
+            let (accuracy, faults) =
+                outcome.expect("every trial index is covered by exactly one worker")?;
+            accuracies.push(accuracy);
+            total_faults += faults;
         }
         let stats = SampleStats::from_sample(&accuracies)
             .expect("trials is non-zero, so the sample is non-empty");
@@ -171,6 +269,42 @@ impl<'a> Campaign<'a> {
             total_faults,
             fault_rate: config.fault_rate,
         })
+    }
+}
+
+/// Executes trials `first_trial .. first_trial + outcomes.len()` on `network`,
+/// writing `(accuracy, fault_count)` per trial into `outcomes`.
+///
+/// Each trial seeds its own injector from `(config.seed, trial_index)`, so the
+/// result of a trial depends only on its index — never on which worker ran it
+/// or what ran before it on the same network (the snapshot restore guarantees
+/// identical starting parameters).
+#[allow(clippy::too_many_arguments)]
+fn run_trials(
+    network: &mut Network,
+    snapshot: &[Tensor],
+    inputs: &Tensor,
+    targets: &[usize],
+    map: &MemoryMap,
+    config: &CampaignConfig,
+    first_trial: usize,
+    outcomes: &mut [Option<Result<(f32, u64), FaultError>>],
+) {
+    for (offset, outcome) in outcomes.iter_mut().enumerate() {
+        let mut injector = BitFlipInjector::for_trial(config.seed, first_trial + offset);
+        let sites = injector.sample_sites(map, config.fault_rate);
+        let faults = sites.len() as u64;
+        injector.inject(network, &sites);
+        let result = network.evaluate(inputs, targets, config.batch_size);
+        // Always restore, even if evaluation failed.
+        network
+            .restore(snapshot)
+            .expect("snapshot taken from the same network always restores");
+        *outcome = Some(
+            result
+                .map(|accuracy| (accuracy, faults))
+                .map_err(FaultError::from),
+        );
     }
 }
 
@@ -212,9 +346,24 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(CampaignConfig::default().validate().is_ok());
-        assert!(CampaignConfig { trials: 0, ..Default::default() }.validate().is_err());
-        assert!(CampaignConfig { batch_size: 0, ..Default::default() }.validate().is_err());
-        assert!(CampaignConfig { fault_rate: -1.0, ..Default::default() }.validate().is_err());
+        assert!(CampaignConfig {
+            trials: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignConfig {
+            batch_size: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignConfig {
+            fault_rate: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -223,7 +372,12 @@ mod tests {
         let before = net.snapshot();
         let mut campaign = Campaign::new(&mut net, &inputs, &targets).unwrap();
         campaign
-            .run(&CampaignConfig { fault_rate: 1e-3, trials: 5, batch_size: 64, seed: 1 })
+            .run(&CampaignConfig {
+                fault_rate: 1e-3,
+                trials: 5,
+                batch_size: 64,
+                seed: 1,
+            })
             .unwrap();
         assert_eq!(net.snapshot(), before);
     }
@@ -233,7 +387,12 @@ mod tests {
         let (mut net, inputs, targets) = trained_setup();
         let mut campaign = Campaign::new(&mut net, &inputs, &targets).unwrap();
         let result = campaign
-            .run(&CampaignConfig { fault_rate: 0.0, trials: 3, batch_size: 64, seed: 2 })
+            .run(&CampaignConfig {
+                fault_rate: 0.0,
+                trials: 3,
+                batch_size: 64,
+                seed: 2,
+            })
             .unwrap();
         assert_eq!(result.total_faults, 0);
         for acc in &result.accuracies {
@@ -246,10 +405,20 @@ mod tests {
         let (mut net, inputs, targets) = trained_setup();
         let mut campaign = Campaign::new(&mut net, &inputs, &targets).unwrap();
         let clean = campaign
-            .run(&CampaignConfig { fault_rate: 0.0, trials: 1, batch_size: 64, seed: 3 })
+            .run(&CampaignConfig {
+                fault_rate: 0.0,
+                trials: 1,
+                batch_size: 64,
+                seed: 3,
+            })
             .unwrap();
         let noisy = campaign
-            .run(&CampaignConfig { fault_rate: 5e-2, trials: 10, batch_size: 64, seed: 3 })
+            .run(&CampaignConfig {
+                fault_rate: 5e-2,
+                trials: 10,
+                batch_size: 64,
+                seed: 3,
+            })
             .unwrap();
         assert!(noisy.total_faults > 0);
         assert!(
@@ -281,10 +450,83 @@ mod tests {
     #[test]
     fn campaigns_are_reproducible_for_a_seed() {
         let (mut net, inputs, targets) = trained_setup();
-        let config = CampaignConfig { fault_rate: 1e-3, trials: 4, batch_size: 64, seed: 9 };
-        let a = Campaign::new(&mut net, &inputs, &targets).unwrap().run(&config).unwrap();
-        let b = Campaign::new(&mut net, &inputs, &targets).unwrap().run(&config).unwrap();
+        let config = CampaignConfig {
+            fault_rate: 1e-3,
+            trials: 4,
+            batch_size: 64,
+            seed: 9,
+        };
+        let a = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run(&config)
+            .unwrap();
+        let b = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run(&config)
+            .unwrap();
         assert_eq!(a.accuracies, b.accuracies);
         assert_eq!(a.total_faults, b.total_faults);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_bit_for_bit() {
+        let (mut net, inputs, targets) = trained_setup();
+        let config = CampaignConfig {
+            fault_rate: 2e-3,
+            trials: 9,
+            batch_size: 64,
+            seed: 11,
+        };
+        let serial = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_serial(&config)
+            .unwrap();
+        // Force thread counts beyond what the machine reports, including ones
+        // that split the 9 trials unevenly.
+        for threads in [2, 3, 4, 16] {
+            let parallel = Campaign::new(&mut net, &inputs, &targets)
+                .unwrap()
+                .run_with_threads(&config, threads)
+                .unwrap();
+            assert_eq!(
+                parallel.accuracies, serial.accuracies,
+                "threads = {threads}"
+            );
+            assert_eq!(
+                parallel.total_faults, serial.total_faults,
+                "threads = {threads}"
+            );
+            assert_eq!(parallel.stats, serial.stats, "threads = {threads}");
+            assert_eq!(
+                parallel.fault_free_accuracy, serial.fault_free_accuracy,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn trial_results_depend_only_on_seed_and_index() {
+        let (mut net, inputs, targets) = trained_setup();
+        // A 6-trial campaign's first three trials must match a 3-trial
+        // campaign exactly: trial identity is (seed, index), not history.
+        let long = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run(&CampaignConfig {
+                fault_rate: 2e-3,
+                trials: 6,
+                batch_size: 64,
+                seed: 7,
+            })
+            .unwrap();
+        let short = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run(&CampaignConfig {
+                fault_rate: 2e-3,
+                trials: 3,
+                batch_size: 64,
+                seed: 7,
+            })
+            .unwrap();
+        assert_eq!(&long.accuracies[..3], &short.accuracies[..]);
     }
 }

@@ -34,7 +34,24 @@ pub struct BitFlipInjector {
 impl BitFlipInjector {
     /// Creates an injector with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        BitFlipInjector { rng: StdRng::seed_from_u64(seed) }
+        BitFlipInjector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates an injector whose stream is derived from a campaign seed and a
+    /// trial index.
+    ///
+    /// The derivation is a SplitMix64 finalisation of the pair, so streams of
+    /// neighbouring trials are statistically independent and a trial's faults
+    /// depend only on `(seed, trial)` — the property that lets campaigns run
+    /// trials on any number of threads, in any order, and stay bit-identical
+    /// to a serial run.
+    pub fn for_trial(seed: u64, trial: usize) -> Self {
+        let mut z = seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        BitFlipInjector::new(z ^ (z >> 31))
     }
 
     /// Samples the number of bit flips for one trial.
@@ -60,7 +77,11 @@ impl BitFlipInjector {
                 continue;
             }
             if let Some((param_index, element, bit)) = map.locate(address) {
-                sites.push(FaultSite { param_index, element, bit });
+                sites.push(FaultSite {
+                    param_index,
+                    element,
+                    bit,
+                });
             }
         }
         sites
@@ -78,7 +99,10 @@ impl BitFlipInjector {
         // Group sites per parameter index for a single traversal.
         let mut by_param: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
         for site in sites {
-            by_param.entry(site.param_index).or_default().push((site.element, site.bit));
+            by_param
+                .entry(site.param_index)
+                .or_default()
+                .push((site.element, site.bit));
         }
         let mut index = 0usize;
         network.visit_params_mut(&mut |_, param| {
@@ -192,10 +216,15 @@ mod tests {
         let n = 1_000_000u64;
         let rate = 1e-4;
         let trials = 200;
-        let total: u64 = (0..trials).map(|_| injector.sample_flip_count(n, rate)).sum();
+        let total: u64 = (0..trials)
+            .map(|_| injector.sample_flip_count(n, rate))
+            .sum();
         let mean = total as f64 / trials as f64;
         let expected = n as f64 * rate; // 100
-        assert!((mean - expected).abs() < 15.0, "mean {mean}, expected {expected}");
+        assert!(
+            (mean - expected).abs() < 15.0,
+            "mean {mean}, expected {expected}"
+        );
     }
 
     #[test]
@@ -216,7 +245,11 @@ mod tests {
         let before = net.snapshot();
         let injector = BitFlipInjector::new(4);
         // Flip the sign bit of element 3 of the first parameter.
-        let site = FaultSite { param_index: 0, element: 3, bit: 31 };
+        let site = FaultSite {
+            param_index: 0,
+            element: 3,
+            bit: 31,
+        };
         injector.inject(&mut net, &[site]);
         let after = net.snapshot();
         let mut changed = 0;
@@ -238,7 +271,11 @@ mod tests {
         quantize_network(&mut net);
         let before = net.snapshot();
         let injector = BitFlipInjector::new(5);
-        let site = FaultSite { param_index: 1, element: 0, bit: 17 };
+        let site = FaultSite {
+            param_index: 1,
+            element: 0,
+            bit: 17,
+        };
         injector.inject(&mut net, &[site]);
         injector.inject(&mut net, &[site]);
         let after = net.snapshot();
@@ -252,7 +289,14 @@ mod tests {
         let mut net = small_network();
         let before = net.snapshot();
         let injector = BitFlipInjector::new(6);
-        injector.inject(&mut net, &[FaultSite { param_index: 0, element: 10_000, bit: 0 }]);
+        injector.inject(
+            &mut net,
+            &[FaultSite {
+                param_index: 0,
+                element: 10_000,
+                bit: 0,
+            }],
+        );
         assert_eq!(net.snapshot(), before);
     }
 

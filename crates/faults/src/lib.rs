@@ -69,9 +69,14 @@ impl fmt::Display for FaultError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaultError::Nn(e) => write!(f, "network evaluation failed during fault campaign: {e}"),
-            FaultError::InvalidConfig(msg) => write!(f, "invalid fault-injection configuration: {msg}"),
+            FaultError::InvalidConfig(msg) => {
+                write!(f, "invalid fault-injection configuration: {msg}")
+            }
             FaultError::EmptyMemoryMap => {
-                write!(f, "memory map contains no parameters (layer filter matched nothing)")
+                write!(
+                    f,
+                    "memory map contains no parameters (layer filter matched nothing)"
+                )
             }
         }
     }
@@ -104,7 +109,9 @@ mod tests {
         let e = FaultError::from(fitact_nn::NnError::InvalidConfig("x".into()));
         assert!(e.to_string().contains("fault campaign"));
         assert!(Error::source(&e).is_some());
-        assert!(!FaultError::InvalidConfig("bad".into()).to_string().is_empty());
+        assert!(!FaultError::InvalidConfig("bad".into())
+            .to_string()
+            .is_empty());
         assert!(!FaultError::EmptyMemoryMap.to_string().is_empty());
         assert!(Error::source(&FaultError::EmptyMemoryMap).is_none());
     }

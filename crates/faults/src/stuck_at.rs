@@ -43,7 +43,9 @@ pub struct StuckAtInjector {
 impl StuckAtInjector {
     /// Creates an injector with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        StuckAtInjector { rng: StdRng::seed_from_u64(seed) }
+        StuckAtInjector {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Samples a defect map: each bit of the mapped memory is defective with
@@ -65,8 +67,19 @@ impl StuckAtInjector {
                 continue;
             }
             if let Some((param_index, element, bit)) = map.locate(address) {
-                let value = if self.rng.gen_bool(0.5) { StuckValue::One } else { StuckValue::Zero };
-                defects.push(StuckAtFault { site: FaultSite { param_index, element, bit }, value });
+                let value = if self.rng.gen_bool(0.5) {
+                    StuckValue::One
+                } else {
+                    StuckValue::Zero
+                };
+                defects.push(StuckAtFault {
+                    site: FaultSite {
+                        param_index,
+                        element,
+                        bit,
+                    },
+                    value,
+                });
             }
         }
         defects
@@ -83,7 +96,10 @@ impl StuckAtInjector {
         }
         let mut by_param: HashMap<usize, Vec<&StuckAtFault>> = HashMap::new();
         for defect in defects {
-            by_param.entry(defect.site.param_index).or_default().push(defect);
+            by_param
+                .entry(defect.site.param_index)
+                .or_default()
+                .push(defect);
         }
         let mut index = 0usize;
         network.visit_params_mut(&mut |_, param| {
@@ -169,7 +185,11 @@ mod tests {
         net.params_mut()[0].data_mut().fill(0.0);
         let injector = StuckAtInjector::new(2);
         let fault = StuckAtFault {
-            site: FaultSite { param_index: 0, element: 0, bit: 16 },
+            site: FaultSite {
+                param_index: 0,
+                element: 0,
+                bit: 16,
+            },
             value: StuckValue::One,
         };
         injector.apply(&mut net, &[fault]);
@@ -186,14 +206,22 @@ mod tests {
         net.params_mut()[0].data_mut().fill(1.5);
         let injector = StuckAtInjector::new(3);
         let fault = StuckAtFault {
-            site: FaultSite { param_index: 0, element: 0, bit: 16 },
+            site: FaultSite {
+                param_index: 0,
+                element: 0,
+                bit: 16,
+            },
             value: StuckValue::Zero,
         };
         injector.apply(&mut net, &[fault]);
         assert_eq!(net.params()[0].data().as_slice()[0], 0.5);
         // A value whose bit is already clear is untouched.
         let fault2 = StuckAtFault {
-            site: FaultSite { param_index: 0, element: 1, bit: 31 },
+            site: FaultSite {
+                param_index: 0,
+                element: 1,
+                bit: 31,
+            },
             value: StuckValue::Zero,
         };
         let before = net.params()[0].data().as_slice()[1];
@@ -220,7 +248,11 @@ mod tests {
         injector.apply(
             &mut net,
             &[StuckAtFault {
-                site: FaultSite { param_index: 0, element: 99_999, bit: 0 },
+                site: FaultSite {
+                    param_index: 0,
+                    element: 99_999,
+                    bit: 0,
+                },
                 value: StuckValue::One,
             }],
         );

@@ -152,7 +152,10 @@ mod tests {
     fn relu_backward_before_forward_errors() {
         let mut relu = ReLU::new();
         let g = Tensor::zeros(&[1, 1]);
-        assert!(matches!(relu.backward(&g), Err(NnError::BackwardBeforeForward(_))));
+        assert!(matches!(
+            relu.backward(&g),
+            Err(NnError::BackwardBeforeForward(_))
+        ));
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl ActivationLayer {
         feature_shape: &[usize],
         activation: Box<dyn Activation>,
     ) -> Self {
-        ActivationLayer { activation, feature_shape: feature_shape.to_vec(), label: label.into() }
+        ActivationLayer {
+            activation,
+            feature_shape: feature_shape.to_vec(),
+            label: label.into(),
+        }
     }
 
     /// The per-sample feature shape this slot operates on.
@@ -130,8 +134,12 @@ mod tests {
     #[test]
     fn forward_validates_feature_shape() {
         let mut slot = ActivationLayer::relu("conv1", &[2, 3, 3]);
-        assert!(slot.forward(&Tensor::zeros(&[1, 2, 3, 3]), Mode::Eval).is_ok());
-        assert!(slot.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Eval).is_err());
+        assert!(slot
+            .forward(&Tensor::zeros(&[1, 2, 3, 3]), Mode::Eval)
+            .is_ok());
+        assert!(slot
+            .forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Eval)
+            .is_err());
         assert!(slot.forward(&Tensor::zeros(&[6]), Mode::Eval).is_err());
     }
 
@@ -141,7 +149,12 @@ mod tests {
         let old = slot.replace_activation(Box::new(ReLU::new()));
         assert_eq!(old.name(), "relu");
         // Slot still works after replacement.
-        let y = slot.forward(&Tensor::from_vec(vec![-1.0, 1.0], &[1, 2]).unwrap(), Mode::Eval).unwrap();
+        let y = slot
+            .forward(
+                &Tensor::from_vec(vec![-1.0, 1.0], &[1, 2]).unwrap(),
+                Mode::Eval,
+            )
+            .unwrap();
         assert_eq!(y.as_slice(), &[0.0, 1.0]);
     }
 

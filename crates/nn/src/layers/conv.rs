@@ -1,9 +1,15 @@
 //! 2-D convolution via im2col.
 
-use crate::layers::{Layer, Mode};
+use crate::layers::{cache_input, Layer, Mode};
 use crate::{NnError, Parameter};
-use fitact_tensor::{col2im, conv_output_size, im2col, init, Tensor};
+use fitact_tensor::matmul::{matmul_into, Layout};
+use fitact_tensor::{col2im_into, conv_output_size, im2col_into, init, Tensor, Workspace};
 use rand::Rng;
+
+/// Workspace slot holding the im2col column matrix.
+const WS_COLS: usize = 0;
+/// Workspace slot holding the `Wᵀ·g` column gradients during backward.
+const WS_DCOLS: usize = 1;
 
 /// A 2-D convolution layer over `[batch, channels, height, width]` inputs.
 ///
@@ -11,6 +17,15 @@ use rand::Rng;
 /// [`fitact_tensor::im2col`]: the weight tensor `[out_ch, in_ch, kh, kw]` is
 /// viewed as a `[out_ch, in_ch·kh·kw]` matrix and multiplied with the column
 /// matrix of every sample.
+///
+/// # Allocation behaviour
+///
+/// All intermediates (column matrices, gradient staging) live in a
+/// per-layer [`Workspace`] and the weight matrix is a zero-copy view, so
+/// after the first batch of a given shape, [`Conv2d::forward_into`] performs
+/// **zero heap allocations** per call and [`Layer::forward`] performs exactly
+/// one (the returned output tensor). This is verified by the
+/// `conv_zero_alloc` integration test.
 ///
 /// # Example
 ///
@@ -37,6 +52,7 @@ pub struct Conv2d {
     stride: usize,
     padding: usize,
     cached_input: Option<Tensor>,
+    ws: Workspace,
 }
 
 impl Conv2d {
@@ -53,7 +69,8 @@ impl Conv2d {
         rng: &mut R,
     ) -> Self {
         let fan_in = in_channels * kernel * kernel;
-        let weight = init::kaiming_normal(&[out_channels, in_channels, kernel, kernel], fan_in, rng);
+        let weight =
+            init::kaiming_normal(&[out_channels, in_channels, kernel, kernel], fan_in, rng);
         Conv2d {
             weight: Parameter::new("weight", weight),
             bias: Parameter::new("bias", Tensor::zeros(&[out_channels])),
@@ -63,6 +80,7 @@ impl Conv2d {
             stride,
             padding,
             cached_input: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -82,13 +100,12 @@ impl Conv2d {
     ///
     /// Returns an error if the kernel does not fit the padded input.
     pub fn output_size(&self, input: (usize, usize)) -> Result<(usize, usize), NnError> {
-        Ok(conv_output_size(input, (self.kernel, self.kernel), self.stride, self.padding)?)
-    }
-
-    /// The weight matrix viewed as `[out_ch, in_ch·kh·kw]`.
-    fn weight_matrix(&self) -> Result<Tensor, NnError> {
-        let k = self.in_channels * self.kernel * self.kernel;
-        Ok(self.weight.data().reshape(&[self.out_channels, k])?)
+        Ok(conv_output_size(
+            input,
+            (self.kernel, self.kernel),
+            self.stride,
+            self.padding,
+        )?)
     }
 
     fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize), NnError> {
@@ -101,6 +118,67 @@ impl Conv2d {
         }
         Ok((input.dims()[0], input.dims()[2], input.dims()[3]))
     }
+
+    /// Computes the convolution into a caller-provided output tensor, which
+    /// is reshaped (reusing its storage) to `[batch, out_ch, out_h, out_w]`.
+    ///
+    /// This is the allocation-free entry point: with a warm workspace and an
+    /// `out` tensor of matching capacity, no heap allocation occurs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidInput`] for a wrong input shape.
+    pub fn forward_into(
+        &mut self,
+        input: &Tensor,
+        _mode: Mode,
+        out: &mut Tensor,
+    ) -> Result<(), NnError> {
+        let (batch, h, w) = self.check_input(input)?;
+        let (out_h, out_w) = self.output_size((h, w))?;
+        // Cached in both modes: the post-training stage runs eval-mode
+        // forwards and still backpropagates through them.
+        cache_input(&mut self.cached_input, input);
+        let kmat = self.in_channels * self.kernel * self.kernel;
+        let spatial = out_h * out_w;
+        let in_size = self.in_channels * h * w;
+        let out_size = self.out_channels * spatial;
+        out.ensure_shape(&[batch, self.out_channels, out_h, out_w]);
+        // The [out_ch, in_ch, kh, kw] weight is already a row-major
+        // [out_ch, in_ch·kh·kw] matrix; no reshape copy is needed.
+        let wmat = self.weight.data().as_slice();
+        let bias = self.bias.data();
+        let cols = self.ws.buf(WS_COLS, kmat * spatial);
+        for n in 0..batch {
+            let sample = &input.as_slice()[n * in_size..(n + 1) * in_size];
+            im2col_into(
+                sample,
+                (self.in_channels, h, w),
+                (self.kernel, self.kernel),
+                self.stride,
+                self.padding,
+                cols,
+            )?;
+            let y = &mut out.as_mut_slice()[n * out_size..(n + 1) * out_size];
+            matmul_into(
+                Layout::Nn,
+                wmat,
+                cols,
+                y,
+                self.out_channels,
+                kmat,
+                spatial,
+                false,
+            );
+            for (oc, row) in y.chunks_exact_mut(spatial).enumerate() {
+                let b = bias.as_slice()[oc];
+                for v in row {
+                    *v += b;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Layer for Conv2d {
@@ -111,80 +189,22 @@ impl Layer for Conv2d {
         )
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
-        let (batch, h, w) = self.check_input(input)?;
-        let (out_h, out_w) = self.output_size((h, w))?;
-        self.cached_input = Some(input.clone());
-        let wmat = self.weight_matrix()?;
-        let bias = self.bias.data().as_slice().to_vec();
-        let spatial = out_h * out_w;
-        let mut out = Tensor::zeros(&[batch, self.out_channels, out_h, out_w]);
-        let out_slice = out.as_mut_slice();
-        for n in 0..batch {
-            let sample = input.index_axis0(n)?;
-            let cols = im2col(&sample, (self.kernel, self.kernel), self.stride, self.padding)?;
-            let y = wmat.matmul(&cols)?; // [out_ch, out_h*out_w]
-            let base = n * self.out_channels * spatial;
-            for oc in 0..self.out_channels {
-                let row = &y.as_slice()[oc * spatial..(oc + 1) * spatial];
-                let dst = &mut out_slice[base + oc * spatial..base + (oc + 1) * spatial];
-                let b = bias[oc];
-                for (d, v) in dst.iter_mut().zip(row) {
-                    *d = v + b;
-                }
-            }
-        }
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
+        let mut out = Tensor::default();
+        self.forward_into(input, mode, &mut out)?;
         Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        // Take the cache to avoid cloning it for the borrow checker; it is
+        // restored before returning.
         let input = self
             .cached_input
-            .as_ref()
-            .ok_or_else(|| NnError::BackwardBeforeForward(self.name()))?
-            .clone();
-        let (batch, h, w) = self.check_input(&input)?;
-        let (out_h, out_w) = self.output_size((h, w))?;
-        if grad_output.dims() != [batch, self.out_channels, out_h, out_w] {
-            return Err(NnError::InvalidInput {
-                layer: self.name(),
-                expected: format!("[{batch}, {}, {out_h}, {out_w}] gradient", self.out_channels),
-                actual: grad_output.dims().to_vec(),
-            });
-        }
-        let wmat = self.weight_matrix()?;
-        let spatial = out_h * out_w;
-        let k = self.in_channels * self.kernel * self.kernel;
-        let mut dw = Tensor::zeros(&[self.out_channels, k]);
-        let mut db = vec![0.0f32; self.out_channels];
-        let mut dx = Tensor::zeros(input.dims());
-        let dx_slice_len = self.in_channels * h * w;
-        for n in 0..batch {
-            let sample = input.index_axis0(n)?;
-            let cols = im2col(&sample, (self.kernel, self.kernel), self.stride, self.padding)?;
-            let g = grad_output.index_axis0(n)?.reshape(&[self.out_channels, spatial])?;
-            // dW += g · colsᵀ
-            dw.add_assign(&g.matmul_nt(&cols)?)?;
-            // db += row sums of g
-            for oc in 0..self.out_channels {
-                db[oc] += g.as_slice()[oc * spatial..(oc + 1) * spatial].iter().sum::<f32>();
-            }
-            // dcols = Wᵀ · g, then scatter back to the image
-            let dcols = wmat.matmul_tn(&g)?;
-            let dimg = col2im(
-                &dcols,
-                (self.in_channels, h, w),
-                (self.kernel, self.kernel),
-                self.stride,
-                self.padding,
-            )?;
-            dx.as_mut_slice()[n * dx_slice_len..(n + 1) * dx_slice_len]
-                .copy_from_slice(dimg.as_slice());
-        }
-        let dw = dw.reshape(self.weight.data().dims())?;
-        self.weight.grad_mut().add_assign(&dw)?;
-        self.bias.grad_mut().add_assign(&Tensor::from_vec(db, &[self.out_channels])?)?;
-        Ok(dx)
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward(self.name()))?;
+        let result = self.backward_inner(&input, grad_output);
+        self.cached_input = Some(input);
+        result
     }
 
     fn params(&self) -> Vec<&Parameter> {
@@ -200,6 +220,81 @@ impl Layer for Conv2d {
     }
 }
 
+impl Conv2d {
+    fn backward_inner(&mut self, input: &Tensor, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let (batch, h, w) = self.check_input(input)?;
+        let (out_h, out_w) = self.output_size((h, w))?;
+        if grad_output.dims() != [batch, self.out_channels, out_h, out_w] {
+            return Err(NnError::InvalidInput {
+                layer: self.name(),
+                expected: format!(
+                    "[{batch}, {}, {out_h}, {out_w}] gradient",
+                    self.out_channels
+                ),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let spatial = out_h * out_w;
+        let kmat = self.in_channels * self.kernel * self.kernel;
+        let in_size = self.in_channels * h * w;
+        let out_size = self.out_channels * spatial;
+        let mut dx = Tensor::zeros(input.dims());
+        let (wdata, wgrad) = self.weight.data_and_grad_mut();
+        let wmat = wdata.as_slice();
+        let bgrad = self.bias.grad_mut();
+        let (cols, dcols) = self
+            .ws
+            .pair((WS_COLS, kmat * spatial), (WS_DCOLS, kmat * spatial));
+        for n in 0..batch {
+            let sample = &input.as_slice()[n * in_size..(n + 1) * in_size];
+            im2col_into(
+                sample,
+                (self.in_channels, h, w),
+                (self.kernel, self.kernel),
+                self.stride,
+                self.padding,
+                cols,
+            )?;
+            let g = &grad_output.as_slice()[n * out_size..(n + 1) * out_size];
+            // dW += g · colsᵀ, accumulated straight into the gradient.
+            matmul_into(
+                Layout::Nt,
+                g,
+                cols,
+                wgrad.as_mut_slice(),
+                self.out_channels,
+                spatial,
+                kmat,
+                true,
+            );
+            // db += row sums of g.
+            for (oc, row) in g.chunks_exact(spatial).enumerate() {
+                bgrad.as_mut_slice()[oc] += row.iter().sum::<f32>();
+            }
+            // dcols = Wᵀ · g, then scatter back onto the image.
+            matmul_into(
+                Layout::Tn,
+                wmat,
+                g,
+                dcols,
+                kmat,
+                self.out_channels,
+                spatial,
+                false,
+            );
+            col2im_into(
+                dcols,
+                (self.in_channels, h, w),
+                (self.kernel, self.kernel),
+                self.stride,
+                self.padding,
+                &mut dx.as_mut_slice()[n * in_size..(n + 1) * in_size],
+            )?;
+        }
+        Ok(dx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,10 +305,14 @@ mod tests {
     fn forward_shape_with_padding_and_stride() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(3, 6, 3, 1, 1, &mut rng);
-        let y = conv.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval).unwrap();
+        let y = conv
+            .forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[2, 6, 8, 8]);
         let mut strided = Conv2d::new(3, 4, 3, 2, 1, &mut rng);
-        let y = strided.forward(&Tensor::zeros(&[1, 3, 8, 8]), Mode::Eval).unwrap();
+        let y = strided
+            .forward(&Tensor::zeros(&[1, 3, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[1, 4, 4, 4]);
     }
 
@@ -222,7 +321,8 @@ mod tests {
         // A 1x1 convolution whose weight is the identity over channels.
         let mut rng = StdRng::seed_from_u64(1);
         let mut conv = Conv2d::new(2, 2, 1, 1, 0, &mut rng);
-        *conv.weight.data_mut() = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]).unwrap();
+        *conv.weight.data_mut() =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]).unwrap();
         conv.bias.data_mut().fill(0.0);
         let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
         let y = conv.forward(&x, Mode::Eval).unwrap();
@@ -248,7 +348,9 @@ mod tests {
         let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
         conv.weight.data_mut().fill(0.0);
         *conv.bias.data_mut() = Tensor::from_vec(vec![1.5, -2.5], &[2]).unwrap();
-        let y = conv.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).unwrap();
+        let y = conv
+            .forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval)
+            .unwrap();
         assert_eq!(&y.as_slice()[..4], &[1.5; 4]);
         assert_eq!(&y.as_slice()[4..], &[-2.5; 4]);
     }
@@ -257,8 +359,12 @@ mod tests {
     fn rejects_wrong_channel_count() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
-        assert!(conv.forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval).is_err());
-        assert!(conv.forward(&Tensor::zeros(&[3, 8, 8]), Mode::Eval).is_err());
+        assert!(conv
+            .forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval)
+            .is_err());
+        assert!(conv
+            .forward(&Tensor::zeros(&[3, 8, 8]), Mode::Eval)
+            .is_err());
     }
 
     #[test]
@@ -269,6 +375,20 @@ mod tests {
             conv.backward(&Tensor::zeros(&[1, 1, 4, 4])),
             Err(NnError::BackwardBeforeForward(_))
         ));
+    }
+
+    #[test]
+    fn forward_into_reuses_the_output_tensor() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let x = init::uniform(&[2, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let expected = conv.forward(&x, Mode::Eval).unwrap();
+        let mut out = Tensor::default();
+        conv.forward_into(&x, Mode::Eval, &mut out).unwrap();
+        assert_eq!(out, expected);
+        // Second call with a warm output: same result, storage reused.
+        conv.forward_into(&x, Mode::Eval, &mut out).unwrap();
+        assert_eq!(out, expected);
     }
 
     #[test]
@@ -290,7 +410,10 @@ mod tests {
             conv.weight.data_mut().as_mut_slice()[idx] = orig;
             let numeric = (plus - minus) / (2.0 * eps);
             let a = analytic.as_slice()[idx];
-            assert!((a - numeric).abs() < 0.05, "idx {idx}: analytic {a} vs numeric {numeric}");
+            assert!(
+                (a - numeric).abs() < 0.05,
+                "idx {idx}: analytic {a} vs numeric {numeric}"
+            );
         }
     }
 
@@ -314,7 +437,10 @@ mod tests {
             x_pert.as_mut_slice()[idx] = orig;
             let numeric = (plus - minus) / (2.0 * eps);
             let a = dx.as_slice()[idx];
-            assert!((a - numeric).abs() < 0.05, "idx {idx}: analytic {a} vs numeric {numeric}");
+            assert!(
+                (a - numeric).abs() < 0.05,
+                "idx {idx}: analytic {a} vs numeric {numeric}"
+            );
         }
     }
 

@@ -27,9 +27,15 @@ impl Dropout {
     /// Returns [`NnError::InvalidConfig`] if `p` is outside `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Result<Self, NnError> {
         if !(0.0..1.0).contains(&p) {
-            return Err(NnError::InvalidConfig(format!("dropout probability {p} must be in [0, 1)")));
+            return Err(NnError::InvalidConfig(format!(
+                "dropout probability {p} must be in [0, 1)"
+            )));
         }
-        Ok(Dropout { p, rng: StdRng::seed_from_u64(seed), cached_mask: None })
+        Ok(Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            cached_mask: None,
+        })
     }
 
     /// The configured drop probability.
@@ -58,7 +64,11 @@ impl Layer for Dropout {
                 let scale = 1.0 / keep;
                 let mut mask = Tensor::zeros(input.dims());
                 for v in mask.as_mut_slice() {
-                    *v = if self.rng.gen::<f32>() < keep { scale } else { 0.0 };
+                    *v = if self.rng.gen::<f32>() < keep {
+                        scale
+                    } else {
+                        0.0
+                    };
                 }
                 let out = input.mul(&mask)?;
                 self.cached_mask = Some(mask);
@@ -108,7 +118,10 @@ mod tests {
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
         assert!((4000..6000).contains(&zeros), "zeros = {zeros}");
         // Surviving values are scaled by 1/(1-p) = 2.
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]

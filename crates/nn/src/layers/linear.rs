@@ -1,7 +1,8 @@
 //! Fully-connected (affine) layer.
 
-use crate::layers::{Layer, Mode};
+use crate::layers::{cache_input, Layer, Mode};
 use crate::{NnError, Parameter};
+use fitact_tensor::matmul::{matmul_into, Layout};
 use fitact_tensor::{init, Tensor};
 use rand::Rng;
 
@@ -72,7 +73,7 @@ impl Layer for Linear {
                 actual: input.dims().to_vec(),
             });
         }
-        self.cached_input = Some(input.clone());
+        cache_input(&mut self.cached_input, input);
         // y = x Wᵀ + b
         let mut y = input.matmul_nt(self.weight.data())?;
         let bias = self.bias.data().as_slice();
@@ -100,11 +101,25 @@ impl Layer for Linear {
                 actual: grad_output.dims().to_vec(),
             });
         }
-        // dW = gᵀ x, db = Σ_batch g, dx = g W
-        let dw = grad_output.matmul_tn(input)?;
-        let db = grad_output.sum_axis0()?;
-        self.weight.grad_mut().add_assign(&dw)?;
-        self.bias.grad_mut().add_assign(&db)?;
+        // dW = gᵀ x, db = Σ_batch g, dx = g W — the matrix gradients are
+        // accumulated straight into the parameter gradients (no temporary).
+        let batch = grad_output.dims()[0];
+        matmul_into(
+            Layout::Tn,
+            grad_output.as_slice(),
+            input.as_slice(),
+            self.weight.grad_mut().as_mut_slice(),
+            self.out_features,
+            batch,
+            self.in_features,
+            true,
+        );
+        let bgrad = self.bias.grad_mut().as_mut_slice();
+        for row in grad_output.as_slice().chunks_exact(self.out_features) {
+            for (b, g) in bgrad.iter_mut().zip(row) {
+                *b += g;
+            }
+        }
         Ok(grad_output.matmul(self.weight.data())?)
     }
 

@@ -117,6 +117,15 @@ impl Clone for Box<dyn Layer> {
     }
 }
 
+/// Caches `input` for a layer's backward pass, reusing the previous cache's
+/// storage when shapes allow so steady-state training does not allocate.
+pub(crate) fn cache_input(cache: &mut Option<Tensor>, input: &Tensor) {
+    match cache {
+        Some(t) => t.copy_from(input),
+        None => *cache = Some(input.clone()),
+    }
+}
+
 /// Joins a path prefix and a component with `/`, omitting the separator for an
 /// empty prefix.
 pub(crate) fn join_path(prefix: &str, name: &str) -> String {

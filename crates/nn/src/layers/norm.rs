@@ -82,9 +82,9 @@ impl Layer for BatchNorm2d {
                 let mut mean = vec![0.0f32; c];
                 let mut var = vec![0.0f32; c];
                 for n in 0..batch {
-                    for ch in 0..c {
+                    for (ch, m) in mean.iter_mut().enumerate() {
                         let base = (n * c + ch) * spatial;
-                        mean[ch] += x[base..base + spatial].iter().sum::<f32>();
+                        *m += x[base..base + spatial].iter().sum::<f32>();
                     }
                 }
                 for m in &mut mean {
@@ -137,7 +137,12 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.cache = Some(BnCache { x_hat, inv_std, mode, dims: input.dims().to_vec() });
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            mode,
+            dims: input.dims().to_vec(),
+        });
         Ok(out)
     }
 
@@ -193,9 +198,9 @@ impl Layer for BatchNorm2d {
                 // Running statistics are constants: the layer is a per-channel
                 // affine map, so dx = g * gamma * inv_std.
                 for n in 0..batch {
-                    for ch in 0..c {
+                    for (ch, &gm) in gamma.iter().enumerate() {
                         let base = (n * c + ch) * spatial;
-                        let scale = gamma[ch] * cache.inv_std[ch];
+                        let scale = gm * cache.inv_std[ch];
                         for i in base..base + spatial {
                             dxs[i] = scale * g[i];
                         }
@@ -204,17 +209,31 @@ impl Layer for BatchNorm2d {
             }
         }
 
-        self.gamma.grad_mut().add_assign(&Tensor::from_vec(dgamma, &[c])?)?;
-        self.beta.grad_mut().add_assign(&Tensor::from_vec(dbeta, &[c])?)?;
+        self.gamma
+            .grad_mut()
+            .add_assign(&Tensor::from_vec(dgamma, &[c])?)?;
+        self.beta
+            .grad_mut()
+            .add_assign(&Tensor::from_vec(dbeta, &[c])?)?;
         Ok(dx)
     }
 
     fn params(&self) -> Vec<&Parameter> {
-        vec![&self.gamma, &self.beta, &self.running_mean, &self.running_var]
+        vec![
+            &self.gamma,
+            &self.beta,
+            &self.running_mean,
+            &self.running_var,
+        ]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Parameter> {
-        vec![&mut self.gamma, &mut self.beta, &mut self.running_mean, &mut self.running_var]
+        vec![
+            &mut self.gamma,
+            &mut self.beta,
+            &mut self.running_mean,
+            &mut self.running_var,
+        ]
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -244,7 +263,8 @@ mod tests {
                 vals.extend_from_slice(&y.as_slice()[base..base + spatial]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
         }
@@ -288,7 +308,9 @@ mod tests {
     #[test]
     fn rejects_wrong_channels() {
         let mut bn = BatchNorm2d::new(3);
-        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train).is_err());
+        assert!(bn
+            .forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train)
+            .is_err());
         assert!(bn.forward(&Tensor::zeros(&[2, 4, 4]), Mode::Train).is_err());
     }
 
@@ -324,7 +346,10 @@ mod tests {
             x_pert.as_mut_slice()[idx] = orig;
             let numeric = (plus - minus) / (2.0 * eps);
             let a = dx.as_slice()[idx];
-            assert!((a - numeric).abs() < 0.05, "idx {idx}: analytic {a} vs numeric {numeric}");
+            assert!(
+                (a - numeric).abs() < 0.05,
+                "idx {idx}: analytic {a} vs numeric {numeric}"
+            );
         }
     }
 

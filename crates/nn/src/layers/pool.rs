@@ -30,14 +30,19 @@ pub struct MaxPool2d {
 #[derive(Debug, Clone)]
 struct PoolCache {
     input_dims: Vec<usize>,
-    /// Flat input index of the maximum for every output element.
+    /// Flat input index of the maximum for every output element. The vector
+    /// is reused across forward calls (resized, never reallocated once warm).
     argmax: Vec<usize>,
 }
 
 impl MaxPool2d {
     /// Creates a max-pooling layer with a square `kernel` and `stride`.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        MaxPool2d { kernel, stride, cache: None }
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
     }
 }
 
@@ -54,11 +59,22 @@ impl Layer for MaxPool2d {
                 actual: input.dims().to_vec(),
             });
         }
-        let (batch, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        let (batch, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
         let (out_h, out_w) = conv_output_size((h, w), (self.kernel, self.kernel), self.stride, 0)?;
         let x = input.as_slice();
         let mut out = Tensor::zeros(&[batch, c, out_h, out_w]);
-        let mut argmax = vec![0usize; out.numel()];
+        // Reuse the previous cache's argmax storage instead of reallocating.
+        let mut argmax = match self.cache.take() {
+            Some(cache) => cache.argmax,
+            None => Vec::new(),
+        };
+        argmax.clear();
+        argmax.resize(out.numel(), 0);
         {
             let o = out.as_mut_slice();
             let mut oi = 0usize;
@@ -88,7 +104,10 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        self.cache = Some(PoolCache { input_dims: input.dims().to_vec(), argmax });
+        self.cache = Some(PoolCache {
+            input_dims: input.dims().to_vec(),
+            argmax,
+        });
         Ok(out)
     }
 
@@ -145,7 +164,12 @@ impl Layer for GlobalAvgPool {
                 actual: input.dims().to_vec(),
             });
         }
-        let (batch, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        let (batch, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
         self.cached_dims = Some(input.dims().to_vec());
         let spatial = (h * w) as f32;
         let x = input.as_slice();
@@ -238,14 +262,19 @@ mod tests {
             pool.backward(&Tensor::zeros(&[1, 1, 1, 1])),
             Err(NnError::BackwardBeforeForward(_))
         ));
-        pool.forward(&Tensor::zeros(&[1, 1, 4, 4]), Mode::Eval).unwrap();
+        pool.forward(&Tensor::zeros(&[1, 1, 4, 4]), Mode::Eval)
+            .unwrap();
         assert!(pool.backward(&Tensor::zeros(&[1, 1, 4, 4])).is_err());
     }
 
     #[test]
     fn global_avg_pool_averages_planes() {
         let mut pool = GlobalAvgPool::new();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]).unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let y = pool.forward(&x, Mode::Eval).unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.as_slice(), &[2.5, 25.0]);
@@ -269,7 +298,8 @@ mod tests {
             pool.backward(&Tensor::zeros(&[1, 1])),
             Err(NnError::BackwardBeforeForward(_))
         ));
-        pool.forward(&Tensor::zeros(&[1, 2, 2, 2]), Mode::Eval).unwrap();
+        pool.forward(&Tensor::zeros(&[1, 2, 2, 2]), Mode::Eval)
+            .unwrap();
         assert!(pool.backward(&Tensor::zeros(&[1, 3])).is_err());
     }
 }

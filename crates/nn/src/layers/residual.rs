@@ -53,7 +53,10 @@ impl Bottleneck {
         let mut main = Sequential::new();
         main.push(Box::new(Conv2d::new(in_channels, planes, 1, 1, 0, rng)));
         main.push(Box::new(BatchNorm2d::new(planes)));
-        main.push(Box::new(ActivationLayer::relu(format!("{label}.act1"), &[planes, h, w])));
+        main.push(Box::new(ActivationLayer::relu(
+            format!("{label}.act1"),
+            &[planes, h, w],
+        )));
         main.push(Box::new(Conv2d::new(planes, planes, 3, stride, 1, rng)));
         main.push(Box::new(BatchNorm2d::new(planes)));
         main.push(Box::new(ActivationLayer::relu(
@@ -65,7 +68,14 @@ impl Bottleneck {
 
         let shortcut = if stride != 1 || in_channels != out_channels {
             let mut s = Sequential::new();
-            s.push(Box::new(Conv2d::new(in_channels, out_channels, 1, stride, 0, rng)));
+            s.push(Box::new(Conv2d::new(
+                in_channels,
+                out_channels,
+                1,
+                stride,
+                0,
+                rng,
+            )));
             s.push(Box::new(BatchNorm2d::new(out_channels)));
             Some(s)
         } else {
@@ -141,15 +151,18 @@ impl Layer for Bottleneck {
         if let Some(s) = &self.shortcut {
             s.visit_params(&join_path(prefix, "shortcut"), visitor);
         }
-        self.final_act.visit_params(&join_path(prefix, "act3"), visitor);
+        self.final_act
+            .visit_params(&join_path(prefix, "act3"), visitor);
     }
 
     fn visit_params_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Parameter)) {
-        self.main.visit_params_mut(&join_path(prefix, "main"), visitor);
+        self.main
+            .visit_params_mut(&join_path(prefix, "main"), visitor);
         if let Some(s) = &mut self.shortcut {
             s.visit_params_mut(&join_path(prefix, "shortcut"), visitor);
         }
-        self.final_act.visit_params_mut(&join_path(prefix, "act3"), visitor);
+        self.final_act
+            .visit_params_mut(&join_path(prefix, "act3"), visitor);
     }
 
     fn activation_slots(&mut self) -> Vec<&mut ActivationLayer> {
@@ -177,7 +190,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut block = Bottleneck::new(16, 4, 1, (8, 8), "b0", &mut rng).unwrap();
         assert!(!block.has_projection());
-        let y = block.forward(&Tensor::zeros(&[2, 16, 8, 8]), Mode::Eval).unwrap();
+        let y = block
+            .forward(&Tensor::zeros(&[2, 16, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[2, 16, 8, 8]);
     }
 
@@ -186,7 +201,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut block = Bottleneck::new(16, 8, 2, (8, 8), "b1", &mut rng).unwrap();
         assert!(block.has_projection());
-        let y = block.forward(&Tensor::zeros(&[1, 16, 8, 8]), Mode::Eval).unwrap();
+        let y = block
+            .forward(&Tensor::zeros(&[1, 16, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[1, 32, 4, 4]);
     }
 
@@ -215,8 +232,11 @@ mod tests {
     fn activation_slots_cover_all_three_relus() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut block = Bottleneck::new(8, 2, 1, (4, 4), "blk", &mut rng).unwrap();
-        let labels: Vec<String> =
-            block.activation_slots().iter().map(|s| s.label().to_owned()).collect();
+        let labels: Vec<String> = block
+            .activation_slots()
+            .iter()
+            .map(|s| s.label().to_owned())
+            .collect();
         assert_eq!(labels, vec!["blk.act1", "blk.act2", "blk.act3"]);
     }
 

@@ -74,7 +74,9 @@ impl Sequential {
 
 impl FromIterator<Box<dyn Layer>> for Sequential {
     fn from_iter<I: IntoIterator<Item = Box<dyn Layer>>>(iter: I) -> Self {
-        Sequential { layers: iter.into_iter().collect() }
+        Sequential {
+            layers: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -110,7 +112,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Parameter> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn visit_params(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Parameter)) {
@@ -128,7 +133,10 @@ impl Layer for Sequential {
     }
 
     fn activation_slots(&mut self) -> Vec<&mut ActivationLayer> {
-        self.layers.iter_mut().flat_map(|l| l.activation_slots()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.activation_slots())
+            .collect()
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -182,7 +190,12 @@ mod tests {
         net.visit_params("root", &mut |path, _p| paths.push(path.to_owned()));
         assert_eq!(
             paths,
-            vec!["root/0/weight", "root/0/bias", "root/2/weight", "root/2/bias"]
+            vec![
+                "root/0/weight",
+                "root/0/bias",
+                "root/2/weight",
+                "root/2/bias"
+            ]
         );
     }
 
@@ -212,9 +225,12 @@ mod tests {
     #[test]
     fn from_iterator_and_extend() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut net: Sequential =
-            vec![Box::new(Linear::new(2, 2, &mut rng)) as Box<dyn Layer>].into_iter().collect();
-        net.extend(vec![Box::new(ActivationLayer::relu("a", &[2])) as Box<dyn Layer>]);
+        let mut net: Sequential = vec![Box::new(Linear::new(2, 2, &mut rng)) as Box<dyn Layer>]
+            .into_iter()
+            .collect();
+        net.extend(vec![
+            Box::new(ActivationLayer::relu("a", &[2])) as Box<dyn Layer>
+        ]);
         assert_eq!(net.len(), 2);
         assert_eq!(net.layers().len(), 2);
         assert_eq!(net.layers_mut().len(), 2);

@@ -79,8 +79,15 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
-            NnError::InvalidInput { layer, expected, actual } => {
-                write!(f, "layer `{layer}` expected input {expected}, got shape {actual:?}")
+            NnError::InvalidInput {
+                layer,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "layer `{layer}` expected input {expected}, got shape {actual:?}"
+                )
             }
             NnError::BackwardBeforeForward(layer) => {
                 write!(f, "backward called on `{layer}` before forward")
@@ -121,7 +128,9 @@ mod tests {
         };
         assert!(e.to_string().contains("conv"));
         assert!(Error::source(&e).is_none());
-        assert!(!NnError::BackwardBeforeForward("x".into()).to_string().is_empty());
+        assert!(!NnError::BackwardBeforeForward("x".into())
+            .to_string()
+            .is_empty());
         assert!(!NnError::InvalidConfig("bad".into()).to_string().is_empty());
     }
 

@@ -34,7 +34,11 @@ pub fn accuracy(logits: &Tensor, targets: &[usize]) -> Result<f32, NnError> {
         return Ok(0.0);
     }
     let predictions = logits.argmax_rows()?;
-    let correct = predictions.iter().zip(targets).filter(|(p, t)| p == t).count();
+    let correct = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
     Ok(correct as f32 / targets.len() as f32)
 }
 
@@ -146,7 +150,10 @@ impl ConfusionMatrix {
     /// Panics if `classes == 0`.
     pub fn new(classes: usize) -> Self {
         assert!(classes > 0, "a confusion matrix needs at least one class");
-        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Number of classes.
@@ -169,7 +176,10 @@ impl ConfusionMatrix {
     ///
     /// Returns an error if `logits` is not `[batch, classes]`.
     pub fn record_batch(&mut self, logits: &Tensor, targets: &[usize]) -> Result<(), NnError> {
-        if logits.ndim() != 2 || logits.dims()[0] != targets.len() || logits.dims()[1] != self.classes {
+        if logits.ndim() != 2
+            || logits.dims()[0] != targets.len()
+            || logits.dims()[1] != self.classes
+        {
             return Err(NnError::InvalidInput {
                 layer: "confusion_matrix".into(),
                 expected: format!("[{}, {}] logits", targets.len(), self.classes),

@@ -37,8 +37,13 @@ pub fn alexnet(config: &ModelConfig) -> Result<Network, NnError> {
     let mut size = INPUT_SIZE;
 
     // Convolutional trunk: (out_channels, pool_after)
-    let trunk: [(usize, bool); 5] =
-        [(64, true), (192, true), (384, false), (256, false), (256, true)];
+    let trunk: [(usize, bool); 5] = [
+        (64, true),
+        (192, true),
+        (384, false),
+        (256, false),
+        (256, true),
+    ];
     let mut in_ch = INPUT_CHANNELS;
     for (i, (channels, pool)) in trunk.into_iter().enumerate() {
         let out_ch = config.scale(channels);
@@ -59,10 +64,16 @@ pub fn alexnet(config: &ModelConfig) -> Result<Network, NnError> {
     let fc1 = config.scale(1024);
     let fc2 = config.scale(512);
     net.push(Box::new(Flatten::new()));
-    net.push(Box::new(Dropout::new(config.dropout, config.seed.wrapping_add(1))?));
+    net.push(Box::new(Dropout::new(
+        config.dropout,
+        config.seed.wrapping_add(1),
+    )?));
     net.push(Box::new(Linear::new(flat, fc1, &mut rng)));
     net.push(Box::new(ActivationLayer::relu("classifier.0", &[fc1])));
-    net.push(Box::new(Dropout::new(config.dropout, config.seed.wrapping_add(2))?));
+    net.push(Box::new(Dropout::new(
+        config.dropout,
+        config.seed.wrapping_add(2),
+    )?));
     net.push(Box::new(Linear::new(fc1, fc2, &mut rng)));
     net.push(Box::new(ActivationLayer::relu("classifier.1", &[fc2])));
     net.push(Box::new(Linear::new(fc2, config.num_classes, &mut rng)));
@@ -83,7 +94,9 @@ mod tests {
     #[test]
     fn forward_produces_class_logits() {
         let mut net = alexnet(&tiny_config()).unwrap();
-        let y = net.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[2, 10]);
         assert!(y.is_finite());
     }
@@ -99,7 +112,9 @@ mod tests {
     fn cifar100_head_has_100_outputs() {
         let cfg = ModelConfig::new(100).with_width(0.0626);
         let mut net = alexnet(&cfg).unwrap();
-        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[1, 100]);
     }
 

@@ -38,14 +38,22 @@ pub struct ModelConfig {
 
 impl Default for ModelConfig {
     fn default() -> Self {
-        ModelConfig { num_classes: 10, width_multiplier: 1.0, dropout: 0.5, seed: 42 }
+        ModelConfig {
+            num_classes: 10,
+            width_multiplier: 1.0,
+            dropout: 0.5,
+            seed: 42,
+        }
     }
 }
 
 impl ModelConfig {
     /// Creates a configuration for `num_classes` classes at full width.
     pub fn new(num_classes: usize) -> Self {
-        ModelConfig { num_classes, ..Default::default() }
+        ModelConfig {
+            num_classes,
+            ..Default::default()
+        }
     }
 
     /// Builder-style width multiplier override.
@@ -77,9 +85,11 @@ impl ModelConfig {
     /// width multiplier or an out-of-range dropout probability.
     pub fn validate(&self) -> Result<(), NnError> {
         if self.num_classes == 0 {
-            return Err(NnError::InvalidConfig("num_classes must be at least 1".into()));
+            return Err(NnError::InvalidConfig(
+                "num_classes must be at least 1".into(),
+            ));
         }
-        if !(self.width_multiplier > 0.0) {
+        if self.width_multiplier.is_nan() || self.width_multiplier <= 0.0 {
             return Err(NnError::InvalidConfig(format!(
                 "width_multiplier must be positive, got {}",
                 self.width_multiplier
@@ -114,8 +124,11 @@ pub enum Architecture {
 
 impl Architecture {
     /// All architectures, in the order used by the paper's Fig. 6.
-    pub const ALL: [Architecture; 3] =
-        [Architecture::ResNet50, Architecture::Vgg16, Architecture::AlexNet];
+    pub const ALL: [Architecture; 3] = [
+        Architecture::ResNet50,
+        Architecture::Vgg16,
+        Architecture::AlexNet,
+    ];
 
     /// Human-readable name.
     pub fn name(self) -> &'static str {
@@ -158,7 +171,12 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(ModelConfig { num_classes: 0, ..Default::default() }.validate().is_err());
+        assert!(ModelConfig {
+            num_classes: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(ModelConfig::new(10).with_width(0.0).validate().is_err());
         assert!(ModelConfig::new(10).with_width(-1.0).validate().is_err());
         assert!(ModelConfig::new(10).with_dropout(1.5).validate().is_err());
@@ -182,7 +200,10 @@ mod tests {
 
     #[test]
     fn builders_reject_invalid_config() {
-        let bad = ModelConfig { num_classes: 0, ..Default::default() };
+        let bad = ModelConfig {
+            num_classes: 0,
+            ..Default::default()
+        };
         for arch in Architecture::ALL {
             assert!(arch.build(&bad).is_err());
         }

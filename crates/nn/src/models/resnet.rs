@@ -33,7 +33,14 @@ pub fn resnet50(config: &ModelConfig) -> Result<Network, NnError> {
     // Stem: 3×3 convolution keeping the 32×32 resolution (the ImageNet 7×7/s2
     // stem and initial max-pool are dropped in CIFAR variants).
     let stem = config.scale(64);
-    net.push(Box::new(Conv2d::new(INPUT_CHANNELS, stem, 3, 1, 1, &mut rng)));
+    net.push(Box::new(Conv2d::new(
+        INPUT_CHANNELS,
+        stem,
+        3,
+        1,
+        1,
+        &mut rng,
+    )));
     net.push(Box::new(BatchNorm2d::new(stem)));
     net.push(Box::new(ActivationLayer::relu("stem", &[stem, size, size])));
 
@@ -65,7 +72,11 @@ pub fn resnet50(config: &ModelConfig) -> Result<Network, NnError> {
     }
 
     net.push(Box::new(GlobalAvgPool::new()));
-    net.push(Box::new(Linear::new(in_channels, config.num_classes, &mut rng)));
+    net.push(Box::new(Linear::new(
+        in_channels,
+        config.num_classes,
+        &mut rng,
+    )));
 
     Ok(Network::new("resnet50", net))
 }
@@ -84,7 +95,9 @@ mod tests {
     #[test]
     fn forward_produces_class_logits() {
         let mut net = resnet50(&tiny_config()).unwrap();
-        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[1, 10]);
         assert!(y.is_finite());
     }
@@ -112,7 +125,9 @@ mod tests {
     fn cifar100_head_has_100_outputs() {
         let cfg = ModelConfig::new(100).with_width(0.0626);
         let mut net = resnet50(&cfg).unwrap();
-        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[1, 100]);
     }
 
@@ -128,12 +143,8 @@ mod tests {
     #[test]
     fn backward_pass_runs_in_train_mode() {
         let mut net = resnet50(&tiny_config()).unwrap();
-        let x = fitact_tensor::init::uniform(
-            &[1, 3, 32, 32],
-            -1.0,
-            1.0,
-            &mut StdRng::seed_from_u64(5),
-        );
+        let x =
+            fitact_tensor::init::uniform(&[1, 3, 32, 32], -1.0, 1.0, &mut StdRng::seed_from_u64(5));
         let y = net.forward(&x, Mode::Train).unwrap();
         let dx = net.backward(&Tensor::ones(y.dims())).unwrap();
         assert_eq!(dx.dims(), x.dims());

@@ -86,7 +86,10 @@ pub fn vgg16(config: &ModelConfig) -> Result<Network, NnError> {
     net.push(Box::new(Flatten::new()));
     net.push(Box::new(Linear::new(flat, hidden, &mut rng)));
     net.push(Box::new(ActivationLayer::relu("classifier.0", &[hidden])));
-    net.push(Box::new(Dropout::new(config.dropout, config.seed.wrapping_add(1))?));
+    net.push(Box::new(Dropout::new(
+        config.dropout,
+        config.seed.wrapping_add(1),
+    )?));
     net.push(Box::new(Linear::new(hidden, config.num_classes, &mut rng)));
 
     Ok(Network::new("vgg16", net))
@@ -105,7 +108,9 @@ mod tests {
     #[test]
     fn forward_produces_class_logits() {
         let mut net = vgg16(&tiny_config()).unwrap();
-        let y = net.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[2, 10]);
         assert!(y.is_finite());
     }
@@ -141,14 +146,19 @@ mod tests {
         let slots = net.activation_slots();
         assert_eq!(slots[VGG16_SECOND_ACT_SLOT].label(), "features.1");
         // Its feature map is still 32×32 (before the first pooling stage).
-        assert_eq!(&slots[VGG16_SECOND_ACT_SLOT].feature_shape()[1..], &[32, 32]);
+        assert_eq!(
+            &slots[VGG16_SECOND_ACT_SLOT].feature_shape()[1..],
+            &[32, 32]
+        );
     }
 
     #[test]
     fn cifar100_head_has_100_outputs() {
         let cfg = ModelConfig::new(100).with_width(0.0626);
         let mut net = vgg16(&cfg).unwrap();
-        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[1, 100]);
     }
 
@@ -164,12 +174,8 @@ mod tests {
     #[test]
     fn backward_pass_runs_in_train_mode() {
         let mut net = vgg16(&tiny_config()).unwrap();
-        let x = fitact_tensor::init::uniform(
-            &[2, 3, 32, 32],
-            -1.0,
-            1.0,
-            &mut StdRng::seed_from_u64(3),
-        );
+        let x =
+            fitact_tensor::init::uniform(&[2, 3, 32, 32], -1.0, 1.0, &mut StdRng::seed_from_u64(3));
         let y = net.forward(&x, Mode::Train).unwrap();
         let dx = net.backward(&Tensor::ones(y.dims())).unwrap();
         assert_eq!(dx.dims(), x.dims());

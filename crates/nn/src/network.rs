@@ -60,7 +60,10 @@ pub struct EpochStats {
 impl Network {
     /// Wraps a sequential stack as a named network.
     pub fn new(name: impl Into<String>, root: Sequential) -> Self {
-        Network { name: name.into(), root }
+        Network {
+            name: name.into(),
+            root,
+        }
     }
 
     /// The network's name (e.g. `"vgg16"`).
@@ -114,7 +117,11 @@ impl Network {
     pub fn param_info(&self) -> Vec<ParamInfo> {
         let mut out = Vec::new();
         self.root.visit_params("", &mut |path, p| {
-            out.push(ParamInfo { path: path.to_owned(), numel: p.numel(), trainable: p.trainable() });
+            out.push(ParamInfo {
+                path: path.to_owned(),
+                numel: p.numel(),
+                trainable: p.trainable(),
+            });
         });
         out
     }
@@ -254,7 +261,10 @@ impl Network {
         let mut params = self.params_mut();
         optimizer.step(&mut params);
         self.zero_grad();
-        Ok(EpochStats { loss: loss_value, accuracy: batch_accuracy })
+        Ok(EpochStats {
+            loss: loss_value,
+            accuracy: batch_accuracy,
+        })
     }
 }
 

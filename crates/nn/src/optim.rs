@@ -46,19 +46,32 @@ pub struct Sgd {
 impl Sgd {
     /// Creates plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Creates SGD with momentum and weight decay.
     pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Parameter]) {
         if self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.data().dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.data().dims()))
+                .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
             if !p.trainable() {
@@ -125,7 +138,16 @@ impl Adam {
 
     /// Creates Adam with explicit betas and weight decay.
     pub fn with_config(lr: f32, beta1: f32, beta2: f32, weight_decay: f32) -> Self {
-        Adam { lr, beta1, beta2, eps: 1e-8, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Number of steps taken so far.
@@ -137,8 +159,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Parameter]) {
         if self.m.len() != params.len() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.data().dims())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.data().dims())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.data().dims()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.data().dims()))
+                .collect();
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -196,19 +224,32 @@ pub struct RmsProp {
 impl RmsProp {
     /// Creates RMSprop with the standard smoothing constant `α = 0.99`.
     pub fn new(lr: f32) -> Self {
-        RmsProp { lr, alpha: 0.99, eps: 1e-8, v: Vec::new() }
+        RmsProp {
+            lr,
+            alpha: 0.99,
+            eps: 1e-8,
+            v: Vec::new(),
+        }
     }
 
     /// Creates RMSprop with an explicit smoothing constant.
     pub fn with_alpha(lr: f32, alpha: f32) -> Self {
-        RmsProp { lr, alpha, eps: 1e-8, v: Vec::new() }
+        RmsProp {
+            lr,
+            alpha,
+            eps: 1e-8,
+            v: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for RmsProp {
     fn step(&mut self, params: &mut [&mut Parameter]) {
         if self.v.len() != params.len() {
-            self.v = params.iter().map(|p| Tensor::zeros(p.data().dims())).collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.data().dims()))
+                .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
             if !p.trainable() {

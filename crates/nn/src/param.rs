@@ -37,7 +37,12 @@ impl Parameter {
     /// Creates a trainable parameter with a zeroed gradient of matching shape.
     pub fn new(name: impl Into<String>, data: Tensor) -> Self {
         let grad = Tensor::zeros(data.dims());
-        Parameter { name: name.into(), data, grad, trainable: true }
+        Parameter {
+            name: name.into(),
+            data,
+            grad,
+            trainable: true,
+        }
     }
 
     /// Creates a non-trainable parameter (a buffer, e.g. batch-norm running
@@ -77,6 +82,12 @@ impl Parameter {
     /// Returns mutable access to the accumulated gradient.
     pub fn grad_mut(&mut self) -> &mut Tensor {
         &mut self.grad
+    }
+
+    /// Returns the values and the mutable gradient simultaneously (split
+    /// borrow), for kernels that read weights while accumulating gradients.
+    pub fn data_and_grad_mut(&mut self) -> (&Tensor, &mut Tensor) {
+        (&self.data, &mut self.grad)
     }
 
     /// Resets the gradient to zero.

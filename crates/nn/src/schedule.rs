@@ -51,7 +51,11 @@ impl StepDecay {
     /// Panics if `step_size == 0`.
     pub fn new(initial_lr: f32, step_size: usize, gamma: f32) -> Self {
         assert!(step_size > 0, "step_size must be non-zero");
-        StepDecay { initial_lr, step_size, gamma }
+        StepDecay {
+            initial_lr,
+            step_size,
+            gamma,
+        }
     }
 }
 
@@ -81,7 +85,11 @@ impl CosineAnnealing {
     /// Panics if `total_epochs == 0`.
     pub fn new(initial_lr: f32, min_lr: f32, total_epochs: usize) -> Self {
         assert!(total_epochs > 0, "total_epochs must be non-zero");
-        CosineAnnealing { initial_lr, min_lr, total_epochs }
+        CosineAnnealing {
+            initial_lr,
+            min_lr,
+            total_epochs,
+        }
     }
 }
 
@@ -106,7 +114,8 @@ pub struct Warmup<S: LrSchedule> {
 impl<S: LrSchedule> LrSchedule for Warmup<S> {
     fn learning_rate(&self, epoch: usize) -> f32 {
         if self.warmup_epochs == 0 || epoch >= self.warmup_epochs {
-            self.inner.learning_rate(epoch - self.warmup_epochs.min(epoch))
+            self.inner
+                .learning_rate(epoch - self.warmup_epochs.min(epoch))
         } else {
             let target = self.inner.learning_rate(0);
             target * (epoch + 1) as f32 / self.warmup_epochs as f32
@@ -159,14 +168,20 @@ mod tests {
 
     #[test]
     fn warmup_ramps_then_delegates() {
-        let s = Warmup { warmup_epochs: 4, inner: ConstantLr { lr: 0.2 } };
+        let s = Warmup {
+            warmup_epochs: 4,
+            inner: ConstantLr { lr: 0.2 },
+        };
         assert!((s.learning_rate(0) - 0.05).abs() < 1e-6);
         assert!((s.learning_rate(1) - 0.10).abs() < 1e-6);
         assert!((s.learning_rate(3) - 0.20).abs() < 1e-6);
         assert_eq!(s.learning_rate(4), 0.2);
         assert_eq!(s.learning_rate(10), 0.2);
         // Zero warm-up is just the inner schedule.
-        let s = Warmup { warmup_epochs: 0, inner: ConstantLr { lr: 0.3 } };
+        let s = Warmup {
+            warmup_epochs: 0,
+            inner: ConstantLr { lr: 0.3 },
+        };
         assert_eq!(s.learning_rate(0), 0.3);
     }
 

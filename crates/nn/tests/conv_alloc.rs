@@ -1,0 +1,103 @@
+//! Pins the zero-allocation contract of the workspace-based `Conv2d`.
+//!
+//! A counting global allocator records every heap allocation; after a warm-up
+//! batch has sized the layer's [`fitact_tensor::Workspace`] and the output
+//! tensor, further `forward_into` calls must allocate nothing at all, and
+//! `forward` exactly one output tensor per call.
+//!
+//! This file holds a single test on purpose: the allocation counter is global
+//! and the default test harness runs tests concurrently.
+
+use fitact_nn::layers::Conv2d;
+use fitact_nn::{Layer, Mode};
+use fitact_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::SeqCst) - before, result)
+}
+
+#[test]
+fn conv2d_forward_is_allocation_free_after_the_first_batch() {
+    let mut rng = StdRng::seed_from_u64(0);
+    // Sized so the per-sample matmul stays below the kernel's parallel
+    // threshold: thread spawning allocates by design.
+    let mut conv = Conv2d::new(4, 8, 3, 1, 1, &mut rng);
+    let x = init::uniform(&[2, 4, 8, 8], -1.0, 1.0, &mut rng);
+    let mut out = Tensor::default();
+
+    // Warm-up: sizes the workspace, the input cache, the matmul pack buffers
+    // and the output tensor.
+    conv.forward_into(&x, Mode::Train, &mut out).unwrap();
+    let reference = out.clone();
+
+    // The counter is process-global, so an allocation on another harness
+    // thread during the window would falsely implicate forward_into; retry a
+    // few windows and require that at least one is completely clean (which a
+    // genuinely allocating forward_into could never produce).
+    let mut best = usize::MAX;
+    for _ in 0..10 {
+        let (count, ()) = allocations(|| {
+            for _ in 0..5 {
+                conv.forward_into(&x, Mode::Train, &mut out).unwrap();
+            }
+        });
+        best = best.min(count);
+        if best == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        best, 0,
+        "Conv2d::forward_into must not allocate once the workspace is warm"
+    );
+    assert_eq!(
+        out, reference,
+        "allocation-free path must compute the same output"
+    );
+
+    // The trait-level `forward` returns a fresh tensor, so it is allowed the
+    // output-tensor allocations (data buffer plus shape bookkeeping) and
+    // nothing proportional to the work done.
+    let mut best = usize::MAX;
+    for _ in 0..10 {
+        let (count, y) = allocations(|| conv.forward(&x, Mode::Train).unwrap());
+        assert_eq!(y, reference);
+        best = best.min(count);
+        if best <= 4 {
+            break;
+        }
+    }
+    assert!(
+        best <= 4,
+        "Layer::forward should allocate only the output tensor, counted {best}"
+    );
+}

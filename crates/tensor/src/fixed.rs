@@ -98,8 +98,13 @@ impl Fixed32 {
     ///
     /// Panics if `bit >= 32`.
     pub fn with_bit_flipped(self, bit: u32) -> Self {
-        assert!(bit < WORD_BITS, "bit index {bit} out of range for a 32-bit word");
-        Fixed32 { raw: self.raw ^ (1i32 << bit) }
+        assert!(
+            bit < WORD_BITS,
+            "bit index {bit} out of range for a 32-bit word"
+        );
+        Fixed32 {
+            raw: self.raw ^ (1i32 << bit),
+        }
     }
 
     /// Returns `true` if bit `bit` is set.
@@ -108,7 +113,10 @@ impl Fixed32 {
     ///
     /// Panics if `bit >= 32`.
     pub fn bit(self, bit: u32) -> bool {
-        assert!(bit < WORD_BITS, "bit index {bit} out of range for a 32-bit word");
+        assert!(
+            bit < WORD_BITS,
+            "bit index {bit} out of range for a 32-bit word"
+        );
         (self.raw >> bit) & 1 == 1
     }
 
@@ -193,7 +201,16 @@ mod tests {
 
     #[test]
     fn exact_values_roundtrip() {
-        for v in [1.0, -1.0, 0.5, -0.5, 1.5, 100.25, -2048.0, 0.0000152587890625] {
+        for v in [
+            1.0,
+            -1.0,
+            0.5,
+            -0.5,
+            1.5,
+            100.25,
+            -2048.0,
+            0.000_015_258_789,
+        ] {
             assert_eq!(Fixed32::from_f32(v).to_f32(), v, "value {v}");
         }
     }

@@ -1,4 +1,5 @@
-//! N-dimensional tensors and Q15.16 fixed-point arithmetic.
+//! N-dimensional tensors, a cache-blocked matmul kernel and Q15.16
+//! fixed-point arithmetic.
 //!
 //! This crate is the lowest-level substrate of the FitAct reproduction. It
 //! provides:
@@ -6,11 +7,31 @@
 //! * [`Tensor`] — a dense, row-major, `f32` n-dimensional array with the small
 //!   set of operations a CPU DNN framework needs (element-wise arithmetic,
 //!   matrix multiplication, reductions, im2col for convolutions),
+//! * [`matmul`] — the cache-blocked, panel-packed GEBP matrix-multiplication
+//!   kernel behind [`Tensor::matmul`] and its transposed variants
+//!   ([`Tensor::matmul_tn`] / [`Tensor::matmul_nt`], which never materialise
+//!   a transpose). The micro-kernel keeps a register-resident accumulator
+//!   tile, packs both operands into contiguous panels, runs an unpacked
+//!   fast path for L1-sized products and splits large products row-wise
+//!   across scoped threads — bit-identically to the single-thread result,
+//! * [`workspace::Workspace`] — reusable scratch-buffer arenas. Layers draw
+//!   named buffers (im2col column matrices, gradient staging) from a
+//!   workspace instead of allocating per call; after the first batch of a
+//!   fixed shape the hot paths are allocation-free. See the module docs for
+//!   the exact contract (contents unspecified on entry, capacity never
+//!   shrinks, clones start empty),
+//! * allocation-free lowering primitives [`im2col_into`] / [`col2im_into`]
+//!   that write into caller-provided buffers,
 //! * [`Shape`] — shape/stride bookkeeping shared by every tensor operation,
 //! * [`fixed::Fixed32`] — the 32-bit fixed-point representation used by the
 //!   paper (1 sign bit, 15 integer bits, 16 fractional bits) together with
 //!   bit-level access used by the fault injector,
 //! * [`init`] — deterministic random initialisers (Kaiming/Xavier/uniform).
+//!
+//! The kernel never special-cases zero operands, so non-finite values
+//! propagate through products exactly as IEEE 754 requires (`0 · NaN = NaN`)
+//! — a property the fault injector relies on when a bit flip produces NaN/Inf
+//! weights.
 //!
 //! # Example
 //!
@@ -30,12 +51,15 @@
 
 pub mod fixed;
 pub mod init;
+pub mod matmul;
 mod shape;
 mod tensor;
+pub mod workspace;
 
 pub use fixed::Fixed32;
 pub use shape::Shape;
-pub use tensor::{col2im, conv_output_size, im2col, Tensor};
+pub use tensor::{col2im, col2im_into, conv_output_size, im2col, im2col_into, Tensor};
+pub use workspace::Workspace;
 
 use std::error::Error;
 use std::fmt;
@@ -88,7 +112,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch between {left:?} and {right:?}")
@@ -101,7 +128,10 @@ impl fmt::Display for TensorError {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }
             TensorError::InvalidAxis { axis, ndim } => {
-                write!(f, "axis {axis} out of range for tensor with {ndim} dimensions")
+                write!(
+                    f,
+                    "axis {axis} out of range for tensor with {ndim} dimensions"
+                )
             }
         }
     }
@@ -116,11 +146,23 @@ mod tests {
     #[test]
     fn error_display_is_nonempty() {
         let errors = [
-            TensorError::LengthMismatch { expected: 4, actual: 3 },
-            TensorError::ShapeMismatch { left: vec![2], right: vec![3] },
-            TensorError::MatmulShape { left: vec![2, 2], right: vec![3, 3] },
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                left: vec![2],
+                right: vec![3],
+            },
+            TensorError::MatmulShape {
+                left: vec![2, 2],
+                right: vec![3, 3],
+            },
             TensorError::InvalidShape(vec![0]),
-            TensorError::IndexOutOfBounds { index: vec![5], shape: vec![2] },
+            TensorError::IndexOutOfBounds {
+                index: vec![5],
+                shape: vec![2],
+            },
             TensorError::InvalidAxis { axis: 3, ndim: 2 },
         ];
         for e in errors {

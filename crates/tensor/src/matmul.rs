@@ -1,0 +1,559 @@
+//! Cache-blocked, panel-packed matrix-multiplication kernels.
+//!
+//! This module implements the GEBP (general block-times-panel) decomposition
+//! used by high-performance BLAS libraries, specialised to row-major `f32`:
+//!
+//! * the operand matrices are processed in `MC × KC` blocks of `A` and
+//!   `KC × NC` panels of `B`, sized so the packed `A` block lives in L2 and
+//!   the packed `B` panel streams through L3,
+//! * both operands are **packed** into contiguous micro-tile layouts
+//!   (`MR`-row tiles of `A`, `NR`-column tiles of `B`) so the inner loop reads
+//!   memory strictly sequentially regardless of the logical layout
+//!   (normal, transposed-A or transposed-B),
+//! * the micro-kernel keeps an `MR × NR` accumulator block entirely in
+//!   registers, turning the classic axpy-style inner loop (2 memory ops per
+//!   FMA) into register-resident FMAs (2 loads per `MR × NR` tile update).
+//!
+//! The same packed micro-kernel serves `A·B`, `Aᵀ·B` and `A·Bᵀ`; only the
+//! pack routines differ, so the transposed variants no longer materialise a
+//! transposed copy (and no variant special-cases zero elements — `0 · NaN`
+//! must stay `NaN`, which the old scalar kernel got wrong).
+//!
+//! Large products are additionally split row-wise across scoped threads; each
+//! thread runs the full blocked loop nest over its row range with its own
+//! pack buffers, so no synchronisation is needed beyond the final join.
+//! Callers that parallelise at a coarser level (e.g. trial-parallel fault
+//! campaigns) wrap their per-worker code in [`serial_scope`] so the kernel
+//! does not oversubscribe the machine with nested thread fan-out.
+//!
+//! Pack buffers are cached in thread-local storage: repeated multiplications
+//! from the same long-lived thread — the single-thread path that
+//! convolution/linear layers and `serial_scope` workers hit — perform
+//! **zero heap allocations** after warm-up. The row-parallel path spawns
+//! fresh scoped threads per call, so its workers pack into newly allocated
+//! buffers each time; that cost is amortised by the `PARALLEL_THRESHOLD`-sized
+//! work it fans out over.
+
+use std::cell::{Cell, RefCell};
+
+/// Rows per micro-tile of `A` (accumulator height).
+pub const MR: usize = 4;
+/// Columns per micro-tile of `B` (accumulator width; two AVX2 vectors).
+pub const NR: usize = 16;
+/// Rows of `A` packed per block (sized for L2 residency: `MC·KC` floats).
+const MC: usize = 64;
+/// Shared-dimension depth packed per block (sized for L1-friendly tiles).
+const KC: usize = 256;
+/// Columns of `B` packed per panel (sized so the panel streams through L3).
+const NC: usize = 512;
+
+/// Minimum `m·k·n` before the kernel spreads row-blocks across threads.
+///
+/// Lower than the old scalar kernel's `1 << 20`: the packed micro-kernel
+/// saturates a core's FMA pipes, so the per-thread fixed cost is amortised
+/// sooner.
+const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+/// Maximum `m·k·n` handled by the unpacked direct kernel (≈ 64³: below this
+/// the operands sit in L1/L2 anyway and packing is pure overhead).
+const DIRECT_THRESHOLD: usize = 1 << 18;
+
+/// Operand layout of a product `C[m,n] = op(A) · op(B)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// `A[m,k] · B[k,n]`.
+    Nn,
+    /// `A[k,m]ᵀ · B[k,n]` (transposed left operand, not materialised).
+    Tn,
+    /// `A[m,k] · B[n,k]ᵀ` (transposed right operand, not materialised).
+    Nt,
+}
+
+thread_local! {
+    /// Per-thread pack buffers: `(packed A block, packed B panel)`.
+    ///
+    /// Reused across calls so steady-state multiplications allocate nothing.
+    static PACK_BUFFERS: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+
+    /// When set, [`matmul_into`] never spawns threads on this thread.
+    static FORCE_SERIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with the kernel's internal row-parallelism disabled on this
+/// thread.
+///
+/// Use this inside worker threads of a coarser parallel decomposition (one
+/// worker per core already exists, so nested matmul fan-out would
+/// oversubscribe the machine to ~cores² threads). Results are unaffected —
+/// the threaded split is bit-identical to the serial loop — only the
+/// scheduling changes. The flag is thread-local and restored on exit, so
+/// nesting and panics are safe.
+pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            FORCE_SERIAL.with(|flag| flag.set(self.0));
+        }
+    }
+    let _reset = Reset(FORCE_SERIAL.with(|flag| flag.replace(true)));
+    f()
+}
+
+/// Computes `out[m,n] = op(a) · op(b)` (or `out += …` when `accumulate`).
+///
+/// Slice lengths must match the layout: `a` is `m·k` elements (`k·m` for
+/// [`Layout::Tn`]), `b` is `k·n` (`n·k` for [`Layout::Nt`]) and `out` is
+/// `m·n`. All slices are dense row-major.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the dimensions (the `Tensor`
+/// wrappers validate shapes and report typed errors instead).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_into(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(out.len(), m * n, "out length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            out.fill(0.0);
+        }
+        return;
+    }
+    // Small products: packing overhead outweighs the cache benefit (the
+    // whole working set already fits in L1/L2), so run an unpacked
+    // vectorised loop instead. `Nt` always packs — its inner dimension is a
+    // strided gather that defeats autovectorisation without packing.
+    if m * n * k <= DIRECT_THRESHOLD && layout != Layout::Nt {
+        direct_kernel(layout, a, b, out, m, k, n, accumulate);
+        return;
+    }
+    let threads = if m * n * k >= PARALLEL_THRESHOLD && !FORCE_SERIAL.with(Cell::get) {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(m)
+    } else {
+        1
+    };
+    if threads <= 1 {
+        gebp(layout, a, b, out, 0, m, k, n, accumulate);
+        return;
+    }
+    // Partition rows into contiguous chunks, one scoped thread per chunk.
+    // Each thread writes a disjoint slice of `out`, so the split is the only
+    // synchronisation needed.
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut remaining = out;
+        let mut row_start = 0usize;
+        while row_start < m {
+            let rows = rows_per.min(m - row_start);
+            let (chunk, rest) = remaining.split_at_mut(rows * n);
+            remaining = rest;
+            let start = row_start;
+            scope.spawn(move || {
+                gebp(layout, a, b, chunk, start, rows, k, n, accumulate);
+            });
+            row_start += rows;
+        }
+    });
+}
+
+/// Unpacked kernel for small products: an axpy-style row loop (`Nn`) or
+/// depth loop (`Tn`) whose inner updates autovectorise, with no zero-skip
+/// branch and no packing traffic.
+#[allow(clippy::too_many_arguments)]
+fn direct_kernel(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    if !accumulate {
+        out.fill(0.0);
+    }
+    match layout {
+        Layout::Nn => {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (p, &av) in a_row.iter().enumerate() {
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o = av.mul_add(bv, *o);
+                    }
+                }
+            }
+        }
+        Layout::Tn => {
+            // A is [k, m]: walk the shared dimension outermost so both A and
+            // B rows are read contiguously.
+            for p in 0..k {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (i, &av) in a_row.iter().enumerate() {
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o = av.mul_add(bv, *o);
+                    }
+                }
+            }
+        }
+        Layout::Nt => unreachable!("Nt always takes the packed path"),
+    }
+}
+
+/// Blocked loop nest over the row range `[row_start, row_start + rows)`,
+/// writing into `out` indexed from `row_start` (i.e. `out` holds `rows · n`
+/// elements).
+#[allow(clippy::too_many_arguments)]
+fn gebp(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row_start: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    // Logical row count of op(A): a.len() is m·k for every layout.
+    let m_total = a.len() / k;
+    debug_assert!(row_start + rows <= m_total);
+    PACK_BUFFERS.with(|cell| {
+        let (apack, bpack) = &mut *cell.borrow_mut();
+        apack.resize(MC.next_multiple_of(MR) * KC, 0.0);
+        bpack.resize(KC * NC.next_multiple_of(NR), 0.0);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            let j_tiles = nc.div_ceil(NR);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b(layout, b, bpack, pc, kc, jc, nc, k, n);
+                let first_panel = pc == 0 && !accumulate;
+                for ic in (0..rows).step_by(MC) {
+                    let mc = MC.min(rows - ic);
+                    let i_tiles = mc.div_ceil(MR);
+                    pack_a(layout, a, apack, row_start + ic, mc, pc, kc, m_total, k);
+                    for jt in 0..j_tiles {
+                        let bp = &bpack[jt * kc * NR..(jt + 1) * kc * NR];
+                        for it in 0..i_tiles {
+                            let ap = &apack[it * kc * MR..(it + 1) * kc * MR];
+                            let mut acc = [[0.0f32; NR]; MR];
+                            microkernel(ap, bp, kc, &mut acc);
+                            store_tile(
+                                out,
+                                &acc,
+                                ic + it * MR,
+                                jc + jt * NR,
+                                mc.min(it * MR + MR) - it * MR,
+                                nc.min(jt * NR + NR) - jt * NR,
+                                n,
+                                first_panel,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Packs the `mc × kc` block of `op(A)` starting at logical row `i0`, depth
+/// `pc`, into `MR`-row micro-tiles: `apack[tile][p][r] = A[i0 + tile·MR + r][pc + p]`.
+/// Rows beyond `mc` are zero-filled so the micro-kernel never branches.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    layout: Layout,
+    a: &[f32],
+    apack: &mut [f32],
+    i0: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    m: usize,
+    k: usize,
+) {
+    let tiles = mc.div_ceil(MR);
+    for tile in 0..tiles {
+        let base = tile * kc * MR;
+        for p in 0..kc {
+            for r in 0..MR {
+                let i = i0 + tile * MR + r;
+                apack[base + p * MR + r] = if tile * MR + r < mc {
+                    match layout {
+                        // A is [m, k] row-major.
+                        Layout::Nn | Layout::Nt => a[i * k + pc + p],
+                        // A is [k, m] row-major, read transposed.
+                        Layout::Tn => {
+                            debug_assert!(i < m);
+                            a[(pc + p) * m + i]
+                        }
+                    }
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs the `kc × nc` panel of `op(B)` starting at depth `pc`, column `jc`,
+/// into `NR`-column micro-tiles: `bpack[tile][p][c] = B[pc + p][jc + tile·NR + c]`.
+/// Columns beyond `nc` are zero-filled.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    layout: Layout,
+    b: &[f32],
+    bpack: &mut [f32],
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    k: usize,
+    n: usize,
+) {
+    let tiles = nc.div_ceil(NR);
+    for tile in 0..tiles {
+        let base = tile * kc * NR;
+        match layout {
+            // B is [k, n] row-major: copy NR-wide row segments.
+            Layout::Nn | Layout::Tn => {
+                let j = jc + tile * NR;
+                let width = NR.min(nc - tile * NR);
+                for p in 0..kc {
+                    let src = (pc + p) * n + j;
+                    let dst = base + p * NR;
+                    bpack[dst..dst + width].copy_from_slice(&b[src..src + width]);
+                    bpack[dst + width..dst + NR].fill(0.0);
+                }
+            }
+            // B is [n, k] row-major, read transposed: gather down columns.
+            Layout::Nt => {
+                for c in 0..NR {
+                    let j = jc + tile * NR + c;
+                    if tile * NR + c < nc {
+                        for p in 0..kc {
+                            bpack[base + p * NR + c] = b[j * k + pc + p];
+                        }
+                    } else {
+                        for p in 0..kc {
+                            bpack[base + p * NR + c] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Register-blocked inner kernel: `acc[MR][NR] += apᵀ · bp` over `kc` steps of
+/// contiguous packed panels. The constant-bound loops fully unroll; each of
+/// the `MR` accumulator rows is a register-resident `NR`-wide FMA update.
+#[inline]
+fn microkernel(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let (a_tiles, _) = ap.as_chunks::<MR>();
+    let (b_tiles, _) = bp.as_chunks::<NR>();
+    let a_tiles = &a_tiles[..kc];
+    let b_tiles = &b_tiles[..kc];
+    // Two k-interleaved accumulator sets double the number of independent
+    // FMA dependency chains (2·MR per column vector), hiding FMA latency that
+    // a single MR-row set cannot. Each set is small enough (MR·NR floats)
+    // for the optimiser to keep fully in registers.
+    let mut even = [[0.0f32; NR]; MR];
+    let mut odd = [[0.0f32; NR]; MR];
+    let mut pairs_a = a_tiles.chunks_exact(2);
+    let mut pairs_b = b_tiles.chunks_exact(2);
+    for (a2, b2) in (&mut pairs_a).zip(&mut pairs_b) {
+        for r in 0..MR {
+            let (a0, a1) = (a2[0][r], a2[1][r]);
+            for c in 0..NR {
+                even[r][c] = a0.mul_add(b2[0][c], even[r][c]);
+            }
+            for c in 0..NR {
+                odd[r][c] = a1.mul_add(b2[1][c], odd[r][c]);
+            }
+        }
+    }
+    if let ([a], [b]) = (pairs_a.remainder(), pairs_b.remainder()) {
+        for r in 0..MR {
+            let ar = a[r];
+            for c in 0..NR {
+                even[r][c] = ar.mul_add(b[c], even[r][c]);
+            }
+        }
+    }
+    for r in 0..MR {
+        for c in 0..NR {
+            acc[r][c] += even[r][c] + odd[r][c];
+        }
+    }
+}
+
+/// Writes (or adds) the valid `rows × cols` region of an accumulator tile to
+/// `out` at `(i0, j0)`; `first_panel` selects store vs accumulate semantics
+/// across `KC` blocks.
+#[allow(clippy::too_many_arguments)]
+fn store_tile(
+    out: &mut [f32],
+    acc: &[[f32; NR]; MR],
+    i0: usize,
+    j0: usize,
+    rows: usize,
+    cols: usize,
+    n: usize,
+    first_panel: bool,
+) {
+    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        let dst = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + cols];
+        if first_panel {
+            dst.copy_from_slice(&acc_row[..cols]);
+        } else {
+            for (d, &v) in dst.iter_mut().zip(acc_row.iter()) {
+                *d += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar three-loop reference (no blocking, no zero-skipping).
+    fn naive(layout: Layout, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    let av = match layout {
+                        Layout::Nn | Layout::Nt => a[i * k + p],
+                        Layout::Tn => a[p * m + i],
+                    };
+                    let bv = match layout {
+                        Layout::Nn | Layout::Tn => b[p * n + j],
+                        Layout::Nt => b[j * k + p],
+                    };
+                    s += av * bv;
+                }
+                out[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, salt: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                (x % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn check_all_layouts(m: usize, k: usize, n: usize) {
+        for layout in [Layout::Nn, Layout::Tn, Layout::Nt] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let expected = naive(layout, &a, &b, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            matmul_into(layout, &a, &b, &mut got, m, k, n, false);
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                assert!(
+                    (g - e).abs() <= 1e-4 * (1.0 + e.abs()),
+                    "{layout:?} {m}x{k}x{n} idx {i}: got {g}, expected {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parity_with_naive_across_odd_shapes() {
+        // 1×1, degenerate k, primes, tile-boundary and beyond-one-block sizes.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (1, 64, 1),
+            (64, 1, 64),
+            (4, 16, 16),
+            (5, 17, 19),
+            (64, 64, 64),
+            (65, 257, 63),
+            (31, 300, 47),
+        ] {
+            check_all_layouts(m, k, n);
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing_output() {
+        let (m, k, n) = (5, 9, 7);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        let expected: Vec<f32> = naive(Layout::Nn, &a, &b, m, k, n)
+            .iter()
+            .map(|v| v + 1.0)
+            .collect();
+        let mut out = vec![1.0f32; m * n];
+        matmul_into(Layout::Nn, &a, &b, &mut out, m, k, n, true);
+        for (g, e) in out.iter().zip(&expected) {
+            assert!((g - e).abs() <= 1e-4, "got {g}, expected {e}");
+        }
+    }
+
+    #[test]
+    fn zero_times_nan_is_nan() {
+        // The old scalar kernel skipped a == 0.0 entries, silently dropping
+        // NaN/Inf coming from the right operand. 0 · NaN must be NaN.
+        let a = vec![0.0f32, 1.0];
+        let b = vec![f32::NAN, 2.0];
+        let mut out = vec![0.0f32; 1];
+        matmul_into(Layout::Nn, &a, &b, &mut out, 1, 2, 1, false);
+        assert!(out[0].is_nan(), "0·NaN + 1·2 must be NaN, got {}", out[0]);
+    }
+
+    #[test]
+    fn parallel_path_matches_single_thread() {
+        // Big enough to cross PARALLEL_THRESHOLD.
+        let (m, k, n) = (128, 96, 128);
+        let a = fill(m * k, 5);
+        let b = fill(k * n, 6);
+        let mut parallel = vec![0.0f32; m * n];
+        matmul_into(Layout::Nn, &a, &b, &mut parallel, m, k, n, false);
+        let mut serial = vec![0.0f32; m * n];
+        gebp(Layout::Nn, &a, &b, &mut serial, 0, m, k, n, false);
+        assert_eq!(parallel, serial, "threaded split must be bit-identical");
+    }
+
+    #[test]
+    fn empty_dims_are_handled() {
+        let mut out = vec![7.0f32; 4];
+        matmul_into(Layout::Nn, &[], &[], &mut out, 2, 0, 2, false);
+        assert_eq!(out, vec![0.0; 4]);
+        let mut out = vec![7.0f32; 4];
+        matmul_into(Layout::Nn, &[], &[], &mut out, 2, 0, 2, true);
+        assert_eq!(out, vec![7.0; 4]);
+        matmul_into(Layout::Nn, &[], &[], &mut [], 0, 3, 0, false);
+    }
+}

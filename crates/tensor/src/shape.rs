@@ -29,7 +29,9 @@ impl Shape {
     /// A scalar is represented by an empty slice. Zero-length axes are allowed
     /// here; operations that cannot handle them reject them explicitly.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Returns the axis lengths.
@@ -58,7 +60,10 @@ impl Shape {
         self.dims
             .get(axis)
             .copied()
-            .ok_or(TensorError::InvalidAxis { axis, ndim: self.ndim() })
+            .ok_or(TensorError::InvalidAxis {
+                axis,
+                ndim: self.ndim(),
+            })
     }
 
     /// Returns the row-major strides (in elements, not bytes) of this shape.
@@ -77,9 +82,7 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if the index has the wrong
     /// rank or any coordinate is out of range.
     pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
-        if index.len() != self.dims.len()
-            || index.iter().zip(&self.dims).any(|(i, d)| i >= d)
-        {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(i, d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.dims.clone(),
@@ -170,7 +173,10 @@ mod tests {
         let s = Shape::new(&[7, 9]);
         assert_eq!(s.dim(0).unwrap(), 7);
         assert_eq!(s.dim(1).unwrap(), 9);
-        assert!(matches!(s.dim(2), Err(TensorError::InvalidAxis { axis: 2, ndim: 2 })));
+        assert!(matches!(
+            s.dim(2),
+            Err(TensorError::InvalidAxis { axis: 2, ndim: 2 })
+        ));
     }
 
     #[test]

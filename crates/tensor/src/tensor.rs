@@ -1,11 +1,8 @@
 //! Dense row-major `f32` tensors.
 
+use crate::matmul::{matmul_into, Layout};
 use crate::{Shape, TensorError};
 use std::fmt;
-
-/// Minimum number of multiply–accumulate operations before [`Tensor::matmul`]
-/// spreads work across threads.
-const PARALLEL_MATMUL_THRESHOLD: usize = 1 << 20;
 
 /// A dense, row-major, `f32` n-dimensional array.
 ///
@@ -53,7 +50,10 @@ impl Tensor {
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let shape = Shape::new(shape);
-        Tensor { data: vec![value; shape.numel()], shape }
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates a tensor of the given shape filled with zeros.
@@ -94,7 +94,10 @@ impl Tensor {
 
     /// Creates a 0-d tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::new(&[]) }
+        Tensor {
+            data: vec![value],
+            shape: Shape::new(&[]),
+        }
     }
 
     /// Returns the shape of the tensor.
@@ -166,7 +169,10 @@ impl Tensor {
                 actual: self.numel(),
             });
         }
-        Ok(Tensor { data: self.data.clone(), shape: new_shape })
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape: new_shape,
+        })
     }
 
     /// Reinterprets the tensor in place with a new shape holding the same data.
@@ -207,7 +213,11 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
-    pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor, TensorError> {
+    pub fn zip_map<F: Fn(f32, f32) -> f32>(
+        &self,
+        other: &Tensor,
+        f: F,
+    ) -> Result<Tensor, TensorError> {
         if !self.shape.same_as(&other.shape) {
             return Err(TensorError::ShapeMismatch {
                 left: self.dims().to_vec(),
@@ -394,8 +404,8 @@ impl Tensor {
         let cols = self.dims()[1];
         let mut out = vec![0.0f32; cols];
         for r in 0..rows {
-            for c in 0..cols {
-                out[c] += self.data[r * cols + c];
+            for (o, v) in out.iter_mut().zip(&self.data[r * cols..(r + 1) * cols]) {
+                *o += v;
             }
         }
         Tensor::from_vec(out, &[cols])
@@ -423,7 +433,8 @@ impl Tensor {
 
     /// Matrix multiplication of two 2-D tensors: `[m, k] × [k, n] → [m, n]`.
     ///
-    /// Large products are split across threads.
+    /// Runs on the cache-blocked packed kernel in [`crate::matmul`]; large
+    /// products are split row-wise across threads.
     ///
     /// # Errors
     ///
@@ -440,7 +451,16 @@ impl Tensor {
         let k = self.dims()[1];
         let n = other.dims()[1];
         let mut out = vec![0.0f32; m * n];
-        matmul_kernel(&self.data, &other.data, &mut out, m, k, n);
+        matmul_into(
+            Layout::Nn,
+            &self.data,
+            &other.data,
+            &mut out,
+            m,
+            k,
+            n,
+            false,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -462,21 +482,16 @@ impl Tensor {
         let m = self.dims()[1];
         let n = other.dims()[1];
         let mut out = vec![0.0f32; m * n];
-        // out[i, j] = sum_p self[p, i] * other[p, j]
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for i in 0..m {
-                let a = a_row[i];
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * b_row[j];
-                }
-            }
-        }
+        matmul_into(
+            Layout::Tn,
+            &self.data,
+            &other.data,
+            &mut out,
+            m,
+            k,
+            n,
+            false,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -498,19 +513,43 @@ impl Tensor {
         let k = self.dims()[1];
         let n = other.dims()[0];
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += a_row[p] * b_row[p];
-                }
-                out_row[j] = acc;
-            }
-        }
+        matmul_into(
+            Layout::Nt,
+            &self.data,
+            &other.data,
+            &mut out,
+            m,
+            k,
+            n,
+            false,
+        );
         Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Reshapes this tensor in place to `dims`, reusing the existing storage.
+    ///
+    /// Unlike [`Tensor::reshape_in_place`] the element count may change: the
+    /// backing buffer grows (allocating only when capacity is exceeded) or
+    /// logically shrinks (never releasing memory). Contents are unspecified
+    /// afterwards; this is a buffer-reuse primitive for workspace-style code,
+    /// not a view operation.
+    pub fn ensure_shape(&mut self, dims: &[usize]) {
+        if self.dims() == dims {
+            return;
+        }
+        let shape = Shape::new(dims);
+        self.data.resize(shape.numel(), 0.0);
+        self.shape = shape;
+    }
+
+    /// Copies `src` into this tensor, adopting its shape and reusing the
+    /// existing storage where capacity allows.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+        if !self.shape.same_as(&src.shape) {
+            self.shape = src.shape.clone();
+        }
     }
 
     /// Extracts the `i`-th sub-tensor along the first axis.
@@ -586,37 +625,97 @@ pub fn im2col(
     stride: usize,
     padding: usize,
 ) -> Result<Tensor, TensorError> {
-    if image.ndim() != 3 || stride == 0 {
+    if image.ndim() != 3 {
         return Err(TensorError::InvalidShape(image.dims().to_vec()));
     }
     let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
     let (kh, kw) = kernel;
     let (out_h, out_w) = conv_output_size((h, w), kernel, stride, padding)?;
-    let rows = c * kh * kw;
+    let mut out = vec![0.0f32; c * kh * kw * out_h * out_w];
+    im2col_into(
+        image.as_slice(),
+        (c, h, w),
+        kernel,
+        stride,
+        padding,
+        &mut out,
+    )?;
+    Tensor::from_vec(out, &[c * kh * kw, out_h * out_w])
+}
+
+/// Allocation-free core of [`im2col`]: lowers an image given as a raw
+/// `[channels, height, width]` slice into a caller-provided
+/// `[channels · kh · kw, out_h · out_w]` buffer.
+///
+/// Every element of `out` is overwritten, so the buffer does not need to be
+/// zeroed beforehand (padding positions are written as `0.0`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `image` does not match
+/// `image_dims`, the kernel does not fit, or `out` has the wrong length.
+pub fn im2col_into(
+    image: &[f32],
+    image_dims: (usize, usize, usize),
+    kernel: (usize, usize),
+    stride: usize,
+    padding: usize,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    let (c, h, w) = image_dims;
+    let (kh, kw) = kernel;
+    let (out_h, out_w) = conv_output_size((h, w), kernel, stride, padding)?;
+    if image.len() != c * h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: c * h * w,
+            actual: image.len(),
+        });
+    }
+    if out.len() != c * kh * kw * out_h * out_w {
+        return Err(TensorError::LengthMismatch {
+            expected: c * kh * kw * out_h * out_w,
+            actual: out.len(),
+        });
+    }
     let cols = out_h * out_w;
-    let mut out = vec![0.0f32; rows * cols];
-    let data = image.as_slice();
     for ch in 0..c {
         for ky in 0..kh {
             for kx in 0..kw {
                 let row = (ch * kh + ky) * kw + kx;
                 for oy in 0..out_h {
                     let iy = (oy * stride + ky) as isize - padding as isize;
-                    for ox in 0..out_w {
-                        let ix = (ox * stride + kx) as isize - padding as isize;
-                        let col = oy * out_w + ox;
-                        let value = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            data[(ch * h + iy as usize) * w + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        out[row * cols + col] = value;
+                    let out_row = &mut out[row * cols + oy * out_w..row * cols + (oy + 1) * out_w];
+                    if iy < 0 || iy >= h as isize {
+                        out_row.fill(0.0);
+                        continue;
+                    }
+                    let src_row =
+                        &image[(ch * h + iy as usize) * w..(ch * h + iy as usize + 1) * w];
+                    if stride == 1 {
+                        // Contiguous fast path: one bounds computation, then a
+                        // straight copy of the in-image span.
+                        let ix0 = kx as isize - padding as isize;
+                        let start = (-ix0).clamp(0, out_w as isize) as usize;
+                        let end = ((w as isize - ix0).clamp(0, out_w as isize) as usize).max(start);
+                        out_row[..start].fill(0.0);
+                        out_row[end..].fill(0.0);
+                        let src0 = (ix0 + start as isize) as usize;
+                        out_row[start..end].copy_from_slice(&src_row[src0..src0 + (end - start)]);
+                    } else {
+                        for (ox, o) in out_row.iter_mut().enumerate() {
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            *o = if ix >= 0 && ix < w as isize {
+                                src_row[ix as usize]
+                            } else {
+                                0.0
+                            };
+                        }
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
+    Ok(())
 }
 
 /// Inverse of [`im2col`]: scatters a `[channels * kh * kw, out_h * out_w]`
@@ -641,7 +740,53 @@ pub fn col2im(
         return Err(TensorError::InvalidShape(cols.dims().to_vec()));
     }
     let mut out = vec![0.0f32; c * h * w];
-    let data = cols.as_slice();
+    col2im_into(
+        cols.as_slice(),
+        image_dims,
+        kernel,
+        stride,
+        padding,
+        &mut out,
+    )?;
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// Allocation-free core of [`col2im`]: scatters a
+/// `[channels · kh · kw, out_h · out_w]` column-gradient slice back onto a
+/// caller-provided image buffer, summing overlapping contributions.
+///
+/// `out` is zero-filled first, so the buffer does not need to be cleared by
+/// the caller.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if the kernel configuration is
+/// invalid and [`TensorError::LengthMismatch`] if a slice length disagrees
+/// with the configuration.
+pub fn col2im_into(
+    cols: &[f32],
+    image_dims: (usize, usize, usize),
+    kernel: (usize, usize),
+    stride: usize,
+    padding: usize,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    let (c, h, w) = image_dims;
+    let (kh, kw) = kernel;
+    let (out_h, out_w) = conv_output_size((h, w), kernel, stride, padding)?;
+    if cols.len() != c * kh * kw * out_h * out_w {
+        return Err(TensorError::LengthMismatch {
+            expected: c * kh * kw * out_h * out_w,
+            actual: cols.len(),
+        });
+    }
+    if out.len() != c * h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: c * h * w,
+            actual: out.len(),
+        });
+    }
+    out.fill(0.0);
     let ncols = out_h * out_w;
     for ch in 0..c {
         for ky in 0..kh {
@@ -652,19 +797,20 @@ pub fn col2im(
                     if iy < 0 || iy >= h as isize {
                         continue;
                     }
-                    for ox in 0..out_w {
+                    let col_row = &cols[row * ncols + oy * out_w..row * ncols + (oy + 1) * out_w];
+                    let dst_row =
+                        &mut out[(ch * h + iy as usize) * w..(ch * h + iy as usize + 1) * w];
+                    for (ox, &v) in col_row.iter().enumerate() {
                         let ix = (ox * stride + kx) as isize - padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[ix as usize] += v;
                         }
-                        let col = oy * out_w + ox;
-                        out[(ch * h + iy as usize) * w + ix as usize] += data[row * ncols + col];
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[c, h, w])
+    Ok(())
 }
 
 /// Computes the spatial output size of a convolution or pooling window.
@@ -682,57 +828,14 @@ pub fn conv_output_size(
     let (h, w) = input;
     let (kh, kw) = kernel;
     if stride == 0 || h + 2 * padding < kh || w + 2 * padding < kw {
-        return Err(TensorError::InvalidShape(vec![h, w, kh, kw, stride, padding]));
+        return Err(TensorError::InvalidShape(vec![
+            h, w, kh, kw, stride, padding,
+        ]));
     }
-    Ok(((h + 2 * padding - kh) / stride + 1, (w + 2 * padding - kw) / stride + 1))
-}
-
-/// Row-parallel matmul kernel: `out[m, n] = a[m, k] × b[k, n]`.
-fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    let work = m * n * k;
-    let threads = if work >= PARALLEL_MATMUL_THRESHOLD {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(m.max(1))
-    } else {
-        1
-    };
-    if threads <= 1 {
-        matmul_rows(a, b, out, 0, m, k, n);
-        return;
-    }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut remaining = out;
-        let mut row_start = 0usize;
-        while row_start < m {
-            let rows = rows_per.min(m - row_start);
-            let (chunk, rest) = remaining.split_at_mut(rows * n);
-            remaining = rest;
-            let start = row_start;
-            scope.spawn(move || {
-                matmul_rows(a, b, chunk, start, rows, k, n);
-            });
-            row_start += rows;
-        }
-    });
-}
-
-/// Computes `rows` rows of the product starting at `row_start`, writing into a
-/// chunk that is indexed from zero.
-fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row_start: usize, rows: usize, k: usize, n: usize) {
-    for local in 0..rows {
-        let i = row_start + local;
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[local * n..(local + 1) * n];
-        for (p, &a_val) in a_row.iter().enumerate() {
-            if a_val == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for j in 0..n {
-                out_row[j] += a_val * b_row[j];
-            }
-        }
-    }
+    Ok((
+        (h + 2 * padding - kh) / stride + 1,
+        (w + 2 * padding - kw) / stride + 1,
+    ))
 }
 
 #[cfg(test)]
@@ -843,8 +946,10 @@ mod tests {
         let m = 128;
         let k = 96;
         let n = 128;
-        let a = Tensor::from_vec((0..m * k).map(|v| (v % 17) as f32 * 0.1).collect(), &[m, k]).unwrap();
-        let b = Tensor::from_vec((0..k * n).map(|v| (v % 13) as f32 * 0.2).collect(), &[k, n]).unwrap();
+        let a =
+            Tensor::from_vec((0..m * k).map(|v| (v % 17) as f32 * 0.1).collect(), &[m, k]).unwrap();
+        let b =
+            Tensor::from_vec((0..k * n).map(|v| (v % 13) as f32 * 0.2).collect(), &[k, n]).unwrap();
         let c = a.matmul(&b).unwrap();
         // Spot-check a few entries against a direct dot product.
         for &(i, j) in &[(0usize, 0usize), (m - 1, n - 1), (37, 59)] {
@@ -853,8 +958,119 @@ mod tests {
                 acc += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
             }
             let got = c.as_slice()[i * n + j];
-            assert!((acc - got).abs() < 1e-3, "mismatch at ({i},{j}): {acc} vs {got}");
+            assert!(
+                (acc - got).abs() < 1e-3,
+                "mismatch at ({i},{j}): {acc} vs {got}"
+            );
         }
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_lhs() {
+        // Regression: the old scalar kernel skipped a == 0.0 entries in the
+        // inner loop, so a NaN (or Inf) in `b` multiplied by an exact zero in
+        // `a` was silently dropped. IEEE 754 requires 0 · NaN = NaN.
+        let a = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY], &[2, 1]).unwrap();
+        assert!(a.matmul(&b).unwrap().as_slice()[0].is_nan());
+
+        let at = Tensor::from_vec(vec![0.0, 0.0], &[2, 1]).unwrap();
+        assert!(at.matmul_tn(&b).unwrap().as_slice()[0].is_nan());
+
+        let bt = Tensor::from_vec(vec![f32::NAN, f32::INFINITY], &[1, 2]).unwrap();
+        assert!(a.matmul_nt(&bt).unwrap().as_slice()[0].is_nan());
+    }
+
+    /// Scalar triple-loop reference for the parity property tests.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+                }
+                out[i * n + j] = s;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).unwrap()
+    }
+
+    fn ramp(dims: &[usize], scale: f32) -> Tensor {
+        let numel: usize = dims.iter().product();
+        Tensor::from_vec(
+            (0..numel)
+                .map(|v| ((v * 2_654_435_761) % 1000) as f32 * scale - 1.0)
+                .collect(),
+            dims,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn blocked_kernel_parity_on_odd_and_prime_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (64, 64, 64),
+            (13, 1, 29),
+            (65, 129, 67),
+            (2, 300, 3),
+        ] {
+            let a = ramp(&[m, k], 2e-3);
+            let b = ramp(&[k, n], 3e-3);
+            let got = a.matmul(&b).unwrap();
+            let expected = naive_matmul(&a, &b);
+            for (g, e) in got.as_slice().iter().zip(expected.as_slice()) {
+                assert!(
+                    (g - e).abs() <= 1e-4 * (1.0 + e.abs()),
+                    "{m}x{k}x{n}: {g} vs {e}"
+                );
+            }
+            // Transposed variants against their materialised-transpose
+            // definitions on the same shapes.
+            let tn = a.transpose().unwrap().matmul_tn(&b).unwrap();
+            for (g, e) in tn.as_slice().iter().zip(expected.as_slice()) {
+                assert!(
+                    (g - e).abs() <= 1e-4 * (1.0 + e.abs()),
+                    "tn {m}x{k}x{n}: {g} vs {e}"
+                );
+            }
+            let nt = a.matmul_nt(&b.transpose().unwrap()).unwrap();
+            for (g, e) in nt.as_slice().iter().zip(expected.as_slice()) {
+                assert!(
+                    (g - e).abs() <= 1e-4 * (1.0 + e.abs()),
+                    "nt {m}x{k}x{n}: {g} vs {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_shape_reuses_storage() {
+        let mut t = Tensor::zeros(&[8, 8]);
+        t.ensure_shape(&[4, 4]);
+        assert_eq!(t.dims(), &[4, 4]);
+        assert_eq!(t.numel(), 16);
+        t.ensure_shape(&[8, 8]);
+        assert_eq!(t.numel(), 64);
+    }
+
+    #[test]
+    fn copy_from_adopts_shape_and_contents() {
+        let src = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let mut dst = Tensor::zeros(&[10]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn into_variants_validate_lengths() {
+        let mut small = vec![0.0f32; 3];
+        assert!(im2col_into(&[1.0; 4], (1, 2, 2), (1, 1), 1, 0, &mut small).is_err());
+        assert!(col2im_into(&[1.0; 4], (1, 2, 2), (1, 1), 1, 0, &mut small).is_err());
     }
 
     #[test]

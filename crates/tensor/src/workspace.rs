@@ -1,0 +1,146 @@
+//! Reusable scratch-buffer arenas for zero-allocation hot loops.
+//!
+//! Layers that lower their work onto temporary matrices (im2col column
+//! matrices, transposed gradients, per-sample output staging) own a
+//! [`Workspace`] and draw named scratch buffers from it instead of allocating
+//! fresh `Vec`s every call. Buffers keep their capacity between calls, so
+//! after the first batch of a fixed shape every subsequent call is
+//! allocation-free.
+//!
+//! # Contract
+//!
+//! * [`Workspace::buf`] returns the buffer registered under a caller-chosen
+//!   slot index, resized to exactly `len` elements. Growing reuses capacity
+//!   where possible; shrinking never releases memory.
+//! * Buffer **contents are unspecified** on entry (whatever the previous use
+//!   left behind); callers must fully overwrite, or use [`Workspace::zeroed`]
+//!   when the algorithm accumulates.
+//! * Slots are independent: borrowing slot 0 then slot 1 in sequence is the
+//!   intended pattern. (Two slots cannot be borrowed simultaneously — take
+//!   [`Workspace::pair`] when an algorithm genuinely needs two live buffers.)
+//! * A `Workspace` is deliberately **not** part of a layer's logical state:
+//!   cloning a layer clones capacity lazily (the clone starts empty), and two
+//!   workspaces never alias.
+
+/// An arena of reusable `f32` scratch buffers, indexed by small slot numbers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    slots: Vec<Vec<f32>>,
+}
+
+impl Clone for Workspace {
+    /// Cloning a workspace yields an empty arena: scratch contents are never
+    /// meaningful across calls, and cloned layers should not share or copy
+    /// multi-megabyte buffers.
+    fn clone(&self) -> Self {
+        Workspace::new()
+    }
+}
+
+impl Workspace {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Workspace { slots: Vec::new() }
+    }
+
+    /// Returns slot `slot` resized to `len` elements, contents unspecified.
+    pub fn buf(&mut self, slot: usize, len: usize) -> &mut [f32] {
+        if self.slots.len() <= slot {
+            self.slots.resize_with(slot + 1, Vec::new);
+        }
+        let buf = &mut self.slots[slot];
+        buf.resize(len, 0.0);
+        &mut buf[..len]
+    }
+
+    /// Returns slot `slot` resized to `len` elements and zero-filled.
+    pub fn zeroed(&mut self, slot: usize, len: usize) -> &mut [f32] {
+        let buf = self.buf(slot, len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Returns two distinct slots borrowed simultaneously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn pair(&mut self, a: (usize, usize), b: (usize, usize)) -> (&mut [f32], &mut [f32]) {
+        let ((slot_a, len_a), (slot_b, len_b)) = (a, b);
+        assert_ne!(
+            slot_a, slot_b,
+            "Workspace::pair requires two distinct slots"
+        );
+        let high = slot_a.max(slot_b);
+        if self.slots.len() <= high {
+            self.slots.resize_with(high + 1, Vec::new);
+        }
+        self.slots[slot_a].resize(len_a, 0.0);
+        self.slots[slot_b].resize(len_b, 0.0);
+        if slot_a < slot_b {
+            let (lo, hi) = self.slots.split_at_mut(slot_b);
+            (&mut lo[slot_a][..len_a], &mut hi[0][..len_b])
+        } else {
+            let (lo, hi) = self.slots.split_at_mut(slot_a);
+            let b_buf = &mut lo[slot_b][..len_b];
+            (&mut hi[0][..len_a], b_buf)
+        }
+    }
+
+    /// Total capacity currently held, in elements (diagnostics only).
+    pub fn capacity(&self) -> usize {
+        self.slots.iter().map(Vec::capacity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_keep_capacity_between_calls() {
+        let mut ws = Workspace::new();
+        ws.buf(0, 1024).fill(3.0);
+        let cap = ws.capacity();
+        assert!(cap >= 1024);
+        // Shrinking and re-growing within capacity must not allocate
+        // (observable here as capacity staying put).
+        ws.buf(0, 16);
+        ws.buf(0, 1024);
+        assert_eq!(ws.capacity(), cap);
+    }
+
+    #[test]
+    fn zeroed_clears_previous_contents() {
+        let mut ws = Workspace::new();
+        ws.buf(2, 8).fill(7.0);
+        assert!(ws.zeroed(2, 8).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pair_borrows_two_slots() {
+        let mut ws = Workspace::new();
+        let (a, b) = ws.pair((0, 4), (3, 2));
+        a.fill(1.0);
+        b.fill(2.0);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 2);
+        let (b2, a2) = ws.pair((3, 2), (0, 4));
+        assert_eq!(b2, [2.0, 2.0]);
+        assert_eq!(a2, [1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct slots")]
+    fn pair_rejects_aliased_slots() {
+        Workspace::new().pair((1, 4), (1, 4));
+    }
+
+    #[test]
+    fn clone_starts_empty() {
+        let mut ws = Workspace::new();
+        ws.buf(0, 4096);
+        let clone = ws.clone();
+        assert_eq!(clone.capacity(), 0);
+    }
+}

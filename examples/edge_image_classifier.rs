@@ -25,16 +25,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("training a width-{width} AlexNet on the synthetic CIFAR-10 stand-in ...");
     let mut base = alexnet(&ModelConfig::new(10).with_width(width).with_seed(3))?;
-    let fitact = FitAct::new(FitActConfig { post_train_epochs: 2, ..Default::default() });
+    let fitact = FitAct::new(FitActConfig {
+        post_train_epochs: 2,
+        ..Default::default()
+    });
     fitact.train_for_accuracy(&mut base, &train_x, &train_y, 3, 0.05)?;
     quantize_network(&mut base);
     let baseline = base.evaluate(&test_x, &test_y, 50)?;
-    println!("fault-free test accuracy: {:.1}% (chance is 10%)", 100.0 * baseline);
+    println!(
+        "fault-free test accuracy: {:.1}% (chance is 10%)",
+        100.0 * baseline
+    );
 
     // Calibrate activation maxima once; every scheme derives its bounds from it.
     let profile = ActivationProfiler::new(50)?.profile(&mut base, &train_x)?;
 
-    let fault_rate = 3e-5 * 100.0; // paper rate scaled for the reduced model size
+    let fault_rate = 3e-5 * 10.0; // paper rate scaled for the reduced model size
     println!();
     println!("accuracy under random bit flips (rate {fault_rate:.1e} per bit, 6 trials):");
     for scheme in ProtectionScheme::paper_schemes() {

@@ -14,10 +14,21 @@ fn alexnet_learns_the_synthetic_task_and_protection_preserves_accuracy() {
     let (train_x, train_y) = materialize(&train).unwrap();
     let (test_x, test_y) = materialize(&test).unwrap();
 
-    let mut net =
-        alexnet(&ModelConfig::new(10).with_width(0.0626).with_seed(7).with_dropout(0.1)).unwrap();
-    let fitact = FitAct::new(FitActConfig { post_train_epochs: 1, batch_size: 20, ..Default::default() });
-    fitact.train_for_accuracy(&mut net, &train_x, &train_y, 4, 0.05).unwrap();
+    let mut net = alexnet(
+        &ModelConfig::new(10)
+            .with_width(0.0626)
+            .with_seed(7)
+            .with_dropout(0.1),
+    )
+    .unwrap();
+    let fitact = FitAct::new(FitActConfig {
+        post_train_epochs: 1,
+        batch_size: 20,
+        ..Default::default()
+    });
+    fitact
+        .train_for_accuracy(&mut net, &train_x, &train_y, 4, 0.05)
+        .unwrap();
     quantize_network(&mut net);
 
     let baseline = net.evaluate(&test_x, &test_y, 40).unwrap();
@@ -27,7 +38,10 @@ fn alexnet_learns_the_synthetic_task_and_protection_preserves_accuracy() {
     );
 
     // Calibration + Clip-Act protection keeps the fault-free accuracy intact.
-    let profile = ActivationProfiler::new(40).unwrap().profile(&mut net, &train_x).unwrap();
+    let profile = ActivationProfiler::new(40)
+        .unwrap()
+        .profile(&mut net, &train_x)
+        .unwrap();
     let mut clipact = net.clone();
     apply_protection(&mut clipact, &profile, ProtectionScheme::ClipAct).unwrap();
     let clipact_accuracy = clipact.evaluate(&test_x, &test_y, 40).unwrap();
@@ -40,7 +54,12 @@ fn alexnet_learns_the_synthetic_task_and_protection_preserves_accuracy() {
     let before = clipact.snapshot();
     let result = Campaign::new(&mut clipact, &test_x, &test_y)
         .unwrap()
-        .run(&CampaignConfig { fault_rate: 1e-4, trials: 2, batch_size: 40, seed: 1 })
+        .run(&CampaignConfig {
+            fault_rate: 1e-4,
+            trials: 2,
+            batch_size: 40,
+            seed: 1,
+        })
         .unwrap();
     assert_eq!(clipact.snapshot(), before);
     assert!(result.mean_accuracy() >= 0.0 && result.mean_accuracy() <= 1.0);
@@ -51,8 +70,14 @@ fn fitact_modification_and_post_training_work_on_a_cnn() {
     let train = SyntheticCifar::train(10, 100, 44);
     let (train_x, train_y) = materialize(&train).unwrap();
     let mut net = alexnet(&ModelConfig::new(10).with_width(0.0626).with_seed(8)).unwrap();
-    let fitact = FitAct::new(FitActConfig { post_train_epochs: 1, batch_size: 20, ..Default::default() });
-    fitact.train_for_accuracy(&mut net, &train_x, &train_y, 1, 0.05).unwrap();
+    let fitact = FitAct::new(FitActConfig {
+        post_train_epochs: 1,
+        batch_size: 20,
+        ..Default::default()
+    });
+    fitact
+        .train_for_accuracy(&mut net, &train_x, &train_y, 1, 0.05)
+        .unwrap();
 
     let profile = fitact.calibrate(&mut net, &train_x).unwrap();
     assert_eq!(profile.len(), 7, "AlexNet has 7 activation slots");

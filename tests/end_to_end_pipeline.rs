@@ -23,7 +23,12 @@ fn base_network(seed: u64) -> Network {
 }
 
 fn data(samples: usize, seed: u64) -> (fitact_tensor::Tensor, Vec<usize>) {
-    let ds = Blobs::new(BlobsConfig { samples, seed, ..Default::default() }).unwrap();
+    let ds = Blobs::new(BlobsConfig {
+        samples,
+        seed,
+        ..Default::default()
+    })
+    .unwrap();
     materialize(&ds).unwrap()
 }
 
@@ -37,18 +42,30 @@ fn full_workflow_produces_a_more_resilient_model() {
 
     // Stage 1: accuracy training.
     let mut network = base_network(0);
-    let fitact = FitAct::new(FitActConfig { post_train_epochs: 3, zeta: 0.1, ..Default::default() });
-    fitact.train_for_accuracy(&mut network, &train_x, &train_y, 25, 0.05).unwrap();
+    let fitact = FitAct::new(FitActConfig {
+        post_train_epochs: 3,
+        zeta: 0.1,
+        ..Default::default()
+    });
+    fitact
+        .train_for_accuracy(&mut network, &train_x, &train_y, 25, 0.05)
+        .unwrap();
     let mut unprotected = network.clone();
     quantize_network(&mut unprotected);
     let baseline = unprotected.evaluate(&test_x, &test_y, 64).unwrap();
-    assert!(baseline > 0.85, "stage-1 training should learn the blobs problem, got {baseline}");
+    assert!(
+        baseline > 0.85,
+        "stage-1 training should learn the blobs problem, got {baseline}"
+    );
 
     // Stage 2: resilience post-training.
     let mut resilient = fitact.build_resilient(network, &train_x, &train_y).unwrap();
     quantize_network(resilient.network_mut());
     let report = *resilient.report();
-    assert!(report.constraint_satisfied, "accuracy-drop constraint must hold");
+    assert!(
+        report.constraint_satisfied,
+        "accuracy-drop constraint must hold"
+    );
     assert!(
         report.initial_accuracy - report.final_accuracy <= fitact.config().delta + 1e-6,
         "fault-free accuracy dropped more than delta"
@@ -61,9 +78,16 @@ fn full_workflow_produces_a_more_resilient_model() {
     // Fault campaign at an aggressive rate (the toy model is tiny, so the rate
     // is far above the paper's — what matters is the protected-vs-unprotected
     // ordering).
-    let config = CampaignConfig { fault_rate: 3e-3, trials: 15, batch_size: 64, seed: 5 };
-    let unprotected_result =
-        Campaign::new(&mut unprotected, &test_x, &test_y).unwrap().run(&config).unwrap();
+    let config = CampaignConfig {
+        fault_rate: 3e-3,
+        trials: 15,
+        batch_size: 64,
+        seed: 5,
+    };
+    let unprotected_result = Campaign::new(&mut unprotected, &test_x, &test_y)
+        .unwrap()
+        .run(&config)
+        .unwrap();
     let protected_result = Campaign::new(resilient.network_mut(), &test_x, &test_y)
         .unwrap()
         .run(&config)
@@ -86,11 +110,20 @@ fn full_workflow_produces_a_more_resilient_model() {
 
 #[test]
 fn all_paper_schemes_run_through_the_pipeline() {
+    // Like the resilience test above, the evaluation set must share the
+    // training set's class structure (Blobs centres are derived from the
+    // seed): with disjoint seeds the "destroyed the model" threshold below
+    // would compare against an unlearnable label assignment.
     let (train_x, train_y) = data(192, 3);
-    let (test_x, test_y) = data(96, 4);
+    let (test_x, test_y) = data(96, 3);
     let mut network = base_network(1);
-    let fitact = FitAct::new(FitActConfig { post_train_epochs: 1, ..Default::default() });
-    fitact.train_for_accuracy(&mut network, &train_x, &train_y, 10, 0.05).unwrap();
+    let fitact = FitAct::new(FitActConfig {
+        post_train_epochs: 1,
+        ..Default::default()
+    });
+    fitact
+        .train_for_accuracy(&mut network, &train_x, &train_y, 10, 0.05)
+        .unwrap();
     let profile = fitact.calibrate(&mut network, &train_x).unwrap();
 
     for scheme in ProtectionScheme::paper_schemes() {
@@ -98,12 +131,20 @@ fn all_paper_schemes_run_through_the_pipeline() {
         fitact::apply_protection(&mut protected, &profile, scheme).unwrap();
         quantize_network(&mut protected);
         let accuracy = protected.evaluate(&test_x, &test_y, 32).unwrap();
-        assert!(accuracy > 0.3, "{scheme} destroyed the model: accuracy {accuracy}");
+        assert!(
+            accuracy > 0.3,
+            "{scheme} destroyed the model: accuracy {accuracy}"
+        );
         // A campaign runs and restores the network.
         let before = protected.snapshot();
         Campaign::new(&mut protected, &test_x, &test_y)
             .unwrap()
-            .run(&CampaignConfig { fault_rate: 1e-3, trials: 3, batch_size: 32, seed: 9 })
+            .run(&CampaignConfig {
+                fault_rate: 1e-3,
+                trials: 3,
+                batch_size: 32,
+                seed: 9,
+            })
             .unwrap();
         assert_eq!(protected.snapshot(), before);
     }
@@ -113,8 +154,13 @@ fn all_paper_schemes_run_through_the_pipeline() {
 fn post_training_only_touches_bound_parameters() {
     let (train_x, train_y) = data(128, 5);
     let mut network = base_network(2);
-    let fitact = FitAct::new(FitActConfig { post_train_epochs: 2, ..Default::default() });
-    fitact.train_for_accuracy(&mut network, &train_x, &train_y, 5, 0.05).unwrap();
+    let fitact = FitAct::new(FitActConfig {
+        post_train_epochs: 2,
+        ..Default::default()
+    });
+    fitact
+        .train_for_accuracy(&mut network, &train_x, &train_y, 5, 0.05)
+        .unwrap();
     let profile = fitact.calibrate(&mut network, &train_x).unwrap();
     fitact.modify(&mut network, &profile).unwrap();
 
@@ -151,6 +197,9 @@ fn post_training_only_touches_bound_parameters() {
         .map(|(_, p)| p.data().clone())
         .collect();
 
-    assert_eq!(weights_before, weights_after, "Θ_A must be frozen during post-training");
+    assert_eq!(
+        weights_before, weights_after,
+        "Θ_A must be frozen during post-training"
+    );
     assert_ne!(bounds_before, bounds_after, "Θ_R should have been updated");
 }

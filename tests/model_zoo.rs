@@ -16,8 +16,14 @@ fn all_architectures_build_and_classify_both_datasets() {
     for architecture in Architecture::ALL {
         for classes in [10usize, 100] {
             let mut net = architecture.build(&tiny(classes)).unwrap();
-            let logits = net.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval).unwrap();
-            assert_eq!(logits.dims(), &[2, classes], "{architecture} with {classes} classes");
+            let logits = net
+                .forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval)
+                .unwrap();
+            assert_eq!(
+                logits.dims(),
+                &[2, classes],
+                "{architecture} with {classes} classes"
+            );
             assert!(logits.is_finite());
         }
     }
@@ -42,9 +48,9 @@ fn all_architectures_support_backward() {
 #[test]
 fn activation_slot_counts_match_the_architectures() {
     let expectations = [
-        (Architecture::AlexNet, 7),    // 5 conv + 2 classifier ReLUs
-        (Architecture::Vgg16, 14),     // 13 conv + 1 classifier ReLUs
-        (Architecture::ResNet50, 49),  // stem + 3 per bottleneck × 16
+        (Architecture::AlexNet, 7),   // 5 conv + 2 classifier ReLUs
+        (Architecture::Vgg16, 14),    // 13 conv + 1 classifier ReLUs
+        (Architecture::ResNet50, 49), // stem + 3 per bottleneck × 16
     ];
     for (architecture, expected) in expectations {
         let mut net = architecture.build(&tiny(10)).unwrap();
@@ -62,7 +68,11 @@ fn parameter_paths_are_unique_and_cover_the_memory_map() {
         paths.sort();
         let before = paths.len();
         paths.dedup();
-        assert_eq!(paths.len(), before, "{architecture} has duplicate parameter paths");
+        assert_eq!(
+            paths.len(),
+            before,
+            "{architecture} has duplicate parameter paths"
+        );
         let map = MemoryMap::of_network(&net);
         assert_eq!(map.total_words() as usize, total, "{architecture}");
         assert_eq!(net.num_parameters(), total, "{architecture}");
@@ -77,15 +87,27 @@ fn width_multiplier_scales_every_architecture() {
             .build(&ModelConfig::new(10).with_width(0.25).with_seed(9))
             .unwrap()
             .num_parameters();
-        assert!(wider > narrow, "{architecture}: {wider} should exceed {narrow}");
+        assert!(
+            wider > narrow,
+            "{architecture}: {wider} should exceed {narrow}"
+        );
     }
 }
 
 #[test]
 fn resnet_is_the_largest_model_at_full_width() {
-    let resnet = Architecture::ResNet50.build(&ModelConfig::new(10)).unwrap().num_parameters();
-    let vgg = Architecture::Vgg16.build(&ModelConfig::new(10)).unwrap().num_parameters();
-    let alex = Architecture::AlexNet.build(&ModelConfig::new(10)).unwrap().num_parameters();
+    let resnet = Architecture::ResNet50
+        .build(&ModelConfig::new(10))
+        .unwrap()
+        .num_parameters();
+    let vgg = Architecture::Vgg16
+        .build(&ModelConfig::new(10))
+        .unwrap()
+        .num_parameters();
+    let alex = Architecture::AlexNet
+        .build(&ModelConfig::new(10))
+        .unwrap()
+        .num_parameters();
     // Matches the ordering of the paper's Table I memory column.
     assert!(resnet > vgg);
     assert!(vgg > alex);

@@ -23,7 +23,12 @@ fn trained_network() -> (Network, Tensor, Vec<usize>) {
         .with(Box::new(ActivationLayer::relu("h2", &[16])))
         .with(Box::new(Linear::new(16, 3, &mut rng)));
     let mut net = Network::new("mlp", root);
-    let ds = Blobs::new(BlobsConfig { samples: 256, seed: 1, ..Default::default() }).unwrap();
+    let ds = Blobs::new(BlobsConfig {
+        samples: 256,
+        seed: 1,
+        ..Default::default()
+    })
+    .unwrap();
     let (x, y) = materialize(&ds).unwrap();
     let loss = CrossEntropyLoss::new();
     let mut opt = Sgd::with_momentum(0.05, 0.9, 0.0);
@@ -36,15 +41,23 @@ fn trained_network() -> (Network, Tensor, Vec<usize>) {
 #[test]
 fn protected_activations_never_exceed_their_bounds_under_weight_corruption() {
     let (mut net, x, _) = trained_network();
-    let profile = ActivationProfiler::new(64).unwrap().profile(&mut net, &x).unwrap();
+    let profile = ActivationProfiler::new(64)
+        .unwrap()
+        .profile(&mut net, &x)
+        .unwrap();
 
     for scheme in [ProtectionScheme::ClipAct, ProtectionScheme::FitActNaive] {
         let mut protected = net.clone();
         apply_protection(&mut protected, &profile, scheme).unwrap();
         // Corrupt the first-layer weights with sign-bit flips (the worst case).
         let injector = BitFlipInjector::new(3);
-        let sites: Vec<FaultSite> =
-            (0..8).map(|e| FaultSite { param_index: 0, element: e, bit: 31 }).collect();
+        let sites: Vec<FaultSite> = (0..8)
+            .map(|e| FaultSite {
+                param_index: 0,
+                element: e,
+                bit: 31,
+            })
+            .collect();
         injector.inject(&mut protected, &sites);
         // The hidden activations cannot exceed the calibrated layer maxima, so
         // the logits stay in a sane range instead of exploding to ~1e4.
@@ -64,8 +77,13 @@ fn protected_activations_never_exceed_their_bounds_under_weight_corruption() {
 fn unprotected_network_lets_corrupted_values_explode() {
     let (mut net, x, _) = trained_network();
     let injector = BitFlipInjector::new(3);
-    let sites: Vec<FaultSite> =
-        (0..8).map(|e| FaultSite { param_index: 0, element: e, bit: 31 }).collect();
+    let sites: Vec<FaultSite> = (0..8)
+        .map(|e| FaultSite {
+            param_index: 0,
+            element: e,
+            bit: 31,
+        })
+        .collect();
     injector.inject(&mut net, &sites);
     let logits = net.forward(&x, Mode::Eval).unwrap();
     // With plain ReLU the sign-flipped weights (≈ ±32768) drive the logits to
@@ -76,7 +94,10 @@ fn unprotected_network_lets_corrupted_values_explode() {
 #[test]
 fn fitact_bound_parameters_are_part_of_the_fault_space() {
     let (mut net, x, _) = trained_network();
-    let profile = ActivationProfiler::new(64).unwrap().profile(&mut net, &x).unwrap();
+    let profile = ActivationProfiler::new(64)
+        .unwrap()
+        .profile(&mut net, &x)
+        .unwrap();
     let base_bits = MemoryMap::of_network(&net).total_bits();
     apply_protection(&mut net, &profile, ProtectionScheme::FitAct { slope: 8.0 }).unwrap();
     let protected_bits = MemoryMap::of_network(&net).total_bits();

@@ -1,0 +1,294 @@
+//! Offline drop-in shim for the subset of the [`criterion` 0.5 API] this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! a small wall-clock measuring harness behind the criterion surface the
+//! benches call: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up for ~0.5 s, then
+//! `sample_size` samples are collected, each timing a batch of iterations
+//! sized so one sample takes ≥ ~2 ms. Mean, median and min are printed in a
+//! criterion-like single line:
+//!
+//! ```text
+//! matmul/nn/256           time: [1.2345 ms 1.2456 ms 1.2789 ms]
+//! ```
+//!
+//! (min, median, mean — not criterion's confidence interval, but comparable
+//! across runs of this same harness).
+//!
+//! [`criterion` 0.5 API]: https://docs.rs/criterion/0.5
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a rendered benchmark id (mirrors criterion's
+/// `IntoBenchmarkId` so both strings and [`BenchmarkId`] are accepted).
+pub trait IntoBenchmarkId {
+    /// The rendered `group/function/parameter` suffix.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Iterations per timed sample (set by the harness).
+    iters_per_sample: u64,
+    /// Duration of the last timed sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in batches sized by the harness.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id_string());
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id_string());
+        let sample_size = self.sample_size;
+        self.criterion
+            .run_one(&full, sample_size, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    /// Finishes the group (formatting separator only in this shim).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Entry point of the measuring harness.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(500),
+            target_sample: Duration::from_millis(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, 100, &mut routine);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, sample_size: usize, routine: &mut dyn FnMut(&mut Bencher)) {
+        // Warm up and size the per-sample batch so a sample is long enough to
+        // time reliably.
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < self.warmup {
+            routine(&mut bencher);
+            warmup_iters += bencher.iters_per_sample;
+            // Grow batches geometrically so the warm-up loop itself is cheap.
+            bencher.iters_per_sample = (bencher.iters_per_sample * 2).min(1 << 20);
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let iters_per_sample =
+            ((self.target_sample.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(sample_size);
+        bencher.iters_per_sample = iters_per_sample;
+        for _ in 0..sample_size {
+            routine(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            format_time(min),
+            format_time(median),
+            format_time(mean)
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.4} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.4} s")
+    }
+}
+
+/// Declares a benchmark group function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_group_function_parameter() {
+        assert_eq!(
+            BenchmarkId::new("relu", "alexnet").into_id_string(),
+            "relu/alexnet"
+        );
+        assert_eq!(BenchmarkId::from_parameter(256).into_id_string(), "256");
+    }
+
+    #[test]
+    fn harness_measures_a_cheap_function() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(10),
+            target_sample: Duration::from_micros(100),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        let mut count = 0u64;
+        group.bench_function("increment", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(format_time(2.5e-9).ends_with("ns"));
+        assert!(format_time(2.5e-6).ends_with("µs"));
+        assert!(format_time(2.5e-3).ends_with("ms"));
+        assert!(format_time(2.5).ends_with('s'));
+    }
+}

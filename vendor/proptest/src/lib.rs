@@ -1,0 +1,250 @@
+//! Offline drop-in shim for the subset of the [`proptest` 1.x API] this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! source-compatible property-testing harness for the patterns the FitAct
+//! reproduction relies on:
+//!
+//! * the [`proptest!`] macro with `#[test]` functions whose arguments are
+//!   `name in strategy` bindings, and an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * numeric range strategies (`0u32..32`, `-10.0f32..40.0`, `1..=20`) and
+//!   [`any::<T>()`] for integer types,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] with optional message arguments.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case reports the
+//! sampled inputs and panics. Cases are generated deterministically (seeded
+//! per test body), so failures are reproducible.
+//!
+//! [`proptest` 1.x API]: https://docs.rs/proptest/1
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Harness configuration: how many cases each property runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error produced by a failing `prop_assert…!`; carries the failure message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy returned by [`any`]: the full value space of `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates arbitrary values of `T` (integers: uniform over all bit
+/// patterns; floats: uniform in `[-1e6, 1e6]`, which is what the fixed-point
+/// tests can meaningfully consume).
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(-1.0e6f32..1.0e6)
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(-1.0e6f64..1.0e6)
+    }
+}
+
+/// Runs `body` for `config.cases` deterministic cases; used by [`proptest!`].
+pub fn run_cases(config: ProptestConfig, mut body: impl FnMut(&mut StdRng, u32)) {
+    for case in 0..config.cases {
+        // Derive a fresh, deterministic stream per case so failures print a
+        // case index that fully reproduces the inputs.
+        let mut rng = StdRng::seed_from_u64(
+            0xF17A_C700u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        body(&mut rng, case);
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+    pub mod prop {}
+}
+
+/// Defines property tests: each `#[test]` function's `arg in strategy`
+/// bindings are sampled per case and the body re-run for every case.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($config, |__proptest_rng, __proptest_case| {
+                    $( let $arg = $crate::Strategy::sample(&($strategy), __proptest_rng); )*
+                    let __proptest_result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __proptest_result {
+                        panic!(
+                            "proptest case {} failed: {}\n  inputs: {}",
+                            __proptest_case,
+                            e.0,
+                            [$( format!(concat!(stringify!($arg), " = {:?}"), $arg) ),*].join(", "),
+                        );
+                    }
+                });
+            }
+        )*
+    };
+    // Optional `#![proptest_config(...)]` header.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the sampled
+/// inputs on failure instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 0u32..32, y in -10.0f32..40.0, z in 1usize..=20) {
+            prop_assert!(x < 32);
+            prop_assert!((-10.0..40.0).contains(&y), "y = {}", y);
+            prop_assert!((1..=20).contains(&z));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_header_is_accepted(v in any::<i32>()) {
+            prop_assert_eq!(v, v);
+            prop_assert_ne!(v, v.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_inputs() {
+        crate::run_cases(ProptestConfig::with_cases(4), |rng, case| {
+            let x = crate::Strategy::sample(&(0u32..4), rng);
+            let result: Result<(), TestCaseError> = (|| {
+                prop_assert!(x > 100, "x = {}", x);
+                Ok(())
+            })();
+            if let Err(e) = result {
+                panic!("proptest case {case} failed: {}", e.0);
+            }
+        });
+    }
+}
