@@ -9,7 +9,9 @@
 //! scheduling overhead or speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fitact_faults::{quantize_network, Campaign, CampaignConfig};
+use fitact_faults::{
+    quantize_network, Campaign, CampaignConfig, StatCampaignConfig, StratumSpec, TransientBitFlip,
+};
 use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
 use fitact_nn::loss::CrossEntropyLoss;
 use fitact_nn::optim::Sgd;
@@ -73,6 +75,33 @@ fn bench_campaign(c: &mut Criterion) {
                 Campaign::new(&mut net, &inputs, &targets)
                     .expect("campaign builds")
                     .run_with_threads(&config, cores)
+                    .expect("campaign runs")
+            });
+        },
+    );
+    // The statistical path: stratified sampling, outcome classification and
+    // Wilson-interval early stopping. The comparison against the fixed-count
+    // runs above shows what adaptive stopping buys — the trial budget matches,
+    // but the campaign quits as soon as the critical-SDC CI is tight.
+    let stat_config = StatCampaignConfig {
+        fault_rate: 1e-4,
+        batch_size: 64,
+        seed: 42,
+        epsilon: 0.05,
+        round_trials: 8,
+        min_trials: 16,
+        max_trials: config.trials,
+        strata: StratumSpec::by_bit_class(),
+        ..Default::default()
+    };
+    group.bench_with_input(
+        BenchmarkId::new(format!("run_until_x{cores}"), config.trials),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                Campaign::new(&mut net, &inputs, &targets)
+                    .expect("campaign builds")
+                    .run_until_with_threads(&stat_config, &TransientBitFlip, cores)
                     .expect("campaign runs")
             });
         },

@@ -159,6 +159,57 @@ impl ResilientModel {
     pub fn report(&self) -> &PostTrainReport {
         &self.report
     }
+
+    /// Runs a statistical fault campaign against the protected network under
+    /// the transient-bit-flip model (see [`assess_resilience`] for the
+    /// general entry point with a custom fault model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign errors.
+    pub fn assess(
+        &mut self,
+        inputs: &Tensor,
+        targets: &[usize],
+        config: &fitact_faults::StatCampaignConfig,
+    ) -> Result<fitact_faults::CampaignReport, FitActError> {
+        assess_resilience(
+            &mut self.network,
+            inputs,
+            targets,
+            config,
+            &fitact_faults::TransientBitFlip,
+        )
+    }
+}
+
+/// Stage 3 (evaluation): runs a statistical fault campaign against the
+/// (protected or unprotected) network and reports per-stratum outcome
+/// classes with Wilson confidence intervals.
+///
+/// The network is quantised to the Q15.16 grid first — the fault-free
+/// baseline must use the same arithmetic the fault trials perturb — and is
+/// left in that quantised state with its original logical values restored
+/// after every trial. The campaign stops as soon as the pooled critical-SDC
+/// interval is tighter than `config.epsilon` (sequential early stopping), so
+/// this is the cheap way to compare schemes: ask for the precision you need
+/// instead of budgeting worst-case trials.
+///
+/// # Errors
+///
+/// Propagates campaign errors (typed configuration errors, empty memory map,
+/// evaluation failure).
+pub fn assess_resilience(
+    network: &mut Network,
+    inputs: &Tensor,
+    targets: &[usize],
+    config: &fitact_faults::StatCampaignConfig,
+    model: &dyn fitact_faults::FaultModel,
+) -> Result<fitact_faults::CampaignReport, FitActError> {
+    fitact_faults::quantize_network(network);
+    let report =
+        fitact_faults::Campaign::new(network, inputs, targets)?.run_until(config, model)?;
+    Ok(report)
 }
 
 /// The FitAct workflow driver.
@@ -718,6 +769,41 @@ mod tests {
         assert!(resilient.report().epochs_run > 0);
         let net = resilient.into_network();
         assert!(net.num_parameters() > 0);
+    }
+
+    #[test]
+    fn assess_runs_a_statistical_campaign_on_the_protected_model() {
+        let mut net = mlp(7);
+        let (inputs, targets) = blob_data(96, 7);
+        let fitact = FitAct::new(FitActConfig {
+            post_train_epochs: 1,
+            ..Default::default()
+        });
+        fitact
+            .train_for_accuracy(&mut net, &inputs, &targets, 8, 0.05)
+            .unwrap();
+        let mut resilient = fitact.build_resilient(net, &inputs, &targets).unwrap();
+        let config = fitact_faults::StatCampaignConfig {
+            fault_rate: 1e-3,
+            batch_size: 32,
+            seed: 3,
+            epsilon: 0.12,
+            round_trials: 4,
+            min_trials: 8,
+            max_trials: 36,
+            ..Default::default()
+        };
+        let report = resilient.assess(&inputs, &targets, &config).unwrap();
+        assert_eq!(report.strata.len(), 3);
+        assert_eq!(report.model, "bitflip");
+        assert!(report.total_trials() >= 8);
+        assert!(report.fault_free_accuracy > 0.0);
+        // The protected network still evaluates cleanly afterwards.
+        let after = resilient
+            .network_mut()
+            .evaluate(&inputs, &targets, 32)
+            .unwrap();
+        assert!((after - report.fault_free_accuracy).abs() < 1e-6);
     }
 
     #[test]

@@ -65,10 +65,14 @@ pub mod resilience;
 
 pub use activations::{ChannelRelu, FitRelu, FitReluNaive, GbRelu, Ranger};
 pub use calibration::{ActivationProfile, ActivationProfiler, SlotProfile};
-pub use framework::{FitAct, FitActConfig, PostTrainReport, ResilientModel, TrainingReport};
+pub use framework::{
+    assess_resilience, FitAct, FitActConfig, PostTrainReport, ResilientModel, TrainingReport,
+};
 pub use memory::MemoryModel;
 pub use protect::{apply_protection, ProtectionScheme};
-pub use resilience::{evaluate_resilience, ResiliencePoint};
+pub use resilience::{
+    evaluate_resilience, evaluate_resilience_until, ResiliencePoint, ResilienceReportPoint,
+};
 
 use std::error::Error;
 use std::fmt;

@@ -1,7 +1,18 @@
 //! Resilience evaluation: fault-injection campaigns across fault rates.
+//!
+//! Two evaluation styles share the campaign engine:
+//!
+//! * [`evaluate_resilience`] — the paper's fixed-trial protocol: one uniform
+//!   bit-flip campaign per fault rate, reporting mean accuracy,
+//! * [`evaluate_resilience_until`] — the statistical protocol: one stratified
+//!   campaign with confidence-interval early stopping per fault rate, for any
+//!   [`FaultModel`], reporting per-stratum outcome classes and Wilson
+//!   intervals.
 
 use crate::FitActError;
-use fitact_faults::{Campaign, CampaignConfig, CampaignResult};
+use fitact_faults::{
+    Campaign, CampaignConfig, CampaignReport, CampaignResult, FaultModel, StatCampaignConfig,
+};
 use fitact_nn::Network;
 use fitact_tensor::Tensor;
 
@@ -54,6 +65,62 @@ pub fn evaluate_resilience(
         points.push(ResiliencePoint {
             fault_rate: rate,
             result,
+        });
+    }
+    Ok(points)
+}
+
+/// One point of an adaptive resilience curve: the statistical campaign report
+/// at one fault rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReportPoint {
+    /// Per-bit fault rate.
+    pub fault_rate: f64,
+    /// The stratified, early-stopped campaign outcome at that rate.
+    pub report: CampaignReport,
+}
+
+impl ResilienceReportPoint {
+    /// Point estimate of the critical-SDC rate at this fault rate, pooled
+    /// over all strata.
+    pub fn critical_sdc_rate(&self) -> f64 {
+        self.report.pooled_critical().point()
+    }
+}
+
+/// Runs a statistical campaign ([`Campaign::run_until`]) at every fault rate
+/// in `rates` under the given fault model and returns the adaptive resilience
+/// curve.
+///
+/// `base.fault_rate` is overridden per point; every other knob — strata,
+/// ε, confidence, outcome threshold, trial budget — comes from `base`.
+/// Campaign `i` uses seed `base.seed + i`, so curves are reproducible and
+/// each point draws independent fault streams. The network is left unchanged,
+/// exactly as with [`evaluate_resilience`].
+///
+/// # Errors
+///
+/// Propagates campaign errors (typed configuration errors, empty memory map,
+/// evaluation failure).
+pub fn evaluate_resilience_until(
+    network: &mut Network,
+    inputs: &Tensor,
+    targets: &[usize],
+    rates: &[f64],
+    base: &StatCampaignConfig,
+    model: &dyn FaultModel,
+) -> Result<Vec<ResilienceReportPoint>, FitActError> {
+    let mut points = Vec::with_capacity(rates.len());
+    for (i, &rate) in rates.iter().enumerate() {
+        let config = StatCampaignConfig {
+            fault_rate: rate,
+            seed: base.seed.wrapping_add(i as u64),
+            ..base.clone()
+        };
+        let report = Campaign::new(network, inputs, targets)?.run_until(&config, model)?;
+        points.push(ResilienceReportPoint {
+            fault_rate: rate,
+            report,
         });
     }
     Ok(points)
@@ -139,5 +206,40 @@ mod tests {
         let before = net.snapshot();
         evaluate_resilience(&mut net, &inputs, &targets, &[1e-3, 1e-2], 3, 64, 2).unwrap();
         assert_eq!(net.snapshot(), before);
+    }
+
+    #[test]
+    fn adaptive_curve_reports_one_stratified_point_per_rate() {
+        use fitact_faults::TransientBitFlip;
+        let (mut net, inputs, targets) = trained_setup();
+        let before = net.snapshot();
+        let base = StatCampaignConfig {
+            batch_size: 64,
+            seed: 5,
+            epsilon: 0.1,
+            round_trials: 4,
+            min_trials: 12,
+            max_trials: 48,
+            ..Default::default()
+        };
+        let rates = [0.0, 3e-3];
+        let points = evaluate_resilience_until(
+            &mut net,
+            &inputs,
+            &targets,
+            &rates,
+            &base,
+            &TransientBitFlip,
+        )
+        .unwrap();
+        assert_eq!(net.snapshot(), before);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].fault_rate, 0.0);
+        assert_eq!(points[0].report.strata.len(), 3);
+        // Zero fault rate: nothing is ever critical.
+        assert_eq!(points[0].critical_sdc_rate(), 0.0);
+        assert!(points[0].report.converged);
+        // The aggressive rate cannot be *less* critical than the clean run.
+        assert!(points[1].critical_sdc_rate() >= points[0].critical_sdc_rate());
     }
 }

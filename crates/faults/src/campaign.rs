@@ -1,13 +1,44 @@
 //! Repeated inject → evaluate → restore fault-injection campaigns.
+//!
+//! Two stopping rules share one trial engine:
+//!
+//! * [`Campaign::run`] — the classic fixed-trial-count campaign (the paper's
+//!   Figs. 5/6 protocol): uniform sites, one accuracy sample per trial,
+//! * [`Campaign::run_until`] — the statistical campaign: trials are
+//!   stratified by layer / bit class, each trial is classified as masked /
+//!   tolerable SDC / critical SDC, and batches keep launching until the
+//!   pooled critical-SDC Wilson interval is narrower than a target ε (or the
+//!   trial budget runs out). Because the interval tightens fastest exactly
+//!   when the answer is lopsided — which low fault rates make the common
+//!   case — typical campaigns stop at a fraction of the fixed budget a
+//!   worst-case-variance design would need.
 
-use crate::injector::BitFlipInjector;
 use crate::map::MemoryMap;
+use crate::model::{FaultModel, TransientBitFlip, TrialContext};
+use crate::stats::{z_for_confidence, TrialOutcome, WilsonInterval};
+use crate::strata::{StratifiedSampler, StratumSpec};
 use crate::FaultError;
 use fitact_nn::metrics::SampleStats;
 use fitact_nn::Network;
 use fitact_tensor::Tensor;
 
-/// Configuration of one fault-injection campaign (one point in the paper's
+/// Derives the RNG-stream seed of one trial from the campaign seed, the
+/// stratum index and the trial index (SplitMix64 finalisation).
+///
+/// A trial's faults depend only on this triple — never on which worker ran
+/// the trial or what ran before it — which is what keeps campaigns
+/// bit-identical across worker-thread counts. Stratum 0 reproduces the
+/// pre-stratification derivation, so uniform campaigns draw the same fault
+/// sites they always have.
+pub(crate) fn trial_stream_seed(seed: u64, stratum: usize, trial: usize) -> u64 {
+    let seed = seed ^ (stratum as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    let mut z = seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Configuration of one fixed-trial-count campaign (one point in the paper's
 /// Fig. 5 / Fig. 6 plots: one network, one fault rate, many trials).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignConfig {
@@ -58,7 +89,112 @@ impl CampaignConfig {
     }
 }
 
-/// The outcome of a fault-injection campaign.
+/// Configuration of a statistical (stratified, sequentially-stopped)
+/// campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatCampaignConfig {
+    /// Per-bit fault rate applied within each stratum.
+    pub fault_rate: f64,
+    /// Evaluation batch size.
+    pub batch_size: usize,
+    /// Seed for the per-trial fault streams.
+    pub seed: u64,
+    /// Target half-width of the pooled critical-SDC Wilson interval: the
+    /// campaign stops as soon as the interval is at least this tight.
+    pub epsilon: f64,
+    /// Two-sided confidence level of the reported intervals (e.g. `0.95`).
+    pub confidence: f64,
+    /// Top-1 accuracy drop beyond which a trial counts as critical SDC.
+    pub critical_threshold: f32,
+    /// Trials launched per stratum per round (one parallel batch).
+    pub round_trials: usize,
+    /// Minimum total trials before early stopping may trigger.
+    pub min_trials: usize,
+    /// Total-trial budget: the final round is truncated so the campaign
+    /// never exceeds it, and stops (unconverged) once it is reached.
+    pub max_trials: usize,
+    /// The strata trials are drawn from. Defaults to the sign / exponent /
+    /// mantissa bit-class split.
+    pub strata: Vec<StratumSpec>,
+}
+
+impl Default for StatCampaignConfig {
+    fn default() -> Self {
+        StatCampaignConfig {
+            fault_rate: 1e-6,
+            batch_size: 64,
+            seed: 0,
+            epsilon: 0.02,
+            confidence: 0.95,
+            critical_threshold: 0.05,
+            round_trials: 8,
+            min_trials: 24,
+            max_trials: 512,
+            strata: StratumSpec::by_bit_class(),
+        }
+    }
+}
+
+impl StatCampaignConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::NonPositiveEpsilon`] for ε ≤ 0,
+    /// [`FaultError::EmptyStrata`] for an empty stratum list,
+    /// [`FaultError::EmptyStratum`] for a stratum with no bit classes, and
+    /// [`FaultError::InvalidConfig`] for the remaining range violations.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        if self.epsilon <= 0.0 || !self.epsilon.is_finite() {
+            return Err(FaultError::NonPositiveEpsilon(self.epsilon));
+        }
+        if self.strata.is_empty() {
+            return Err(FaultError::EmptyStrata);
+        }
+        for spec in &self.strata {
+            if spec.bit_classes.is_empty() {
+                return Err(FaultError::EmptyStratum(spec.label.clone()));
+            }
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(FaultError::InvalidConfig(format!(
+                "confidence must be inside (0, 1), got {}",
+                self.confidence
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.critical_threshold) {
+            return Err(FaultError::InvalidConfig(format!(
+                "critical_threshold must be in [0, 1], got {}",
+                self.critical_threshold
+            )));
+        }
+        if self.fault_rate < 0.0 {
+            return Err(FaultError::InvalidConfig(format!(
+                "fault_rate must be non-negative, got {}",
+                self.fault_rate
+            )));
+        }
+        if self.batch_size == 0 {
+            return Err(FaultError::InvalidConfig(
+                "batch_size must be non-zero".into(),
+            ));
+        }
+        if self.round_trials == 0 {
+            return Err(FaultError::InvalidConfig(
+                "round_trials must be non-zero".into(),
+            ));
+        }
+        if self.max_trials == 0 || self.max_trials < self.min_trials {
+            return Err(FaultError::InvalidConfig(format!(
+                "max_trials ({}) must be non-zero and at least min_trials ({})",
+                self.max_trials, self.min_trials
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a fixed-trial-count campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     /// Per-trial top-1 accuracy (fraction in `[0, 1]`).
@@ -74,10 +210,184 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// Mean accuracy over the trials.
+    /// Mean accuracy over the trials, or `0.0` for an empty campaign (a
+    /// zero-trial result must not poison downstream aggregation with NaN).
     pub fn mean_accuracy(&self) -> f32 {
-        self.stats.mean
+        if self.stats.count == 0 {
+            0.0
+        } else {
+            self.stats.mean
+        }
     }
+}
+
+/// One stratum's share of a statistical campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumReport {
+    /// The stratum's label (from its [`StratumSpec`]).
+    pub label: String,
+    /// Number of bits in the stratum's fault population.
+    pub population_bits: u64,
+    /// Per-trial top-1 accuracies, in trial order.
+    pub accuracies: Vec<f32>,
+    /// Trials whose accuracy did not drop below the fault-free baseline.
+    pub masked: usize,
+    /// Trials with an accuracy drop within the critical threshold.
+    pub tolerable: usize,
+    /// Trials with an accuracy drop beyond the critical threshold.
+    pub critical: usize,
+    /// Total faults injected across the stratum's trials.
+    pub total_faults: u64,
+    /// Wilson interval of the stratum's critical-SDC rate.
+    pub critical_ci: WilsonInterval,
+    /// Wilson interval of the stratum's overall SDC rate (tolerable +
+    /// critical).
+    pub sdc_ci: WilsonInterval,
+}
+
+impl StratumReport {
+    /// Number of trials run in this stratum.
+    pub fn trials(&self) -> usize {
+        self.accuracies.len()
+    }
+
+    /// Mean accuracy over the stratum's trials (`0.0` when empty).
+    pub fn mean_accuracy(&self) -> f32 {
+        crate::stats::mean_or_zero(&self.accuracies)
+    }
+
+    /// Point estimate of the critical-SDC rate.
+    pub fn critical_rate(&self) -> f64 {
+        self.critical_ci.point()
+    }
+
+    /// Point estimate of the SDC rate (tolerable + critical).
+    pub fn sdc_rate(&self) -> f64 {
+        self.sdc_ci.point()
+    }
+}
+
+/// The outcome of a statistical campaign: per-stratum outcome counts with
+/// Wilson confidence intervals, plus the stopping diagnostics.
+///
+/// Reading the intervals: `critical_ci` brackets the probability that one
+/// trial of this stratum (faults at the configured rate, sites uniform over
+/// the stratum) degrades top-1 accuracy by more than the critical threshold.
+/// The campaign stops once the *pooled* interval ([`CampaignReport::pooled_critical`])
+/// has half-width ≤ ε, so `converged == true` means the pooled rate is known
+/// to ±ε at the configured confidence.
+///
+/// Note that the pooled rate is the **equal-allocation stratified mean**
+/// (every stratum contributes the same number of trials), *not* the rate a
+/// uniform fault model over the whole memory would show — with the
+/// bit-class strata, a sign-stratum trial counts as much as a mantissa
+/// trial even though the mantissa population is 16× larger. The per-stratum
+/// intervals are the population-faithful quantities; for a
+/// population-weighted point estimate use
+/// [`CampaignReport::population_weighted_critical_rate`], and for the plain
+/// uniform rate run a single [`StratumSpec::all`] stratum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Accuracy of the (quantised) network without any injected fault.
+    pub fault_free_accuracy: f32,
+    /// The per-bit fault rate the campaign ran at.
+    pub fault_rate: f64,
+    /// Name of the fault model that was injected.
+    pub model: String,
+    /// The configured confidence level of every interval in the report.
+    pub confidence: f64,
+    /// The configured target half-width.
+    pub epsilon: f64,
+    /// The configured critical-SDC accuracy-drop threshold.
+    pub critical_threshold: f32,
+    /// Number of trial rounds launched.
+    pub rounds: usize,
+    /// Whether the ε target was reached within the trial budget.
+    pub converged: bool,
+    /// One report per stratum, in the order of the configured specs.
+    pub strata: Vec<StratumReport>,
+}
+
+impl CampaignReport {
+    /// Total trials across all strata.
+    pub fn total_trials(&self) -> usize {
+        self.strata.iter().map(StratumReport::trials).sum()
+    }
+
+    /// Total faults injected across all strata.
+    pub fn total_faults(&self) -> u64 {
+        self.strata.iter().map(|s| s.total_faults).sum()
+    }
+
+    /// Pooled Wilson interval of the critical-SDC rate over every trial of
+    /// every stratum — the quantity the stopping rule tracks.
+    ///
+    /// This is the equal-allocation stratified proportion (see the type-level
+    /// note on weighting); the round-robin scheduler keeps every stratum's
+    /// trial count within one of the others, even at the truncated final
+    /// round.
+    pub fn pooled_critical(&self) -> WilsonInterval {
+        let critical: u64 = self.strata.iter().map(|s| s.critical as u64).sum();
+        WilsonInterval::new(
+            critical,
+            self.total_trials() as u64,
+            z_for_confidence(self.confidence),
+        )
+    }
+
+    /// Pooled Wilson interval of the SDC rate (tolerable + critical).
+    pub fn pooled_sdc(&self) -> WilsonInterval {
+        let sdc: u64 = self
+            .strata
+            .iter()
+            .map(|s| (s.tolerable + s.critical) as u64)
+            .sum();
+        WilsonInterval::new(
+            sdc,
+            self.total_trials() as u64,
+            z_for_confidence(self.confidence),
+        )
+    }
+
+    /// Point estimate of the critical-SDC rate with each stratum weighted by
+    /// its share of the fault-space population — the classical stratified
+    /// estimator of the rate a uniform fault model over the union of the
+    /// strata would show.
+    ///
+    /// Returns `0.0` for an empty report. No interval accompanies this
+    /// estimate (a weighted combination of binomial proportions has no
+    /// Wilson-form interval); the stopping rule operates on
+    /// [`CampaignReport::pooled_critical`] instead.
+    pub fn population_weighted_critical_rate(&self) -> f64 {
+        let total_bits: u64 = self.strata.iter().map(|s| s.population_bits).sum();
+        if total_bits == 0 {
+            return 0.0;
+        }
+        self.strata
+            .iter()
+            .map(|s| s.critical_rate() * s.population_bits as f64 / total_bits as f64)
+            .sum()
+    }
+
+    /// Looks a stratum up by label.
+    pub fn stratum(&self, label: &str) -> Option<&StratumReport> {
+        self.strata.iter().find(|s| s.label == label)
+    }
+}
+
+/// Identity of one trial: which stratum it samples and its index within that
+/// stratum's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TrialSpec {
+    stratum: usize,
+    index: usize,
+}
+
+/// What one trial measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TrialRecord {
+    accuracy: f32,
+    faults: u64,
 }
 
 /// Runs fault-injection campaigns against a network and a fixed evaluation
@@ -145,13 +455,13 @@ impl<'a> Campaign<'a> {
         &self.map
     }
 
-    /// Runs the campaign: `config.trials` times, sample faults at
+    /// Runs the fixed-count campaign: `config.trials` times, sample faults at
     /// `config.fault_rate`, inject them, evaluate accuracy on the evaluation
     /// set, and restore the original parameters.
     ///
     /// Trials are independent, so they are spread across all available cores.
     /// Each trial draws its fault sites from a private RNG stream derived
-    /// from `(config.seed, trial_index)` ([`BitFlipInjector::for_trial`]), so
+    /// from `(config.seed, trial_index)` ([`crate::BitFlipInjector::for_trial`]), so
     /// the per-trial results — and therefore the whole campaign — are
     /// **bit-identical regardless of the number of worker threads**, including
     /// the fully serial path ([`Campaign::run_serial`]). This is pinned by the
@@ -164,10 +474,7 @@ impl<'a> Campaign<'a> {
     ///
     /// Returns configuration errors and propagates evaluation failures.
     pub fn run(&mut self, config: &CampaignConfig) -> Result<CampaignResult, FaultError> {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        self.run_with_threads(config, threads)
+        self.run_with_threads(config, default_threads())
     }
 
     /// Runs the campaign on the calling thread only; produces exactly the
@@ -192,74 +499,30 @@ impl<'a> Campaign<'a> {
         threads: usize,
     ) -> Result<CampaignResult, FaultError> {
         config.validate()?;
+        let sampler = StratifiedSampler::uniform(&self.map)?;
         let snapshot = self.network.snapshot();
         let fault_free_accuracy =
             self.network
                 .evaluate(self.inputs, self.targets, config.batch_size)?;
-        let threads = threads.clamp(1, config.trials);
-        let mut outcomes: Vec<Option<Result<(f32, u64), FaultError>>> =
-            (0..config.trials).map(|_| None).collect();
-        if threads <= 1 {
-            run_trials(
-                self.network,
-                &snapshot,
-                self.inputs,
-                self.targets,
-                &self.map,
-                config,
-                0,
-                &mut outcomes,
-            );
-            // `run_trials` restores after every trial, so the borrowed
-            // network ends the campaign in its pre-campaign state.
-        } else {
-            // Trial-level parallelism: each worker gets a private clone of the
-            // network (evaluation mutates layer caches) and a contiguous range
-            // of trial indices; outcome slots are disjoint `split_at_mut`
-            // chunks, so workers never synchronise until the final join.
-            let trials_per = config.trials.div_ceil(threads);
-            let network = &*self.network;
-            let (inputs, targets, map) = (self.inputs, self.targets, &self.map);
-            std::thread::scope(|scope| {
-                let mut remaining = outcomes.as_mut_slice();
-                let mut first_trial = 0usize;
-                while first_trial < config.trials {
-                    let count = trials_per.min(config.trials - first_trial);
-                    let (chunk, rest) = remaining.split_at_mut(count);
-                    remaining = rest;
-                    let mut worker_net = network.clone();
-                    let snapshot = &snapshot;
-                    let start = first_trial;
-                    scope.spawn(move || {
-                        // One campaign worker already occupies this core;
-                        // nested matmul fan-out would oversubscribe the
-                        // machine (results are thread-count-invariant either
-                        // way).
-                        fitact_tensor::matmul::serial_scope(|| {
-                            run_trials(
-                                &mut worker_net,
-                                snapshot,
-                                inputs,
-                                targets,
-                                map,
-                                config,
-                                start,
-                                chunk,
-                            );
-                        });
-                    });
-                    first_trial += count;
-                }
-            });
-        }
-        let mut accuracies = Vec::with_capacity(config.trials);
-        let mut total_faults = 0u64;
-        for outcome in outcomes {
-            let (accuracy, faults) =
-                outcome.expect("every trial index is covered by exactly one worker")?;
-            accuracies.push(accuracy);
-            total_faults += faults;
-        }
+        let specs: Vec<TrialSpec> = (0..config.trials)
+            .map(|index| TrialSpec { stratum: 0, index })
+            .collect();
+        let mut workers = spawn_worker_networks(self.network, threads, specs.len());
+        let records = execute_trials(
+            self.network,
+            &mut workers,
+            &snapshot,
+            self.inputs,
+            self.targets,
+            &sampler,
+            &TransientBitFlip,
+            config.fault_rate,
+            config.batch_size,
+            config.seed,
+            &specs,
+        )?;
+        let accuracies: Vec<f32> = records.iter().map(|r| r.accuracy).collect();
+        let total_faults = records.iter().map(|r| r.faults).sum();
         let stats = SampleStats::from_sample(&accuracies)
             .expect("trials is non-zero, so the sample is non-empty");
         Ok(CampaignResult {
@@ -270,39 +533,335 @@ impl<'a> Campaign<'a> {
             fault_rate: config.fault_rate,
         })
     }
+
+    /// Runs a statistical campaign with sequential early stopping: rounds of
+    /// `config.round_trials` parallel trials per stratum keep launching until
+    /// the pooled critical-SDC Wilson interval has half-width ≤ ε (converged)
+    /// or the trial budget is exhausted (the final round is truncated, so
+    /// `config.max_trials` is never exceeded).
+    ///
+    /// Like [`Campaign::run`], the report is bit-identical for a fixed seed
+    /// regardless of the worker-thread count, and the network is restored to
+    /// its pre-campaign state.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors (including the typed
+    /// [`FaultError::NonPositiveEpsilon`] / [`FaultError::EmptyStrata`] /
+    /// [`FaultError::EmptyStratum`]) and propagates evaluation failures.
+    pub fn run_until(
+        &mut self,
+        config: &StatCampaignConfig,
+        model: &dyn FaultModel,
+    ) -> Result<CampaignReport, FaultError> {
+        self.run_until_with_threads(config, model, default_threads())
+    }
+
+    /// [`Campaign::run_until`] with an explicit worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::run_until`].
+    pub fn run_until_with_threads(
+        &mut self,
+        config: &StatCampaignConfig,
+        model: &dyn FaultModel,
+        threads: usize,
+    ) -> Result<CampaignReport, FaultError> {
+        config.validate()?;
+        // Datapath models corrupt activation slots, whose labels are not
+        // parameter paths: a layer-restricted stratum cannot be honoured, and
+        // silently running whole-network corruption per "layer" would report
+        // a fictitious layer-vulnerability ranking.
+        if !model.uses_parameter_sites() {
+            if let Some(spec) = config.strata.iter().find(|s| s.path_prefix.is_some()) {
+                return Err(FaultError::InvalidConfig(format!(
+                    "fault model `{}` corrupts the datapath and cannot honour the layer \
+                     restriction of stratum `{}`; use bit-class strata without path prefixes",
+                    model.name(),
+                    spec.label
+                )));
+            }
+        }
+        let sampler = StratifiedSampler::new(&self.map, &config.strata)?;
+        let z = z_for_confidence(config.confidence);
+        let snapshot = self.network.snapshot();
+        let fault_free_accuracy =
+            self.network
+                .evaluate(self.inputs, self.targets, config.batch_size)?;
+
+        let num_strata = sampler.num_strata();
+        let round_size = config.round_trials * num_strata;
+        // Worker clones are expensive for large models; create them once and
+        // reuse them across every round (each trial restores the snapshot, so
+        // a worker network is interchangeable between rounds).
+        let mut workers = spawn_worker_networks(self.network, threads, round_size);
+        let mut accuracies: Vec<Vec<f32>> = vec![Vec::new(); num_strata];
+        let mut faults: Vec<u64> = vec![0; num_strata];
+        let mut rounds = 0usize;
+        let mut converged = false;
+        loop {
+            // One round: `round_trials` fresh trials per stratum, scheduled
+            // round-robin so truncation at the trial budget keeps the
+            // per-stratum allocation within one trial of equal.
+            let total_so_far: usize = accuracies.iter().map(Vec::len).sum();
+            let launch = round_size.min(config.max_trials - total_so_far);
+            let mut specs: Vec<TrialSpec> = Vec::with_capacity(launch);
+            'fill: for offset in 0..config.round_trials {
+                for (stratum, done) in accuracies.iter().enumerate() {
+                    if specs.len() == launch {
+                        break 'fill;
+                    }
+                    specs.push(TrialSpec {
+                        stratum,
+                        index: done.len() + offset,
+                    });
+                }
+            }
+            let records = execute_trials(
+                self.network,
+                &mut workers,
+                &snapshot,
+                self.inputs,
+                self.targets,
+                &sampler,
+                model,
+                config.fault_rate,
+                config.batch_size,
+                config.seed,
+                &specs,
+            )?;
+            for (spec, record) in specs.iter().zip(records) {
+                accuracies[spec.stratum].push(record.accuracy);
+                faults[spec.stratum] += record.faults;
+            }
+            rounds += 1;
+
+            let total: usize = accuracies.iter().map(Vec::len).sum();
+            let critical: u64 = accuracies
+                .iter()
+                .flatten()
+                .filter(|&&a| {
+                    TrialOutcome::classify(fault_free_accuracy, a, config.critical_threshold)
+                        == TrialOutcome::CriticalSdc
+                })
+                .count() as u64;
+            let half_width = WilsonInterval::new(critical, total as u64, z).half_width();
+            if total >= config.min_trials && half_width <= config.epsilon {
+                converged = true;
+                break;
+            }
+            if total >= config.max_trials {
+                break;
+            }
+        }
+
+        let strata = accuracies
+            .iter()
+            .enumerate()
+            .map(|(stratum, accs)| {
+                let mut masked = 0usize;
+                let mut tolerable = 0usize;
+                let mut critical = 0usize;
+                for &a in accs {
+                    match TrialOutcome::classify(fault_free_accuracy, a, config.critical_threshold)
+                    {
+                        TrialOutcome::Masked => masked += 1,
+                        TrialOutcome::TolerableSdc => tolerable += 1,
+                        TrialOutcome::CriticalSdc => critical += 1,
+                    }
+                }
+                let n = accs.len() as u64;
+                StratumReport {
+                    label: sampler.specs()[stratum].label.clone(),
+                    population_bits: sampler.population(stratum),
+                    accuracies: accs.clone(),
+                    masked,
+                    tolerable,
+                    critical,
+                    total_faults: faults[stratum],
+                    critical_ci: WilsonInterval::new(critical as u64, n, z),
+                    sdc_ci: WilsonInterval::new((tolerable + critical) as u64, n, z),
+                }
+            })
+            .collect();
+
+        Ok(CampaignReport {
+            fault_free_accuracy,
+            fault_rate: config.fault_rate,
+            model: model.name().to_owned(),
+            confidence: config.confidence,
+            epsilon: config.epsilon,
+            critical_threshold: config.critical_threshold,
+            rounds,
+            converged,
+            strata,
+        })
+    }
 }
 
-/// Executes trials `first_trial .. first_trial + outcomes.len()` on `network`,
-/// writing `(accuracy, fault_count)` per trial into `outcomes`.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Runs `specs` (in order) across `threads` workers and returns one record
+/// per spec, independent of the thread count.
 ///
-/// Each trial seeds its own injector from `(config.seed, trial_index)`, so the
-/// result of a trial depends only on its index — never on which worker ran it
-/// or what ran before it on the same network (the snapshot restore guarantees
-/// identical starting parameters).
+/// Clones the worker networks a campaign needs for `threads` threads over at
+/// most `max_batch` trials per batch: an empty vector for the serial path.
+///
+/// Workers are created once per campaign and reused across every trial batch
+/// — cloning a large model per round would dominate the campaign's cost.
+fn spawn_worker_networks(network: &Network, threads: usize, max_batch: usize) -> Vec<Network> {
+    let workers = threads.clamp(1, max_batch.max(1));
+    if workers <= 1 {
+        Vec::new()
+    } else {
+        (0..workers).map(|_| network.clone()).collect()
+    }
+}
+
+/// Workers each own a private clone of the network (evaluation mutates layer
+/// caches) and take a contiguous range of specs; record slots are disjoint
+/// `split_at_mut` chunks, so workers never synchronise until the final join.
+/// An empty `workers` slice selects the serial path on `network` itself.
+#[allow(clippy::too_many_arguments)]
+fn execute_trials(
+    network: &mut Network,
+    workers: &mut [Network],
+    snapshot: &[Tensor],
+    inputs: &Tensor,
+    targets: &[usize],
+    sampler: &StratifiedSampler,
+    model: &dyn FaultModel,
+    fault_rate: f64,
+    batch_size: usize,
+    seed: u64,
+    specs: &[TrialSpec],
+) -> Result<Vec<TrialRecord>, FaultError> {
+    let mut outcomes: Vec<Option<Result<TrialRecord, FaultError>>> =
+        specs.iter().map(|_| None).collect();
+    if workers.len() <= 1 || specs.len() <= 1 {
+        run_trials(
+            network,
+            snapshot,
+            inputs,
+            targets,
+            sampler,
+            model,
+            fault_rate,
+            batch_size,
+            seed,
+            specs,
+            &mut outcomes,
+        );
+        // `run_trials` restores after every trial, so the borrowed network
+        // ends the batch in its pre-campaign state.
+    } else {
+        let per_worker = specs.len().div_ceil(workers.len());
+        std::thread::scope(|scope| {
+            let mut remaining_outcomes = outcomes.as_mut_slice();
+            let mut remaining_specs = specs;
+            let mut remaining_workers = &mut workers[..];
+            while !remaining_specs.is_empty() {
+                let count = per_worker.min(remaining_specs.len());
+                let (chunk_specs, rest_specs) = remaining_specs.split_at(count);
+                let (chunk, rest) = remaining_outcomes.split_at_mut(count);
+                let (worker, rest_workers) = remaining_workers
+                    .split_first_mut()
+                    .expect("per-worker chunking never outruns the worker pool");
+                remaining_specs = rest_specs;
+                remaining_outcomes = rest;
+                remaining_workers = rest_workers;
+                scope.spawn(move || {
+                    // One campaign worker already occupies this core; nested
+                    // matmul fan-out would oversubscribe the machine (results
+                    // are thread-count-invariant either way).
+                    fitact_tensor::matmul::serial_scope(|| {
+                        run_trials(
+                            worker,
+                            snapshot,
+                            inputs,
+                            targets,
+                            sampler,
+                            model,
+                            fault_rate,
+                            batch_size,
+                            seed,
+                            chunk_specs,
+                            chunk,
+                        );
+                    });
+                });
+            }
+        });
+    }
+    let mut records = Vec::with_capacity(specs.len());
+    for outcome in outcomes {
+        records.push(outcome.expect("every spec is covered by exactly one worker")?);
+    }
+    Ok(records)
+}
+
+/// Executes the given trials on `network`, writing one record per spec.
+///
+/// Each trial seeds its own stream from `(seed, stratum, index)`, so the
+/// result of a trial depends only on its identity — never on which worker ran
+/// it or what ran before it on the same network (the snapshot restore
+/// guarantees identical starting parameters).
 #[allow(clippy::too_many_arguments)]
 fn run_trials(
     network: &mut Network,
     snapshot: &[Tensor],
     inputs: &Tensor,
     targets: &[usize],
-    map: &MemoryMap,
-    config: &CampaignConfig,
-    first_trial: usize,
-    outcomes: &mut [Option<Result<(f32, u64), FaultError>>],
+    sampler: &StratifiedSampler,
+    model: &dyn FaultModel,
+    fault_rate: f64,
+    batch_size: usize,
+    seed: u64,
+    specs: &[TrialSpec],
+    outcomes: &mut [Option<Result<TrialRecord, FaultError>>],
 ) {
-    for (offset, outcome) in outcomes.iter_mut().enumerate() {
-        let mut injector = BitFlipInjector::for_trial(config.seed, first_trial + offset);
-        let sites = injector.sample_sites(map, config.fault_rate);
-        let faults = sites.len() as u64;
-        injector.inject(network, &sites);
-        let result = network.evaluate(inputs, targets, config.batch_size);
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    for (spec, outcome) in specs.iter().zip(outcomes.iter_mut()) {
+        let mut rng = StdRng::seed_from_u64(trial_stream_seed(seed, spec.stratum, spec.index));
+        let sites = if model.uses_parameter_sites() {
+            sampler.sample(spec.stratum, fault_rate, &mut rng)
+        } else {
+            Vec::new()
+        };
+        // Datapath models wrap the activation slots; keep the originals so
+        // the trial can put them back (the parameter snapshot cannot).
+        let activation_backup = model.perturbs_activations().then(|| {
+            network
+                .activation_slots()
+                .into_iter()
+                .map(|slot| slot.activation().clone_box())
+                .collect::<Vec<_>>()
+        });
+        let ctx = TrialContext {
+            fault_rate,
+            bit_positions: sampler.bit_positions(spec.stratum),
+        };
+        let injection = model.inject(network, &sites, &ctx, &mut rng);
+        let result = network.evaluate(inputs, targets, batch_size);
+        let faults = injection.total();
         // Always restore, even if evaluation failed.
+        if let Some(backup) = activation_backup {
+            for (slot, original) in network.activation_slots().into_iter().zip(backup) {
+                slot.replace_activation(original);
+            }
+        }
         network
             .restore(snapshot)
             .expect("snapshot taken from the same network always restores");
         *outcome = Some(
             result
-                .map(|accuracy| (accuracy, faults))
+                .map(|accuracy| TrialRecord { accuracy, faults })
                 .map_err(FaultError::from),
         );
     }
@@ -312,6 +871,7 @@ fn run_trials(
 mod tests {
     use super::*;
     use crate::injector::quantize_network;
+    use crate::model::{ActivationBitFlip, MultiBitBurst, StuckAtFaultModel};
     use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
     use fitact_nn::loss::CrossEntropyLoss;
     use fitact_nn::optim::Sgd;
@@ -364,6 +924,106 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn stat_config_validation_uses_typed_errors() {
+        assert!(StatCampaignConfig::default().validate().is_ok());
+        assert!(matches!(
+            StatCampaignConfig {
+                epsilon: 0.0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(FaultError::NonPositiveEpsilon(e)) if e == 0.0
+        ));
+        assert!(matches!(
+            StatCampaignConfig {
+                epsilon: -0.5,
+                ..Default::default()
+            }
+            .validate(),
+            Err(FaultError::NonPositiveEpsilon(_))
+        ));
+        assert!(matches!(
+            StatCampaignConfig {
+                epsilon: f64::NAN,
+                ..Default::default()
+            }
+            .validate(),
+            Err(FaultError::NonPositiveEpsilon(_))
+        ));
+        assert!(matches!(
+            StatCampaignConfig {
+                strata: vec![],
+                ..Default::default()
+            }
+            .validate(),
+            Err(FaultError::EmptyStrata)
+        ));
+        let no_bits = StratumSpec {
+            label: "hollow".into(),
+            bit_classes: vec![],
+            path_prefix: None,
+        };
+        assert!(matches!(
+            StatCampaignConfig {
+                strata: vec![no_bits],
+                ..Default::default()
+            }
+            .validate(),
+            Err(FaultError::EmptyStratum(label)) if label == "hollow"
+        ));
+        for bad in [
+            StatCampaignConfig {
+                confidence: 1.0,
+                ..Default::default()
+            },
+            StatCampaignConfig {
+                critical_threshold: 2.0,
+                ..Default::default()
+            },
+            StatCampaignConfig {
+                fault_rate: -1.0,
+                ..Default::default()
+            },
+            StatCampaignConfig {
+                batch_size: 0,
+                ..Default::default()
+            },
+            StatCampaignConfig {
+                round_trials: 0,
+                ..Default::default()
+            },
+            StatCampaignConfig {
+                min_trials: 100,
+                max_trials: 10,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(bad.validate(), Err(FaultError::InvalidConfig(_))));
+        }
+    }
+
+    #[test]
+    fn zero_trial_result_reports_zero_mean_not_nan() {
+        let empty = CampaignResult {
+            accuracies: Vec::new(),
+            stats: SampleStats {
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                count: 0,
+            },
+            fault_free_accuracy: 0.9,
+            total_faults: 0,
+            fault_rate: 1e-6,
+        };
+        assert_eq!(empty.mean_accuracy(), 0.0);
+        assert!(!empty.mean_accuracy().is_nan());
     }
 
     #[test]
@@ -528,5 +1188,219 @@ mod tests {
             })
             .unwrap();
         assert_eq!(&long.accuracies[..3], &short.accuracies[..]);
+    }
+
+    /// The statistical config used by the `run_until` tests: aggressive rate,
+    /// small rounds, tight budget so the tests stay fast in debug builds.
+    fn stat_config() -> StatCampaignConfig {
+        StatCampaignConfig {
+            fault_rate: 2e-3,
+            batch_size: 64,
+            seed: 21,
+            epsilon: 0.08,
+            confidence: 0.95,
+            critical_threshold: 0.05,
+            round_trials: 4,
+            min_trials: 12,
+            max_trials: 96,
+            strata: StratumSpec::by_bit_class(),
+        }
+    }
+
+    #[test]
+    fn run_until_is_bit_identical_across_thread_counts() {
+        let (mut net, inputs, targets) = trained_setup();
+        let config = stat_config();
+        let serial = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_until_with_threads(&config, &TransientBitFlip, 1)
+            .unwrap();
+        for threads in [2, 3, 5, 16] {
+            let parallel = Campaign::new(&mut net, &inputs, &targets)
+                .unwrap()
+                .run_until_with_threads(&config, &TransientBitFlip, threads)
+                .unwrap();
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_until_restores_the_network_and_reports_every_stratum() {
+        let (mut net, inputs, targets) = trained_setup();
+        let before = net.snapshot();
+        let config = stat_config();
+        let report = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_until(&config, &TransientBitFlip)
+            .unwrap();
+        assert_eq!(net.snapshot(), before);
+        assert_eq!(report.strata.len(), 3);
+        assert_eq!(report.model, "bitflip");
+        assert!(report.total_trials() >= config.min_trials);
+        assert!(report.total_trials() <= config.max_trials);
+        assert!(report.rounds >= 1);
+        for stratum in &report.strata {
+            assert_eq!(
+                stratum.masked + stratum.tolerable + stratum.critical,
+                stratum.trials()
+            );
+            assert!(stratum.critical_ci.low <= stratum.critical_ci.high);
+            assert!(stratum.population_bits > 0);
+        }
+        assert!(report.stratum("exponent").is_some());
+        assert!(report.stratum("nonexistent").is_none());
+        // Pooled counts line up with the strata.
+        let pooled = report.pooled_critical();
+        assert_eq!(pooled.trials, report.total_trials() as u64);
+        assert!(report.pooled_sdc().successes >= pooled.successes);
+    }
+
+    #[test]
+    fn run_until_stops_early_when_the_answer_is_obvious() {
+        let (mut net, inputs, targets) = trained_setup();
+        // Zero fault rate: every trial is masked, the critical-SDC interval
+        // collapses as fast as Wilson allows, and the campaign must stop
+        // well short of the budget.
+        let config = StatCampaignConfig {
+            fault_rate: 0.0,
+            max_trials: 600,
+            ..stat_config()
+        };
+        let report = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_until(&config, &TransientBitFlip)
+            .unwrap();
+        assert!(report.converged);
+        assert!(
+            report.total_trials() < 120,
+            "expected early stop, ran {} trials",
+            report.total_trials()
+        );
+        assert_eq!(report.pooled_critical().successes, 0);
+        assert!(report.pooled_critical().half_width() <= config.epsilon);
+        for stratum in &report.strata {
+            assert_eq!(stratum.masked, stratum.trials());
+        }
+    }
+
+    #[test]
+    fn datapath_models_reject_layer_restricted_strata() {
+        let (mut net, inputs, targets) = trained_setup();
+        let map = MemoryMap::of_network(&net);
+        let config = StatCampaignConfig {
+            strata: StratumSpec::by_layer(&map),
+            ..stat_config()
+        };
+        let result = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_until(&config, &ActivationBitFlip);
+        assert!(
+            matches!(result, Err(FaultError::InvalidConfig(ref msg)) if msg.contains("datapath")),
+            "per-layer strata cannot be honoured by activation corruption"
+        );
+        // Bit-class strata (no path prefixes) remain fine.
+        let config = StatCampaignConfig {
+            max_trials: 12,
+            min_trials: 3,
+            round_trials: 1,
+            ..stat_config()
+        };
+        assert!(Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_until(&config, &ActivationBitFlip)
+            .is_ok());
+    }
+
+    #[test]
+    fn population_weighted_rate_discounts_small_strata() {
+        let (mut net, inputs, targets) = trained_setup();
+        let report = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_until(&stat_config(), &TransientBitFlip)
+            .unwrap();
+        let weighted = report.population_weighted_critical_rate();
+        assert!((0.0..=1.0).contains(&weighted));
+        // The weights are the strata's population shares: the estimate must
+        // lie inside the convex hull of the per-stratum rates.
+        let min = report
+            .strata
+            .iter()
+            .map(StratumReport::critical_rate)
+            .fold(f64::INFINITY, f64::min);
+        let max = report
+            .strata
+            .iter()
+            .map(StratumReport::critical_rate)
+            .fold(0.0, f64::max);
+        assert!(weighted >= min - 1e-12 && weighted <= max + 1e-12);
+    }
+
+    #[test]
+    fn run_until_gives_up_at_the_trial_budget() {
+        let (mut net, inputs, targets) = trained_setup();
+        // An unreachable ε with a tiny budget: the campaign must stop at the
+        // budget and say so.
+        let config = StatCampaignConfig {
+            epsilon: 1e-6,
+            min_trials: 4,
+            max_trials: 12,
+            ..stat_config()
+        };
+        let report = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_until(&config, &TransientBitFlip)
+            .unwrap();
+        assert!(!report.converged);
+        assert_eq!(report.total_trials(), 12);
+
+        // A budget that is not a multiple of the round size truncates the
+        // final round instead of overshooting, and round-robin scheduling
+        // keeps the per-stratum allocation within one trial of equal.
+        let config = StatCampaignConfig {
+            epsilon: 1e-6,
+            min_trials: 4,
+            max_trials: 10,
+            ..stat_config()
+        };
+        let report = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_until(&config, &TransientBitFlip)
+            .unwrap();
+        assert_eq!(report.total_trials(), 10);
+        let counts: Vec<usize> = report.strata.iter().map(StratumReport::trials).collect();
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "uneven stratum allocation: {counts:?}");
+    }
+
+    #[test]
+    fn every_fault_model_runs_through_the_statistical_engine() {
+        let (mut net, inputs, targets) = trained_setup();
+        let before = net.snapshot();
+        let config = StatCampaignConfig {
+            max_trials: 24,
+            min_trials: 6,
+            round_trials: 2,
+            ..stat_config()
+        };
+        let models: [&dyn FaultModel; 4] = [
+            &TransientBitFlip,
+            &MultiBitBurst { length: 4 },
+            &StuckAtFaultModel,
+            &ActivationBitFlip,
+        ];
+        for model in models {
+            let report = Campaign::new(&mut net, &inputs, &targets)
+                .unwrap()
+                .run_until(&config, model)
+                .unwrap();
+            assert_eq!(report.model, model.name());
+            assert!(report.total_trials() >= config.min_trials);
+            assert_eq!(net.snapshot(), before, "model {}", model.name());
+            for stratum in &report.strata {
+                for &a in &stratum.accuracies {
+                    assert!((0.0..=1.0).contains(&a), "model {}", model.name());
+                }
+            }
+        }
     }
 }

@@ -1,10 +1,11 @@
 //! Sampling and applying bit flips.
 
 use crate::map::MemoryMap;
+use crate::stats::sample_binomial;
 use fitact_nn::Network;
 use fitact_tensor::Fixed32;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// One bit flip: which parameter, which element, which bit of its Q15.16 word.
@@ -18,6 +19,39 @@ pub struct FaultSite {
     pub bit: u32,
 }
 
+/// XOR-flips the given bits of the network's stored parameter words.
+///
+/// Each targeted scalar is encoded to Q15.16, has the selected bit flipped,
+/// and is decoded back — exactly what a memory bit flip does to a fixed-point
+/// parameter word. Out-of-range elements are ignored. This is the primitive
+/// shared by [`BitFlipInjector`], [`crate::TransientBitFlip`] and
+/// [`crate::MultiBitBurst`].
+pub fn apply_bit_flips(network: &mut Network, sites: &[FaultSite]) {
+    if sites.is_empty() {
+        return;
+    }
+    // Group sites per parameter index for a single traversal.
+    let mut by_param: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
+    for site in sites {
+        by_param
+            .entry(site.param_index)
+            .or_default()
+            .push((site.element, site.bit));
+    }
+    let mut index = 0usize;
+    network.visit_params_mut(&mut |_, param| {
+        if let Some(flips) = by_param.get(&index) {
+            let data = param.data_mut().as_mut_slice();
+            for &(element, bit) in flips {
+                if let Some(value) = data.get_mut(element) {
+                    *value = Fixed32::from_f32(*value).with_bit_flipped(bit).to_f32();
+                }
+            }
+        }
+        index += 1;
+    });
+}
+
 /// Samples fault sites at a per-bit fault rate and applies them to a network.
 ///
 /// The number of faults per trial follows the binomial distribution
@@ -25,7 +59,9 @@ pub struct FaultSite {
 /// sampled exactly for small expected counts and through the normal
 /// approximation for large ones. Fault locations are uniform over the mapped
 /// bits, in line with the paper ("the fault space would be distributed
-/// uniformly over random locations in the target units").
+/// uniformly over random locations in the target units") — internally this is
+/// the degenerate single-stratum case of [`crate::StratifiedSampler`], which is also
+/// what stratified campaigns use per stratum.
 #[derive(Debug, Clone)]
 pub struct BitFlipInjector {
     rng: StdRng,
@@ -48,10 +84,7 @@ impl BitFlipInjector {
     /// trials on any number of threads, in any order, and stay bit-identical
     /// to a serial run.
     pub fn for_trial(seed: u64, trial: usize) -> Self {
-        let mut z = seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        BitFlipInjector::new(z ^ (z >> 31))
+        BitFlipInjector::new(crate::campaign::trial_stream_seed(seed, 0, trial))
     }
 
     /// Samples the number of bit flips for one trial.
@@ -59,63 +92,37 @@ impl BitFlipInjector {
         sample_binomial(&mut self.rng, total_bits, rate)
     }
 
-    /// Samples the fault sites for one trial at the given per-bit fault rate.
+    /// Samples the fault sites for one trial at the given per-bit fault rate,
+    /// uniformly over the mapped bits.
     ///
     /// Duplicate bit addresses are de-duplicated (flipping the same bit twice
     /// is a no-op), which matches the with-replacement approximation used by
-    /// fault-injection tools at these rates.
+    /// fault-injection tools at these rates. For sampling restricted to bit
+    /// classes or layers, build a [`crate::StratifiedSampler`]; this method samples
+    /// the same distribution as that sampler's single all-bits stratum, but
+    /// directly against the borrowed map so per-trial callers pay no
+    /// allocation for stratum resolution.
     pub fn sample_sites(&mut self, map: &MemoryMap, rate: f64) -> Vec<FaultSite> {
-        if map.is_empty() || rate <= 0.0 {
+        if map.is_empty() {
             return Vec::new();
         }
-        let count = self.sample_flip_count(map.total_bits(), rate);
-        let mut seen = std::collections::HashSet::with_capacity(count as usize);
-        let mut sites = Vec::with_capacity(count as usize);
-        for _ in 0..count {
-            let address = self.rng.gen_range(0..map.total_bits());
-            if !seen.insert(address) {
-                continue;
-            }
-            if let Some((param_index, element, bit)) = map.locate(address) {
-                sites.push(FaultSite {
-                    param_index,
-                    element,
-                    bit,
-                });
-            }
-        }
-        sites
+        crate::stats::sample_addresses(&mut self.rng, map.total_bits(), rate)
+            .into_iter()
+            .filter_map(|address| {
+                map.locate(address)
+                    .map(|(param_index, element, bit)| FaultSite {
+                        param_index,
+                        element,
+                        bit,
+                    })
+            })
+            .collect()
     }
 
-    /// Applies the given fault sites to the network's parameters.
-    ///
-    /// Each targeted scalar is encoded to Q15.16, has the selected bit
-    /// flipped, and is decoded back — exactly what a memory bit flip does to a
-    /// fixed-point parameter word.
+    /// Applies the given fault sites to the network's parameters (see
+    /// [`apply_bit_flips`]).
     pub fn inject(&self, network: &mut Network, sites: &[FaultSite]) {
-        if sites.is_empty() {
-            return;
-        }
-        // Group sites per parameter index for a single traversal.
-        let mut by_param: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
-        for site in sites {
-            by_param
-                .entry(site.param_index)
-                .or_default()
-                .push((site.element, site.bit));
-        }
-        let mut index = 0usize;
-        network.visit_params_mut(&mut |_, param| {
-            if let Some(flips) = by_param.get(&index) {
-                let data = param.data_mut().as_mut_slice();
-                for &(element, bit) in flips {
-                    if let Some(value) = data.get_mut(element) {
-                        *value = Fixed32::from_f32(*value).with_bit_flipped(bit).to_f32();
-                    }
-                }
-            }
-            index += 1;
-        });
+        apply_bit_flips(network, sites);
     }
 
     /// Samples and applies one trial's faults in a single call, returning the
@@ -140,45 +147,6 @@ pub fn quantize_network(network: &mut Network) {
     network.visit_params_mut(&mut |_, param| {
         fitact_tensor::fixed::quantize_slice_in_place(param.data_mut().as_mut_slice());
     });
-}
-
-/// Samples `Binomial(n, p)`.
-fn sample_binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
-    if n == 0 || p <= 0.0 {
-        return 0;
-    }
-    if p >= 1.0 {
-        return n;
-    }
-    let mean = n as f64 * p;
-    if mean < 30.0 {
-        // Exact-ish: Poisson-style inversion is biased for large p, but at the
-        // fault rates of interest (≤ 3e-5) p is tiny, so a Poisson sample with
-        // λ = np is the textbook approximation; clamp to n for safety.
-        let l = (-mean).exp();
-        let mut k = 0u64;
-        let mut acc = 1.0f64;
-        loop {
-            acc *= rng.gen::<f64>();
-            if acc <= l || k >= n {
-                break;
-            }
-            k += 1;
-        }
-        k.min(n)
-    } else {
-        // Normal approximation with continuity correction.
-        let std = (n as f64 * p * (1.0 - p)).sqrt();
-        let z = sample_standard_normal(rng);
-        let value = (mean + std * z).round();
-        value.clamp(0.0, n as f64) as u64
-    }
-}
-
-fn sample_standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]

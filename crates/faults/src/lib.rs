@@ -1,4 +1,5 @@
-//! Bit-flip fault injection into fixed-point DNN parameter memory.
+//! Fault injection and statistical resilience evaluation for fixed-point DNN
+//! parameter memory.
 //!
 //! The paper's fault model: model parameters (weights, biases, batch-norm
 //! statistics and activation-function bounds) are stored as 32-bit Q15.16
@@ -10,10 +11,20 @@
 //!
 //! * [`MemoryMap`] — the addressable parameter memory of a network (optionally
 //!   restricted to particular layers, as in the paper's Fig. 1 experiment),
-//! * [`BitFlipInjector`] — samples fault sites at a given fault rate and
-//!   applies them to a [`fitact_nn::Network`],
-//! * [`Campaign`] — runs repeated inject → evaluate → restore trials and
-//!   aggregates the accuracy distribution (paper Figs. 5 and 6),
+//! * [`FaultModel`] — the failure-mode taxonomy: transient parameter bit
+//!   flips ([`TransientBitFlip`]), multi-cell bursts ([`MultiBitBurst`]),
+//!   permanent stuck-at defects ([`StuckAtFaultModel`]) and datapath
+//!   activation-value flips ([`ActivationBitFlip`]),
+//! * [`StratifiedSampler`] / [`StratumSpec`] / [`BitClass`] — fault-site
+//!   sampling stratified by layer and by sign / exponent / mantissa bit
+//!   class,
+//! * [`Campaign`] — the trial engine: [`Campaign::run`] for fixed-count
+//!   campaigns (paper Figs. 5 and 6) and [`Campaign::run_until`] for
+//!   stratified campaigns with masked / tolerable-SDC / critical-SDC outcome
+//!   classification ([`TrialOutcome`]), per-stratum Wilson confidence
+//!   intervals ([`WilsonInterval`]) and sequential early stopping,
+//! * [`BitFlipInjector`] / [`StuckAtInjector`] — the low-level sample +
+//!   apply primitives,
 //! * [`quantize_network`] — rounds every stored parameter to its Q15.16
 //!   representation, so that the fault-free baseline and the faulty runs use
 //!   the same arithmetic.
@@ -44,12 +55,23 @@
 mod campaign;
 mod injector;
 mod map;
+mod model;
+mod stats;
+mod strata;
 mod stuck_at;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult};
-pub use injector::{quantize_network, BitFlipInjector, FaultSite};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignReport, CampaignResult, StatCampaignConfig, StratumReport,
+};
+pub use injector::{apply_bit_flips, quantize_network, BitFlipInjector, FaultSite};
 pub use map::{MemoryMap, ParamSpan};
-pub use stuck_at::{StuckAtFault, StuckAtInjector, StuckValue};
+pub use model::{
+    ActivationBitFlip, FaultModel, Injection, MultiBitBurst, StuckAtFaultModel, TransientBitFlip,
+    TrialContext,
+};
+pub use stats::{sample_binomial, z_for_confidence, TrialOutcome, WilsonInterval};
+pub use strata::{BitClass, StratifiedSampler, StratumSpec};
+pub use stuck_at::{apply_stuck_at, StuckAtFault, StuckAtInjector, StuckValue};
 
 use std::error::Error;
 use std::fmt;
@@ -63,6 +85,13 @@ pub enum FaultError {
     InvalidConfig(String),
     /// The memory map is empty (no parameters matched the layer filter).
     EmptyMemoryMap,
+    /// The early-stopping target ε was zero, negative or not finite.
+    NonPositiveEpsilon(f64),
+    /// A statistical campaign was configured with no stratum specs at all.
+    EmptyStrata,
+    /// A stratum spec selects no bits (no bit classes, or a layer prefix that
+    /// matches no mapped parameter); carries the stratum's label.
+    EmptyStratum(String),
 }
 
 impl fmt::Display for FaultError {
@@ -76,6 +105,21 @@ impl fmt::Display for FaultError {
                 write!(
                     f,
                     "memory map contains no parameters (layer filter matched nothing)"
+                )
+            }
+            FaultError::NonPositiveEpsilon(epsilon) => {
+                write!(
+                    f,
+                    "early-stopping target epsilon must be a positive finite half-width, got {epsilon}"
+                )
+            }
+            FaultError::EmptyStrata => {
+                write!(f, "statistical campaign configured with no stratum specs")
+            }
+            FaultError::EmptyStratum(label) => {
+                write!(
+                    f,
+                    "stratum `{label}` selects no bits (empty bit classes or unmatched layer prefix)"
                 )
             }
         }
@@ -114,6 +158,14 @@ mod tests {
             .is_empty());
         assert!(!FaultError::EmptyMemoryMap.to_string().is_empty());
         assert!(Error::source(&FaultError::EmptyMemoryMap).is_none());
+        assert!(FaultError::NonPositiveEpsilon(-0.5)
+            .to_string()
+            .contains("-0.5"));
+        assert!(FaultError::EmptyStratum("exp".into())
+            .to_string()
+            .contains("exp"));
+        assert!(!FaultError::EmptyStrata.to_string().is_empty());
+        assert!(Error::source(&FaultError::EmptyStrata).is_none());
     }
 
     #[test]

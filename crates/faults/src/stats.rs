@@ -1,0 +1,353 @@
+//! Campaign statistics: binomial fault-count sampling, Wilson score
+//! intervals and the per-trial outcome taxonomy.
+//!
+//! Fault-injection campaigns are Bernoulli experiments: each trial either
+//! exhibits an outcome (say, critical SDC) or it does not, so the campaign's
+//! job is to estimate a proportion. The Wilson score interval is the standard
+//! small-sample interval for that estimate — unlike the naive normal ("Wald")
+//! interval it never escapes `[0, 1]` and stays calibrated when the observed
+//! proportion is 0 or 1, which is exactly the regime low fault rates put us
+//! in (most trials are masked). Sequential early stopping
+//! ([`crate::Campaign::run_until`]) keeps adding trials until the interval's
+//! half-width drops below a target ε.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Wilson score confidence interval for a binomial proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilsonInterval {
+    /// Number of successes observed.
+    pub successes: u64,
+    /// Number of trials observed.
+    pub trials: u64,
+    /// Lower bound of the interval.
+    pub low: f64,
+    /// Upper bound of the interval.
+    pub high: f64,
+}
+
+impl WilsonInterval {
+    /// Computes the Wilson score interval for `successes` out of `trials`
+    /// with critical value `z` (e.g. 1.96 for 95% confidence).
+    ///
+    /// With zero trials nothing is known, so the interval is the full `[0, 1]`.
+    pub fn new(successes: u64, trials: u64, z: f64) -> Self {
+        debug_assert!(successes <= trials, "more successes than trials");
+        if trials == 0 {
+            return WilsonInterval {
+                successes,
+                trials,
+                low: 0.0,
+                high: 1.0,
+            };
+        }
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let margin = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        WilsonInterval {
+            successes,
+            trials,
+            low: (center - margin).max(0.0),
+            high: (center + margin).min(1.0),
+        }
+    }
+
+    /// The point estimate `successes / trials` (0 for an empty sample).
+    pub fn point(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Half the width of the interval — the campaign's convergence measure.
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.high - self.low)
+    }
+}
+
+/// Converts a two-sided confidence level (e.g. `0.95`) into the standard
+/// normal critical value `z` (e.g. `1.96`).
+///
+/// Uses Acklam's rational approximation of the inverse normal CDF (absolute
+/// error below 1.15e-9 — far below anything a Monte-Carlo campaign can
+/// resolve).
+///
+/// # Panics
+///
+/// Panics if `confidence` is not strictly inside `(0, 1)`; use
+/// [`crate::StatCampaignConfig::validate`] for a fallible check.
+pub fn z_for_confidence(confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence {confidence} outside (0, 1)"
+    );
+    // Two-sided: the tail on each side has mass (1 - c) / 2.
+    inverse_normal_cdf(0.5 + confidence / 2.0)
+}
+
+/// Acklam's inverse normal CDF approximation.
+fn inverse_normal_cdf(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    debug_assert!(p > 0.0 && p < 1.0);
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inverse_normal_cdf(1.0 - p)
+    }
+}
+
+/// The resilience taxonomy of one fault-injection trial.
+///
+/// Campaign outcomes follow the standard fault-injection classification: a
+/// trial whose top-1 accuracy does not drop below the fault-free baseline is
+/// **masked** (the corruption never reached the output, or the network
+/// absorbed it); a drop of at most the configured threshold is a **tolerable
+/// silent data corruption**; anything worse is a **critical SDC** — the
+/// failures FitAct's bounded activations are designed to remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrialOutcome {
+    /// No accuracy drop relative to the fault-free baseline.
+    Masked,
+    /// An accuracy drop within the configured tolerance.
+    TolerableSdc,
+    /// An accuracy drop beyond the configured tolerance.
+    CriticalSdc,
+}
+
+impl TrialOutcome {
+    /// Classifies one trial from its accuracy against the fault-free baseline
+    /// and the critical-drop threshold (a top-1 fraction, e.g. `0.05`).
+    pub fn classify(
+        fault_free_accuracy: f32,
+        trial_accuracy: f32,
+        critical_threshold: f32,
+    ) -> Self {
+        let drop = fault_free_accuracy - trial_accuracy;
+        if drop <= 0.0 {
+            TrialOutcome::Masked
+        } else if drop <= critical_threshold {
+            TrialOutcome::TolerableSdc
+        } else {
+            TrialOutcome::CriticalSdc
+        }
+    }
+
+    /// `true` for either SDC class.
+    pub fn is_sdc(self) -> bool {
+        matches!(self, TrialOutcome::TolerableSdc | TrialOutcome::CriticalSdc)
+    }
+}
+
+/// Samples one trial's fault-bit addresses over a population of `n` bits at
+/// per-bit rate `p`: a `Binomial(n, p)` count of uniform draws,
+/// de-duplicated (flipping the same bit twice is a no-op, matching the
+/// with-replacement approximation fault-injection tools use at these rates).
+///
+/// Every sampling path — the uniform injector, the stratified sampler and
+/// the datapath corrupter — draws through this one definition, which is what
+/// makes "a stratified campaign at rate `r` perturbs each stratum exactly as
+/// a uniform campaign at rate `r` would" literally true.
+pub fn sample_addresses(rng: &mut StdRng, population: u64, rate: f64) -> Vec<u64> {
+    if population == 0 || rate <= 0.0 {
+        return Vec::new();
+    }
+    let count = sample_binomial(rng, population, rate);
+    let mut seen = std::collections::HashSet::with_capacity(count as usize);
+    let mut addresses = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let address = rng.gen_range(0..population);
+        if seen.insert(address) {
+            addresses.push(address);
+        }
+    }
+    addresses
+}
+
+/// Arithmetic mean of a sample, or `0.0` for an empty one — the guard that
+/// keeps zero-trial campaign aggregates NaN-free.
+pub fn mean_or_zero(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// Samples `Binomial(n, p)` — the number of faults one trial injects when
+/// every one of `n` bits flips independently with probability `p`.
+///
+/// The count is sampled through Poisson inversion for small means (exact in
+/// the small-`p` regime the paper's fault rates live in) and through the
+/// normal approximation with continuity correction for large means; both
+/// branches clamp to `[0, n]`.
+pub fn sample_binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    if mean < 30.0 {
+        // Poisson inversion with λ = np; the Poisson approximation error is
+        // O(p) per draw, negligible at the fault rates of interest (≤ 3e-5).
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut acc = 1.0f64;
+        loop {
+            acc *= rng.gen::<f64>();
+            if acc <= l || k >= n {
+                break;
+            }
+            k += 1;
+        }
+        k.min(n)
+    } else {
+        let std = (n as f64 * p * (1.0 - p)).sqrt();
+        let z = sample_standard_normal(rng);
+        let value = (mean + std * z).round();
+        value.clamp(0.0, n as f64) as u64
+    }
+}
+
+/// Box–Muller standard normal draw.
+pub(crate) fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn z_values_match_the_textbook() {
+        assert!((z_for_confidence(0.95) - 1.959_964).abs() < 1e-4);
+        assert!((z_for_confidence(0.99) - 2.575_829).abs() < 1e-4);
+        assert!((z_for_confidence(0.90) - 1.644_854).abs() < 1e-4);
+        assert!((z_for_confidence(0.50) - 0.674_490).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn z_rejects_degenerate_confidence() {
+        let _ = z_for_confidence(1.0);
+    }
+
+    #[test]
+    fn wilson_interval_basic_properties() {
+        let z = z_for_confidence(0.95);
+        let ci = WilsonInterval::new(8, 100, z);
+        assert!(ci.low > 0.0 && ci.high < 1.0);
+        assert!(ci.low < ci.point() && ci.point() < ci.high);
+        assert!((ci.point() - 0.08).abs() < 1e-12);
+        // Textbook check: 8/100 at 95% gives roughly [0.041, 0.150].
+        assert!((ci.low - 0.041).abs() < 0.005, "low {}", ci.low);
+        assert!((ci.high - 0.150).abs() < 0.005, "high {}", ci.high);
+    }
+
+    #[test]
+    fn wilson_interval_stays_inside_unit_range_at_the_edges() {
+        let z = z_for_confidence(0.95);
+        let none = WilsonInterval::new(0, 50, z);
+        assert_eq!(none.low, 0.0);
+        assert!(none.high > 0.0 && none.high < 0.15);
+        let all = WilsonInterval::new(50, 50, z);
+        assert!(all.high <= 1.0 && all.high > 1.0 - 1e-9);
+        assert!(all.low > 0.85 && all.low < 1.0);
+    }
+
+    #[test]
+    fn wilson_half_width_shrinks_with_more_trials() {
+        let z = z_for_confidence(0.95);
+        let mut previous = f64::INFINITY;
+        for n in [10u64, 40, 160, 640, 2560] {
+            let hw = WilsonInterval::new(n / 10, n, z).half_width();
+            assert!(hw < previous, "n = {n}");
+            previous = hw;
+        }
+    }
+
+    #[test]
+    fn wilson_interval_with_zero_trials_is_vacuous() {
+        let ci = WilsonInterval::new(0, 0, 1.96);
+        assert_eq!((ci.low, ci.high), (0.0, 1.0));
+        assert_eq!(ci.point(), 0.0);
+        assert_eq!(ci.half_width(), 0.5);
+    }
+
+    #[test]
+    fn outcome_classification_thresholds() {
+        use TrialOutcome::*;
+        assert_eq!(TrialOutcome::classify(0.9, 0.9, 0.05), Masked);
+        assert_eq!(TrialOutcome::classify(0.9, 0.95, 0.05), Masked);
+        assert_eq!(TrialOutcome::classify(0.9, 0.87, 0.05), TolerableSdc);
+        assert_eq!(TrialOutcome::classify(0.9, 0.6, 0.05), CriticalSdc);
+        assert!(!Masked.is_sdc());
+        assert!(TolerableSdc.is_sdc());
+        assert!(CriticalSdc.is_sdc());
+    }
+
+    #[test]
+    fn mean_or_zero_handles_empty_samples() {
+        assert_eq!(mean_or_zero(&[]), 0.0);
+        assert_eq!(mean_or_zero(&[0.5]), 0.5);
+        assert!((mean_or_zero(&[0.25, 0.75]) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn binomial_edges_and_mean() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 1.0), 10);
+        let n = 1_000_000u64;
+        let rate = 1e-4;
+        let total: u64 = (0..200).map(|_| sample_binomial(&mut rng, n, rate)).sum();
+        let mean = total as f64 / 200.0;
+        assert!((mean - 100.0).abs() < 15.0, "mean {mean}");
+    }
+}

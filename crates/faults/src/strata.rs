@@ -1,0 +1,425 @@
+//! Stratified fault-site sampling by layer and bit-position class.
+//!
+//! Uniform sampling over the whole parameter memory (the paper's fault model)
+//! wastes most trials on bits that barely matter: FT-ClipAct's resilience
+//! analysis shows vulnerability is concentrated in the high-order ("exponent")
+//! bits and varies strongly across layers. A *stratified* campaign samples
+//! each trial's faults from one stratum — a (layer subset, bit-class subset)
+//! slice of the fault space — so the per-stratum SDC rates can be estimated
+//! with far fewer trials than a uniform campaign would need to resolve them.
+
+use crate::injector::FaultSite;
+use crate::map::MemoryMap;
+use crate::stats::sample_addresses;
+use crate::FaultError;
+use rand::rngs::StdRng;
+
+/// The resilience class of a bit position within a stored parameter word.
+///
+/// Parameters are stored as Q15.16 fixed point, so the classes map onto the
+/// word as: **sign** is bit 31, **exponent** covers the integer bits 16–30
+/// (the high-magnitude bits that play the role of a float's exponent field —
+/// flipping one changes the value by ±1 … ±16384), and **mantissa** covers
+/// the fraction bits 0–15 (a flip changes the value by at most ±0.5). The
+/// float-format names are kept because they are the vocabulary of the
+/// fault-injection literature this taxonomy reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitClass {
+    /// The sign bit (bit 31): a flip negates and wraps the value far across
+    /// the representable range.
+    Sign,
+    /// The integer bits (bits 16–30): high-magnitude corruption.
+    Exponent,
+    /// The fraction bits (bits 0–15): low-magnitude corruption.
+    Mantissa,
+}
+
+impl BitClass {
+    /// All classes, partitioning the 32-bit word.
+    pub const ALL: [BitClass; 3] = [BitClass::Sign, BitClass::Exponent, BitClass::Mantissa];
+
+    /// The bit positions belonging to this class (ascending).
+    pub fn bits(self) -> std::ops::Range<u32> {
+        match self {
+            BitClass::Mantissa => 0..16,
+            BitClass::Exponent => 16..31,
+            BitClass::Sign => 31..32,
+        }
+    }
+
+    /// The class a bit position belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    pub fn of(bit: u32) -> Self {
+        assert!(bit < 32, "bit index {bit} out of range for a 32-bit word");
+        match bit {
+            0..=15 => BitClass::Mantissa,
+            16..=30 => BitClass::Exponent,
+            _ => BitClass::Sign,
+        }
+    }
+
+    /// Short lowercase label (`"sign"`, `"exponent"`, `"mantissa"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BitClass::Sign => "sign",
+            BitClass::Exponent => "exponent",
+            BitClass::Mantissa => "mantissa",
+        }
+    }
+}
+
+/// One stratum of the fault space: a subset of layers crossed with a subset
+/// of bit-position classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumSpec {
+    /// Label used in reports (e.g. `"exponent"`, `"layer 0/"`).
+    pub label: String,
+    /// Bit classes included in the stratum. Must be non-empty.
+    pub bit_classes: Vec<BitClass>,
+    /// Restricts the stratum to parameters whose path starts with this
+    /// prefix; `None` includes every mapped layer.
+    pub path_prefix: Option<String>,
+}
+
+impl StratumSpec {
+    /// The whole fault space as a single stratum (uniform sampling).
+    pub fn all() -> Self {
+        StratumSpec {
+            label: "all".into(),
+            bit_classes: BitClass::ALL.to_vec(),
+            path_prefix: None,
+        }
+    }
+
+    /// One stratum per bit class over all layers — the FT-ClipAct-style
+    /// sign / exponent / mantissa decomposition.
+    pub fn by_bit_class() -> Vec<Self> {
+        BitClass::ALL
+            .iter()
+            .map(|&class| StratumSpec {
+                label: class.label().into(),
+                bit_classes: vec![class],
+                path_prefix: None,
+            })
+            .collect()
+    }
+
+    /// One stratum (all bit classes) per top-level layer of the map, in
+    /// traversal order — the layer-depth decomposition.
+    pub fn by_layer(map: &MemoryMap) -> Vec<Self> {
+        let mut specs: Vec<StratumSpec> = Vec::new();
+        for span in map.spans() {
+            let prefix = match span.path.split_once('/') {
+                Some((head, _)) => format!("{head}/"),
+                None => span.path.clone(),
+            };
+            if specs
+                .iter()
+                .any(|s| s.path_prefix.as_deref() == Some(&prefix))
+            {
+                continue;
+            }
+            specs.push(StratumSpec {
+                label: format!("layer {prefix}"),
+                bit_classes: BitClass::ALL.to_vec(),
+                path_prefix: Some(prefix),
+            });
+        }
+        specs
+    }
+
+    /// The sorted, de-duplicated bit positions this stratum draws from.
+    pub fn bit_positions(&self) -> Vec<u32> {
+        let mut bits: Vec<u32> = self.bit_classes.iter().flat_map(|c| c.bits()).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        bits
+    }
+}
+
+/// One stratum's resolved slice of a concrete [`MemoryMap`].
+#[derive(Debug, Clone)]
+struct ResolvedStratum {
+    /// Eligible bit positions within each word, ascending.
+    bits: Vec<u32>,
+    /// Indices into `map.spans()` of the parameter spans in the stratum,
+    /// paired with the stratum-local bit offset at which each span starts.
+    spans: Vec<(usize, u64)>,
+    /// Total number of bits in the stratum.
+    population: u64,
+}
+
+/// Samples fault sites stratified over a [`MemoryMap`].
+///
+/// Within a stratum, sites are uniform over the stratum's bit population;
+/// the per-trial fault *count* follows `Binomial(population, rate)`, exactly
+/// as the uniform sampler's count follows `Binomial(total_bits, rate)` — a
+/// stratified campaign at rate `r` therefore perturbs each stratum exactly as
+/// a uniform campaign at rate `r` would, just one stratum at a time.
+#[derive(Debug, Clone)]
+pub struct StratifiedSampler {
+    map: MemoryMap,
+    specs: Vec<StratumSpec>,
+    resolved: Vec<ResolvedStratum>,
+}
+
+impl StratifiedSampler {
+    /// Resolves `specs` against `map`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::EmptyStrata`] for an empty spec list and
+    /// [`FaultError::EmptyStratum`] for a spec with no bit classes or one
+    /// whose layer prefix matches no mapped parameter.
+    pub fn new(map: &MemoryMap, specs: &[StratumSpec]) -> Result<Self, FaultError> {
+        if specs.is_empty() {
+            return Err(FaultError::EmptyStrata);
+        }
+        let mut resolved = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let bits = spec.bit_positions();
+            if bits.is_empty() {
+                return Err(FaultError::EmptyStratum(spec.label.clone()));
+            }
+            let mut spans = Vec::new();
+            let mut population = 0u64;
+            for (span_index, span) in map.spans().iter().enumerate() {
+                let included = match &spec.path_prefix {
+                    Some(prefix) => span.path.starts_with(prefix.as_str()),
+                    None => true,
+                };
+                if !included {
+                    continue;
+                }
+                spans.push((span_index, population));
+                population += span.numel as u64 * bits.len() as u64;
+            }
+            if population == 0 {
+                return Err(FaultError::EmptyStratum(spec.label.clone()));
+            }
+            resolved.push(ResolvedStratum {
+                bits,
+                spans,
+                population,
+            });
+        }
+        Ok(StratifiedSampler {
+            map: map.clone(),
+            specs: specs.to_vec(),
+            resolved,
+        })
+    }
+
+    /// A single-stratum sampler over the whole map — the uniform fault model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::EmptyStratum`] if the map is empty.
+    pub fn uniform(map: &MemoryMap) -> Result<Self, FaultError> {
+        StratifiedSampler::new(map, &[StratumSpec::all()])
+    }
+
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.resolved.len()
+    }
+
+    /// The stratum specs the sampler was built from.
+    pub fn specs(&self) -> &[StratumSpec] {
+        &self.specs
+    }
+
+    /// Number of bits in stratum `stratum`.
+    pub fn population(&self, stratum: usize) -> u64 {
+        self.resolved[stratum].population
+    }
+
+    /// The eligible bit positions of stratum `stratum` (ascending).
+    pub fn bit_positions(&self, stratum: usize) -> &[u32] {
+        &self.resolved[stratum].bits
+    }
+
+    /// Samples one trial's fault sites from stratum `stratum` at per-bit rate
+    /// `rate`: the count is `Binomial(population, rate)`, the locations
+    /// uniform over the stratum, duplicates removed (flipping the same bit
+    /// twice is a no-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stratum` is out of range.
+    pub fn sample(&self, stratum: usize, rate: f64, rng: &mut StdRng) -> Vec<FaultSite> {
+        let resolved = &self.resolved[stratum];
+        sample_addresses(rng, resolved.population, rate)
+            .into_iter()
+            .map(|address| self.locate(resolved, address))
+            .collect()
+    }
+
+    /// Resolves a stratum-local bit address into a fault site.
+    fn locate(&self, resolved: &ResolvedStratum, address: u64) -> FaultSite {
+        debug_assert!(address < resolved.population);
+        // Spans are stored with ascending local offsets; binary search for
+        // the containing span, mirroring `MemoryMap::locate`.
+        let idx = match resolved
+            .spans
+            .binary_search_by(|&(_, offset)| offset.cmp(&address))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let (span_index, offset) = resolved.spans[idx];
+        let span = &self.map.spans()[span_index];
+        let local = address - offset;
+        let bits_per_word = resolved.bits.len() as u64;
+        let element = (local / bits_per_word) as usize;
+        let bit = resolved.bits[(local % bits_per_word) as usize];
+        debug_assert!(element < span.numel);
+        FaultSite {
+            param_index: span.param_index,
+            element,
+            bit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+    use fitact_nn::Network;
+    use rand::SeedableRng;
+
+    fn small_network() -> Network {
+        let mut rng = StdRng::seed_from_u64(0);
+        Network::new(
+            "mlp",
+            Sequential::new()
+                .with(Box::new(Linear::new(3, 2, &mut rng)))
+                .with(Box::new(ActivationLayer::relu("h", &[2])))
+                .with(Box::new(Linear::new(2, 2, &mut rng))),
+        )
+    }
+
+    #[test]
+    fn bit_classes_partition_the_word() {
+        let mut covered = [0u8; 32];
+        for class in BitClass::ALL {
+            for bit in class.bits() {
+                covered[bit as usize] += 1;
+                assert_eq!(BitClass::of(bit), class, "bit {bit}");
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "classes must partition");
+    }
+
+    #[test]
+    fn uniform_sampler_covers_the_whole_map() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let sampler = StratifiedSampler::uniform(&map).unwrap();
+        assert_eq!(sampler.num_strata(), 1);
+        assert_eq!(sampler.population(0), map.total_bits());
+        assert_eq!(sampler.bit_positions(0).len(), 32);
+    }
+
+    #[test]
+    fn bit_class_strata_split_the_population() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let specs = StratumSpec::by_bit_class();
+        let sampler = StratifiedSampler::new(&map, &specs).unwrap();
+        assert_eq!(sampler.num_strata(), 3);
+        let words = map.total_words();
+        assert_eq!(sampler.population(0), words); // sign: 1 bit/word
+        assert_eq!(sampler.population(1), words * 15); // exponent
+        assert_eq!(sampler.population(2), words * 16); // mantissa
+        let total: u64 = (0..3).map(|s| sampler.population(s)).sum();
+        assert_eq!(total, map.total_bits());
+    }
+
+    #[test]
+    fn layer_strata_cover_each_top_level_layer_once() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let specs = StratumSpec::by_layer(&map);
+        assert_eq!(specs.len(), 2, "two linear layers carry parameters");
+        assert_eq!(specs[0].path_prefix.as_deref(), Some("0/"));
+        assert_eq!(specs[1].path_prefix.as_deref(), Some("2/"));
+        let sampler = StratifiedSampler::new(&map, &specs).unwrap();
+        let total: u64 = (0..2).map(|s| sampler.population(s)).sum();
+        assert_eq!(total, map.total_bits());
+    }
+
+    #[test]
+    fn sampled_sites_respect_their_stratum() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let specs = StratumSpec::by_bit_class();
+        let sampler = StratifiedSampler::new(&map, &specs).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for (stratum, class) in BitClass::ALL.iter().enumerate() {
+            // An aggressive rate so every stratum produces sites.
+            let sites = sampler.sample(stratum, 0.5, &mut rng);
+            assert!(!sites.is_empty(), "stratum {stratum}");
+            for site in sites {
+                assert_eq!(BitClass::of(site.bit), *class);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_sites_respect_a_layer_prefix() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let spec = StratumSpec {
+            label: "first layer".into(),
+            bit_classes: BitClass::ALL.to_vec(),
+            path_prefix: Some("0/".into()),
+        };
+        let sampler = StratifiedSampler::new(&map, &[spec]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for site in sampler.sample(0, 0.5, &mut rng) {
+            assert!(site.param_index <= 1, "site {site:?} outside layer 0");
+        }
+    }
+
+    #[test]
+    fn empty_specs_and_unmatched_prefixes_are_typed_errors() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        assert!(matches!(
+            StratifiedSampler::new(&map, &[]),
+            Err(FaultError::EmptyStrata)
+        ));
+        let no_bits = StratumSpec {
+            label: "no bits".into(),
+            bit_classes: vec![],
+            path_prefix: None,
+        };
+        assert!(matches!(
+            StratifiedSampler::new(&map, &[no_bits]),
+            Err(FaultError::EmptyStratum(_))
+        ));
+        let bad_prefix = StratumSpec {
+            label: "ghost layer".into(),
+            bit_classes: BitClass::ALL.to_vec(),
+            path_prefix: Some("99/".into()),
+        };
+        assert!(matches!(
+            StratifiedSampler::new(&map, &[bad_prefix]),
+            Err(FaultError::EmptyStratum(_))
+        ));
+    }
+
+    #[test]
+    fn zero_rate_samples_nothing() {
+        let net = small_network();
+        let map = MemoryMap::of_network(&net);
+        let sampler = StratifiedSampler::uniform(&map).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sampler.sample(0, 0.0, &mut rng).is_empty());
+    }
+}

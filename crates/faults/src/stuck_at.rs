@@ -34,6 +34,44 @@ pub struct StuckAtFault {
     pub value: StuckValue,
 }
 
+/// Forces the stuck bits of a defect map onto the network's parameter words.
+///
+/// Every affected word is re-encoded with its stuck bits forced to their
+/// stuck values; unlike a transient flip, applying the same defect map twice
+/// is idempotent. Out-of-range elements are ignored. This is the primitive
+/// shared by [`StuckAtInjector`] and [`crate::StuckAtFaultModel`].
+pub fn apply_stuck_at(network: &mut Network, defects: &[StuckAtFault]) {
+    if defects.is_empty() {
+        return;
+    }
+    let mut by_param: HashMap<usize, Vec<&StuckAtFault>> = HashMap::new();
+    for defect in defects {
+        by_param
+            .entry(defect.site.param_index)
+            .or_default()
+            .push(defect);
+    }
+    let mut index = 0usize;
+    network.visit_params_mut(&mut |_, param| {
+        if let Some(faults) = by_param.get(&index) {
+            let data = param.data_mut().as_mut_slice();
+            for fault in faults {
+                if let Some(value) = data.get_mut(fault.site.element) {
+                    let word = Fixed32::from_f32(*value);
+                    let bits = word.bits();
+                    let mask = 1u32 << fault.site.bit;
+                    let stuck = match fault.value {
+                        StuckValue::One => bits | mask,
+                        StuckValue::Zero => bits & !mask,
+                    };
+                    *value = Fixed32::from_bits(stuck).to_f32();
+                }
+            }
+        }
+        index += 1;
+    });
+}
+
 /// Samples and applies permanent stuck-at faults.
 #[derive(Debug, Clone)]
 pub struct StuckAtInjector {
@@ -85,41 +123,9 @@ impl StuckAtInjector {
         defects
     }
 
-    /// Applies a defect map to the network: every affected word is re-encoded
-    /// with the stuck bits forced to their stuck values.
-    ///
-    /// Unlike a transient flip, applying the same defect map twice is
-    /// idempotent.
+    /// Applies a defect map to the network (see [`apply_stuck_at`]).
     pub fn apply(&self, network: &mut Network, defects: &[StuckAtFault]) {
-        if defects.is_empty() {
-            return;
-        }
-        let mut by_param: HashMap<usize, Vec<&StuckAtFault>> = HashMap::new();
-        for defect in defects {
-            by_param
-                .entry(defect.site.param_index)
-                .or_default()
-                .push(defect);
-        }
-        let mut index = 0usize;
-        network.visit_params_mut(&mut |_, param| {
-            if let Some(faults) = by_param.get(&index) {
-                let data = param.data_mut().as_mut_slice();
-                for fault in faults {
-                    if let Some(value) = data.get_mut(fault.site.element) {
-                        let word = Fixed32::from_f32(*value);
-                        let bits = word.bits();
-                        let mask = 1u32 << fault.site.bit;
-                        let stuck = match fault.value {
-                            StuckValue::One => bits | mask,
-                            StuckValue::Zero => bits & !mask,
-                        };
-                        *value = Fixed32::from_bits(stuck).to_f32();
-                    }
-                }
-            }
-            index += 1;
-        });
+        apply_stuck_at(network, defects);
     }
 
     /// Samples a defect map at `defect_rate` and applies it, returning the

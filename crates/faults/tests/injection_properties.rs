@@ -1,0 +1,172 @@
+//! Property tests for the injection invariants the campaign engine leans on:
+//! XOR involution of transient flips, idempotence of stuck-at defects, and
+//! in-range stratified site sampling.
+
+use fitact_faults::{
+    apply_bit_flips, apply_stuck_at, quantize_network, BitClass, BitFlipInjector, FaultSite,
+    MemoryMap, StratifiedSampler, StratumSpec, StuckAtFault, StuckValue,
+};
+use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+use fitact_nn::Network;
+use fitact_tensor::Fixed32;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_network(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::new(
+        "mlp",
+        Sequential::new()
+            .with(Box::new(Linear::new(5, 7, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h", &[7])))
+            .with(Box::new(Linear::new(7, 3, &mut rng))),
+    )
+}
+
+proptest! {
+    /// Flipping any bit of any Q15.16 word twice restores the original word
+    /// exactly — the XOR involution at the representation level, valid for
+    /// all 32 bits.
+    #[test]
+    fn bit_flip_is_an_involution_on_the_word(raw in any::<i32>(), bit in 0u32..32) {
+        let word = Fixed32::from_raw(raw);
+        prop_assert_eq!(word.with_bit_flipped(bit).with_bit_flipped(bit), word);
+    }
+
+    /// Injecting then re-injecting the same fault site restores the original
+    /// stored parameter, for every bit whose corrupted value still round-trips
+    /// exactly through the `f32` working representation (|raw| < 2^24, i.e.
+    /// bits up to the first integer bits of a quantised sub-unit weight).
+    #[test]
+    fn double_injection_restores_the_network(
+        seed in 0u64..500,
+        param_index in 0usize..4,
+        element in 0usize..3,
+        bit in 0u32..22,
+    ) {
+        let mut net = small_network(seed);
+        quantize_network(&mut net);
+        let before = net.snapshot();
+        let site = FaultSite { param_index, element, bit };
+        apply_bit_flips(&mut net, &[site]);
+        apply_bit_flips(&mut net, &[site]);
+        prop_assert_eq!(net.snapshot(), before);
+    }
+
+    /// Applying the same stuck-at defect map twice is the same as applying it
+    /// once, for any polarity and any bit — including the high bits, because
+    /// the second application re-encodes the exact value the first one
+    /// produced.
+    #[test]
+    fn stuck_at_is_idempotent(
+        seed in 0u64..500,
+        param_index in 0usize..4,
+        element in 0usize..3,
+        bit in 0u32..22,
+        one in any::<bool>(),
+    ) {
+        let mut net = small_network(seed);
+        quantize_network(&mut net);
+        let defect = StuckAtFault {
+            site: FaultSite { param_index, element, bit },
+            value: if one { StuckValue::One } else { StuckValue::Zero },
+        };
+        apply_stuck_at(&mut net, &[defect]);
+        let once = net.snapshot();
+        apply_stuck_at(&mut net, &[defect]);
+        prop_assert_eq!(net.snapshot(), once);
+    }
+
+    /// Every site the uniform injector samples is inside the memory map.
+    #[test]
+    fn uniform_sites_are_in_range(seed in 0u64..1000, rate in 1e-6f64..2e-2) {
+        let net = small_network(seed);
+        let map = MemoryMap::of_network(&net);
+        let info = net.param_info();
+        let mut injector = BitFlipInjector::new(seed);
+        for site in injector.sample_sites(&map, rate) {
+            prop_assert!(site.param_index < info.len());
+            prop_assert!(site.element < info[site.param_index].numel);
+            prop_assert!(site.bit < 32);
+        }
+    }
+
+    /// Every site a stratified sampler draws is inside the memory map AND
+    /// inside its stratum: the right bit class and the right layer prefix.
+    #[test]
+    fn stratified_sites_stay_inside_their_stratum(
+        seed in 0u64..1000,
+        rate in 1e-4f64..5e-2,
+        stratum in 0usize..3,
+    ) {
+        let net = small_network(seed);
+        let map = MemoryMap::of_network(&net);
+        let info = net.param_info();
+        let sampler = StratifiedSampler::new(&map, &StratumSpec::by_bit_class()).unwrap();
+        let class = BitClass::ALL[stratum];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for site in sampler.sample(stratum, rate, &mut rng) {
+            prop_assert!(site.param_index < info.len());
+            prop_assert!(site.element < info[site.param_index].numel);
+            prop_assert_eq!(BitClass::of(site.bit), class);
+        }
+        // Layer strata: sites stay inside their layer's parameter spans.
+        let layered = StratifiedSampler::new(&map, &StratumSpec::by_layer(&map)).unwrap();
+        for site in layered.sample(0, rate, &mut rng) {
+            prop_assert!(info[site.param_index].path.starts_with("0/"));
+        }
+    }
+
+    /// De-duplicated sampling never returns the same bit address twice in one
+    /// trial, so "number of sites" really is "number of flipped bits".
+    #[test]
+    fn sampled_sites_are_unique(seed in 0u64..500, rate in 1e-3f64..5e-2) {
+        let net = small_network(seed);
+        let map = MemoryMap::of_network(&net);
+        let mut injector = BitFlipInjector::new(seed);
+        let sites = injector.sample_sites(&map, rate);
+        let unique: std::collections::HashSet<_> = sites.iter().collect();
+        prop_assert_eq!(unique.len(), sites.len());
+    }
+
+    /// Injecting a batch of distinct sites flips exactly that many bits: the
+    /// XOR of each stored word before/after has one set bit per site in it.
+    #[test]
+    fn injection_flips_exactly_the_sampled_bits(seed in 0u64..300, rate in 1e-3f64..2e-2) {
+        let mut net = small_network(seed);
+        quantize_network(&mut net);
+        let map = MemoryMap::of_network(&net);
+        let before = net.snapshot();
+        let mut injector = BitFlipInjector::new(seed ^ 0x5A5A);
+        let sites = injector.sample_sites(&map, rate);
+        // Restrict to low bits so every corrupted word still round-trips
+        // exactly through f32 (see `double_injection_restores_the_network`).
+        let sites: Vec<FaultSite> = sites.into_iter().filter(|s| s.bit < 22).collect();
+        apply_bit_flips(&mut net, &sites);
+        let after = net.snapshot();
+        let mut flipped = 0u32;
+        for (b, a) in before.iter().zip(&after) {
+            for (x, y) in b.as_slice().iter().zip(a.as_slice()) {
+                let diff = Fixed32::from_f32(*x).bits() ^ Fixed32::from_f32(*y).bits();
+                flipped += diff.count_ones();
+            }
+        }
+        prop_assert_eq!(flipped as usize, sites.len());
+    }
+}
+
+/// A deterministic companion to the involution property: the bits excluded
+/// above (high integer + sign) are exact at the word level even though the
+/// f32 round trip may lose their low-order information.
+#[test]
+fn high_bit_involution_holds_at_the_word_level() {
+    let mut rng = StdRng::seed_from_u64(0);
+    for _ in 0..1000 {
+        let raw: i32 = rng.gen();
+        let word = Fixed32::from_raw(raw);
+        for bit in 22..32 {
+            assert_eq!(word.with_bit_flipped(bit).with_bit_flipped(bit), word);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Integration test of the statistical fault-campaign engine on the CNN
+//! pipeline model: stratified sampling by bit class, outcome classification,
+//! Wilson confidence intervals and sequential early stopping.
+//!
+//! This is the demo campaign of the statistical subsystem: it shows that (a)
+//! the sequential stopping rule reaches the target precision with far fewer
+//! trials than the fixed-count budget a worst-case-variance design needs, and
+//! (b) the stratified report reproduces the qualitative finding of the
+//! resilience literature — exponent-bit flips are far more dangerous than
+//! mantissa-bit flips.
+
+use fitact::{FitAct, FitActConfig};
+use fitact_data::{materialize, SyntheticCifar};
+use fitact_faults::{
+    quantize_network, z_for_confidence, Campaign, MemoryMap, StatCampaignConfig, StratumSpec,
+    TransientBitFlip,
+};
+use fitact_nn::models::{alexnet, ModelConfig};
+use fitact_nn::Network;
+use fitact_tensor::Tensor;
+
+/// The briefly-trained, quantised tiny AlexNet used by the CNN pipeline
+/// tests, plus its evaluation set.
+fn trained_cnn() -> (Network, Tensor, Vec<usize>) {
+    let train = SyntheticCifar::train(10, 160, 33);
+    let test = SyntheticCifar::test(10, 80, 33);
+    let (train_x, train_y) = materialize(&train).unwrap();
+    let (test_x, test_y) = materialize(&test).unwrap();
+    let mut net = alexnet(
+        &ModelConfig::new(10)
+            .with_width(0.0626)
+            .with_seed(7)
+            .with_dropout(0.1),
+    )
+    .unwrap();
+    let fitact = FitAct::new(FitActConfig {
+        batch_size: 20,
+        ..Default::default()
+    });
+    fitact
+        .train_for_accuracy(&mut net, &train_x, &train_y, 4, 0.05)
+        .unwrap();
+    quantize_network(&mut net);
+    (net, test_x, test_y)
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "hundreds of CNN evaluations; run with --release (the CI release-test job does)"
+)]
+fn stratified_campaign_converges_early_and_ranks_bit_classes() {
+    let (mut net, test_x, test_y) = trained_cnn();
+    let baseline = net.evaluate(&test_x, &test_y, 40).unwrap();
+    assert!(
+        baseline > 0.15,
+        "baseline {baseline} should beat 10% chance"
+    );
+
+    // Aim for ~0.5 expected exponent-bit flips per trial: most trials are
+    // masked, a visible minority are critical — the lopsided regime early
+    // stopping is designed to exploit.
+    let words = MemoryMap::of_network(&net).total_words();
+    let fault_rate = 0.5 / (words as f64 * 15.0);
+
+    let epsilon = 0.02;
+    let confidence = 0.95;
+    let config = StatCampaignConfig {
+        fault_rate,
+        batch_size: 40,
+        seed: 2024,
+        epsilon,
+        confidence,
+        critical_threshold: 0.1,
+        round_trials: 12,
+        min_trials: 90,
+        max_trials: 2500,
+        strata: StratumSpec::by_bit_class(),
+    };
+    let report = Campaign::new(&mut net, &test_x, &test_y)
+        .unwrap()
+        .run_until(&config, &TransientBitFlip)
+        .unwrap();
+
+    // The campaign reached the 95% Wilson half-width target on the pooled
+    // critical-SDC rate ...
+    assert!(
+        report.converged,
+        "campaign should converge within the budget"
+    );
+    let pooled = report.pooled_critical();
+    assert!(
+        pooled.half_width() <= epsilon,
+        "pooled critical-SDC CI half-width {} exceeds ε {epsilon}",
+        pooled.half_width()
+    );
+
+    // ... with measurably fewer trials than a fixed-count design: without
+    // sequential stopping, guaranteeing half-width ≤ ε for *any* outcome rate
+    // requires budgeting the worst case p = 1/2, i.e. about z²/(4ε²) trials.
+    let z = z_for_confidence(confidence);
+    let fixed_count_baseline = (z * z / (4.0 * epsilon * epsilon)).ceil() as usize; // ≈ 2401
+    assert!(
+        report.total_trials() * 2 < fixed_count_baseline,
+        "adaptive campaign used {} trials, not measurably fewer than the {} \
+         of the fixed-count baseline",
+        report.total_trials(),
+        fixed_count_baseline
+    );
+
+    eprintln!(
+        "[campaign_statistics] converged in {} trials / {} rounds (fixed-count baseline {}), \
+         pooled critical-SDC {:.3} ∈ [{:.3}, {:.3}]",
+        report.total_trials(),
+        report.rounds,
+        fixed_count_baseline,
+        pooled.point(),
+        pooled.low,
+        pooled.high
+    );
+
+    // Per-stratum bookkeeping is consistent.
+    assert_eq!(report.strata.len(), 3);
+    for stratum in &report.strata {
+        assert_eq!(
+            stratum.masked + stratum.tolerable + stratum.critical,
+            stratum.trials(),
+            "stratum {}",
+            stratum.label
+        );
+        assert!(stratum.trials() >= config.min_trials / 3);
+        assert!(stratum.critical_ci.low <= stratum.critical_ci.high);
+    }
+
+    // The headline stratified finding: exponent-bit flips are more critical
+    // than mantissa-bit flips (FT-ClipAct's vulnerability analysis).
+    let exponent = report.stratum("exponent").unwrap();
+    let mantissa = report.stratum("mantissa").unwrap();
+    assert!(
+        exponent.critical > mantissa.critical,
+        "exponent flips ({} critical of {}) should dominate mantissa flips \
+         ({} critical of {})",
+        exponent.critical,
+        exponent.trials(),
+        mantissa.critical,
+        mantissa.trials()
+    );
+    assert!(
+        exponent.critical_rate() > mantissa.critical_rate(),
+        "exponent critical rate {} vs mantissa {}",
+        exponent.critical_rate(),
+        mantissa.critical_rate()
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "three CNN campaigns back to back; run with --release (the CI release-test job does)"
+)]
+fn statistical_campaign_is_deterministic_across_thread_counts_on_the_cnn() {
+    let (mut net, test_x, test_y) = trained_cnn();
+    let words = MemoryMap::of_network(&net).total_words();
+    // A loose ε and tight budget keep this regression test fast: what it pins
+    // is bit-identity of the early-stopped stratified path across worker
+    // counts, extending the fixed-count pinning tests to `run_until`.
+    let config = StatCampaignConfig {
+        fault_rate: 0.2 / (words as f64 * 15.0),
+        batch_size: 40,
+        seed: 7,
+        epsilon: 0.12,
+        round_trials: 4,
+        min_trials: 12,
+        max_trials: 36,
+        ..Default::default()
+    };
+    let serial = Campaign::new(&mut net, &test_x, &test_y)
+        .unwrap()
+        .run_until_with_threads(&config, &TransientBitFlip, 1)
+        .unwrap();
+    for threads in [2, 5] {
+        let parallel = Campaign::new(&mut net, &test_x, &test_y)
+            .unwrap()
+            .run_until_with_threads(&config, &TransientBitFlip, threads)
+            .unwrap();
+        assert_eq!(parallel, serial, "threads = {threads}");
+    }
+}

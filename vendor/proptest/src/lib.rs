@@ -131,8 +131,8 @@ pub fn run_cases(config: ProptestConfig, mut body: impl FnMut(&mut StdRng, u32))
 /// Everything a property-test module needs.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
-        TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
     };
     pub mod prop {}
 }
@@ -185,6 +185,20 @@ macro_rules! prop_assert {
     ($cond:expr, $($fmt:tt)*) => {
         if !($cond) {
             return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Discards the current case when the precondition does not hold.
+///
+/// Unlike upstream proptest the shim does not resample a replacement case —
+/// the case simply passes vacuously — so keep assumptions loose enough that
+/// a healthy fraction of cases survives.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
         }
     };
 }
