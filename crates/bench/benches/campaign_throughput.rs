@@ -2,23 +2,35 @@
 //!
 //! The Monte-Carlo campaigns behind the paper's Figs. 5–6 run thousands of
 //! inject → evaluate → restore trials; this bench measures trials/second of
-//! the serial path against the trial-parallel path at the machine's core
-//! count, on the same small quantised MLP the campaign tests use. The two
-//! paths produce bit-identical results (pinned by
-//! `parallel_campaign_matches_serial_bit_for_bit`), so any gap is pure
-//! scheduling overhead or speedup.
+//! the serial path against the trial-parallel path on a small quantised MLP,
+//! and — the headline case — the full-forward trial engine against the
+//! checkpoint-resumed engine on the CNN demo network (a width-scaled
+//! AlexNet), where resumed trials skip the convolutional prefix whenever
+//! their faults land in the parameter-heavy late layers. All compared paths
+//! produce bit-identical results (pinned by the `checkpoint_identity`
+//! suite), so any gap is pure scheduling overhead or speedup.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! engine comparison to `BENCH_campaign.json` at the workspace root
+//! (median-of-3 wall-clock per engine plus the measured speedup), so the
+//! campaign-throughput trajectory is tracked across commits. Run with
+//! `cargo bench -- --test` for the CI smoke mode: every case executes once,
+//! untimed, and the JSON is still emitted (flagged as a smoke run).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use fitact_faults::{
-    quantize_network, Campaign, CampaignConfig, StatCampaignConfig, StratumSpec, TransientBitFlip,
+    quantize_network, Campaign, CampaignConfig, CampaignResult, StatCampaignConfig, StratumSpec,
+    TransientBitFlip, TrialEngine,
 };
 use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
 use fitact_nn::loss::CrossEntropyLoss;
+use fitact_nn::models::{alexnet, ModelConfig};
 use fitact_nn::optim::Sgd;
 use fitact_nn::Network;
 use fitact_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// A small trained, quantised MLP plus its evaluation set.
 fn trained_setup() -> (Network, Tensor, Vec<usize>) {
@@ -43,6 +55,44 @@ fn trained_setup() -> (Network, Tensor, Vec<usize>) {
     }
     quantize_network(&mut net);
     (net, inputs, targets)
+}
+
+/// The CNN demo: a width-scaled quantised AlexNet on synthetic CIFAR-shaped
+/// inputs. Most parameters sit in the late fully-connected layers, so at
+/// realistic fault rates most trials resume deep in the network.
+fn cnn_demo() -> (Network, Tensor, Vec<usize>) {
+    let mut net = alexnet(&ModelConfig::new(10).with_width(0.0626).with_seed(7))
+        .expect("alexnet builds at tiny width");
+    quantize_network(&mut net);
+    let mut rng = StdRng::seed_from_u64(9);
+    let inputs = init::uniform(&[64, 3, 32, 32], -1.0, 1.0, &mut rng);
+    let targets: Vec<usize> = (0..64).map(|i| i % 10).collect();
+    (net, inputs, targets)
+}
+
+/// The fixed-count configuration of the engine-comparison case: a paper-scale
+/// fault rate (~1.6 expected flips per trial on the tiny AlexNet), so resume
+/// depth follows the parameter-mass distribution.
+fn cnn_config() -> CampaignConfig {
+    CampaignConfig {
+        fault_rate: 1e-6,
+        trials: 32,
+        batch_size: 32,
+        seed: 42,
+    }
+}
+
+fn run_cnn_campaign(
+    net: &mut Network,
+    inputs: &Tensor,
+    targets: &[usize],
+    engine: TrialEngine,
+) -> CampaignResult {
+    Campaign::new(net, inputs, targets)
+        .expect("campaign builds")
+        .with_engine(engine)
+        .run_serial(&cnn_config())
+        .expect("campaign runs")
 }
 
 fn bench_campaign(c: &mut Criterion) {
@@ -109,5 +159,95 @@ fn bench_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign);
-criterion_main!(benches);
+/// Full-forward vs checkpoint-resumed trial engines on the CNN demo.
+fn bench_cnn_engines(c: &mut Criterion) {
+    let (mut net, inputs, targets) = cnn_demo();
+    let mut group = c.benchmark_group("campaign_cnn");
+    group.sample_size(10);
+    for (label, engine) in [
+        ("full_forward", TrialEngine::FullForward),
+        ("checkpoint_resumed", TrialEngine::CheckpointResumed),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, cnn_config().trials),
+            &(),
+            |b, ()| {
+                b.iter(|| run_cnn_campaign(&mut net, &inputs, &targets, engine));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Times one serial CNN campaign per engine (median of `reps`), checks trial
+/// bit-identity, and writes the comparison to `BENCH_campaign.json` at the
+/// workspace root.
+fn emit_campaign_json(smoke: bool) {
+    let (mut net, inputs, targets) = cnn_demo();
+    let reps = if smoke { 1 } else { 3 };
+    let mut time_engine = |engine: TrialEngine| -> (f64, CampaignResult) {
+        let mut seconds = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let result = run_cnn_campaign(&mut net, &inputs, &targets, engine);
+            seconds.push(start.elapsed().as_secs_f64());
+            last = Some(result);
+        }
+        seconds.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        (seconds[seconds.len() / 2], last.expect("reps >= 1"))
+    };
+    let (full_seconds, full_result) = time_engine(TrialEngine::FullForward);
+    let (resumed_seconds, resumed_result) = time_engine(TrialEngine::CheckpointResumed);
+    let bit_identical = full_result.accuracies == resumed_result.accuracies
+        && full_result.fault_free_accuracy == resumed_result.fault_free_accuracy
+        && full_result.total_faults == resumed_result.total_faults;
+    assert!(
+        bit_identical,
+        "engine comparison must be bit-identical before its timing means anything"
+    );
+    let config = cnn_config();
+    let speedup = full_seconds / resumed_seconds.max(1e-12);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"campaign_throughput\",\n",
+            "  \"case\": \"full_forward_vs_checkpoint_resumed\",\n",
+            "  \"network\": \"alexnet-tiny (CNN demo)\",\n",
+            "  \"eval_samples\": {eval},\n",
+            "  \"trials\": {trials},\n",
+            "  \"fault_rate\": {rate:e},\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"full_forward_seconds\": {full:.6},\n",
+            "  \"checkpoint_resumed_seconds\": {resumed:.6},\n",
+            "  \"speedup\": {speedup:.3},\n",
+            "  \"bit_identical\": {ident}\n",
+            "}}\n"
+        ),
+        eval = targets.len(),
+        trials = config.trials,
+        rate = config.fault_rate,
+        smoke = smoke,
+        full = full_seconds,
+        resumed = resumed_seconds,
+        speedup = speedup,
+        ident = bit_identical,
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_campaign.json");
+    std::fs::write(&path, &json).expect("BENCH_campaign.json is writable");
+    println!(
+        "campaign_cnn engines: full {full_seconds:.3}s vs resumed {resumed_seconds:.3}s \
+         ({speedup:.2}x) -> {}",
+        path.display()
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--test");
+    let mut criterion = Criterion::default();
+    bench_campaign(&mut criterion);
+    bench_cnn_engines(&mut criterion);
+    emit_campaign_json(smoke);
+}

@@ -193,7 +193,9 @@ impl ResilientModel {
 /// after every trial. The campaign stops as soon as the pooled critical-SDC
 /// interval is tighter than `config.epsilon` (sequential early stopping), so
 /// this is the cheap way to compare schemes: ask for the precision you need
-/// instead of budgeting worst-case trials.
+/// instead of budgeting worst-case trials. Trials run on the default
+/// checkpoint-resumed engine: the fault-free activations are cached once and
+/// each trial re-executes only the network suffix its faults can reach.
 ///
 /// # Errors
 ///

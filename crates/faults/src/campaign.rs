@@ -12,7 +12,14 @@
 //!   when the answer is lopsided — which low fault rates make the common
 //!   case — typical campaigns stop at a fraction of the fixed budget a
 //!   worst-case-variance design would need.
+//!
+//! Under the default [`TrialEngine::CheckpointResumed`] engine both stopping
+//! rules evaluate trials from cached clean layer activations
+//! ([`CheckpointCache`]): the fault-free forward runs once per campaign and
+//! each trial re-executes only the layers downstream of its faults,
+//! bit-identically to the full-forward engine.
 
+use crate::checkpoint::{CheckpointCache, ResumePlan};
 use crate::map::MemoryMap;
 use crate::model::{FaultModel, TransientBitFlip, TrialContext};
 use crate::stats::{z_for_confidence, TrialOutcome, WilsonInterval};
@@ -375,6 +382,26 @@ impl CampaignReport {
     }
 }
 
+/// How campaign trials evaluate the faulted network.
+///
+/// Both engines produce **bit-identical** results for every fault model and
+/// thread count (pinned by the `checkpoint_identity` suite); they differ only
+/// in cost. The resumed engine is the default; the full-forward engine
+/// remains for verification and as the baseline of the
+/// `campaign_throughput` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrialEngine {
+    /// Snapshot the clean activation at every top-level layer boundary once
+    /// per campaign ([`CheckpointCache`]), then re-execute only the suffix of
+    /// the network downstream of each trial's faults:
+    /// `O(depth + trials × suffix)` layer executions.
+    #[default]
+    CheckpointResumed,
+    /// Re-run the full forward pass over the evaluation set for every trial:
+    /// `O(trials × depth)` layer executions.
+    FullForward,
+}
+
 /// Identity of one trial: which stratum it samples and its index within that
 /// stratum's stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -398,6 +425,7 @@ pub struct Campaign<'a> {
     inputs: &'a Tensor,
     targets: &'a [usize],
     map: MemoryMap,
+    engine: TrialEngine,
 }
 
 impl<'a> Campaign<'a> {
@@ -447,12 +475,52 @@ impl<'a> Campaign<'a> {
             inputs,
             targets,
             map,
+            engine: TrialEngine::default(),
         })
     }
 
     /// The memory map the campaign injects into.
     pub fn memory_map(&self) -> &MemoryMap {
         &self.map
+    }
+
+    /// Selects the trial-evaluation engine (defaults to
+    /// [`TrialEngine::CheckpointResumed`]); results are bit-identical either
+    /// way.
+    #[must_use]
+    pub fn with_engine(mut self, engine: TrialEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The trial-evaluation engine the campaign will use.
+    pub fn engine(&self) -> TrialEngine {
+        self.engine
+    }
+
+    /// Establishes the campaign baseline once: under the resumed engine, one
+    /// fault-free forward both snapshots the layer-boundary checkpoints and
+    /// yields the baseline accuracy (and clean per-sample labels); under the
+    /// full-forward engine the baseline is a plain evaluation.
+    fn prepare_baseline(
+        &mut self,
+        batch_size: usize,
+    ) -> Result<(Option<(CheckpointCache, ResumePlan)>, f32), FaultError> {
+        match self.engine {
+            TrialEngine::CheckpointResumed => {
+                let plan = ResumePlan::of_network(self.network);
+                let cache =
+                    CheckpointCache::capture(self.network, self.inputs, self.targets, batch_size)?;
+                let fault_free = cache.fault_free_accuracy();
+                Ok((Some((cache, plan)), fault_free))
+            }
+            TrialEngine::FullForward => {
+                let fault_free = self
+                    .network
+                    .evaluate(self.inputs, self.targets, batch_size)?;
+                Ok((None, fault_free))
+            }
+        }
     }
 
     /// Runs the fixed-count campaign: `config.trials` times, sample faults at
@@ -501,9 +569,7 @@ impl<'a> Campaign<'a> {
         config.validate()?;
         let sampler = StratifiedSampler::uniform(&self.map)?;
         let snapshot = self.network.snapshot();
-        let fault_free_accuracy =
-            self.network
-                .evaluate(self.inputs, self.targets, config.batch_size)?;
+        let (resume, fault_free_accuracy) = self.prepare_baseline(config.batch_size)?;
         let specs: Vec<TrialSpec> = (0..config.trials)
             .map(|index| TrialSpec { stratum: 0, index })
             .collect();
@@ -519,6 +585,7 @@ impl<'a> Campaign<'a> {
             config.fault_rate,
             config.batch_size,
             config.seed,
+            resume.as_ref(),
             &specs,
         )?;
         let accuracies: Vec<f32> = records.iter().map(|r| r.accuracy).collect();
@@ -586,9 +653,7 @@ impl<'a> Campaign<'a> {
         let sampler = StratifiedSampler::new(&self.map, &config.strata)?;
         let z = z_for_confidence(config.confidence);
         let snapshot = self.network.snapshot();
-        let fault_free_accuracy =
-            self.network
-                .evaluate(self.inputs, self.targets, config.batch_size)?;
+        let (resume, fault_free_accuracy) = self.prepare_baseline(config.batch_size)?;
 
         let num_strata = sampler.num_strata();
         let round_size = config.round_trials * num_strata;
@@ -629,6 +694,7 @@ impl<'a> Campaign<'a> {
                 config.fault_rate,
                 config.batch_size,
                 config.seed,
+                resume.as_ref(),
                 &specs,
             )?;
             for (spec, record) in specs.iter().zip(records) {
@@ -727,6 +793,9 @@ fn spawn_worker_networks(network: &Network, threads: usize, max_batch: usize) ->
 /// caches) and take a contiguous range of specs; record slots are disjoint
 /// `split_at_mut` chunks, so workers never synchronise until the final join.
 /// An empty `workers` slice selects the serial path on `network` itself.
+///
+/// `resume` carries the campaign's shared read-only [`CheckpointCache`] and
+/// its site→layer [`ResumePlan`]; `None` selects the full-forward engine.
 #[allow(clippy::too_many_arguments)]
 fn execute_trials(
     network: &mut Network,
@@ -739,6 +808,7 @@ fn execute_trials(
     fault_rate: f64,
     batch_size: usize,
     seed: u64,
+    resume: Option<&(CheckpointCache, ResumePlan)>,
     specs: &[TrialSpec],
 ) -> Result<Vec<TrialRecord>, FaultError> {
     let mut outcomes: Vec<Option<Result<TrialRecord, FaultError>>> =
@@ -754,6 +824,7 @@ fn execute_trials(
             fault_rate,
             batch_size,
             seed,
+            resume,
             specs,
             &mut outcomes,
         );
@@ -790,6 +861,7 @@ fn execute_trials(
                             fault_rate,
                             batch_size,
                             seed,
+                            resume,
                             chunk_specs,
                             chunk,
                         );
@@ -807,10 +879,12 @@ fn execute_trials(
 
 /// Executes the given trials on `network`, writing one record per spec.
 ///
-/// Each trial seeds its own stream from `(seed, stratum, index)`, so the
-/// result of a trial depends only on its identity — never on which worker ran
-/// it or what ran before it on the same network (the snapshot restore
-/// guarantees identical starting parameters).
+/// Each trial seeds its own stream from `(seed, stratum, index)` and consumes
+/// it identically under both engines (site sampling and injection happen
+/// before evaluation either way), so the result of a trial depends only on
+/// its identity — never on which worker ran it, what ran before it on the
+/// same network (the snapshot restore guarantees identical starting
+/// parameters), or which engine evaluated it.
 #[allow(clippy::too_many_arguments)]
 fn run_trials(
     network: &mut Network,
@@ -822,6 +896,7 @@ fn run_trials(
     fault_rate: f64,
     batch_size: usize,
     seed: u64,
+    resume: Option<&(CheckpointCache, ResumePlan)>,
     specs: &[TrialSpec],
     outcomes: &mut [Option<Result<TrialRecord, FaultError>>],
 ) {
@@ -848,7 +923,15 @@ fn run_trials(
             bit_positions: sampler.bit_positions(spec.stratum),
         };
         let injection = model.inject(network, &sites, &ctx, &mut rng);
-        let result = network.evaluate(inputs, targets, batch_size);
+        let result = match resume {
+            Some((cache, plan)) => {
+                let boundary = plan.resume_boundary(model, &sites);
+                cache.evaluate_resumed(network, targets, boundary)
+            }
+            None => network
+                .evaluate(inputs, targets, batch_size)
+                .map_err(FaultError::from),
+        };
         let faults = injection.total();
         // Always restore, even if evaluation failed.
         if let Some(backup) = activation_backup {
@@ -859,11 +942,7 @@ fn run_trials(
         network
             .restore(snapshot)
             .expect("snapshot taken from the same network always restores");
-        *outcome = Some(
-            result
-                .map(|accuracy| TrialRecord { accuracy, faults })
-                .map_err(FaultError::from),
-        );
+        *outcome = Some(result.map(|accuracy| TrialRecord { accuracy, faults }));
     }
 }
 

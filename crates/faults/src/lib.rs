@@ -23,6 +23,11 @@
 //!   stratified campaigns with masked / tolerable-SDC / critical-SDC outcome
 //!   classification ([`TrialOutcome`]), per-stratum Wilson confidence
 //!   intervals ([`WilsonInterval`]) and sequential early stopping,
+//! * [`CheckpointCache`] / [`ResumePlan`] / [`TrialEngine`] — the
+//!   checkpoint-resumed evaluation engine: clean layer-boundary activations
+//!   are snapshotted once per campaign and each trial re-executes only the
+//!   network suffix downstream of its faults, bit-identically to a full
+//!   forward,
 //! * [`BitFlipInjector`] / [`StuckAtInjector`] — the low-level sample +
 //!   apply primitives,
 //! * [`quantize_network`] — rounds every stored parameter to its Q15.16
@@ -53,6 +58,7 @@
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+mod checkpoint;
 mod injector;
 mod map;
 mod model;
@@ -62,7 +68,9 @@ mod stuck_at;
 
 pub use campaign::{
     Campaign, CampaignConfig, CampaignReport, CampaignResult, StatCampaignConfig, StratumReport,
+    TrialEngine,
 };
+pub use checkpoint::{CheckpointCache, ResumePlan};
 pub use injector::{apply_bit_flips, quantize_network, BitFlipInjector, FaultSite};
 pub use map::{MemoryMap, ParamSpan};
 pub use model::{

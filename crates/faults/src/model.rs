@@ -70,6 +70,18 @@ impl Injection {
 /// Implementations must be deterministic functions of `(sites, rng)`: all
 /// randomness has to come from the trial's private `rng` stream, which is
 /// what keeps campaigns bit-identical across worker-thread counts.
+///
+/// # Locality contract
+///
+/// The checkpoint-resumed engine ([`crate::TrialEngine::CheckpointResumed`])
+/// resumes each trial at the earliest layer its faults can affect, so an
+/// injection must only corrupt (a) the parameters addressed by `sites`
+/// (expansion within a site's 32-bit word — e.g. a burst — stays in the same
+/// parameter and is fine) and (b), when [`FaultModel::perturbs_activations`]
+/// is `true`, activation-slot outputs. A model that mutated parameters
+/// *outside* its sampled sites would make resumed evaluation diverge from a
+/// full forward; all models in this crate satisfy the contract, which the
+/// `checkpoint_identity` suite pins.
 pub trait FaultModel: fmt::Debug + Send + Sync {
     /// Short name used in reports (`"bitflip"`, `"burst4"`, …).
     fn name(&self) -> &str;

@@ -1,0 +1,252 @@
+//! Bit-identity regression suite for the checkpoint-resumed campaign engine.
+//!
+//! The resumed engine replaces each trial's full forward pass with a resume
+//! from cached clean layer activations; nothing about the *results* may
+//! change. This suite pins, for every fault model in the taxonomy and across
+//! 1/2/4 worker threads:
+//!
+//! * fixed-count campaigns ([`Campaign::run`]) produce identical per-trial
+//!   accuracies, fault counts and baselines under both engines,
+//! * statistical campaigns ([`Campaign::run_until`]) produce identical
+//!   reports (same strata, same intervals, same stopping round),
+//! * `forward_from(0, ..)` equals `forward(..)`, and resuming from every
+//!   intermediate boundary reproduces the full pass layer-by-layer — on a
+//!   CNN stack, not just an MLP.
+
+use fitact_faults::{
+    quantize_network, ActivationBitFlip, Campaign, CampaignConfig, FaultModel, MultiBitBurst,
+    StatCampaignConfig, StratumSpec, StuckAtFaultModel, TransientBitFlip, TrialEngine,
+};
+use fitact_nn::layers::{ActivationLayer, Conv2d, Flatten, Linear, MaxPool2d, Sequential};
+use fitact_nn::loss::CrossEntropyLoss;
+use fitact_nn::optim::Sgd;
+use fitact_nn::{Mode, Network};
+use fitact_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small trained, quantised MLP plus its evaluation set (mirrors the
+/// campaign unit-test setup).
+fn trained_mlp() -> (Network, Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let root = Sequential::new()
+        .with(Box::new(Linear::new(2, 16, &mut rng)))
+        .with(Box::new(ActivationLayer::relu("h", &[16])))
+        .with(Box::new(Linear::new(16, 2, &mut rng)));
+    let mut net = Network::new("mlp", root);
+    let inputs = init::uniform(&[96, 2], -1.0, 1.0, &mut rng);
+    let targets: Vec<usize> = (0..96)
+        .map(|i| {
+            let row = &inputs.as_slice()[i * 2..(i + 1) * 2];
+            usize::from(row[0] > row[1])
+        })
+        .collect();
+    let loss = CrossEntropyLoss::new();
+    let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+    for _ in 0..30 {
+        net.train_batch(&inputs, &targets, &loss, &mut opt).unwrap();
+    }
+    quantize_network(&mut net);
+    (net, inputs, targets)
+}
+
+/// A small untrained CNN (conv → relu → pool → flatten → linear) and inputs —
+/// deep enough that boundaries cover conv, pool and dense shapes.
+fn cnn() -> (Network, Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let root = Sequential::new()
+        .with(Box::new(Conv2d::new(2, 4, 3, 1, 1, &mut rng)))
+        .with(Box::new(ActivationLayer::relu("c1", &[4, 6, 6])))
+        .with(Box::new(MaxPool2d::new(2, 2)))
+        .with(Box::new(Flatten::new()))
+        .with(Box::new(Linear::new(4 * 3 * 3, 3, &mut rng)));
+    let mut net = Network::new("cnn", root);
+    quantize_network(&mut net);
+    let inputs = init::uniform(&[20, 2, 6, 6], -1.0, 1.0, &mut rng);
+    let targets: Vec<usize> = (0..20).map(|i| i % 3).collect();
+    (net, inputs, targets)
+}
+
+fn all_models() -> [&'static dyn FaultModel; 4] {
+    const BURST: MultiBitBurst = MultiBitBurst { length: 4 };
+    [
+        &TransientBitFlip,
+        &BURST,
+        &StuckAtFaultModel,
+        &ActivationBitFlip,
+    ]
+}
+
+#[test]
+fn fixed_count_campaigns_match_the_full_forward_engine_across_threads() {
+    let (mut net, inputs, targets) = trained_mlp();
+    let config = CampaignConfig {
+        fault_rate: 2e-3,
+        trials: 9,
+        batch_size: 32,
+        seed: 11,
+    };
+    let reference = Campaign::new(&mut net, &inputs, &targets)
+        .unwrap()
+        .with_engine(TrialEngine::FullForward)
+        .run_serial(&config)
+        .unwrap();
+    assert!(reference.total_faults > 0, "the reference must inject");
+    for threads in [1, 2, 4] {
+        let resumed = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .with_engine(TrialEngine::CheckpointResumed)
+            .run_with_threads(&config, threads)
+            .unwrap();
+        assert_eq!(
+            resumed.accuracies, reference.accuracies,
+            "threads {threads}"
+        );
+        assert_eq!(
+            resumed.total_faults, reference.total_faults,
+            "threads {threads}"
+        );
+        assert_eq!(
+            resumed.fault_free_accuracy, reference.fault_free_accuracy,
+            "threads {threads}"
+        );
+        assert_eq!(resumed.stats, reference.stats, "threads {threads}");
+    }
+}
+
+#[test]
+fn statistical_campaigns_match_the_full_forward_engine_for_every_model() {
+    let (mut net, inputs, targets) = trained_mlp();
+    let config = StatCampaignConfig {
+        fault_rate: 2e-3,
+        batch_size: 32,
+        seed: 21,
+        epsilon: 0.08,
+        confidence: 0.95,
+        critical_threshold: 0.05,
+        round_trials: 3,
+        min_trials: 9,
+        max_trials: 36,
+        strata: StratumSpec::by_bit_class(),
+    };
+    for model in all_models() {
+        let reference = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .with_engine(TrialEngine::FullForward)
+            .run_until_with_threads(&config, model, 1)
+            .unwrap();
+        for threads in [1, 2, 4] {
+            let resumed = Campaign::new(&mut net, &inputs, &targets)
+                .unwrap()
+                .with_engine(TrialEngine::CheckpointResumed)
+                .run_until_with_threads(&config, model, threads)
+                .unwrap();
+            assert_eq!(
+                resumed,
+                reference,
+                "model {} at {threads} threads",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn per_layer_strata_resume_mid_network_and_stay_identical() {
+    // Layer strata force trials whose faults are confined to one known layer,
+    // so deep strata exercise deep (non-trivial) resume boundaries.
+    let (mut net, inputs, targets) = trained_mlp();
+    let map = fitact_faults::MemoryMap::of_network(&net);
+    let config = StatCampaignConfig {
+        fault_rate: 2e-3,
+        batch_size: 32,
+        seed: 33,
+        epsilon: 0.08,
+        round_trials: 3,
+        min_trials: 6,
+        max_trials: 24,
+        strata: StratumSpec::by_layer(&map),
+        ..Default::default()
+    };
+    let reference = Campaign::new(&mut net, &inputs, &targets)
+        .unwrap()
+        .with_engine(TrialEngine::FullForward)
+        .run_until(&config, &TransientBitFlip)
+        .unwrap();
+    let resumed = Campaign::new(&mut net, &inputs, &targets)
+        .unwrap()
+        .run_until(&config, &TransientBitFlip)
+        .unwrap();
+    assert_eq!(resumed, reference);
+}
+
+#[test]
+fn cnn_campaigns_match_the_full_forward_engine() {
+    let (mut net, inputs, targets) = cnn();
+    let config = CampaignConfig {
+        fault_rate: 1e-3,
+        trials: 6,
+        batch_size: 8,
+        seed: 5,
+    };
+    let before = net.snapshot();
+    let reference = Campaign::new(&mut net, &inputs, &targets)
+        .unwrap()
+        .with_engine(TrialEngine::FullForward)
+        .run_serial(&config)
+        .unwrap();
+    for threads in [1, 2, 4] {
+        let resumed = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_with_threads(&config, threads)
+            .unwrap();
+        assert_eq!(
+            resumed.accuracies, reference.accuracies,
+            "threads {threads}"
+        );
+        assert_eq!(
+            resumed.fault_free_accuracy, reference.fault_free_accuracy,
+            "threads {threads}"
+        );
+    }
+    assert_eq!(net.snapshot(), before, "campaigns restore the CNN");
+}
+
+#[test]
+fn cnn_forward_from_matches_forward_at_every_boundary() {
+    let (mut net, inputs, _) = cnn();
+    let mut boundaries: Vec<Tensor> = Vec::new();
+    let full = net
+        .forward_inspect(&inputs, Mode::Eval, &mut |k, t| {
+            assert_eq!(k, boundaries.len());
+            boundaries.push(t.clone());
+        })
+        .unwrap();
+    assert_eq!(boundaries.len(), net.depth() + 1);
+    assert_eq!(boundaries[0], inputs, "boundary 0 is the input");
+    // forward_from(0, ..) is forward(..), and every later boundary resumes to
+    // the identical output — layer by layer.
+    assert_eq!(net.forward(&inputs, Mode::Eval).unwrap(), full);
+    for (k, boundary) in boundaries.iter().enumerate() {
+        let resumed = net.forward_from(k, boundary, Mode::Eval).unwrap();
+        assert_eq!(resumed, full, "resume at boundary {k}");
+    }
+}
+
+#[test]
+fn zero_rate_resumed_trials_reuse_the_clean_baseline_exactly() {
+    let (mut net, inputs, targets) = trained_mlp();
+    let result = Campaign::new(&mut net, &inputs, &targets)
+        .unwrap()
+        .run(&CampaignConfig {
+            fault_rate: 0.0,
+            trials: 4,
+            batch_size: 32,
+            seed: 2,
+        })
+        .unwrap();
+    assert_eq!(result.total_faults, 0);
+    for acc in &result.accuracies {
+        assert_eq!(*acc, result.fault_free_accuracy);
+    }
+}

@@ -70,6 +70,95 @@ impl Sequential {
     pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
         &mut self.layers
     }
+
+    /// Resumes a forward pass at layer boundary `layer_idx`: applies layers
+    /// `layer_idx..` to `input` and returns the stack's output.
+    ///
+    /// Boundary `k` is the value flowing *into* layer `k`, so
+    /// `forward_from(0, x, mode)` is exactly [`Sequential::forward`] and
+    /// `forward_from(self.len(), x, mode)` returns `x` unchanged (the output
+    /// boundary).
+    ///
+    /// # Invariants for checkpoint-resumed evaluation
+    ///
+    /// Callers that substitute a **cached** boundary activation for the
+    /// prefix (the fault-campaign engine in `fitact_faults`) rely on two
+    /// properties, both of which hold for every layer in this crate:
+    ///
+    /// * layers are deterministic functions of `(input, parameters, mode)` in
+    ///   [`Mode::Eval`] — internal caches may mutate, but never the output,
+    /// * the cached input must have been produced by the *same* parameter
+    ///   values currently held by layers `0..layer_idx`; resuming past a
+    ///   layer whose parameters (or activation functions) have since changed
+    ///   silently computes the wrong suffix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `layer_idx > self.len()`, and
+    /// propagates any layer error.
+    pub fn forward_from(
+        &mut self,
+        layer_idx: usize,
+        input: &Tensor,
+        mode: Mode,
+    ) -> Result<Tensor, NnError> {
+        if layer_idx > self.layers.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "cannot resume at layer {layer_idx} of a {}-layer stack",
+                self.layers.len()
+            )));
+        }
+        let mut layers = self.layers[layer_idx..].iter_mut();
+        let Some(first) = layers.next() else {
+            return Ok(input.clone());
+        };
+        // The first layer reads `input` in place, so resumed trials never
+        // copy the cached checkpoint they start from.
+        let mut x = first.forward(input, mode)?;
+        for layer in layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs a forward pass while exposing every layer-boundary activation to
+    /// `inspect`.
+    ///
+    /// `inspect(k, t)` is called with boundary `k` — the tensor flowing into
+    /// layer `k` — for `k` in `0..len`, and finally with `(len, output)`.
+    /// The observed tensors are exactly the values [`Sequential::forward_from`]
+    /// accepts at those boundaries, which is what the fault-campaign
+    /// checkpoint capture snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer error.
+    pub fn forward_inspect(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        inspect: &mut dyn FnMut(usize, &Tensor),
+    ) -> Result<Tensor, NnError> {
+        let mut x = input.clone();
+        for (k, layer) in self.layers.iter_mut().enumerate() {
+            inspect(k, &x);
+            x = layer.forward(&x, mode)?;
+        }
+        inspect(self.layers.len(), &x);
+        Ok(x)
+    }
+
+    /// Index of the first direct child layer that contains an activation slot
+    /// (at any nesting depth), or `None` if no child has one.
+    ///
+    /// Datapath fault models corrupt activation outputs, so this is the
+    /// earliest layer boundary such a model can affect — everything before it
+    /// is reusable from a clean checkpoint.
+    pub fn first_activation_layer(&mut self) -> Option<usize> {
+        self.layers
+            .iter_mut()
+            .position(|layer| !layer.activation_slots().is_empty())
+    }
 }
 
 impl FromIterator<Box<dyn Layer>> for Sequential {
@@ -92,11 +181,9 @@ impl Layer for Sequential {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, mode)?;
-        }
-        Ok(x)
+        // Forward is the resume-at-the-input special case, so the two paths
+        // cannot drift apart numerically.
+        self.forward_from(0, input, mode)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
@@ -220,6 +307,60 @@ mod tests {
         let slots = outer.activation_slots();
         let labels: Vec<&str> = slots.iter().map(|s| s.label()).collect();
         assert_eq!(labels, vec!["inner", "outer"]);
+    }
+
+    #[test]
+    fn forward_from_zero_matches_forward() {
+        let mut net = two_layer_net();
+        let x = Tensor::from_vec((0..28).map(|v| v as f32 * 0.1 - 1.0).collect(), &[7, 4]).unwrap();
+        let full = net.forward(&x, Mode::Eval).unwrap();
+        let resumed = net.forward_from(0, &x, Mode::Eval).unwrap();
+        assert_eq!(full, resumed);
+    }
+
+    #[test]
+    fn forward_from_every_boundary_matches_the_full_pass() {
+        let mut net = two_layer_net();
+        let x = Tensor::from_vec((0..12).map(|v| v as f32 * 0.3 - 2.0).collect(), &[3, 4]).unwrap();
+        let mut boundaries: Vec<Tensor> = Vec::new();
+        let full = net
+            .forward_inspect(&x, Mode::Eval, &mut |k, t| {
+                assert_eq!(k, boundaries.len(), "boundaries arrive in order");
+                boundaries.push(t.clone());
+            })
+            .unwrap();
+        assert_eq!(boundaries.len(), net.len() + 1);
+        assert_eq!(boundaries[0], x, "boundary 0 is the input");
+        assert_eq!(
+            *boundaries.last().unwrap(),
+            full,
+            "last boundary is the output"
+        );
+        for (k, boundary) in boundaries.iter().enumerate() {
+            let resumed = net.forward_from(k, boundary, Mode::Eval).unwrap();
+            assert_eq!(resumed, full, "resume at boundary {k}");
+        }
+    }
+
+    #[test]
+    fn forward_from_rejects_out_of_range_boundaries() {
+        let mut net = two_layer_net();
+        let x = Tensor::zeros(&[1, 4]);
+        assert!(net.forward_from(net.len() + 1, &x, Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn first_activation_layer_finds_nested_slots() {
+        let mut net = two_layer_net();
+        assert_eq!(net.first_activation_layer(), Some(1));
+        let mut rng = StdRng::seed_from_u64(3);
+        let inner = Sequential::new().with(Box::new(ActivationLayer::relu("inner", &[3])));
+        let mut nested = Sequential::new()
+            .with(Box::new(Linear::new(4, 3, &mut rng)))
+            .with(Box::new(inner));
+        assert_eq!(nested.first_activation_layer(), Some(1));
+        let mut bare = Sequential::new().with(Box::new(Linear::new(2, 2, &mut rng)));
+        assert_eq!(bare.first_activation_layer(), None);
     }
 
     #[test]

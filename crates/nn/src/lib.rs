@@ -47,7 +47,7 @@ pub mod schedule;
 
 pub use activation::{Activation, ReLU};
 pub use layers::{Layer, Mode, Sequential};
-pub use network::Network;
+pub use network::{copy_batch_into, Network};
 pub use param::Parameter;
 
 use fitact_tensor::TensorError;

@@ -5,7 +5,7 @@ use crate::loss::CrossEntropyLoss;
 use crate::metrics::{accuracy, RunningMean};
 use crate::optim::Optimizer;
 use crate::{NnError, Parameter};
-use fitact_tensor::Tensor;
+use fitact_tensor::{Tensor, TensorArena};
 
 /// A neural network: a named [`Sequential`] stack plus the bookkeeping the
 /// FitAct workflow and the fault injector need (parameter enumeration,
@@ -35,6 +35,10 @@ use fitact_tensor::Tensor;
 pub struct Network {
     name: String,
     root: Sequential,
+    /// Reusable staging buffers for [`Network::evaluate`] batch slicing
+    /// (cloning a network starts with an empty arena; see
+    /// [`fitact_tensor::TensorArena`]).
+    eval_arena: TensorArena,
 }
 
 /// Metadata about one parameter tensor, in deterministic traversal order.
@@ -63,6 +67,7 @@ impl Network {
         Network {
             name: name.into(),
             root,
+            eval_arena: TensorArena::new(),
         }
     }
 
@@ -88,6 +93,44 @@ impl Network {
     /// Propagates any layer error (shape mismatches and friends).
     pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
         self.root.forward(input, mode)
+    }
+
+    /// Number of top-level layers in the stack — one more than the largest
+    /// valid resume boundary of [`Network::forward_from`].
+    pub fn depth(&self) -> usize {
+        self.root.len()
+    }
+
+    /// Resumes a forward pass at top-level layer boundary `layer_idx` (see
+    /// [`Sequential::forward_from`] for the boundary numbering and the cache
+    /// invariants checkpoint-resumed callers must uphold).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for an out-of-range boundary and
+    /// propagates any layer error.
+    pub fn forward_from(
+        &mut self,
+        layer_idx: usize,
+        input: &Tensor,
+        mode: Mode,
+    ) -> Result<Tensor, NnError> {
+        self.root.forward_from(layer_idx, input, mode)
+    }
+
+    /// Runs a forward pass exposing every top-level layer-boundary activation
+    /// to `inspect` (see [`Sequential::forward_inspect`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer error.
+    pub fn forward_inspect(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        inspect: &mut dyn FnMut(usize, &Tensor),
+    ) -> Result<Tensor, NnError> {
+        self.root.forward_inspect(input, mode, inspect)
     }
 
     /// Runs a backward pass from the loss gradient at the output.
@@ -179,7 +222,9 @@ impl Network {
                     p.data().dims()
                 )));
             }
-            *p.data_mut() = s.clone();
+            // In-place copy: a fault campaign restores after every trial, so
+            // the warm path must reuse the parameter's existing storage.
+            p.data_mut().copy_from(s);
         }
         Ok(())
     }
@@ -204,6 +249,12 @@ impl Network {
     /// Evaluates top-1 accuracy over a dataset given as one big input tensor
     /// `[n, ...]` plus targets, processing `batch_size` samples at a time.
     ///
+    /// Batch inputs are staged through a persistent [`TensorArena`] slot with
+    /// one contiguous copy per batch (axis-0 ranges of a row-major tensor are
+    /// contiguous), so the slicing itself is allocation-free once the staging
+    /// buffer is warm; targets are staged as plain subslices, which never
+    /// allocate. This is pinned by the `eval_alloc` integration test.
+    ///
     /// # Errors
     ///
     /// Propagates forward-pass errors; returns [`NnError::InvalidConfig`] for a
@@ -224,13 +275,29 @@ impl Network {
                 targets.len()
             )));
         }
+        // The staging tensor is taken out of the arena so it can be borrowed
+        // alongside `&mut self` across the forward call, and put back even on
+        // the error path so its capacity survives.
+        let mut staging = self.eval_arena.take(0);
+        let result = self.evaluate_with_staging(inputs, targets, batch_size, &mut staging);
+        self.eval_arena.put(0, staging);
+        result
+    }
+
+    fn evaluate_with_staging(
+        &mut self,
+        inputs: &Tensor,
+        targets: &[usize],
+        batch_size: usize,
+        staging: &mut Tensor,
+    ) -> Result<f32, NnError> {
         let n = targets.len();
         let mut acc = RunningMean::new();
         let mut start = 0usize;
         while start < n {
             let end = (start + batch_size).min(n);
-            let batch = slice_batch(inputs, start, end)?;
-            let logits = self.forward(&batch, Mode::Eval)?;
+            copy_batch_into(inputs, start, end, staging)?;
+            let logits = self.forward(staging, Mode::Eval)?;
             let batch_acc = accuracy(&logits, &targets[start..end])?;
             acc.push_weighted(batch_acc, end - start);
             start = end;
@@ -268,13 +335,42 @@ impl Network {
     }
 }
 
-/// Copies rows `[start, end)` of a batched tensor into a new tensor.
-fn slice_batch(inputs: &Tensor, start: usize, end: usize) -> Result<Tensor, NnError> {
-    let mut rows = Vec::with_capacity(end - start);
-    for i in start..end {
-        rows.push(inputs.index_axis0(i)?);
+/// Copies rows `[start, end)` of a batched `[n, ...]` tensor into `out` as a
+/// `[end - start, ...]` tensor with a single contiguous memcpy.
+///
+/// When `out` already has the target shape (the steady state of an evaluation
+/// loop with equal-sized batches) nothing is allocated; a shape change reuses
+/// `out`'s storage capacity and only allocates the shape bookkeeping.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if the range is empty-by-inversion or
+/// runs past the first axis.
+pub fn copy_batch_into(
+    inputs: &Tensor,
+    start: usize,
+    end: usize,
+    out: &mut Tensor,
+) -> Result<(), NnError> {
+    if inputs.ndim() == 0 || start > end || end > inputs.dims()[0] {
+        return Err(NnError::InvalidConfig(format!(
+            "batch range {start}..{end} is invalid for an input of shape {:?}",
+            inputs.dims()
+        )));
     }
-    Ok(Tensor::stack(&rows)?)
+    let rows = end - start;
+    let chunk: usize = inputs.dims()[1..].iter().product::<usize>().max(1);
+    let shape_matches = out.ndim() == inputs.ndim()
+        && out.dims()[0] == rows
+        && out.dims()[1..] == inputs.dims()[1..];
+    if !shape_matches {
+        let mut dims = inputs.dims().to_vec();
+        dims[0] = rows;
+        out.ensure_shape(&dims);
+    }
+    out.as_mut_slice()
+        .copy_from_slice(&inputs.as_slice()[start * chunk..end * chunk]);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -365,6 +461,44 @@ mod tests {
         }
         let after = net.evaluate(&inputs, &targets, 64).unwrap();
         assert!(after > before.max(0.85), "before {before}, after {after}");
+    }
+
+    #[test]
+    fn copy_batch_into_matches_row_stacking() {
+        let inputs = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[6, 2, 2]).unwrap();
+        let mut out = Tensor::default();
+        copy_batch_into(&inputs, 1, 4, &mut out).unwrap();
+        let rows: Vec<Tensor> = (1..4).map(|i| inputs.index_axis0(i).unwrap()).collect();
+        assert_eq!(out, Tensor::stack(&rows).unwrap());
+        // Shrinking to a trailing partial batch reuses the buffer.
+        copy_batch_into(&inputs, 4, 6, &mut out).unwrap();
+        assert_eq!(out.dims(), &[2, 2, 2]);
+        assert_eq!(out.as_slice(), &inputs.as_slice()[16..24]);
+        // Invalid ranges are rejected.
+        assert!(copy_batch_into(&inputs, 4, 3, &mut out).is_err());
+        assert!(copy_batch_into(&inputs, 0, 7, &mut out).is_err());
+        assert!(copy_batch_into(&Tensor::scalar(1.0), 0, 0, &mut out).is_err());
+    }
+
+    #[test]
+    fn network_forward_from_matches_forward_at_every_boundary() {
+        let mut net = tiny_mlp(11);
+        let (inputs, _) = toy_data(5, 12);
+        let mut boundaries = Vec::new();
+        let full = net
+            .forward_inspect(&inputs, Mode::Eval, &mut |_, t| boundaries.push(t.clone()))
+            .unwrap();
+        assert_eq!(boundaries.len(), net.depth() + 1);
+        for (k, boundary) in boundaries.iter().enumerate() {
+            assert_eq!(
+                net.forward_from(k, boundary, Mode::Eval).unwrap(),
+                full,
+                "boundary {k}"
+            );
+        }
+        assert!(net
+            .forward_from(net.depth() + 1, &inputs, Mode::Eval)
+            .is_err());
     }
 
     #[test]

@@ -93,6 +93,70 @@ impl Workspace {
     }
 }
 
+/// An arena of reusable whole-[`Tensor`] slots for staging buffers that must
+/// travel as tensors (batch inputs, checkpoint staging) rather than raw `f32`
+/// slices.
+///
+/// Unlike [`Workspace`], whose buffers are borrowed in place, arena slots are
+/// **taken** out ([`TensorArena::take`]) and **put** back
+/// ([`TensorArena::put`]). Taking moves the tensor (its capacity comes along),
+/// so the caller can hold it across a method call that also needs `&mut self`
+/// — the usual borrow conflict workspace slices would hit. On the warm path
+/// the round trip is allocation-free: the returned tensor keeps its storage,
+/// and [`Tensor::ensure_shape`] / slice copies reuse it.
+///
+/// Contents of a taken tensor are unspecified (whatever the previous use left
+/// behind); callers must fully overwrite. Cloning an arena yields an empty
+/// arena for the same reason cloning a [`Workspace`] does.
+#[derive(Debug, Default)]
+pub struct TensorArena {
+    slots: Vec<Tensor>,
+}
+
+impl Clone for TensorArena {
+    /// Cloning yields an empty arena: staged contents are never meaningful
+    /// across calls, and clones must not share or copy large buffers.
+    fn clone(&self) -> Self {
+        TensorArena::new()
+    }
+}
+
+use crate::Tensor;
+
+impl TensorArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        TensorArena { slots: Vec::new() }
+    }
+
+    /// Takes the tensor in slot `slot`, leaving an empty tensor behind.
+    ///
+    /// The first take of a slot returns an empty (zero-element) tensor; after
+    /// a [`TensorArena::put`], the next take returns that tensor with its
+    /// storage intact.
+    pub fn take(&mut self, slot: usize) -> Tensor {
+        if self.slots.len() <= slot {
+            self.slots.resize_with(slot + 1, Tensor::default);
+        }
+        std::mem::take(&mut self.slots[slot])
+    }
+
+    /// Returns a tensor to slot `slot` so its storage is reused by the next
+    /// [`TensorArena::take`].
+    pub fn put(&mut self, slot: usize, tensor: Tensor) {
+        if self.slots.len() <= slot {
+            self.slots.resize_with(slot + 1, Tensor::default);
+        }
+        self.slots[slot] = tensor;
+    }
+
+    /// Total number of elements currently parked in the arena (diagnostics
+    /// only; taken tensors are not counted).
+    pub fn parked_elements(&self) -> usize {
+        self.slots.iter().map(Tensor::numel).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +206,28 @@ mod tests {
         ws.buf(0, 4096);
         let clone = ws.clone();
         assert_eq!(clone.capacity(), 0);
+    }
+
+    #[test]
+    fn arena_take_put_roundtrip_keeps_storage() {
+        let mut arena = TensorArena::new();
+        let mut t = arena.take(2);
+        assert_eq!(t.numel(), 0, "first take of a slot is empty");
+        t.ensure_shape(&[4, 8]);
+        t.fill(1.5);
+        arena.put(2, t);
+        assert_eq!(arena.parked_elements(), 32);
+        let t = arena.take(2);
+        assert_eq!(t.dims(), &[4, 8]);
+        assert_eq!(arena.parked_elements(), 0, "taken tensors are not parked");
+    }
+
+    #[test]
+    fn arena_clone_starts_empty() {
+        let mut arena = TensorArena::new();
+        let mut t = arena.take(0);
+        t.ensure_shape(&[16]);
+        arena.put(0, t);
+        assert_eq!(arena.clone().parked_elements(), 0);
     }
 }

@@ -151,6 +151,7 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {
     warmup: Duration,
     target_sample: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -158,6 +159,10 @@ impl Default for Criterion {
         Criterion {
             warmup: Duration::from_millis(500),
             target_sample: Duration::from_millis(2),
+            // Mirrors criterion's `--test` smoke mode (`cargo bench -- --test`):
+            // run every benchmark exactly once, without warm-up or sampling, so
+            // CI can prove bench code still works without paying for timing.
+            test_mode: std::env::args().any(|arg| arg == "--test"),
         }
     }
 }
@@ -188,6 +193,11 @@ impl Criterion {
             iters_per_sample: 1,
             elapsed: Duration::ZERO,
         };
+        if self.test_mode {
+            routine(&mut bencher);
+            println!("{name:<40} (smoke test: 1 iteration, not timed)");
+            return;
+        }
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;
         while warmup_start.elapsed() < self.warmup {
@@ -270,6 +280,7 @@ mod tests {
         let mut c = Criterion {
             warmup: Duration::from_millis(10),
             target_sample: Duration::from_micros(100),
+            test_mode: false,
         };
         let mut group = c.benchmark_group("smoke");
         group.sample_size(5);
@@ -282,6 +293,23 @@ mod tests {
         });
         group.finish();
         assert!(count > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_exactly_once() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(10),
+            target_sample: Duration::from_micros(100),
+            test_mode: true,
+        };
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        assert_eq!(count, 1, "--test mode must not warm up or sample");
     }
 
     #[test]
