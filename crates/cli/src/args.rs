@@ -1,0 +1,146 @@
+//! Minimal `--flag value` argument parsing.
+//!
+//! The build environment is offline, so no argument-parsing crate is
+//! available; the `fitact` surface is small enough that a strict
+//! `--key value` grammar with per-command allow-lists covers it. Unknown
+//! flags are hard errors (typos must not silently fall back to defaults in
+//! a tool that CI gates on).
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parsed `--key value` pairs for one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses raw arguments against the allowed flag names (without the
+    /// leading `--`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for unknown flags, missing values, repeated
+    /// flags or stray positional arguments.
+    pub fn parse(raw: &[String], allowed: &[&str]) -> Result<Args, String> {
+        let mut pairs = Vec::new();
+        let mut iter = raw.iter();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            if !allowed.contains(&key) {
+                return Err(format!(
+                    "unknown flag `--{key}` (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            if pairs.iter().any(|(k, _): &(String, String)| k == key) {
+                return Err(format!("flag `--{key}` given twice"));
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("flag `--{key}` is missing its value"))?;
+            pairs.push((key.to_owned(), value.clone()));
+        }
+        Ok(Args { pairs })
+    }
+
+    /// The raw value of a flag, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of a mandatory flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the missing flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag `--{key}`"))
+    }
+
+    /// Parses an optional flag, falling back to `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the value does not parse as `T`.
+    pub fn parse_or<T>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(text) => text
+                .parse::<T>()
+                .map_err(|e| format!("flag `--{key}`: invalid value `{text}`: {e}")),
+        }
+    }
+
+    /// Parses an optional flag into `Option<T>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the value does not parse as `T`.
+    pub fn parse_opt<T>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        match self.get(key) {
+            None => Ok(None),
+            Some(text) => text
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| format!("flag `--{key}`: invalid value `{text}`: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_allowed_pairs() {
+        let args = Args::parse(
+            &raw(&["--out", "m.fitact", "--epochs", "5"]),
+            &["out", "epochs"],
+        )
+        .unwrap();
+        assert_eq!(args.required("out").unwrap(), "m.fitact");
+        assert_eq!(args.parse_or("epochs", 1usize).unwrap(), 5);
+        assert_eq!(args.parse_or("missing", 9usize).unwrap(), 9);
+        assert_eq!(args.parse_opt::<f64>("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_unknown_repeated_positional_and_dangling() {
+        assert!(Args::parse(&raw(&["--oops", "1"]), &["out"]).is_err());
+        assert!(Args::parse(&raw(&["--out", "a", "--out", "b"]), &["out"]).is_err());
+        assert!(Args::parse(&raw(&["stray"]), &["out"]).is_err());
+        assert!(Args::parse(&raw(&["--out"]), &["out"]).is_err());
+    }
+
+    #[test]
+    fn invalid_values_name_the_flag() {
+        let args = Args::parse(&raw(&["--epochs", "many"]), &["epochs"]).unwrap();
+        let err = args.parse_or("epochs", 1usize).unwrap_err();
+        assert!(err.contains("--epochs"));
+        assert!(args.required("out").is_err());
+    }
+}

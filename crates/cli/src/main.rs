@@ -1,0 +1,124 @@
+//! `fitact` — the FitAct pipeline driver.
+//!
+//! Subcommands compose through on-disk model artifacts (see the `fitact_io`
+//! crate for the format) and print one JSON object to stdout each, so
+//! pipelines are scriptable and CI can gate on the reports:
+//!
+//! ```bash
+//! fitact train     --out model.fitact --dataset blobs --epochs 25
+//! fitact calibrate --model model.fitact --out calibrated.fitact
+//! fitact protect   --model calibrated.fitact --scheme fitact \
+//!                  --post-train-epochs 3 --out protected.fitact
+//! fitact campaign  --model protected.fitact --fault-rate 1e-3 --out report.json
+//! fitact inspect   --model protected.fitact
+//!
+//! # CI gates
+//! fitact diff-report --report report.json --golden ci/golden/pipeline_golden.json
+//! fitact bench-gate  --current BENCH_campaign.json --baseline ci/golden/bench_baseline.json
+//! ```
+//!
+//! Exit codes: `0` success, `1` a regression gate failed, `2` usage or
+//! runtime error.
+
+mod args;
+mod gates;
+mod pipeline;
+
+use std::process::ExitCode;
+
+/// CLI failure modes, split by exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad flags or a failed pipeline stage (exit 2). Holds the message.
+    Usage(String),
+    /// A regression gate tripped (exit 1). Holds the JSON verdict.
+    Gate(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.into())
+    }
+}
+
+const USAGE: &str = "\
+fitact — FitAct pipeline driver (artifacts in, JSON reports out)
+
+USAGE:
+    fitact <COMMAND> [--flag value ...]
+
+PIPELINE COMMANDS:
+    train        Train a model on a synthetic dataset and save an artifact
+                 (--out; --dataset blobs|synthetic-cifar, --arch mlp|alexnet,
+                  --classes, --samples, --data-seed, --hidden, --width,
+                  --epochs, --lr, --batch-size, --seed)
+    calibrate    Profile activation maxima and embed them in the artifact
+                 (--model; --out, --samples, --batch-size, --test-split)
+    protect      Apply a protection scheme using the embedded profile
+                 (--model, --out; --scheme, --slope, --post-train-epochs,
+                  --zeta, --delta, --lr, --batch-size, --seed)
+    campaign     Run a statistical fault campaign, emit the Wilson-CI report
+                 (--model; --out, --fault-rate, --epsilon, --confidence,
+                  --critical-threshold, --round-trials, --min-trials,
+                  --max-trials, --seed, --samples, --batch-size, --test-split)
+    inspect      Summarise an artifact without running anything (--model)
+
+CI GATES:
+    diff-report  Compare a campaign report against a golden report
+                 (--report, --golden; --accuracy-tolerance, default 0 = exact):
+                 accuracy exact, SDC rates CI-overlap
+    bench-gate   Compare bench JSON against a baseline (--current, --baseline;
+                 --max-regression, default 0.20)
+
+Exit codes: 0 success, 1 gate failure, 2 usage/runtime error.
+";
+
+fn run(command: &str, rest: &[String]) -> Result<fitact_io::JsonValue, CliError> {
+    match command {
+        "train" => pipeline::train(rest),
+        "calibrate" => pipeline::calibrate(rest),
+        "protect" => pipeline::protect(rest),
+        "campaign" => pipeline::campaign(rest),
+        "inspect" => pipeline::inspect(rest),
+        "diff-report" => gates::diff_report(rest),
+        "bench-gate" => gates::bench_gate(rest),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(command, &argv[1..]) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Gate(verdict)) => {
+            // The verdict is the machine-readable output; the failure detail
+            // also goes to stderr for humans reading CI logs.
+            println!("{verdict}");
+            eprintln!("fitact {command}: gate failed");
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("fitact {command}: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

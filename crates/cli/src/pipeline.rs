@@ -1,0 +1,470 @@
+//! The artifact-composed pipeline stages:
+//! `train → calibrate → protect → campaign`, plus `inspect`.
+//!
+//! Every stage reads and/or writes a [`ModelArtifact`] and prints one JSON
+//! object to stdout, so stages compose through the filesystem and CI can
+//! gate on the reports. Dataset provenance travels inside the artifact as
+//! [`DataSpec`] metadata: a later stage rematerialises exactly the split the
+//! earlier stage used, without shipping tensors.
+
+use crate::args::Args;
+use crate::CliError;
+use fitact::{apply_protection, ActivationProfiler, FitAct, FitActConfig, ProtectionScheme};
+use fitact_data::DataSpec;
+use fitact_faults::StatCampaignConfig;
+use fitact_io::{JsonValue, ModelArtifact};
+use fitact_nn::layers::{ActivationLayer, Flatten, Linear, Sequential};
+use fitact_nn::models::{alexnet, ModelConfig};
+use fitact_nn::Network;
+use fitact_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Metadata key recording the last pipeline stage applied to an artifact.
+const META_STAGE: &str = "stage";
+/// Metadata key recording the architecture name.
+const META_ARCH: &str = "arch";
+
+fn obj(entries: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+fn num(v: f64) -> JsonValue {
+    JsonValue::Number(v)
+}
+
+fn text(v: impl Into<String>) -> JsonValue {
+    JsonValue::String(v.into())
+}
+
+fn load_artifact(path: &str) -> Result<ModelArtifact, CliError> {
+    ModelArtifact::load(path)
+        .map_err(|e| CliError::from(format!("cannot load artifact `{path}`: {e}")))
+}
+
+/// Reconstructs the dataset spec from artifact metadata, with CLI overrides.
+fn data_spec(artifact: &ModelArtifact, args: &Args) -> Result<DataSpec, CliError> {
+    let mut spec = DataSpec::from_meta(|k| artifact.meta(k)).ok_or_else(|| {
+        "artifact carries no dataset metadata; it was not produced by `fitact train`".to_string()
+    })?;
+    if let Some(samples) = args.parse_opt::<usize>("samples")? {
+        spec = spec.with_samples(samples);
+    }
+    if args.parse_or("test-split", false)? {
+        spec = spec.test();
+    }
+    Ok(spec)
+}
+
+fn materialize(spec: &DataSpec) -> Result<(Tensor, Vec<usize>), CliError> {
+    spec.materialize()
+        .map_err(|e| CliError::from(format!("dataset generation failed: {e}")))
+}
+
+fn parse_scheme(name: &str, slope: f32) -> Result<ProtectionScheme, CliError> {
+    match name {
+        "unprotected" => Ok(ProtectionScheme::Unprotected),
+        "ranger" => Ok(ProtectionScheme::Ranger),
+        "clipact" => Ok(ProtectionScheme::ClipAct),
+        "clipact-per-channel" => Ok(ProtectionScheme::ClipActPerChannel),
+        "fitact" => Ok(ProtectionScheme::FitAct { slope }),
+        "fitact-naive" => Ok(ProtectionScheme::FitActNaive),
+        other => Err(CliError::from(format!(
+            "unknown protection scheme `{other}` (expected unprotected, ranger, clipact, \
+             clipact-per-channel, fitact or fitact-naive)"
+        ))),
+    }
+}
+
+/// Builds the requested architecture for the dataset's input shape.
+fn build_network(
+    arch: &str,
+    data: &DataSpec,
+    hidden: usize,
+    width: f32,
+    seed: u64,
+) -> Result<Network, CliError> {
+    match arch {
+        "mlp" => {
+            let features: usize = data.input_shape().iter().product();
+            let mut rng = StdRng::seed_from_u64(seed);
+            Ok(Network::new(
+                "mlp",
+                Sequential::new()
+                    .with(Box::new(Flatten::new()))
+                    .with(Box::new(Linear::new(features, hidden, &mut rng)))
+                    .with(Box::new(ActivationLayer::relu("h1", &[hidden])))
+                    .with(Box::new(Linear::new(hidden, data.classes, &mut rng))),
+            ))
+        }
+        "alexnet" => {
+            if data.input_shape() != vec![3, 32, 32] {
+                return Err(CliError::from(
+                    "arch `alexnet` requires --dataset synthetic-cifar",
+                ));
+            }
+            alexnet(
+                &ModelConfig::new(data.classes)
+                    .with_width(width)
+                    .with_seed(seed),
+            )
+            .map_err(|e| CliError::from(format!("cannot build alexnet: {e}")))
+        }
+        other => Err(CliError::from(format!(
+            "unknown arch `{other}` (expected mlp or alexnet)"
+        ))),
+    }
+}
+
+/// `fitact train`: stage-1 accuracy training on a synthetic dataset, saved
+/// as a fresh artifact.
+pub fn train(raw: &[String]) -> Result<JsonValue, CliError> {
+    let args = Args::parse(
+        raw,
+        &[
+            "out",
+            "dataset",
+            "classes",
+            "samples",
+            "data-seed",
+            "arch",
+            "hidden",
+            "width",
+            "epochs",
+            "lr",
+            "batch-size",
+            "seed",
+        ],
+    )?;
+    let out = args.required("out")?;
+    let dataset = args.get("dataset").unwrap_or("blobs");
+    let classes = args.parse_or("classes", 3usize)?;
+    let samples = args.parse_or("samples", 256usize)?;
+    let data_seed = args.parse_or("data-seed", 1u64)?;
+    let spec = match dataset {
+        "blobs" => DataSpec::blobs(classes, samples, data_seed),
+        "synthetic-cifar" => DataSpec::synthetic_cifar(classes, samples, data_seed),
+        other => return Err(CliError::from(format!("unknown dataset `{other}`"))),
+    };
+    let arch = args.get("arch").unwrap_or("mlp");
+    let hidden = args.parse_or("hidden", 32usize)?;
+    let width = args.parse_or("width", 0.0626f32)?;
+    let epochs = args.parse_or("epochs", 15usize)?;
+    let lr = args.parse_or("lr", 0.05f32)?;
+    let batch_size = args.parse_or("batch-size", 32usize)?;
+    let seed = args.parse_or("seed", 0u64)?;
+
+    let (inputs, targets) = materialize(&spec)?;
+    let mut network = build_network(arch, &spec, hidden, width, seed)?;
+    let fitact = FitAct::new(FitActConfig {
+        batch_size,
+        seed,
+        ..Default::default()
+    });
+    let report = fitact
+        .train_for_accuracy(&mut network, &inputs, &targets, epochs, lr)
+        .map_err(|e| format!("training failed: {e}"))?;
+    let accuracy = network
+        .evaluate(&inputs, &targets, batch_size)
+        .map_err(|e| format!("evaluation failed: {e}"))?;
+
+    let mut artifact = ModelArtifact::capture(&network)
+        .map_err(|e| format!("cannot capture the trained network: {e}"))?;
+    for (k, v) in spec.to_meta() {
+        artifact.set_meta(k, v);
+    }
+    artifact.set_meta(META_STAGE, "trained");
+    artifact.set_meta(META_ARCH, arch);
+    artifact
+        .save(out)
+        .map_err(|e| format!("cannot save `{out}`: {e}"))?;
+
+    Ok(obj(vec![
+        ("command", text("train")),
+        ("out", text(out)),
+        ("arch", text(arch)),
+        ("dataset", text(dataset)),
+        ("epochs", num(epochs as f64)),
+        ("final_loss", num(f64::from(report.final_loss))),
+        ("train_accuracy", num(f64::from(accuracy))),
+        ("num_parameters", num(artifact.num_parameters() as f64)),
+    ]))
+}
+
+/// `fitact calibrate`: profiles per-neuron activation maxima over the
+/// training split and embeds the profile in the artifact.
+pub fn calibrate(raw: &[String]) -> Result<JsonValue, CliError> {
+    let args = Args::parse(
+        raw,
+        &["model", "out", "samples", "batch-size", "test-split"],
+    )?;
+    let model = args.required("model")?;
+    let out = args.get("out").unwrap_or(model);
+    let batch_size = args.parse_or("batch-size", 32usize)?;
+
+    let mut artifact = load_artifact(model)?;
+    let spec = data_spec(&artifact, &args)?;
+    let (inputs, _) = materialize(&spec)?;
+    let mut network = artifact
+        .instantiate()
+        .map_err(|e| format!("cannot instantiate `{model}`: {e}"))?;
+    let profile = ActivationProfiler::new(batch_size)
+        .and_then(|p| p.profile(&mut network, &inputs))
+        .map_err(|e| format!("calibration failed: {e}"))?;
+
+    let slots: Vec<JsonValue> = profile
+        .slots
+        .iter()
+        .map(|s| {
+            obj(vec![
+                ("label", text(&s.label)),
+                ("neurons", num(s.num_neurons() as f64)),
+                ("layer_max", num(f64::from(s.layer_max))),
+            ])
+        })
+        .collect();
+    let total_neurons = profile.total_neurons();
+    artifact.profile = Some(profile);
+    artifact.set_meta(META_STAGE, "calibrated");
+    artifact
+        .save(out)
+        .map_err(|e| format!("cannot save `{out}`: {e}"))?;
+
+    Ok(obj(vec![
+        ("command", text("calibrate")),
+        ("model", text(model)),
+        ("out", text(out)),
+        ("calibration_samples", num(spec.samples as f64)),
+        ("total_neurons", num(total_neurons as f64)),
+        ("slots", JsonValue::Array(slots)),
+    ]))
+}
+
+/// `fitact protect`: applies a protection scheme (and optionally the FitAct
+/// bound post-training stage) using the artifact's embedded profile.
+pub fn protect(raw: &[String]) -> Result<JsonValue, CliError> {
+    let args = Args::parse(
+        raw,
+        &[
+            "model",
+            "out",
+            "scheme",
+            "slope",
+            "post-train-epochs",
+            "zeta",
+            "delta",
+            "lr",
+            "batch-size",
+            "samples",
+            "test-split",
+            "seed",
+        ],
+    )?;
+    let model = args.required("model")?;
+    let out = args.required("out")?;
+    let slope = args.parse_or("slope", fitact::activations::DEFAULT_SLOPE)?;
+    let scheme = parse_scheme(args.get("scheme").unwrap_or("fitact"), slope)?;
+    let post_train_epochs = args.parse_or("post-train-epochs", 0usize)?;
+    let batch_size = args.parse_or("batch-size", 32usize)?;
+
+    let artifact = load_artifact(model)?;
+    let profile = artifact.profile.clone().ok_or_else(|| {
+        format!("artifact `{model}` has no calibration profile; run `fitact calibrate` first")
+    })?;
+    let mut network = artifact
+        .instantiate()
+        .map_err(|e| format!("cannot instantiate `{model}`: {e}"))?;
+    apply_protection(&mut network, &profile, scheme)
+        .map_err(|e| format!("cannot apply protection: {e}"))?;
+
+    let mut post_train = JsonValue::Null;
+    if post_train_epochs > 0 {
+        if !matches!(scheme, ProtectionScheme::FitAct { .. }) {
+            return Err("only --scheme fitact has trainable bounds to post-train".into());
+        }
+        let spec = data_spec(&artifact, &args)?;
+        let (inputs, targets) = materialize(&spec)?;
+        let fitact = FitAct::new(FitActConfig {
+            slope,
+            zeta: args.parse_or("zeta", 0.05f32)?,
+            delta: args.parse_or("delta", 0.05f32)?,
+            post_train_epochs,
+            post_train_lr: args.parse_or("lr", 0.02f32)?,
+            batch_size,
+            seed: args.parse_or("seed", 0u64)?,
+        });
+        let report = fitact
+            .post_train(&mut network, &inputs, &targets)
+            .map_err(|e| format!("post-training failed: {e}"))?;
+        post_train = obj(vec![
+            ("epochs_run", num(report.epochs_run as f64)),
+            ("initial_accuracy", num(f64::from(report.initial_accuracy))),
+            ("final_accuracy", num(f64::from(report.final_accuracy))),
+            (
+                "mean_bound_before",
+                num(f64::from(report.mean_bound_before)),
+            ),
+            ("mean_bound_after", num(f64::from(report.mean_bound_after))),
+            (
+                "constraint_satisfied",
+                JsonValue::Bool(report.constraint_satisfied),
+            ),
+        ]);
+    }
+
+    let mut protected = ModelArtifact::capture_protected(&network, Some(&profile), Some(scheme))
+        .map_err(|e| format!("cannot capture the protected network: {e}"))?;
+    protected.meta = artifact.meta.clone();
+    protected.set_meta(META_STAGE, "protected");
+    protected.set_meta("scheme", scheme.name());
+    protected
+        .save(out)
+        .map_err(|e| format!("cannot save `{out}`: {e}"))?;
+
+    Ok(obj(vec![
+        ("command", text("protect")),
+        ("model", text(model)),
+        ("out", text(out)),
+        ("scheme", text(scheme.name())),
+        ("num_parameters", num(protected.num_parameters() as f64)),
+        ("post_train", post_train),
+    ]))
+}
+
+/// `fitact campaign`: runs the statistical fault campaign against a loaded
+/// artifact and emits the full Wilson-CI report.
+pub fn campaign(raw: &[String]) -> Result<JsonValue, CliError> {
+    let args = Args::parse(
+        raw,
+        &[
+            "model",
+            "out",
+            "fault-rate",
+            "epsilon",
+            "confidence",
+            "critical-threshold",
+            "round-trials",
+            "min-trials",
+            "max-trials",
+            "seed",
+            "samples",
+            "batch-size",
+            "test-split",
+        ],
+    )?;
+    let model = args.required("model")?;
+    let artifact = load_artifact(model)?;
+    let spec = data_spec(&artifact, &args)?;
+    let (inputs, targets) = materialize(&spec)?;
+    let mut network = artifact
+        .instantiate()
+        .map_err(|e| format!("cannot instantiate `{model}`: {e}"))?;
+
+    let config = StatCampaignConfig {
+        fault_rate: args.parse_or("fault-rate", 1e-3f64)?,
+        batch_size: args.parse_or("batch-size", 32usize)?,
+        seed: args.parse_or("seed", 0u64)?,
+        epsilon: args.parse_or("epsilon", 0.05f64)?,
+        confidence: args.parse_or("confidence", 0.95f64)?,
+        critical_threshold: args.parse_or("critical-threshold", 0.05f32)?,
+        round_trials: args.parse_or("round-trials", 8usize)?,
+        min_trials: args.parse_or("min-trials", 24usize)?,
+        max_trials: args.parse_or("max-trials", 256usize)?,
+        ..Default::default()
+    };
+    let report = fitact::assess_resilience(
+        &mut network,
+        &inputs,
+        &targets,
+        &config,
+        &fitact_faults::TransientBitFlip,
+    )
+    .map_err(|e| format!("campaign failed: {e}"))?;
+
+    let report_json = JsonValue::parse(&report.to_json())
+        .map_err(|e| format!("internal error: campaign report JSON did not parse: {e}"))?;
+    let result = obj(vec![
+        ("command", text("campaign")),
+        ("model", text(model)),
+        ("network", text(network.name())),
+        (
+            "scheme",
+            artifact
+                .scheme
+                .map(|s| text(s.name()))
+                .unwrap_or(JsonValue::Null),
+        ),
+        ("eval_samples", num(targets.len() as f64)),
+        ("report", report_json),
+    ]);
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, format!("{result}\n"))
+            .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    }
+    Ok(result)
+}
+
+/// `fitact inspect`: summarises an artifact without running anything.
+pub fn inspect(raw: &[String]) -> Result<JsonValue, CliError> {
+    let args = Args::parse(raw, &["model"])?;
+    let model = args.required("model")?;
+    let artifact = load_artifact(model)?;
+    let network = artifact
+        .instantiate()
+        .map_err(|e| format!("cannot instantiate `{model}`: {e}"))?;
+    let layers: Vec<JsonValue> = network
+        .root()
+        .layers()
+        .iter()
+        .map(|l| text(l.name()))
+        .collect();
+    let params: Vec<JsonValue> = artifact
+        .params
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("path", text(&p.path)),
+                (
+                    "dims",
+                    JsonValue::Array(p.dims.iter().map(|&d| num(d as f64)).collect()),
+                ),
+                ("trainable", JsonValue::Bool(p.trainable)),
+            ])
+        })
+        .collect();
+    let meta: Vec<(String, JsonValue)> = artifact
+        .meta
+        .iter()
+        .map(|(k, v)| (k.clone(), text(v)))
+        .collect();
+    Ok(obj(vec![
+        ("command", text("inspect")),
+        ("model", text(model)),
+        ("name", text(&artifact.name)),
+        ("format_version", num(f64::from(fitact_io::FORMAT_VERSION))),
+        ("num_parameters", num(artifact.num_parameters() as f64)),
+        ("layers", JsonValue::Array(layers)),
+        ("params", JsonValue::Array(params)),
+        (
+            "scheme",
+            artifact
+                .scheme
+                .map(|s| text(s.name()))
+                .unwrap_or(JsonValue::Null),
+        ),
+        (
+            "profile_slots",
+            artifact
+                .profile
+                .as_ref()
+                .map(|p| num(p.len() as f64))
+                .unwrap_or(JsonValue::Null),
+        ),
+        ("meta", JsonValue::Object(meta)),
+    ]))
+}

@@ -129,6 +129,16 @@ impl Activation for ChannelRelu {
         vec![&mut self.bounds]
     }
 
+    fn spec(&self) -> Result<fitact_nn::spec::ActivationSpec, NnError> {
+        // Bounds restore through the `lambda` parameter tensor; the spec only
+        // needs the shape of the mapping.
+        Ok(fitact_nn::spec::ActivationSpec {
+            kind: "channel_relu".into(),
+            floats: Vec::new(),
+            ints: vec![self.num_channels() as u64, self.plane as u64],
+        })
+    }
+
     fn clone_box(&self) -> Box<dyn Activation> {
         Box::new(self.clone())
     }

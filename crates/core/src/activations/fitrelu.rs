@@ -193,6 +193,16 @@ impl Activation for FitRelu {
         vec![&mut self.bounds]
     }
 
+    fn spec(&self) -> Result<fitact_nn::spec::ActivationSpec, NnError> {
+        // The per-neuron bounds restore through the `lambda` parameter
+        // tensor; the spec carries the slope and the neuron count.
+        Ok(fitact_nn::spec::ActivationSpec {
+            kind: "fitrelu".into(),
+            floats: vec![self.slope],
+            ints: vec![self.num_neurons() as u64],
+        })
+    }
+
     fn clone_box(&self) -> Box<dyn Activation> {
         Box::new(self.clone())
     }

@@ -134,6 +134,14 @@ impl Activation for FitReluNaive {
         vec![&mut self.bounds]
     }
 
+    fn spec(&self) -> Result<fitact_nn::spec::ActivationSpec, NnError> {
+        Ok(fitact_nn::spec::ActivationSpec {
+            kind: "fitrelu_naive".into(),
+            floats: Vec::new(),
+            ints: vec![self.num_neurons() as u64],
+        })
+    }
+
     fn clone_box(&self) -> Box<dyn Activation> {
         Box::new(self.clone())
     }

@@ -86,6 +86,14 @@ impl Activation for GbRelu {
         }
     }
 
+    fn spec(&self) -> Result<fitact_nn::spec::ActivationSpec, NnError> {
+        Ok(fitact_nn::spec::ActivationSpec {
+            kind: "gbrelu".into(),
+            floats: vec![self.bound],
+            ints: Vec::new(),
+        })
+    }
+
     fn clone_box(&self) -> Box<dyn Activation> {
         Box::new(self.clone())
     }

@@ -72,6 +72,14 @@ impl Activation for Ranger {
         x.clamp(0.0, self.bound)
     }
 
+    fn spec(&self) -> Result<fitact_nn::spec::ActivationSpec, NnError> {
+        Ok(fitact_nn::spec::ActivationSpec {
+            kind: "ranger".into(),
+            floats: vec![self.bound],
+            ints: Vec::new(),
+        })
+    }
+
     fn clone_box(&self) -> Box<dyn Activation> {
         Box::new(self.clone())
     }

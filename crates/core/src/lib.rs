@@ -62,6 +62,7 @@ pub mod framework;
 pub mod memory;
 pub mod protect;
 pub mod resilience;
+pub mod serialize;
 
 pub use activations::{ChannelRelu, FitRelu, FitReluNaive, GbRelu, Ranger};
 pub use calibration::{ActivationProfile, ActivationProfiler, SlotProfile};
@@ -74,6 +75,7 @@ pub use resilience::{
     evaluate_resilience, evaluate_resilience_until, evaluate_resilience_until_with_engine,
     evaluate_resilience_with_engine, ResiliencePoint, ResilienceReportPoint,
 };
+pub use serialize::ProtectedActivations;
 
 use std::error::Error;
 use std::fmt;

@@ -65,6 +65,34 @@ impl ProtectionScheme {
             ProtectionScheme::FitAct { .. } | ProtectionScheme::FitActNaive
         )
     }
+
+    /// Encodes the scheme as a stable `(tag, slope)` pair for on-disk
+    /// artifacts. The slope is meaningful only for `FitAct` (0 otherwise);
+    /// tags are append-only across format versions.
+    pub fn to_tag(&self) -> (u8, f32) {
+        match self {
+            ProtectionScheme::Unprotected => (0, 0.0),
+            ProtectionScheme::Ranger => (1, 0.0),
+            ProtectionScheme::ClipAct => (2, 0.0),
+            ProtectionScheme::ClipActPerChannel => (3, 0.0),
+            ProtectionScheme::FitAct { slope } => (4, *slope),
+            ProtectionScheme::FitActNaive => (5, 0.0),
+        }
+    }
+
+    /// Decodes a `(tag, slope)` pair written by [`ProtectionScheme::to_tag`];
+    /// returns `None` for an unknown tag.
+    pub fn from_tag(tag: u8, slope: f32) -> Option<ProtectionScheme> {
+        match tag {
+            0 => Some(ProtectionScheme::Unprotected),
+            1 => Some(ProtectionScheme::Ranger),
+            2 => Some(ProtectionScheme::ClipAct),
+            3 => Some(ProtectionScheme::ClipActPerChannel),
+            4 => Some(ProtectionScheme::FitAct { slope }),
+            5 => Some(ProtectionScheme::FitActNaive),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ProtectionScheme {

@@ -32,12 +32,14 @@ mod augment;
 mod blobs;
 mod cifar_binary;
 mod loader;
+mod spec;
 mod synthetic;
 
 pub use augment::{AugmentConfig, Augmented};
 pub use blobs::{Blobs, BlobsConfig};
 pub use cifar_binary::CifarBinary;
 pub use loader::{materialize, DataLoader};
+pub use spec::DataSpec;
 pub use synthetic::{SyntheticCifar, SyntheticCifarConfig};
 
 use fitact_tensor::Tensor;

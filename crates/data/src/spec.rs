@@ -1,0 +1,214 @@
+//! Reproducible dataset specifications.
+//!
+//! The `fitact` CLI composes its pipeline stages via on-disk model
+//! artifacts, and each stage needs the *same* data the previous stage used.
+//! Datasets here are procedurally generated, so rather than persisting
+//! tensors the artifact records a [`DataSpec`] — the generator's name and
+//! seeds — and every stage rematerialises the identical split from it.
+
+use crate::{materialize, Blobs, BlobsConfig, DataError, SyntheticCifar};
+use fitact_tensor::Tensor;
+
+/// A serializable description of a procedurally generated dataset split.
+///
+/// Materialising the same spec twice yields bit-identical tensors and
+/// labels (the generators are seeded and deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSpec {
+    /// Generator family: `"blobs"` or `"synthetic-cifar"`.
+    pub kind: String,
+    /// Number of classes.
+    pub classes: usize,
+    /// Number of samples in the split.
+    pub samples: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether this is the held-out test split (`synthetic-cifar` shares
+    /// class prototypes between splits but offsets the sample noise stream;
+    /// `blobs` ignores the flag).
+    pub test_split: bool,
+}
+
+impl DataSpec {
+    /// The generator kinds [`DataSpec::materialize`] understands.
+    pub const KINDS: [&'static str; 2] = ["blobs", "synthetic-cifar"];
+
+    /// A blobs spec (8-feature Gaussian clouds — the fast MLP dataset).
+    pub fn blobs(classes: usize, samples: usize, seed: u64) -> Self {
+        DataSpec {
+            kind: "blobs".into(),
+            classes,
+            samples,
+            seed,
+            test_split: false,
+        }
+    }
+
+    /// A synthetic-CIFAR spec (3×32×32 class-conditional images).
+    pub fn synthetic_cifar(classes: usize, samples: usize, seed: u64) -> Self {
+        DataSpec {
+            kind: "synthetic-cifar".into(),
+            classes,
+            samples,
+            seed,
+            test_split: false,
+        }
+    }
+
+    /// Builder-style switch to the held-out test split.
+    #[must_use]
+    pub fn test(mut self) -> Self {
+        self.test_split = true;
+        self
+    }
+
+    /// Builder-style sample-count override.
+    #[must_use]
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Per-sample input shape of the generated tensors.
+    pub fn input_shape(&self) -> Vec<usize> {
+        match self.kind.as_str() {
+            "synthetic-cifar" => vec![3, 32, 32],
+            _ => vec![8],
+        }
+    }
+
+    /// Generates the split as `(inputs, labels)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for an unknown kind or a
+    /// configuration the generator rejects.
+    pub fn materialize(&self) -> Result<(Tensor, Vec<usize>), DataError> {
+        match self.kind.as_str() {
+            "blobs" => {
+                let ds = Blobs::new(BlobsConfig {
+                    classes: self.classes,
+                    samples: self.samples,
+                    seed: self.seed,
+                    ..Default::default()
+                })?;
+                materialize(&ds)
+            }
+            "synthetic-cifar" => {
+                let ds = if self.test_split {
+                    SyntheticCifar::test(self.classes, self.samples, self.seed)
+                } else {
+                    SyntheticCifar::train(self.classes, self.samples, self.seed)
+                };
+                materialize(&ds)
+            }
+            other => Err(DataError::InvalidConfig(format!(
+                "unknown dataset kind `{other}` (expected one of {:?})",
+                Self::KINDS
+            ))),
+        }
+    }
+
+    /// Flattens the spec into string key/value pairs (artifact metadata).
+    pub fn to_meta(&self) -> Vec<(String, String)> {
+        vec![
+            ("data.kind".into(), self.kind.clone()),
+            ("data.classes".into(), self.classes.to_string()),
+            ("data.samples".into(), self.samples.to_string()),
+            ("data.seed".into(), self.seed.to_string()),
+            ("data.test_split".into(), self.test_split.to_string()),
+        ]
+    }
+
+    /// Reconstructs a spec from metadata written by [`DataSpec::to_meta`].
+    ///
+    /// Returns `None` when any key is missing or unparsable — callers fall
+    /// back to explicit configuration. A missing `data.test_split` key
+    /// (artifacts written before the key existed) means the train split.
+    pub fn from_meta<'a>(mut lookup: impl FnMut(&str) -> Option<&'a str>) -> Option<Self> {
+        Some(DataSpec {
+            kind: lookup("data.kind")?.to_owned(),
+            classes: lookup("data.classes")?.parse().ok()?,
+            samples: lookup("data.samples")?.parse().ok()?,
+            seed: lookup("data.seed")?.parse().ok()?,
+            test_split: match lookup("data.test_split") {
+                Some(text) => text.parse().ok()?,
+                None => false,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_spec_materializes_deterministically() {
+        let spec = DataSpec::blobs(3, 24, 7);
+        let (x1, y1) = spec.materialize().unwrap();
+        let (x2, y2) = spec.materialize().unwrap();
+        assert_eq!(x1, x2);
+        assert_eq!(y1, y2);
+        assert_eq!(x1.dims(), &[24, 8]);
+        assert_eq!(spec.input_shape(), vec![8]);
+    }
+
+    #[test]
+    fn cifar_spec_train_and_test_differ() {
+        let train = DataSpec::synthetic_cifar(4, 8, 5);
+        let test = train.clone().test();
+        let (xt, _) = train.materialize().unwrap();
+        let (xe, _) = test.materialize().unwrap();
+        assert_eq!(xt.dims(), &[8, 3, 32, 32]);
+        assert_ne!(xt, xe, "test split must use a different noise stream");
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        for spec in [
+            DataSpec::synthetic_cifar(10, 100, 42),
+            DataSpec::synthetic_cifar(10, 100, 42).test(),
+            DataSpec::blobs(3, 24, 7),
+        ] {
+            let meta = spec.to_meta();
+            let restored = DataSpec::from_meta(|k| {
+                meta.iter().find(|(mk, _)| mk == k).map(|(_, v)| v.as_str())
+            })
+            .unwrap();
+            assert_eq!(restored, spec);
+        }
+        assert!(DataSpec::from_meta(|_| None).is_none());
+        // Metadata written before the test_split key existed defaults to the
+        // train split.
+        let legacy = DataSpec::blobs(3, 24, 7).to_meta();
+        let restored = DataSpec::from_meta(|k| {
+            if k == "data.test_split" {
+                None
+            } else {
+                legacy
+                    .iter()
+                    .find(|(mk, _)| mk == k)
+                    .map(|(_, v)| v.as_str())
+            }
+        })
+        .unwrap();
+        assert!(!restored.test_split);
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut spec = DataSpec::blobs(3, 8, 0);
+        spec.kind = "imagenet".into();
+        assert!(matches!(
+            spec.materialize(),
+            Err(DataError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn sample_override_applies() {
+        let spec = DataSpec::blobs(3, 8, 0).with_samples(16);
+        assert_eq!(spec.samples, 16);
+    }
+}

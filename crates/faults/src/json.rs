@@ -1,0 +1,177 @@
+//! Machine-readable JSON renderings of campaign outcomes.
+//!
+//! The `fitact` CLI and the CI regression gates consume campaign results as
+//! JSON; this module renders them without external dependencies. Numbers use
+//! Rust's shortest-round-trip float formatting, so a value parsed back from
+//! the JSON compares bit-equal to the original (`f32` values are widened to
+//! `f64` first, which is exact). Non-finite values — illegal in JSON — are
+//! emitted as `null`.
+
+use crate::campaign::{CampaignReport, CampaignResult, StratumReport};
+use crate::stats::WilsonInterval;
+use std::fmt::Write as _;
+
+/// Renders a finite float (f32 values widened exactly), or `null`.
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Escapes and quotes a string for JSON.
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl WilsonInterval {
+    /// Renders the interval as a JSON object
+    /// (`{"successes":…,"trials":…,"point":…,"low":…,"high":…}`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"successes\":{},\"trials\":{},\"point\":{},\"low\":{},\"high\":{}}}",
+            self.successes,
+            self.trials,
+            number(self.point()),
+            number(self.low),
+            number(self.high)
+        )
+    }
+}
+
+impl StratumReport {
+    /// Renders the stratum's outcome counts and intervals as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":{},\"population_bits\":{},\"trials\":{},",
+                "\"masked\":{},\"tolerable\":{},\"critical\":{},",
+                "\"total_faults\":{},\"mean_accuracy\":{},",
+                "\"critical_ci\":{},\"sdc_ci\":{}}}"
+            ),
+            quoted(&self.label),
+            self.population_bits,
+            self.trials(),
+            self.masked,
+            self.tolerable,
+            self.critical,
+            self.total_faults,
+            number(f64::from(self.mean_accuracy())),
+            self.critical_ci.to_json(),
+            self.sdc_ci.to_json()
+        )
+    }
+}
+
+impl CampaignReport {
+    /// Renders the full statistical-campaign report as a JSON object.
+    ///
+    /// Layout (consumed by `fitact campaign` / `fitact diff-report`):
+    ///
+    /// ```json
+    /// {
+    ///   "fault_free_accuracy": 0.97, "fault_rate": 1e-6, "model": "bitflip",
+    ///   "confidence": 0.95, "epsilon": 0.02, "critical_threshold": 0.05,
+    ///   "rounds": 4, "converged": true, "total_trials": 96, "total_faults": 12,
+    ///   "pooled_critical": {"successes":1,"trials":96,"point":…,"low":…,"high":…},
+    ///   "pooled_sdc": {…},
+    ///   "population_weighted_critical_rate": 0.0104,
+    ///   "strata": [ {…}, … ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let strata: Vec<String> = self.strata.iter().map(StratumReport::to_json).collect();
+        format!(
+            concat!(
+                "{{\"fault_free_accuracy\":{},\"fault_rate\":{},\"model\":{},",
+                "\"confidence\":{},\"epsilon\":{},\"critical_threshold\":{},",
+                "\"rounds\":{},\"converged\":{},\"total_trials\":{},\"total_faults\":{},",
+                "\"pooled_critical\":{},\"pooled_sdc\":{},",
+                "\"population_weighted_critical_rate\":{},\"strata\":[{}]}}"
+            ),
+            number(f64::from(self.fault_free_accuracy)),
+            number(self.fault_rate),
+            quoted(&self.model),
+            number(self.confidence),
+            number(self.epsilon),
+            number(f64::from(self.critical_threshold)),
+            self.rounds,
+            self.converged,
+            self.total_trials(),
+            self.total_faults(),
+            self.pooled_critical().to_json(),
+            self.pooled_sdc().to_json(),
+            number(self.population_weighted_critical_rate()),
+            strata.join(",")
+        )
+    }
+}
+
+impl CampaignResult {
+    /// Renders the fixed-trial-count campaign result as a JSON object.
+    pub fn to_json(&self) -> String {
+        let accuracies: Vec<String> = self
+            .accuracies
+            .iter()
+            .map(|&a| number(f64::from(a)))
+            .collect();
+        format!(
+            concat!(
+                "{{\"fault_free_accuracy\":{},\"fault_rate\":{},\"trials\":{},",
+                "\"total_faults\":{},\"mean_accuracy\":{},\"min_accuracy\":{},",
+                "\"max_accuracy\":{},\"accuracies\":[{}]}}"
+            ),
+            number(f64::from(self.fault_free_accuracy)),
+            number(self.fault_rate),
+            self.stats.count,
+            self.total_faults,
+            number(f64::from(self.mean_accuracy())),
+            number(f64::from(self.stats.min)),
+            number(f64::from(self.stats.max)),
+            accuracies.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_interval_json_shape() {
+        let ci = WilsonInterval::new(3, 10, 1.96);
+        let json = ci.to_json();
+        assert!(json.starts_with("{\"successes\":3,\"trials\":10,"));
+        assert!(json.contains("\"low\":"));
+        assert!(json.contains("\"high\":"));
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(4.871), "4.871");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(quoted("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -60,6 +60,7 @@
 mod campaign;
 mod checkpoint;
 mod injector;
+mod json;
 mod map;
 mod model;
 mod stats;

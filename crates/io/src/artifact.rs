@@ -1,0 +1,816 @@
+//! The versioned model artifact: topology + parameters + protection state.
+//!
+//! # Layout (format version 1, all values little-endian)
+//!
+//! ```text
+//! magic      8 × u8   = "FITACTRS"
+//! version    u32      = 1
+//! name       string                   (network name, e.g. "mlp")
+//! meta       u32 count, count × (string key, string value)
+//! topology   u32 count, count × LayerSpec   (tagged, recursive)
+//! params     u32 count, count × { string path; u8 trainable;
+//!                                  u64[] dims; f32[] data }
+//! profile    u8 present, [ u32 slots × { string label; u64[] feature_shape;
+//!                                        f32 layer_max; f32[] per_neuron_max } ]
+//! scheme     u8 present, [ u8 tag; f32 slope ]
+//! ```
+//!
+//! `string` = `u32` length + UTF-8 bytes; `T[]` = `u64` length + elements;
+//! `f32` values are raw IEEE-754 bit patterns (see [`crate::bytes`]).
+//!
+//! # Versioning policy
+//!
+//! The format version is bumped whenever the layout changes incompatibly;
+//! loaders reject any version they were not built for with
+//! [`IoError::UnsupportedVersion`] rather than guessing. Tag spaces (layer
+//! specs, activation kinds, protection schemes) are append-only, so adding a
+//! new layer type does *not* bump the version — old readers fail on the
+//! unknown tag with a typed [`IoError::Corrupt`].
+//!
+//! # Fidelity contract
+//!
+//! [`ModelArtifact::capture`] followed by [`ModelArtifact::instantiate`]
+//! yields a network whose eval-mode [`Network::forward`] outputs — and
+//! therefore accuracy numbers and fault-campaign reports — are
+//! **bit-identical** to the original's, for protected and unprotected
+//! models alike. This is pinned by the round-trip test suites.
+
+use crate::bytes::{ByteReader, ByteWriter};
+use crate::IoError;
+use fitact::calibration::{ActivationProfile, SlotProfile};
+use fitact::{ProtectedActivations, ProtectionScheme};
+use fitact_nn::spec::{ActivationSpec, LayerSpec};
+use fitact_nn::Network;
+use fitact_tensor::Tensor;
+use std::path::Path;
+
+/// The artifact file magic.
+pub const MAGIC: [u8; 8] = *b"FITACTRS";
+
+/// The artifact format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Conventional file extension for artifacts (`model.fitact`).
+pub const FILE_EXTENSION: &str = "fitact";
+
+/// One parameter tensor, keyed by its deterministic traversal path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedParam {
+    /// Slash-separated traversal path (e.g. `"0/weight"`).
+    pub path: String,
+    /// Whether the optimiser may update the parameter.
+    pub trainable: bool,
+    /// Tensor shape.
+    pub dims: Vec<usize>,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+/// A complete serializable model: topology, parameters and the FitAct
+/// protection state (calibration profile + scheme), plus free-form metadata
+/// (dataset provenance, pipeline stage, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// The network's name.
+    pub name: String,
+    /// Free-form key/value metadata, preserved in insertion order.
+    pub meta: Vec<(String, String)>,
+    /// Topology descriptors of the top-level layers.
+    pub layers: Vec<LayerSpec>,
+    /// Every parameter tensor, in traversal order.
+    pub params: Vec<SavedParam>,
+    /// The calibrated activation profile, once the calibrate stage has run.
+    pub profile: Option<ActivationProfile>,
+    /// The applied protection scheme, once the protect stage has run.
+    pub scheme: Option<ProtectionScheme>,
+}
+
+impl ModelArtifact {
+    /// Captures a network's topology and parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Nn`] if any layer or activation does not support
+    /// serialisation (ephemeral wrappers installed by profiling or fault
+    /// injection).
+    pub fn capture(network: &Network) -> Result<Self, IoError> {
+        let layers = network.to_spec()?;
+        let mut params = Vec::new();
+        network.visit_params(&mut |path, p| {
+            params.push(SavedParam {
+                path: path.to_owned(),
+                trainable: p.trainable(),
+                dims: p.data().dims().to_vec(),
+                data: p.data().as_slice().to_vec(),
+            });
+        });
+        Ok(ModelArtifact {
+            name: network.name().to_owned(),
+            meta: Vec::new(),
+            layers,
+            params,
+            profile: None,
+            scheme: None,
+        })
+    }
+
+    /// Builder-style attachment of a calibration profile.
+    #[must_use]
+    pub fn with_profile(mut self, profile: ActivationProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Builder-style attachment of the applied protection scheme.
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: ProtectionScheme) -> Self {
+        self.scheme = Some(scheme);
+        self
+    }
+
+    /// Sets (or replaces) a metadata key.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        match self.meta.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1 = value,
+            None => self.meta.push((key, value)),
+        }
+    }
+
+    /// Looks up a metadata key.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Total number of scalar parameter values.
+    pub fn num_parameters(&self) -> usize {
+        self.params.iter().map(|p| p.data.len()).sum()
+    }
+
+    /// Rebuilds the network: topology from the specs, then every parameter
+    /// tensor restored bit-exactly in traversal order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Nn`] for unreconstructible topology and
+    /// [`IoError::Mismatch`] when the saved parameter list does not line up
+    /// with the rebuilt network (wrong count, path or shape) — which means
+    /// the artifact was hand-edited or the format contract was broken.
+    pub fn instantiate(&self) -> Result<Network, IoError> {
+        // Allocation guard: layer constructors allocate the parameter
+        // tensors the specs imply, and the specs are untrusted — a crafted
+        // `Linear { 1<<30, 1<<30 }` would abort the process on allocation
+        // failure before the parameter-list check below could reject it.
+        // The implied parameter count must equal the saved one exactly (the
+        // restore is 1:1), so mismatches are caught here, pre-allocation.
+        let implied = self
+            .layers
+            .iter()
+            .try_fold(0u128, |acc, spec| Some(acc + spec_param_numel(spec)?))
+            .ok_or_else(|| {
+                IoError::Mismatch("topology implies an overflowing parameter count".into())
+            })?;
+        if implied != self.num_parameters() as u128 {
+            return Err(IoError::Mismatch(format!(
+                "topology implies {implied} parameter values but the artifact carries {}",
+                self.num_parameters()
+            )));
+        }
+        let mut network = Network::from_spec(&self.name, &self.layers, &ProtectedActivations)?;
+        let mut index = 0usize;
+        let mut mismatch: Option<String> = None;
+        network.visit_params_mut(&mut |path, p| {
+            if mismatch.is_some() {
+                return;
+            }
+            let Some(saved) = self.params.get(index) else {
+                mismatch = Some(format!(
+                    "network has more parameters than the artifact ({} saved); first extra: `{path}`",
+                    self.params.len()
+                ));
+                return;
+            };
+            if saved.path != path {
+                mismatch = Some(format!(
+                    "parameter #{index} path mismatch: artifact has `{}`, network has `{path}`",
+                    saved.path
+                ));
+                return;
+            }
+            if p.data().dims() != saved.dims.as_slice() {
+                mismatch = Some(format!(
+                    "parameter `{path}` shape mismatch: artifact has {:?}, network has {:?}",
+                    saved.dims,
+                    p.data().dims()
+                ));
+                return;
+            }
+            p.data_mut().as_mut_slice().copy_from_slice(&saved.data);
+            if saved.trainable {
+                p.unfreeze();
+            } else {
+                p.freeze();
+            }
+            index += 1;
+        });
+        if let Some(msg) = mismatch {
+            return Err(IoError::Mismatch(msg));
+        }
+        if index != self.params.len() {
+            return Err(IoError::Mismatch(format!(
+                "artifact has {} parameters but the network consumed only {index}",
+                self.params.len()
+            )));
+        }
+        Ok(network)
+    }
+
+    /// Encodes the artifact into its binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.raw(&MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.string(&self.name);
+        w.u32(self.meta.len() as u32);
+        for (k, v) in &self.meta {
+            w.string(k);
+            w.string(v);
+        }
+        w.u32(self.layers.len() as u32);
+        for layer in &self.layers {
+            write_layer_spec(&mut w, layer);
+        }
+        w.u32(self.params.len() as u32);
+        for p in &self.params {
+            w.string(&p.path);
+            w.u8(u8::from(p.trainable));
+            w.usize_slice(&p.dims);
+            w.f32_slice(&p.data);
+        }
+        match &self.profile {
+            Some(profile) => {
+                w.u8(1);
+                w.u32(profile.slots.len() as u32);
+                for slot in &profile.slots {
+                    w.string(&slot.label);
+                    w.usize_slice(&slot.feature_shape);
+                    w.f32(slot.layer_max);
+                    w.f32_slice(&slot.per_neuron_max);
+                }
+            }
+            None => w.u8(0),
+        }
+        match &self.scheme {
+            Some(scheme) => {
+                let (tag, slope) = scheme.to_tag();
+                w.u8(1);
+                w.u8(tag);
+                w.f32(slope);
+            }
+            None => w.u8(0),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes an artifact from its binary form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::BadMagic`] for non-artifact input,
+    /// [`IoError::UnsupportedVersion`] for artifacts from an incompatible
+    /// format revision, [`IoError::Truncated`] for short input and
+    /// [`IoError::Corrupt`] for structurally invalid content (unknown tags,
+    /// shape/data disagreements, trailing garbage).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IoError> {
+        let mut r = ByteReader::new(bytes);
+        if r.raw(8)? != MAGIC {
+            return Err(IoError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(IoError::UnsupportedVersion(version));
+        }
+        let name = r.string()?;
+        let meta_count = r.u32()? as usize;
+        let mut meta = Vec::with_capacity(meta_count.min(1024));
+        for _ in 0..meta_count {
+            let k = r.string()?;
+            let v = r.string()?;
+            meta.push((k, v));
+        }
+        let layer_count = r.u32()? as usize;
+        let mut layers = Vec::with_capacity(layer_count.min(1024));
+        for _ in 0..layer_count {
+            layers.push(read_layer_spec(&mut r, 0)?);
+        }
+        let param_count = r.u32()? as usize;
+        let mut params = Vec::with_capacity(param_count.min(1024));
+        for _ in 0..param_count {
+            let path = r.string()?;
+            let trainable = r.u8()? != 0;
+            let dims = r.usize_vec()?;
+            let data = r.f32_vec()?;
+            // Checked: dims are untrusted values (the length guards above
+            // only bound element *counts*), so the product must not be
+            // allowed to overflow-panic or wrap.
+            let numel = dims
+                .iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                .ok_or_else(|| {
+                    IoError::Corrupt(format!(
+                        "parameter `{path}` declares an overflowing shape {dims:?}"
+                    ))
+                })?;
+            if numel != data.len() {
+                return Err(IoError::Corrupt(format!(
+                    "parameter `{path}` declares shape {dims:?} ({numel} values) but carries {}",
+                    data.len()
+                )));
+            }
+            params.push(SavedParam {
+                path,
+                trainable,
+                dims,
+                data,
+            });
+        }
+        let profile = if r.u8()? != 0 {
+            let slot_count = r.u32()? as usize;
+            let mut slots = Vec::with_capacity(slot_count.min(1024));
+            for _ in 0..slot_count {
+                let label = r.string()?;
+                let feature_shape = r.usize_vec()?;
+                let layer_max = r.f32()?;
+                let per_neuron_max = r.f32_vec()?;
+                slots.push(SlotProfile {
+                    label,
+                    feature_shape,
+                    per_neuron_max,
+                    layer_max,
+                });
+            }
+            Some(ActivationProfile { slots })
+        } else {
+            None
+        };
+        let scheme =
+            if r.u8()? != 0 {
+                let tag = r.u8()?;
+                let slope = r.f32()?;
+                Some(ProtectionScheme::from_tag(tag, slope).ok_or_else(|| {
+                    IoError::Corrupt(format!("unknown protection-scheme tag {tag}"))
+                })?)
+            } else {
+                None
+            };
+        if !r.is_exhausted() {
+            return Err(IoError::Corrupt(format!(
+                "{} trailing bytes after the artifact",
+                r.remaining()
+            )));
+        }
+        Ok(ModelArtifact {
+            name,
+            meta,
+            layers,
+            params,
+            profile,
+            scheme,
+        })
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), IoError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads an artifact from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] on filesystem failure, plus every
+    /// [`ModelArtifact::from_bytes`] decoding error.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, IoError> {
+        let bytes = std::fs::read(path)?;
+        ModelArtifact::from_bytes(&bytes)
+    }
+
+    /// Convenience: captures `network` together with its protection state.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelArtifact::capture`].
+    pub fn capture_protected(
+        network: &Network,
+        profile: Option<&ActivationProfile>,
+        scheme: Option<ProtectionScheme>,
+    ) -> Result<Self, IoError> {
+        let mut artifact = ModelArtifact::capture(network)?;
+        artifact.profile = profile.cloned();
+        artifact.scheme = scheme;
+        Ok(artifact)
+    }
+}
+
+/// The number of scalar parameter values the layer built from `spec` will
+/// allocate, with checked arithmetic (`None` on overflow).
+///
+/// Must agree exactly with what each constructor allocates — the match is
+/// exhaustive, so adding a [`LayerSpec`] variant forces an update here, and
+/// the round-trip suites fail loudly if the count drifts.
+fn spec_param_numel(spec: &LayerSpec) -> Option<u128> {
+    let mul = |a: usize, b: usize| (a as u128).checked_mul(b as u128);
+    match spec {
+        LayerSpec::Linear {
+            in_features,
+            out_features,
+        } => {
+            // weight [out, in] + bias [out]
+            mul(*out_features, *in_features)?.checked_add(*out_features as u128)
+        }
+        LayerSpec::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            ..
+        } => {
+            // weight [oc, ic, k, k] + bias [oc]
+            mul(*in_channels, *kernel)?
+                .checked_mul(*kernel as u128)?
+                .checked_mul(*out_channels as u128)?
+                .checked_add(*out_channels as u128)
+        }
+        // gamma + beta + running mean + running var
+        LayerSpec::BatchNorm2d { channels } => mul(*channels, 4),
+        LayerSpec::Activation { activation, .. } => match activation.kind.as_str() {
+            // One λ word per neuron / channel; the counts are the builder's
+            // ints[0] payload (validated again at construction).
+            "fitrelu" | "fitrelu_naive" | "channel_relu" => {
+                Some(activation.ints.first().copied().unwrap_or(0) as u128)
+            }
+            _ => Some(0),
+        },
+        LayerSpec::Dropout { .. }
+        | LayerSpec::Flatten
+        | LayerSpec::MaxPool2d { .. }
+        | LayerSpec::GlobalAvgPool => Some(0),
+        LayerSpec::Sequential(children) => children
+            .iter()
+            .try_fold(0u128, |acc, c| acc.checked_add(spec_param_numel(c)?)),
+        LayerSpec::Bottleneck {
+            main,
+            shortcut,
+            final_act,
+        } => {
+            let mut total = main
+                .iter()
+                .try_fold(0u128, |acc, c| acc.checked_add(spec_param_numel(c)?))?;
+            if let Some(children) = shortcut {
+                for c in children {
+                    total = total.checked_add(spec_param_numel(c)?)?;
+                }
+            }
+            total.checked_add(spec_param_numel(final_act)?)
+        }
+    }
+}
+
+/// Restores a parameter snapshot-compatible tensor from a [`SavedParam`].
+pub fn saved_param_tensor(p: &SavedParam) -> Result<Tensor, IoError> {
+    Tensor::from_vec(p.data.clone(), &p.dims)
+        .map_err(|e| IoError::Corrupt(format!("parameter `{}` is not a tensor: {e}", p.path)))
+}
+
+// Layer-spec tags are append-only (see the module docs' versioning policy).
+const TAG_LINEAR: u8 = 0;
+const TAG_CONV2D: u8 = 1;
+const TAG_BATCHNORM2D: u8 = 2;
+const TAG_ACTIVATION: u8 = 3;
+const TAG_DROPOUT: u8 = 4;
+const TAG_FLATTEN: u8 = 5;
+const TAG_MAXPOOL2D: u8 = 6;
+const TAG_GLOBAL_AVG_POOL: u8 = 7;
+const TAG_SEQUENTIAL: u8 = 8;
+const TAG_BOTTLENECK: u8 = 9;
+
+/// Maximum spec-tree nesting the reader accepts (defence against crafted
+/// deeply-recursive input overflowing the stack).
+const MAX_SPEC_DEPTH: usize = 64;
+
+fn write_layer_spec(w: &mut ByteWriter, spec: &LayerSpec) {
+    match spec {
+        LayerSpec::Linear {
+            in_features,
+            out_features,
+        } => {
+            w.u8(TAG_LINEAR);
+            w.len(*in_features);
+            w.len(*out_features);
+        }
+        LayerSpec::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        } => {
+            w.u8(TAG_CONV2D);
+            w.len(*in_channels);
+            w.len(*out_channels);
+            w.len(*kernel);
+            w.len(*stride);
+            w.len(*padding);
+        }
+        LayerSpec::BatchNorm2d { channels } => {
+            w.u8(TAG_BATCHNORM2D);
+            w.len(*channels);
+        }
+        LayerSpec::Activation {
+            label,
+            feature_shape,
+            activation,
+        } => {
+            w.u8(TAG_ACTIVATION);
+            w.string(label);
+            w.usize_slice(feature_shape);
+            w.string(&activation.kind);
+            w.f32_slice(&activation.floats);
+            w.u64_slice(&activation.ints);
+        }
+        LayerSpec::Dropout { p, seed } => {
+            w.u8(TAG_DROPOUT);
+            w.f32(*p);
+            w.u64(*seed);
+        }
+        LayerSpec::Flatten => w.u8(TAG_FLATTEN),
+        LayerSpec::MaxPool2d { kernel, stride } => {
+            w.u8(TAG_MAXPOOL2D);
+            w.len(*kernel);
+            w.len(*stride);
+        }
+        LayerSpec::GlobalAvgPool => w.u8(TAG_GLOBAL_AVG_POOL),
+        LayerSpec::Sequential(children) => {
+            w.u8(TAG_SEQUENTIAL);
+            w.u32(children.len() as u32);
+            for child in children {
+                write_layer_spec(w, child);
+            }
+        }
+        LayerSpec::Bottleneck {
+            main,
+            shortcut,
+            final_act,
+        } => {
+            w.u8(TAG_BOTTLENECK);
+            w.u32(main.len() as u32);
+            for child in main {
+                write_layer_spec(w, child);
+            }
+            match shortcut {
+                Some(children) => {
+                    w.u8(1);
+                    w.u32(children.len() as u32);
+                    for child in children {
+                        write_layer_spec(w, child);
+                    }
+                }
+                None => w.u8(0),
+            }
+            write_layer_spec(w, final_act);
+        }
+    }
+}
+
+fn read_usize(r: &mut ByteReader<'_>) -> Result<usize, IoError> {
+    let raw = r.u64()?;
+    usize::try_from(raw)
+        .map_err(|_| IoError::Corrupt(format!("value {raw} exceeds the address space")))
+}
+
+fn read_layer_spec(r: &mut ByteReader<'_>, depth: usize) -> Result<LayerSpec, IoError> {
+    if depth > MAX_SPEC_DEPTH {
+        return Err(IoError::Corrupt(format!(
+            "layer-spec tree deeper than {MAX_SPEC_DEPTH}"
+        )));
+    }
+    let tag = r.u8()?;
+    match tag {
+        TAG_LINEAR => Ok(LayerSpec::Linear {
+            in_features: read_usize(r)?,
+            out_features: read_usize(r)?,
+        }),
+        TAG_CONV2D => Ok(LayerSpec::Conv2d {
+            in_channels: read_usize(r)?,
+            out_channels: read_usize(r)?,
+            kernel: read_usize(r)?,
+            stride: read_usize(r)?,
+            padding: read_usize(r)?,
+        }),
+        TAG_BATCHNORM2D => Ok(LayerSpec::BatchNorm2d {
+            channels: read_usize(r)?,
+        }),
+        TAG_ACTIVATION => Ok(LayerSpec::Activation {
+            label: r.string()?,
+            feature_shape: r.usize_vec()?,
+            activation: ActivationSpec {
+                kind: r.string()?,
+                floats: r.f32_vec()?,
+                ints: r.u64_vec()?,
+            },
+        }),
+        TAG_DROPOUT => Ok(LayerSpec::Dropout {
+            p: r.f32()?,
+            seed: r.u64()?,
+        }),
+        TAG_FLATTEN => Ok(LayerSpec::Flatten),
+        TAG_MAXPOOL2D => Ok(LayerSpec::MaxPool2d {
+            kernel: read_usize(r)?,
+            stride: read_usize(r)?,
+        }),
+        TAG_GLOBAL_AVG_POOL => Ok(LayerSpec::GlobalAvgPool),
+        TAG_SEQUENTIAL => {
+            let count = r.u32()? as usize;
+            let mut children = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                children.push(read_layer_spec(r, depth + 1)?);
+            }
+            Ok(LayerSpec::Sequential(children))
+        }
+        TAG_BOTTLENECK => {
+            let main_count = r.u32()? as usize;
+            let mut main = Vec::with_capacity(main_count.min(1024));
+            for _ in 0..main_count {
+                main.push(read_layer_spec(r, depth + 1)?);
+            }
+            let shortcut = if r.u8()? != 0 {
+                let count = r.u32()? as usize;
+                let mut children = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    children.push(read_layer_spec(r, depth + 1)?);
+                }
+                Some(children)
+            } else {
+                None
+            };
+            let final_act = read_layer_spec(r, depth + 1)?;
+            if !matches!(final_act, LayerSpec::Activation { .. }) {
+                return Err(IoError::Corrupt(
+                    "bottleneck final activation is not an activation slot".into(),
+                ));
+            }
+            Ok(LayerSpec::Bottleneck {
+                main,
+                shortcut,
+                final_act: Box::new(final_act),
+            })
+        }
+        other => Err(IoError::Corrupt(format!("unknown layer-spec tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp() -> Network {
+        let mut rng = StdRng::seed_from_u64(1);
+        Network::new(
+            "mlp",
+            Sequential::new()
+                .with(Box::new(Linear::new(4, 6, &mut rng)))
+                .with(Box::new(ActivationLayer::relu("h", &[6])))
+                .with(Box::new(Linear::new(6, 2, &mut rng))),
+        )
+    }
+
+    #[test]
+    fn capture_encode_decode_instantiate_is_bit_exact() {
+        let net = mlp();
+        let artifact = ModelArtifact::capture(&net).unwrap();
+        let bytes = artifact.to_bytes();
+        let decoded = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, artifact);
+        let rebuilt = decoded.instantiate().unwrap();
+        assert_eq!(rebuilt.name(), "mlp");
+        for (a, b) in net.params().iter().zip(rebuilt.params()) {
+            assert_eq!(a.data(), b.data());
+            assert_eq!(a.trainable(), b.trainable());
+        }
+    }
+
+    #[test]
+    fn metadata_round_trips_in_order() {
+        let mut artifact = ModelArtifact::capture(&mlp()).unwrap();
+        artifact.set_meta("dataset", "blobs");
+        artifact.set_meta("seed", "7");
+        artifact.set_meta("dataset", "synthetic-cifar"); // replace
+        let decoded = ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+        assert_eq!(decoded.meta("dataset"), Some("synthetic-cifar"));
+        assert_eq!(decoded.meta("seed"), Some("7"));
+        assert_eq!(decoded.meta("missing"), None);
+    }
+
+    #[test]
+    fn bad_magic_wrong_version_truncation_trailing() {
+        let bytes = ModelArtifact::capture(&mlp()).unwrap().to_bytes();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bad),
+            Err(IoError::BadMagic)
+        ));
+        // Wrong version.
+        let mut wrong = bytes.clone();
+        wrong[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::from_bytes(&wrong),
+            Err(IoError::UnsupportedVersion(99))
+        ));
+        // Every truncation point fails with a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            let err = ModelArtifact::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, IoError::Truncated { .. } | IoError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(matches!(
+            ModelArtifact::from_bytes(&trailing),
+            Err(IoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_parameter_lists_are_rejected() {
+        let mut artifact = ModelArtifact::capture(&mlp()).unwrap();
+        artifact.params.pop();
+        assert!(matches!(artifact.instantiate(), Err(IoError::Mismatch(_))));
+        let mut artifact = ModelArtifact::capture(&mlp()).unwrap();
+        artifact.params[0].path = "not/the/weight".into();
+        assert!(matches!(artifact.instantiate(), Err(IoError::Mismatch(_))));
+    }
+
+    #[test]
+    fn hostile_topology_is_rejected_before_allocation() {
+        let mut artifact = ModelArtifact::capture(&mlp()).unwrap();
+        // 2^60 weight elements: must fail with a typed error before the
+        // constructor tries (and fails) to allocate them.
+        artifact.layers[0] = LayerSpec::Linear {
+            in_features: 1 << 30,
+            out_features: 1 << 30,
+        };
+        assert!(matches!(artifact.instantiate(), Err(IoError::Mismatch(_))));
+        // Same via a hostile activation spec.
+        let mut artifact = ModelArtifact::capture(&mlp()).unwrap();
+        artifact.layers[1] = LayerSpec::Activation {
+            label: "h".into(),
+            feature_shape: vec![6],
+            activation: ActivationSpec {
+                kind: "fitrelu".into(),
+                floats: vec![8.0],
+                ints: vec![u64::MAX],
+            },
+        };
+        assert!(matches!(artifact.instantiate(), Err(IoError::Mismatch(_))));
+    }
+
+    #[test]
+    fn overflowing_parameter_shape_is_corrupt() {
+        let mut artifact = ModelArtifact::capture(&mlp()).unwrap();
+        // dims whose product overflows usize: the decoder must reject the
+        // artifact with a typed error, not panic or wrap.
+        artifact.params[0].dims = vec![1 << 62, 1 << 62];
+        assert!(matches!(
+            ModelArtifact::from_bytes(&artifact.to_bytes()),
+            Err(IoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let dir = std::env::temp_dir().join("fitact_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mlp.fitact");
+        let artifact = ModelArtifact::capture(&mlp()).unwrap();
+        artifact.save(&path).unwrap();
+        assert_eq!(ModelArtifact::load(&path).unwrap(), artifact);
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(ModelArtifact::load(&path), Err(IoError::Io(_))));
+    }
+}

@@ -1,0 +1,327 @@
+//! Endian-pinned binary encoding primitives.
+//!
+//! Every multi-byte value in a FitAct artifact is **little-endian**,
+//! regardless of the host: artifacts written on any machine load on any
+//! other. `f32` values travel as their raw IEEE-754 bit patterns
+//! ([`f32::to_bits`] / [`f32::from_bits`]), so parameter tensors and
+//! configuration scalars round-trip **bit-exactly** — including negative
+//! zero, subnormals and any NaN payload a fault campaign may have left
+//! behind.
+//!
+//! The reader is defensive: every read is bounds-checked against the
+//! remaining input ([`IoError::Truncated`]), and length-prefixed sequences
+//! verify that the declared element count fits in the remaining bytes
+//! *before* allocating, so a corrupt length cannot trigger an
+//! out-of-memory abort.
+
+use crate::IoError;
+
+/// An append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64` little-endian.
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f32` as its raw bit pattern (bit-exact round-trip).
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    /// Appends an `f64` as its raw bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` slice (bit patterns).
+    pub fn f32_slice(&mut self, values: &[f32]) {
+        self.len(values.len());
+        for &v in values {
+            self.f32(v);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` slice (as `u64`s).
+    pub fn usize_slice(&mut self, values: &[usize]) {
+        self.len(values.len());
+        for &v in values {
+            self.u64(v as u64);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn u64_slice(&mut self, values: &[u64]) {
+        self.len(values.len());
+        for &v in values {
+            self.u64(v);
+        }
+    }
+}
+
+/// A bounds-checked little-endian decoder over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` once every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IoError> {
+        if self.remaining() < n {
+            return Err(IoError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Truncated`] if fewer than `n` bytes remain.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], IoError> {
+        self.take(n)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, IoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Truncated`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, IoError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Truncated`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, IoError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` length prefix and validates that `elem_size × len` more
+    /// bytes could possibly follow, guarding allocations against corrupt
+    /// counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Truncated`] for counts larger than the remaining
+    /// input, [`IoError::Corrupt`] for counts beyond the address space.
+    pub fn len(&mut self, elem_size: usize) -> Result<usize, IoError> {
+        let raw = self.u64()?;
+        let len = usize::try_from(raw)
+            .map_err(|_| IoError::Corrupt(format!("length {raw} exceeds the address space")))?;
+        let needed = len.checked_mul(elem_size.max(1)).ok_or_else(|| {
+            IoError::Corrupt(format!("length {len} × {elem_size} bytes overflows"))
+        })?;
+        if self.remaining() < needed {
+            return Err(IoError::Truncated {
+                needed,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads an `f32` from its raw bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Truncated`] if fewer than 4 bytes remain.
+    pub fn f32(&mut self) -> Result<f32, IoError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads an `f64` from its raw bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Truncated`] if fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64, IoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Truncated`] on short input or [`IoError::Corrupt`]
+    /// for invalid UTF-8.
+    pub fn string(&mut self) -> Result<String, IoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| IoError::Corrupt("string is not valid UTF-8".into()))
+    }
+
+    /// Reads a length-prefixed `f32` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Truncated`] / [`IoError::Corrupt`] as for
+    /// [`ByteReader::len`].
+    pub fn f32_vec(&mut self) -> Result<Vec<f32>, IoError> {
+        let len = self.len(4)?;
+        (0..len).map(|_| self.f32()).collect()
+    }
+
+    /// Reads a length-prefixed `usize` vector (stored as `u64`s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Corrupt`] if any element exceeds the address space.
+    pub fn usize_vec(&mut self) -> Result<Vec<usize>, IoError> {
+        let len = self.len(8)?;
+        (0..len)
+            .map(|_| {
+                let raw = self.u64()?;
+                usize::try_from(raw)
+                    .map_err(|_| IoError::Corrupt(format!("value {raw} exceeds the address space")))
+            })
+            .collect()
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Truncated`] / [`IoError::Corrupt`] as for
+    /// [`ByteReader::len`].
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, IoError> {
+        let len = self.len(8)?;
+        (0..len).map(|_| self.u64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f32(-0.0);
+        w.f32(f32::from_bits(0x7FC0_1234)); // NaN with payload
+        w.f64(1.0 / 3.0);
+        w.string("λ-bounds");
+        w.f32_slice(&[1.5, -2.25]);
+        w.usize_slice(&[3, 0, 9]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.f32().unwrap().to_bits(), 0x7FC0_1234);
+        assert_eq!(r.f64().unwrap(), 1.0 / 3.0);
+        assert_eq!(r.string().unwrap(), "λ-bounds");
+        assert_eq!(r.f32_vec().unwrap(), vec![1.5, -2.25]);
+        assert_eq!(r.usize_vec().unwrap(), vec![3, 0, 9]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_are_typed() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(IoError::Truncated { .. })));
+        assert_eq!(r.remaining(), 2, "a failed read consumes nothing");
+    }
+
+    #[test]
+    fn corrupt_length_does_not_allocate() {
+        // A declared count of 2^60 f32s must fail before allocation.
+        let mut w = ByteWriter::new();
+        w.u64(1u64 << 60);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.f32_vec(), Err(IoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut w = ByteWriter::new();
+        w.u32(2);
+        w.raw(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.string(), Err(IoError::Corrupt(_))));
+    }
+}

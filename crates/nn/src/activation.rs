@@ -57,6 +57,21 @@ pub trait Activation: fmt::Debug + Send {
         Vec::new()
     }
 
+    /// The serializable descriptor of this activation's configuration (see
+    /// [`crate::spec::ActivationSpec`] for the encoding contract).
+    ///
+    /// # Errors
+    ///
+    /// The default implementation returns [`NnError::InvalidConfig`]:
+    /// ephemeral activations (profiling recorders, fault-injection wrappers)
+    /// are not meant to be persisted.
+    fn spec(&self) -> Result<crate::spec::ActivationSpec, NnError> {
+        Err(NnError::InvalidConfig(format!(
+            "activation `{}` does not support serialisation",
+            self.name()
+        )))
+    }
+
     /// Clones the activation into a box. Needed because `Clone` itself is not
     /// object-safe.
     fn clone_box(&self) -> Box<dyn Activation>;
@@ -119,6 +134,10 @@ impl Activation for ReLU {
 
     fn eval_scalar(&self, x: f32, _neuron: usize) -> f32 {
         x.max(0.0)
+    }
+
+    fn spec(&self) -> Result<crate::spec::ActivationSpec, NnError> {
+        Ok(crate::spec::ActivationSpec::tagged("relu"))
     }
 
     fn clone_box(&self) -> Box<dyn Activation> {

@@ -110,6 +110,14 @@ impl Layer for ActivationLayer {
         vec![self]
     }
 
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        Ok(crate::spec::LayerSpec::Activation {
+            label: self.label.clone(),
+            feature_shape: self.feature_shape.clone(),
+            activation: self.activation.spec()?,
+        })
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

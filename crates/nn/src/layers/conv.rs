@@ -215,6 +215,16 @@ impl Layer for Conv2d {
         vec![&mut self.weight, &mut self.bias]
     }
 
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        Ok(crate::spec::LayerSpec::Conv2d {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        })
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

@@ -14,6 +14,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
+    seed: u64,
     rng: StdRng,
     cached_mask: Option<Tensor>,
 }
@@ -33,6 +34,7 @@ impl Dropout {
         }
         Ok(Dropout {
             p,
+            seed,
             rng: StdRng::seed_from_u64(seed),
             cached_mask: None,
         })
@@ -41,6 +43,11 @@ impl Dropout {
     /// The configured drop probability.
     pub fn probability(&self) -> f32 {
         self.p
+    }
+
+    /// The seed the mask RNG was constructed from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 }
 
@@ -83,6 +90,16 @@ impl Layer for Dropout {
             // Eval-mode forward: identity.
             None => Ok(grad_output.clone()),
         }
+    }
+
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        // The spec records the construction seed, not the RNG's current
+        // position: a reloaded layer restarts its mask stream (eval-mode
+        // inference, which artifacts exist for, never draws from it).
+        Ok(crate::spec::LayerSpec::Dropout {
+            p: self.p,
+            seed: self.seed,
+        })
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

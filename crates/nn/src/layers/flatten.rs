@@ -47,6 +47,10 @@ impl Layer for Flatten {
         Ok(grad_output.reshape(dims)?)
     }
 
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        Ok(crate::spec::LayerSpec::Flatten)
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

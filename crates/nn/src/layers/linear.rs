@@ -131,6 +131,13 @@ impl Layer for Linear {
         vec![&mut self.weight, &mut self.bias]
     }
 
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        Ok(crate::spec::LayerSpec::Linear {
+            in_features: self.in_features,
+            out_features: self.out_features,
+        })
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

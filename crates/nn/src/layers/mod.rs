@@ -107,6 +107,22 @@ pub trait Layer: fmt::Debug + Send {
         Vec::new()
     }
 
+    /// The serializable topology descriptor of this layer (type,
+    /// configuration and children — not parameter values; see
+    /// [`crate::spec::LayerSpec`] for the fidelity contract).
+    ///
+    /// # Errors
+    ///
+    /// The default implementation returns [`NnError::InvalidConfig`]:
+    /// ad-hoc layer implementations (test doubles, injection wrappers) opt
+    /// out of persistence by not overriding it.
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        Err(NnError::InvalidConfig(format!(
+            "layer `{}` does not support serialisation",
+            self.name()
+        )))
+    }
+
     /// Clones the layer into a box ([`Clone`] is not object-safe).
     fn clone_box(&self) -> Box<dyn Layer>;
 }

@@ -236,6 +236,12 @@ impl Layer for BatchNorm2d {
         ]
     }
 
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        Ok(crate::spec::LayerSpec::BatchNorm2d {
+            channels: self.channels,
+        })
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

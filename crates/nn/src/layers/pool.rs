@@ -131,6 +131,13 @@ impl Layer for MaxPool2d {
         Ok(dx)
     }
 
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        Ok(crate::spec::LayerSpec::MaxPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+        })
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -211,6 +218,10 @@ impl Layer for GlobalAvgPool {
             }
         }
         Ok(dx)
+    }
+
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        Ok(crate::spec::LayerSpec::GlobalAvgPool)
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

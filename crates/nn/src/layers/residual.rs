@@ -97,6 +97,21 @@ impl Bottleneck {
     pub fn has_projection(&self) -> bool {
         self.shortcut.is_some()
     }
+
+    /// Reassembles a block from its three constituents (the inverse of
+    /// [`Layer::spec`], used by the artifact loader).
+    pub fn from_parts(
+        main: Sequential,
+        shortcut: Option<Sequential>,
+        final_act: ActivationLayer,
+    ) -> Self {
+        Bottleneck {
+            main,
+            shortcut,
+            final_act,
+            cached_input: None,
+        }
+    }
 }
 
 impl Layer for Bottleneck {
@@ -172,6 +187,17 @@ impl Layer for Bottleneck {
         }
         slots.extend(self.final_act.activation_slots());
         slots
+    }
+
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        Ok(crate::spec::LayerSpec::Bottleneck {
+            main: self.main.child_specs()?,
+            shortcut: match &self.shortcut {
+                Some(s) => Some(s.child_specs()?),
+                None => None,
+            },
+            final_act: Box::new(Layer::spec(&self.final_act)?),
+        })
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -148,6 +148,16 @@ impl Sequential {
         Ok(x)
     }
 
+    /// Serializable specs of the direct children, in forward order (the
+    /// payload of a [`crate::spec::LayerSpec::Sequential`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first child that does not support serialisation.
+    pub fn child_specs(&self) -> Result<Vec<crate::spec::LayerSpec>, NnError> {
+        self.layers.iter().map(|l| l.spec()).collect()
+    }
+
     /// Index of the first direct child layer that contains an activation slot
     /// (at any nesting depth), or `None` if no child has one.
     ///
@@ -224,6 +234,10 @@ impl Layer for Sequential {
             .iter_mut()
             .flat_map(|l| l.activation_slots())
             .collect()
+    }
+
+    fn spec(&self) -> Result<crate::spec::LayerSpec, NnError> {
+        Ok(crate::spec::LayerSpec::Sequential(self.child_specs()?))
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -44,11 +44,13 @@ pub mod network;
 pub mod optim;
 mod param;
 pub mod schedule;
+pub mod spec;
 
 pub use activation::{Activation, ReLU};
 pub use layers::{Layer, Mode, Sequential};
 pub use network::{copy_batch_into, Network};
 pub use param::Parameter;
+pub use spec::{ActivationBuilder, ActivationSpec, BaselineActivations, LayerSpec};
 
 use fitact_tensor::TensorError;
 use std::error::Error;

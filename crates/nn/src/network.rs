@@ -76,6 +76,37 @@ impl Network {
         &self.name
     }
 
+    /// The serializable topology descriptor of the layer stack (see
+    /// [`crate::spec::LayerSpec`]); parameter values travel separately via
+    /// [`Network::visit_params`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer that does not support serialisation.
+    pub fn to_spec(&self) -> Result<Vec<crate::spec::LayerSpec>, NnError> {
+        self.root.child_specs()
+    }
+
+    /// Rebuilds a network from a topology descriptor with placeholder
+    /// parameter values; the caller restores saved tensors afterwards
+    /// (artifact loading lives in the `fitact_io` crate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for malformed specs or activation
+    /// kinds unknown to `activations`.
+    pub fn from_spec(
+        name: impl Into<String>,
+        layers: &[crate::spec::LayerSpec],
+        activations: &dyn crate::spec::ActivationBuilder,
+    ) -> Result<Self, NnError> {
+        let mut root = Sequential::new();
+        for spec in layers {
+            root.push(spec.build(activations)?);
+        }
+        Ok(Network::new(name, root))
+    }
+
     /// Read-only access to the layer stack.
     pub fn root(&self) -> &Sequential {
         &self.root

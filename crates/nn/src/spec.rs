@@ -1,0 +1,404 @@
+//! Serializable network-topology descriptors.
+//!
+//! A [`LayerSpec`] captures everything needed to *rebuild* a layer's
+//! structure — layer type, configuration and child layers — without its
+//! parameter values, which travel separately as flat tensors keyed by the
+//! deterministic [`crate::Network::visit_params`] traversal order. The split
+//! mirrors the FitAct workflow itself: topology is decided once at build
+//! time, parameters change across train / calibrate / protect stages.
+//!
+//! Activation functions are pluggable (`Box<dyn Activation>`), so their
+//! descriptor is the open-ended [`ActivationSpec`] record rather than an
+//! enum: each implementation encodes its configuration into the generic
+//! `kind` / `floats` / `ints` fields, and an [`ActivationBuilder`] maps the
+//! record back to a concrete activation. This crate only knows the plain
+//! ReLU baseline ([`BaselineActivations`]); the `fitact` core crate provides
+//! a builder that additionally knows the protected activations.
+//!
+//! # Fidelity contract
+//!
+//! `LayerSpec::build` followed by restoring the saved parameter tensors must
+//! reproduce a network whose [`crate::Mode::Eval`] forward pass is
+//! **bit-identical** to the original's. Constructors run with placeholder
+//! parameter values (they are overwritten by the restore), so any
+//! configuration that affects eval-mode arithmetic — bounds, slopes, shapes,
+//! strides — must round-trip exactly through the spec. `f32` configuration
+//! values are therefore carried as raw bits by the artifact encoder, never
+//! through decimal text.
+
+use crate::activation::Activation;
+use crate::layers::{
+    ActivationLayer, BatchNorm2d, Bottleneck, Conv2d, Dropout, Flatten, GlobalAvgPool, Layer,
+    Linear, MaxPool2d, Sequential,
+};
+use crate::{NnError, ReLU};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Open-ended descriptor of one activation function.
+///
+/// `kind` names the implementation (`"relu"`, `"fitrelu"`, …); `floats` and
+/// `ints` carry its configuration in an implementation-defined order that
+/// each [`Activation::spec`] / [`ActivationBuilder`] pair agrees on.
+/// Parameter tensors (e.g. FitReLU's per-neuron λ) are *not* part of the
+/// spec — they are restored through the normal parameter traversal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationSpec {
+    /// The activation implementation's name, as reported by
+    /// [`Activation::name`].
+    pub kind: String,
+    /// Floating-point configuration values (bounds, slopes, …).
+    pub floats: Vec<f32>,
+    /// Integer configuration values (neuron counts, plane sizes, …).
+    pub ints: Vec<u64>,
+}
+
+impl ActivationSpec {
+    /// A spec with only a kind tag and no configuration payload.
+    pub fn tagged(kind: impl Into<String>) -> Self {
+        ActivationSpec {
+            kind: kind.into(),
+            floats: Vec::new(),
+            ints: Vec::new(),
+        }
+    }
+
+    /// Fetches `self.floats[i]`, with a typed error naming the kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the index is out of range.
+    pub fn float(&self, i: usize) -> Result<f32, NnError> {
+        self.floats.get(i).copied().ok_or_else(|| {
+            NnError::InvalidConfig(format!(
+                "activation spec `{}` is missing float #{i}",
+                self.kind
+            ))
+        })
+    }
+
+    /// Fetches `self.ints[i]`, with a typed error naming the kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the index is out of range.
+    pub fn int(&self, i: usize) -> Result<u64, NnError> {
+        self.ints.get(i).copied().ok_or_else(|| {
+            NnError::InvalidConfig(format!(
+                "activation spec `{}` is missing int #{i}",
+                self.kind
+            ))
+        })
+    }
+}
+
+/// Maps an [`ActivationSpec`] back to a concrete activation.
+///
+/// Builders are chained by construction: the artifact loader passes the
+/// builder that knows every activation kind the artifact may contain.
+pub trait ActivationBuilder {
+    /// Constructs the activation described by `spec`, with placeholder
+    /// parameter values (the caller restores the saved tensors afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for an unknown kind or a malformed
+    /// configuration payload.
+    fn build_activation(&self, spec: &ActivationSpec) -> Result<Box<dyn Activation>, NnError>;
+}
+
+/// The builder for networks that use only the baseline [`ReLU`].
+///
+/// Protected models need the `fitact` core crate's builder, which handles
+/// every [`crate::Activation`] implementation in this workspace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineActivations;
+
+impl ActivationBuilder for BaselineActivations {
+    fn build_activation(&self, spec: &ActivationSpec) -> Result<Box<dyn Activation>, NnError> {
+        match spec.kind.as_str() {
+            "relu" => Ok(Box::new(ReLU::new())),
+            other => Err(NnError::InvalidConfig(format!(
+                "unknown activation kind `{other}` (the baseline builder only knows `relu`)"
+            ))),
+        }
+    }
+}
+
+/// Serializable description of one layer's type, configuration and children.
+///
+/// Variants mirror the concrete layer types of [`crate::layers`] one-to-one;
+/// container variants nest recursively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerSpec {
+    /// [`Linear`] — `y = x Wᵀ + b`.
+    Linear {
+        /// Input feature count.
+        in_features: usize,
+        /// Output feature count.
+        out_features: usize,
+    },
+    /// [`Conv2d`] over `[batch, channels, h, w]`.
+    Conv2d {
+        /// Input channel count.
+        in_channels: usize,
+        /// Output channel count.
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Spatial stride.
+        stride: usize,
+        /// Zero padding per border.
+        padding: usize,
+    },
+    /// [`BatchNorm2d`] with per-channel affine parameters and running stats.
+    BatchNorm2d {
+        /// Normalised channel count.
+        channels: usize,
+    },
+    /// An [`ActivationLayer`] slot hosting a pluggable activation.
+    Activation {
+        /// The slot's diagnostic label.
+        label: String,
+        /// Per-sample feature shape of the slot.
+        feature_shape: Vec<usize>,
+        /// Descriptor of the hosted activation.
+        activation: ActivationSpec,
+    },
+    /// [`Dropout`] (identity in eval mode).
+    Dropout {
+        /// Drop probability.
+        p: f32,
+        /// The RNG seed the layer was constructed with. Reloading restarts
+        /// the mask stream from this seed; eval-mode behaviour (the identity)
+        /// is unaffected.
+        seed: u64,
+    },
+    /// [`Flatten`] of feature maps into vectors.
+    Flatten,
+    /// [`MaxPool2d`] over square windows.
+    MaxPool2d {
+        /// Square window size.
+        kernel: usize,
+        /// Window stride.
+        stride: usize,
+    },
+    /// [`GlobalAvgPool`]: `[batch, c, h, w] → [batch, c]`.
+    GlobalAvgPool,
+    /// A [`Sequential`] container applying its children in order.
+    Sequential(Vec<LayerSpec>),
+    /// A ResNet [`Bottleneck`] block.
+    Bottleneck {
+        /// The main path's child layers.
+        main: Vec<LayerSpec>,
+        /// The projection shortcut's child layers, if any.
+        shortcut: Option<Vec<LayerSpec>>,
+        /// The final activation slot (always a [`LayerSpec::Activation`]).
+        final_act: Box<LayerSpec>,
+    },
+}
+
+impl LayerSpec {
+    /// Rebuilds the described layer with placeholder parameter values.
+    ///
+    /// Weight-bearing layers are constructed from a fixed-seed RNG; callers
+    /// are expected to overwrite every parameter tensor with saved values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for malformed specs (unknown
+    /// activation kinds, a non-activation `final_act`, invalid dropout
+    /// probability).
+    pub fn build(&self, activations: &dyn ActivationBuilder) -> Result<Box<dyn Layer>, NnError> {
+        // Placeholder initialisation only: every parameter is overwritten by
+        // the artifact loader after construction.
+        let mut rng = StdRng::seed_from_u64(0);
+        match self {
+            LayerSpec::Linear {
+                in_features,
+                out_features,
+            } => Ok(Box::new(Linear::new(*in_features, *out_features, &mut rng))),
+            LayerSpec::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => Ok(Box::new(Conv2d::new(
+                *in_channels,
+                *out_channels,
+                *kernel,
+                *stride,
+                *padding,
+                &mut rng,
+            ))),
+            LayerSpec::BatchNorm2d { channels } => Ok(Box::new(BatchNorm2d::new(*channels))),
+            LayerSpec::Activation { .. } => Ok(Box::new(self.build_activation_layer(activations)?)),
+            LayerSpec::Dropout { p, seed } => Ok(Box::new(Dropout::new(*p, *seed)?)),
+            LayerSpec::Flatten => Ok(Box::new(Flatten::new())),
+            LayerSpec::MaxPool2d { kernel, stride } => {
+                Ok(Box::new(MaxPool2d::new(*kernel, *stride)))
+            }
+            LayerSpec::GlobalAvgPool => Ok(Box::new(GlobalAvgPool::new())),
+            LayerSpec::Sequential(children) => {
+                Ok(Box::new(build_sequential(children, activations)?))
+            }
+            LayerSpec::Bottleneck {
+                main,
+                shortcut,
+                final_act,
+            } => {
+                let main = build_sequential(main, activations)?;
+                let shortcut = match shortcut {
+                    Some(children) => Some(build_sequential(children, activations)?),
+                    None => None,
+                };
+                let final_act = final_act.build_activation_layer(activations)?;
+                Ok(Box::new(Bottleneck::from_parts(main, shortcut, final_act)))
+            }
+        }
+    }
+
+    /// Builds an [`ActivationLayer`] from a [`LayerSpec::Activation`] spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `self` is a different variant or
+    /// the activation kind is unknown to `activations`.
+    pub fn build_activation_layer(
+        &self,
+        activations: &dyn ActivationBuilder,
+    ) -> Result<ActivationLayer, NnError> {
+        let LayerSpec::Activation {
+            label,
+            feature_shape,
+            activation,
+        } = self
+        else {
+            return Err(NnError::InvalidConfig(format!(
+                "expected an activation-slot spec, got {self:?}"
+            )));
+        };
+        Ok(ActivationLayer::with_activation(
+            label.clone(),
+            feature_shape,
+            activations.build_activation(activation)?,
+        ))
+    }
+}
+
+/// Builds a [`Sequential`] from child specs.
+fn build_sequential(
+    children: &[LayerSpec],
+    activations: &dyn ActivationBuilder,
+) -> Result<Sequential, NnError> {
+    let mut seq = Sequential::new();
+    for child in children {
+        seq.push(child.build(activations)?);
+    }
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Mode;
+    use fitact_tensor::Tensor;
+
+    #[test]
+    fn baseline_builder_knows_only_relu() {
+        let builder = BaselineActivations;
+        assert!(builder
+            .build_activation(&ActivationSpec::tagged("relu"))
+            .is_ok());
+        assert!(matches!(
+            builder.build_activation(&ActivationSpec::tagged("fitrelu")),
+            Err(NnError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn spec_payload_accessors_are_typed() {
+        let spec = ActivationSpec {
+            kind: "x".into(),
+            floats: vec![1.5],
+            ints: vec![7],
+        };
+        assert_eq!(spec.float(0).unwrap(), 1.5);
+        assert_eq!(spec.int(0).unwrap(), 7);
+        assert!(spec.float(1).is_err());
+        assert!(spec.int(1).is_err());
+    }
+
+    #[test]
+    fn every_leaf_spec_builds_and_roundtrips() {
+        let specs = vec![
+            LayerSpec::Linear {
+                in_features: 3,
+                out_features: 2,
+            },
+            LayerSpec::Conv2d {
+                in_channels: 1,
+                out_channels: 2,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            LayerSpec::BatchNorm2d { channels: 2 },
+            LayerSpec::Activation {
+                label: "h".into(),
+                feature_shape: vec![4],
+                activation: ActivationSpec::tagged("relu"),
+            },
+            LayerSpec::Dropout { p: 0.25, seed: 9 },
+            LayerSpec::Flatten,
+            LayerSpec::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
+            LayerSpec::GlobalAvgPool,
+        ];
+        for spec in specs {
+            let layer = spec.build(&BaselineActivations).unwrap();
+            assert_eq!(layer.spec().unwrap(), spec, "spec of {}", layer.name());
+        }
+    }
+
+    #[test]
+    fn sequential_spec_roundtrips_and_runs() {
+        let spec = LayerSpec::Sequential(vec![
+            LayerSpec::Linear {
+                in_features: 4,
+                out_features: 3,
+            },
+            LayerSpec::Activation {
+                label: "h".into(),
+                feature_shape: vec![3],
+                activation: ActivationSpec::tagged("relu"),
+            },
+        ]);
+        let mut layer = spec.build(&BaselineActivations).unwrap();
+        assert_eq!(layer.spec().unwrap(), spec);
+        let y = layer.forward(&Tensor::zeros(&[2, 4]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn bottleneck_final_act_must_be_an_activation_spec() {
+        let bad = LayerSpec::Bottleneck {
+            main: vec![],
+            shortcut: None,
+            final_act: Box::new(LayerSpec::Flatten),
+        };
+        assert!(matches!(
+            bad.build(&BaselineActivations),
+            Err(NnError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_dropout_spec_is_rejected() {
+        let bad = LayerSpec::Dropout { p: 1.5, seed: 0 };
+        assert!(bad.build(&BaselineActivations).is_err());
+    }
+}

@@ -13,6 +13,7 @@
 use fitact::{apply_protection, ActivationProfiler, FitAct, FitActConfig, ProtectionScheme};
 use fitact_data::{materialize, SyntheticCifar};
 use fitact_faults::{quantize_network, Campaign, CampaignConfig};
+use fitact_io::{golden, ModelArtifact};
 use fitact_nn::models::{alexnet, ModelConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,13 +24,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train_x, train_y) = materialize(&train)?;
     let (test_x, test_y) = materialize(&test)?;
 
-    println!("training a width-{width} AlexNet on the synthetic CIFAR-10 stand-in ...");
-    let mut base = alexnet(&ModelConfig::new(10).with_width(width).with_seed(3))?;
     let fitact = FitAct::new(FitActConfig {
         post_train_epochs: 2,
         ..Default::default()
     });
-    fitact.train_for_accuracy(&mut base, &train_x, &train_y, 3, 0.05)?;
+    // Stage 1 is deterministic, so it is cached as a golden artifact: the
+    // first run trains, later runs load (delete target/golden to retrain).
+    // The cache key fingerprints the training configuration; change a
+    // hyperparameter here, change the name.
+    let artifact = golden::load_or_build(
+        &golden::golden_dir(env!("CARGO_MANIFEST_DIR")),
+        "edge-alexnet-w0626-s3-e3-lr005-cifar10x200s11",
+        || {
+            println!("training a width-{width} AlexNet on the synthetic CIFAR-10 stand-in ...");
+            let mut base = alexnet(&ModelConfig::new(10).with_width(width).with_seed(3))?;
+            fitact
+                .train_for_accuracy(&mut base, &train_x, &train_y, 3, 0.05)
+                .expect("training runs");
+            ModelArtifact::capture(&base)
+        },
+    )?;
+    let mut base = artifact.instantiate()?;
     quantize_network(&mut base);
     let baseline = base.evaluate(&test_x, &test_y, 50)?;
     println!(

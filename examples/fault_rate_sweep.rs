@@ -13,21 +13,13 @@
 use fitact::{evaluate_resilience, FitAct, FitActConfig};
 use fitact_data::{materialize, Blobs, BlobsConfig};
 use fitact_faults::quantize_network;
+use fitact_io::{golden, ModelArtifact};
 use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
 use fitact_nn::Network;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(17);
-    let root = Sequential::new()
-        .with(Box::new(Linear::new(8, 64, &mut rng)))
-        .with(Box::new(ActivationLayer::relu("h1", &[64])))
-        .with(Box::new(Linear::new(64, 32, &mut rng)))
-        .with(Box::new(ActivationLayer::relu("h2", &[32])))
-        .with(Box::new(Linear::new(32, 3, &mut rng)));
-    let mut network = Network::new("controller", root);
-
     let train = Blobs::new(BlobsConfig {
         samples: 512,
         seed: 20,
@@ -47,7 +39,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         post_train_epochs: 3,
         ..Default::default()
     });
-    fitact.train_for_accuracy(&mut network, &train_x, &train_y, 25, 0.05)?;
+    // Stage 1 is deterministic, so the trained controller is cached as a
+    // golden artifact: the first run trains, later runs load it.
+    // The cache key fingerprints the training configuration; change a
+    // hyperparameter here, change the name.
+    let artifact = golden::load_or_build(
+        &golden::golden_dir(env!("CARGO_MANIFEST_DIR")),
+        "sweep-controller-s17-e25-lr005-blobs512s20",
+        || {
+            let mut rng = StdRng::seed_from_u64(17);
+            let root = Sequential::new()
+                .with(Box::new(Linear::new(8, 64, &mut rng)))
+                .with(Box::new(ActivationLayer::relu("h1", &[64])))
+                .with(Box::new(Linear::new(64, 32, &mut rng)))
+                .with(Box::new(ActivationLayer::relu("h2", &[32])))
+                .with(Box::new(Linear::new(32, 3, &mut rng)));
+            let mut network = Network::new("controller", root);
+            fitact
+                .train_for_accuracy(&mut network, &train_x, &train_y, 25, 0.05)
+                .expect("training runs");
+            ModelArtifact::capture(&network)
+        },
+    )?;
+    let network = artifact.instantiate()?;
 
     let mut unprotected = network.clone();
     quantize_network(&mut unprotected);

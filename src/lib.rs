@@ -8,9 +8,12 @@
 //! * [`fitact_nn`] — the from-scratch DNN substrate (layers, models, training),
 //! * [`fitact_data`] — synthetic CIFAR-like datasets and data loading,
 //! * [`fitact_faults`] — bit-flip fault injection and campaign running,
-//! * [`fitact`] — the paper's contribution: FitReLU and the FitAct workflow.
+//! * [`fitact`] — the paper's contribution: FitReLU and the FitAct workflow,
+//! * [`fitact_io`] — versioned on-disk model artifacts (and the `fitact` CLI
+//!   in `crates/cli` that composes pipelines out of them).
 pub use fitact;
 pub use fitact_data;
 pub use fitact_faults;
+pub use fitact_io;
 pub use fitact_nn;
 pub use fitact_tensor;

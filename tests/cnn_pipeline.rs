@@ -1,34 +1,25 @@
 //! Integration test of the pipeline on a (very small) convolutional network
 //! and the synthetic CIFAR stand-in: the path every figure harness follows.
+//!
+//! The stage-1 trained CNN is shared with the other integration suites
+//! through the golden-artifact cache (`tests/common`): the first suite to
+//! run trains it once, everyone else loads the saved artifact.
+
+mod common;
 
 use fitact::{apply_protection, ActivationProfiler, FitAct, FitActConfig, ProtectionScheme};
-use fitact_data::{materialize, Dataset, SyntheticCifar};
 use fitact_faults::{quantize_network, Campaign, CampaignConfig};
-use fitact_nn::models::{alexnet, ModelConfig};
 
 #[test]
 fn alexnet_learns_the_synthetic_task_and_protection_preserves_accuracy() {
-    let train = SyntheticCifar::train(10, 160, 33);
-    let test = SyntheticCifar::test(10, 80, 33);
-    assert_eq!(train.num_classes(), 10);
-    let (train_x, train_y) = materialize(&train).unwrap();
-    let (test_x, test_y) = materialize(&test).unwrap();
-
-    let mut net = alexnet(
-        &ModelConfig::new(10)
-            .with_width(0.0626)
-            .with_seed(7)
-            .with_dropout(0.1),
-    )
-    .unwrap();
-    let fitact = FitAct::new(FitActConfig {
-        post_train_epochs: 1,
-        batch_size: 20,
-        ..Default::default()
-    });
-    fitact
-        .train_for_accuracy(&mut net, &train_x, &train_y, 4, 0.05)
+    let (train_x, _) = common::cnn_train_spec().materialize().unwrap();
+    let (test_x, test_y) = common::cnn_train_spec()
+        .test()
+        .with_samples(80)
+        .materialize()
         .unwrap();
+
+    let mut net = common::trained_alexnet();
     quantize_network(&mut net);
 
     let baseline = net.evaluate(&test_x, &test_y, 40).unwrap();
@@ -67,17 +58,13 @@ fn alexnet_learns_the_synthetic_task_and_protection_preserves_accuracy() {
 
 #[test]
 fn fitact_modification_and_post_training_work_on_a_cnn() {
-    let train = SyntheticCifar::train(10, 100, 44);
-    let (train_x, train_y) = materialize(&train).unwrap();
-    let mut net = alexnet(&ModelConfig::new(10).with_width(0.0626).with_seed(8)).unwrap();
+    let (train_x, train_y) = common::cnn_train_spec().materialize().unwrap();
+    let mut net = common::trained_alexnet();
     let fitact = FitAct::new(FitActConfig {
         post_train_epochs: 1,
         batch_size: 20,
         ..Default::default()
     });
-    fitact
-        .train_for_accuracy(&mut net, &train_x, &train_y, 1, 0.05)
-        .unwrap();
 
     let profile = fitact.calibrate(&mut net, &train_x).unwrap();
     assert_eq!(profile.len(), 7, "AlexNet has 7 activation slots");

@@ -1,0 +1,70 @@
+//! Shared golden artifacts for the workspace integration tests.
+//!
+//! Stage-1 training is the expensive part of every pipeline test; it is also
+//! deterministic, so tests share one trained model through the artifact
+//! cache in `target/golden` instead of each retraining it. The first test
+//! binary to need the model trains and publishes it (atomically — see
+//! `fitact_io::golden`); everyone else loads.
+
+use fitact::{FitAct, FitActConfig};
+use fitact_data::DataSpec;
+use fitact_io::{golden, ModelArtifact};
+use fitact_nn::models::{alexnet, ModelConfig};
+use fitact_nn::Network;
+use std::path::PathBuf;
+
+/// The workspace golden-artifact directory (`target/golden`).
+pub fn golden_dir() -> PathBuf {
+    golden::golden_dir(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The dataset the golden CNN was trained on (and that its artifact records
+/// as metadata): the 10-class synthetic CIFAR stand-in, 160 samples, seed 33.
+pub fn cnn_train_spec() -> DataSpec {
+    DataSpec::synthetic_cifar(10, 160, 33)
+}
+
+/// A tiny AlexNet (width 0.0626, seed 7) trained for 4 epochs on
+/// [`cnn_train_spec`] — trained once per workspace, then loaded from the
+/// artifact cache.
+pub fn trained_alexnet_artifact() -> ModelArtifact {
+    // The cache key fingerprints everything that determines the trained
+    // weights (arch/width/seed/dropout, epochs/lr/batch, dataset spec) —
+    // change a hyperparameter, change the name.
+    golden::load_or_build(
+        &golden_dir(),
+        "alexnet-w0626-s7-d01-e4-lr005-b20-cifar10x160s33",
+        || {
+            let spec = cnn_train_spec();
+            let (train_x, train_y) = spec.materialize().expect("synthetic data generates");
+            let mut net = alexnet(
+                &ModelConfig::new(10)
+                    .with_width(0.0626)
+                    .with_seed(7)
+                    .with_dropout(0.1),
+            )
+            .expect("alexnet config is valid");
+            let fitact = FitAct::new(FitActConfig {
+                batch_size: 20,
+                ..Default::default()
+            });
+            fitact
+                .train_for_accuracy(&mut net, &train_x, &train_y, 4, 0.05)
+                .expect("training runs");
+            let mut artifact = ModelArtifact::capture(&net)?;
+            for (k, v) in spec.to_meta() {
+                artifact.set_meta(k, v);
+            }
+            artifact.set_meta("stage", "trained");
+            Ok(artifact)
+        },
+    )
+    .expect("golden artifact builds or loads")
+}
+
+/// The golden CNN instantiated as a live network.
+pub fn trained_alexnet() -> Network {
+    trained_alexnet_artifact()
+        .instantiate()
+        .expect("golden artifact instantiates")
+}
