@@ -1,0 +1,174 @@
+//! Criterion bench for serving throughput: micro-batched forward passes
+//! against per-request forwards on a serving-representative MLP.
+//!
+//! This is the compute-side case for `fitact serve`'s dynamic batching: a
+//! single-row forward pays the packed matmul's panel-packing cost for one
+//! row of useful work, while a coalesced batch amortises it across every
+//! row — with **bit-identical** per-row results, which the bench asserts
+//! before timing means anything (the same invariance
+//! `crates/nn/tests/batch_invariance.rs` pins).
+//!
+//! All timed forwards run inside `matmul::serial_scope`, exactly like a
+//! server worker thread — so the measured speedup is the *per-worker* gain
+//! (packing amortisation and cache reuse), not the kernel's internal
+//! multi-core fan-out, which serving workers deliberately disable.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! comparison to `BENCH_serve.json` at the workspace root: per-sample
+//! wall-clock for the per-request path and for batch sizes 2/8/32, plus the
+//! speedup of each batched path. Run with `cargo bench -- --test` for the
+//! CI smoke mode (one untimed pass per case, JSON still emitted and flagged
+//! as a smoke run).
+
+use criterion::{BenchmarkId, Criterion};
+use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+use fitact_nn::{copy_batch_into, Mode, Network};
+use fitact_tensor::matmul::serial_scope;
+use fitact_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// A serving-representative MLP: hidden products big enough that the
+/// packed-kernel economics (the thing batching amortises) are visible.
+fn serving_mlp() -> Network {
+    let mut rng = StdRng::seed_from_u64(123);
+    Network::new(
+        "serving-mlp",
+        Sequential::new()
+            .with(Box::new(Linear::new(256, 512, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h1", &[512])))
+            .with(Box::new(Linear::new(512, 512, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h2", &[512])))
+            .with(Box::new(Linear::new(512, 10, &mut rng))),
+    )
+}
+
+const SAMPLES: usize = 64;
+
+fn eval_inputs() -> Tensor {
+    let mut rng = StdRng::seed_from_u64(321);
+    init::uniform(&[SAMPLES, 256], -1.0, 1.0, &mut rng)
+}
+
+/// Forwards the whole eval set in batches of `batch`, returning every
+/// output row (flattened) for the bit-identity check.
+fn forward_all(net: &mut Network, inputs: &Tensor, batch: usize, staging: &mut Tensor) -> Vec<f32> {
+    let mut out = Vec::with_capacity(SAMPLES * 10);
+    let mut start = 0;
+    while start < SAMPLES {
+        let end = (start + batch).min(SAMPLES);
+        copy_batch_into(inputs, start, end, staging).expect("slice");
+        let logits = net.forward(staging, Mode::Eval).expect("forward");
+        out.extend_from_slice(logits.as_slice());
+        start = end;
+    }
+    out
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut net = serving_mlp();
+    let inputs = eval_inputs();
+    let mut staging = Tensor::default();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for batch in [1usize, 2, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("forward", batch), &batch, |b, &batch| {
+            b.iter(|| serial_scope(|| forward_all(&mut net, &inputs, batch, &mut staging)));
+        });
+    }
+    group.finish();
+}
+
+/// Times each batch size (median of `reps` passes over the eval set),
+/// asserts per-row bit-identity against the per-request path, and writes
+/// the comparison to `BENCH_serve.json`.
+fn emit_serve_json(smoke: bool) {
+    let mut net = serving_mlp();
+    let inputs = eval_inputs();
+    let mut staging = Tensor::default();
+    let reps = if smoke { 1 } else { 5 };
+    let mut time_batch = |batch: usize| -> (f64, Vec<f32>) {
+        serial_scope(|| {
+            // One warm-up pass so every timed pass runs on warm workspaces
+            // and pack buffers (the server's steady state).
+            let rows = forward_all(&mut net, &inputs, batch, &mut staging);
+            let mut seconds = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let start = Instant::now();
+                let timed = forward_all(&mut net, &inputs, batch, &mut staging);
+                seconds.push(start.elapsed().as_secs_f64());
+                assert_eq!(timed, rows, "forward passes are deterministic");
+            }
+            seconds.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+            (seconds[seconds.len() / 2], rows)
+        })
+    };
+    let (per_request_s, per_request_rows) = time_batch(1);
+    let batched: Vec<(usize, f64)> = [2usize, 8, 32]
+        .into_iter()
+        .map(|batch| {
+            let (seconds, rows) = time_batch(batch);
+            assert_eq!(
+                rows, per_request_rows,
+                "batch={batch} must be bit-identical to per-request forwards"
+            );
+            (batch, seconds)
+        })
+        .collect();
+    let per_sample_us = |s: f64| 1e6 * s / SAMPLES as f64;
+    let mut batch_entries = String::new();
+    for (batch, seconds) in &batched {
+        batch_entries.push_str(&format!(
+            "    \"{batch}\": {{ \"us_per_sample\": {us:.3}, \"speedup\": {speedup:.3} }},\n",
+            us = per_sample_us(*seconds),
+            speedup = per_request_s / seconds.max(1e-12),
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve_throughput\",\n",
+            "  \"case\": \"micro_batched_vs_per_request_forward\",\n",
+            "  \"network\": \"serving-mlp (256-512-512-10)\",\n",
+            "  \"eval_samples\": {samples},\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"per_request_us_per_sample\": {per_request:.3},\n",
+            "  \"batched\": {{\n",
+            "{entries}",
+            "    \"_\": null\n",
+            "  }},\n",
+            "  \"speedup_at_8\": {speedup8:.3},\n",
+            "  \"bit_identical\": true\n",
+            "}}\n"
+        ),
+        samples = SAMPLES,
+        smoke = smoke,
+        per_request = per_sample_us(per_request_s),
+        entries = batch_entries,
+        speedup8 = per_request_s
+            / batched
+                .iter()
+                .find(|(b, _)| *b == 8)
+                .map(|(_, s)| *s)
+                .expect("batch 8 measured")
+                .max(1e-12),
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    std::fs::write(&path, &json).expect("BENCH_serve.json is writable");
+    println!(
+        "serve_throughput: per-request {pr:.1} us/sample, batch 8 {b8:.1} us/sample -> {path}",
+        pr = per_sample_us(per_request_s),
+        b8 = per_sample_us(batched.iter().find(|(b, _)| *b == 8).expect("measured").1),
+        path = path.display()
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--test");
+    let mut criterion = Criterion::default();
+    bench_serve(&mut criterion);
+    emit_serve_json(smoke);
+}

@@ -48,9 +48,17 @@ fn interval(doc: &JsonValue, key: &str, file: &str) -> Result<(f64, f64), CliErr
     ))
 }
 
+/// The flags `fitact diff-report` accepts (pinned against
+/// `help::DIFF_REPORT`).
+pub const DIFF_REPORT_FLAGS: &[&str] = &["report", "golden", "accuracy-tolerance"];
+
+/// The flags `fitact bench-gate` accepts (pinned against
+/// `help::BENCH_GATE`).
+pub const BENCH_GATE_FLAGS: &[&str] = &["current", "baseline", "max-regression"];
+
 /// `fitact diff-report`: gate a campaign report against a golden report.
 pub fn diff_report(raw: &[String]) -> Result<JsonValue, CliError> {
-    let args = Args::parse(raw, &["report", "golden", "accuracy-tolerance"])?;
+    let args = Args::parse(raw, DIFF_REPORT_FLAGS)?;
     let report_path = args.required("report")?;
     let golden_path = args.required("golden")?;
     // Default 0 = exact match: the pipeline is bit-deterministic on one
@@ -123,7 +131,7 @@ pub fn diff_report(raw: &[String]) -> Result<JsonValue, CliError> {
 
 /// `fitact bench-gate`: gate a bench JSON against a committed baseline.
 pub fn bench_gate(raw: &[String]) -> Result<JsonValue, CliError> {
-    let args = Args::parse(raw, &["current", "baseline", "max-regression"])?;
+    let args = Args::parse(raw, BENCH_GATE_FLAGS)?;
     let current_path = args.required("current")?;
     let baseline_path = args.required("baseline")?;
     let max_regression = args.parse_or("max-regression", 0.20f64)?;

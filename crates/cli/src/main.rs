@@ -22,7 +22,9 @@
 
 mod args;
 mod gates;
+mod help;
 mod pipeline;
+mod serve;
 
 use std::process::ExitCode;
 
@@ -69,12 +71,22 @@ PIPELINE COMMANDS:
                   --max-trials, --seed, --samples, --batch-size, --test-split)
     inspect      Summarise an artifact without running anything (--model)
 
+SERVING:
+    serve        Micro-batched HTTP inference server over an artifact
+                 (<model.fitact> or --model; --host, --port, --max-batch,
+                  --max-wait-ms, --workers, --input-shape, --max-body-bytes;
+                  endpoints /predict /healthz /metrics /admin/reload
+                  /admin/shutdown)
+
 CI GATES:
     diff-report  Compare a campaign report against a golden report
                  (--report, --golden; --accuracy-tolerance, default 0 = exact):
                  accuracy exact, SDC rates CI-overlap
     bench-gate   Compare bench JSON against a baseline (--current, --baseline;
                  --max-regression, default 0.20)
+
+Run `fitact <COMMAND> --help` for the full per-command reference; the same
+material lives in docs/cli.md.
 
 Exit codes: 0 success, 1 gate failure, 2 usage/runtime error.
 ";
@@ -86,6 +98,7 @@ fn run(command: &str, rest: &[String]) -> Result<fitact_io::JsonValue, CliError>
         "protect" => pipeline::protect(rest),
         "campaign" => pipeline::campaign(rest),
         "inspect" => pipeline::inspect(rest),
+        "serve" => serve::serve(rest),
         "diff-report" => gates::diff_report(rest),
         "bench-gate" => gates::bench_gate(rest),
         other => Err(CliError::Usage(format!(
@@ -104,6 +117,20 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
+    // `fitact <command> --help` prints the per-command reference (kept in
+    // lockstep with docs/cli.md) instead of running the command.
+    if argv[1..].iter().any(|a| a == "--help" || a == "-h") {
+        return match help::for_command(command) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("fitact: unknown command `{command}`\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match run(command, &argv[1..]) {
         Ok(report) => {
             println!("{report}");
@@ -120,5 +147,65 @@ fn main() -> ExitCode {
             eprintln!("fitact {command}: {msg}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full command surface: every command, with the flags its parser
+    /// accepts.
+    fn surface() -> Vec<(&'static str, &'static [&'static str])> {
+        vec![
+            ("train", pipeline::TRAIN_FLAGS),
+            ("calibrate", pipeline::CALIBRATE_FLAGS),
+            ("protect", pipeline::PROTECT_FLAGS),
+            ("campaign", pipeline::CAMPAIGN_FLAGS),
+            ("inspect", pipeline::INSPECT_FLAGS),
+            ("serve", serve::SERVE_FLAGS),
+            ("diff-report", gates::DIFF_REPORT_FLAGS),
+            ("bench-gate", gates::BENCH_GATE_FLAGS),
+        ]
+    }
+
+    /// `--help` (and docs/cli.md, which mirrors it) cannot drift from the
+    /// parser: every accepted flag appears in the command's help text, and
+    /// every `--flag` the help text mentions is accepted.
+    #[test]
+    fn help_texts_match_accepted_flags() {
+        for (command, flags) in surface() {
+            let text = help::for_command(command).expect("command has help");
+            for flag in flags {
+                assert!(
+                    text.contains(&format!("--{flag}")),
+                    "help for `{command}` is missing --{flag}"
+                );
+            }
+            for word in text.split_whitespace() {
+                if let Some(flag) = word.strip_prefix("--") {
+                    let flag = flag.trim_end_matches([',', ')', ']', ';', '.']);
+                    if !flag.is_empty() {
+                        assert!(
+                            flags.contains(&flag),
+                            "help for `{command}` mentions unaccepted --{flag}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The top-level usage names every routable command (and only real ones
+    /// are routable: `run` on an unknown command errors).
+    #[test]
+    fn usage_names_every_command() {
+        for (command, _) in surface() {
+            assert!(USAGE.contains(command), "USAGE is missing `{command}`");
+        }
+        assert!(matches!(
+            run("frobnicate", &[]),
+            Err(CliError::Usage(msg)) if msg.contains("unknown command")
+        ));
     }
 }

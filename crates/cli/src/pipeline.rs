@@ -25,6 +25,61 @@ const META_STAGE: &str = "stage";
 /// Metadata key recording the architecture name.
 const META_ARCH: &str = "arch";
 
+/// The flags `fitact train` accepts (pinned against `help::TRAIN`).
+pub const TRAIN_FLAGS: &[&str] = &[
+    "out",
+    "dataset",
+    "classes",
+    "samples",
+    "data-seed",
+    "arch",
+    "hidden",
+    "width",
+    "epochs",
+    "lr",
+    "batch-size",
+    "seed",
+];
+
+/// The flags `fitact calibrate` accepts (pinned against `help::CALIBRATE`).
+pub const CALIBRATE_FLAGS: &[&str] = &["model", "out", "samples", "batch-size", "test-split"];
+
+/// The flags `fitact protect` accepts (pinned against `help::PROTECT`).
+pub const PROTECT_FLAGS: &[&str] = &[
+    "model",
+    "out",
+    "scheme",
+    "slope",
+    "post-train-epochs",
+    "zeta",
+    "delta",
+    "lr",
+    "batch-size",
+    "samples",
+    "test-split",
+    "seed",
+];
+
+/// The flags `fitact campaign` accepts (pinned against `help::CAMPAIGN`).
+pub const CAMPAIGN_FLAGS: &[&str] = &[
+    "model",
+    "out",
+    "fault-rate",
+    "epsilon",
+    "confidence",
+    "critical-threshold",
+    "round-trials",
+    "min-trials",
+    "max-trials",
+    "seed",
+    "samples",
+    "batch-size",
+    "test-split",
+];
+
+/// The flags `fitact inspect` accepts (pinned against `help::INSPECT`).
+pub const INSPECT_FLAGS: &[&str] = &["model"];
+
 fn obj(entries: Vec<(&str, JsonValue)>) -> JsonValue {
     JsonValue::Object(
         entries
@@ -124,23 +179,7 @@ fn build_network(
 /// `fitact train`: stage-1 accuracy training on a synthetic dataset, saved
 /// as a fresh artifact.
 pub fn train(raw: &[String]) -> Result<JsonValue, CliError> {
-    let args = Args::parse(
-        raw,
-        &[
-            "out",
-            "dataset",
-            "classes",
-            "samples",
-            "data-seed",
-            "arch",
-            "hidden",
-            "width",
-            "epochs",
-            "lr",
-            "batch-size",
-            "seed",
-        ],
-    )?;
+    let args = Args::parse(raw, TRAIN_FLAGS)?;
     let out = args.required("out")?;
     let dataset = args.get("dataset").unwrap_or("blobs");
     let classes = args.parse_or("classes", 3usize)?;
@@ -199,10 +238,7 @@ pub fn train(raw: &[String]) -> Result<JsonValue, CliError> {
 /// `fitact calibrate`: profiles per-neuron activation maxima over the
 /// training split and embeds the profile in the artifact.
 pub fn calibrate(raw: &[String]) -> Result<JsonValue, CliError> {
-    let args = Args::parse(
-        raw,
-        &["model", "out", "samples", "batch-size", "test-split"],
-    )?;
+    let args = Args::parse(raw, CALIBRATE_FLAGS)?;
     let model = args.required("model")?;
     let out = args.get("out").unwrap_or(model);
     let batch_size = args.parse_or("batch-size", 32usize)?;
@@ -248,23 +284,7 @@ pub fn calibrate(raw: &[String]) -> Result<JsonValue, CliError> {
 /// `fitact protect`: applies a protection scheme (and optionally the FitAct
 /// bound post-training stage) using the artifact's embedded profile.
 pub fn protect(raw: &[String]) -> Result<JsonValue, CliError> {
-    let args = Args::parse(
-        raw,
-        &[
-            "model",
-            "out",
-            "scheme",
-            "slope",
-            "post-train-epochs",
-            "zeta",
-            "delta",
-            "lr",
-            "batch-size",
-            "samples",
-            "test-split",
-            "seed",
-        ],
-    )?;
+    let args = Args::parse(raw, PROTECT_FLAGS)?;
     let model = args.required("model")?;
     let out = args.required("out")?;
     let slope = args.parse_or("slope", fitact::activations::DEFAULT_SLOPE)?;
@@ -339,24 +359,7 @@ pub fn protect(raw: &[String]) -> Result<JsonValue, CliError> {
 /// `fitact campaign`: runs the statistical fault campaign against a loaded
 /// artifact and emits the full Wilson-CI report.
 pub fn campaign(raw: &[String]) -> Result<JsonValue, CliError> {
-    let args = Args::parse(
-        raw,
-        &[
-            "model",
-            "out",
-            "fault-rate",
-            "epsilon",
-            "confidence",
-            "critical-threshold",
-            "round-trials",
-            "min-trials",
-            "max-trials",
-            "seed",
-            "samples",
-            "batch-size",
-            "test-split",
-        ],
-    )?;
+    let args = Args::parse(raw, CAMPAIGN_FLAGS)?;
     let model = args.required("model")?;
     let artifact = load_artifact(model)?;
     let spec = data_spec(&artifact, &args)?;
@@ -411,7 +414,7 @@ pub fn campaign(raw: &[String]) -> Result<JsonValue, CliError> {
 
 /// `fitact inspect`: summarises an artifact without running anything.
 pub fn inspect(raw: &[String]) -> Result<JsonValue, CliError> {
-    let args = Args::parse(raw, &["model"])?;
+    let args = Args::parse(raw, INSPECT_FLAGS)?;
     let model = args.required("model")?;
     let artifact = load_artifact(model)?;
     let network = artifact

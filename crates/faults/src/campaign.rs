@@ -611,6 +611,45 @@ impl<'a> Campaign<'a> {
     /// regardless of the worker-thread count, and the network is restored to
     /// its pre-campaign state.
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use fitact_faults::{Campaign, StatCampaignConfig, StratumSpec, TransientBitFlip};
+    /// use fitact_nn::layers::{Linear, Sequential};
+    /// use fitact_nn::Network;
+    /// use fitact_tensor::init;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// # fn main() -> Result<(), fitact_faults::FaultError> {
+    /// let mut rng = StdRng::seed_from_u64(0);
+    /// let mut net = Network::new(
+    ///     "mlp",
+    ///     Sequential::new().with(Box::new(Linear::new(4, 2, &mut rng))),
+    /// );
+    /// let inputs = init::uniform(&[16, 4], -1.0, 1.0, &mut rng);
+    /// let targets: Vec<usize> = (0..16).map(|i| i % 2).collect();
+    /// let config = StatCampaignConfig {
+    ///     fault_rate: 1e-3,
+    ///     epsilon: 0.25, // loose target so the example stops in a few rounds
+    ///     round_trials: 4,
+    ///     min_trials: 8,
+    ///     max_trials: 24,
+    ///     strata: vec![StratumSpec::all()],
+    ///     ..Default::default()
+    /// };
+    /// let report = Campaign::new(&mut net, &inputs, &targets)?
+    ///     .run_until(&config, &TransientBitFlip)?;
+    /// assert!(report.total_trials() <= 24);
+    /// let pooled = report.pooled_critical();
+    /// assert!(pooled.low <= pooled.high);
+    /// if report.converged {
+    ///     // The pooled critical-SDC rate is known to ±ε.
+    ///     assert!((pooled.high - pooled.low) / 2.0 <= config.epsilon);
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns configuration errors (including the typed

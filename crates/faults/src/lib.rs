@@ -53,6 +53,45 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! And the statistical campaign end-to-end — inject, classify, stop when
+//! the pooled critical-SDC interval is tight enough:
+//!
+//! ```
+//! use fitact_faults::{Campaign, StatCampaignConfig, StratumSpec, TransientBitFlip};
+//! use fitact_nn::layers::{Linear, Sequential};
+//! use fitact_nn::Network;
+//! use fitact_tensor::init;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), fitact_faults::FaultError> {
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut net = Network::new(
+//!     "mlp",
+//!     Sequential::new().with(Box::new(Linear::new(4, 2, &mut rng))),
+//! );
+//! let inputs = init::uniform(&[16, 4], -1.0, 1.0, &mut rng);
+//! let targets: Vec<usize> = (0..16).map(|i| i % 2).collect();
+//! let config = StatCampaignConfig {
+//!     fault_rate: 1e-3,
+//!     epsilon: 0.25,
+//!     round_trials: 4,
+//!     min_trials: 8,
+//!     max_trials: 24,
+//!     strata: vec![StratumSpec::all()],
+//!     ..Default::default()
+//! };
+//! let report = Campaign::new(&mut net, &inputs, &targets)?
+//!     .run_until(&config, &TransientBitFlip)?;
+//! println!(
+//!     "critical-SDC rate {:.3} after {} trials (converged: {})",
+//!     report.pooled_critical().point(),
+//!     report.total_trials(),
+//!     report.converged,
+//! );
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -32,6 +32,23 @@ impl WilsonInterval {
     /// with critical value `z` (e.g. 1.96 for 95% confidence).
     ///
     /// With zero trials nothing is known, so the interval is the full `[0, 1]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fitact_faults::WilsonInterval;
+    ///
+    /// // 0 critical outcomes in 40 trials at 95% confidence: the naive Wald
+    /// // interval would collapse to [0, 0]; Wilson stays calibrated at the
+    /// // boundary — exactly the regime low fault rates produce.
+    /// let ci = WilsonInterval::new(0, 40, 1.96);
+    /// assert_eq!(ci.point(), 0.0);
+    /// assert!(ci.low == 0.0 && ci.high > 0.0 && ci.high < 0.15);
+    ///
+    /// // No data: the interval is the whole [0, 1].
+    /// let unknown = WilsonInterval::new(0, 0, 1.96);
+    /// assert_eq!((unknown.low, unknown.high), (0.0, 1.0));
+    /// ```
     pub fn new(successes: u64, trials: u64, z: f64) -> Self {
         debug_assert!(successes <= trials, "more successes than trials");
         if trials == 0 {

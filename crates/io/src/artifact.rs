@@ -7,6 +7,8 @@
 //! version    u32      = 1
 //! name       string                   (network name, e.g. "mlp")
 //! meta       u32 count, count × (string key, string value)
+//!                                     (keys must be unique; duplicates are
+//!                                      rejected as Corrupt)
 //! topology   u32 count, count × LayerSpec   (tagged, recursive)
 //! params     u32 count, count × { string path; u8 trainable;
 //!                                  u64[] dims; f32[] data }
@@ -300,6 +302,16 @@ impl ModelArtifact {
         for _ in 0..meta_count {
             let k = r.string()?;
             let v = r.string()?;
+            // Keys are unique by construction ([`ModelArtifact::set_meta`]
+            // replaces); duplicates in the wire format mean the artifact was
+            // produced by something else, and silently keeping one of the
+            // two values would make `meta()` lookups writer-dependent.
+            if meta
+                .iter()
+                .any(|(existing, _): &(String, String)| *existing == k)
+            {
+                return Err(IoError::Corrupt(format!("duplicate metadata key `{k}`")));
+            }
             meta.push((k, v));
         }
         let layer_count = r.u32()? as usize;

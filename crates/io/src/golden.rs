@@ -33,6 +33,33 @@ pub fn golden_dir(manifest_dir: &str) -> PathBuf {
 /// instantiate check only catches *structural* drift, not retuned
 /// hyperparameters).
 ///
+/// # Example
+///
+/// ```
+/// use fitact_io::{golden, ModelArtifact};
+/// use fitact_nn::layers::{Linear, Sequential};
+/// use fitact_nn::Network;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), fitact_io::IoError> {
+/// let dir = std::env::temp_dir().join("fitact_golden_doctest");
+/// let build = || {
+///     let mut rng = StdRng::seed_from_u64(0);
+///     let net = Network::new(
+///         "tiny",
+///         Sequential::new().with(Box::new(Linear::new(2, 2, &mut rng))),
+///     );
+///     ModelArtifact::capture(&net)
+/// };
+/// let first = golden::load_or_build(&dir, "tiny-doc", build)?;
+/// // The second call loads the published cache; its builder never runs.
+/// let second = golden::load_or_build(&dir, "tiny-doc", || unreachable!("cache hit"))?;
+/// assert_eq!(first, second);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Errors
 ///
 /// Propagates builder errors and filesystem failures from publishing.

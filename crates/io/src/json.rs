@@ -41,6 +41,7 @@ impl JsonValue {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -161,9 +162,17 @@ pub fn escape_json_string(s: &str) -> String {
     out
 }
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// `value → array/object → value` cycle consumes stack per level, and parse
+/// input is not always trusted (`fitact serve` feeds request bodies here),
+/// so depth must be bounded the same way the artifact decoder bounds its
+/// spec tree — a typed error, never a stack overflow.
+const MAX_JSON_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -201,8 +210,22 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<JsonValue, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(open @ (b'{' | b'[')) => {
+                if self.depth >= MAX_JSON_DEPTH {
+                    return Err(format!(
+                        "nesting deeper than {MAX_JSON_DEPTH} at byte {}",
+                        self.pos
+                    ));
+                }
+                self.depth += 1;
+                let value = if open == b'{' {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                value
+            }
             Some(b'"') => Ok(JsonValue::String(self.string()?)),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -364,6 +387,30 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1..2"] {
             assert!(JsonValue::parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn hostile_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // Depth just under the cap parses; just past it fails cleanly.
+        let ok = format!(
+            "{}0{}",
+            "[".repeat(MAX_JSON_DEPTH),
+            "]".repeat(MAX_JSON_DEPTH)
+        );
+        assert!(JsonValue::parse(&ok).is_ok());
+        let deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_JSON_DEPTH + 1),
+            "]".repeat(MAX_JSON_DEPTH + 1)
+        );
+        let err = JsonValue::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // A network-scale bracket bomb (the /predict attack shape) must
+        // error, not blow the connection thread's stack.
+        let bomb = "[".repeat(200_000);
+        assert!(JsonValue::parse(&bomb).is_err());
+        let object_bomb = "{\"k\":".repeat(200_000);
+        assert!(JsonValue::parse(&object_bomb).is_err());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Metadata edge cases of the artifact wire format — the cases a serving
+//! deployment actually hits: artifacts with no provenance at all, artifacts
+//! mangled by foreign writers, and artifacts from a newer format revision
+//! with protection tags this build does not know.
+
+use fitact::ProtectionScheme;
+use fitact_io::{IoError, ModelArtifact};
+use fitact_nn::layers::{Linear, Sequential};
+use fitact_nn::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny() -> ModelArtifact {
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = Network::new(
+        "tiny",
+        Sequential::new().with(Box::new(Linear::new(3, 2, &mut rng))),
+    );
+    ModelArtifact::capture(&net).unwrap()
+}
+
+#[test]
+fn empty_metadata_map_round_trips() {
+    let artifact = tiny();
+    assert!(artifact.meta.is_empty());
+    let decoded = ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+    assert!(decoded.meta.is_empty());
+    assert_eq!(decoded.meta("anything"), None);
+    assert_eq!(decoded, artifact);
+    // And it still instantiates (serving infers the input shape from the
+    // topology when no dataset metadata is present).
+    assert!(decoded.instantiate().is_ok());
+}
+
+#[test]
+fn duplicate_metadata_keys_are_rejected_with_a_typed_error() {
+    // `set_meta` replaces, so a duplicate can only come from a foreign
+    // writer — emulate one by editing the meta vec directly.
+    let mut artifact = tiny();
+    artifact.meta = vec![
+        ("stage".into(), "trained".into()),
+        ("stage".into(), "protected".into()),
+    ];
+    match ModelArtifact::from_bytes(&artifact.to_bytes()) {
+        Err(IoError::Corrupt(msg)) => {
+            assert!(msg.contains("duplicate metadata key `stage`"), "{msg}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    // Distinct keys are of course fine, in order.
+    let mut artifact = tiny();
+    artifact.set_meta("stage", "trained");
+    artifact.set_meta("stage", "protected"); // replace, not duplicate
+    artifact.set_meta("arch", "mlp");
+    let decoded = ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+    assert_eq!(decoded.meta("stage"), Some("protected"));
+    assert_eq!(decoded.meta.len(), 2);
+}
+
+/// The serve-relevant case: an artifact carrying a protection-scheme tag
+/// from a newer build must fail to load with [`IoError::Corrupt`] — never a
+/// panic — so `fitact serve` refuses it with a clean error message
+/// (`crates/serve/tests/server_http.rs` pins the server side of this).
+#[test]
+fn unknown_protection_tag_is_corrupt_not_a_panic() {
+    let artifact = tiny().with_scheme(ProtectionScheme::Ranger);
+    let mut bytes = artifact.to_bytes();
+    // Scheme trailer: [present u8 = 1, tag u8, slope f32]; the tag sits 5
+    // bytes from the end.
+    let n = bytes.len();
+    assert_eq!(bytes[n - 6], 1, "scheme-present marker");
+    bytes[n - 5] = 250;
+    match ModelArtifact::from_bytes(&bytes) {
+        Err(IoError::Corrupt(msg)) => {
+            assert!(msg.contains("protection-scheme tag 250"), "{msg}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}

@@ -20,7 +20,12 @@ use std::fmt;
 /// The trait is object-safe: networks store activations as
 /// `Box<dyn Activation>` so that a trained model can have its ReLUs swapped
 /// for protected variants without rebuilding the network.
-pub trait Activation: fmt::Debug + Send {
+///
+/// Like [`crate::layers::Layer`], implementations must be `Send + Sync` so
+/// a network template can be shared read-only across serving workers;
+/// shared-state wrappers (profilers, fault injectors) synchronise through
+/// `Arc<Mutex<…>>`, not single-threaded interior mutability.
+pub trait Activation: fmt::Debug + Send + Sync {
     /// A short human-readable name (`"relu"`, `"fitrelu"`, …).
     fn name(&self) -> &str;
 

@@ -50,7 +50,14 @@ pub enum Mode {
 ///
 /// Layers are boxed and cloneable so a trained network can be duplicated and
 /// each copy fitted with a different protection scheme.
-pub trait Layer: fmt::Debug + Send {
+///
+/// `Send + Sync` is part of the contract: a read-only network template must
+/// be shareable across threads (the inference server hands every worker a
+/// clone of one shared template; fault campaigns move worker clones into
+/// scoped threads). Mutable state a layer needs during `forward`/`backward`
+/// lives in plain fields behind `&mut self` — implementations must not
+/// smuggle in `Cell`/`RefCell`/`Rc`.
+pub trait Layer: fmt::Debug + Send + Sync {
     /// A short name identifying the layer type (and salient configuration).
     fn name(&self) -> String;
 

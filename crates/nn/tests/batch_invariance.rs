@@ -1,0 +1,113 @@
+//! Eval-mode forward passes are **batch-invariant**: a sample's output is
+//! bit-identical whether it is evaluated alone, inside any batch, or across
+//! any batch split.
+//!
+//! This is the contract the `fitact_serve` micro-batching scheduler builds
+//! on — coalescing concurrent requests into one forward pass must be a pure
+//! throughput optimisation, never a numerics change. It holds because every
+//! eval-mode layer is row-local: elementwise ops, per-sample conv/pool
+//! lowering, batch-norm running statistics — and the one batch-shaped
+//! matmul (`Linear`, `x·Wᵀ`) always takes the packed kernel whose per-row
+//! arithmetic is independent of the row count (pinned at the kernel level
+//! by `nt_rows_are_independent_of_row_count` in `fitact_tensor`).
+//!
+//! Train mode is deliberately *not* covered: batch-norm batch statistics
+//! and dropout masks make training genuinely batch-shaped.
+
+use fitact_nn::layers::{
+    ActivationLayer, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Mode,
+    Sequential,
+};
+use fitact_nn::network::copy_batch_into;
+use fitact_nn::Network;
+use fitact_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An MLP whose hidden products are large enough to exercise the packed
+/// matmul path at every batch size.
+fn mlp() -> Network {
+    let mut rng = StdRng::seed_from_u64(40);
+    Network::new(
+        "mlp",
+        Sequential::new()
+            .with(Box::new(Linear::new(96, 256, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h1", &[256])))
+            .with(Box::new(Dropout::new(0.3, 5).unwrap()))
+            .with(Box::new(Linear::new(256, 64, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h2", &[64])))
+            .with(Box::new(Linear::new(64, 7, &mut rng))),
+    )
+}
+
+/// A CNN touching every spatial layer type (conv, batch-norm, max-pool,
+/// global-avg-pool, flatten) ahead of the linear head.
+fn cnn() -> Network {
+    let mut rng = StdRng::seed_from_u64(41);
+    Network::new(
+        "cnn",
+        Sequential::new()
+            .with(Box::new(Conv2d::new(3, 6, 3, 1, 1, &mut rng)))
+            .with(Box::new(BatchNorm2d::new(6)))
+            .with(Box::new(ActivationLayer::relu("c1", &[6, 12, 12])))
+            .with(Box::new(MaxPool2d::new(2, 2)))
+            .with(Box::new(Conv2d::new(6, 10, 3, 1, 1, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("c2", &[10, 6, 6])))
+            .with(Box::new(GlobalAvgPool::new()))
+            .with(Box::new(Flatten::new()))
+            .with(Box::new(Linear::new(10, 5, &mut rng))),
+    )
+}
+
+/// Forwards `inputs` in batches of `batch` and stacks the output rows.
+fn forward_in_batches(net: &mut Network, inputs: &Tensor, batch: usize) -> Tensor {
+    let n = inputs.dims()[0];
+    let mut staging = Tensor::default();
+    let mut rows: Vec<Tensor> = Vec::with_capacity(n);
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch).min(n);
+        copy_batch_into(inputs, start, end, &mut staging).unwrap();
+        let out = net.forward(&staging, Mode::Eval).unwrap();
+        for i in 0..(end - start) {
+            rows.push(out.index_axis0(i).unwrap());
+        }
+        start = end;
+    }
+    Tensor::stack(&rows).unwrap()
+}
+
+fn assert_batch_invariant(mut net: Network, inputs: Tensor) {
+    let n = inputs.dims()[0];
+    let full = net.forward(&inputs, Mode::Eval).unwrap();
+    // Every split must reproduce the full-batch rows bit-for-bit — single
+    // samples, a prime-size split with a ragged tail, and near-halves.
+    for batch in [1usize, 3, n / 2, n] {
+        let split = forward_in_batches(&mut net, &inputs, batch);
+        assert_eq!(
+            split,
+            full,
+            "{}: batch={batch} must be bit-identical to the full batch of {n}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn mlp_forward_is_batch_invariant() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let inputs = init::uniform(&[13, 96], -1.0, 1.0, &mut rng);
+    assert_batch_invariant(mlp(), inputs);
+}
+
+#[test]
+fn cnn_forward_is_batch_invariant() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let inputs = init::uniform(&[9, 3, 12, 12], -1.0, 1.0, &mut rng);
+    assert_batch_invariant(cnn(), inputs);
+}
+
+// The protected-model variant of this invariance (FitAct wrappers are
+// elementwise, so protection cannot reintroduce batch coupling) lives in
+// the workspace suite `tests/serve_identity.rs` — the protection schemes
+// come from the `fitact` core crate, which sits above this one.

@@ -1,0 +1,322 @@
+//! The dynamic micro-batching queue.
+//!
+//! Requests from any number of connection threads enqueue individual sample
+//! rows; worker threads drain them in coalesced batches. The scheduling rule
+//! is the classic dynamic-batching trade-off:
+//!
+//! * a worker that finds the queue non-empty waits until either
+//!   `max_batch` rows are pending **or** the oldest pending row has waited
+//!   `max_wait`, whichever comes first, then drains up to `max_batch` rows
+//!   in arrival order;
+//! * an idle worker blocks on the queue condition variable, so an empty
+//!   server burns no CPU.
+//!
+//! `max_wait` therefore bounds the queueing latency a lone request can pay
+//! waiting for company, while `max_batch` bounds how much work one forward
+//! pass coalesces. See `docs/serving.md` for the latency/throughput model.
+//!
+//! The queue is also the shutdown rendezvous: [`BatchQueue::shutdown`] wakes
+//! every waiter, rejects new rows, and lets workers drain what is already
+//! queued — so an in-flight request is either answered or explicitly
+//! rejected, never dropped silently.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One enqueued sample row awaiting execution.
+#[derive(Debug)]
+pub struct PendingRow {
+    /// Flattened input features (row-major, `features` elements).
+    pub input: Vec<f32>,
+    /// Index of this row inside its originating request, echoed back so the
+    /// connection thread can reassemble multi-row responses in order.
+    pub row: usize,
+    /// When the row entered the queue (end-to-end latency measurement).
+    pub enqueued: Instant,
+    /// Where the executing worker sends the outcome.
+    pub responder: mpsc::Sender<RowResult>,
+}
+
+/// The outcome of one row, fanned back to its connection thread.
+#[derive(Debug, Clone)]
+pub struct RowResult {
+    /// Index of the row inside its originating request.
+    pub row: usize,
+    /// The forward pass outcome: logits, or a worker-side error message.
+    pub outcome: Result<RowOutput, String>,
+    /// Size of the micro-batch the row was executed in.
+    pub batch_size: usize,
+}
+
+/// A successfully executed row.
+#[derive(Debug, Clone)]
+pub struct RowOutput {
+    /// The network's output row (logits).
+    pub logits: Vec<f32>,
+    /// `argmax` of the logits (predicted class index).
+    pub class: usize,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: VecDeque<PendingRow>,
+    shutdown: bool,
+}
+
+/// Why [`BatchQueue::push`] refused a request (the rows come back so the
+/// connection thread can answer 503 instead of waiting forever).
+#[derive(Debug)]
+pub enum PushRejected {
+    /// The queue is shutting down.
+    ShuttingDown(Vec<PendingRow>),
+    /// The queue is at its depth cap — backpressure, not failure; the
+    /// client should retry.
+    Overloaded(Vec<PendingRow>),
+}
+
+/// The shared micro-batching queue between connection threads and workers.
+#[derive(Debug)]
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    max_batch: usize,
+    max_wait: Duration,
+    max_queue: usize,
+}
+
+impl BatchQueue {
+    /// Creates a queue that coalesces up to `max_batch` rows, holding the
+    /// first row of a batch at most `max_wait`, and refusing new work
+    /// beyond `max_queue` pending rows (backpressure — an unbounded queue
+    /// would just convert overload into unbounded latency and memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0` or `max_queue == 0` (the server validates
+    /// its configuration before construction).
+    pub fn new(max_batch: usize, max_wait: Duration, max_queue: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be non-zero");
+        assert!(max_queue > 0, "max_queue must be non-zero");
+        BatchQueue {
+            state: Mutex::new(QueueState::default()),
+            cond: Condvar::new(),
+            max_batch,
+            max_wait,
+            max_queue,
+        }
+    }
+
+    /// The configured batch-size cap.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Enqueues all rows of one request atomically (a worker can never
+    /// observe half a request).
+    ///
+    /// # Errors
+    ///
+    /// Returns the rows back to the caller when the queue is shutting down
+    /// or already holds `max_queue` pending rows.
+    pub fn push(&self, rows: Vec<PendingRow>) -> Result<(), PushRejected> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.shutdown {
+            return Err(PushRejected::ShuttingDown(rows));
+        }
+        if state.pending.len().saturating_add(rows.len()) > self.max_queue {
+            return Err(PushRejected::Overloaded(rows));
+        }
+        state.pending.extend(rows);
+        drop(state);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until a batch is ready and drains it (arrival order, at most
+    /// `max_batch` rows). Returns `None` once the queue is shut down *and*
+    /// drained — the worker's signal to exit.
+    pub fn next_batch(&self) -> Option<Vec<PendingRow>> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            // Phase 1: wait for the queue to be non-empty (or shutdown).
+            while state.pending.is_empty() {
+                if state.shutdown {
+                    return None;
+                }
+                state = self.cond.wait(state).expect("queue lock poisoned");
+            }
+            // Phase 2: the batch window. Wait for the batch to fill, but no
+            // longer than `max_wait` past the oldest row's enqueue time.
+            let deadline = state.pending[0].enqueued + self.max_wait;
+            loop {
+                if state.pending.len() >= self.max_batch || state.shutdown {
+                    break;
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (next, _) = self
+                    .cond
+                    .wait_timeout(state, remaining)
+                    .expect("queue lock poisoned");
+                state = next;
+                if state.pending.is_empty() {
+                    // Another worker drained the batch while this one slept;
+                    // go back to waiting for fresh rows.
+                    break;
+                }
+            }
+            if state.pending.is_empty() {
+                continue;
+            }
+            let take = self.max_batch.min(state.pending.len());
+            return Some(state.pending.drain(..take).collect());
+        }
+    }
+
+    /// Rejects new rows and wakes every waiter. Workers drain what is
+    /// already queued, then exit.
+    pub fn shutdown(&self) {
+        self.state.lock().expect("queue lock poisoned").shutdown = true;
+        self.cond.notify_all();
+    }
+
+    /// Number of rows currently waiting (diagnostics / `/metrics`).
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("queue lock poisoned")
+            .pending
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn row(i: usize, tx: &mpsc::Sender<RowResult>) -> PendingRow {
+        PendingRow {
+            input: vec![i as f32],
+            row: i,
+            enqueued: Instant::now(),
+            responder: tx.clone(),
+        }
+    }
+
+    #[test]
+    fn full_batch_drains_without_waiting_out_the_window() {
+        let queue = BatchQueue::new(4, Duration::from_secs(60), 64);
+        let (tx, _rx) = mpsc::channel();
+        queue.push((0..4).map(|i| row(i, &tx)).collect()).unwrap();
+        let start = Instant::now();
+        let batch = queue.next_batch().unwrap();
+        assert_eq!(batch.len(), 4);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "a full batch must not wait for the window"
+        );
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn partial_batch_released_at_deadline() {
+        let queue = BatchQueue::new(8, Duration::from_millis(30), 64);
+        let (tx, _rx) = mpsc::channel();
+        queue.push(vec![row(0, &tx), row(1, &tx)]).unwrap();
+        let start = Instant::now();
+        let batch = queue.next_batch().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "a partial batch waits for the window to close"
+        );
+    }
+
+    #[test]
+    fn oversized_request_splits_into_max_batch_chunks() {
+        let queue = BatchQueue::new(4, Duration::from_millis(5), 64);
+        let (tx, _rx) = mpsc::channel();
+        queue.push((0..10).map(|i| row(i, &tx)).collect()).unwrap();
+        let sizes: Vec<usize> = (0..3).map(|_| queue.next_batch().unwrap().len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        // Arrival order is preserved across the split.
+    }
+
+    #[test]
+    fn shutdown_drains_then_stops() {
+        let queue = BatchQueue::new(4, Duration::from_secs(60), 64);
+        let (tx, _rx) = mpsc::channel();
+        queue.push(vec![row(0, &tx)]).unwrap();
+        queue.shutdown();
+        // Push after shutdown is rejected, handing the rows back.
+        match queue.push(vec![row(1, &tx)]) {
+            Err(PushRejected::ShuttingDown(rows)) => assert_eq!(rows.len(), 1),
+            other => panic!("expected a shutdown rejection, got {other:?}"),
+        }
+        // The queued row is still served (shutdown short-circuits the window).
+        assert_eq!(queue.next_batch().unwrap().len(), 1);
+        assert!(queue.next_batch().is_none());
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let queue = BatchQueue::new(4, Duration::from_millis(5), 3);
+        let (tx, _rx) = mpsc::channel();
+        queue.push(vec![row(0, &tx), row(1, &tx)]).unwrap();
+        // Atomic: a request that would cross the cap is refused whole.
+        match queue.push(vec![row(2, &tx), row(3, &tx)]) {
+            Err(PushRejected::Overloaded(rows)) => assert_eq!(rows.len(), 2),
+            other => panic!("expected an overload rejection, got {other:?}"),
+        }
+        // A request that fits is still accepted.
+        queue.push(vec![row(4, &tx)]).unwrap();
+        assert_eq!(queue.depth(), 3);
+        // Draining frees capacity again.
+        assert_eq!(queue.next_batch().unwrap().len(), 3);
+        queue.push(vec![row(5, &tx)]).unwrap();
+    }
+
+    #[test]
+    fn blocked_worker_wakes_on_shutdown() {
+        let queue = Arc::new(BatchQueue::new(4, Duration::from_secs(60), 64));
+        let worker = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.next_batch().is_none())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        queue.shutdown();
+        assert!(worker.join().unwrap(), "an idle worker exits on shutdown");
+    }
+
+    #[test]
+    fn two_workers_split_a_large_backlog() {
+        let queue = Arc::new(BatchQueue::new(4, Duration::from_millis(5), 64));
+        let (tx, _rx) = mpsc::channel();
+        queue.push((0..16).map(|i| row(i, &tx)).collect()).unwrap();
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut rows = 0;
+                    while let Some(batch) = queue.next_batch() {
+                        assert!(batch.len() <= 4);
+                        rows += batch.len();
+                    }
+                    rows
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        queue.shutdown();
+        let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 16, "every row is executed exactly once");
+    }
+}

@@ -1,0 +1,207 @@
+//! A minimal HTTP/1.1 server-side codec.
+//!
+//! The build environment is offline (no hyper/axum), and the server needs
+//! only the subset a JSON inference API uses: request line + headers +
+//! `Content-Length`-framed bodies in, status + JSON body out, one request
+//! per connection (`Connection: close` is always sent, which every client
+//! including `curl` handles). Chunked transfer encoding, pipelining and
+//! upgrades are deliberately out of scope.
+//!
+//! Malformed input is a typed error that the connection handler converts to
+//! a `400`; oversized headers/bodies are rejected before buffering them.
+
+use std::io::{Read, Write};
+
+/// Upper bound on the request line + headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, …), uppercased by the client.
+    pub method: String,
+    /// The request target path (query strings are kept verbatim).
+    pub target: String,
+    /// Header name/value pairs in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// Returns `Ok(None)` on a clean EOF before any byte (the client connected
+/// and went away — not an error).
+///
+/// # Errors
+///
+/// Returns a human-readable description for malformed framing, oversized
+/// heads, or bodies larger than `max_body`; I/O errors (including read
+/// timeouts) are formatted into the same error string.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Option<Request>, String> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err("connection closed mid-request".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 request head")?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or("missing method")?.to_owned();
+    let target = parts.next().ok_or("missing request target")?.to_owned();
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol `{version}`"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header line `{line}`"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let mut request = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(text) => text
+            .parse::<usize>()
+            .map_err(|_| format!("invalid Content-Length `{text}`"))?,
+    };
+    if content_length > max_body {
+        return Err(format!(
+            "request body of {content_length} bytes exceeds the {max_body}-byte limit"
+        ));
+    }
+    // Body bytes already read past the head, then the remainder.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    request.body = body;
+    Ok(Some(request))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a JSON response with `Connection: close` framing.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {len}\r\nConnection: close\r\n\r\n",
+        reason = reason_phrase(status),
+        len = body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The standard reason phrase for the status codes the server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world";
+        let req = read_request(&mut &raw[..], 1024).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/predict");
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_eof() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..], 1024).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(read_request(&mut &b""[..], 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x SPDY/3\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            assert!(read_request(&mut &raw[..], 1024).is_err(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_body_before_reading_it() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 99999\r\n\r\n";
+        let err = read_request(&mut &raw[..], 1024).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

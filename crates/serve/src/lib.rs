@@ -1,0 +1,118 @@
+//! Micro-batched HTTP inference serving for `.fitact` model artifacts.
+//!
+//! The FitAct paper motivates protected activations for *deployed*,
+//! safety-critical inference; this crate supplies the deployment half of the
+//! reproduction: a std-only (no tokio, no hyper — the build environment is
+//! offline) HTTP/1.1 server that loads a protected model from a `.fitact`
+//! artifact and serves JSON predict requests through a **dynamic
+//! micro-batching scheduler**:
+//!
+//! * requests queue in a [`BatchQueue`]; a batch launches when `max_batch`
+//!   rows are pending or the oldest row has waited `max_wait`,
+//! * a pool of worker threads executes batches on warm per-worker network
+//!   clones, staging each batch through a reusable [`fitact_tensor::TensorArena`]
+//!   slot (allocation-free at steady state),
+//! * responses are **bit-identical** to evaluating each sample alone —
+//!   batching is a pure throughput optimisation, never a numerics change
+//!   (see `docs/serving.md` for why this holds and where it is pinned).
+//!
+//! # Endpoints
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/predict` | POST | `{"inputs": [[…], …]}` → logits + classes |
+//! | `/healthz` | GET | liveness + model identity |
+//! | `/metrics` | GET | request counters, batch-size histogram, latency percentiles |
+//! | `/admin/reload` | POST | hot-swap the artifact from disk |
+//! | `/admin/shutdown` | POST | graceful drain + stop |
+//!
+//! The `fitact serve` CLI subcommand (see `docs/cli.md`) wraps
+//! [`Server::start`]; tests drive the same API in-process:
+//!
+//! ```no_run
+//! use fitact_serve::{ServeConfig, Server};
+//!
+//! # fn main() -> Result<(), fitact_serve::ServeError> {
+//! let server = Server::start("model.fitact", &ServeConfig::default())?;
+//! println!("listening on {}", server.addr());
+//! let final_metrics = server.join(); // blocks until POST /admin/shutdown
+//! println!("served {} rows", final_metrics.responses_total);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use batcher::{BatchQueue, PendingRow, PushRejected, RowOutput, RowResult};
+pub use metrics::{LatencyPercentiles, Metrics, MetricsSnapshot};
+pub use server::{ServeConfig, Server};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while starting or running the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+    /// The model artifact failed to load, decode or instantiate.
+    Artifact(fitact_io::IoError),
+    /// The server configuration is unusable (zero workers, empty input
+    /// shape, uninferable input shape, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+            ServeError::Artifact(e) => write!(f, "model artifact error: {e}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Artifact(e) => Some(e),
+            ServeError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<fitact_io::IoError> for ServeError {
+    fn from(e: fitact_io::IoError) -> Self {
+        ServeError::Artifact(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let io = ServeError::from(std::io::Error::other("x"));
+        assert!(io.to_string().contains("I/O"));
+        assert!(Error::source(&io).is_some());
+        let artifact = ServeError::from(fitact_io::IoError::BadMagic);
+        assert!(artifact.to_string().contains("artifact"));
+        assert!(Error::source(&artifact).is_some());
+        let config = ServeError::InvalidConfig("bad".into());
+        assert!(config.to_string().contains("bad"));
+        assert!(Error::source(&config).is_none());
+    }
+}

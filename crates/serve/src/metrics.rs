@@ -1,0 +1,310 @@
+//! Lock-light serving metrics: request counters, a batch-size histogram and
+//! end-to-end latency percentiles.
+//!
+//! Counters are atomics touched on every request; latencies go into a
+//! bounded ring (the most recent [`LATENCY_WINDOW`] samples) behind a mutex
+//! that is held only for a push or a snapshot copy. The `/metrics` endpoint
+//! renders a [`MetricsSnapshot`] as one JSON object — the same report CI
+//! uploads as a workflow artifact from the `serve-smoke` job.
+
+use fitact_io::JsonValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of most-recent per-row latency samples kept for the percentile
+/// estimates.
+pub const LATENCY_WINDOW: usize = 4096;
+
+/// The serving-metrics registry shared by every connection and worker
+/// thread.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Rows accepted into the queue.
+    rows_total: AtomicU64,
+    /// Rows answered successfully.
+    responses_total: AtomicU64,
+    /// Rows answered with an error (bad input, worker failure, shutdown).
+    errors_total: AtomicU64,
+    /// Micro-batches executed.
+    batches_total: AtomicU64,
+    /// `histogram[s]` counts batches that executed exactly `s` rows
+    /// (`s ∈ 1..=max_batch`; slot 0 is unused).
+    batch_histogram: Vec<AtomicU64>,
+    /// Model reloads performed via the admin endpoint.
+    reloads_total: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Debug)]
+struct LatencyRing {
+    samples_us: Vec<u64>,
+    next: usize,
+}
+
+/// A point-in-time copy of every metric, renderable as JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Rows accepted into the queue.
+    pub rows_total: u64,
+    /// Rows answered successfully.
+    pub responses_total: u64,
+    /// Rows answered with an error.
+    pub errors_total: u64,
+    /// Micro-batches executed.
+    pub batches_total: u64,
+    /// Model reloads performed.
+    pub reloads_total: u64,
+    /// `(batch_size, count)` pairs for every batch size that occurred.
+    pub batch_histogram: Vec<(usize, u64)>,
+    /// Latency percentiles over the recent window, in microseconds
+    /// (`None` until the first response).
+    pub latency_us: Option<LatencyPercentiles>,
+}
+
+/// End-to-end (enqueue → response ready) latency percentiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Number of samples in the window.
+    pub count: usize,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum in the window.
+    pub max: u64,
+}
+
+impl Metrics {
+    /// Creates an empty registry for a server with the given batch cap.
+    pub fn new(max_batch: usize) -> Self {
+        Metrics {
+            started: Instant::now(),
+            rows_total: AtomicU64::new(0),
+            responses_total: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
+            batches_total: AtomicU64::new(0),
+            batch_histogram: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
+            reloads_total: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing {
+                samples_us: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Records rows accepted into the queue.
+    pub fn on_rows_accepted(&self, rows: usize) {
+        self.rows_total.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// Records one executed micro-batch of `size` rows.
+    pub fn on_batch(&self, size: usize) {
+        self.batches_total.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.batch_histogram.get(size) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one successfully answered row and its end-to-end latency.
+    pub fn on_response(&self, latency: Duration) {
+        self.responses_total.fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let mut ring = self.latencies.lock().expect("metrics lock poisoned");
+        if ring.samples_us.len() < LATENCY_WINDOW {
+            ring.samples_us.push(us);
+        } else {
+            let next = ring.next;
+            ring.samples_us[next] = us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Records one row answered with an error.
+    pub fn on_error(&self) {
+        self.errors_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one model reload.
+    pub fn on_reload(&self) {
+        self.reloads_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies every metric into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let batch_histogram = self
+            .batch_histogram
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(size, count)| (size, count.load(Ordering::Relaxed)))
+            .filter(|&(_, count)| count > 0)
+            .collect();
+        let latency_us = {
+            let ring = self.latencies.lock().expect("metrics lock poisoned");
+            percentiles(&ring.samples_us)
+        };
+        MetricsSnapshot {
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+            rows_total: self.rows_total.load(Ordering::Relaxed),
+            responses_total: self.responses_total.load(Ordering::Relaxed),
+            errors_total: self.errors_total.load(Ordering::Relaxed),
+            batches_total: self.batches_total.load(Ordering::Relaxed),
+            reloads_total: self.reloads_total.load(Ordering::Relaxed),
+            batch_histogram,
+            latency_us,
+        }
+    }
+}
+
+/// Nearest-rank percentiles over an unordered sample window.
+fn percentiles(samples: &[u64]) -> Option<LatencyPercentiles> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = |q: f64| -> u64 {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    };
+    Some(LatencyPercentiles {
+        count: sorted.len(),
+        p50: rank(0.50),
+        p90: rank(0.90),
+        p99: rank(0.99),
+        max: *sorted.last().expect("non-empty"),
+    })
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as the `/metrics` JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let histogram = JsonValue::Object(
+            self.batch_histogram
+                .iter()
+                .map(|&(size, count)| (size.to_string(), JsonValue::Number(count as f64)))
+                .collect(),
+        );
+        let latency = match &self.latency_us {
+            None => JsonValue::Null,
+            Some(p) => JsonValue::Object(vec![
+                ("count".into(), JsonValue::Number(p.count as f64)),
+                ("p50".into(), JsonValue::Number(p.p50 as f64)),
+                ("p90".into(), JsonValue::Number(p.p90 as f64)),
+                ("p99".into(), JsonValue::Number(p.p99 as f64)),
+                ("max".into(), JsonValue::Number(p.max as f64)),
+            ]),
+        };
+        JsonValue::Object(vec![
+            (
+                "uptime_seconds".into(),
+                JsonValue::Number(self.uptime_seconds),
+            ),
+            (
+                "rows_total".into(),
+                JsonValue::Number(self.rows_total as f64),
+            ),
+            (
+                "responses_total".into(),
+                JsonValue::Number(self.responses_total as f64),
+            ),
+            (
+                "errors_total".into(),
+                JsonValue::Number(self.errors_total as f64),
+            ),
+            (
+                "batches_total".into(),
+                JsonValue::Number(self.batches_total as f64),
+            ),
+            (
+                "reloads_total".into(),
+                JsonValue::Number(self.reloads_total as f64),
+            ),
+            ("batch_size_histogram".into(), histogram),
+            ("latency_us".into(), latency),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histogram_accumulate() {
+        let m = Metrics::new(8);
+        m.on_rows_accepted(5);
+        m.on_batch(4);
+        m.on_batch(4);
+        m.on_batch(1);
+        m.on_response(Duration::from_micros(100));
+        m.on_response(Duration::from_micros(300));
+        m.on_error();
+        m.on_reload();
+        let snap = m.snapshot();
+        assert_eq!(snap.rows_total, 5);
+        assert_eq!(snap.responses_total, 2);
+        assert_eq!(snap.errors_total, 1);
+        assert_eq!(snap.batches_total, 3);
+        assert_eq!(snap.reloads_total, 1);
+        assert_eq!(snap.batch_histogram, vec![(1, 1), (4, 2)]);
+        let lat = snap.latency_us.unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.p50, 100);
+        assert_eq!(lat.max, 300);
+    }
+
+    #[test]
+    fn out_of_range_batch_sizes_do_not_panic() {
+        let m = Metrics::new(2);
+        m.on_batch(99);
+        assert_eq!(m.snapshot().batches_total, 1);
+        assert!(m.snapshot().batch_histogram.is_empty());
+    }
+
+    #[test]
+    fn percentile_ranks_are_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let p = percentiles(&samples).unwrap();
+        assert_eq!((p.p50, p.p90, p.p99, p.max), (50, 90, 99, 100));
+        assert!(percentiles(&[]).is_none());
+    }
+
+    #[test]
+    fn latency_ring_is_bounded() {
+        let m = Metrics::new(1);
+        for i in 0..(LATENCY_WINDOW + 10) {
+            m.on_response(Duration::from_micros(i as u64));
+        }
+        let lat = m.snapshot().latency_us.unwrap();
+        assert_eq!(lat.count, LATENCY_WINDOW);
+        // The oldest samples were overwritten.
+        assert!(lat.max >= LATENCY_WINDOW as u64);
+    }
+
+    #[test]
+    fn snapshot_renders_as_json() {
+        let m = Metrics::new(4);
+        m.on_batch(2);
+        m.on_response(Duration::from_micros(42));
+        let text = m.snapshot().to_json().to_string();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(
+            parsed
+                .path(&["batch_size_histogram", "2"])
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed.path(&["latency_us", "p50"]).unwrap().as_f64(),
+            Some(42.0)
+        );
+    }
+}

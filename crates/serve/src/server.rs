@@ -1,0 +1,718 @@
+//! The HTTP server: model loading, worker pool, routing, admin plane.
+//!
+//! # Threading model
+//!
+//! * one **accept** thread owns the `TcpListener`,
+//! * one short-lived **connection** thread per accepted socket parses the
+//!   request, enqueues rows and waits on a private channel for its results,
+//! * `workers` long-lived **worker** threads drain the [`BatchQueue`],
+//!   stage each micro-batch into a [`TensorArena`] slot (one contiguous
+//!   row copy per request — the same staging discipline as
+//!   `Network::evaluate`) and run one eval-mode forward per batch.
+//!
+//! Workers wrap their loop in [`fitact_tensor::matmul::serial_scope`]: the
+//! worker pool *is* the coarse parallel decomposition, so the matmul
+//! kernel's internal row fan-out is disabled to avoid oversubscription —
+//! which does not change results, because the threaded split is
+//! bit-identical to the serial loop.
+//!
+//! # Bit-identity
+//!
+//! A response's logits are bit-identical to `Network::forward` on that
+//! sample alone, no matter which micro-batch the scheduler packed it into:
+//! eval-mode layers are row-local, and the one batch-shaped matmul in the
+//! forward path (`Linear`, `x·Wᵀ`) always takes the packed kernel whose
+//! per-row arithmetic is independent of the row count (pinned by
+//! `nt_rows_are_independent_of_row_count` in `fitact_tensor` and
+//! `forward_is_batch_invariant` in `fitact_nn`). See `docs/serving.md`.
+//!
+//! # Hot reload
+//!
+//! `POST /admin/reload` re-reads the artifact from disk, validates it
+//! (decode + instantiate) and atomically swaps it in under a generation
+//! counter; workers notice the bumped generation at their next batch and
+//! re-clone the template network. In-flight batches finish on the old
+//! model — a request is never served half-and-half.
+
+use crate::batcher::{BatchQueue, PendingRow, RowOutput, RowResult};
+use crate::http::{read_request, write_response, Request};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::ServeError;
+use fitact_data::DataSpec;
+use fitact_io::{JsonValue, ModelArtifact};
+use fitact_nn::spec::LayerSpec;
+use fitact_nn::{Mode, Network};
+use fitact_tensor::matmul::serial_scope;
+use fitact_tensor::TensorArena;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration. `Default` gives the documented CLI defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests, CI).
+    pub addr: String,
+    /// Maximum rows coalesced into one forward pass.
+    pub max_batch: usize,
+    /// How long the oldest queued row may wait for its batch to fill.
+    pub max_wait: Duration,
+    /// Number of worker threads (each owns a warm clone of the network).
+    pub workers: usize,
+    /// Per-sample input shape override; by default it is inferred from the
+    /// artifact's dataset metadata or its first `Linear` layer.
+    pub input_shape: Option<Vec<usize>>,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Maximum rows waiting in the batch queue before new requests are
+    /// rejected with 503 (backpressure instead of unbounded latency).
+    pub max_queue: usize,
+    /// Maximum concurrently served connections; excess connections are
+    /// answered 503 inline instead of spawning a thread each.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+            workers: 2,
+            input_shape: None,
+            max_body_bytes: 8 * 1024 * 1024,
+            max_queue: 1024,
+            max_connections: 256,
+        }
+    }
+}
+
+/// A model instance ready to serve: the instantiated network template plus
+/// everything request validation needs.
+#[derive(Debug)]
+struct LoadedModel {
+    template: Network,
+    input_shape: Vec<usize>,
+    features: usize,
+    name: String,
+    scheme: Option<String>,
+    num_parameters: usize,
+}
+
+fn load_model(path: &Path, override_shape: Option<&[usize]>) -> Result<LoadedModel, ServeError> {
+    let artifact = ModelArtifact::load(path)?;
+    let template = artifact.instantiate()?;
+    let input_shape = match override_shape {
+        Some(shape) if !shape.is_empty() => shape.to_vec(),
+        Some(_) => return Err(ServeError::InvalidConfig("input shape is empty".into())),
+        None => infer_input_shape(&artifact)?,
+    };
+    let features = input_shape.iter().product::<usize>();
+    if features == 0 {
+        return Err(ServeError::InvalidConfig(format!(
+            "input shape {input_shape:?} has zero elements"
+        )));
+    }
+    Ok(LoadedModel {
+        features,
+        input_shape,
+        name: artifact.name.clone(),
+        scheme: artifact.scheme.map(|s| s.name().to_owned()),
+        num_parameters: artifact.num_parameters(),
+        template,
+    })
+}
+
+/// Per-sample input shape: the artifact's dataset metadata when present
+/// (every `fitact train` artifact carries it), else the in-features of the
+/// leading `Linear` layer.
+fn infer_input_shape(artifact: &ModelArtifact) -> Result<Vec<usize>, ServeError> {
+    if let Some(spec) = DataSpec::from_meta(|k| artifact.meta(k)) {
+        return Ok(spec.input_shape());
+    }
+    fn first_linear(specs: &[LayerSpec]) -> Option<usize> {
+        for spec in specs {
+            match spec {
+                LayerSpec::Linear { in_features, .. } => return Some(*in_features),
+                // Shape-preserving layers a model may start with.
+                LayerSpec::Flatten | LayerSpec::Dropout { .. } | LayerSpec::Activation { .. } => {}
+                LayerSpec::Sequential(children) => return first_linear(children),
+                // Spatial layers need H×W, which the topology does not carry.
+                _ => return None,
+            }
+        }
+        None
+    }
+    first_linear(&artifact.layers)
+        .map(|in_features| vec![in_features])
+        .ok_or_else(|| {
+            ServeError::InvalidConfig(
+                "cannot infer the model input shape (no dataset metadata, no leading Linear \
+                 layer); pass an explicit --input-shape"
+                    .into(),
+            )
+        })
+}
+
+/// Everything shared between the accept, connection and worker threads.
+#[derive(Debug)]
+struct Shared {
+    queue: BatchQueue,
+    metrics: Metrics,
+    model: RwLock<Arc<LoadedModel>>,
+    generation: AtomicU64,
+    model_path: PathBuf,
+    input_shape_override: Option<Vec<usize>>,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+    max_body: usize,
+    workers: usize,
+    /// Live connection-thread count, bounded by `max_connections`.
+    connections: AtomicUsize,
+    max_connections: usize,
+}
+
+impl Shared {
+    fn current_model(&self) -> Arc<LoadedModel> {
+        Arc::clone(&self.model.read().expect("model lock poisoned"))
+    }
+
+    /// Idempotent graceful-shutdown trigger: stop accepting, let workers
+    /// drain the queue, unblock the accept thread.
+    fn begin_shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.shutdown();
+        // The accept thread blocks in `accept`; a throwaway connection wakes
+        // it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running inference server. Dropping the handle does **not** stop the
+/// server; call [`Server::shutdown`] (or hit `POST /admin/shutdown`) and
+/// then [`Server::join`].
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Loads the artifact at `model_path` and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Artifact`] when the artifact fails to decode or
+    /// instantiate (a corrupt file is a typed error, never a panic),
+    /// [`ServeError::InvalidConfig`] for unusable configuration and
+    /// [`ServeError::Io`] for bind failures.
+    pub fn start(model_path: impl AsRef<Path>, config: &ServeConfig) -> Result<Server, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be non-zero".into()));
+        }
+        if config.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be non-zero".into(),
+            ));
+        }
+        if config.max_queue == 0 || config.max_connections == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_queue and max_connections must be non-zero".into(),
+            ));
+        }
+        let model_path = model_path.as_ref().to_path_buf();
+        let model = load_model(&model_path, config.input_shape.as_deref())?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BatchQueue::new(config.max_batch, config.max_wait, config.max_queue),
+            metrics: Metrics::new(config.max_batch),
+            model: RwLock::new(Arc::new(model)),
+            generation: AtomicU64::new(1),
+            model_path,
+            input_shape_override: config.input_shape.clone(),
+            stopping: AtomicBool::new(false),
+            addr,
+            max_body: config.max_body_bytes,
+            workers: config.workers,
+            connections: AtomicUsize::new(0),
+            max_connections: config.max_connections,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fitact-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fitact-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("accept thread spawns")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `addr: …:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers graceful shutdown: stop accepting, drain queued requests,
+    /// stop workers. Idempotent; returns immediately — use [`Server::join`]
+    /// to wait.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server has shut down (via [`Server::shutdown`] or
+    /// `POST /admin/shutdown`) and every worker has exited, then returns the
+    /// final metrics snapshot.
+    pub fn join(mut self) -> MetricsSnapshot {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.metrics.snapshot()
+    }
+
+    /// The live metrics registry (what `/metrics` snapshots).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // Backpressure at the connection level: beyond the cap (or if the
+        // OS refuses a thread), answer 503 inline from the accept thread
+        // instead of letting the socket die without a response. The
+        // handler work per connection is bounded, so this also bounds the
+        // thread count.
+        if shared.connections.load(Ordering::Acquire) >= shared.max_connections {
+            let _ = write_response(
+                &mut stream,
+                503,
+                &error_json("server is at its connection limit; retry").to_string(),
+            );
+            continue;
+        }
+        shared.connections.fetch_add(1, Ordering::AcqRel);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("fitact-serve-conn".into())
+            .spawn(move || {
+                // Decrement even if the handler panics.
+                struct Guard<'a>(&'a AtomicUsize);
+                impl Drop for Guard<'_> {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                let _guard = Guard(&conn_shared.connections);
+                handle_connection(&conn_shared, stream);
+            });
+        if let Err(e) = spawned {
+            // The closure (and the stream with it) was dropped; all that is
+            // left is restoring the counter. `e` is an OS resource failure.
+            shared.connections.fetch_sub(1, Ordering::AcqRel);
+            let _ = e;
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    serial_scope(|| {
+        let mut generation = shared.generation.load(Ordering::Acquire);
+        let mut model = shared.current_model();
+        let mut network = model.template.clone();
+        let mut arena = TensorArena::new();
+        let mut dims: Vec<usize> = Vec::new();
+        while let Some(batch) = shared.queue.next_batch() {
+            let current = shared.generation.load(Ordering::Acquire);
+            if current != generation {
+                generation = current;
+                model = shared.current_model();
+                network = model.template.clone();
+            }
+            // Rows were length-validated against the model that was current
+            // at enqueue time; a hot reload between then and now may have
+            // changed the feature count. Those rows get a typed error — a
+            // length-mismatched copy below would panic and kill the worker.
+            let (batch, stale): (Vec<_>, Vec<_>) = batch
+                .into_iter()
+                .partition(|row| row.input.len() == model.features);
+            for row in stale {
+                shared.metrics.on_error();
+                let _ = row.responder.send(RowResult {
+                    row: row.row,
+                    outcome: Err(format!(
+                        "the model was reloaded with a different input shape \
+                         ({} features) while this request was queued; resubmit",
+                        model.features
+                    )),
+                    batch_size: 0,
+                });
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            let n = batch.len();
+            shared.metrics.on_batch(n);
+            // Stage the batch: one warm TensorArena slot, one contiguous
+            // row copy per request — zero allocations once the shapes have
+            // stabilised, exactly like `Network::evaluate`'s staging.
+            let mut staging = arena.take(0);
+            dims.clear();
+            dims.push(n);
+            dims.extend_from_slice(&model.input_shape);
+            staging.ensure_shape(&dims);
+            let features = model.features;
+            {
+                let dst = staging.as_mut_slice();
+                for (i, row) in batch.iter().enumerate() {
+                    dst[i * features..(i + 1) * features].copy_from_slice(&row.input);
+                }
+            }
+            match network.forward(&staging, Mode::Eval) {
+                Ok(logits) => {
+                    let width = logits.numel() / n.max(1);
+                    let classes = logits.argmax_rows().unwrap_or_default();
+                    let values = logits.as_slice();
+                    for (i, row) in batch.iter().enumerate() {
+                        let outcome = RowOutput {
+                            logits: values[i * width..(i + 1) * width].to_vec(),
+                            class: classes.get(i).copied().unwrap_or(0),
+                        };
+                        shared.metrics.on_response(row.enqueued.elapsed());
+                        let _ = row.responder.send(RowResult {
+                            row: row.row,
+                            outcome: Ok(outcome),
+                            batch_size: n,
+                        });
+                    }
+                }
+                Err(e) => {
+                    let message = format!("forward pass failed: {e}");
+                    for row in &batch {
+                        shared.metrics.on_error();
+                        let _ = row.responder.send(RowResult {
+                            row: row.row,
+                            outcome: Err(message.clone()),
+                            batch_size: n,
+                        });
+                    }
+                }
+            }
+            arena.put(0, staging);
+        }
+    });
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let request = match read_request(&mut stream, shared.max_body) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(message) => {
+            let _ = write_response(&mut stream, 400, &error_json(&message).to_string());
+            return;
+        }
+    };
+    let (status, body, then_shutdown) = route(shared, &request);
+    let _ = write_response(&mut stream, status, &body.to_string());
+    if then_shutdown {
+        // The response is on the wire before the listener goes away, so the
+        // admin client always learns the shutdown was accepted.
+        shared.begin_shutdown();
+    }
+}
+
+fn error_json(message: &str) -> JsonValue {
+    JsonValue::Object(vec![(
+        "error".into(),
+        JsonValue::String(message.to_owned()),
+    )])
+}
+
+fn route(shared: &Arc<Shared>, request: &Request) -> (u16, JsonValue, bool) {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => (200, health_json(shared), false),
+        ("GET", "/metrics") => (200, shared.metrics.snapshot().to_json(), false),
+        ("POST", "/predict") => {
+            let (status, body) = predict(shared, &request.body);
+            (status, body, false)
+        }
+        ("POST", "/admin/reload") => {
+            let (status, body) = reload(shared);
+            (status, body, false)
+        }
+        ("POST", "/admin/shutdown") => (
+            200,
+            JsonValue::Object(vec![(
+                "status".into(),
+                JsonValue::String("shutting down".into()),
+            )]),
+            true,
+        ),
+        (_, "/healthz" | "/metrics" | "/predict" | "/admin/reload" | "/admin/shutdown") => (
+            405,
+            error_json(&format!("method {} not allowed here", request.method)),
+            false,
+        ),
+        (_, target) => (404, error_json(&format!("no route for `{target}`")), false),
+    }
+}
+
+fn health_json(shared: &Arc<Shared>) -> JsonValue {
+    let model = shared.current_model();
+    JsonValue::Object(vec![
+        ("status".into(), JsonValue::String("ok".into())),
+        ("model".into(), JsonValue::String(model.name.clone())),
+        (
+            "scheme".into(),
+            model
+                .scheme
+                .clone()
+                .map(JsonValue::String)
+                .unwrap_or(JsonValue::Null),
+        ),
+        (
+            "input_shape".into(),
+            JsonValue::Array(
+                model
+                    .input_shape
+                    .iter()
+                    .map(|&d| JsonValue::Number(d as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "num_parameters".into(),
+            JsonValue::Number(model.num_parameters as f64),
+        ),
+        (
+            "generation".into(),
+            JsonValue::Number(shared.generation.load(Ordering::Acquire) as f64),
+        ),
+        ("workers".into(), JsonValue::Number(shared.workers as f64)),
+        (
+            "queue_depth".into(),
+            JsonValue::Number(shared.queue.depth() as f64),
+        ),
+        (
+            "max_batch".into(),
+            JsonValue::Number(shared.queue.max_batch() as f64),
+        ),
+    ])
+}
+
+/// Parses a predict body into flattened sample rows. Accepts
+/// `{"inputs": [[…], …]}` (a batch) or `{"input": […]}` (one sample).
+fn parse_rows(body: &[u8], features: usize) -> Result<Vec<Vec<f32>>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let value = JsonValue::parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let rows_json: Vec<&JsonValue> = if let Some(inputs) = value.get("inputs") {
+        inputs
+            .as_array()
+            .ok_or("`inputs` must be an array of sample rows")?
+            .iter()
+            .collect()
+    } else if let Some(input) = value.get("input") {
+        vec![input]
+    } else {
+        return Err("body must carry `inputs` (batch) or `input` (one sample)".into());
+    };
+    if rows_json.is_empty() {
+        return Err("`inputs` is empty".into());
+    }
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for (i, row_json) in rows_json.iter().enumerate() {
+        let numbers = row_json
+            .as_array()
+            .ok_or_else(|| format!("row {i} is not an array"))?;
+        if numbers.len() != features {
+            return Err(format!(
+                "row {i} has {} values but the model takes {features}",
+                numbers.len()
+            ));
+        }
+        let mut row = Vec::with_capacity(features);
+        for (j, n) in numbers.iter().enumerate() {
+            let v = n
+                .as_f64()
+                .ok_or_else(|| format!("row {i} value {j} is not a number"))?;
+            row.push(v as f32);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn predict(shared: &Arc<Shared>, body: &[u8]) -> (u16, JsonValue) {
+    if shared.stopping.load(Ordering::SeqCst) {
+        return (503, error_json("server is shutting down"));
+    }
+    let model = shared.current_model();
+    let rows = match parse_rows(body, model.features) {
+        Ok(rows) => rows,
+        Err(message) => return (400, error_json(&message)),
+    };
+    let n = rows.len();
+    let (tx, rx) = mpsc::channel();
+    let enqueued = Instant::now();
+    let pending: Vec<PendingRow> = rows
+        .into_iter()
+        .enumerate()
+        .map(|(row, input)| PendingRow {
+            input,
+            row,
+            enqueued,
+            responder: tx.clone(),
+        })
+        .collect();
+    drop(tx);
+    match shared.queue.push(pending) {
+        Ok(()) => {}
+        Err(crate::batcher::PushRejected::ShuttingDown(_)) => {
+            return (503, error_json("server is shutting down"));
+        }
+        Err(crate::batcher::PushRejected::Overloaded(_)) => {
+            return (503, error_json("server is overloaded (queue full); retry"));
+        }
+    }
+    shared.metrics.on_rows_accepted(n);
+    let mut results: Vec<Option<RowResult>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        match rx.recv_timeout(Duration::from_secs(60)) {
+            Ok(result) => {
+                let slot = result.row;
+                results[slot] = Some(result);
+            }
+            Err(_) => return (500, error_json("timed out waiting for execution")),
+        }
+    }
+    let mut outputs = Vec::with_capacity(n);
+    let mut classes = Vec::with_capacity(n);
+    let mut batch_sizes = Vec::with_capacity(n);
+    for result in results.into_iter().flatten() {
+        match result.outcome {
+            Ok(output) => {
+                outputs.push(JsonValue::Array(
+                    output
+                        .logits
+                        .iter()
+                        .map(|&v| JsonValue::Number(f64::from(v)))
+                        .collect(),
+                ));
+                classes.push(JsonValue::Number(output.class as f64));
+                batch_sizes.push(JsonValue::Number(result.batch_size as f64));
+            }
+            Err(message) => return (500, error_json(&message)),
+        }
+    }
+    (
+        200,
+        JsonValue::Object(vec![
+            ("model".into(), JsonValue::String(model.name.clone())),
+            ("outputs".into(), JsonValue::Array(outputs)),
+            ("classes".into(), JsonValue::Array(classes)),
+            ("batch_sizes".into(), JsonValue::Array(batch_sizes)),
+        ]),
+    )
+}
+
+fn reload(shared: &Arc<Shared>) -> (u16, JsonValue) {
+    match load_model(&shared.model_path, shared.input_shape_override.as_deref()) {
+        Ok(model) => {
+            let num_parameters = model.num_parameters;
+            *shared.model.write().expect("model lock poisoned") = Arc::new(model);
+            let generation = shared.generation.fetch_add(1, Ordering::AcqRel) + 1;
+            shared.metrics.on_reload();
+            (
+                200,
+                JsonValue::Object(vec![
+                    ("status".into(), JsonValue::String("reloaded".into())),
+                    ("generation".into(), JsonValue::Number(generation as f64)),
+                    (
+                        "num_parameters".into(),
+                        JsonValue::Number(num_parameters as f64),
+                    ),
+                ]),
+            )
+        }
+        Err(e) => (500, error_json(&format!("reload failed: {e}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rows_accepts_batch_and_single_forms() {
+        let rows = parse_rows(br#"{"inputs": [[1, 2], [3, 4]]}"#, 2).unwrap();
+        assert_eq!(rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let rows = parse_rows(br#"{"input": [5, 6]}"#, 2).unwrap();
+        assert_eq!(rows, vec![vec![5.0, 6.0]]);
+    }
+
+    #[test]
+    fn parse_rows_rejects_bad_bodies() {
+        for (body, needle) in [
+            (&b"not json"[..], "invalid JSON"),
+            (br#"{"other": 1}"#, "must carry"),
+            (br#"{"inputs": []}"#, "empty"),
+            (br#"{"inputs": [1]}"#, "not an array"),
+            (br#"{"inputs": [[1]]}"#, "the model takes 2"),
+            (br#"{"inputs": [["x", 1]]}"#, "not a number"),
+            (b"\xff\xfe", "UTF-8"),
+        ] {
+            let err = parse_rows(body, 2).unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn input_shape_inference_prefers_dataset_metadata() {
+        use fitact_nn::layers::{Linear, Sequential};
+        use fitact_nn::Network;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Network::new(
+            "m",
+            Sequential::new().with(Box::new(Linear::new(4, 2, &mut rng))),
+        );
+        let mut artifact = ModelArtifact::capture(&net).unwrap();
+        // Without metadata: the leading Linear wins.
+        assert_eq!(infer_input_shape(&artifact).unwrap(), vec![4]);
+        // With dataset metadata: the recorded spec wins.
+        for (k, v) in DataSpec::synthetic_cifar(10, 8, 1).to_meta() {
+            artifact.set_meta(k, v);
+        }
+        assert_eq!(infer_input_shape(&artifact).unwrap(), vec![3, 32, 32]);
+    }
+}

@@ -546,6 +546,45 @@ mod tests {
         assert_eq!(parallel, serial, "threaded split must be bit-identical");
     }
 
+    /// Serving bit-identity foundation: in the packed kernel, one output
+    /// row's arithmetic depends only on that row of `op(A)` and on `B` —
+    /// never on how many other rows share the product. `Nt` (the layout
+    /// `Linear::forward` uses, and the only batch-shaped matmul in an
+    /// eval-mode forward pass) always takes the packed path, so a sample's
+    /// logits are bit-identical whether it is evaluated alone or inside any
+    /// micro-batch. `fitact_serve` builds its guarantee on this; the
+    /// `forward_is_batch_invariant` suite in `fitact_nn` pins the
+    /// layer-level consequence.
+    #[test]
+    fn nt_rows_are_independent_of_row_count() {
+        // Odd sizes, spanning multiple KC blocks (k > 256) and NR tiles.
+        let (k, n) = (300, 47);
+        let b = fill(n * k, 11); // B is [n, k], read transposed.
+        for m in [2usize, 3, 8, 33] {
+            let a = fill(m * k, 12);
+            let mut batched = vec![0.0f32; m * n];
+            matmul_into(Layout::Nt, &a, &b, &mut batched, m, k, n, false);
+            for i in 0..m {
+                let mut single = vec![0.0f32; n];
+                matmul_into(
+                    Layout::Nt,
+                    &a[i * k..(i + 1) * k],
+                    &b,
+                    &mut single,
+                    1,
+                    k,
+                    n,
+                    false,
+                );
+                assert_eq!(
+                    &batched[i * n..(i + 1) * n],
+                    &single[..],
+                    "m={m} row {i} must be bit-identical to the single-row product"
+                );
+            }
+        }
+    }
+
     #[test]
     fn empty_dims_are_handled() {
         let mut out = vec![7.0f32; 4];

@@ -63,6 +63,9 @@ pub fn trained_alexnet_artifact() -> ModelArtifact {
 }
 
 /// The golden CNN instantiated as a live network.
+// Each test binary compiles this module independently; not every suite
+// uses every helper.
+#[allow(dead_code)]
 pub fn trained_alexnet() -> Network {
     trained_alexnet_artifact()
         .instantiate()
