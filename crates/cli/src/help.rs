@@ -146,19 +146,29 @@ FLAGS:
                          [default: 1024]
     --max-connections N  concurrent-connection cap; excess answered 503
                          [default: 256]
+    --retry-policy NAME  off | flag | retry: what to do when a batch's
+                         violation trace crosses the threshold [default: off]
+    --violation-threshold N  per-batch violation count that makes a batch
+                         suspect                          [default: 1]
+    --canary-rate F      per-bit fault rate for the fault-injected shadow
+                         replica; 0 disables it           [default: 0]
 
 ENDPOINTS:
     POST /predict        {\"inputs\": [[...], ...]} or {\"input\": [...]} ->
                          {\"outputs\", \"classes\", \"batch_sizes\"}
     GET  /healthz        liveness + model identity
-    GET  /metrics        counters, batch-size histogram, latency percentiles
+    GET  /metrics        counters, batch-size histogram, latency percentiles,
+                         violation/recovery/canary telemetry
     POST /admin/reload   hot-swap the artifact from disk
+    POST /admin/metrics/reset  empty the latency window (counters untouched)
     POST /admin/shutdown graceful drain + stop
 
 On startup one JSON line with the bound address is printed and flushed;
 the process then blocks until POST /admin/shutdown and prints a final
 JSON summary. Responses are bit-identical to single-sample evaluation
-regardless of batching (see docs/serving.md).
+regardless of batching (see docs/serving.md), and with the default
+retry policy also byte-identical to a server without recovery
+(see docs/recovery.md).
 Exit codes: 0 graceful shutdown, 2 usage/runtime error.
 ";
 

@@ -9,7 +9,7 @@
 use crate::args::Args;
 use crate::CliError;
 use fitact_io::JsonValue;
-use fitact_serve::{ServeConfig, Server};
+use fitact_serve::{RetryPolicy, ServeConfig, Server};
 use std::io::Write;
 use std::time::Duration;
 
@@ -25,6 +25,9 @@ pub const SERVE_FLAGS: &[&str] = &[
     "max-body-bytes",
     "max-queue",
     "max-connections",
+    "retry-policy",
+    "violation-threshold",
+    "canary-rate",
 ];
 
 /// Parses `3x32x32`-style shape syntax.
@@ -70,6 +73,13 @@ pub fn serve(raw: &[String]) -> Result<JsonValue, CliError> {
         max_body_bytes: args.parse_or("max-body-bytes", defaults.max_body_bytes)?,
         max_queue: args.parse_or("max-queue", defaults.max_queue)?,
         max_connections: args.parse_or("max-connections", defaults.max_connections)?,
+        retry_policy: match args.get("retry-policy") {
+            None => defaults.retry_policy,
+            Some(text) => RetryPolicy::parse(text)
+                .map_err(|e| CliError::from(format!("flag `--retry-policy`: {e}")))?,
+        },
+        violation_threshold: args.parse_or("violation-threshold", defaults.violation_threshold)?,
+        canary_rate: args.parse_or("canary-rate", defaults.canary_rate)?,
     };
     let server =
         Server::start(model, &config).map_err(|e| format!("cannot serve `{model}`: {e}"))?;
@@ -87,6 +97,11 @@ pub fn serve(raw: &[String]) -> Result<JsonValue, CliError> {
             JsonValue::Number(config.max_wait.as_millis() as f64),
         ),
         ("workers".into(), JsonValue::Number(config.workers as f64)),
+        (
+            "retry_policy".into(),
+            JsonValue::String(config.retry_policy.as_str().into()),
+        ),
+        ("canary_rate".into(), JsonValue::Number(config.canary_rate)),
     ]);
     println!("{startup}");
     // Scripts (and the CI smoke job) poll stdout for this line before
@@ -110,6 +125,21 @@ mod tests {
         assert_eq!(parse_shape("8").unwrap(), vec![8]);
         for bad in ["", "x", "3x", "3x0x2", "3,2", "axb"] {
             assert!(parse_shape(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn retry_policy_flag_is_validated_before_startup() {
+        let raw: Vec<String> = ["m.fitact", "--retry-policy", "sometimes"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match serve(&raw) {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("--retry-policy"), "{msg}");
+                assert!(msg.contains("sometimes"), "{msg}");
+            }
+            other => panic!("expected a usage error, got {other:?}"),
         }
     }
 

@@ -121,6 +121,16 @@ impl Activation for ChannelRelu {
         }
     }
 
+    fn count_violations(&self, input: &Tensor) -> u64 {
+        let features = self.features();
+        input
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|&(i, &x)| x > self.bound_of(i % features))
+            .count() as u64
+    }
+
     fn params(&self) -> Vec<&Parameter> {
         vec![&self.bounds]
     }

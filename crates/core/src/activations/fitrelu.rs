@@ -185,6 +185,19 @@ impl Activation for FitRelu {
         (x * self.gate(x, lambda)).max(0.0)
     }
 
+    fn count_violations(&self, input: &Tensor) -> u64 {
+        // λ_i is the detection threshold: the sigmoid gate starts squashing
+        // at the bound, so x > λ_i is the smooth analogue of a hard clamp.
+        let neurons = self.num_neurons();
+        let bounds = self.bounds.data().as_slice();
+        input
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|&(i, &x)| x > bounds[i % neurons])
+            .count() as u64
+    }
+
     fn params(&self) -> Vec<&Parameter> {
         vec![&self.bounds]
     }

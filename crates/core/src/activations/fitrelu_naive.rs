@@ -126,6 +126,17 @@ impl Activation for FitReluNaive {
         }
     }
 
+    fn count_violations(&self, input: &Tensor) -> u64 {
+        let neurons = self.num_neurons();
+        let bounds = self.bounds.data().as_slice();
+        input
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|&(i, &x)| x > bounds[i % neurons])
+            .count() as u64
+    }
+
     fn params(&self) -> Vec<&Parameter> {
         vec![&self.bounds]
     }

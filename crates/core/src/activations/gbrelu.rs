@@ -86,6 +86,13 @@ impl Activation for GbRelu {
         }
     }
 
+    fn count_violations(&self, input: &Tensor) -> u64 {
+        // Only over-bound values are fault evidence; x ≤ 0 is ordinary ReLU
+        // zeroing. NaN comparisons are false, so NaN never counts here.
+        let bound = self.bound;
+        input.as_slice().iter().filter(|&&x| x > bound).count() as u64
+    }
+
     fn spec(&self) -> Result<fitact_nn::spec::ActivationSpec, NnError> {
         Ok(fitact_nn::spec::ActivationSpec {
             kind: "gbrelu".into(),

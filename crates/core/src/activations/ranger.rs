@@ -72,6 +72,13 @@ impl Activation for Ranger {
         x.clamp(0.0, self.bound)
     }
 
+    fn count_violations(&self, input: &Tensor) -> u64 {
+        // Truncation to λ only fires for x > λ; clamping x ≤ 0 is ordinary
+        // ReLU behaviour, not fault evidence.
+        let bound = self.bound;
+        input.as_slice().iter().filter(|&&x| x > bound).count() as u64
+    }
+
     fn spec(&self) -> Result<fitact_nn::spec::ActivationSpec, NnError> {
         Ok(fitact_nn::spec::ActivationSpec {
             kind: "ranger".into(),

@@ -18,6 +18,9 @@
 //! * [`StratifiedSampler`] / [`StratumSpec`] / [`BitClass`] — fault-site
 //!   sampling stratified by layer and by sign / exponent / mantissa bit
 //!   class,
+//! * [`CanaryInjector`] — a persistent datapath-injector handle for shadow
+//!   ("canary") replicas in the serving path, reporting live fault counts so
+//!   detection coverage can be measured against violation telemetry,
 //! * [`Campaign`] — the trial engine: [`Campaign::run`] for fixed-count
 //!   campaigns (paper Figs. 5 and 6) and [`Campaign::run_until`] for
 //!   stratified campaigns with masked / tolerable-SDC / critical-SDC outcome
@@ -114,8 +117,8 @@ pub use checkpoint::{CheckpointCache, ResumePlan};
 pub use injector::{apply_bit_flips, quantize_network, BitFlipInjector, FaultSite};
 pub use map::{MemoryMap, ParamSpan};
 pub use model::{
-    ActivationBitFlip, FaultModel, Injection, MultiBitBurst, StuckAtFaultModel, TransientBitFlip,
-    TrialContext,
+    ActivationBitFlip, CanaryInjector, FaultModel, Injection, MultiBitBurst, StuckAtFaultModel,
+    TransientBitFlip, TrialContext,
 };
 pub use stats::{sample_binomial, z_for_confidence, TrialOutcome, WilsonInterval};
 pub use strata::{BitClass, StratifiedSampler, StratumSpec};

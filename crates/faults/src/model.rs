@@ -277,6 +277,48 @@ impl FaultModel for ActivationBitFlip {
     }
 }
 
+/// A persistent datapath-fault injector for shadow ("canary") execution.
+///
+/// The campaign engine installs [`ActivationBitFlip`] wrappers for exactly
+/// one trial and then restores the original activations. A canary replica in
+/// the serving path needs the opposite lifecycle: wrap a network *once* and
+/// let the corrupters keep flipping bits across every batch of mirrored
+/// traffic, while a live counter reports how many faults were injected so
+/// detection coverage (violations fired / faults injected) can be measured.
+///
+/// `install` wraps every activation slot of `network` using the same
+/// taxonomy, sampler and Q15.16 bit semantics as the campaign's datapath
+/// model; the handle stays valid for the network's lifetime (clones of the
+/// network share the same counter).
+#[derive(Debug)]
+pub struct CanaryInjector {
+    flips: Arc<AtomicU64>,
+}
+
+impl CanaryInjector {
+    /// Wraps every activation slot of `network` with a persistent corrupter
+    /// flipping each output bit in `bits` independently at per-bit `rate`.
+    /// Deterministic for a given `seed` and sequence of forward shapes.
+    pub fn install(network: &mut Network, rate: f64, bits: &[u32], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ctx = TrialContext {
+            fault_rate: rate,
+            bit_positions: bits,
+        };
+        let injection = ActivationBitFlip.inject(network, &[], &ctx, &mut rng);
+        CanaryInjector {
+            flips: injection
+                .deferred_faults
+                .expect("datapath injection always defers its fault counter"),
+        }
+    }
+
+    /// Total bits flipped by the wrapped network's forwards so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.flips.load(Ordering::Relaxed)
+    }
+}
+
 /// Placeholder used while swapping a slot's activation out and back in.
 #[derive(Debug, Clone)]
 struct NoopActivation;
@@ -354,6 +396,14 @@ impl Activation for CorruptingActivation {
 
     fn params_mut(&mut self) -> Vec<&mut Parameter> {
         self.inner.params_mut()
+    }
+
+    // Detection telemetry must see the wrapped activation's bounds: the
+    // corrupter flips bits in this slot's *output*, and it is the *next*
+    // bounded slot's violation count that detects them. Without delegation a
+    // wrapped network would report zero violations everywhere.
+    fn count_violations(&self, input: &Tensor) -> u64 {
+        self.inner.count_violations(input)
     }
 
     fn clone_box(&self) -> Box<dyn Activation> {
@@ -505,6 +555,57 @@ mod tests {
         assert_ne!(clean.as_slice(), corrupted.as_slice());
         // Parameters were never touched.
         assert_eq!(net.snapshot(), params_before);
+    }
+
+    #[test]
+    fn canary_injector_counts_faults_across_batches() {
+        let mut net = small_network();
+        let injector = CanaryInjector::install(&mut net, 0.05, &(0..32).collect::<Vec<_>>(), 42);
+        assert_eq!(injector.faults_injected(), 0, "no forward, no faults yet");
+        net.forward(&Tensor::ones(&[4, 4]), Mode::Eval).unwrap();
+        let after_one = injector.faults_injected();
+        assert!(after_one > 0, "persistent wrapper flips on the first batch");
+        net.forward(&Tensor::ones(&[4, 4]), Mode::Eval).unwrap();
+        assert!(
+            injector.faults_injected() > after_one,
+            "and keeps flipping on later batches"
+        );
+    }
+
+    #[test]
+    fn corrupting_wrapper_delegates_violation_counting() {
+        // A bounded stand-in: counts every value above 1.0.
+        #[derive(Debug, Clone)]
+        struct Bounded;
+        impl Activation for Bounded {
+            fn name(&self) -> &str {
+                "bounded"
+            }
+            fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+                Ok(input.map(|x| x.clamp(0.0, 1.0)))
+            }
+            fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+                Ok(grad_output.clone())
+            }
+            fn eval_scalar(&self, x: f32, _neuron: usize) -> f32 {
+                x.clamp(0.0, 1.0)
+            }
+            fn count_violations(&self, input: &Tensor) -> u64 {
+                input.as_slice().iter().filter(|&&x| x > 1.0).count() as u64
+            }
+            fn clone_box(&self) -> Box<dyn Activation> {
+                Box::new(self.clone())
+            }
+        }
+        let wrapper = CorruptingActivation {
+            inner: Box::new(Bounded),
+            rate: 0.0,
+            bits: vec![0],
+            rng: StdRng::seed_from_u64(0),
+            flips: Arc::new(AtomicU64::new(0)),
+        };
+        let x = Tensor::from_vec(vec![0.5, 2.0, 3.0], &[1, 3]).unwrap();
+        assert_eq!(wrapper.count_violations(&x), 2);
     }
 
     #[test]

@@ -62,6 +62,23 @@ pub trait Activation: fmt::Debug + Send + Sync {
         Vec::new()
     }
 
+    /// Counts the elements of `input` that lie strictly above this
+    /// activation's protection bound — the detection events of the FitAct
+    /// model, where a clamped value is evidence of a fault.
+    ///
+    /// Bounded activations (GBReLU, Ranger, ChannelReLU, FitReLU and its
+    /// naive variant) override this; the default — for unbounded activations
+    /// like plain [`ReLU`], which detect nothing — reports zero. Wrapper
+    /// activations (profilers, fault injectors) must delegate to their inner
+    /// activation so detection telemetry survives wrapping.
+    ///
+    /// Implementations only *read* `input`: counting violations never
+    /// perturbs the forward numerics (see [`crate::trace`]).
+    fn count_violations(&self, input: &Tensor) -> u64 {
+        let _ = input;
+        0
+    }
+
     /// The serializable descriptor of this activation's configuration (see
     /// [`crate::spec::ActivationSpec`] for the encoding contract).
     ///

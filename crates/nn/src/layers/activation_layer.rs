@@ -91,6 +91,16 @@ impl Layer for ActivationLayer {
                 actual: input.dims().to_vec(),
             });
         }
+        // Observe-only detection telemetry: when a ViolationTrace is captured
+        // on this thread, record how many pre-activation values exceed the
+        // installed bound. Costs one thread-local check when nobody listens.
+        if crate::trace::is_active() {
+            crate::trace::record(
+                &self.label,
+                self.activation.count_violations(input),
+                input.numel() as u64,
+            );
+        }
         self.activation.forward(input)
     }
 

@@ -45,12 +45,14 @@ pub mod optim;
 mod param;
 pub mod schedule;
 pub mod spec;
+pub mod trace;
 
 pub use activation::{Activation, ReLU};
 pub use layers::{Layer, Mode, Sequential};
 pub use network::{copy_batch_into, Network};
 pub use param::Parameter;
 pub use spec::{ActivationBuilder, ActivationSpec, BaselineActivations, LayerSpec};
+pub use trace::ViolationTrace;
 
 use fitact_tensor::TensorError;
 use std::error::Error;

@@ -1,0 +1,257 @@
+//! Scoped bound-violation tracing for protected forward passes.
+//!
+//! FitAct-style bounded activations do not just *clamp* out-of-range values —
+//! every clamped element is evidence that a fault (or an out-of-distribution
+//! input) corrupted the forward pass. This module turns that evidence into a
+//! telemetry channel without touching the numerics: a [`ViolationTrace`] is an
+//! observe-only, per-layer counter of how many pre-activation values exceeded
+//! their protection bound.
+//!
+//! # Design
+//!
+//! The trace is carried through a forward pass by a **thread-local slot**
+//! rather than by threading a parameter through every `Layer::forward`
+//! signature: the layer API stays unchanged, and code that never installs a
+//! trace pays exactly one thread-local flag check per activation slot
+//! ([`is_active`]). A caller that wants telemetry wraps the forward in
+//! [`capture`]:
+//!
+//! ```
+//! use fitact_nn::trace::{self, ViolationTrace};
+//!
+//! let mut trace = ViolationTrace::new();
+//! let out = trace::capture(&mut trace, || {
+//!     // any forward run in this closure records into `trace`
+//!     2 + 2
+//! });
+//! assert_eq!(out, 4);
+//! assert_eq!(trace.total(), 0); // nothing protected ran, nothing recorded
+//! ```
+//!
+//! Recording is allocation-free in the steady state: slots are keyed by their
+//! diagnostic label, labels recur in forward order, and the trace keeps a
+//! cursor so the common case is a single slice-index compare. `capture` is
+//! re-entrant (an inner capture shadows the outer one for its extent) and
+//! restores the thread-local slot even if the closure panics.
+//!
+//! **The trace is observe-only**: violation counting reads the slot's *input*
+//! tensor and never writes anything the activation sees, so outputs are
+//! bit-identical with tracing on or off (pinned by
+//! `crates/core/tests/detection.rs`).
+
+use std::cell::RefCell;
+
+/// Violation counts for one activation slot within one traced scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotViolations {
+    /// The slot's diagnostic label (for example `"features.1"`).
+    pub label: String,
+    /// Number of elements whose pre-activation value exceeded the bound.
+    pub violations: u64,
+    /// Number of elements inspected (batch × features, accumulated).
+    pub elements: u64,
+}
+
+/// An accumulator of per-slot bound-violation counts.
+///
+/// Create one, pass it to [`capture`] around a forward pass, then read the
+/// per-slot counts. Reuse the same trace across batches (calling
+/// [`ViolationTrace::clear`] in between) to keep the hot path allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ViolationTrace {
+    slots: Vec<SlotViolations>,
+    cursor: usize,
+}
+
+impl ViolationTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        ViolationTrace::default()
+    }
+
+    /// Zeroes all counts while keeping the slot labels and their allocation,
+    /// so a reused trace records the next batch without allocating.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.violations = 0;
+            slot.elements = 0;
+        }
+        self.cursor = 0;
+    }
+
+    /// The per-slot counts, in first-recorded (forward) order.
+    pub fn slots(&self) -> &[SlotViolations] {
+        &self.slots
+    }
+
+    /// Total violations across all slots.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().map(|s| s.violations).sum()
+    }
+
+    fn record(&mut self, label: &str, violations: u64, elements: u64) {
+        // Slots recur in forward order, so the cursor almost always points at
+        // the matching entry; fall back to a scan, then to a push.
+        let n = self.slots.len();
+        let found = (0..n)
+            .map(|k| (self.cursor + k) % n)
+            .find(|&i| self.slots[i].label == label);
+        match found {
+            Some(i) => {
+                self.slots[i].violations += violations;
+                self.slots[i].elements += elements;
+                self.cursor = (i + 1) % n.max(1);
+            }
+            None => {
+                self.slots.push(SlotViolations {
+                    label: label.to_string(),
+                    violations,
+                    elements,
+                });
+                self.cursor = 0;
+            }
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ViolationTrace>> = const { RefCell::new(None) };
+}
+
+/// Whether a trace is installed on this thread — the single branch a
+/// protected forward pays when nobody is listening.
+pub fn is_active() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+/// Records violation counts for one activation slot into the active trace.
+/// A no-op when no trace is installed.
+pub fn record(label: &str, violations: u64, elements: u64) {
+    ACTIVE.with(|slot| {
+        if let Some(trace) = slot.borrow_mut().as_mut() {
+            trace.record(label, violations, elements);
+        }
+    });
+}
+
+/// Total violations recorded so far in the active trace, or `None` when no
+/// trace is installed. Lets a boundary-snapshotting caller (for example
+/// `Network::forward_inspect`) attribute violations to the layer between two
+/// boundaries.
+pub fn active_total() -> Option<u64> {
+    ACTIVE.with(|slot| slot.borrow().as_ref().map(|t| t.total()))
+}
+
+/// Installs `trace` as this thread's active trace for the duration of `f`.
+///
+/// Counts recorded by protected forwards inside `f` accumulate into `trace`
+/// (on top of whatever it already holds — call [`ViolationTrace::clear`]
+/// first for per-batch counts). Nested captures shadow the outer trace for
+/// their extent; the previous state is restored when `f` returns or panics.
+pub fn capture<T>(trace: &mut ViolationTrace, f: impl FnOnce() -> T) -> T {
+    struct Restore<'a> {
+        target: &'a mut ViolationTrace,
+        previous: Option<ViolationTrace>,
+    }
+    impl Drop for Restore<'_> {
+        fn drop(&mut self) {
+            ACTIVE.with(|slot| {
+                let mut slot = slot.borrow_mut();
+                if let Some(trace) = slot.take() {
+                    *self.target = trace;
+                }
+                *slot = self.previous.take();
+            });
+        }
+    }
+
+    let previous = ACTIVE.with(|slot| slot.borrow_mut().replace(std::mem::take(trace)));
+    let _restore = Restore {
+        target: trace,
+        previous,
+    };
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_outside_capture_is_a_noop() {
+        assert!(!is_active());
+        record("slot", 3, 10); // must not panic or leak anywhere
+        assert_eq!(active_total(), None);
+    }
+
+    #[test]
+    fn capture_accumulates_per_slot_counts() {
+        let mut trace = ViolationTrace::new();
+        capture(&mut trace, || {
+            assert!(is_active());
+            record("a", 2, 8);
+            record("b", 0, 8);
+            record("a", 1, 8); // second batch through the same slot
+            assert_eq!(active_total(), Some(3));
+        });
+        assert!(!is_active());
+        assert_eq!(trace.total(), 3);
+        assert_eq!(
+            trace.slots(),
+            &[
+                SlotViolations {
+                    label: "a".into(),
+                    violations: 3,
+                    elements: 16
+                },
+                SlotViolations {
+                    label: "b".into(),
+                    violations: 0,
+                    elements: 8
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn clear_keeps_labels_and_zeroes_counts() {
+        let mut trace = ViolationTrace::new();
+        capture(&mut trace, || {
+            record("a", 2, 4);
+            record("b", 1, 4);
+        });
+        trace.clear();
+        assert_eq!(trace.total(), 0);
+        assert_eq!(trace.slots().len(), 2);
+        capture(&mut trace, || record("b", 5, 4));
+        assert_eq!(trace.total(), 5);
+        assert_eq!(trace.slots()[1].violations, 5);
+    }
+
+    #[test]
+    fn nested_capture_shadows_then_restores() {
+        let mut outer = ViolationTrace::new();
+        let mut inner = ViolationTrace::new();
+        capture(&mut outer, || {
+            record("o", 1, 1);
+            capture(&mut inner, || record("i", 7, 1));
+            record("o", 1, 1);
+        });
+        assert_eq!(outer.total(), 2);
+        assert_eq!(inner.total(), 7);
+    }
+
+    #[test]
+    fn capture_restores_on_panic() {
+        let mut trace = ViolationTrace::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            capture(&mut trace, || {
+                record("x", 9, 9);
+                panic!("boom");
+            })
+        }));
+        assert!(result.is_err());
+        assert!(!is_active());
+        assert_eq!(trace.total(), 9);
+    }
+}

@@ -19,6 +19,7 @@ use fitact_nn::layers::{
     Sequential,
 };
 use fitact_nn::network::copy_batch_into;
+use fitact_nn::trace::{self, ViolationTrace};
 use fitact_nn::Network;
 use fitact_tensor::{init, Tensor};
 use rand::rngs::StdRng;
@@ -105,6 +106,44 @@ fn cnn_forward_is_batch_invariant() {
     let mut rng = StdRng::seed_from_u64(43);
     let inputs = init::uniform(&[9, 3, 12, 12], -1.0, 1.0, &mut rng);
     assert_batch_invariant(cnn(), inputs);
+}
+
+/// The same invariance, with violation tracing active: the trace is
+/// observe-only, so a traced forward must be bit-identical to an untraced
+/// one — on every layer mix, and while the trace itself still sees every
+/// activation slot.
+#[test]
+fn violation_tracing_never_perturbs_outputs() {
+    let mut rng = StdRng::seed_from_u64(44);
+    for (mut net, inputs, slots) in [
+        (mlp(), init::uniform(&[13, 96], -1.0, 1.0, &mut rng), 2),
+        (
+            cnn(),
+            init::uniform(&[9, 3, 12, 12], -1.0, 1.0, &mut rng),
+            2,
+        ),
+    ] {
+        let untraced = net.forward(&inputs, Mode::Eval).unwrap();
+        let mut violation_trace = ViolationTrace::new();
+        let traced =
+            trace::capture(&mut violation_trace, || net.forward(&inputs, Mode::Eval)).unwrap();
+        assert_eq!(
+            traced,
+            untraced,
+            "{}: tracing must be a pure observer",
+            net.name()
+        );
+        // The trace really did observe the pass: one slot per activation
+        // layer, every pre-activation element inspected, and — plain
+        // unbounded ReLUs — zero violations.
+        assert_eq!(violation_trace.slots().len(), slots, "{}", net.name());
+        assert!(
+            violation_trace.slots().iter().all(|s| s.elements > 0),
+            "{}",
+            net.name()
+        );
+        assert_eq!(violation_trace.total(), 0, "{}", net.name());
+    }
 }
 
 // The protected-model variant of this invariance (FitAct wrappers are

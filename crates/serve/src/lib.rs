@@ -22,9 +22,16 @@
 //! |---|---|---|
 //! | `/predict` | POST | `{"inputs": [[…], …]}` → logits + classes |
 //! | `/healthz` | GET | liveness + model identity |
-//! | `/metrics` | GET | request counters, batch-size histogram, latency percentiles |
+//! | `/metrics` | GET | request counters, batch-size histogram, latency percentiles, violation/recovery/canary telemetry |
 //! | `/admin/reload` | POST | hot-swap the artifact from disk |
+//! | `/admin/metrics/reset` | POST | empty the latency window (counters untouched) |
 //! | `/admin/shutdown` | POST | graceful drain + stop |
+//!
+//! Protected activations double as fault detectors: every forward runs
+//! under a per-batch [`fitact_nn::ViolationTrace`], `--retry-policy retry`
+//! re-executes suspect batches from their last clean layer boundary, and
+//! `--canary-rate` runs a fault-injected shadow replica over a copy of live
+//! traffic to measure detection coverage (see `docs/recovery.md`).
 //!
 //! The `fitact serve` CLI subcommand (see `docs/cli.md`) wraps
 //! [`Server::start`]; tests drive the same API in-process:
@@ -46,10 +53,14 @@
 pub mod batcher;
 pub mod http;
 pub mod metrics;
+pub mod recovery;
 pub mod server;
 
 pub use batcher::{BatchQueue, PendingRow, PushRejected, RowOutput, RowResult};
-pub use metrics::{LatencyPercentiles, Metrics, MetricsSnapshot};
+pub use metrics::{
+    CanarySnapshot, LatencyPercentiles, LayerViolations, Metrics, MetricsSnapshot, RecoverySnapshot,
+};
+pub use recovery::RetryPolicy;
 pub use server::{ServeConfig, Server};
 
 use std::error::Error;

@@ -8,6 +8,7 @@
 //! uploads as a workflow artifact from the `serve-smoke` job.
 
 use fitact_io::JsonValue;
+use fitact_nn::ViolationTrace;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -35,6 +36,51 @@ pub struct Metrics {
     /// Model reloads performed via the admin endpoint.
     reloads_total: AtomicU64,
     latencies: Mutex<LatencyRing>,
+    /// Latency-window resets via `/admin/metrics/reset`.
+    latency_resets_total: AtomicU64,
+    /// Live batches whose violation trace was non-empty.
+    violation_batches_total: AtomicU64,
+    /// Per-layer violation telemetry, keyed by activation-slot label.
+    layer_violations: Mutex<Vec<LayerViolations>>,
+    /// Suspect batches counted (but not retried) under `--retry-policy flag`.
+    flagged_batches_total: AtomicU64,
+    /// Suspect batches re-executed under `--retry-policy retry`.
+    retried_batches_total: AtomicU64,
+    /// Retried rows whose re-execution differed (confirmed transient).
+    retry_transient_rows: AtomicU64,
+    /// Retried rows that reproduced bit-identically (persistent violation).
+    retry_persistent_rows: AtomicU64,
+    /// Batches mirrored through the canary shadow replica.
+    canary_batches_total: AtomicU64,
+    /// Faults the canary injector actually flipped into shadow traffic.
+    canary_faults_injected_total: AtomicU64,
+    /// Violations the shadow replica's trace recorded.
+    canary_violations_total: AtomicU64,
+    /// Canary batches that received at least one injected fault.
+    canary_injected_batches_total: AtomicU64,
+    /// Fault-carrying canary batches whose trace fired (the coverage
+    /// numerator; the denominator is `canary_injected_batches_total`).
+    canary_detected_batches_total: AtomicU64,
+    /// Batches the canary mirror dropped because its queue was full.
+    canary_dropped_total: AtomicU64,
+    /// Canary rows whose retry reproduced the clean replica bit-for-bit.
+    canary_retry_clean_match_rows: AtomicU64,
+    /// Canary rows whose retry still differed from the clean replica.
+    canary_retry_mismatch_rows: AtomicU64,
+    /// Canary rows whose retry differed from the faulted forward
+    /// (confirmed transient, mirroring `retry_transient_rows`).
+    canary_retry_transient_rows: AtomicU64,
+}
+
+/// Accumulated violation telemetry for one activation slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerViolations {
+    /// The activation slot's diagnostic label.
+    pub label: String,
+    /// Total over-bound pre-activation values observed.
+    pub violations: u64,
+    /// Total pre-activation values inspected.
+    pub elements: u64,
 }
 
 #[derive(Debug)]
@@ -63,6 +109,62 @@ pub struct MetricsSnapshot {
     /// Latency percentiles over the recent window, in microseconds
     /// (`None` until the first response).
     pub latency_us: Option<LatencyPercentiles>,
+    /// Latency-window resets performed.
+    pub latency_resets_total: u64,
+    /// Live batches whose violation trace was non-empty.
+    pub violation_batches_total: u64,
+    /// Per-slot violation telemetry (insertion order = first occurrence).
+    pub layer_violations: Vec<LayerViolations>,
+    /// Recovery-loop counters (flag / retry outcomes).
+    pub recovery: RecoverySnapshot,
+    /// Canary shadow-replica counters.
+    pub canary: CanarySnapshot,
+}
+
+/// Counters for the detect-and-retry recovery loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoverySnapshot {
+    /// Suspect batches counted under `--retry-policy flag`.
+    pub flagged_batches_total: u64,
+    /// Suspect batches re-executed under `--retry-policy retry`.
+    pub retried_batches_total: u64,
+    /// Retried rows whose re-execution differed (confirmed transient).
+    pub retry_transient_rows: u64,
+    /// Retried rows that reproduced bit-identically (persistent).
+    pub retry_persistent_rows: u64,
+}
+
+/// Counters for the canary fault-injection shadow replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CanarySnapshot {
+    /// Batches mirrored through the shadow replica.
+    pub batches_total: u64,
+    /// Faults injected into shadow traffic.
+    pub faults_injected_total: u64,
+    /// Violations the shadow trace recorded.
+    pub violations_total: u64,
+    /// Shadow batches that received at least one fault.
+    pub injected_batches_total: u64,
+    /// Fault-carrying shadow batches whose trace fired.
+    pub detected_batches_total: u64,
+    /// Batches dropped because the canary queue was full.
+    pub dropped_total: u64,
+    /// Shadow retry rows matching the clean replica bit-for-bit.
+    pub retry_clean_match_rows: u64,
+    /// Shadow retry rows still differing from the clean replica.
+    pub retry_mismatch_rows: u64,
+    /// Shadow retry rows differing from the faulted forward (transient).
+    pub retry_transient_rows: u64,
+}
+
+impl CanarySnapshot {
+    /// Measured detection coverage: the fraction of fault-carrying shadow
+    /// batches whose violation trace fired. `None` until the injector has
+    /// hit at least one batch.
+    pub fn detection_coverage(&self) -> Option<f64> {
+        (self.injected_batches_total > 0)
+            .then(|| self.detected_batches_total as f64 / self.injected_batches_total as f64)
+    }
 }
 
 /// End-to-end (enqueue → response ready) latency percentiles.
@@ -95,6 +197,22 @@ impl Metrics {
                 samples_us: Vec::new(),
                 next: 0,
             }),
+            latency_resets_total: AtomicU64::new(0),
+            violation_batches_total: AtomicU64::new(0),
+            layer_violations: Mutex::new(Vec::new()),
+            flagged_batches_total: AtomicU64::new(0),
+            retried_batches_total: AtomicU64::new(0),
+            retry_transient_rows: AtomicU64::new(0),
+            retry_persistent_rows: AtomicU64::new(0),
+            canary_batches_total: AtomicU64::new(0),
+            canary_faults_injected_total: AtomicU64::new(0),
+            canary_violations_total: AtomicU64::new(0),
+            canary_injected_batches_total: AtomicU64::new(0),
+            canary_detected_batches_total: AtomicU64::new(0),
+            canary_dropped_total: AtomicU64::new(0),
+            canary_retry_clean_match_rows: AtomicU64::new(0),
+            canary_retry_mismatch_rows: AtomicU64::new(0),
+            canary_retry_transient_rows: AtomicU64::new(0),
         }
     }
 
@@ -135,6 +253,83 @@ impl Metrics {
         self.reloads_total.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Empties the latency ring so percentiles reflect only traffic after
+    /// this point (`/admin/metrics/reset`; counters are left untouched).
+    pub fn reset_latency_window(&self) {
+        let mut ring = self.latencies.lock().expect("metrics lock poisoned");
+        ring.samples_us.clear();
+        ring.next = 0;
+        self.latency_resets_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one batch's violation trace into the per-layer telemetry.
+    pub fn on_trace(&self, trace: &ViolationTrace) {
+        if trace.total() > 0 {
+            self.violation_batches_total.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut layers = self.layer_violations.lock().expect("metrics lock poisoned");
+        for slot in trace.slots() {
+            match layers.iter_mut().find(|l| l.label == slot.label) {
+                Some(layer) => {
+                    layer.violations += slot.violations;
+                    layer.elements += slot.elements;
+                }
+                None => layers.push(LayerViolations {
+                    label: slot.label.clone(),
+                    violations: slot.violations,
+                    elements: slot.elements,
+                }),
+            }
+        }
+    }
+
+    /// Records one suspect batch under `--retry-policy flag`.
+    pub fn on_flagged(&self) {
+        self.flagged_batches_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retried batch and its per-row verdicts.
+    pub fn on_retry(&self, transient_rows: u64, persistent_rows: u64) {
+        self.retried_batches_total.fetch_add(1, Ordering::Relaxed);
+        self.retry_transient_rows
+            .fetch_add(transient_rows, Ordering::Relaxed);
+        self.retry_persistent_rows
+            .fetch_add(persistent_rows, Ordering::Relaxed);
+    }
+
+    /// Records one canary shadow batch: how many faults the injector flipped
+    /// into it and how many violations the shadow trace recorded.
+    pub fn on_canary_batch(&self, faults_injected: u64, violations_detected: u64) {
+        self.canary_batches_total.fetch_add(1, Ordering::Relaxed);
+        self.canary_faults_injected_total
+            .fetch_add(faults_injected, Ordering::Relaxed);
+        self.canary_violations_total
+            .fetch_add(violations_detected, Ordering::Relaxed);
+        if faults_injected > 0 {
+            self.canary_injected_batches_total
+                .fetch_add(1, Ordering::Relaxed);
+            if violations_detected > 0 {
+                self.canary_detected_batches_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one batch the canary mirror had to drop (queue full).
+    pub fn on_canary_dropped(&self) {
+        self.canary_dropped_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the per-row outcome of one canary shadow retry.
+    pub fn on_canary_retry(&self, clean_match_rows: u64, mismatch_rows: u64, transient_rows: u64) {
+        self.canary_retry_clean_match_rows
+            .fetch_add(clean_match_rows, Ordering::Relaxed);
+        self.canary_retry_mismatch_rows
+            .fetch_add(mismatch_rows, Ordering::Relaxed);
+        self.canary_retry_transient_rows
+            .fetch_add(transient_rows, Ordering::Relaxed);
+    }
+
     /// Copies every metric into a snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let batch_histogram = self
@@ -149,6 +344,11 @@ impl Metrics {
             let ring = self.latencies.lock().expect("metrics lock poisoned");
             percentiles(&ring.samples_us)
         };
+        let layer_violations = self
+            .layer_violations
+            .lock()
+            .expect("metrics lock poisoned")
+            .clone();
         MetricsSnapshot {
             uptime_seconds: self.started.elapsed().as_secs_f64(),
             rows_total: self.rows_total.load(Ordering::Relaxed),
@@ -158,6 +358,26 @@ impl Metrics {
             reloads_total: self.reloads_total.load(Ordering::Relaxed),
             batch_histogram,
             latency_us,
+            latency_resets_total: self.latency_resets_total.load(Ordering::Relaxed),
+            violation_batches_total: self.violation_batches_total.load(Ordering::Relaxed),
+            layer_violations,
+            recovery: RecoverySnapshot {
+                flagged_batches_total: self.flagged_batches_total.load(Ordering::Relaxed),
+                retried_batches_total: self.retried_batches_total.load(Ordering::Relaxed),
+                retry_transient_rows: self.retry_transient_rows.load(Ordering::Relaxed),
+                retry_persistent_rows: self.retry_persistent_rows.load(Ordering::Relaxed),
+            },
+            canary: CanarySnapshot {
+                batches_total: self.canary_batches_total.load(Ordering::Relaxed),
+                faults_injected_total: self.canary_faults_injected_total.load(Ordering::Relaxed),
+                violations_total: self.canary_violations_total.load(Ordering::Relaxed),
+                injected_batches_total: self.canary_injected_batches_total.load(Ordering::Relaxed),
+                detected_batches_total: self.canary_detected_batches_total.load(Ordering::Relaxed),
+                dropped_total: self.canary_dropped_total.load(Ordering::Relaxed),
+                retry_clean_match_rows: self.canary_retry_clean_match_rows.load(Ordering::Relaxed),
+                retry_mismatch_rows: self.canary_retry_mismatch_rows.load(Ordering::Relaxed),
+                retry_transient_rows: self.canary_retry_transient_rows.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -228,6 +448,117 @@ impl MetricsSnapshot {
             ),
             ("batch_size_histogram".into(), histogram),
             ("latency_us".into(), latency),
+            (
+                "latency_resets_total".into(),
+                JsonValue::Number(self.latency_resets_total as f64),
+            ),
+            (
+                "violations".into(),
+                JsonValue::Object(vec![
+                    (
+                        "batches_total".into(),
+                        JsonValue::Number(self.violation_batches_total as f64),
+                    ),
+                    (
+                        "layers".into(),
+                        JsonValue::Object(
+                            self.layer_violations
+                                .iter()
+                                .map(|l| {
+                                    let rate = if l.elements > 0 {
+                                        l.violations as f64 / l.elements as f64
+                                    } else {
+                                        0.0
+                                    };
+                                    (
+                                        l.label.clone(),
+                                        JsonValue::Object(vec![
+                                            (
+                                                "violations".into(),
+                                                JsonValue::Number(l.violations as f64),
+                                            ),
+                                            (
+                                                "elements".into(),
+                                                JsonValue::Number(l.elements as f64),
+                                            ),
+                                            ("rate".into(), JsonValue::Number(rate)),
+                                        ]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "recovery".into(),
+                JsonValue::Object(vec![
+                    (
+                        "flagged_batches_total".into(),
+                        JsonValue::Number(self.recovery.flagged_batches_total as f64),
+                    ),
+                    (
+                        "retried_batches_total".into(),
+                        JsonValue::Number(self.recovery.retried_batches_total as f64),
+                    ),
+                    (
+                        "retry_transient_rows".into(),
+                        JsonValue::Number(self.recovery.retry_transient_rows as f64),
+                    ),
+                    (
+                        "retry_persistent_rows".into(),
+                        JsonValue::Number(self.recovery.retry_persistent_rows as f64),
+                    ),
+                ]),
+            ),
+            (
+                "canary".into(),
+                JsonValue::Object(vec![
+                    (
+                        "batches_total".into(),
+                        JsonValue::Number(self.canary.batches_total as f64),
+                    ),
+                    (
+                        "faults_injected_total".into(),
+                        JsonValue::Number(self.canary.faults_injected_total as f64),
+                    ),
+                    (
+                        "violations_total".into(),
+                        JsonValue::Number(self.canary.violations_total as f64),
+                    ),
+                    (
+                        "injected_batches_total".into(),
+                        JsonValue::Number(self.canary.injected_batches_total as f64),
+                    ),
+                    (
+                        "detected_batches_total".into(),
+                        JsonValue::Number(self.canary.detected_batches_total as f64),
+                    ),
+                    (
+                        "dropped_total".into(),
+                        JsonValue::Number(self.canary.dropped_total as f64),
+                    ),
+                    (
+                        "detection_coverage".into(),
+                        match self.canary.detection_coverage() {
+                            Some(coverage) => JsonValue::Number(coverage),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                    (
+                        "retry_clean_match_rows".into(),
+                        JsonValue::Number(self.canary.retry_clean_match_rows as f64),
+                    ),
+                    (
+                        "retry_mismatch_rows".into(),
+                        JsonValue::Number(self.canary.retry_mismatch_rows as f64),
+                    ),
+                    (
+                        "retry_transient_rows".into(),
+                        JsonValue::Number(self.canary.retry_transient_rows as f64),
+                    ),
+                ]),
+            ),
         ])
     }
 }
@@ -286,6 +617,133 @@ mod tests {
         assert_eq!(lat.count, LATENCY_WINDOW);
         // The oldest samples were overwritten.
         assert!(lat.max >= LATENCY_WINDOW as u64);
+    }
+
+    #[test]
+    fn latency_reset_empties_the_window_and_counts_itself() {
+        let m = Metrics::new(1);
+        for i in 0..100 {
+            m.on_response(Duration::from_micros(i));
+        }
+        assert_eq!(m.snapshot().latency_us.unwrap().count, 100);
+        m.reset_latency_window();
+        let snap = m.snapshot();
+        assert!(snap.latency_us.is_none(), "percentiles reset");
+        assert_eq!(snap.latency_resets_total, 1);
+        assert_eq!(snap.responses_total, 100, "counters are untouched");
+        // The ring refills from the start after a reset.
+        m.on_response(Duration::from_micros(7));
+        assert_eq!(m.snapshot().latency_us.unwrap().p50, 7);
+    }
+
+    #[test]
+    fn traces_fold_into_per_layer_telemetry() {
+        let m = Metrics::new(4);
+        let mut trace = ViolationTrace::new();
+        fitact_nn::trace::capture(&mut trace, || {
+            fitact_nn::trace::record("fc1", 3, 100);
+            fitact_nn::trace::record("fc2", 0, 50);
+        });
+        m.on_trace(&trace);
+        m.on_trace(&trace);
+        let snap = m.snapshot();
+        assert_eq!(snap.violation_batches_total, 2);
+        assert_eq!(
+            snap.layer_violations,
+            vec![
+                LayerViolations {
+                    label: "fc1".into(),
+                    violations: 6,
+                    elements: 200
+                },
+                LayerViolations {
+                    label: "fc2".into(),
+                    violations: 0,
+                    elements: 100
+                },
+            ]
+        );
+        // A clean trace does not count as a violation batch.
+        let mut clean = ViolationTrace::new();
+        fitact_nn::trace::capture(&mut clean, || {
+            fitact_nn::trace::record("fc1", 0, 100);
+        });
+        m.on_trace(&clean);
+        assert_eq!(m.snapshot().violation_batches_total, 2);
+    }
+
+    #[test]
+    fn recovery_and_canary_counters_accumulate() {
+        let m = Metrics::new(4);
+        m.on_flagged();
+        m.on_retry(3, 1);
+        m.on_canary_batch(0, 0); // mirrored, no fault landed
+        m.on_canary_batch(5, 12); // fault landed and was detected
+        m.on_canary_batch(2, 0); // fault landed, slipped through
+        m.on_canary_dropped();
+        m.on_canary_retry(4, 0, 4);
+        let snap = m.snapshot();
+        assert_eq!(snap.recovery.flagged_batches_total, 1);
+        assert_eq!(snap.recovery.retried_batches_total, 1);
+        assert_eq!(snap.recovery.retry_transient_rows, 3);
+        assert_eq!(snap.recovery.retry_persistent_rows, 1);
+        assert_eq!(snap.canary.batches_total, 3);
+        assert_eq!(snap.canary.faults_injected_total, 7);
+        assert_eq!(snap.canary.violations_total, 12);
+        assert_eq!(snap.canary.injected_batches_total, 2);
+        assert_eq!(snap.canary.detected_batches_total, 1);
+        assert_eq!(snap.canary.dropped_total, 1);
+        assert_eq!(snap.canary.detection_coverage(), Some(0.5));
+        assert_eq!(snap.canary.retry_clean_match_rows, 4);
+        assert_eq!(snap.canary.retry_transient_rows, 4);
+        // Coverage is undefined until a fault has actually landed.
+        assert_eq!(Metrics::new(1).snapshot().canary.detection_coverage(), None);
+    }
+
+    #[test]
+    fn violation_and_canary_blocks_render_as_json() {
+        let m = Metrics::new(4);
+        let mut trace = ViolationTrace::new();
+        fitact_nn::trace::capture(&mut trace, || {
+            fitact_nn::trace::record("conv1", 1, 4);
+        });
+        m.on_trace(&trace);
+        m.on_canary_batch(3, 2);
+        let text = m.snapshot().to_json().to_string();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(
+            parsed
+                .path(&["violations", "layers", "conv1", "rate"])
+                .unwrap()
+                .as_f64(),
+            Some(0.25)
+        );
+        assert_eq!(
+            parsed
+                .path(&["canary", "detection_coverage"])
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed
+                .path(&["recovery", "retried_batches_total"])
+                .unwrap()
+                .as_f64(),
+            Some(0.0)
+        );
+        assert_eq!(
+            parsed.path(&["latency_resets_total"]).unwrap().as_f64(),
+            Some(0.0)
+        );
+        // No coverage yet → JSON null, not 0 (a zero would read as "measured
+        // and found nothing detected").
+        let empty = Metrics::new(1).snapshot().to_json().to_string();
+        let empty = JsonValue::parse(&empty).unwrap();
+        assert!(matches!(
+            empty.path(&["canary", "detection_coverage"]),
+            Some(&JsonValue::Null)
+        ));
     }
 
     #[test]

@@ -37,13 +37,15 @@
 use crate::batcher::{BatchQueue, PendingRow, RowOutput, RowResult};
 use crate::http::{read_request, write_response, Request};
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::recovery::{self, RetryPolicy};
 use crate::ServeError;
 use fitact_data::DataSpec;
+use fitact_faults::CanaryInjector;
 use fitact_io::{JsonValue, ModelArtifact};
 use fitact_nn::spec::LayerSpec;
-use fitact_nn::{Mode, Network};
+use fitact_nn::{Mode, Network, ViolationTrace};
 use fitact_tensor::matmul::serial_scope;
-use fitact_tensor::TensorArena;
+use fitact_tensor::{Tensor, TensorArena};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -51,8 +53,16 @@ use std::sync::{mpsc, Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Base RNG seed for the canary injector; XORed with the model generation so
+/// each reload gets a fresh, still-reproducible fault stream.
+const CANARY_SEED: u64 = 0x00F1_7AC7;
+
+/// Depth of the canary mirror queue. Shadow batches beyond this are dropped
+/// (and counted) rather than back-pressuring live traffic.
+const CANARY_QUEUE_DEPTH: usize = 64;
+
 /// Server configuration. `Default` gives the documented CLI defaults.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port (tests, CI).
     pub addr: String,
@@ -73,6 +83,17 @@ pub struct ServeConfig {
     /// Maximum concurrently served connections; excess connections are
     /// answered 503 inline instead of spawning a thread each.
     pub max_connections: usize,
+    /// What to do when a batch's violation trace crosses
+    /// `violation_threshold` (`--retry-policy`). The default
+    /// [`RetryPolicy::Off`] keeps responses byte-identical to a server
+    /// without recovery.
+    pub retry_policy: RetryPolicy,
+    /// Minimum per-batch violation count that makes a batch suspect
+    /// (`--violation-threshold`; clamped to at least 1).
+    pub violation_threshold: u64,
+    /// Per-bit fault rate for the canary shadow replica (`--canary-rate`);
+    /// 0 disables the canary entirely.
+    pub canary_rate: f64,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +107,9 @@ impl Default for ServeConfig {
             max_body_bytes: 8 * 1024 * 1024,
             max_queue: 1024,
             max_connections: 256,
+            retry_policy: RetryPolicy::Off,
+            violation_threshold: 1,
+            canary_rate: 0.0,
         }
     }
 }
@@ -100,11 +124,15 @@ struct LoadedModel {
     name: String,
     scheme: Option<String>,
     num_parameters: usize,
+    /// Top-level layers carrying activation slots — the detection
+    /// checkpoints the retry loop can resume from.
+    activation_layers: Vec<usize>,
 }
 
 fn load_model(path: &Path, override_shape: Option<&[usize]>) -> Result<LoadedModel, ServeError> {
     let artifact = ModelArtifact::load(path)?;
-    let template = artifact.instantiate()?;
+    let mut template = artifact.instantiate()?;
+    let activation_layers = recovery::activation_layer_indices(&mut template);
     let input_shape = match override_shape {
         Some(shape) if !shape.is_empty() => shape.to_vec(),
         Some(_) => return Err(ServeError::InvalidConfig("input shape is empty".into())),
@@ -122,6 +150,7 @@ fn load_model(path: &Path, override_shape: Option<&[usize]>) -> Result<LoadedMod
         name: artifact.name.clone(),
         scheme: artifact.scheme.map(|s| s.name().to_owned()),
         num_parameters: artifact.num_parameters(),
+        activation_layers,
         template,
     })
 }
@@ -173,6 +202,11 @@ struct Shared {
     /// Live connection-thread count, bounded by `max_connections`.
     connections: AtomicUsize,
     max_connections: usize,
+    retry_policy: RetryPolicy,
+    /// Per-batch violation count at which a batch becomes suspect (≥ 1).
+    violation_threshold: u64,
+    /// Per-bit fault rate of the canary shadow replica (0 = no canary).
+    canary_rate: f64,
 }
 
 impl Shared {
@@ -202,6 +236,9 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// The canary shadow thread (present when `canary_rate > 0`); exits on
+    /// its own once every worker has dropped its mirror sender.
+    canary: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -227,6 +264,12 @@ impl Server {
                 "max_queue and max_connections must be non-zero".into(),
             ));
         }
+        if !(config.canary_rate.is_finite() && (0.0..=1.0).contains(&config.canary_rate)) {
+            return Err(ServeError::InvalidConfig(format!(
+                "canary_rate must be a per-bit probability in [0, 1], got {}",
+                config.canary_rate
+            )));
+        }
         let model_path = model_path.as_ref().to_path_buf();
         let model = load_model(&model_path, config.input_shape.as_deref())?;
         let listener = TcpListener::bind(&config.addr)?;
@@ -244,13 +287,30 @@ impl Server {
             workers: config.workers,
             connections: AtomicUsize::new(0),
             max_connections: config.max_connections,
+            retry_policy: config.retry_policy,
+            violation_threshold: config.violation_threshold.max(1),
+            canary_rate: config.canary_rate,
         });
+        // The mirror senders live only inside worker closures: when the last
+        // worker exits, the channel disconnects and the canary thread ends.
+        let (canary_tx, canary) = if config.canary_rate > 0.0 {
+            let (tx, rx) = mpsc::sync_channel::<CanaryJob>(CANARY_QUEUE_DEPTH);
+            let canary_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("fitact-serve-canary".into())
+                .spawn(move || canary_loop(&canary_shared, &rx))
+                .expect("canary thread spawns");
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let canary_tx = canary_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("fitact-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, canary_tx))
                     .expect("worker thread spawns")
             })
             .collect();
@@ -266,6 +326,7 @@ impl Server {
             addr,
             accept: Some(accept),
             workers,
+            canary,
         })
     }
 
@@ -290,6 +351,11 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // All mirror senders are gone once the workers have exited, so the
+        // canary sees a disconnect and drains to completion.
+        if let Some(canary) = self.canary.take() {
+            let _ = canary.join();
         }
         self.shared.metrics.snapshot()
     }
@@ -343,13 +409,23 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+/// One live batch mirrored to the canary shadow replica.
+struct CanaryJob {
+    input: Tensor,
+    generation: u64,
+}
+
+fn worker_loop(shared: &Arc<Shared>, canary: Option<mpsc::SyncSender<CanaryJob>>) {
     serial_scope(|| {
         let mut generation = shared.generation.load(Ordering::Acquire);
         let mut model = shared.current_model();
         let mut network = model.template.clone();
         let mut arena = TensorArena::new();
         let mut dims: Vec<usize> = Vec::new();
+        let mut trace = ViolationTrace::new();
+        // Boundary snapshots are only worth their clones when a retry could
+        // consume them.
+        let snapshot_boundaries = shared.retry_policy == RetryPolicy::Retry;
         while let Some(batch) = shared.queue.next_batch() {
             let current = shared.generation.load(Ordering::Acquire);
             if current != generation {
@@ -396,8 +472,54 @@ fn worker_loop(shared: &Arc<Shared>) {
                     dst[i * features..(i + 1) * features].copy_from_slice(&row.input);
                 }
             }
-            match network.forward(&staging, Mode::Eval) {
-                Ok(logits) => {
+            // Mirror the staged batch to the canary shadow replica before
+            // executing it; a full mirror queue drops the copy (counted)
+            // rather than delaying live traffic.
+            if let Some(tx) = &canary {
+                match tx.try_send(CanaryJob {
+                    input: staging.clone(),
+                    generation,
+                }) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(_)) => shared.metrics.on_canary_dropped(),
+                    Err(mpsc::TrySendError::Disconnected(_)) => {}
+                }
+            }
+            match recovery::forward_traced(&mut network, &staging, &mut trace, snapshot_boundaries)
+            {
+                Ok(mut traced) => {
+                    shared.metrics.on_trace(&trace);
+                    if trace.total() >= shared.violation_threshold {
+                        match shared.retry_policy {
+                            RetryPolicy::Off => {}
+                            RetryPolicy::Flag => shared.metrics.on_flagged(),
+                            RetryPolicy::Retry => {
+                                let resume = recovery::last_clean_boundary(
+                                    &traced.layer_totals,
+                                    &model.activation_layers,
+                                );
+                                // Re-execute from the snapshot *without* trace
+                                // capture, so the retry never double-counts
+                                // into the violation telemetry.
+                                if let Ok(retried) = network.forward_from(
+                                    resume,
+                                    &traced.boundaries[resume],
+                                    Mode::Eval,
+                                ) {
+                                    let (transient, persistent) =
+                                        recovery::compare_rows(&traced.output, &retried, n);
+                                    shared.metrics.on_retry(transient, persistent);
+                                    if transient > 0 {
+                                        // The violation did not reproduce:
+                                        // serve the re-execution (identical
+                                        // rows carry identical bits anyway).
+                                        traced.output = retried;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let logits = traced.output;
                     let width = logits.numel() / n.max(1);
                     let classes = logits.argmax_rows().unwrap_or_default();
                     let values = logits.as_slice();
@@ -427,6 +549,77 @@ fn worker_loop(shared: &Arc<Shared>) {
                 }
             }
             arena.put(0, staging);
+        }
+    });
+}
+
+/// The canary shadow replica: re-runs a copy of live traffic through a
+/// fault-injected clone of the worker network and measures how often the
+/// violation telemetry catches the injected faults — a live estimate of the
+/// protection scheme's detection coverage, reported under `/metrics`
+/// `canary`. Never touches live responses.
+fn canary_loop(shared: &Arc<Shared>, jobs: &mpsc::Receiver<CanaryJob>) {
+    serial_scope(|| {
+        let bits: Vec<u32> = (0..32).collect();
+        let mut generation = 0u64;
+        let mut model = shared.current_model();
+        let mut clean = model.template.clone();
+        let mut faulty = model.template.clone();
+        let mut injector: Option<CanaryInjector> = None;
+        let mut seen_faults = 0u64;
+        let mut trace = ViolationTrace::new();
+        while let Ok(job) = jobs.recv() {
+            if injector.is_none() || job.generation != generation {
+                generation = job.generation;
+                model = shared.current_model();
+                clean = model.template.clone();
+                faulty = model.template.clone();
+                injector = Some(CanaryInjector::install(
+                    &mut faulty,
+                    shared.canary_rate,
+                    &bits,
+                    CANARY_SEED ^ generation,
+                ));
+                seen_faults = 0;
+            }
+            let Ok(clean_out) = clean.forward(&job.input, Mode::Eval) else {
+                continue;
+            };
+            let Ok(traced) = recovery::forward_traced(&mut faulty, &job.input, &mut trace, true)
+            else {
+                continue;
+            };
+            let total_faults = injector
+                .as_ref()
+                .expect("injector installed above")
+                .faults_injected();
+            let injected = total_faults - seen_faults;
+            seen_faults = total_faults;
+            let detected = trace.total();
+            shared.metrics.on_canary_batch(injected, detected);
+            // Exercise the same recovery path the live workers run, against
+            // ground truth: the retry resumes on the *clean* replica, which
+            // models a transient that does not recur on re-execution.
+            if shared.retry_policy == RetryPolicy::Retry && detected >= shared.violation_threshold {
+                let rows = job.input.dims().first().copied().unwrap_or(1);
+                let resume =
+                    recovery::last_clean_boundary(&traced.layer_totals, &model.activation_layers);
+                if let Ok(retried) =
+                    clean.forward_from(resume, &traced.boundaries[resume], Mode::Eval)
+                {
+                    // vs. ground truth: a mismatch means a fault upstream of
+                    // the resume point slipped under every bound.
+                    let (mismatch_rows, clean_match_rows) =
+                        recovery::compare_rows(&clean_out, &retried, rows);
+                    // vs. the faulted forward: differing rows are the
+                    // confirmed transients the retry actually repaired.
+                    let (transient_rows, _) =
+                        recovery::compare_rows(&traced.output, &retried, rows);
+                    shared
+                        .metrics
+                        .on_canary_retry(clean_match_rows, mismatch_rows, transient_rows);
+                }
+            }
         }
     });
 }
@@ -470,6 +663,20 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (u16, JsonValue, bool) {
             let (status, body) = reload(shared);
             (status, body, false)
         }
+        ("POST", "/admin/metrics/reset") => {
+            // Empties the latency ring so post-reload (or post-warmup)
+            // percentiles are not polluted by earlier traffic; cumulative
+            // counters are deliberately left untouched.
+            shared.metrics.reset_latency_window();
+            (
+                200,
+                JsonValue::Object(vec![(
+                    "status".into(),
+                    JsonValue::String("latency window reset".into()),
+                )]),
+                false,
+            )
+        }
         ("POST", "/admin/shutdown") => (
             200,
             JsonValue::Object(vec![(
@@ -478,7 +685,15 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (u16, JsonValue, bool) {
             )]),
             true,
         ),
-        (_, "/healthz" | "/metrics" | "/predict" | "/admin/reload" | "/admin/shutdown") => (
+        (
+            _,
+            "/healthz"
+            | "/metrics"
+            | "/predict"
+            | "/admin/reload"
+            | "/admin/metrics/reset"
+            | "/admin/shutdown",
+        ) => (
             405,
             error_json(&format!("method {} not allowed here", request.method)),
             false,

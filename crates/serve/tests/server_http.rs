@@ -214,6 +214,14 @@ fn invalid_configurations_are_rejected() {
             max_connections: 0,
             ..ServeConfig::default()
         },
+        ServeConfig {
+            canary_rate: -0.5,
+            ..ServeConfig::default()
+        },
+        ServeConfig {
+            canary_rate: f64::NAN,
+            ..ServeConfig::default()
+        },
     ] {
         assert!(matches!(
             Server::start(&path, &config),
@@ -261,6 +269,99 @@ fn metrics_track_a_mixed_workload() {
     server.shutdown();
     let final_metrics = server.join();
     assert_eq!(final_metrics.batches_total, 2);
+}
+
+#[test]
+fn metrics_reset_clears_latency_window_but_not_counters() {
+    let (server, addr, _) = start_tiny(4, 5);
+    for _ in 0..3 {
+        let (status, _) = http(addr, "POST", "/predict", r#"{"input": [1, 2, 3, 4]}"#);
+        assert_eq!(status, 200);
+    }
+    let (_, before) = http(addr, "GET", "/metrics", "");
+    assert_eq!(
+        before.path(&["latency_us", "count"]).unwrap().as_f64(),
+        Some(3.0)
+    );
+    // Wrong method on the new route is 405, like every other known route.
+    let (status, _) = http(addr, "GET", "/admin/metrics/reset", "");
+    assert_eq!(status, 405);
+    let (status, body) = http(addr, "POST", "/admin/metrics/reset", "");
+    assert_eq!(status, 200);
+    assert!(body
+        .get("status")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("reset"));
+    let (_, after) = http(addr, "GET", "/metrics", "");
+    assert!(
+        matches!(after.get("latency_us"), Some(JsonValue::Null)),
+        "percentiles must restart from empty: {after}"
+    );
+    assert_eq!(
+        after.get("latency_resets_total").unwrap().as_f64(),
+        Some(1.0)
+    );
+    assert_eq!(
+        after.get("responses_total").unwrap().as_f64(),
+        Some(3.0),
+        "cumulative counters survive a reset"
+    );
+    // Percentiles repopulate from fresh traffic only.
+    let (status, _) = http(addr, "POST", "/predict", r#"{"input": [1, 2, 3, 4]}"#);
+    assert_eq!(status, 200);
+    let (_, repopulated) = http(addr, "GET", "/metrics", "");
+    assert_eq!(
+        repopulated.path(&["latency_us", "count"]).unwrap().as_f64(),
+        Some(1.0)
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn violation_telemetry_reports_clean_zeroes_for_an_unprotected_model() {
+    // ReLU slots have no bounds, so every trace is clean — but the telemetry
+    // block must still be present and well-formed for dashboards.
+    let (server, addr, _) = start_tiny(4, 5);
+    let (status, _) = http(addr, "POST", "/predict", r#"{"input": [1, 2, 3, 4]}"#);
+    assert_eq!(status, 200);
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metrics
+            .path(&["violations", "batches_total"])
+            .unwrap()
+            .as_f64(),
+        Some(0.0)
+    );
+    assert_eq!(
+        metrics
+            .path(&["violations", "layers", "h", "violations"])
+            .unwrap()
+            .as_f64(),
+        Some(0.0)
+    );
+    assert!(
+        metrics
+            .path(&["violations", "layers", "h", "elements"])
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0,
+        "the slot inspected every pre-activation element"
+    );
+    // No canary configured: nothing injected, coverage unmeasured (null).
+    assert_eq!(
+        metrics.path(&["canary", "batches_total"]).unwrap().as_f64(),
+        Some(0.0)
+    );
+    assert!(matches!(
+        metrics.path(&["canary", "detection_coverage"]),
+        Some(JsonValue::Null)
+    ));
+    server.shutdown();
+    server.join();
 }
 
 #[test]
