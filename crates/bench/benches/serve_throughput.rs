@@ -16,18 +16,25 @@
 //! Besides the criterion timings, the bench writes a machine-readable
 //! comparison to `BENCH_serve.json` at the workspace root: per-sample
 //! wall-clock for the per-request path and for batch sizes 2/8/32, plus the
-//! speedup of each batched path. Run with `cargo bench -- --test` for the
-//! CI smoke mode (one untimed pass per case, JSON still emitted and flagged
-//! as a smoke run).
+//! speedup of each batched path — and a **connection-scaling** case that
+//! boots the real server and drives 1 / 64 / 512 concurrent keep-alive
+//! connections through the event-driven transport, asserting every request
+//! is served without error (the acceptance bar for the connection layer).
+//! Run with `cargo bench -- --test` for the CI smoke mode (one untimed pass
+//! per case, JSON still emitted and flagged as a smoke run).
 
 use criterion::{BenchmarkId, Criterion};
+use fitact_io::ModelArtifact;
 use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
 use fitact_nn::{copy_batch_into, Mode, Network};
+use fitact_serve::{ServeConfig, Server};
 use fitact_tensor::matmul::serial_scope;
 use fitact_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 /// A serving-representative MLP: hidden products big enough that the
 /// packed-kernel economics (the thing batching amortises) are visible.
@@ -81,9 +88,9 @@ fn bench_serve(c: &mut Criterion) {
 }
 
 /// Times each batch size (median of `reps` passes over the eval set),
-/// asserts per-row bit-identity against the per-request path, and writes
-/// the comparison to `BENCH_serve.json`.
-fn emit_serve_json(smoke: bool) {
+/// asserts per-row bit-identity against the per-request path, and returns
+/// the `micro_batching` JSON object for `BENCH_serve.json`.
+fn emit_serve_json(smoke: bool) -> String {
     let mut net = serving_mlp();
     let inputs = eval_inputs();
     let mut staging = Tensor::default();
@@ -127,23 +134,20 @@ fn emit_serve_json(smoke: bool) {
     }
     let json = format!(
         concat!(
-            "{{\n",
-            "  \"bench\": \"serve_throughput\",\n",
-            "  \"case\": \"micro_batched_vs_per_request_forward\",\n",
-            "  \"network\": \"serving-mlp (256-512-512-10)\",\n",
-            "  \"eval_samples\": {samples},\n",
-            "  \"smoke\": {smoke},\n",
-            "  \"per_request_us_per_sample\": {per_request:.3},\n",
-            "  \"batched\": {{\n",
+            "  \"micro_batching\": {{\n",
+            "    \"case\": \"micro_batched_vs_per_request_forward\",\n",
+            "    \"network\": \"serving-mlp (256-512-512-10)\",\n",
+            "    \"eval_samples\": {samples},\n",
+            "    \"per_request_us_per_sample\": {per_request:.3},\n",
+            "    \"batched\": {{\n",
             "{entries}",
             "    \"_\": null\n",
-            "  }},\n",
-            "  \"speedup_at_8\": {speedup8:.3},\n",
-            "  \"bit_identical\": true\n",
-            "}}\n"
+            "    }},\n",
+            "    \"speedup_at_8\": {speedup8:.3},\n",
+            "    \"bit_identical\": true\n",
+            "  }}"
         ),
         samples = SAMPLES,
-        smoke = smoke,
         per_request = per_sample_us(per_request_s),
         entries = batch_entries,
         speedup8 = per_request_s
@@ -154,21 +158,154 @@ fn emit_serve_json(smoke: bool) {
                 .expect("batch 8 measured")
                 .max(1e-12),
     );
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_serve.json");
-    std::fs::write(&path, &json).expect("BENCH_serve.json is writable");
     println!(
-        "serve_throughput: per-request {pr:.1} us/sample, batch 8 {b8:.1} us/sample -> {path}",
+        "serve_throughput: per-request {pr:.1} us/sample, batch 8 {b8:.1} us/sample",
         pr = per_sample_us(per_request_s),
         b8 = per_sample_us(batched.iter().find(|(b, _)| *b == 8).expect("measured").1),
-        path = path.display()
     );
+    json
+}
+
+/// One keep-alive client: `requests` predicts on a single connection,
+/// panicking on any non-200 or framing error. Returns the rows served.
+fn keepalive_client(addr: SocketAddr, requests: usize) -> usize {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let body = r#"{"input": [0.5, -0.25, 0.125, 1.0]}"#;
+    let request = format!(
+        "POST /predict HTTP/1.1\r\nHost: b\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    for _ in 0..requests {
+        writer.write_all(request.as_bytes()).expect("write request");
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        assert!(
+            status_line.starts_with("HTTP/1.1 200"),
+            "every benched request must be served: {status_line:?}"
+        );
+        let mut length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).expect("header");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(value) = header
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .map(str::to_owned)
+            {
+                length = value.parse().expect("content length");
+            }
+        }
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body).expect("framed body");
+    }
+    requests
+}
+
+/// Drives `conns` concurrent keep-alive connections, each issuing
+/// `per_conn` predicts, against one server. Returns (seconds, rows).
+fn drive_connections(addr: SocketAddr, conns: usize, per_conn: usize) -> (f64, usize) {
+    let start = Instant::now();
+    let clients: Vec<_> = (0..conns)
+        .map(|_| std::thread::spawn(move || keepalive_client(addr, per_conn)))
+        .collect();
+    let rows: usize = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .sum();
+    (start.elapsed().as_secs_f64(), rows)
+}
+
+/// The connection-scaling case: the same tiny model served over 1 / 64 /
+/// 512 concurrent keep-alive connections. Every request must succeed —
+/// the 512-connection row is the acceptance bar for the event-driven
+/// transport — and the returned `connection_scaling` JSON object records
+/// requests/second per connection count.
+fn emit_connection_scaling_json(smoke: bool) -> String {
+    let mut rng = StdRng::seed_from_u64(124);
+    let net = Network::new(
+        "bench-mlp",
+        Sequential::new()
+            .with(Box::new(Linear::new(4, 32, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h", &[32])))
+            .with(Box::new(Linear::new(32, 3, &mut rng))),
+    );
+    let dir = std::env::temp_dir().join(format!("fitact_bench_conns_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bench.fitact");
+    ModelArtifact::capture(&net)
+        .expect("capture")
+        .save(&path)
+        .expect("save artifact");
+    let server = Server::start(
+        &path,
+        &ServeConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(1),
+            workers: 2,
+            max_connections: 1024, // room for the 512-connection case
+            max_queue: 4096,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    let per_conn = if smoke { 2 } else { 8 };
+    let mut entries = String::new();
+    for conns in [1usize, 64, 512] {
+        let (seconds, rows) = drive_connections(addr, conns, per_conn);
+        assert_eq!(rows, conns * per_conn, "every request served, no errors");
+        entries.push_str(&format!(
+            "    \"{conns}\": {{ \"requests\": {rows}, \"seconds\": {seconds:.4}, \"requests_per_s\": {rps:.1} }},\n",
+            rps = rows as f64 / seconds.max(1e-12),
+        ));
+        println!(
+            "serve_throughput: {conns} keep-alive conns x {per_conn} requests in {seconds:.3}s, all served"
+        );
+    }
+    server.shutdown();
+    let metrics = server.join();
+    assert_eq!(metrics.errors_total, 0, "no server-side errors");
+    std::fs::remove_dir_all(&dir).ok();
+    format!(
+        concat!(
+            "  \"connection_scaling\": {{\n",
+            "    \"case\": \"keepalive_connection_scaling\",\n",
+            "    \"network\": \"bench-mlp (4-32-3)\",\n",
+            "    \"requests_per_connection\": {per_conn},\n",
+            "    \"connections\": {{\n",
+            "{entries}",
+            "    \"_\": null\n",
+            "    }},\n",
+            "    \"all_requests_served\": true\n",
+            "  }}"
+        ),
+        per_conn = per_conn,
+        entries = entries,
+    )
 }
 
 fn main() {
     let smoke = std::env::args().any(|arg| arg == "--test");
     let mut criterion = Criterion::default();
     bench_serve(&mut criterion);
-    emit_serve_json(smoke);
+    let micro_batching = emit_serve_json(smoke);
+    let connection_scaling = emit_connection_scaling_json(smoke);
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"smoke\": {smoke},\n{micro_batching},\n{connection_scaling}\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    std::fs::write(&path, &json).expect("BENCH_serve.json is writable");
+    println!("serve_throughput -> {}", path.display());
 }

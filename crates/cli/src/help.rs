@@ -145,7 +145,13 @@ FLAGS:
     --max-queue N        pending-row cap; beyond it /predict answers 503
                          [default: 1024]
     --max-connections N  concurrent-connection cap; excess answered 503
-                         [default: 256]
+                         with Retry-After (load-shedding)  [default: 256]
+    --io-timeout-ms N    deadline for socket progress while a request is
+                         being read or a response written; a stalled
+                         connection is answered 408       [default: 30000]
+    --idle-timeout-ms N  how long an idle keep-alive connection may sit
+                         between requests before it is closed
+                         [default: 60000]
     --retry-policy NAME  off | flag | retry: what to do when a batch's
                          violation trace crosses the threshold [default: off]
     --violation-threshold N  per-batch violation count that makes a batch

@@ -25,6 +25,8 @@ pub const SERVE_FLAGS: &[&str] = &[
     "max-body-bytes",
     "max-queue",
     "max-connections",
+    "io-timeout-ms",
+    "idle-timeout-ms",
     "retry-policy",
     "violation-threshold",
     "canary-rate",
@@ -73,6 +75,12 @@ pub fn serve(raw: &[String]) -> Result<JsonValue, CliError> {
         max_body_bytes: args.parse_or("max-body-bytes", defaults.max_body_bytes)?,
         max_queue: args.parse_or("max-queue", defaults.max_queue)?,
         max_connections: args.parse_or("max-connections", defaults.max_connections)?,
+        io_timeout: Duration::from_millis(
+            args.parse_or("io-timeout-ms", defaults.io_timeout.as_millis() as u64)?,
+        ),
+        idle_timeout: Duration::from_millis(
+            args.parse_or("idle-timeout-ms", defaults.idle_timeout.as_millis() as u64)?,
+        ),
         retry_policy: match args.get("retry-policy") {
             None => defaults.retry_policy,
             Some(text) => RetryPolicy::parse(text)

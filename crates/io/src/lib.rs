@@ -17,6 +17,10 @@
 //!
 //! * [`ModelArtifact`] — capture / instantiate / save / load ([`artifact`]
 //!   documents the byte layout and versioning policy),
+//! * [`MappedArtifact`] — zero-copy loading: v2 artifacts are mapped
+//!   read-only, and every network instantiated from one shares a single
+//!   parameter mapping ([`mapped`] documents the fallback ladder and the
+//!   atomic-rename deployment contract),
 //! * [`bytes`] — the endian-pinned encoding primitives with typed,
 //!   allocation-guarded decoding errors,
 //! * [`json`] — a minimal JSON parse/emit tree for the machine-readable
@@ -57,9 +61,13 @@ pub mod artifact;
 pub mod bytes;
 pub mod golden;
 pub mod json;
+pub mod mapped;
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+mod mmap;
 
-pub use artifact::{ModelArtifact, SavedParam, FILE_EXTENSION, FORMAT_VERSION, MAGIC};
+pub use artifact::{ModelArtifact, SavedParam, BLOB_ALIGN, FILE_EXTENSION, FORMAT_VERSION, MAGIC};
 pub use json::JsonValue;
+pub use mapped::MappedArtifact;
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,237 @@
+//! Zero-copy artifact loading: [`MappedArtifact`] maps a v2 `.fitact` file
+//! read-only and instantiates networks whose parameter tensors *borrow* the
+//! mapping instead of owning copies.
+//!
+//! Every network instantiated from one `MappedArtifact` shares the same
+//! physical parameter pages — N serving workers cost one copy of the model,
+//! not N. Mutation stays safe because [`fitact_tensor::Tensor`] storage is
+//! copy-on-write: the first `as_mut_slice` on a shared tensor materialises a
+//! private owned buffer, so a fault-injection campaign (or the canary's
+//! deliberate bit flips) can never write through to the mapping other
+//! workers are reading.
+//!
+//! Files that cannot be mapped — v1 artifacts, unsupported platforms,
+//! filesystems without mmap — fall back transparently to the owned
+//! [`ModelArtifact`] decode; [`MappedArtifact::is_mapped`] reports which
+//! path was taken. A *corrupt* v2 file is a hard error on both paths.
+//!
+//! # Deployment contract
+//!
+//! Replacing a mapped artifact on disk must go through an **atomic rename**
+//! (write to a temp file, `rename(2)` over the target). Truncating or
+//! rewriting the file in place while it is mapped yields undefined reads or
+//! `SIGBUS` in any process still holding the old mapping.
+
+use crate::artifact::{decode_v2, instantiate_with, ParamSource};
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+use crate::artifact::{V2Artifact, MAGIC};
+use crate::{IoError, ModelArtifact};
+use fitact::calibration::ActivationProfile;
+use fitact::ProtectionScheme;
+use fitact_nn::spec::LayerSpec;
+use fitact_nn::Network;
+use std::path::Path;
+
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+use {
+    crate::mmap::Mapping,
+    fitact_tensor::{F32Slab, Tensor},
+    std::sync::Arc,
+};
+
+/// A loaded artifact whose parameter storage is, when possible, one shared
+/// read-only file mapping (see the module docs for the exact fallback
+/// ladder and mutation semantics).
+#[derive(Debug)]
+pub struct MappedArtifact {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    Mapped(MappedModel),
+    Owned(ModelArtifact),
+}
+
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+#[derive(Debug)]
+struct MappedModel {
+    head: V2Artifact,
+    slab: Arc<MappedSlab>,
+}
+
+/// The whole mapped file viewed as an `f32` slab; blob offsets from the
+/// validated head index into it.
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+#[derive(Debug)]
+struct MappedSlab {
+    map: Mapping,
+}
+
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+impl F32Slab for MappedSlab {
+    fn as_f32(&self) -> &[f32] {
+        let bytes = self.map.bytes();
+        // SAFETY: mappings are page-aligned (so also f32-aligned), the cfg
+        // restricts this code to little-endian hosts matching the wire
+        // format, every bit pattern is a valid f32, and the mapping is
+        // read-only for its whole lifetime.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), bytes.len() / 4) }
+    }
+}
+
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+impl ParamSource for MappedModel {
+    fn count(&self) -> usize {
+        self.head.params.len()
+    }
+    fn total_values(&self) -> u128 {
+        self.head.params.iter().map(|p| p.numel as u128).sum()
+    }
+    fn path(&self, i: usize) -> &str {
+        &self.head.params[i].path
+    }
+    fn trainable(&self, i: usize) -> bool {
+        self.head.params[i].trainable
+    }
+    fn dims(&self, i: usize) -> &[usize] {
+        &self.head.params[i].dims
+    }
+    fn tensor(&self, i: usize) -> Result<Tensor, IoError> {
+        let p = &self.head.params[i];
+        // Blob offsets are BLOB_ALIGN-padded, hence divisible by 4; the
+        // span was bounds-checked against the file by `decode_v2`.
+        let slab: Arc<dyn F32Slab> = self.slab.clone();
+        Tensor::from_shared(slab, p.byte_offset / 4, &p.dims)
+            .map_err(|e| IoError::Corrupt(format!("parameter `{}` is not a tensor: {e}", p.path)))
+    }
+}
+
+impl MappedArtifact {
+    /// Opens an artifact, mapping it read-only when it is a v2 file on a
+    /// platform with mmap support, and falling back to a full in-memory
+    /// decode otherwise (v1 files, unsupported platforms, mmap failure).
+    ///
+    /// # Errors
+    ///
+    /// Every [`ModelArtifact::load`] error; a structurally invalid v2 file
+    /// is rejected (never silently re-read), with identical error values on
+    /// the mapped and owned paths.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, IoError> {
+        let path = path.as_ref();
+        #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+        if let Some(mapped) = Self::try_map(path)? {
+            return Ok(mapped);
+        }
+        Ok(MappedArtifact {
+            inner: Inner::Owned(ModelArtifact::load(path)?),
+        })
+    }
+
+    /// Maps and validates a v2 file. `Ok(None)` means "not mappable, use
+    /// the owned fallback" (not v2, too short to sniff, mmap refused);
+    /// corruption in a sniffed v2 file is a hard error.
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    fn try_map(path: &Path) -> Result<Option<Self>, IoError> {
+        use std::io::Read;
+        let file = std::fs::File::open(path)?;
+        let mut sniff = [0u8; 12];
+        if (&file).read_exact(&mut sniff).is_err() {
+            return Ok(None); // shorter than a header: owned path reports it
+        }
+        if sniff[..8] != MAGIC || sniff[8..12] != 2u32.to_le_bytes() {
+            return Ok(None);
+        }
+        let Ok(map) = Mapping::map_readonly(&file) else {
+            return Ok(None); // kernel refused; plain reads may still work
+        };
+        let head = decode_v2(map.bytes())?;
+        Ok(Some(MappedArtifact {
+            inner: Inner::Mapped(MappedModel {
+                head,
+                slab: Arc::new(MappedSlab { map }),
+            }),
+        }))
+    }
+
+    /// Whether the parameter storage is a shared read-only mapping
+    /// (`false` means the owned-buffer fallback decoded the file).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+            Inner::Mapped(_) => true,
+            Inner::Owned(_) => false,
+        }
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        match &self.inner {
+            #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+            Inner::Mapped(m) => &m.head.name,
+            Inner::Owned(a) => &a.name,
+        }
+    }
+
+    /// Looks up a metadata key.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        let meta = match &self.inner {
+            #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+            Inner::Mapped(m) => &m.head.meta,
+            Inner::Owned(a) => &a.meta,
+        };
+        meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Topology descriptors of the top-level layers.
+    pub fn layers(&self) -> &[LayerSpec] {
+        match &self.inner {
+            #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+            Inner::Mapped(m) => &m.head.layers,
+            Inner::Owned(a) => &a.layers,
+        }
+    }
+
+    /// The calibrated activation profile, when present.
+    pub fn profile(&self) -> Option<&ActivationProfile> {
+        match &self.inner {
+            #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+            Inner::Mapped(m) => m.head.profile.as_ref(),
+            Inner::Owned(a) => a.profile.as_ref(),
+        }
+    }
+
+    /// The applied protection scheme, when present.
+    pub fn scheme(&self) -> Option<ProtectionScheme> {
+        match &self.inner {
+            #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+            Inner::Mapped(m) => m.head.scheme,
+            Inner::Owned(a) => a.scheme,
+        }
+    }
+
+    /// Total number of scalar parameter values.
+    pub fn num_parameters(&self) -> usize {
+        match &self.inner {
+            #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+            Inner::Mapped(m) => m.head.params.iter().map(|p| p.numel).sum(),
+            Inner::Owned(a) => a.num_parameters(),
+        }
+    }
+
+    /// Rebuilds a network exactly as [`ModelArtifact::instantiate`] does;
+    /// on the mapped path every parameter tensor borrows the shared
+    /// mapping (zero copies), on the owned path values are copied in.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelArtifact::instantiate`].
+    pub fn instantiate(&self) -> Result<Network, IoError> {
+        match &self.inner {
+            #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+            Inner::Mapped(m) => instantiate_with(&m.head.name, &m.head.layers, m),
+            Inner::Owned(a) => instantiate_with(&a.name, &a.layers, a),
+        }
+    }
+}

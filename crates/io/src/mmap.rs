@@ -1,0 +1,127 @@
+//! A minimal read-only file mapping, `libc`-crate-free.
+//!
+//! The serving tier maps `.fitact` artifacts so every worker shares one
+//! physical copy of the parameter blobs. Only the two syscalls actually
+//! needed are declared here (`mmap` / `munmap`, via the platform C ABI);
+//! the mapping is private and read-only, so writes through other handles
+//! never fault this process and this process can never dirty the page
+//! cache.
+//!
+//! Compiled only on 64-bit little-endian Unix — the cfg mirrors
+//! [`crate::mapped`], which falls back to an owned in-memory decode
+//! everywhere else.
+
+use std::fs::File;
+use std::io;
+use std::os::fd::AsRawFd;
+use std::os::raw::{c_int, c_void};
+use std::ptr::NonNull;
+
+const PROT_READ: c_int = 1;
+const MAP_PRIVATE: c_int = 2;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> c_int;
+}
+
+/// A read-only, private memory mapping of an entire file.
+///
+/// The mapping lives until drop; [`Mapping::bytes`] borrows it, so the
+/// usual lifetime rules keep views from outliving the pages.
+pub(crate) struct Mapping {
+    ptr: NonNull<c_void>,
+    len: usize,
+}
+
+// The mapping is read-only and owned: sharing the view across threads is
+// no different from sharing a `&[u8]` into a leaked allocation.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// Fails on empty files (zero-length mappings are invalid) and
+    /// propagates the OS error when the kernel refuses the mapping.
+    pub(crate) fn map_readonly(file: &File) -> io::Result<Mapping> {
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::other("file exceeds the address space"))?;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        // SAFETY: a fresh PROT_READ + MAP_PRIVATE mapping of `len` bytes
+        // backed by an open fd; a MAP_FAILED return is checked below and
+        // the pointer is never used for writes.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX {
+            return Err(io::Error::last_os_error());
+        }
+        let ptr = NonNull::new(ptr).ok_or_else(|| io::Error::other("mmap returned null"))?;
+        Ok(Mapping { ptr, len })
+    }
+
+    /// The mapped file contents.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        // SAFETY: the pointer covers exactly `len` readable bytes for the
+        // lifetime of `self`, and nothing in this process writes them.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` are the exact values a successful mmap
+        // returned, unmapped exactly once.
+        unsafe {
+            munmap(self.ptr.as_ptr(), self.len);
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_whole_file_and_rejects_empty() {
+        let dir = std::env::temp_dir().join(format!("fitact_mmap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        std::fs::write(&path, [1u8, 2, 3, 4, 5]).unwrap();
+        let map = Mapping::map_readonly(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.bytes(), &[1, 2, 3, 4, 5]);
+        assert!(!format!("{map:?}").is_empty());
+        drop(map);
+
+        let empty = dir.join("empty.bin");
+        std::fs::write(&empty, []).unwrap();
+        assert!(Mapping::map_readonly(&File::open(&empty).unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -65,11 +65,13 @@ fn duplicate_metadata_keys_are_rejected_with_a_typed_error() {
 fn unknown_protection_tag_is_corrupt_not_a_panic() {
     let artifact = tiny().with_scheme(ProtectionScheme::Ranger);
     let mut bytes = artifact.to_bytes();
-    // Scheme trailer: [present u8 = 1, tag u8, slope f32]; the tag sits 5
-    // bytes from the end.
-    let n = bytes.len();
-    assert_eq!(bytes[n - 6], 1, "scheme-present marker");
-    bytes[n - 5] = 250;
+    // Scheme trailer: [present u8 = 1, tag u8, slope f32] — the last 6
+    // bytes of the v2 head, which spans bytes 32 .. 32 + head_len (header
+    // bytes 24..32 hold head_len).
+    let head_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+    let head_end = 32 + head_len;
+    assert_eq!(bytes[head_end - 6], 1, "scheme-present marker");
+    bytes[head_end - 5] = 250;
     match ModelArtifact::from_bytes(&bytes) {
         Err(IoError::Corrupt(msg)) => {
             assert!(msg.contains("protection-scheme tag 250"), "{msg}")

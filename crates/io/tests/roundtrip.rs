@@ -176,11 +176,31 @@ fn bad_magic_and_unsupported_version_are_typed() {
         Err(IoError::BadMagic)
     ));
     let mut future = bytes;
-    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    future[8..12].copy_from_slice(&9u32.to_le_bytes());
     assert!(matches!(
         ModelArtifact::from_bytes(&future),
-        Err(IoError::UnsupportedVersion(2))
+        Err(IoError::UnsupportedVersion(9))
     ));
+}
+
+/// The legacy v1 encoding (inline parameter values) still decodes to the
+/// same artifact — downgrade interchange with older readers keeps working.
+#[test]
+fn v1_downgrade_encoding_still_decodes() {
+    let mut base = cnn();
+    let calib = eval_input("cnn");
+    let profile = ActivationProfiler::new(2)
+        .unwrap()
+        .profile(&mut base, &calib)
+        .unwrap();
+    let scheme = ProtectionScheme::FitAct { slope: 8.0 };
+    apply_protection(&mut base, &profile, scheme).unwrap();
+    let artifact = ModelArtifact::capture_protected(&base, Some(&profile), Some(scheme)).unwrap();
+    let v1 = artifact.to_bytes_v1();
+    let v2 = artifact.to_bytes();
+    assert_ne!(v1, v2, "the two encodings are distinct layouts");
+    assert_eq!(ModelArtifact::from_bytes(&v1).unwrap(), artifact);
+    assert_eq!(ModelArtifact::from_bytes(&v2).unwrap(), artifact);
 }
 
 /// An artifact whose spec was tampered with (layer shape no longer matches

@@ -16,6 +16,13 @@
 //!   batching is a pure throughput optimisation, never a numerics change
 //!   (see `docs/serving.md` for why this holds and where it is pinned).
 //!
+//! Connections run through a single **event-driven** I/O thread (epoll on
+//! Linux, poll(2) on other Unixes) with opt-in HTTP/1.1 keep-alive, request
+//! pipelining, per-connection idle/I-O deadlines and `503` + `Retry-After`
+//! load-shedding past `max_connections`; model parameters are served from
+//! one shared read-only mapping ([`fitact_io::MappedArtifact`]) instead of
+//! per-worker copies. See `docs/serving.md` for the connection model.
+//!
 //! # Endpoints
 //!
 //! | Route | Method | Purpose |
@@ -53,12 +60,15 @@
 pub mod batcher;
 pub mod http;
 pub mod metrics;
+#[cfg(unix)]
+mod poller;
 pub mod recovery;
 pub mod server;
 
 pub use batcher::{BatchQueue, PendingRow, PushRejected, RowOutput, RowResult};
 pub use metrics::{
-    CanarySnapshot, LatencyPercentiles, LayerViolations, Metrics, MetricsSnapshot, RecoverySnapshot,
+    CanarySnapshot, ConnectionsSnapshot, LatencyPercentiles, LayerViolations, Metrics,
+    MetricsSnapshot, RecoverySnapshot,
 };
 pub use recovery::RetryPolicy;
 pub use server::{ServeConfig, Server};

@@ -70,6 +70,20 @@ pub struct Metrics {
     /// Canary rows whose retry differed from the faulted forward
     /// (confirmed transient, mirroring `retry_transient_rows`).
     canary_retry_transient_rows: AtomicU64,
+    /// Connections accepted by the event loop.
+    connections_accepted_total: AtomicU64,
+    /// Connections refused with `503 + Retry-After` at the connection cap.
+    load_shed_total: AtomicU64,
+    /// Additional requests served on an already-open keep-alive connection.
+    keepalive_reuses_total: AtomicU64,
+    /// Connections closed (408) because a request stalled past the I/O
+    /// deadline mid-read or mid-write.
+    io_timeouts_total: AtomicU64,
+    /// Idle keep-alive connections reaped by the idle deadline.
+    idle_closed_total: AtomicU64,
+    /// Connections dropped because socket setup (non-blocking mode,
+    /// poller registration) failed — previously swallowed silently.
+    io_setup_failures_total: AtomicU64,
 }
 
 /// Accumulated violation telemetry for one activation slot.
@@ -119,6 +133,9 @@ pub struct MetricsSnapshot {
     pub recovery: RecoverySnapshot,
     /// Canary shadow-replica counters.
     pub canary: CanarySnapshot,
+    /// Connection-layer counters (accepts, load-shedding, keep-alive
+    /// reuse, timeout reaping).
+    pub connections: ConnectionsSnapshot,
 }
 
 /// Counters for the detect-and-retry recovery loop.
@@ -155,6 +172,23 @@ pub struct CanarySnapshot {
     pub retry_mismatch_rows: u64,
     /// Shadow retry rows differing from the faulted forward (transient).
     pub retry_transient_rows: u64,
+}
+
+/// Counters for the event-driven connection layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnectionsSnapshot {
+    /// Connections accepted.
+    pub accepted_total: u64,
+    /// Connections refused with `503 + Retry-After` at the connection cap.
+    pub load_shed_total: u64,
+    /// Additional requests served on already-open keep-alive connections.
+    pub keepalive_reuses_total: u64,
+    /// Connections timed out (408) mid-request.
+    pub io_timeouts_total: u64,
+    /// Idle keep-alive connections reaped.
+    pub idle_closed_total: u64,
+    /// Connections dropped because socket setup failed.
+    pub setup_failures_total: u64,
 }
 
 impl CanarySnapshot {
@@ -213,6 +247,12 @@ impl Metrics {
             canary_retry_clean_match_rows: AtomicU64::new(0),
             canary_retry_mismatch_rows: AtomicU64::new(0),
             canary_retry_transient_rows: AtomicU64::new(0),
+            connections_accepted_total: AtomicU64::new(0),
+            load_shed_total: AtomicU64::new(0),
+            keepalive_reuses_total: AtomicU64::new(0),
+            io_timeouts_total: AtomicU64::new(0),
+            idle_closed_total: AtomicU64::new(0),
+            io_setup_failures_total: AtomicU64::new(0),
         }
     }
 
@@ -330,6 +370,38 @@ impl Metrics {
             .fetch_add(transient_rows, Ordering::Relaxed);
     }
 
+    /// Records one accepted connection.
+    pub fn on_connection_accepted(&self) {
+        self.connections_accepted_total
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection refused at the connection cap.
+    pub fn on_load_shed(&self) {
+        self.load_shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one additional request served on an open keep-alive
+    /// connection (the first request on a connection is not a reuse).
+    pub fn on_keepalive_reuse(&self) {
+        self.keepalive_reuses_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection timed out (408) mid-request.
+    pub fn on_io_timeout(&self) {
+        self.io_timeouts_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one idle keep-alive connection reaped.
+    pub fn on_idle_closed(&self) {
+        self.idle_closed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection dropped because socket setup failed.
+    pub fn on_io_setup_failure(&self) {
+        self.io_setup_failures_total.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies every metric into a snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let batch_histogram = self
@@ -377,6 +449,14 @@ impl Metrics {
                 retry_clean_match_rows: self.canary_retry_clean_match_rows.load(Ordering::Relaxed),
                 retry_mismatch_rows: self.canary_retry_mismatch_rows.load(Ordering::Relaxed),
                 retry_transient_rows: self.canary_retry_transient_rows.load(Ordering::Relaxed),
+            },
+            connections: ConnectionsSnapshot {
+                accepted_total: self.connections_accepted_total.load(Ordering::Relaxed),
+                load_shed_total: self.load_shed_total.load(Ordering::Relaxed),
+                keepalive_reuses_total: self.keepalive_reuses_total.load(Ordering::Relaxed),
+                io_timeouts_total: self.io_timeouts_total.load(Ordering::Relaxed),
+                idle_closed_total: self.idle_closed_total.load(Ordering::Relaxed),
+                setup_failures_total: self.io_setup_failures_total.load(Ordering::Relaxed),
             },
         }
     }
@@ -559,6 +639,35 @@ impl MetricsSnapshot {
                     ),
                 ]),
             ),
+            (
+                "connections".into(),
+                JsonValue::Object(vec![
+                    (
+                        "accepted_total".into(),
+                        JsonValue::Number(self.connections.accepted_total as f64),
+                    ),
+                    (
+                        "load_shed_total".into(),
+                        JsonValue::Number(self.connections.load_shed_total as f64),
+                    ),
+                    (
+                        "keepalive_reuses_total".into(),
+                        JsonValue::Number(self.connections.keepalive_reuses_total as f64),
+                    ),
+                    (
+                        "io_timeouts_total".into(),
+                        JsonValue::Number(self.connections.io_timeouts_total as f64),
+                    ),
+                    (
+                        "idle_closed_total".into(),
+                        JsonValue::Number(self.connections.idle_closed_total as f64),
+                    ),
+                    (
+                        "setup_failures_total".into(),
+                        JsonValue::Number(self.connections.setup_failures_total as f64),
+                    ),
+                ]),
+            ),
         ])
     }
 }
@@ -670,6 +779,48 @@ mod tests {
         });
         m.on_trace(&clean);
         assert_eq!(m.snapshot().violation_batches_total, 2);
+    }
+
+    #[test]
+    fn connection_counters_accumulate_and_render() {
+        let m = Metrics::new(4);
+        m.on_connection_accepted();
+        m.on_connection_accepted();
+        m.on_load_shed();
+        m.on_keepalive_reuse();
+        m.on_keepalive_reuse();
+        m.on_keepalive_reuse();
+        m.on_io_timeout();
+        m.on_idle_closed();
+        m.on_io_setup_failure();
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.connections,
+            ConnectionsSnapshot {
+                accepted_total: 2,
+                load_shed_total: 1,
+                keepalive_reuses_total: 3,
+                io_timeouts_total: 1,
+                idle_closed_total: 1,
+                setup_failures_total: 1,
+            }
+        );
+        let json = snap.to_json().to_string();
+        let parsed = JsonValue::parse(&json).unwrap();
+        assert_eq!(
+            parsed
+                .path(&["connections", "load_shed_total"])
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed
+                .path(&["connections", "keepalive_reuses_total"])
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Readiness polling without the `libc` crate: epoll(7) on Linux, a
+//! poll(2) shim on other Unixes.
+//!
+//! The serving tier's event loop needs exactly four operations — register,
+//! re-arm, deregister, wait — over a level-triggered readiness set, so only
+//! those are wrapped. File descriptors come from the standard library's
+//! safe-by-construction [`std::os::fd`] types; the raw syscalls are
+//! declared directly against the platform C ABI.
+//!
+//! Both backends are **level-triggered**: an event keeps firing while the
+//! condition holds, so the event loop may do partial reads/writes and
+//! simply wait again.
+
+use std::os::raw::c_int;
+use std::time::Duration;
+
+/// One readiness event: the registered token plus what the fd is ready for.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollEvent {
+    /// The token supplied at registration.
+    pub token: u64,
+    /// Readable (or a peer hangup, which reads as EOF).
+    pub readable: bool,
+    /// Writable. The event loop services pending output on *any* event for
+    /// a connection, so this is informational (and exercised in tests).
+    #[allow(dead_code)]
+    pub writable: bool,
+    /// Error/hangup condition; the fd should be serviced and closed.
+    pub hangup: bool,
+}
+
+/// Clamps a wait timeout to the `c_int` milliseconds both syscalls take
+/// (`None` = block indefinitely).
+fn timeout_ms(timeout: Option<Duration>) -> c_int {
+    match timeout {
+        None => -1,
+        Some(t) => c_int::try_from(t.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX),
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{timeout_ms, PollEvent};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_void};
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    /// Peer closed its write half — surfaces as readable EOF.
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o200_0000;
+
+    /// Mirror of `struct epoll_event`; packed on x86-64 (the kernel ABI
+    /// packs it there so 32- and 64-bit layouts agree).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut c_void) -> c_int;
+        fn epoll_wait(epfd: c_int, events: *mut c_void, maxevents: c_int, timeout: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// The Linux backend: one epoll instance.
+    #[derive(Debug)]
+    pub(crate) struct Poller {
+        epfd: c_int,
+        /// Scratch buffer reused across waits.
+        buf: Vec<u64>,
+    }
+
+    fn interest(readable: bool, writable: bool) -> u32 {
+        let mut events = EPOLLRDHUP;
+        if readable {
+            events |= EPOLLIN;
+        }
+        if writable {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall; the return value is checked.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![0u64; 2 * 256],
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; DEL ignores the event pointer.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, (&mut ev as *mut EpollEvent).cast()) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(crate) fn register(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest(readable, writable), token)
+        }
+
+        pub(crate) fn modify(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest(readable, writable), token)
+        }
+
+        pub(crate) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub(crate) fn wait(
+            &mut self,
+            timeout: Option<Duration>,
+            out: &mut Vec<PollEvent>,
+        ) -> io::Result<()> {
+            out.clear();
+            let max = (self.buf.len() / 2) as c_int;
+            // SAFETY: `buf` provides `max` EpollEvent slots (12 bytes each on
+            // x86-64, 16 elsewhere — 2 u64s always cover one) for the kernel
+            // to fill; the count of filled slots is checked below.
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr().cast(),
+                    max,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            let base = self.buf.as_ptr().cast::<EpollEvent>();
+            for i in 0..n as usize {
+                // SAFETY: the kernel wrote `n` contiguous events at `base`.
+                let ev = unsafe { std::ptr::read_unaligned(base.add(i)) };
+                out.push(PollEvent {
+                    token: ev.data,
+                    readable: ev.events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: ev.events & EPOLLOUT != 0,
+                    hangup: ev.events & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` is the epoll fd this struct owns.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use super::{timeout_ms, PollEvent};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_short, c_uint};
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+    }
+
+    /// The portable Unix backend: a registration list handed to poll(2)
+    /// each wait. O(n) per wait, which is fine for the connection counts
+    /// the shim targets (the Linux path is the production one).
+    #[derive(Debug)]
+    pub(crate) struct Poller {
+        regs: Vec<(RawFd, u64, bool, bool)>,
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<Poller> {
+            Ok(Poller { regs: Vec::new() })
+        }
+
+        pub(crate) fn register(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            if self.regs.iter().any(|&(f, ..)| f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.regs.push((fd, token, readable, writable));
+            Ok(())
+        }
+
+        pub(crate) fn modify(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            match self.regs.iter_mut().find(|(f, ..)| *f == fd) {
+                Some(reg) => {
+                    *reg = (fd, token, readable, writable);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(crate) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let before = self.regs.len();
+            self.regs.retain(|&(f, ..)| f != fd);
+            if self.regs.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub(crate) fn wait(
+            &mut self,
+            timeout: Option<Duration>,
+            out: &mut Vec<PollEvent>,
+        ) -> io::Result<()> {
+            out.clear();
+            let mut fds: Vec<PollFd> = self
+                .regs
+                .iter()
+                .map(|&(fd, _, readable, writable)| PollFd {
+                    fd,
+                    events: if readable { POLLIN } else { 0 } | if writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            // SAFETY: `fds` is a live array of `len` pollfd records.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_uint, timeout_ms(timeout)) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pfd, &(_, token, ..)) in fds.iter().zip(&self.regs) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                out.push(PollEvent {
+                    token,
+                    readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(unix)]
+pub(crate) use imp::Poller;
+
+#[cfg(all(unix, test))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readiness_tracks_pipe_state() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(a.as_raw_fd(), 7, true, false).unwrap();
+        let mut events = Vec::new();
+
+        // Nothing to read yet.
+        poller
+            .wait(Some(Duration::from_millis(0)), &mut events)
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != 7 || !e.readable));
+
+        // A write on the peer makes it readable.
+        b.write_all(b"x").unwrap();
+        poller
+            .wait(Some(Duration::from_millis(1000)), &mut events)
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        // Level-triggered: still readable until drained.
+        poller
+            .wait(Some(Duration::from_millis(0)), &mut events)
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        let mut buf = [0u8; 8];
+        let _ = a.read(&mut buf);
+
+        // Write interest reports writable on an open socket.
+        poller.modify(a.as_raw_fd(), 7, true, true).unwrap();
+        poller
+            .wait(Some(Duration::from_millis(1000)), &mut events)
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+
+        // Peer hangup surfaces as readable (EOF) and/or hangup.
+        drop(b);
+        poller
+            .wait(Some(Duration::from_millis(1000)), &mut events)
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token == 7 && (e.readable || e.hangup)));
+
+        poller.deregister(a.as_raw_fd()).unwrap();
+        poller
+            .wait(Some(Duration::from_millis(0)), &mut events)
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}

@@ -161,10 +161,10 @@ fn startup_on_corrupt_artifact_is_a_typed_error_not_a_panic() {
     // An unknown protection-scheme tag: decodes up to the scheme, then must
     // fail with `IoError::Corrupt` (the serve-relevant metadata edge case —
     // an operator pointing the server at an artifact from a newer build
-    // gets a clean refusal). The unprotected artifact ends with the
-    // scheme-absent marker; rewrite it to "present" with a tag from the
-    // future.
-    let mut bytes = tiny_artifact().to_bytes();
+    // gets a clean refusal). The poke targets the v1 encoding, where the
+    // scheme section is the trailing bytes — which also pins that the
+    // server still reads (and type-checks) v1 artifacts at all.
+    let mut bytes = tiny_artifact().to_bytes_v1();
     assert_eq!(bytes.pop(), Some(0), "trailing byte is the scheme marker");
     bytes.push(1); // scheme present
     bytes.push(250); // unknown tag
@@ -370,8 +370,13 @@ fn reload_failure_keeps_the_old_model_serving() {
     let (status, before) = http(addr, "POST", "/predict", r#"{"input": [1, 2, 3, 4]}"#);
     assert_eq!(status, 200);
     // Corrupt the on-disk artifact, then ask for a reload: it must fail
-    // without disturbing the in-memory model.
-    std::fs::write(&path, b"garbage").unwrap();
+    // without disturbing the in-memory model. The replacement follows the
+    // deployment contract (`docs/artifact-format.md`): atomic rename, never
+    // an in-place overwrite — the live model's read-only mapping stays on
+    // the old inode, untouched.
+    let staged = path.with_extension("fitact.tmp");
+    std::fs::write(&staged, b"garbage").unwrap();
+    std::fs::rename(&staged, &path).unwrap();
     let (status, reload) = http(addr, "POST", "/admin/reload", "");
     assert_eq!(status, 500);
     assert!(reload

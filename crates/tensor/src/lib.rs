@@ -58,7 +58,7 @@ pub mod workspace;
 
 pub use fixed::Fixed32;
 pub use shape::Shape;
-pub use tensor::{col2im, col2im_into, conv_output_size, im2col, im2col_into, Tensor};
+pub use tensor::{col2im, col2im_into, conv_output_size, im2col, im2col_into, F32Slab, Tensor};
 pub use workspace::{TensorArena, Workspace};
 
 use std::error::Error;

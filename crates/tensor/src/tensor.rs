@@ -3,14 +3,44 @@
 use crate::matmul::{matmul_into, Layout};
 use crate::{Shape, TensorError};
 use std::fmt;
+use std::sync::Arc;
+
+/// A read-only slab of `f32` values that tensors can borrow windows of.
+///
+/// The canonical implementor is the mmap'd parameter region of a `.fitact`
+/// v2 artifact: one file mapping backs every parameter tensor of every
+/// server worker, instead of each worker owning a private copy. The slab is
+/// reference-counted (`Arc<dyn F32Slab>`), so it stays alive as long as any
+/// tensor still points into it.
+pub trait F32Slab: Send + Sync + fmt::Debug {
+    /// Returns the whole slab as a row-major `f32` slice.
+    fn as_f32(&self) -> &[f32];
+}
+
+/// Backing storage of a [`Tensor`]: either a private owned buffer or a
+/// window into a shared read-only [`F32Slab`].
+///
+/// Cloning a `Shared` storage clones the `Arc`, not the values — that is
+/// the zero-copy share. Any mutation first materialises the window into an
+/// owned buffer (copy-on-write), so shared slabs are never written through.
+#[derive(Clone, Debug)]
+enum Storage {
+    Owned(Vec<f32>),
+    Shared {
+        slab: Arc<dyn F32Slab>,
+        offset: usize,
+        len: usize,
+    },
+}
 
 /// A dense, row-major, `f32` n-dimensional array.
 ///
 /// `Tensor` is deliberately small: it supports exactly the operations the
 /// FitAct reproduction needs (layer forward/backward passes, activation
-/// statistics and fault-injection bookkeeping) and nothing more. All data is
-/// owned and contiguous, which keeps fault injection over parameter memory
-/// straightforward.
+/// statistics and fault-injection bookkeeping) and nothing more. Data is
+/// contiguous and either owned or a read-only window into a shared
+/// [`F32Slab`] (e.g. an mmap'd artifact); mutation copies shared data out
+/// first, so fault injection over parameter memory stays straightforward.
 ///
 /// # Example
 ///
@@ -23,18 +53,26 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
-    data: Vec<f32>,
+    storage: Storage,
     shape: Shape,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.as_slice() == other.as_slice()
+    }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let preview: Vec<f32> = self.data.iter().copied().take(8).collect();
+        let slice = self.as_slice();
+        let preview: Vec<f32> = slice.iter().copied().take(8).collect();
         f.debug_struct("Tensor")
             .field("shape", &self.shape)
-            .field("numel", &self.data.len())
+            .field("numel", &slice.len())
+            .field("shared", &self.is_shared())
             .field("data_prefix", &preview)
             .finish()
     }
@@ -51,7 +89,7 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f32) -> Self {
         let shape = Shape::new(shape);
         Tensor {
-            data: vec![value; shape.numel()],
+            storage: Storage::Owned(vec![value; shape.numel()]),
             shape,
         }
     }
@@ -69,8 +107,9 @@ impl Tensor {
     /// Creates a square identity matrix of size `n`.
     pub fn eye(n: usize) -> Self {
         let mut t = Tensor::zeros(&[n, n]);
+        let data = t.as_mut_slice();
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
         t
     }
@@ -89,13 +128,53 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { data, shape })
+        Ok(Tensor {
+            storage: Storage::Owned(data),
+            shape,
+        })
+    }
+
+    /// Creates a tensor whose values are a read-only window into a shared
+    /// slab, starting at `offset` (in elements).
+    ///
+    /// The tensor holds a reference count on the slab, not a copy of the
+    /// values: cloning it (or the network holding it) shares the same
+    /// memory. The first mutation copies the window into an owned buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the window
+    /// `offset..offset + shape.numel()` does not lie inside the slab.
+    pub fn from_shared(
+        slab: Arc<dyn F32Slab>,
+        offset: usize,
+        shape: &[usize],
+    ) -> Result<Self, TensorError> {
+        let shape = Shape::new(shape);
+        let len = shape.numel();
+        let end = offset.saturating_add(len);
+        if end > slab.as_f32().len() {
+            return Err(TensorError::LengthMismatch {
+                expected: end,
+                actual: slab.as_f32().len(),
+            });
+        }
+        Ok(Tensor {
+            storage: Storage::Shared { slab, offset, len },
+            shape,
+        })
+    }
+
+    /// Returns `true` if the tensor currently borrows a shared slab window
+    /// instead of owning its values.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.storage, Storage::Shared { .. })
     }
 
     /// Creates a 0-d tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
         Tensor {
-            data: vec![value],
+            storage: Storage::Owned(vec![value]),
             shape: Shape::new(&[]),
         }
     }
@@ -117,22 +196,44 @@ impl Tensor {
 
     /// Returns the total number of elements.
     pub fn numel(&self) -> usize {
-        self.data.len()
+        match &self.storage {
+            Storage::Owned(data) => data.len(),
+            Storage::Shared { len, .. } => *len,
+        }
     }
 
     /// Returns a read-only view of the underlying storage in row-major order.
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        match &self.storage {
+            Storage::Owned(data) => data,
+            Storage::Shared { slab, offset, len } => &slab.as_f32()[*offset..*offset + *len],
+        }
+    }
+
+    /// Copy-on-write access to the owned buffer: a tensor still borrowing a
+    /// shared slab copies its window out first.
+    fn data_mut(&mut self) -> &mut Vec<f32> {
+        if let Storage::Shared { slab, offset, len } = &self.storage {
+            let owned = slab.as_f32()[*offset..*offset + *len].to_vec();
+            self.storage = Storage::Owned(owned);
+        }
+        match &mut self.storage {
+            Storage::Owned(data) => data,
+            Storage::Shared { .. } => unreachable!("shared storage was just materialised"),
+        }
     }
 
     /// Returns a mutable view of the underlying storage in row-major order.
+    ///
+    /// If the tensor borrows a shared slab, its values are first copied into
+    /// an owned buffer (copy-on-write) — shared slabs are never written.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data_mut().as_mut_slice()
     }
 
-    /// Consumes the tensor and returns its storage.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor and returns its storage (copying if shared).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(self.data_mut())
     }
 
     /// Reads the element at a multi-dimensional index.
@@ -141,7 +242,8 @@ impl Tensor {
     ///
     /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
     pub fn get(&self, index: &[usize]) -> Result<f32, TensorError> {
-        Ok(self.data[self.shape.offset(index)?])
+        let off = self.shape.offset(index)?;
+        Ok(self.as_slice()[off])
     }
 
     /// Writes the element at a multi-dimensional index.
@@ -151,7 +253,7 @@ impl Tensor {
     /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
     pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
         let off = self.shape.offset(index)?;
-        self.data[off] = value;
+        self.as_mut_slice()[off] = value;
         Ok(())
     }
 
@@ -170,7 +272,7 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            data: self.data.clone(),
+            storage: self.storage.clone(),
             shape: new_shape,
         })
     }
@@ -196,14 +298,14 @@ impl Tensor {
     /// Applies `f` to every element, returning a new tensor of the same shape.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
         Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            storage: Storage::Owned(self.as_slice().iter().map(|&v| f(v)).collect()),
             shape: self.shape.clone(),
         }
     }
 
     /// Applies `f` to every element in place.
     pub fn map_in_place<F: Fn(f32) -> f32>(&mut self, f: F) {
-        for v in &mut self.data {
+        for v in self.as_mut_slice() {
             *v = f(*v);
         }
     }
@@ -225,12 +327,13 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            storage: Storage::Owned(
+                self.as_slice()
+                    .iter()
+                    .zip(other.as_slice())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
             shape: self.shape.clone(),
         })
     }
@@ -283,7 +386,7 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a += b;
         }
         Ok(())
@@ -301,7 +404,7 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a += scale * b;
         }
         Ok(())
@@ -319,47 +422,54 @@ impl Tensor {
 
     /// Fills the tensor with a constant value.
     pub fn fill(&mut self, value: f32) {
-        for v in &mut self.data {
+        for v in self.as_mut_slice() {
             *v = value;
         }
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.as_slice().iter().sum()
     }
 
     /// Mean of all elements.
     ///
     /// Returns `0.0` for an empty tensor.
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.numel() == 0 {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.numel() as f32
         }
     }
 
     /// Maximum element, or `f32::NEG_INFINITY` for an empty tensor.
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element, or `f32::INFINITY` for an empty tensor.
     pub fn min(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Index of the maximum element in row-major order (ties go to the first).
     ///
     /// Returns `None` for an empty tensor.
     pub fn argmax(&self) -> Option<usize> {
-        if self.data.is_empty() {
+        let data = self.as_slice();
+        if data.is_empty() {
             return None;
         }
         let mut best = 0usize;
-        for (i, &v) in self.data.iter().enumerate() {
-            if v > self.data[best] {
+        for (i, &v) in data.iter().enumerate() {
+            if v > data[best] {
                 best = i;
             }
         }
@@ -377,9 +487,10 @@ impl Tensor {
         }
         let rows = self.dims()[0];
         let cols = self.dims()[1];
+        let data = self.as_slice();
         let mut out = Vec::with_capacity(rows);
         for r in 0..rows {
-            let row = &self.data[r * cols..(r + 1) * cols];
+            let row = &data[r * cols..(r + 1) * cols];
             let mut best = 0usize;
             for (i, &v) in row.iter().enumerate() {
                 if v > row[best] {
@@ -402,9 +513,10 @@ impl Tensor {
         }
         let rows = self.dims()[0];
         let cols = self.dims()[1];
+        let data = self.as_slice();
         let mut out = vec![0.0f32; cols];
         for r in 0..rows {
-            for (o, v) in out.iter_mut().zip(&self.data[r * cols..(r + 1) * cols]) {
+            for (o, v) in out.iter_mut().zip(&data[r * cols..(r + 1) * cols]) {
                 *o += v;
             }
         }
@@ -422,10 +534,11 @@ impl Tensor {
         }
         let rows = self.dims()[0];
         let cols = self.dims()[1];
+        let data = self.as_slice();
         let mut out = vec![0.0f32; rows * cols];
         for r in 0..rows {
             for c in 0..cols {
-                out[c * rows + r] = self.data[r * cols + c];
+                out[c * rows + r] = data[r * cols + c];
             }
         }
         Tensor::from_vec(out, &[cols, rows])
@@ -453,8 +566,8 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         matmul_into(
             Layout::Nn,
-            &self.data,
-            &other.data,
+            self.as_slice(),
+            other.as_slice(),
             &mut out,
             m,
             k,
@@ -484,8 +597,8 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         matmul_into(
             Layout::Tn,
-            &self.data,
-            &other.data,
+            self.as_slice(),
+            other.as_slice(),
             &mut out,
             m,
             k,
@@ -515,8 +628,8 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         matmul_into(
             Layout::Nt,
-            &self.data,
-            &other.data,
+            self.as_slice(),
+            other.as_slice(),
             &mut out,
             m,
             k,
@@ -538,15 +651,16 @@ impl Tensor {
             return;
         }
         let shape = Shape::new(dims);
-        self.data.resize(shape.numel(), 0.0);
+        self.data_mut().resize(shape.numel(), 0.0);
         self.shape = shape;
     }
 
     /// Copies `src` into this tensor, adopting its shape and reusing the
     /// existing storage where capacity allows.
     pub fn copy_from(&mut self, src: &Tensor) {
-        self.data.clear();
-        self.data.extend_from_slice(&src.data);
+        let data = self.data_mut();
+        data.clear();
+        data.extend_from_slice(src.as_slice());
         if !self.shape.same_as(&src.shape) {
             self.shape = src.shape.clone();
         }
@@ -570,7 +684,7 @@ impl Tensor {
         }
         let rest: Vec<usize> = self.dims()[1..].to_vec();
         let chunk = rest.iter().product::<usize>().max(1);
-        let data = self.data[i * chunk..(i + 1) * chunk].to_vec();
+        let data = self.as_slice()[i * chunk..(i + 1) * chunk].to_vec();
         Tensor::from_vec(data, &rest)
     }
 
@@ -590,7 +704,7 @@ impl Tensor {
                     right: item.dims().to_vec(),
                 });
             }
-            data.extend_from_slice(&item.data);
+            data.extend_from_slice(item.as_slice());
         }
         let mut dims = vec![items.len()];
         dims.extend_from_slice(first.dims());
@@ -599,12 +713,12 @@ impl Tensor {
 
     /// Returns the squared L2 norm of the tensor.
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum()
+        self.as_slice().iter().map(|v| v * v).sum()
     }
 
     /// Returns `true` if every element is finite (not NaN or infinite).
     pub fn is_finite(&self) -> bool {
-        self.data.iter().all(|v| v.is_finite())
+        self.as_slice().iter().all(|v| v.is_finite())
     }
 }
 
@@ -854,6 +968,56 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
         assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[derive(Debug)]
+    struct VecSlab(Vec<f32>);
+
+    impl F32Slab for VecSlab {
+        fn as_f32(&self) -> &[f32] {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn shared_tensors_alias_the_slab_until_written() {
+        let slab: Arc<dyn F32Slab> = Arc::new(VecSlab((0..8).map(|v| v as f32).collect()));
+        let t = Tensor::from_shared(Arc::clone(&slab), 2, &[2, 3]).unwrap();
+        assert!(t.is_shared());
+        assert_eq!(t.as_slice(), &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(t.numel(), 6);
+
+        // Cloning shares the same slab memory: identical base pointers.
+        let c = t.clone();
+        assert!(c.is_shared());
+        assert_eq!(c.as_slice().as_ptr(), t.as_slice().as_ptr());
+
+        // Mutation copies out (copy-on-write); the slab stays untouched.
+        let mut m = t.clone();
+        m.as_mut_slice()[0] = 99.0;
+        assert!(!m.is_shared());
+        assert_eq!(m.as_slice()[0], 99.0);
+        assert_eq!(t.as_slice()[0], 2.0);
+        assert_eq!(slab.as_f32()[2], 2.0);
+    }
+
+    #[test]
+    fn from_shared_rejects_out_of_slab_windows() {
+        let slab: Arc<dyn F32Slab> = Arc::new(VecSlab(vec![0.0; 4]));
+        assert!(Tensor::from_shared(Arc::clone(&slab), 0, &[4]).is_ok());
+        assert!(Tensor::from_shared(Arc::clone(&slab), 1, &[4]).is_err());
+        assert!(Tensor::from_shared(Arc::clone(&slab), usize::MAX, &[2]).is_err());
+    }
+
+    #[test]
+    fn shared_tensors_compare_and_reduce_like_owned() {
+        let slab: Arc<dyn F32Slab> = Arc::new(VecSlab(vec![1.0, -2.0, 3.0, 0.5]));
+        let shared = Tensor::from_shared(slab, 0, &[4]).unwrap();
+        let owned = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[4]).unwrap();
+        assert_eq!(shared, owned);
+        assert_eq!(shared.sum(), owned.sum());
+        assert_eq!(shared.argmax(), owned.argmax());
+        assert_eq!(shared.clone().into_vec(), owned.as_slice());
     }
 
     #[test]
