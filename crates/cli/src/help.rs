@@ -91,9 +91,11 @@ fitact campaign — statistical fault campaign with a Wilson-CI report
 
 USAGE:
     fitact campaign --model <model.fitact> [flags]
+    fitact campaign --model <model.fitact> --distributed true [flags]
+    fitact campaign --worker true --coordinator <host:port> [flags]
 
 FLAGS:
-    --model PATH         (required) artifact to evaluate
+    --model PATH         (required unless worker mode) artifact to evaluate
     --out PATH           also write the JSON report here
     --fault-rate F       per-bit fault rate               [default: 1e-3]
     --epsilon F          target CI half-width             [default: 0.05]
@@ -107,7 +109,30 @@ FLAGS:
     --batch-size N       evaluation batch size            [default: 32]
     --test-split BOOL    evaluate the held-out split      [default: false]
 
-Exit codes: 0 success, 2 usage/runtime error.
+RESUMABLE RUNS:
+    --checkpoint PATH    checkpoint campaign state after every round
+                         (atomic rename, crash-safe); SIGTERM/SIGINT
+                         checkpoints and exits 0 with a resumable JSON
+                         line, and re-running with the same flags resumes
+                         bit-identically
+
+COORDINATOR MODE (shards trials into leased work units over HTTP):
+    --distributed BOOL   run as campaign coordinator      [default: false]
+    --listen ADDR        bind address; port 0 is ephemeral [default: 127.0.0.1:0]
+    --unit-trials N      trials per leased work unit      [default: 4]
+    --lease-ms N         unit lease before re-dispatch    [default: 30000]
+    --local-execute BOOL coordinator also executes units
+                         (solo completion without workers) [default: true]
+
+WORKER MODE (config, dataset and model all come from the coordinator):
+    --worker BOOL        run as campaign worker           [default: false]
+    --coordinator ADDR   coordinator to pull units from (required)
+    --worker-id ID       stable worker identity           [default: worker-<pid>]
+
+The report is bit-identical across all three modes, any worker count and
+any interruption/resume pattern (see docs/distributed.md).
+Exit codes: 0 success (including a graceful resumable stop), 2 usage/
+runtime error.
 ";
 
 pub const INSPECT: &str = "\

@@ -25,6 +25,7 @@ mod gates;
 mod help;
 mod pipeline;
 mod serve;
+mod signals;
 
 use std::process::ExitCode;
 
@@ -68,7 +69,10 @@ PIPELINE COMMANDS:
     campaign     Run a statistical fault campaign, emit the Wilson-CI report
                  (--model; --out, --fault-rate, --epsilon, --confidence,
                   --critical-threshold, --round-trials, --min-trials,
-                  --max-trials, --seed, --samples, --batch-size, --test-split)
+                  --max-trials, --seed, --samples, --batch-size, --test-split;
+                  --checkpoint for resumable runs; --distributed/--listen/
+                  --unit-trials/--lease-ms/--local-execute for the
+                  coordinator, --worker/--coordinator/--worker-id for workers)
     inspect      Summarise an artifact without running anything (--model)
 
 SERVING:

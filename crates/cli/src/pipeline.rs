@@ -8,17 +8,26 @@
 //! earlier stage used, without shipping tensors.
 
 use crate::args::Args;
+use crate::signals;
 use crate::CliError;
 use fitact::{apply_protection, ActivationProfiler, FitAct, FitActConfig, ProtectionScheme};
 use fitact_data::DataSpec;
-use fitact_faults::StatCampaignConfig;
-use fitact_io::{JsonValue, ModelArtifact};
+use fitact_faults::{
+    quantize_network, Campaign, CampaignControl, FaultModel, RunOutcome, StatCampaignConfig,
+    TransientBitFlip,
+};
+use fitact_io::{fingerprint_bytes, CampaignCheckpoint, JsonValue, ModelArtifact};
 use fitact_nn::layers::{ActivationLayer, Flatten, Linear, Sequential};
 use fitact_nn::models::{alexnet, ModelConfig};
 use fitact_nn::Network;
+use fitact_serve::{Coordinator, CoordinatorConfig, WorkerConfig};
 use fitact_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Metadata key recording the last pipeline stage applied to an artifact.
 const META_STAGE: &str = "stage";
@@ -75,6 +84,15 @@ pub const CAMPAIGN_FLAGS: &[&str] = &[
     "samples",
     "batch-size",
     "test-split",
+    "checkpoint",
+    "distributed",
+    "listen",
+    "unit-trials",
+    "lease-ms",
+    "local-execute",
+    "worker",
+    "coordinator",
+    "worker-id",
 ];
 
 /// The flags `fitact inspect` accepts (pinned against `help::INSPECT`).
@@ -356,19 +374,17 @@ pub fn protect(raw: &[String]) -> Result<JsonValue, CliError> {
     ]))
 }
 
-/// `fitact campaign`: runs the statistical fault campaign against a loaded
-/// artifact and emits the full Wilson-CI report.
-pub fn campaign(raw: &[String]) -> Result<JsonValue, CliError> {
-    let args = Args::parse(raw, CAMPAIGN_FLAGS)?;
-    let model = args.required("model")?;
-    let artifact = load_artifact(model)?;
-    let spec = data_spec(&artifact, &args)?;
-    let (inputs, targets) = materialize(&spec)?;
-    let mut network = artifact
-        .instantiate()
-        .map_err(|e| format!("cannot instantiate `{model}`: {e}"))?;
+/// The worker-thread count for campaign execution (results are bit-identical
+/// at any count; this only sets throughput).
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
 
-    let config = StatCampaignConfig {
+/// The statistical campaign configuration from CLI flags.
+fn campaign_config(args: &Args) -> Result<StatCampaignConfig, CliError> {
+    Ok(StatCampaignConfig {
         fault_rate: args.parse_or("fault-rate", 1e-3f64)?,
         batch_size: args.parse_or("batch-size", 32usize)?,
         seed: args.parse_or("seed", 0u64)?,
@@ -379,30 +395,27 @@ pub fn campaign(raw: &[String]) -> Result<JsonValue, CliError> {
         min_trials: args.parse_or("min-trials", 24usize)?,
         max_trials: args.parse_or("max-trials", 256usize)?,
         ..Default::default()
-    };
-    let report = fitact::assess_resilience(
-        &mut network,
-        &inputs,
-        &targets,
-        &config,
-        &fitact_faults::TransientBitFlip,
-    )
-    .map_err(|e| format!("campaign failed: {e}"))?;
+    })
+}
 
+/// The campaign result object shared by the single-process and coordinator
+/// paths — identical shape so reports diff cleanly across modes.
+fn campaign_result(
+    args: &Args,
+    model: &str,
+    network_name: &str,
+    scheme: Option<&'static str>,
+    eval_samples: usize,
+    report: &fitact_faults::CampaignReport,
+) -> Result<JsonValue, CliError> {
     let report_json = JsonValue::parse(&report.to_json())
         .map_err(|e| format!("internal error: campaign report JSON did not parse: {e}"))?;
     let result = obj(vec![
         ("command", text("campaign")),
         ("model", text(model)),
-        ("network", text(network.name())),
-        (
-            "scheme",
-            artifact
-                .scheme
-                .map(|s| text(s.name()))
-                .unwrap_or(JsonValue::Null),
-        ),
-        ("eval_samples", num(targets.len() as f64)),
+        ("network", text(network_name)),
+        ("scheme", scheme.map(text).unwrap_or(JsonValue::Null)),
+        ("eval_samples", num(eval_samples as f64)),
         ("report", report_json),
     ]);
     if let Some(out) = args.get("out") {
@@ -410,6 +423,256 @@ pub fn campaign(raw: &[String]) -> Result<JsonValue, CliError> {
             .map_err(|e| format!("cannot write `{out}`: {e}"))?;
     }
     Ok(result)
+}
+
+/// The JSON line printed when a campaign checkpoints and exits gracefully.
+fn resumable_result(checkpoint: &std::path::Path, rounds: usize, trials: usize) -> JsonValue {
+    obj(vec![
+        ("command", text("campaign")),
+        ("status", text("resumable")),
+        ("checkpoint", text(checkpoint.display().to_string())),
+        ("rounds", num(rounds as f64)),
+        ("trials", num(trials as f64)),
+    ])
+}
+
+/// `fitact campaign`: runs the statistical fault campaign against a loaded
+/// artifact and emits the full Wilson-CI report. `--distributed true` turns
+/// this process into a unit-sharding coordinator, `--worker true` into a
+/// worker pulling units from one; both degrade gracefully (the coordinator
+/// runs solo without workers, workers retry with backoff) and both resume
+/// from `--checkpoint` after SIGTERM or a crash, bit-identically.
+pub fn campaign(raw: &[String]) -> Result<JsonValue, CliError> {
+    let args = Args::parse(raw, CAMPAIGN_FLAGS)?;
+    let worker = args.parse_or("worker", false)?;
+    let distributed = args.parse_or("distributed", false)?;
+    if worker && distributed {
+        return Err("--worker and --distributed are mutually exclusive".into());
+    }
+    if worker {
+        campaign_worker(&args)
+    } else if distributed {
+        campaign_coordinator(&args)
+    } else {
+        campaign_single(&args)
+    }
+}
+
+/// Worker mode: everything (config, dataset provenance, model artifact)
+/// comes from the coordinator, so no `--model` is needed.
+fn campaign_worker(args: &Args) -> Result<JsonValue, CliError> {
+    let coordinator = args.required("coordinator")?;
+    let worker_id = args
+        .get("worker-id")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let stop = signals::install();
+    let config = WorkerConfig {
+        coordinator: coordinator.to_owned(),
+        worker_id,
+        threads: default_threads(),
+        ..WorkerConfig::default()
+    };
+    let summary =
+        fitact_serve::run_worker_until(&config, stop).map_err(|e| format!("worker failed: {e}"))?;
+    Ok(obj(vec![
+        ("command", text("campaign")),
+        ("mode", text("worker")),
+        ("coordinator", text(coordinator)),
+        ("worker_id", text(summary.worker_id)),
+        ("units", num(summary.units as f64)),
+        ("trials", num(summary.trials as f64)),
+    ]))
+}
+
+/// Coordinator mode: shards the trial space into leased work units, merges
+/// worker results, checkpoints, and also executes units in-process unless
+/// `--local-execute false`.
+fn campaign_coordinator(args: &Args) -> Result<JsonValue, CliError> {
+    let model = args.required("model")?;
+    let bytes = std::fs::read(model).map_err(|e| format!("cannot read artifact `{model}`: {e}"))?;
+    let artifact = ModelArtifact::from_bytes(&bytes)
+        .map_err(|e| format!("cannot load artifact `{model}`: {e}"))?;
+    let spec = data_spec(&artifact, args)?;
+    let eval_samples = materialize(&spec)?.1.len();
+    let config = campaign_config(args)?;
+    let options = CoordinatorConfig {
+        listen: args.get("listen").unwrap_or("127.0.0.1:0").to_owned(),
+        unit_trials: args.parse_or("unit-trials", 4usize)?,
+        lease: Duration::from_millis(args.parse_or("lease-ms", 30_000u64)?),
+        checkpoint: args.get("checkpoint").map(PathBuf::from),
+        local_execute: args.parse_or("local-execute", true)?,
+        threads: default_threads(),
+    };
+    let coordinator =
+        Coordinator::start_with_data(bytes, spec, config, Arc::new(TransientBitFlip), &options)
+            .map_err(|e| format!("coordinator failed to start: {e}"))?;
+    // Workers need the address before the final report exists; stdout stays
+    // reserved for the one JSON result object.
+    eprintln!(
+        "{{\"status\":\"listening\",\"addr\":\"{}\"}}",
+        coordinator.addr()
+    );
+
+    let stop = signals::install();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let outcome = std::thread::scope(|scope| {
+        let watcher = scope.spawn(|| {
+            while !done.load(Ordering::SeqCst) {
+                if stop.load(Ordering::SeqCst) {
+                    coordinator.stop();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        let outcome = coordinator.run_to_completion();
+        done.store(true, Ordering::SeqCst);
+        let _ = watcher.join();
+        outcome
+    });
+    match outcome {
+        Ok(Some(report)) => {
+            let result = campaign_result(
+                args,
+                model,
+                &artifact.name,
+                artifact.scheme.map(|s| s.name()),
+                eval_samples,
+                &report,
+            );
+            coordinator.shutdown();
+            result
+        }
+        Ok(None) => {
+            let status = coordinator.status();
+            coordinator.shutdown();
+            let checkpoint = args.get("checkpoint").unwrap_or("(none)");
+            let rounds = JsonValue::parse(&status)
+                .ok()
+                .and_then(|s| s.get("round").and_then(JsonValue::as_f64))
+                .unwrap_or(0.0) as usize;
+            let trials = JsonValue::parse(&status)
+                .ok()
+                .and_then(|s| s.get("total_trials").and_then(JsonValue::as_f64))
+                .unwrap_or(0.0) as usize;
+            Ok(resumable_result(
+                std::path::Path::new(checkpoint),
+                rounds,
+                trials,
+            ))
+        }
+        Err(e) => {
+            coordinator.shutdown();
+            Err(format!("distributed campaign failed: {e}").into())
+        }
+    }
+}
+
+/// Single-process mode: the original in-process campaign, optionally made
+/// resumable with `--checkpoint` (graceful SIGTERM/SIGINT, crash-safe
+/// per-round snapshots, bit-identical resume).
+fn campaign_single(args: &Args) -> Result<JsonValue, CliError> {
+    let model = args.required("model")?;
+    let bytes = std::fs::read(model).map_err(|e| format!("cannot read artifact `{model}`: {e}"))?;
+    let artifact = ModelArtifact::from_bytes(&bytes)
+        .map_err(|e| format!("cannot load artifact `{model}`: {e}"))?;
+    let spec = data_spec(&artifact, args)?;
+    let (inputs, targets) = materialize(&spec)?;
+    let mut network = artifact
+        .instantiate()
+        .map_err(|e| format!("cannot instantiate `{model}`: {e}"))?;
+    let config = campaign_config(args)?;
+
+    let report = match args.get("checkpoint").map(PathBuf::from) {
+        None => {
+            fitact::assess_resilience(&mut network, &inputs, &targets, &config, &TransientBitFlip)
+                .map_err(|e| format!("campaign failed: {e}"))?
+        }
+        Some(path) => {
+            let stop = signals::install();
+            let fingerprint = fingerprint_bytes(&bytes);
+            // `assess_resilience` quantizes before running; match it so the
+            // resumable path stays bit-identical to the plain one.
+            quantize_network(&mut network);
+            let resume = if path.exists() {
+                let checkpoint = CampaignCheckpoint::load(&path)
+                    .map_err(|e| format!("cannot resume from `{}`: {e}", path.display()))?;
+                checkpoint
+                    .validate_against(&config, TransientBitFlip.name(), fingerprint)
+                    .map_err(|e| {
+                        format!("checkpoint `{}` is not resumable here: {e}", path.display())
+                    })?;
+                Some(checkpoint.pools)
+            } else {
+                None
+            };
+            let fault_free = network
+                .evaluate(&inputs, &targets, config.batch_size)
+                .map_err(|e| format!("baseline evaluation failed: {e}"))?;
+            let network_name = network.name().to_owned();
+            let snapshot = |pools: Vec<fitact_faults::StratumPool>| {
+                CampaignCheckpoint::new(
+                    config.clone(),
+                    TransientBitFlip.name(),
+                    network_name.clone(),
+                    fingerprint,
+                    fault_free,
+                    pools,
+                    Vec::new(),
+                )
+            };
+            let mut save_error: Option<String> = None;
+            let outcome = Campaign::new(&mut network, &inputs, &targets)
+                .map_err(|e| format!("campaign failed: {e}"))?
+                .run_until_resumable(
+                    &config,
+                    &TransientBitFlip,
+                    default_threads(),
+                    resume,
+                    &mut |progress| {
+                        if let Err(e) = snapshot(progress.pools.clone()).save(&path) {
+                            save_error = Some(e.to_string());
+                            return CampaignControl::Stop;
+                        }
+                        if stop.load(Ordering::SeqCst) {
+                            CampaignControl::Stop
+                        } else {
+                            CampaignControl::Continue
+                        }
+                    },
+                )
+                .map_err(|e| format!("campaign failed: {e}"))?;
+            if let Some(e) = save_error {
+                return Err(format!("cannot write checkpoint `{}`: {e}", path.display()).into());
+            }
+            match outcome {
+                RunOutcome::Finished(report) => {
+                    let _ = std::fs::remove_file(&path);
+                    report
+                }
+                RunOutcome::Interrupted(progress) => {
+                    snapshot(progress.pools.clone()).save(&path).map_err(|e| {
+                        format!("cannot write checkpoint `{}`: {e}", path.display())
+                    })?;
+                    return Ok(resumable_result(
+                        &path,
+                        progress.rounds,
+                        progress.total_trials(),
+                    ));
+                }
+            }
+        }
+    };
+
+    campaign_result(
+        args,
+        model,
+        network.name(),
+        artifact.scheme.map(|s| s.name()),
+        targets.len(),
+        &report,
+    )
 }
 
 /// `fitact inspect`: summarises an artifact without running anything.

@@ -1,0 +1,57 @@
+//! Graceful SIGTERM/SIGINT handling for long-running subcommands.
+//!
+//! The build environment is offline (no `signal-hook`), so this is the
+//! minimal async-signal-safe pattern by hand: the handler only stores into a
+//! process-wide atomic flag, and the campaign loops poll that flag at round
+//! boundaries. On non-Unix targets installation is a no-op and the flag
+//! simply never becomes `true`.
+
+use std::sync::atomic::AtomicBool;
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: everything else is unsafe in a handler.
+        super::INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Installs the handlers (idempotent) and returns the interrupt flag.
+pub fn install() -> &'static AtomicBool {
+    #[cfg(unix)]
+    imp::install();
+    &INTERRUPTED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn flag_starts_clear_and_install_is_idempotent() {
+        let flag = install();
+        let again = install();
+        assert!(std::ptr::eq(flag, again));
+        // No signal has been delivered in this test process.
+        assert!(!flag.load(Ordering::SeqCst));
+    }
+}

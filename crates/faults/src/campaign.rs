@@ -22,12 +22,20 @@
 use crate::checkpoint::{CheckpointCache, ResumePlan};
 use crate::map::MemoryMap;
 use crate::model::{FaultModel, TransientBitFlip, TrialContext};
-use crate::stats::{z_for_confidence, TrialOutcome, WilsonInterval};
+use crate::stats::{z_for_confidence, StratumPool, TrialOutcome, TrialPoint, WilsonInterval};
 use crate::strata::{StratifiedSampler, StratumSpec};
 use crate::FaultError;
 use fitact_nn::metrics::SampleStats;
 use fitact_nn::Network;
 use fitact_tensor::Tensor;
+
+/// Identifies the per-trial RNG stream derivation this build uses.
+///
+/// Campaign checkpoints and the distributed work-unit protocol embed this tag
+/// so that state written by one build is only ever resumed or extended by a
+/// build that derives identical fault streams — a silent derivation change
+/// would otherwise merge incompatible trials into one report.
+pub const TRIAL_STREAM_PROVENANCE: &str = "splitmix64/(seed, stratum, trial) v1";
 
 /// Derives the RNG-stream seed of one trial from the campaign seed, the
 /// stratum index and the trial index (SplitMix64 finalisation).
@@ -404,17 +412,230 @@ pub enum TrialEngine {
 
 /// Identity of one trial: which stratum it samples and its index within that
 /// stratum's stream.
+///
+/// Together with the campaign seed this triple fully determines the trial's
+/// fault sites and therefore its result (see [`TRIAL_STREAM_PROVENANCE`]);
+/// work units of the distributed campaign protocol are contiguous ranges of
+/// these identities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TrialSpec {
-    stratum: usize,
-    index: usize,
+pub struct TrialSpec {
+    /// Index of the stratum the trial samples from.
+    pub stratum: usize,
+    /// The trial's index within the stratum's RNG stream.
+    pub index: usize,
 }
 
-/// What one trial measured.
+/// Plans the trial identities of one campaign round, given how many trials
+/// each stratum has already been scheduled.
+///
+/// One round is `round_trials` fresh trials per stratum, interleaved
+/// round-robin and truncated so the campaign total never exceeds
+/// `max_trials` — truncation therefore keeps the per-stratum allocation
+/// within one trial of equal. Returns an empty plan once the budget is
+/// exhausted.
+///
+/// This is the **single** scheduling definition: the serial `run_until`
+/// loop, the resumable variant and the distributed coordinator all plan
+/// rounds through this function, which is what pins their reports
+/// bit-identical to each other.
+pub fn plan_round(config: &StatCampaignConfig, counts: &[usize]) -> Vec<TrialSpec> {
+    let total_so_far: usize = counts.iter().sum();
+    let round_size = config.round_trials * counts.len();
+    let launch = round_size.min(config.max_trials.saturating_sub(total_so_far));
+    let mut specs = Vec::with_capacity(launch);
+    'fill: for offset in 0..config.round_trials {
+        for (stratum, &done) in counts.iter().enumerate() {
+            if specs.len() == launch {
+                break 'fill;
+            }
+            specs.push(TrialSpec {
+                stratum,
+                index: done + offset,
+            });
+        }
+    }
+    specs
+}
+
+/// The pooled stopping decision after a completed round.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct TrialRecord {
-    accuracy: f32,
-    faults: u64,
+pub struct RoundDecision {
+    /// Trials counted by the decision (the scheduled trials of all completed
+    /// rounds).
+    pub total: usize,
+    /// Half-width of the pooled critical-SDC Wilson interval.
+    pub half_width: f64,
+    /// The ε target was reached with at least `min_trials` trials.
+    pub converged: bool,
+    /// The trial budget is spent.
+    pub exhausted: bool,
+}
+
+/// Evaluates the sequential stopping rule over merged per-stratum pools.
+///
+/// Only trials *scheduled* so far (`counts[stratum]` per stratum) are
+/// counted, so a pool holding a few early-delivered results from a later
+/// round — as a mid-round distributed checkpoint may — makes exactly the
+/// same decision the serial campaign made at this round boundary.
+pub fn stopping_decision(
+    config: &StatCampaignConfig,
+    z: f64,
+    fault_free_accuracy: f32,
+    pools: &[StratumPool],
+    counts: &[usize],
+) -> RoundDecision {
+    let total: usize = counts.iter().sum();
+    let critical: u64 = pools
+        .iter()
+        .zip(counts)
+        .flat_map(|(pool, &count)| pool.iter_below(count as u64))
+        .filter(|&(_, point)| {
+            TrialOutcome::classify(
+                fault_free_accuracy,
+                point.accuracy,
+                config.critical_threshold,
+            ) == TrialOutcome::CriticalSdc
+        })
+        .count() as u64;
+    let half_width = WilsonInterval::new(critical, total as u64, z).half_width();
+    RoundDecision {
+        total,
+        half_width,
+        converged: total >= config.min_trials && half_width <= config.epsilon,
+        exhausted: total >= config.max_trials,
+    }
+}
+
+/// Builds the final [`CampaignReport`] from merged per-stratum pools.
+///
+/// The pools must be index-contiguous (every scheduled trial completed);
+/// ascending index order then reproduces the serial campaign's trial order
+/// exactly, so a report assembled from distributed results is bit-identical
+/// to the single-process one.
+pub fn assemble_report(
+    config: &StatCampaignConfig,
+    model_name: &str,
+    fault_free_accuracy: f32,
+    sampler: &StratifiedSampler,
+    pools: &[StratumPool],
+    rounds: usize,
+    converged: bool,
+) -> CampaignReport {
+    let z = z_for_confidence(config.confidence);
+    let strata = pools
+        .iter()
+        .enumerate()
+        .map(|(stratum, pool)| {
+            let accuracies = pool.accuracies();
+            let mut masked = 0usize;
+            let mut tolerable = 0usize;
+            let mut critical = 0usize;
+            for &a in &accuracies {
+                match TrialOutcome::classify(fault_free_accuracy, a, config.critical_threshold) {
+                    TrialOutcome::Masked => masked += 1,
+                    TrialOutcome::TolerableSdc => tolerable += 1,
+                    TrialOutcome::CriticalSdc => critical += 1,
+                }
+            }
+            let n = accuracies.len() as u64;
+            StratumReport {
+                label: sampler.specs()[stratum].label.clone(),
+                population_bits: sampler.population(stratum),
+                accuracies,
+                masked,
+                tolerable,
+                critical,
+                total_faults: pool.total_faults(),
+                critical_ci: WilsonInterval::new(critical as u64, n, z),
+                sdc_ci: WilsonInterval::new((tolerable + critical) as u64, n, z),
+            }
+        })
+        .collect();
+    CampaignReport {
+        fault_free_accuracy,
+        fault_rate: config.fault_rate,
+        model: model_name.to_owned(),
+        confidence: config.confidence,
+        epsilon: config.epsilon,
+        critical_threshold: config.critical_threshold,
+        rounds,
+        converged,
+        strata,
+    }
+}
+
+/// Partial state of a statistical campaign: one mergeable pool of completed
+/// trials per stratum, plus the number of completed rounds.
+///
+/// This is what a campaign checkpoint persists and what the distributed
+/// coordinator accumulates. Scheduling is deterministic, so the pools alone
+/// are enough to resume: replaying [`plan_round`] over them re-derives every
+/// past stopping decision and continues exactly where execution stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignProgress {
+    /// One pool per stratum, in configured stratum order.
+    pub pools: Vec<StratumPool>,
+    /// Rounds completed when the progress was captured.
+    pub rounds: usize,
+}
+
+impl CampaignProgress {
+    /// Empty progress for `num_strata` strata.
+    pub fn empty(num_strata: usize) -> Self {
+        CampaignProgress {
+            pools: vec![StratumPool::new(); num_strata],
+            rounds: 0,
+        }
+    }
+
+    /// Total completed trials across all strata.
+    pub fn total_trials(&self) -> usize {
+        self.pools.iter().map(StratumPool::len).sum()
+    }
+}
+
+/// What a [`Campaign::run_until_resumable`] observer tells the campaign to do
+/// after a round completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignControl {
+    /// Keep launching rounds.
+    Continue,
+    /// Stop gracefully and return the merged progress for checkpointing.
+    Stop,
+}
+
+/// How a resumable campaign ended.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum RunOutcome {
+    /// The campaign converged or spent its budget; the report is final.
+    Finished(CampaignReport),
+    /// The observer requested a graceful stop; the progress resumes the
+    /// campaign later, bit-identically.
+    Interrupted(CampaignProgress),
+}
+
+/// Rejects strata a datapath fault model cannot honour.
+///
+/// Datapath models corrupt activation slots, whose labels are not parameter
+/// paths: a layer-restricted stratum cannot be honoured, and silently running
+/// whole-network corruption per "layer" would report a fictitious
+/// layer-vulnerability ranking.
+fn check_model_strata(
+    model: &dyn FaultModel,
+    config: &StatCampaignConfig,
+) -> Result<(), FaultError> {
+    if !model.uses_parameter_sites() {
+        if let Some(spec) = config.strata.iter().find(|s| s.path_prefix.is_some()) {
+            return Err(FaultError::InvalidConfig(format!(
+                "fault model `{}` corrupts the datapath and cannot honour the layer \
+                 restriction of stratum `{}`; use bit-class strata without path prefixes",
+                model.name(),
+                spec.label
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Runs fault-injection campaigns against a network and a fixed evaluation
@@ -674,134 +895,276 @@ impl<'a> Campaign<'a> {
         model: &dyn FaultModel,
         threads: usize,
     ) -> Result<CampaignReport, FaultError> {
-        config.validate()?;
-        // Datapath models corrupt activation slots, whose labels are not
-        // parameter paths: a layer-restricted stratum cannot be honoured, and
-        // silently running whole-network corruption per "layer" would report
-        // a fictitious layer-vulnerability ranking.
-        if !model.uses_parameter_sites() {
-            if let Some(spec) = config.strata.iter().find(|s| s.path_prefix.is_some()) {
-                return Err(FaultError::InvalidConfig(format!(
-                    "fault model `{}` corrupts the datapath and cannot honour the layer \
-                     restriction of stratum `{}`; use bit-class strata without path prefixes",
-                    model.name(),
-                    spec.label
-                )));
+        match self.run_until_resumable(config, model, threads, None, &mut |_| {
+            CampaignControl::Continue
+        })? {
+            RunOutcome::Finished(report) => Ok(report),
+            RunOutcome::Interrupted(_) => {
+                unreachable!("the observer never requests a stop")
             }
         }
+    }
+
+    /// [`Campaign::run_until`] with graceful interruption and resume.
+    ///
+    /// After every round that executed fresh trials (and did not finish the
+    /// campaign) the merged [`CampaignProgress`] is handed to `observer`,
+    /// which either continues or requests a graceful stop — in which case the
+    /// progress comes back as [`RunOutcome::Interrupted`], ready to be
+    /// checkpointed.
+    ///
+    /// Passing previously captured pools as `resume` continues that campaign:
+    /// scheduling is deterministic, so the loop replays [`plan_round`] from
+    /// round zero, skips every trial already present in the pools, and
+    /// re-derives each past stopping decision instead of trusting the
+    /// checkpoint — the resumed campaign is **bit-identical** to one that
+    /// never stopped (pinned by the `checkpoint_resume` tests). Pools holding
+    /// trials the configuration never schedules (a checkpoint from a
+    /// different configuration) are a typed [`FaultError::InvalidConfig`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::run_until`], plus [`FaultError::InvalidConfig`] for a
+    /// resume state inconsistent with `config` and
+    /// [`FaultError::TrialConflict`] if an executed trial disagrees with a
+    /// resumed point.
+    pub fn run_until_resumable(
+        &mut self,
+        config: &StatCampaignConfig,
+        model: &dyn FaultModel,
+        threads: usize,
+        resume: Option<Vec<StratumPool>>,
+        observer: &mut dyn FnMut(&CampaignProgress) -> CampaignControl,
+    ) -> Result<RunOutcome, FaultError> {
+        config.validate()?;
+        check_model_strata(model, config)?;
         let sampler = StratifiedSampler::new(&self.map, &config.strata)?;
         let z = z_for_confidence(config.confidence);
         let snapshot = self.network.snapshot();
-        let (resume, fault_free_accuracy) = self.prepare_baseline(config.batch_size)?;
+        let (resume_cache, fault_free_accuracy) = self.prepare_baseline(config.batch_size)?;
 
         let num_strata = sampler.num_strata();
+        let mut pools = match resume {
+            Some(pools) => {
+                if pools.len() != num_strata {
+                    return Err(FaultError::InvalidConfig(format!(
+                        "resume state has {} strata, configuration has {num_strata}",
+                        pools.len()
+                    )));
+                }
+                pools
+            }
+            None => vec![StratumPool::new(); num_strata],
+        };
         let round_size = config.round_trials * num_strata;
         // Worker clones are expensive for large models; create them once and
         // reuse them across every round (each trial restores the snapshot, so
         // a worker network is interchangeable between rounds).
         let mut workers = spawn_worker_networks(self.network, threads, round_size);
-        let mut accuracies: Vec<Vec<f32>> = vec![Vec::new(); num_strata];
-        let mut faults: Vec<u64> = vec![0; num_strata];
+        let mut counts = vec![0usize; num_strata];
         let mut rounds = 0usize;
         let mut converged = false;
         loop {
-            // One round: `round_trials` fresh trials per stratum, scheduled
-            // round-robin so truncation at the trial budget keeps the
-            // per-stratum allocation within one trial of equal.
-            let total_so_far: usize = accuracies.iter().map(Vec::len).sum();
-            let launch = round_size.min(config.max_trials - total_so_far);
-            let mut specs: Vec<TrialSpec> = Vec::with_capacity(launch);
-            'fill: for offset in 0..config.round_trials {
-                for (stratum, done) in accuracies.iter().enumerate() {
-                    if specs.len() == launch {
-                        break 'fill;
-                    }
-                    specs.push(TrialSpec {
-                        stratum,
-                        index: done.len() + offset,
-                    });
+            let specs = plan_round(config, &counts);
+            if specs.is_empty() {
+                // The budget ran out exactly at a round boundary.
+                break;
+            }
+            let missing: Vec<TrialSpec> = specs
+                .iter()
+                .copied()
+                .filter(|s| !pools[s.stratum].contains(s.index as u64))
+                .collect();
+            let fresh = !missing.is_empty();
+            if fresh {
+                let records = execute_trials(
+                    self.network,
+                    &mut workers,
+                    &snapshot,
+                    self.inputs,
+                    self.targets,
+                    &sampler,
+                    model,
+                    config.fault_rate,
+                    config.batch_size,
+                    config.seed,
+                    resume_cache.as_ref(),
+                    &missing,
+                )?;
+                for (spec, point) in missing.iter().zip(records) {
+                    pools[spec.stratum].insert(spec.index as u64, point)?;
                 }
             }
-            let records = execute_trials(
-                self.network,
-                &mut workers,
-                &snapshot,
-                self.inputs,
-                self.targets,
-                &sampler,
-                model,
-                config.fault_rate,
-                config.batch_size,
-                config.seed,
-                resume.as_ref(),
-                &specs,
-            )?;
-            for (spec, record) in specs.iter().zip(records) {
-                accuracies[spec.stratum].push(record.accuracy);
-                faults[spec.stratum] += record.faults;
+            for spec in &specs {
+                counts[spec.stratum] += 1;
             }
             rounds += 1;
 
-            let total: usize = accuracies.iter().map(Vec::len).sum();
-            let critical: u64 = accuracies
-                .iter()
-                .flatten()
-                .filter(|&&a| {
-                    TrialOutcome::classify(fault_free_accuracy, a, config.critical_threshold)
-                        == TrialOutcome::CriticalSdc
-                })
-                .count() as u64;
-            let half_width = WilsonInterval::new(critical, total as u64, z).half_width();
-            if total >= config.min_trials && half_width <= config.epsilon {
+            let decision = stopping_decision(config, z, fault_free_accuracy, &pools, &counts);
+            if decision.converged {
                 converged = true;
                 break;
             }
-            if total >= config.max_trials {
+            if decision.exhausted {
                 break;
+            }
+            if fresh {
+                let progress = CampaignProgress {
+                    pools: pools.clone(),
+                    rounds,
+                };
+                if observer(&progress) == CampaignControl::Stop {
+                    return Ok(RunOutcome::Interrupted(progress));
+                }
             }
         }
 
-        let strata = accuracies
-            .iter()
-            .enumerate()
-            .map(|(stratum, accs)| {
-                let mut masked = 0usize;
-                let mut tolerable = 0usize;
-                let mut critical = 0usize;
-                for &a in accs {
-                    match TrialOutcome::classify(fault_free_accuracy, a, config.critical_threshold)
-                    {
-                        TrialOutcome::Masked => masked += 1,
-                        TrialOutcome::TolerableSdc => tolerable += 1,
-                        TrialOutcome::CriticalSdc => critical += 1,
-                    }
-                }
-                let n = accs.len() as u64;
-                StratumReport {
-                    label: sampler.specs()[stratum].label.clone(),
-                    population_bits: sampler.population(stratum),
-                    accuracies: accs.clone(),
-                    masked,
-                    tolerable,
-                    critical,
-                    total_faults: faults[stratum],
-                    critical_ci: WilsonInterval::new(critical as u64, n, z),
-                    sdc_ci: WilsonInterval::new((tolerable + critical) as u64, n, z),
-                }
-            })
-            .collect();
+        // Every completed trial must have been scheduled: leftovers mean the
+        // resume state came from a different configuration (larger budget,
+        // different round size, …) and would silently skew the report.
+        for (stratum, (pool, &count)) in pools.iter().zip(&counts).enumerate() {
+            if pool.len() != count {
+                return Err(FaultError::InvalidConfig(format!(
+                    "resume state holds {} trials for stratum {stratum} but the configuration \
+                     schedules {count}; was the checkpoint written with a different configuration?",
+                    pool.len()
+                )));
+            }
+        }
 
-        Ok(CampaignReport {
+        Ok(RunOutcome::Finished(assemble_report(
+            config,
+            model.name(),
             fault_free_accuracy,
-            fault_rate: config.fault_rate,
-            model: model.name().to_owned(),
-            confidence: config.confidence,
-            epsilon: config.epsilon,
-            critical_threshold: config.critical_threshold,
+            &sampler,
+            &pools,
             rounds,
             converged,
-            strata,
+        )))
+    }
+}
+
+/// Executes individual work units — contiguous per-stratum trial ranges — of
+/// a statistical campaign: the execution half of a distributed worker (and of
+/// the coordinator's own local executor).
+///
+/// A runner owns a warm network, the campaign baseline
+/// ([`CheckpointCache`] under the default engine) and pre-spawned worker
+/// clones, so successive units reuse all of it. Because a trial's result
+/// depends only on `(seed, stratum, index)` and the network parameters,
+/// [`UnitRunner::run_unit`] returns **bit-identical** points no matter which
+/// process, machine or thread count runs the unit — the invariant the whole
+/// distributed protocol rests on (pinned by the `distributed_identity` test).
+#[derive(Debug)]
+pub struct UnitRunner {
+    network: Network,
+    inputs: Tensor,
+    targets: Vec<usize>,
+    config: StatCampaignConfig,
+    sampler: StratifiedSampler,
+    snapshot: Vec<Tensor>,
+    resume: Option<(CheckpointCache, ResumePlan)>,
+    fault_free_accuracy: f32,
+    workers: Vec<Network>,
+}
+
+impl UnitRunner {
+    /// Prepares a runner: resolves the strata, snapshots the parameters,
+    /// captures the checkpoint baseline and spawns `threads` worker clones.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors ([`StatCampaignConfig::validate`]),
+    /// [`FaultError::EmptyMemoryMap`] for a parameterless network, and
+    /// propagates baseline-evaluation failures.
+    pub fn new(
+        mut network: Network,
+        inputs: Tensor,
+        targets: Vec<usize>,
+        config: &StatCampaignConfig,
+        threads: usize,
+    ) -> Result<Self, FaultError> {
+        config.validate()?;
+        let map = MemoryMap::of_network(&network);
+        if map.is_empty() {
+            return Err(FaultError::EmptyMemoryMap);
+        }
+        let sampler = StratifiedSampler::new(&map, &config.strata)?;
+        let snapshot = network.snapshot();
+        let plan = ResumePlan::of_network(&mut network);
+        let cache = CheckpointCache::capture(&mut network, &inputs, &targets, config.batch_size)?;
+        let fault_free_accuracy = cache.fault_free_accuracy();
+        let unit_cap = config.round_trials.max(1) * sampler.num_strata();
+        let workers = spawn_worker_networks(&network, threads, unit_cap);
+        Ok(UnitRunner {
+            network,
+            inputs,
+            targets,
+            config: config.clone(),
+            sampler,
+            snapshot,
+            resume: Some((cache, plan)),
+            fault_free_accuracy,
+            workers,
         })
+    }
+
+    /// The fault-free baseline accuracy — identical on every worker that
+    /// loaded the same artifact, and verified by the coordinator before any
+    /// unit result is merged.
+    pub fn fault_free_accuracy(&self) -> f32 {
+        self.fault_free_accuracy
+    }
+
+    /// Number of strata the runner resolved.
+    pub fn num_strata(&self) -> usize {
+        self.sampler.num_strata()
+    }
+
+    /// The resolved stratified sampler (labels, populations).
+    pub fn sampler(&self) -> &StratifiedSampler {
+        &self.sampler
+    }
+
+    /// Runs trials `start .. start + count` of `stratum` and returns their
+    /// points in index order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidConfig`] for an out-of-range stratum or a
+    /// stratum/model combination the campaign would reject, and propagates
+    /// evaluation failures.
+    pub fn run_unit(
+        &mut self,
+        model: &dyn FaultModel,
+        stratum: usize,
+        start: usize,
+        count: usize,
+    ) -> Result<Vec<TrialPoint>, FaultError> {
+        check_model_strata(model, &self.config)?;
+        if stratum >= self.sampler.num_strata() {
+            return Err(FaultError::InvalidConfig(format!(
+                "work unit names stratum {stratum}, campaign has {}",
+                self.sampler.num_strata()
+            )));
+        }
+        let specs: Vec<TrialSpec> = (start..start + count)
+            .map(|index| TrialSpec { stratum, index })
+            .collect();
+        execute_trials(
+            &mut self.network,
+            &mut self.workers,
+            &self.snapshot,
+            &self.inputs,
+            &self.targets,
+            &self.sampler,
+            model,
+            self.config.fault_rate,
+            self.config.batch_size,
+            self.config.seed,
+            self.resume.as_ref(),
+            &specs,
+        )
     }
 }
 
@@ -849,8 +1212,8 @@ fn execute_trials(
     seed: u64,
     resume: Option<&(CheckpointCache, ResumePlan)>,
     specs: &[TrialSpec],
-) -> Result<Vec<TrialRecord>, FaultError> {
-    let mut outcomes: Vec<Option<Result<TrialRecord, FaultError>>> =
+) -> Result<Vec<TrialPoint>, FaultError> {
+    let mut outcomes: Vec<Option<Result<TrialPoint, FaultError>>> =
         specs.iter().map(|_| None).collect();
     if workers.len() <= 1 || specs.len() <= 1 {
         run_trials(
@@ -937,7 +1300,7 @@ fn run_trials(
     seed: u64,
     resume: Option<&(CheckpointCache, ResumePlan)>,
     specs: &[TrialSpec],
-    outcomes: &mut [Option<Result<TrialRecord, FaultError>>],
+    outcomes: &mut [Option<Result<TrialPoint, FaultError>>],
 ) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -981,7 +1344,7 @@ fn run_trials(
         network
             .restore(snapshot)
             .expect("snapshot taken from the same network always restores");
-        *outcome = Some(result.map(|accuracy| TrialRecord { accuracy, faults }));
+        *outcome = Some(result.map(|accuracy| TrialPoint { accuracy, faults }));
     }
 }
 

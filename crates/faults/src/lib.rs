@@ -110,8 +110,9 @@ mod strata;
 mod stuck_at;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignReport, CampaignResult, StatCampaignConfig, StratumReport,
-    TrialEngine,
+    assemble_report, plan_round, stopping_decision, Campaign, CampaignConfig, CampaignControl,
+    CampaignProgress, CampaignReport, CampaignResult, RoundDecision, RunOutcome,
+    StatCampaignConfig, StratumReport, TrialEngine, TrialSpec, UnitRunner, TRIAL_STREAM_PROVENANCE,
 };
 pub use checkpoint::{CheckpointCache, ResumePlan};
 pub use injector::{apply_bit_flips, quantize_network, BitFlipInjector, FaultSite};
@@ -120,7 +121,9 @@ pub use model::{
     ActivationBitFlip, CanaryInjector, FaultModel, Injection, MultiBitBurst, StuckAtFaultModel,
     TransientBitFlip, TrialContext,
 };
-pub use stats::{sample_binomial, z_for_confidence, TrialOutcome, WilsonInterval};
+pub use stats::{
+    sample_binomial, z_for_confidence, StratumPool, TrialOutcome, TrialPoint, WilsonInterval,
+};
 pub use strata::{BitClass, StratifiedSampler, StratumSpec};
 pub use stuck_at::{apply_stuck_at, StuckAtFault, StuckAtInjector, StuckValue};
 
@@ -143,6 +146,14 @@ pub enum FaultError {
     /// A stratum spec selects no bits (no bit classes, or a layer prefix that
     /// matches no mapped parameter); carries the stratum's label.
     EmptyStratum(String),
+    /// Two merged campaign fragments disagree about the result of the same
+    /// trial. Trials are deterministic functions of `(seed, stratum, index)`,
+    /// so disagreeing fragments cannot come from the same campaign — a
+    /// worker ran a different model, seed or configuration.
+    TrialConflict {
+        /// The trial's index within its stratum's RNG stream.
+        index: u64,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -171,6 +182,13 @@ impl fmt::Display for FaultError {
                 write!(
                     f,
                     "stratum `{label}` selects no bits (empty bit classes or unmatched layer prefix)"
+                )
+            }
+            FaultError::TrialConflict { index } => {
+                write!(
+                    f,
+                    "conflicting results for trial {index}: merged campaign fragments disagree \
+                     about a deterministic trial (different model, seed or configuration?)"
                 )
             }
         }
@@ -217,6 +235,10 @@ mod tests {
             .contains("exp"));
         assert!(!FaultError::EmptyStrata.to_string().is_empty());
         assert!(Error::source(&FaultError::EmptyStrata).is_none());
+        assert!(FaultError::TrialConflict { index: 42 }
+            .to_string()
+            .contains("42"));
+        assert!(Error::source(&FaultError::TrialConflict { index: 0 }).is_none());
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! ([`crate::Campaign::run_until`]) keeps adding trials until the interval's
 //! half-width drops below a target ε.
 
+use crate::FaultError;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::collections::BTreeMap;
 
 /// A Wilson score confidence interval for a binomial proportion.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +87,137 @@ impl WilsonInterval {
     /// Half the width of the interval — the campaign's convergence measure.
     pub fn half_width(&self) -> f64 {
         0.5 * (self.high - self.low)
+    }
+}
+
+/// What one fault-injection trial measured.
+///
+/// A point is identified by its trial index within its stratum's RNG stream
+/// (the key of a [`StratumPool`]), and because trials are deterministic
+/// functions of `(seed, stratum, index)`, two points for the same index from
+/// the same campaign are always bit-identical — the property that makes
+/// duplicate completions in distributed execution safe to resolve by index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialPoint {
+    /// The trial's top-1 accuracy (fraction in `[0, 1]`).
+    pub accuracy: f32,
+    /// Number of bit flips the trial injected.
+    pub faults: u64,
+}
+
+impl TrialPoint {
+    /// Bit-pattern equality: accuracies compare as raw IEEE-754 bits, so
+    /// `-0.0 != 0.0` and equal NaN payloads compare equal — exactly the
+    /// "same deterministic trial" relation.
+    pub fn same_bits(&self, other: &TrialPoint) -> bool {
+        self.accuracy.to_bits() == other.accuracy.to_bits() && self.faults == other.faults
+    }
+}
+
+/// A mergeable pool of completed trials for one stratum, keyed by trial
+/// index.
+///
+/// This is the unit of aggregation for distributed and resumable campaigns:
+/// workers return disjoint index ranges, and the coordinator merges them with
+/// [`StratumPool::merge`]. Because the pool is a map keyed by trial identity,
+/// merging is **order-independent** and **associative**, merging an empty
+/// pool is the **identity**, and re-merging a duplicated unit is idempotent
+/// (all pinned by the `pool_merge_props` property suite). A merge that would
+/// change an existing point is a [`FaultError::TrialConflict`] — two
+/// fragments disagreeing about the same deterministic trial cannot come from
+/// the same campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StratumPool {
+    points: BTreeMap<u64, TrialPoint>,
+}
+
+impl StratumPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        StratumPool::default()
+    }
+
+    /// Number of completed trials in the pool.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if no trial has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Whether trial `index` has a recorded point.
+    pub fn contains(&self, index: u64) -> bool {
+        self.points.contains_key(&index)
+    }
+
+    /// Whether every trial in `start .. start + count` has a recorded point.
+    pub fn contains_range(&self, start: u64, count: u64) -> bool {
+        self.points.range(start..start + count).count() as u64 == count
+    }
+
+    /// The recorded point of trial `index`, if any.
+    pub fn get(&self, index: u64) -> Option<TrialPoint> {
+        self.points.get(&index).copied()
+    }
+
+    /// Records the result of trial `index`.
+    ///
+    /// Returns `Ok(true)` for a new point and `Ok(false)` for a bit-identical
+    /// duplicate (idempotent re-delivery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::TrialConflict`] if a different point is already
+    /// recorded for `index`.
+    pub fn insert(&mut self, index: u64, point: TrialPoint) -> Result<bool, FaultError> {
+        match self.points.get(&index) {
+            None => {
+                self.points.insert(index, point);
+                Ok(true)
+            }
+            Some(existing) if existing.same_bits(&point) => Ok(false),
+            Some(_) => Err(FaultError::TrialConflict { index }),
+        }
+    }
+
+    /// Merges every point of `other` into `self`; returns how many points
+    /// were new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::TrialConflict`] on the first disagreeing point;
+    /// points merged before the conflict remain merged.
+    pub fn merge(&mut self, other: &StratumPool) -> Result<usize, FaultError> {
+        let mut added = 0;
+        for (&index, &point) in &other.points {
+            if self.insert(index, point)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Iterates the pool's points in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, TrialPoint)> + '_ {
+        self.points.iter().map(|(&i, &p)| (i, p))
+    }
+
+    /// Iterates the points with index below `limit`, ascending.
+    pub fn iter_below(&self, limit: u64) -> impl Iterator<Item = (u64, TrialPoint)> + '_ {
+        self.points.range(..limit).map(|(&i, &p)| (i, p))
+    }
+
+    /// The accuracies in ascending index order — for a pool whose indexes are
+    /// contiguous from 0 this is exactly the serial campaign's trial order.
+    pub fn accuracies(&self) -> Vec<f32> {
+        self.points.values().map(|p| p.accuracy).collect()
+    }
+
+    /// Total faults injected across the pool's trials.
+    pub fn total_faults(&self) -> u64 {
+        self.points.values().map(|p| p.faults).sum()
     }
 }
 
@@ -353,6 +486,69 @@ mod tests {
         assert_eq!(mean_or_zero(&[]), 0.0);
         assert_eq!(mean_or_zero(&[0.5]), 0.5);
         assert!((mean_or_zero(&[0.25, 0.75]) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn pool_insert_is_idempotent_and_conflicts_are_typed() {
+        let mut pool = StratumPool::new();
+        let p = TrialPoint {
+            accuracy: 0.75,
+            faults: 3,
+        };
+        assert!(pool.insert(4, p).unwrap());
+        assert!(!pool.insert(4, p).unwrap(), "duplicate is a no-op");
+        assert_eq!(pool.len(), 1);
+        let conflicting = TrialPoint {
+            accuracy: 0.5,
+            faults: 3,
+        };
+        assert!(matches!(
+            pool.insert(4, conflicting),
+            Err(FaultError::TrialConflict { index: 4 })
+        ));
+        assert_eq!(pool.get(4), Some(p), "conflict leaves the pool untouched");
+    }
+
+    #[test]
+    fn pool_point_identity_is_bitwise() {
+        let zero = TrialPoint {
+            accuracy: 0.0,
+            faults: 0,
+        };
+        let neg_zero = TrialPoint {
+            accuracy: -0.0,
+            faults: 0,
+        };
+        assert!(
+            !zero.same_bits(&neg_zero),
+            "-0.0 is a different trial result"
+        );
+        let nan = TrialPoint {
+            accuracy: f32::NAN,
+            faults: 0,
+        };
+        assert!(nan.same_bits(&nan), "identical NaN payloads compare equal");
+    }
+
+    #[test]
+    fn pool_range_queries_and_ordering() {
+        let mut pool = StratumPool::new();
+        for index in [2u64, 0, 1, 5] {
+            pool.insert(
+                index,
+                TrialPoint {
+                    accuracy: index as f32 / 10.0,
+                    faults: index,
+                },
+            )
+            .unwrap();
+        }
+        assert!(pool.contains_range(0, 3));
+        assert!(!pool.contains_range(0, 4), "index 3 is missing");
+        assert_eq!(pool.accuracies(), vec![0.0, 0.1, 0.2, 0.5]);
+        assert_eq!(pool.total_faults(), 8);
+        let below: Vec<u64> = pool.iter_below(2).map(|(i, _)| i).collect();
+        assert_eq!(below, vec![0, 1]);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Property tests for pooled-statistics merging — the algebra that makes
+//! distributed and resumable campaigns sound.
+//!
+//! The distributed coordinator merges work-unit results in whatever order
+//! workers deliver them, possibly duplicated by lease re-dispatch, possibly
+//! split across checkpoint/resume boundaries. All of that is only correct
+//! because [`StratumPool`] merging is a commutative, associative monoid with
+//! the empty pool as identity and bit-identical duplicates as no-ops:
+//!
+//! * **order independence** — any permutation of unit deliveries yields the
+//!   same pool,
+//! * **associativity** — merging `(a ∪ b) ∪ c` equals `a ∪ (b ∪ c)`,
+//! * **identity** — a zero-trial unit (empty pool) merges as a no-op in
+//!   either position,
+//! * **idempotence** — re-merging an already-merged fragment adds nothing,
+//! * **conflict safety** — disagreeing duplicates are a typed
+//!   [`FaultError::TrialConflict`], never a silent overwrite.
+
+use fitact_faults::{FaultError, StratumPool, TrialPoint};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Expands a seed into a fragment of trial results with distinct indices —
+/// arbitrary `f32` bit patterns included (NaNs, infinities, -0.0), because
+/// the pool must treat accuracies as opaque bit patterns.
+fn gen_fragment(seed: u64, max_points: usize) -> Vec<(u64, TrialPoint)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let count = rng.gen_range(0..=max_points);
+    let mut points = std::collections::BTreeMap::new();
+    while points.len() < count {
+        points.insert(
+            rng.gen_range(0u64..512),
+            TrialPoint {
+                accuracy: f32::from_bits(rng.gen::<u32>()),
+                faults: rng.gen_range(0u64..64),
+            },
+        );
+    }
+    points.into_iter().collect()
+}
+
+/// Bitwise pool equality: same indexes, bit-identical points. `PartialEq`
+/// is not enough here because a NaN accuracy is the same trial by bits but
+/// unequal to itself under `==`.
+fn same_pool(a: &StratumPool, b: &StratumPool) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((ia, pa), (ib, pb))| ia == ib && pa.same_bits(&pb))
+}
+
+fn pool_of(points: &[(u64, TrialPoint)]) -> StratumPool {
+    let mut pool = StratumPool::new();
+    for &(index, point) in points {
+        // Indexes within one fragment are distinct by construction, so the
+        // inserts cannot conflict.
+        pool.insert(index, point)
+            .expect("no conflicts by construction");
+    }
+    pool
+}
+
+proptest! {
+    /// Merging the same set of points in any delivery order produces the
+    /// same pool — the coordinator may receive units in any interleaving.
+    #[test]
+    fn merging_is_order_independent(
+        fragment_seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let points = gen_fragment(fragment_seed, 24);
+        let forward = pool_of(&points);
+
+        let mut shuffled = points.clone();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let permuted = pool_of(&shuffled);
+
+        prop_assert!(same_pool(&forward, &permuted));
+    }
+
+    /// Merging fragments is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c). Indexes
+    /// are made disjoint by stride so every merge succeeds.
+    #[test]
+    fn merging_is_associative(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        seed_c in any::<u64>(),
+    ) {
+        let strided = |seed: u64, lane: u64| -> StratumPool {
+            let points: Vec<_> = gen_fragment(seed, 12)
+                .into_iter()
+                .map(|(i, p)| (i * 3 + lane, p))
+                .collect();
+            pool_of(&points)
+        };
+        let (pa, pb, pc) = (strided(seed_a, 0), strided(seed_b, 1), strided(seed_c, 2));
+
+        let mut left = pa.clone();
+        left.merge(&pb).unwrap();
+        left.merge(&pc).unwrap();
+
+        let mut bc = pb.clone();
+        bc.merge(&pc).unwrap();
+        let mut right = pa;
+        right.merge(&bc).unwrap();
+
+        prop_assert!(same_pool(&left, &right));
+    }
+
+    /// The empty pool (a zero-trial work unit) is the identity in both
+    /// positions, and merging reports exactly the fresh-point count.
+    #[test]
+    fn empty_pool_is_the_identity(fragment_seed in any::<u64>()) {
+        let pool = pool_of(&gen_fragment(fragment_seed, 24));
+
+        let mut left = StratumPool::new();
+        prop_assert_eq!(left.merge(&pool).unwrap(), pool.len());
+        prop_assert!(same_pool(&left, &pool));
+
+        let mut right = pool.clone();
+        prop_assert_eq!(right.merge(&StratumPool::new()).unwrap(), 0);
+        prop_assert!(same_pool(&right, &pool));
+    }
+
+    /// Re-merging an already-merged fragment (a duplicated unit completion)
+    /// adds zero points and changes nothing.
+    #[test]
+    fn remerging_a_fragment_is_idempotent(
+        fragment_seed in any::<u64>(),
+        split in 0usize..25,
+    ) {
+        let points = gen_fragment(fragment_seed, 24);
+        let pool = pool_of(&points);
+        let fragment = pool_of(&points[..split.min(points.len())]);
+
+        let mut merged = pool.clone();
+        prop_assert_eq!(merged.merge(&fragment).unwrap(), 0);
+        prop_assert!(same_pool(&merged, &pool));
+    }
+
+    /// A fragment disagreeing about a recorded trial is a typed conflict
+    /// naming the trial, and bit-equality is what decides: flipping any
+    /// accuracy bit or changing the fault count conflicts, while the exact
+    /// duplicate stays an idempotent no-op.
+    #[test]
+    fn disagreeing_duplicates_conflict(
+        fragment_seed in any::<u64>(),
+        victim in 0usize..24,
+        flip_bit in 0u32..32,
+    ) {
+        let points = gen_fragment(fragment_seed, 24);
+        prop_assume!(!points.is_empty());
+        let (index, original) = points[victim % points.len()];
+        let mut pool = pool_of(&points);
+
+        let twisted = TrialPoint {
+            accuracy: f32::from_bits(original.accuracy.to_bits() ^ (1 << flip_bit)),
+            faults: original.faults,
+        };
+        match pool.insert(index, twisted) {
+            Err(FaultError::TrialConflict { index: named }) => {
+                prop_assert_eq!(named, index);
+            }
+            other => prop_assert!(false, "expected TrialConflict, got {:?}", other),
+        }
+
+        let more_faults = TrialPoint { faults: original.faults + 1, ..original };
+        prop_assert!(pool.insert(index, more_faults).is_err());
+
+        // The failed inserts changed nothing, and the exact duplicate is
+        // still an idempotent no-op.
+        prop_assert!(pool.get(index).unwrap().same_bits(&original));
+        prop_assert_eq!(pool.insert(index, original).unwrap(), false);
+    }
+}

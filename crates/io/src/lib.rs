@@ -23,6 +23,9 @@
 //!   atomic-rename deployment contract),
 //! * [`bytes`] — the endian-pinned encoding primitives with typed,
 //!   allocation-guarded decoding errors,
+//! * [`CampaignCheckpoint`] — resumable campaign-state snapshots
+//!   (atomic-rename publication, typed torn-file errors; [`campaign_state`]
+//!   documents the crash-safety contract),
 //! * [`json`] — a minimal JSON parse/emit tree for the machine-readable
 //!   reports the `fitact` CLI exchanges with CI gates,
 //! * [`golden`] — train-once/load-forever artifact caching for tests,
@@ -59,6 +62,7 @@
 
 pub mod artifact;
 pub mod bytes;
+pub mod campaign_state;
 pub mod golden;
 pub mod json;
 pub mod mapped;
@@ -66,6 +70,10 @@ pub mod mapped;
 mod mmap;
 
 pub use artifact::{ModelArtifact, SavedParam, BLOB_ALIGN, FILE_EXTENSION, FORMAT_VERSION, MAGIC};
+pub use campaign_state::{
+    fingerprint_bytes, CampaignCheckpoint, CampaignSpec, CAMPAIGN_SPEC_MAGIC, CAMPAIGN_STATE_MAGIC,
+    CAMPAIGN_STATE_VERSION,
+};
 pub use json::JsonValue;
 pub use mapped::MappedArtifact;
 

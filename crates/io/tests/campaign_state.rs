@@ -1,0 +1,132 @@
+//! Crash-safety pins for campaign checkpoints.
+//!
+//! A campaign can die at any instant — mid-write, mid-rename, or while a
+//! stale temp file lingers next to a good checkpoint. Resume must then either
+//! find a valid checkpoint or fail with a typed [`IoError`] — never panic,
+//! and never decode a silently wrong pool.
+
+use fitact_faults::{BitClass, StatCampaignConfig, StratumPool, StratumSpec, TrialPoint};
+use fitact_io::{CampaignCheckpoint, IoError};
+
+fn sample_checkpoint() -> CampaignCheckpoint {
+    let config = StatCampaignConfig {
+        seed: 42,
+        strata: vec![
+            StratumSpec {
+                label: "lin0/exponent".into(),
+                bit_classes: vec![BitClass::Exponent],
+                path_prefix: Some("0/".into()),
+            },
+            StratumSpec::all(),
+        ],
+        ..Default::default()
+    };
+    let mut pools = vec![StratumPool::new(); config.strata.len()];
+    for (stratum, pool) in pools.iter_mut().enumerate() {
+        for index in 0..5u64 {
+            pool.insert(
+                index,
+                TrialPoint {
+                    accuracy: (stratum as f32 + 1.0) / (index as f32 + 2.0),
+                    faults: index + stratum as u64,
+                },
+            )
+            .unwrap();
+        }
+    }
+    CampaignCheckpoint::new(
+        config,
+        "bitflip",
+        "mlp",
+        0x1234_5678,
+        0.9,
+        pools,
+        vec![3, 7, 9],
+    )
+}
+
+/// A crash can tear the file at ANY byte. Every prefix must decode to a
+/// typed `Truncated` (or `BadMagic` for prefixes inside the magic), and the
+/// full encoding must round-trip — no panics, no silent acceptance.
+#[test]
+fn every_truncation_point_is_a_typed_error() {
+    let ck = sample_checkpoint();
+    let bytes = ck.to_bytes();
+    for cut in 0..bytes.len() {
+        match CampaignCheckpoint::from_bytes(&bytes[..cut]) {
+            Err(IoError::Truncated { needed, remaining }) => {
+                assert!(needed > remaining, "cut {cut}: vacuous truncation error")
+            }
+            Err(IoError::BadMagic) => {
+                assert!(cut < 8, "cut {cut}: BadMagic past the magic prefix")
+            }
+            Err(other) => panic!("cut {cut}: expected Truncated/BadMagic, got {other}"),
+            Ok(_) => panic!("cut {cut}: truncated checkpoint decoded successfully"),
+        }
+    }
+    assert_eq!(CampaignCheckpoint::from_bytes(&bytes).unwrap(), ck);
+}
+
+/// Single-byte corruption anywhere must never panic; it either surfaces a
+/// typed error or decodes to a *different* value a resuming campaign will
+/// reject through `validate_against` / pool-shape validation. (Flips inside
+/// pool payload bytes are indistinguishable from legitimate data — those are
+/// caught by the fingerprint/config checks, not the codec.)
+#[test]
+fn bit_flips_never_panic() {
+    let ck = sample_checkpoint();
+    let bytes = ck.to_bytes();
+    for pos in 0..bytes.len() {
+        let mut dented = bytes.clone();
+        dented[pos] ^= 0x80;
+        let _ = CampaignCheckpoint::from_bytes(&dented);
+    }
+}
+
+#[test]
+fn save_replaces_previous_checkpoint_atomically() {
+    let dir = std::env::temp_dir().join(format!("fitact_ckpt_atomic_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("campaign.ckpt");
+
+    let mut first = sample_checkpoint();
+    first.save(&path).unwrap();
+    // Second save over the same path: readers must see old-or-new, and after
+    // the call returns, exactly the new state.
+    first.completed_units.push(11);
+    first.save(&path).unwrap();
+    assert_eq!(CampaignCheckpoint::load(&path).unwrap(), first);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash between temp-write and rename leaves a torn temp file next to a
+/// good checkpoint. Resume reads the real path (fine) and decoding the torn
+/// temp itself is a typed error, not a panic.
+#[test]
+fn torn_temp_file_mid_rename_is_recoverable() {
+    let dir = std::env::temp_dir().join(format!("fitact_ckpt_torn_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("campaign.ckpt");
+
+    let ck = sample_checkpoint();
+    ck.save(&path).unwrap();
+
+    // Simulate the crashed writer: a half-written temp sibling.
+    let bytes = ck.to_bytes();
+    let torn = dir.join(".campaign.ckpt.99999.tmp");
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+
+    assert_eq!(CampaignCheckpoint::load(&path).unwrap(), ck);
+    assert!(matches!(
+        CampaignCheckpoint::load(&torn),
+        Err(IoError::Truncated { .. })
+    ));
+    // Missing checkpoint (first run) is a typed Io error, not a panic.
+    assert!(matches!(
+        CampaignCheckpoint::load(&dir.join("absent.ckpt")),
+        Err(IoError::Io(_))
+    ));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

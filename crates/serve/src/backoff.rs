@@ -1,0 +1,134 @@
+//! Exponential backoff with jitter for worker-side retries.
+//!
+//! Campaign workers retry every coordinator interaction — spec fetch, unit
+//! fetch, result report — through one [`Backoff`] policy: the raw delay
+//! doubles per consecutive failure up to a cap, and the actual delay is
+//! jittered uniformly over the upper half of the raw window (`raw/2 ..= raw`)
+//! so a fleet of workers restarted together does not hammer a recovering
+//! coordinator in lockstep. The jitter stream is a seeded per-worker
+//! [`StdRng`], which keeps every delay decision reproducible under test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic exponential-backoff-with-jitter policy.
+#[derive(Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// Creates a policy: the first delay is drawn from `base_ms/2 ..= base_ms`,
+    /// doubling per failure up to `cap_ms`. `seed` pins the jitter stream
+    /// (derive it from the worker id so workers decorrelate).
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(base_ms.max(1)),
+            attempt: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Consecutive failures recorded since the last [`Backoff::reset`].
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The un-jittered delay for the current attempt: `base · 2^attempt`,
+    /// saturating at the cap.
+    pub fn raw_delay_ms(&self) -> u64 {
+        let doubled = if self.attempt >= 63 {
+            u64::MAX
+        } else {
+            self.base_ms.saturating_mul(1u64 << self.attempt)
+        };
+        doubled.min(self.cap_ms)
+    }
+
+    /// Records a failure and returns the jittered delay to sleep before the
+    /// next try: uniform over `raw/2 ..= raw`.
+    pub fn next_delay_ms(&mut self) -> u64 {
+        let raw = self.raw_delay_ms();
+        self.attempt = self.attempt.saturating_add(1);
+        let half = raw / 2;
+        half + self.rng.gen_range(0..=raw - half)
+    }
+
+    /// Records a success: the next failure starts back at the base delay.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_delay_doubles_then_caps() {
+        let mut b = Backoff::new(100, 1500, 0);
+        let mut raws = Vec::new();
+        for _ in 0..8 {
+            raws.push(b.raw_delay_ms());
+            b.next_delay_ms();
+        }
+        assert_eq!(raws, vec![100, 200, 400, 800, 1500, 1500, 1500, 1500]);
+    }
+
+    #[test]
+    fn jitter_stays_in_the_upper_half_window() {
+        let mut b = Backoff::new(64, 4096, 7);
+        for _ in 0..64 {
+            let raw = b.raw_delay_ms();
+            let delay = b.next_delay_ms();
+            assert!(
+                delay >= raw / 2 && delay <= raw,
+                "delay {delay} outside [{}, {raw}]",
+                raw / 2
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_jitter_is_deterministic_and_per_worker_decorrelated() {
+        let sequence = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::new(100, 10_000, seed);
+            (0..6).map(|_| b.next_delay_ms()).collect()
+        };
+        assert_eq!(sequence(3), sequence(3));
+        assert_ne!(sequence(3), sequence(4));
+    }
+
+    #[test]
+    fn reset_returns_to_the_base_delay() {
+        let mut b = Backoff::new(50, 6400, 1);
+        for _ in 0..5 {
+            b.next_delay_ms();
+        }
+        assert_eq!(b.attempt(), 5);
+        assert_eq!(b.raw_delay_ms(), 1600);
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        assert_eq!(b.raw_delay_ms(), 50);
+        let delay = b.next_delay_ms();
+        assert!((25..=50).contains(&delay));
+    }
+
+    #[test]
+    fn extreme_attempts_saturate_instead_of_overflowing() {
+        let mut b = Backoff::new(u64::MAX / 2, u64::MAX, 0);
+        for _ in 0..70 {
+            let delay = b.next_delay_ms();
+            assert!(delay >= u64::MAX / 4);
+        }
+        assert_eq!(b.raw_delay_ms(), u64::MAX);
+
+        // Degenerate configuration is clamped, not divide-by-zero.
+        let mut zero = Backoff::new(0, 0, 0);
+        assert!(zero.next_delay_ms() <= 1);
+    }
+}

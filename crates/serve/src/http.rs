@@ -290,6 +290,163 @@ pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::
     stream.flush()
 }
 
+/// Encodes a binary (`application/octet-stream`) response head + body —
+/// the framing the coordinator uses for model-artifact and campaign-spec
+/// payloads. Always `Connection: close`.
+pub fn encode_binary_response(status: u16, body: &[u8]) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/octet-stream\r\n\
+         Content-Length: {len}\r\nConnection: close\r\n\r\n",
+        reason = reason_phrase(status),
+        len = body.len(),
+    );
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Header name/value pairs in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Case-insensitive header lookup, allocation-free.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Encodes a request head + body for a `Connection: close` exchange — the
+/// client half of this codec, used by campaign workers talking to the
+/// coordinator.
+pub fn encode_request(method: &str, target: &str, body: &[u8]) -> Vec<u8> {
+    let head = if body.is_empty() {
+        format!("{method} {target} HTTP/1.1\r\nConnection: close\r\n\r\n")
+    } else {
+        format!(
+            "{method} {target} HTTP/1.1\r\nContent-Type: application/json\r\n\
+             Content-Length: {len}\r\nConnection: close\r\n\r\n",
+            len = body.len(),
+        )
+    };
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Reads one response from a blocking stream. The body is framed by
+/// `Content-Length` when present, otherwise by EOF; either way it is
+/// bounded by `max_body`.
+///
+/// # Errors
+///
+/// Returns a human-readable description for malformed framing, oversized
+/// heads or bodies, and stream I/O failures (including read timeouts).
+pub fn read_response(stream: &mut impl Read, max_body: usize) -> Result<Response, String> {
+    // Accumulate until the head terminator, bounded like the server side.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let mut scan_from = 0usize;
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf, scan_from) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(format!("response head exceeds {MAX_HEAD_BYTES} bytes"));
+        }
+        scan_from = buf.len().saturating_sub(3);
+        let want = (MAX_HEAD_BYTES - buf.len()).min(chunk.len());
+        let n = stream
+            .read(&mut chunk[..want])
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-response head".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 response head")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let mut parts = status_line.split(' ');
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol `{version}`"));
+    }
+    let status: u16 = parts
+        .next()
+        .ok_or("missing status code")?
+        .parse()
+        .map_err(|_| "non-numeric status code".to_owned())?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header line `{line}`"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let mut response = Response {
+        status,
+        headers,
+        body: buf[head_end + 4..].to_vec(),
+    };
+
+    let content_length = match response.header("content-length") {
+        None => None,
+        Some(text) => Some(
+            text.parse::<usize>()
+                .map_err(|_| format!("invalid Content-Length `{text}`"))?,
+        ),
+    };
+    if let Some(total) = content_length {
+        if total > max_body {
+            return Err(format!(
+                "response body of {total} bytes exceeds the {max_body}-byte limit"
+            ));
+        }
+        while response.body.len() < total {
+            let want = (total - response.body.len()).min(chunk.len());
+            let n = stream
+                .read(&mut chunk[..want])
+                .map_err(|e| format!("read: {e}"))?;
+            if n == 0 {
+                return Err("connection closed mid-response body".into());
+            }
+            response.body.extend_from_slice(&chunk[..n]);
+        }
+        response.body.truncate(total);
+    } else {
+        // EOF-framed: drain to close, bounded.
+        loop {
+            if response.body.len() > max_body {
+                return Err(format!("response body exceeds the {max_body}-byte limit"));
+            }
+            let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            response.body.extend_from_slice(&chunk[..n]);
+        }
+        if response.body.len() > max_body {
+            return Err(format!("response body exceeds the {max_body}-byte limit"));
+        }
+    }
+    Ok(response)
+}
+
 /// The standard reason phrase for the status codes the server emits.
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
@@ -298,6 +455,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
@@ -495,9 +653,67 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_the_emitted_statuses() {
-        for status in [200, 400, 404, 405, 408, 413, 429, 431, 500, 503] {
+        for status in [200, 400, 404, 405, 408, 409, 413, 429, 431, 500, 503] {
             assert_ne!(reason_phrase(status), "Unknown", "{status}");
         }
         assert_eq!(reason_phrase(418), "Unknown");
+    }
+
+    /// The client half round-trips through the server half: an encoded
+    /// request parses, an encoded response reads back.
+    #[test]
+    fn client_and_server_codecs_round_trip() {
+        let raw = encode_request("POST", "/campaign/result", b"{\"id\":3}");
+        let req = read_request(&mut &raw[..], 1024).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/campaign/result");
+        assert_eq!(req.body, b"{\"id\":3}");
+        assert!(!req.wants_keep_alive());
+
+        let raw = encode_request("GET", "/campaign/unit?worker=w0", b"");
+        let req = read_request(&mut &raw[..], 1024).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.header("content-length").is_none());
+
+        let raw = encode_response(200, "{\"ok\":true}", false, None);
+        let resp = read_response(&mut &raw[..], 1024).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body, b"{\"ok\":true}");
+
+        let payload: Vec<u8> = (0..=255).collect();
+        let raw = encode_binary_response(200, &payload);
+        let resp = read_response(&mut &raw[..], 1024).unwrap();
+        assert_eq!(resp.body, payload);
+        assert_eq!(
+            resp.header("content-type"),
+            Some("application/octet-stream")
+        );
+    }
+
+    #[test]
+    fn read_response_handles_eof_framing_and_bounds() {
+        // No Content-Length: body framed by EOF.
+        let raw = b"HTTP/1.1 200 OK\r\n\r\nhello";
+        let resp = read_response(&mut &raw[..], 1024).unwrap();
+        assert_eq!(resp.body, b"hello");
+
+        // Oversized declared body rejected before reading it.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 99999\r\n\r\n";
+        assert!(read_response(&mut &raw[..], 1024)
+            .unwrap_err()
+            .contains("exceeds"));
+
+        // Truncated body is an error, not a short read.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_response(&mut &raw[..], 1024)
+            .unwrap_err()
+            .contains("mid-response"));
+
+        // Malformed status lines are errors.
+        for raw in [&b"SPDY/3 200 OK\r\n\r\n"[..], b"HTTP/1.1 abc OK\r\n\r\n"] {
+            assert!(read_response(&mut &raw[..], 1024).is_err(), "{raw:?}");
+        }
     }
 }

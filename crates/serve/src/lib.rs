@@ -40,6 +40,15 @@
 //! `--canary-rate` runs a fault-injected shadow replica over a copy of live
 //! traffic to measure detection coverage (see `docs/recovery.md`).
 //!
+//! The same HTTP substrate also carries the **distributed fault campaign**:
+//! a [`Coordinator`] shards a campaign's trial space into leased work units
+//! served at `/campaign/spec`, `/campaign/model`, `/campaign/unit`,
+//! `/campaign/result` and `/campaign/status`, and workers
+//! ([`run_worker`]) pull, execute and report units with exponential-backoff
+//! retries. Leases expire and re-dispatch, duplicates merge idempotently,
+//! and the coordinator checkpoints for crash-safe resume — the final report
+//! stays bit-identical to a single-process run (see `docs/distributed.md`).
+//!
 //! The `fitact serve` CLI subcommand (see `docs/cli.md`) wraps
 //! [`Server::start`]; tests drive the same API in-process:
 //!
@@ -57,21 +66,29 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod batcher;
+pub mod coordinator;
 pub mod http;
 pub mod metrics;
 #[cfg(unix)]
 mod poller;
+pub mod protocol;
 pub mod recovery;
 pub mod server;
+pub mod worker;
 
+pub use backoff::Backoff;
 pub use batcher::{BatchQueue, PendingRow, PushRejected, RowOutput, RowResult};
+pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use metrics::{
     CanarySnapshot, ConnectionsSnapshot, LatencyPercentiles, LayerViolations, Metrics,
     MetricsSnapshot, RecoverySnapshot,
 };
+pub use protocol::{Grant, UnitResult, WorkUnit};
 pub use recovery::RetryPolicy;
 pub use server::{ServeConfig, Server};
+pub use worker::{run_worker, run_worker_until, WorkerConfig, WorkerSummary};
 
 use std::error::Error;
 use std::fmt;
@@ -86,6 +103,9 @@ pub enum ServeError {
     /// The server configuration is unusable (zero workers, empty input
     /// shape, uninferable input shape, …).
     InvalidConfig(String),
+    /// A distributed campaign aborted: determinism conflict, incompatible
+    /// coordinator, exhausted retry budget or lost checkpointability.
+    Campaign(String),
 }
 
 impl fmt::Display for ServeError {
@@ -94,6 +114,7 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "I/O error: {e}"),
             ServeError::Artifact(e) => write!(f, "model artifact error: {e}"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
+            ServeError::Campaign(msg) => write!(f, "distributed campaign failed: {msg}"),
         }
     }
 }
@@ -103,7 +124,7 @@ impl Error for ServeError {
         match self {
             ServeError::Io(e) => Some(e),
             ServeError::Artifact(e) => Some(e),
-            ServeError::InvalidConfig(_) => None,
+            ServeError::InvalidConfig(_) | ServeError::Campaign(_) => None,
         }
     }
 }
@@ -135,5 +156,9 @@ mod tests {
         let config = ServeError::InvalidConfig("bad".into());
         assert!(config.to_string().contains("bad"));
         assert!(Error::source(&config).is_none());
+        let campaign = ServeError::Campaign("lease lost".into());
+        assert!(campaign.to_string().contains("distributed campaign"));
+        assert!(campaign.to_string().contains("lease lost"));
+        assert!(Error::source(&campaign).is_none());
     }
 }

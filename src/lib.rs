@@ -10,10 +10,13 @@
 //! * [`fitact_faults`] — bit-flip fault injection and campaign running,
 //! * [`fitact`] — the paper's contribution: FitReLU and the FitAct workflow,
 //! * [`fitact_io`] — versioned on-disk model artifacts (and the `fitact` CLI
-//!   in `crates/cli` that composes pipelines out of them).
+//!   in `crates/cli` that composes pipelines out of them),
+//! * [`fitact_serve`] — the HTTP serving tier: micro-batched inference and
+//!   the distributed campaign coordinator/worker protocol.
 pub use fitact;
 pub use fitact_data;
 pub use fitact_faults;
 pub use fitact_io;
 pub use fitact_nn;
+pub use fitact_serve;
 pub use fitact_tensor;
