@@ -20,6 +20,11 @@
 //! boots the real server and drives 1 / 64 / 512 concurrent keep-alive
 //! connections through the event-driven transport, asserting every request
 //! is served without error (the acceptance bar for the connection layer).
+//! A third case, `precision_f16`, forwards a wide MLP whose weights dwarf
+//! the cache — the bandwidth-bound regime — at the server's batch-32
+//! coalescing ceiling in f32 and in native f16, recording rows/sec for
+//! each; the acceptance bar for the reduced-precision path is ≥ 1.5× f16
+//! over f32 (half the streamed weight bytes).
 //! Run with `cargo bench -- --test` for the CI smoke mode (one untimed pass
 //! per case, JSON still emitted and flagged as a smoke run).
 
@@ -29,7 +34,7 @@ use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
 use fitact_nn::{copy_batch_into, Mode, Network};
 use fitact_serve::{ServeConfig, Server};
 use fitact_tensor::matmul::serial_scope;
-use fitact_tensor::{init, Tensor};
+use fitact_tensor::{init, Precision, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -166,6 +171,99 @@ fn emit_serve_json(smoke: bool) -> String {
     json
 }
 
+/// The bandwidth-bound precision case: a wide MLP whose ~100 MB of f32
+/// weights (50 MB as f16) are streamed from memory every forward, timed at
+/// the batch-32 coalescing ceiling in f32 and in native f16 words. With
+/// the weight stream the bottleneck, halving the bytes is the win the
+/// reduced-precision path exists for; the returned `precision_f16` JSON
+/// object records rows/sec for both element types and their ratio.
+fn emit_precision_json(smoke: bool) -> String {
+    const INPUT: usize = 2048;
+    const HIDDEN: usize = 4096;
+    const BATCH: usize = 32;
+    const ROWS: usize = 64;
+    let wide_mlp = || {
+        let mut rng = StdRng::seed_from_u64(99);
+        Network::new(
+            "wide-mlp",
+            Sequential::new()
+                .with(Box::new(Linear::new(INPUT, HIDDEN, &mut rng)))
+                .with(Box::new(ActivationLayer::relu("h1", &[HIDDEN])))
+                .with(Box::new(Linear::new(HIDDEN, HIDDEN, &mut rng)))
+                .with(Box::new(ActivationLayer::relu("h2", &[HIDDEN])))
+                .with(Box::new(Linear::new(HIDDEN, 10, &mut rng))),
+        )
+    };
+    let inputs = {
+        let mut rng = StdRng::seed_from_u64(98);
+        init::uniform(&[ROWS, INPUT], -1.0, 1.0, &mut rng)
+    };
+    let reps = if smoke { 1 } else { 5 };
+    let time_net = |net: &mut Network| -> f64 {
+        let mut staging = Tensor::default();
+        serial_scope(|| {
+            let mut all_rows = || {
+                let mut out = Vec::with_capacity(ROWS * 10);
+                let mut start = 0;
+                while start < ROWS {
+                    let end = (start + BATCH).min(ROWS);
+                    copy_batch_into(&inputs, start, end, &mut staging).expect("slice");
+                    let logits = net.forward(&staging, Mode::Eval).expect("forward");
+                    out.extend_from_slice(logits.as_slice());
+                    start = end;
+                }
+                out
+            };
+            let rows = all_rows(); // warm-up
+            let mut seconds = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let start = Instant::now();
+                let timed = all_rows();
+                seconds.push(start.elapsed().as_secs_f64());
+                assert_eq!(timed, rows, "forward passes are deterministic");
+            }
+            seconds.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+            seconds[seconds.len() / 2]
+        })
+    };
+    // Timed sequentially, each network dropped before the next is built, so
+    // the ~150 MB of weights never resides twice.
+    let f32_s = time_net(&mut wide_mlp());
+    let f16_s = {
+        let mut net = wide_mlp();
+        net.quantize_to(Precision::F16);
+        assert_eq!(net.precision(), Precision::F16);
+        time_net(&mut net)
+    };
+    let rows_per_s = |s: f64| ROWS as f64 / s.max(1e-12);
+    let speedup = f32_s / f16_s.max(1e-12);
+    println!(
+        "serve_throughput: bandwidth-bound batch-{BATCH} f32 {f32:.0} rows/s, f16 {f16:.0} rows/s ({speedup:.2}x)",
+        f32 = rows_per_s(f32_s),
+        f16 = rows_per_s(f16_s),
+    );
+    format!(
+        concat!(
+            "  \"precision_f16\": {{\n",
+            "    \"case\": \"f16_vs_f32_bandwidth_bound_batch32\",\n",
+            "    \"network\": \"wide-mlp ({input}-{hidden}-{hidden}-10)\",\n",
+            "    \"batch\": {batch},\n",
+            "    \"eval_samples\": {rows},\n",
+            "    \"f32_rows_per_s\": {f32:.1},\n",
+            "    \"f16_rows_per_s\": {f16:.1},\n",
+            "    \"f16_speedup\": {speedup:.3}\n",
+            "  }}"
+        ),
+        input = INPUT,
+        hidden = HIDDEN,
+        batch = BATCH,
+        rows = ROWS,
+        f32 = rows_per_s(f32_s),
+        f16 = rows_per_s(f16_s),
+        speedup = speedup,
+    )
+}
+
 /// One keep-alive client: `requests` predicts on a single connection,
 /// panicking on any non-200 or framing error. Returns the rows served.
 fn keepalive_client(addr: SocketAddr, requests: usize) -> usize {
@@ -299,9 +397,10 @@ fn main() {
     let mut criterion = Criterion::default();
     bench_serve(&mut criterion);
     let micro_batching = emit_serve_json(smoke);
+    let precision = emit_precision_json(smoke);
     let connection_scaling = emit_connection_scaling_json(smoke);
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"smoke\": {smoke},\n{micro_batching},\n{connection_scaling}\n}}\n"
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"smoke\": {smoke},\n{micro_batching},\n{precision},\n{connection_scaling}\n}}\n"
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

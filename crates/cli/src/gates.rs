@@ -4,9 +4,12 @@
 //!   committed golden report: fault-free accuracy must match **exactly**
 //!   (the pipeline is bit-deterministic), while SDC rates — Monte-Carlo
 //!   estimates — must agree up to **confidence-interval overlap**.
-//! * [`bench_gate`] — compares the checkpoint-engine speedup recorded in
-//!   `BENCH_campaign.json` against a committed baseline and fails on a
-//!   relative regression beyond the configured budget.
+//! * [`bench_gate`] — compares a bench JSON's recorded speedup (the
+//!   checkpoint engine in `BENCH_campaign.json`, the f16 kernel in
+//!   `BENCH_matmul.json`) against a committed baseline and fails on a
+//!   relative regression beyond the configured budget. `--case NAME`
+//!   selects a named sub-object, so one baseline file carries every gated
+//!   case.
 //!
 //! Both gates print a JSON verdict and signal failure through
 //! [`crate::CliError::Gate`], which the driver maps to exit code 1 (reserving
@@ -54,7 +57,7 @@ pub const DIFF_REPORT_FLAGS: &[&str] = &["report", "golden", "accuracy-tolerance
 
 /// The flags `fitact bench-gate` accepts (pinned against
 /// `help::BENCH_GATE`).
-pub const BENCH_GATE_FLAGS: &[&str] = &["current", "baseline", "max-regression"];
+pub const BENCH_GATE_FLAGS: &[&str] = &["current", "baseline", "max-regression", "case"];
 
 /// `fitact diff-report`: gate a campaign report against a golden report.
 pub fn diff_report(raw: &[String]) -> Result<JsonValue, CliError> {
@@ -138,12 +141,22 @@ pub fn bench_gate(raw: &[String]) -> Result<JsonValue, CliError> {
     if !(0.0..1.0).contains(&max_regression) {
         return Err(CliError::Usage("--max-regression must be in [0, 1)".into()));
     }
-    let current = read_json(current_path)?;
-    let baseline = read_json(baseline_path)?;
+    let case = args.get("case");
+    let current_doc = read_json(current_path)?;
+    let baseline_doc = read_json(baseline_path)?;
+    // `--case` drills into a named sub-object; a doc that keeps the fields
+    // at top level (every bench JSON does) still gates cleanly because the
+    // lookup falls back to the document itself.
+    let current = case
+        .and_then(|n| current_doc.get(n))
+        .unwrap_or(&current_doc);
+    let baseline = case
+        .and_then(|n| baseline_doc.get(n))
+        .unwrap_or(&baseline_doc);
 
     // Smoke-mode bench output carries no meaningful timing; skip loudly
     // rather than gate on noise.
-    if current.get("smoke").and_then(JsonValue::as_bool) == Some(true) {
+    if current_doc.get("smoke").and_then(JsonValue::as_bool) == Some(true) {
         return Ok(JsonValue::Object(vec![
             ("command".into(), JsonValue::String("bench-gate".into())),
             ("skipped".into(), JsonValue::Bool(true)),
@@ -155,8 +168,8 @@ pub fn bench_gate(raw: &[String]) -> Result<JsonValue, CliError> {
     }
 
     let mut failures: Vec<String> = Vec::new();
-    let got = f64_at(&current, &["speedup"], current_path)?;
-    let want = f64_at(&baseline, &["speedup"], baseline_path)?;
+    let got = f64_at(current, &["speedup"], current_path)?;
+    let want = f64_at(baseline, &["speedup"], baseline_path)?;
     let floor = want * (1.0 - max_regression);
     if got < floor {
         failures.push(format!(
@@ -179,6 +192,11 @@ pub fn bench_gate(raw: &[String]) -> Result<JsonValue, CliError> {
         ("command".into(), JsonValue::String("bench-gate".into())),
         ("current".into(), JsonValue::String(current_path.into())),
         ("baseline".into(), JsonValue::String(baseline_path.into())),
+        (
+            "case".into(),
+            case.map(|c| JsonValue::String(c.into()))
+                .unwrap_or(JsonValue::Null),
+        ),
         ("speedup".into(), JsonValue::Number(got)),
         ("baseline_speedup".into(), JsonValue::Number(want)),
         ("floor".into(), JsonValue::Number(floor)),

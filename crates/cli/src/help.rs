@@ -82,6 +82,8 @@ FLAGS:
     --samples N          post-training samples            [default: artifact's]
     --test-split BOOL    post-train on the held-out split [default: false]
     --seed N             post-training shuffle seed       [default: 0]
+    --precision NAME     f32 | f16 | int8: element type the protected
+                         artifact stores its weights in   [default: f32]
 
 Exit codes: 0 success, 2 usage/runtime error.
 ";
@@ -183,6 +185,9 @@ FLAGS:
                          suspect                          [default: 1]
     --canary-rate F      per-bit fault rate for the fault-injected shadow
                          replica; 0 disables it           [default: 0]
+    --precision NAME     f32 | f16 | int8: require the artifact to store
+                         its weights in this element type; startup and
+                         hot reload fail on a mismatch    [default: any]
 
 ENDPOINTS:
     POST /predict        {\"inputs\": [[...], ...]} or {\"input\": [...]} ->
@@ -230,6 +235,9 @@ FLAGS:
     --current PATH       (required) freshly measured bench JSON
     --baseline PATH      (required) committed baseline JSON
     --max-regression F   allowed relative speedup loss    [default: 0.20]
+    --case NAME          gate the named sub-object (e.g. campaign_throughput,
+                         matmul_f16) so one baseline file carries every
+                         gated case                       [default: top level]
 
 The bench's bit-identity flag must hold and the measured speedup must not
 regress more than --max-regression against the baseline.

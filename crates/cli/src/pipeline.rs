@@ -67,6 +67,7 @@ pub const PROTECT_FLAGS: &[&str] = &[
     "samples",
     "test-split",
     "seed",
+    "precision",
 ];
 
 /// The flags `fitact campaign` accepts (pinned against `help::CAMPAIGN`).
@@ -355,11 +356,25 @@ pub fn protect(raw: &[String]) -> Result<JsonValue, CliError> {
         ]);
     }
 
+    // Quantisation comes last: bound post-training needs f32 gradients, and
+    // the artifact then stores (and every later stage computes in) the
+    // reduced encoding.
+    let precision = match args.get("precision") {
+        None => fitact_tensor::Precision::F32,
+        Some(text) => fitact_tensor::Precision::parse(text).ok_or_else(|| {
+            CliError::from(format!(
+                "flag `--precision`: unknown precision `{text}` (expected f32, f16 or int8)"
+            ))
+        })?,
+    };
+    network.quantize_to(precision);
+
     let mut protected = ModelArtifact::capture_protected(&network, Some(&profile), Some(scheme))
         .map_err(|e| format!("cannot capture the protected network: {e}"))?;
     protected.meta = artifact.meta.clone();
     protected.set_meta(META_STAGE, "protected");
     protected.set_meta("scheme", scheme.name());
+    protected.set_meta("precision", precision.name());
     protected
         .save(out)
         .map_err(|e| format!("cannot save `{out}`: {e}"))?;
@@ -369,6 +384,7 @@ pub fn protect(raw: &[String]) -> Result<JsonValue, CliError> {
         ("model", text(model)),
         ("out", text(out)),
         ("scheme", text(scheme.name())),
+        ("precision", text(precision.name())),
         ("num_parameters", num(protected.num_parameters() as f64)),
         ("post_train", post_train),
     ]))
@@ -712,7 +728,7 @@ pub fn inspect(raw: &[String]) -> Result<JsonValue, CliError> {
         ("command", text("inspect")),
         ("model", text(model)),
         ("name", text(&artifact.name)),
-        ("format_version", num(f64::from(fitact_io::FORMAT_VERSION))),
+        ("format_version", num(f64::from(artifact.format_version()))),
         ("num_parameters", num(artifact.num_parameters() as f64)),
         ("layers", JsonValue::Array(layers)),
         ("params", JsonValue::Array(params)),

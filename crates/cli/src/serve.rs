@@ -30,6 +30,7 @@ pub const SERVE_FLAGS: &[&str] = &[
     "retry-policy",
     "violation-threshold",
     "canary-rate",
+    "precision",
 ];
 
 /// Parses `3x32x32`-style shape syntax.
@@ -88,6 +89,14 @@ pub fn serve(raw: &[String]) -> Result<JsonValue, CliError> {
         },
         violation_threshold: args.parse_or("violation-threshold", defaults.violation_threshold)?,
         canary_rate: args.parse_or("canary-rate", defaults.canary_rate)?,
+        precision: match args.get("precision") {
+            None => None,
+            Some(text) => Some(fitact_tensor::Precision::parse(text).ok_or_else(|| {
+                CliError::from(format!(
+                    "flag `--precision`: unknown precision `{text}` (expected f32, f16 or int8)"
+                ))
+            })?),
+        },
     };
     let server =
         Server::start(model, &config).map_err(|e| format!("cannot serve `{model}`: {e}"))?;
@@ -105,6 +114,13 @@ pub fn serve(raw: &[String]) -> Result<JsonValue, CliError> {
             JsonValue::Number(config.max_wait.as_millis() as f64),
         ),
         ("workers".into(), JsonValue::Number(config.workers as f64)),
+        (
+            "precision".into(),
+            config
+                .precision
+                .map(|p| JsonValue::String(p.name().into()))
+                .unwrap_or(JsonValue::Null),
+        ),
         (
             "retry_policy".into(),
             JsonValue::String(config.retry_policy.as_str().into()),

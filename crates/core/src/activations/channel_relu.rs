@@ -81,9 +81,13 @@ impl Activation for ChannelRelu {
         }
         self.cached_input = Some(input.clone());
         let mut out = input.clone();
-        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
-            let bound = self.bound_of(i % features);
-            *v = if *v > 0.0 && *v <= bound { *v } else { 0.0 };
+        // Each contiguous plane of `H·W` values shares one channel bound, so
+        // the uniform-bound dispatching kernel applies per plane; bit-identical
+        // to the scalar `if x > 0 && x <= bound { x } else { 0 }` in both legs.
+        let bounds = self.bounds.data().as_slice();
+        let channels = bounds.len();
+        for (i, chunk) in out.as_mut_slice().chunks_mut(self.plane).enumerate() {
+            fitact_tensor::simd::bounded_relu_uniform(chunk, bounds[i % channels]);
         }
         Ok(out)
     }

@@ -83,12 +83,11 @@ impl Activation for FitReluNaive {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         let neurons = self.check_input(input)?;
         self.cached_input = Some(input.clone());
-        let bounds = self.bounds.data().as_slice();
+        let bounds = &self.bounds.data().as_slice()[..neurons];
         let mut out = input.clone();
-        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
-            let lambda = bounds[i % neurons];
-            *v = if *v > 0.0 && *v <= lambda { *v } else { 0.0 };
-        }
+        // Dispatching per-neuron kernel; bit-identical to the scalar
+        // `if x > 0 && x <= λ_i { x } else { 0 }` in both legs.
+        fitact_tensor::simd::bounded_relu_per_neuron(out.as_mut_slice(), bounds);
         Ok(out)
     }
 

@@ -62,8 +62,11 @@ impl Activation for GbRelu {
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         self.cached_input = Some(input.clone());
-        let bound = self.bound;
-        Ok(input.map(|x| if x > 0.0 && x <= bound { x } else { 0.0 }))
+        let mut out = input.clone();
+        // Dispatching kernel; bit-identical to the scalar
+        // `if x > 0 && x <= bound { x } else { 0 }` in both legs.
+        fitact_tensor::simd::bounded_relu_uniform(out.as_mut_slice(), self.bound);
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

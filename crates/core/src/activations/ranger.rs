@@ -52,8 +52,11 @@ impl Activation for Ranger {
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         self.cached_input = Some(input.clone());
-        let bound = self.bound;
-        Ok(input.map(|x| x.clamp(0.0, bound)))
+        let mut out = input.clone();
+        // Dispatching kernel; bit-identical to scalar `x.clamp(0.0, bound)`
+        // in both legs (including NaN pass-through).
+        fitact_tensor::simd::clamp_in_place(out.as_mut_slice(), 0.0, self.bound);
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

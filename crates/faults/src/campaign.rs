@@ -26,7 +26,7 @@ use crate::stats::{z_for_confidence, StratumPool, TrialOutcome, TrialPoint, Wils
 use crate::strata::{StratifiedSampler, StratumSpec};
 use crate::FaultError;
 use fitact_nn::metrics::SampleStats;
-use fitact_nn::Network;
+use fitact_nn::{Network, NetworkSnapshot};
 use fitact_tensor::Tensor;
 
 /// Identifies the per-trial RNG stream derivation this build uses.
@@ -789,7 +789,7 @@ impl<'a> Campaign<'a> {
     ) -> Result<CampaignResult, FaultError> {
         config.validate()?;
         let sampler = StratifiedSampler::uniform(&self.map)?;
-        let snapshot = self.network.snapshot();
+        let snapshot = self.network.snapshot_full();
         let (resume, fault_free_accuracy) = self.prepare_baseline(config.batch_size)?;
         let specs: Vec<TrialSpec> = (0..config.trials)
             .map(|index| TrialSpec { stratum: 0, index })
@@ -940,7 +940,7 @@ impl<'a> Campaign<'a> {
         check_model_strata(model, config)?;
         let sampler = StratifiedSampler::new(&self.map, &config.strata)?;
         let z = z_for_confidence(config.confidence);
-        let snapshot = self.network.snapshot();
+        let snapshot = self.network.snapshot_full();
         let (resume_cache, fault_free_accuracy) = self.prepare_baseline(config.batch_size)?;
 
         let num_strata = sampler.num_strata();
@@ -1062,7 +1062,7 @@ pub struct UnitRunner {
     targets: Vec<usize>,
     config: StatCampaignConfig,
     sampler: StratifiedSampler,
-    snapshot: Vec<Tensor>,
+    snapshot: NetworkSnapshot,
     resume: Option<(CheckpointCache, ResumePlan)>,
     fault_free_accuracy: f32,
     workers: Vec<Network>,
@@ -1090,7 +1090,7 @@ impl UnitRunner {
             return Err(FaultError::EmptyMemoryMap);
         }
         let sampler = StratifiedSampler::new(&map, &config.strata)?;
-        let snapshot = network.snapshot();
+        let snapshot = network.snapshot_full();
         let plan = ResumePlan::of_network(&mut network);
         let cache = CheckpointCache::capture(&mut network, &inputs, &targets, config.batch_size)?;
         let fault_free_accuracy = cache.fault_free_accuracy();
@@ -1202,7 +1202,7 @@ fn spawn_worker_networks(network: &Network, threads: usize, max_batch: usize) ->
 fn execute_trials(
     network: &mut Network,
     workers: &mut [Network],
-    snapshot: &[Tensor],
+    snapshot: &NetworkSnapshot,
     inputs: &Tensor,
     targets: &[usize],
     sampler: &StratifiedSampler,
@@ -1290,7 +1290,7 @@ fn execute_trials(
 #[allow(clippy::too_many_arguments)]
 fn run_trials(
     network: &mut Network,
-    snapshot: &[Tensor],
+    snapshot: &NetworkSnapshot,
     inputs: &Tensor,
     targets: &[usize],
     sampler: &StratifiedSampler,
@@ -1342,7 +1342,7 @@ fn run_trials(
             }
         }
         network
-            .restore(snapshot)
+            .restore_full(snapshot)
             .expect("snapshot taken from the same network always restores");
         *outcome = Some(result.map(|accuracy| TrialPoint { accuracy, faults }));
     }

@@ -2,30 +2,98 @@
 
 use crate::map::MemoryMap;
 use crate::stats::sample_binomial;
-use fitact_nn::Network;
-use fitact_tensor::Fixed32;
+use fitact_nn::{Network, Parameter};
+use fitact_tensor::{Fixed32, NativeParam};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// One bit flip: which parameter, which element, which bit of its Q15.16 word.
+/// One bit flip: which parameter, which element, which bit of its stored word.
+///
+/// For f32 parameters the word is the Q15.16 encoding of the value and
+/// `element` indexes the tensor row-major. For native f16 parameters the word
+/// is the IEEE binary16 word itself. For native int8 parameters `element`
+/// addresses the *virtual axis* laid out by [`crate::MemoryMap`]: the `numel`
+/// quantised values first, then the per-channel f32 scales, then the
+/// per-channel zero-points — so scale/zero-point corruption is expressible
+/// with the same site type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultSite {
     /// Index of the parameter in the network's traversal order.
     pub param_index: usize,
-    /// Element index within the parameter tensor (row-major).
+    /// Element index within the parameter's stored words (virtual axis for
+    /// int8 parameters — see the type docs).
     pub element: usize,
-    /// Bit index within the 32-bit word (0 = least significant).
+    /// Bit index within the stored word (0 = least significant).
     pub bit: u32,
+}
+
+/// Width in bits of the stored word at `element`, honouring the parameter's
+/// native encoding (and the int8 virtual axis). `None` if out of range.
+pub(crate) fn word_width(param: &Parameter, element: usize) -> Option<u32> {
+    match param.native() {
+        None => (element < param.numel()).then_some(32),
+        Some(NativeParam::F16(p)) => (element < p.numel()).then_some(16),
+        Some(NativeParam::Int8(p)) => {
+            let (numel, channels) = (p.numel(), p.channels());
+            if element < numel {
+                Some(8) // a quantised value byte
+            } else if element < numel + channels {
+                Some(32) // an IEEE f32 scale word
+            } else if element < numel + 2 * channels {
+                Some(8) // a zero-point byte
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Applies `mutate` to the raw bits of the stored word at `element`,
+/// dispatching on the parameter's native encoding. The closure receives the
+/// current word zero-extended to 32 bits and returns the new word, which is
+/// truncated back to the storage width. Out-of-range elements are ignored.
+pub(crate) fn mutate_word(param: &mut Parameter, element: usize, mutate: impl FnOnce(u32) -> u32) {
+    let Some(native) = param.native_mut() else {
+        if let Some(value) = param.data_mut().as_mut_slice().get_mut(element) {
+            let bits = Fixed32::from_f32(*value).bits();
+            *value = Fixed32::from_bits(mutate(bits)).to_f32();
+        }
+        return;
+    };
+    match native {
+        NativeParam::F16(p) => {
+            if element < p.numel() {
+                let word = &mut p.words_mut()[element];
+                *word = mutate(u32::from(*word)) as u16;
+            }
+        }
+        NativeParam::Int8(p) => {
+            let (numel, channels) = (p.numel(), p.channels());
+            if element < numel {
+                let q = &mut p.q_mut()[element];
+                *q = mutate(*q as u8 as u32) as u8 as i8;
+            } else if element < numel + channels {
+                let scale = &mut p.scales_mut()[element - numel];
+                *scale = f32::from_bits(mutate(scale.to_bits()));
+            } else if element < numel + 2 * channels {
+                let zp = &mut p.zero_points_mut()[element - numel - channels];
+                *zp = mutate(*zp as u8 as u32) as u8 as i8;
+            }
+        }
+    }
 }
 
 /// XOR-flips the given bits of the network's stored parameter words.
 ///
-/// Each targeted scalar is encoded to Q15.16, has the selected bit flipped,
-/// and is decoded back — exactly what a memory bit flip does to a fixed-point
-/// parameter word. Out-of-range elements are ignored. This is the primitive
-/// shared by [`BitFlipInjector`], [`crate::TransientBitFlip`] and
-/// [`crate::MultiBitBurst`].
+/// An f32 parameter scalar is encoded to Q15.16, has the selected bit
+/// flipped, and is decoded back — exactly what a memory bit flip does to a
+/// fixed-point parameter word. Native parameters are corrupted in their own
+/// storage: an f16 site flips a bit of the binary16 word, and an int8 site
+/// flips a bit of the quantised byte, the f32 scale word or the zero-point
+/// byte its virtual-axis element addresses. Out-of-range elements are
+/// ignored. This is the primitive shared by [`BitFlipInjector`],
+/// [`crate::TransientBitFlip`] and [`crate::MultiBitBurst`].
 pub fn apply_bit_flips(network: &mut Network, sites: &[FaultSite]) {
     if sites.is_empty() {
         return;
@@ -41,15 +109,53 @@ pub fn apply_bit_flips(network: &mut Network, sites: &[FaultSite]) {
     let mut index = 0usize;
     network.visit_params_mut(&mut |_, param| {
         if let Some(flips) = by_param.get(&index) {
-            let data = param.data_mut().as_mut_slice();
             for &(element, bit) in flips {
-                if let Some(value) = data.get_mut(element) {
-                    *value = Fixed32::from_f32(*value).with_bit_flipped(bit).to_f32();
+                mutate_word(param, element, |bits| bits ^ (1 << bit));
+            }
+        }
+        index += 1;
+    });
+}
+
+/// Expands each seed site into a burst of `length` adjacent bit flips clamped
+/// at its stored word's boundary, de-duplicates overlapping bursts, applies
+/// the flips and returns how many distinct bits were flipped.
+///
+/// The clamp honours the native word width: a burst seeded in an f16 word
+/// stops at bit 15, one seeded in an int8 byte at bit 7 — a multi-cell upset
+/// cannot reach past the cells that store the word. This is the primitive
+/// behind [`crate::MultiBitBurst`].
+pub fn apply_bit_flip_bursts(network: &mut Network, sites: &[FaultSite], length: u32) -> u64 {
+    if sites.is_empty() {
+        return 0;
+    }
+    let mut by_param: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
+    for site in sites {
+        by_param
+            .entry(site.param_index)
+            .or_default()
+            .push((site.element, site.bit));
+    }
+    let mut flipped = 0u64;
+    let mut index = 0usize;
+    network.visit_params_mut(&mut |_, param| {
+        if let Some(seeds) = by_param.get(&index) {
+            let mut seen: HashSet<(usize, u32)> = HashSet::new();
+            for &(element, seed_bit) in seeds {
+                let Some(width) = word_width(param, element) else {
+                    continue;
+                };
+                for bit in seed_bit..(seed_bit + length).min(width) {
+                    if seen.insert((element, bit)) {
+                        mutate_word(param, element, |bits| bits ^ (1 << bit));
+                        flipped += 1;
+                    }
                 }
             }
         }
         index += 1;
     });
+    flipped
 }
 
 /// Samples fault sites at a per-bit fault rate and applies them to a network.
@@ -303,6 +409,180 @@ mod tests {
         injector.inject_random(&mut net, &map, 1e-2);
         let y = net.forward(&Tensor::zeros(&[2, 4]), Mode::Eval).unwrap();
         assert_eq!(y.dims(), &[2, 2]);
+    }
+
+    fn f16_network() -> Network {
+        let mut net = small_network();
+        net.quantize_to(fitact_tensor::Precision::F16);
+        net
+    }
+
+    fn int8_network() -> Network {
+        let mut net = small_network();
+        net.quantize_to(fitact_tensor::Precision::Int8);
+        net
+    }
+
+    #[test]
+    fn f16_flip_targets_the_native_word_and_double_flip_restores() {
+        let mut net = f16_network();
+        let before: Vec<u16> = match net.params()[0].native() {
+            Some(fitact_tensor::NativeParam::F16(p)) => p.words().to_vec(),
+            other => panic!("expected f16 storage, got {other:?}"),
+        };
+        let site = FaultSite {
+            param_index: 0,
+            element: 3,
+            bit: 15, // the binary16 sign bit
+        };
+        apply_bit_flips(&mut net, &[site]);
+        let after: Vec<u16> = match net.params()[0].native() {
+            Some(fitact_tensor::NativeParam::F16(p)) => p.words().to_vec(),
+            other => panic!("expected f16 storage, got {other:?}"),
+        };
+        assert_eq!(after[3], before[3] ^ 0x8000);
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if i != 3 {
+                assert_eq!(b, a, "word {i} untouched");
+            }
+        }
+        apply_bit_flips(&mut net, &[site]);
+        let restored: Vec<u16> = match net.params()[0].native() {
+            Some(fitact_tensor::NativeParam::F16(p)) => p.words().to_vec(),
+            other => panic!("expected f16 storage, got {other:?}"),
+        };
+        assert_eq!(restored, before, "XOR twice is the identity on raw words");
+    }
+
+    #[test]
+    fn int8_virtual_axis_reaches_values_scales_and_zero_points() {
+        let mut net = int8_network();
+        let (q0, scales0, zps0, numel, channels) = match net.params()[0].native() {
+            Some(fitact_tensor::NativeParam::Int8(p)) => (
+                p.q().to_vec(),
+                p.scales().to_vec(),
+                p.zero_points().to_vec(),
+                p.numel(),
+                p.channels(),
+            ),
+            other => panic!("expected int8 storage, got {other:?}"),
+        };
+        let sites = [
+            // A value byte: bit 7 is its sign bit.
+            FaultSite {
+                param_index: 0,
+                element: 1,
+                bit: 7,
+            },
+            // The channel-0 scale word: flip an exponent bit of the f32.
+            FaultSite {
+                param_index: 0,
+                element: numel,
+                bit: 23,
+            },
+            // The last zero-point byte.
+            FaultSite {
+                param_index: 0,
+                element: numel + 2 * channels - 1,
+                bit: 0,
+            },
+        ];
+        apply_bit_flips(&mut net, &sites);
+        match net.params()[0].native() {
+            Some(fitact_tensor::NativeParam::Int8(p)) => {
+                assert_eq!(p.q()[1], (q0[1] as u8 ^ 0x80) as i8);
+                assert_eq!(p.scales()[0].to_bits(), scales0[0].to_bits() ^ (1 << 23));
+                assert_eq!(
+                    p.zero_points()[channels - 1],
+                    (zps0[channels - 1] as u8 ^ 1) as i8
+                );
+                // Everything not addressed is untouched.
+                assert_eq!(p.q()[0], q0[0]);
+                assert!(p.scales()[1..]
+                    .iter()
+                    .zip(&scales0[1..])
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+            other => panic!("expected int8 storage, got {other:?}"),
+        }
+        // Flipping the same sites again restores every word.
+        apply_bit_flips(&mut net, &sites);
+        match net.params()[0].native() {
+            Some(fitact_tensor::NativeParam::Int8(p)) => {
+                assert_eq!(p.q(), &q0[..]);
+                assert!(p
+                    .scales()
+                    .iter()
+                    .zip(&scales0)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+                assert_eq!(p.zero_points(), &zps0[..]);
+            }
+            other => panic!("expected int8 storage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bursts_clamp_at_the_native_word_boundary() {
+        // A burst of 8 seeded at bit 14 of an f16 word covers bits 14..16,
+        // not 14..22: the upset cannot reach past the 16 cells of the word.
+        let mut net = f16_network();
+        let sites = [FaultSite {
+            param_index: 0,
+            element: 0,
+            bit: 14,
+        }];
+        let flipped = apply_bit_flip_bursts(&mut net, &sites, 8);
+        assert_eq!(flipped, 2);
+        // Int8 value bytes clamp at 8 bits.
+        let mut net = int8_network();
+        let flipped = apply_bit_flip_bursts(
+            &mut net,
+            &[FaultSite {
+                param_index: 0,
+                element: 0,
+                bit: 6,
+            }],
+            8,
+        );
+        assert_eq!(flipped, 2);
+        // An f32 scale word keeps the full 32-bit clamp.
+        let numel = net.params()[0].native().unwrap().numel();
+        let flipped = apply_bit_flip_bursts(
+            &mut net,
+            &[FaultSite {
+                param_index: 0,
+                element: numel,
+                bit: 28,
+            }],
+            8,
+        );
+        assert_eq!(flipped, 4);
+    }
+
+    #[test]
+    fn full_snapshot_restores_native_corruption_bit_exactly() {
+        let mut net = f16_network();
+        let snapshot = net.snapshot_full();
+        let mut injector = BitFlipInjector::new(9);
+        let map = MemoryMap::of_network(&net);
+        let sites = injector.sample_sites(&map, 5e-2);
+        assert!(!sites.is_empty());
+        injector.inject(&mut net, &sites);
+        net.restore_full(&snapshot).unwrap();
+        let words = |n: &Network| -> Vec<u16> {
+            n.params()
+                .iter()
+                .filter_map(|p| match p.native() {
+                    Some(fitact_tensor::NativeParam::F16(f)) => Some(f.words().to_vec()),
+                    _ => None,
+                })
+                .flatten()
+                .collect()
+        };
+        let restored = words(&net);
+        let mut reference = small_network();
+        reference.quantize_to(fitact_tensor::Precision::F16);
+        assert_eq!(restored, words(&reference));
     }
 
     proptest! {

@@ -1,11 +1,21 @@
-//! Fault injection and statistical resilience evaluation for fixed-point DNN
-//! parameter memory.
+//! Fault injection and statistical resilience evaluation for DNN parameter
+//! memory.
 //!
 //! The paper's fault model: model parameters (weights, biases, batch-norm
 //! statistics and activation-function bounds) are stored as 32-bit Q15.16
 //! fixed-point words; random memory faults flip individual bits of those words
 //! uniformly over the whole parameter space, at a configurable per-bit fault
 //! rate between 1e-7 and 3e-5.
+//!
+//! Reduced-precision networks are faulted in their *native* encodings
+//! ([`WordEncoding`]): an f16 parameter exposes 16-bit binary16 words (sign /
+//! 5-bit exponent / 10-bit mantissa classes), and an int8 parameter exposes
+//! its quantised value bytes plus — on the same virtual element axis — its
+//! per-channel f32 scale words and zero-point bytes, so corruption of the
+//! quantisation metadata itself is part of the fault space. Bit-class strata
+//! resolve per encoding, bursts clamp at the native word boundary, and the
+//! campaign determinism contract (bit-identical across thread counts,
+//! checkpoint resume and distributed merge) holds in every precision.
 //!
 //! The crate provides:
 //!
@@ -116,7 +126,7 @@ pub use campaign::{
 };
 pub use checkpoint::{CheckpointCache, ResumePlan};
 pub use injector::{apply_bit_flips, quantize_network, BitFlipInjector, FaultSite};
-pub use map::{MemoryMap, ParamSpan};
+pub use map::{MemoryMap, ParamSpan, WordEncoding};
 pub use model::{
     ActivationBitFlip, CanaryInjector, FaultModel, Injection, MultiBitBurst, StuckAtFaultModel,
     TransientBitFlip, TrialContext,

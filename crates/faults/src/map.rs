@@ -1,18 +1,73 @@
 //! The addressable parameter memory of a network.
 
 use fitact_nn::Network;
+use fitact_tensor::Precision;
 
-/// One parameter tensor's slice of the fault space.
+/// The native storage encoding of a fault-space span's words.
+///
+/// Fault addressing follows the *stored* representation: a span of f16
+/// parameters exposes 16 bits per word, an int8 span 8 bits per value (its
+/// f32 quantisation scales form their own 32-bit span), and f32-stored
+/// parameters keep the Q15.16 campaign grid the paper's fault model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordEncoding {
+    /// Q15.16 fixed point in a 32-bit word (f32-stored parameters on the
+    /// campaign arithmetic grid).
+    Fixed32,
+    /// IEEE 754 binary16 in a 16-bit word (native f16 parameters).
+    F16,
+    /// A two's-complement quantised value or zero-point in an 8-bit word.
+    Int8,
+    /// An IEEE 754 binary32 word (int8 per-channel quantisation scales).
+    Scale32,
+}
+
+impl WordEncoding {
+    /// Number of bits per stored word of this encoding.
+    pub fn bits(self) -> u64 {
+        match self {
+            WordEncoding::Fixed32 | WordEncoding::Scale32 => 32,
+            WordEncoding::F16 => 16,
+            WordEncoding::Int8 => 8,
+        }
+    }
+
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WordEncoding::Fixed32 => "q15.16",
+            WordEncoding::F16 => "f16",
+            WordEncoding::Int8 => "int8",
+            WordEncoding::Scale32 => "f32",
+        }
+    }
+}
+
+/// One contiguous run of same-encoding words in the fault space.
+///
+/// An f32 or f16 parameter contributes exactly one span. A per-channel int8
+/// parameter contributes **three**: its quantised values, its f32 scales and
+/// its i8 zero-points — all sharing the parameter's `param_index`, with
+/// `element_base` mapping span-local elements onto the parameter's virtual
+/// element axis (`[0, numel)` values, `[numel, numel + C)` scales,
+/// `[numel + C, numel + 2C)` zero-points).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParamSpan {
-    /// Slash-separated parameter path (e.g. `"3/weight"`).
+    /// Slash-separated parameter path (e.g. `"3/weight"`); the scale and
+    /// zero-point spans of an int8 parameter append `#scales` /
+    /// `#zero_points`.
     pub path: String,
     /// Index of the parameter in the network's deterministic traversal order.
     pub param_index: usize,
-    /// Number of scalar elements in the parameter.
+    /// Number of stored words in this span.
     pub numel: usize,
-    /// First bit address of this parameter in the flat fault space.
+    /// First bit address of this span in the flat fault space.
     pub bit_offset: u64,
+    /// Native storage encoding of the span's words.
+    pub encoding: WordEncoding,
+    /// Offset this span's local element indices by on the parameter's
+    /// virtual element axis (non-zero only for int8 scale/zero-point spans).
+    pub element_base: usize,
 }
 
 /// The flat bit-addressable memory that stores a network's parameters.
@@ -27,9 +82,6 @@ pub struct MemoryMap {
     spans: Vec<ParamSpan>,
     total_bits: u64,
 }
-
-/// Bits per stored parameter word (Q15.16 fixed point).
-pub const BITS_PER_WORD: u64 = 32;
 
 impl MemoryMap {
     /// Builds the memory map of every parameter in the network.
@@ -46,17 +98,57 @@ impl MemoryMap {
     pub fn of_network_filtered<F: Fn(&str) -> bool>(network: &Network, filter: F) -> Self {
         let mut spans = Vec::new();
         let mut total_bits = 0u64;
+        let mut push = |path: String,
+                        param_index: usize,
+                        numel: usize,
+                        encoding: WordEncoding,
+                        element_base: usize| {
+            spans.push(ParamSpan {
+                path,
+                param_index,
+                numel,
+                bit_offset: total_bits,
+                encoding,
+                element_base,
+            });
+            total_bits += numel as u64 * encoding.bits();
+        };
         for (param_index, info) in network.param_info().into_iter().enumerate() {
             if !filter(&info.path) || info.numel == 0 {
                 continue;
             }
-            spans.push(ParamSpan {
-                path: info.path,
-                param_index,
-                numel: info.numel,
-                bit_offset: total_bits,
-            });
-            total_bits += info.numel as u64 * BITS_PER_WORD;
+            match info.precision {
+                Precision::F32 => {
+                    push(info.path, param_index, info.numel, WordEncoding::Fixed32, 0);
+                }
+                Precision::F16 => {
+                    push(info.path, param_index, info.numel, WordEncoding::F16, 0);
+                }
+                Precision::Int8 => {
+                    let channels = info.channels;
+                    push(
+                        info.path.clone(),
+                        param_index,
+                        info.numel,
+                        WordEncoding::Int8,
+                        0,
+                    );
+                    push(
+                        format!("{}#scales", info.path),
+                        param_index,
+                        channels,
+                        WordEncoding::Scale32,
+                        info.numel,
+                    );
+                    push(
+                        format!("{}#zero_points", info.path),
+                        param_index,
+                        channels,
+                        WordEncoding::Int8,
+                        info.numel + channels,
+                    );
+                }
+            }
         }
         MemoryMap { spans, total_bits }
     }
@@ -66,9 +158,10 @@ impl MemoryMap {
         self.total_bits
     }
 
-    /// Total number of 32-bit words (scalar parameters) in the fault space.
+    /// Total number of stored words (scalar parameters, plus quantisation
+    /// scales and zero-points for int8 spans) in the fault space.
     pub fn total_words(&self) -> u64 {
-        self.total_bits / BITS_PER_WORD
+        self.spans.iter().map(|s| s.numel as u64).sum()
     }
 
     /// The parameter spans making up the map, in traversal order.
@@ -82,6 +175,10 @@ impl MemoryMap {
     }
 
     /// Resolves a flat bit address into `(param_index, element, bit)`.
+    ///
+    /// `element` is on the owning parameter's virtual axis (int8 scales and
+    /// zero-points address past the value elements — see [`ParamSpan`]);
+    /// `bit` is within the span's native word width.
     ///
     /// Returns `None` if the address is outside the map.
     pub fn locate(&self, bit_address: u64) -> Option<(usize, usize, u32)> {
@@ -98,10 +195,11 @@ impl MemoryMap {
         };
         let span = &self.spans[idx];
         let local = bit_address - span.bit_offset;
-        let element = (local / BITS_PER_WORD) as usize;
-        let bit = (local % BITS_PER_WORD) as u32;
+        let bits = span.encoding.bits();
+        let element = (local / bits) as usize;
+        let bit = (local % bits) as u32;
         debug_assert!(element < span.numel);
-        Some((span.param_index, element, bit))
+        Some((span.param_index, span.element_base + element, bit))
     }
 }
 
@@ -184,5 +282,74 @@ mod tests {
         let map = MemoryMap::of_network(&net);
         let paths: Vec<&str> = map.spans().iter().map(|s| s.path.as_str()).collect();
         assert_eq!(paths, vec!["0/weight", "0/bias", "2/weight", "2/bias"]);
+    }
+
+    #[test]
+    fn f16_spans_expose_sixteen_bits_per_word() {
+        let mut net = small_network();
+        net.quantize_to(fitact_tensor::Precision::F16);
+        let map = MemoryMap::of_network(&net);
+        // Matrix weights (6 + 4 words) are f16, biases (2 + 2) stay f32.
+        assert_eq!(map.total_words(), 14);
+        assert_eq!(map.total_bits(), (6 + 4) * 16 + (2 + 2) * 32);
+        let w = &map.spans()[0];
+        assert_eq!(w.encoding, WordEncoding::F16);
+        // The last bit of the f16 weight span is bit 15 of its last element.
+        let last = w.bit_offset + w.numel as u64 * 16 - 1;
+        assert_eq!(map.locate(last), Some((0, w.numel - 1, 15)));
+        assert_eq!(map.spans()[1].encoding, WordEncoding::Fixed32);
+    }
+
+    #[test]
+    fn int8_parameters_expose_value_scale_and_zero_point_spans() {
+        let mut net = small_network();
+        net.quantize_to(fitact_tensor::Precision::Int8);
+        let map = MemoryMap::of_network(&net);
+        // First weight [2, 3]: 6 int8 values, 2 f32 scales, 2 i8 zero-points.
+        let spans: Vec<_> = map.spans().iter().filter(|s| s.param_index == 0).collect();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].path, "0/weight");
+        assert_eq!(
+            (spans[0].numel, spans[0].encoding, spans[0].element_base),
+            (6, WordEncoding::Int8, 0)
+        );
+        assert_eq!(spans[1].path, "0/weight#scales");
+        assert_eq!(
+            (spans[1].numel, spans[1].encoding, spans[1].element_base),
+            (2, WordEncoding::Scale32, 6)
+        );
+        assert_eq!(spans[2].path, "0/weight#zero_points");
+        assert_eq!(
+            (spans[2].numel, spans[2].encoding, spans[2].element_base),
+            (2, WordEncoding::Int8, 8)
+        );
+        // Locate lands on the virtual element axis: the first scale bit is
+        // element 6 (numel) of parameter 0.
+        assert_eq!(map.locate(spans[1].bit_offset), Some((0, 6, 0)));
+        // And the first zero-point is element 8 (numel + channels), bit 0..8.
+        assert_eq!(map.locate(spans[2].bit_offset), Some((0, 8, 0)));
+        assert_eq!(
+            map.total_bits(),
+            (6 * 8 + 2 * 32 + 2 * 8) as u64 // weight 0: q + scales + zps
+                + 2 * 32 // bias 0 stays f32
+                + (4 * 8 + 2 * 32 + 2 * 8) as u64 // weight 2
+                + 2 * 32 // bias 2
+        );
+    }
+
+    #[test]
+    fn word_encoding_widths_and_labels() {
+        assert_eq!(WordEncoding::Fixed32.bits(), 32);
+        assert_eq!(WordEncoding::Scale32.bits(), 32);
+        assert_eq!(WordEncoding::F16.bits(), 16);
+        assert_eq!(WordEncoding::Int8.bits(), 8);
+        for e in [
+            WordEncoding::Fixed32,
+            WordEncoding::F16,
+            WordEncoding::Int8,
+            WordEncoding::Scale32,
+        ] {
+            assert!(!e.label().is_empty());
+        }
     }
 }

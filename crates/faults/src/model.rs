@@ -16,7 +16,7 @@
 //!   values are corrupted as they flow through the network rather than at
 //!   rest in parameter memory.
 
-use crate::injector::{apply_bit_flips, FaultSite};
+use crate::injector::{apply_bit_flip_bursts, apply_bit_flips, FaultSite};
 use crate::stats::sample_addresses;
 use crate::stuck_at::{apply_stuck_at, StuckAtFault, StuckValue};
 use fitact_nn::{Activation, Network, NnError, Parameter};
@@ -76,8 +76,10 @@ impl Injection {
 /// The checkpoint-resumed engine ([`crate::TrialEngine::CheckpointResumed`])
 /// resumes each trial at the earliest layer its faults can affect, so an
 /// injection must only corrupt (a) the parameters addressed by `sites`
-/// (expansion within a site's 32-bit word — e.g. a burst — stays in the same
-/// parameter and is fine) and (b), when [`FaultModel::perturbs_activations`]
+/// (expansion within a site's stored word — e.g. a burst — stays in the same
+/// parameter and is fine; so does int8 scale/zero-point corruption, which the
+/// virtual-axis element keeps inside the sampled parameter) and (b), when
+/// [`FaultModel::perturbs_activations`]
 /// is `true`, activation-slot outputs. A model that mutated parameters
 /// *outside* its sampled sites would make resumed evaluation diverge from a
 /// full forward; all models in this crate satisfy the contract, which the
@@ -132,7 +134,8 @@ impl FaultModel for TransientBitFlip {
 }
 
 /// A multi-cell upset: each sampled site seeds a burst of `length` adjacent
-/// bit flips within the same word (clamped at the word boundary).
+/// bit flips within the same word (clamped at the word boundary — 32 bits for
+/// Q15.16 and f32-scale words, 16 for native f16 words, 8 for int8 bytes).
 ///
 /// Bursts follow physical cell adjacency, not bit-class boundaries: in a
 /// stratified campaign a burst *seeded* in the mantissa stratum may extend
@@ -175,18 +178,7 @@ impl FaultModel for MultiBitBurst {
         _ctx: &TrialContext<'_>,
         _rng: &mut StdRng,
     ) -> Injection {
-        let mut expanded = Vec::with_capacity(sites.len() * self.length as usize);
-        let mut seen = std::collections::HashSet::new();
-        for site in sites {
-            for bit in site.bit..(site.bit + self.length).min(32) {
-                let burst_site = FaultSite { bit, ..*site };
-                if seen.insert(burst_site) {
-                    expanded.push(burst_site);
-                }
-            }
-        }
-        apply_bit_flips(network, &expanded);
-        Injection::immediate(expanded.len() as u64)
+        Injection::immediate(apply_bit_flip_bursts(network, sites, self.length))
     }
 }
 

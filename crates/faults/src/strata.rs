@@ -9,56 +9,98 @@
 //! with far fewer trials than a uniform campaign would need to resolve them.
 
 use crate::injector::FaultSite;
-use crate::map::MemoryMap;
+use crate::map::{MemoryMap, WordEncoding};
 use crate::stats::sample_addresses;
 use crate::FaultError;
 use rand::rngs::StdRng;
 
 /// The resilience class of a bit position within a stored parameter word.
 ///
-/// Parameters are stored as Q15.16 fixed point, so the classes map onto the
-/// word as: **sign** is bit 31, **exponent** covers the integer bits 16–30
-/// (the high-magnitude bits that play the role of a float's exponent field —
-/// flipping one changes the value by ±1 … ±16384), and **mantissa** covers
-/// the fraction bits 0–15 (a flip changes the value by at most ±0.5). The
-/// float-format names are kept because they are the vocabulary of the
-/// fault-injection literature this taxonomy reproduces.
+/// The class geometry follows the span's native [`WordEncoding`]
+/// ([`BitClass::bits_in`]):
+///
+/// * **Q15.16** (f32-stored parameters on the campaign grid): sign is bit
+///   31, "exponent" the integer bits 16–30, "mantissa" the fraction bits
+///   0–15,
+/// * **f16**: the real IEEE fields — sign 15, exponent 10–14, mantissa 0–9,
+/// * **int8** (quantised values and zero-points): sign 7, high-magnitude
+///   bits 4–6 as "exponent", low bits 0–3 as "mantissa",
+/// * **f32 scales** (int8 per-channel quantisation): IEEE fields — sign 31,
+///   exponent 23–30, mantissa 0–22.
+///
+/// The float-format names are kept even for the fixed-point encodings
+/// because they are the vocabulary of the fault-injection literature this
+/// taxonomy reproduces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BitClass {
-    /// The sign bit (bit 31): a flip negates and wraps the value far across
-    /// the representable range.
+    /// The sign bit: a flip negates (and for Q15.16, wraps) the value far
+    /// across the representable range.
     Sign,
-    /// The integer bits (bits 16–30): high-magnitude corruption.
+    /// The high-magnitude bits (a float's exponent field, fixed point's
+    /// integer bits).
     Exponent,
-    /// The fraction bits (bits 0–15): low-magnitude corruption.
+    /// The low-magnitude bits (a float's mantissa field, fixed point's
+    /// fraction bits).
     Mantissa,
 }
 
 impl BitClass {
-    /// All classes, partitioning the 32-bit word.
+    /// All classes, partitioning every encoding's word.
     pub const ALL: [BitClass; 3] = [BitClass::Sign, BitClass::Exponent, BitClass::Mantissa];
 
-    /// The bit positions belonging to this class (ascending).
+    /// The bit positions belonging to this class in a Q15.16 word
+    /// (ascending). Shorthand for `bits_in(WordEncoding::Fixed32)`.
     pub fn bits(self) -> std::ops::Range<u32> {
-        match self {
-            BitClass::Mantissa => 0..16,
-            BitClass::Exponent => 16..31,
-            BitClass::Sign => 31..32,
+        self.bits_in(WordEncoding::Fixed32)
+    }
+
+    /// The bit positions belonging to this class in a word of the given
+    /// encoding (ascending).
+    pub fn bits_in(self, encoding: WordEncoding) -> std::ops::Range<u32> {
+        match (encoding, self) {
+            (WordEncoding::Fixed32, BitClass::Mantissa) => 0..16,
+            (WordEncoding::Fixed32, BitClass::Exponent) => 16..31,
+            (WordEncoding::Fixed32, BitClass::Sign) => 31..32,
+            (WordEncoding::F16, BitClass::Mantissa) => 0..10,
+            (WordEncoding::F16, BitClass::Exponent) => 10..15,
+            (WordEncoding::F16, BitClass::Sign) => 15..16,
+            (WordEncoding::Int8, BitClass::Mantissa) => 0..4,
+            (WordEncoding::Int8, BitClass::Exponent) => 4..7,
+            (WordEncoding::Int8, BitClass::Sign) => 7..8,
+            (WordEncoding::Scale32, BitClass::Mantissa) => 0..23,
+            (WordEncoding::Scale32, BitClass::Exponent) => 23..31,
+            (WordEncoding::Scale32, BitClass::Sign) => 31..32,
         }
     }
 
-    /// The class a bit position belongs to.
+    /// The class a bit position belongs to in a Q15.16 word. Shorthand for
+    /// `of_in(bit, WordEncoding::Fixed32)`.
     ///
     /// # Panics
     ///
     /// Panics if `bit >= 32`.
     pub fn of(bit: u32) -> Self {
-        assert!(bit < 32, "bit index {bit} out of range for a 32-bit word");
-        match bit {
-            0..=15 => BitClass::Mantissa,
-            16..=30 => BitClass::Exponent,
-            _ => BitClass::Sign,
+        BitClass::of_in(bit, WordEncoding::Fixed32)
+    }
+
+    /// The class a bit position belongs to in a word of the given encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the encoding's word.
+    pub fn of_in(bit: u32, encoding: WordEncoding) -> Self {
+        assert!(
+            u64::from(bit) < encoding.bits(),
+            "bit index {bit} out of range for a {}-bit {} word",
+            encoding.bits(),
+            encoding.label()
+        );
+        for class in BitClass::ALL {
+            if class.bits_in(encoding).contains(&bit) {
+                return class;
+            }
         }
+        unreachable!("classes partition the word");
     }
 
     /// Short lowercase label (`"sign"`, `"exponent"`, `"mantissa"`).
@@ -131,20 +173,47 @@ impl StratumSpec {
         specs
     }
 
-    /// The sorted, de-duplicated bit positions this stratum draws from.
+    /// The sorted, de-duplicated Q15.16 bit positions this stratum draws
+    /// from. Shorthand for `bit_positions_in(WordEncoding::Fixed32)`.
     pub fn bit_positions(&self) -> Vec<u32> {
-        let mut bits: Vec<u32> = self.bit_classes.iter().flat_map(|c| c.bits()).collect();
+        self.bit_positions_in(WordEncoding::Fixed32)
+    }
+
+    /// The sorted, de-duplicated bit positions this stratum draws from in a
+    /// word of the given encoding.
+    pub fn bit_positions_in(&self, encoding: WordEncoding) -> Vec<u32> {
+        let mut bits: Vec<u32> = self
+            .bit_classes
+            .iter()
+            .flat_map(|c| c.bits_in(encoding))
+            .collect();
         bits.sort_unstable();
         bits.dedup();
         bits
     }
 }
 
+/// Dense index of a [`WordEncoding`] into per-encoding lookup tables.
+fn encoding_index(encoding: WordEncoding) -> usize {
+    match encoding {
+        WordEncoding::Fixed32 => 0,
+        WordEncoding::F16 => 1,
+        WordEncoding::Int8 => 2,
+        WordEncoding::Scale32 => 3,
+    }
+}
+
 /// One stratum's resolved slice of a concrete [`MemoryMap`].
 #[derive(Debug, Clone)]
 struct ResolvedStratum {
-    /// Eligible bit positions within each word, ascending.
+    /// Eligible Q15.16 bit positions, ascending (what datapath models —
+    /// which corrupt f32 activation values on the campaign grid — draw
+    /// from; see [`StratifiedSampler::bit_positions`]).
     bits: Vec<u32>,
+    /// Eligible bit positions per [`WordEncoding`] (indexed by
+    /// [`encoding_index`]): a stratum's classes resolve to different
+    /// positions in f16, int8 and f32-scale words than in Q15.16 ones.
+    bits_by_encoding: [Vec<u32>; 4],
     /// Indices into `map.spans()` of the parameter spans in the stratum,
     /// paired with the stratum-local bit offset at which each span starts.
     spans: Vec<(usize, u64)>,
@@ -184,6 +253,13 @@ impl StratifiedSampler {
             if bits.is_empty() {
                 return Err(FaultError::EmptyStratum(spec.label.clone()));
             }
+            let bits_by_encoding = [
+                WordEncoding::Fixed32,
+                WordEncoding::F16,
+                WordEncoding::Int8,
+                WordEncoding::Scale32,
+            ]
+            .map(|e| spec.bit_positions_in(e));
             let mut spans = Vec::new();
             let mut population = 0u64;
             for (span_index, span) in map.spans().iter().enumerate() {
@@ -194,14 +270,16 @@ impl StratifiedSampler {
                 if !included {
                     continue;
                 }
+                let per_word = bits_by_encoding[encoding_index(span.encoding)].len() as u64;
                 spans.push((span_index, population));
-                population += span.numel as u64 * bits.len() as u64;
+                population += span.numel as u64 * per_word;
             }
             if population == 0 {
                 return Err(FaultError::EmptyStratum(spec.label.clone()));
             }
             resolved.push(ResolvedStratum {
                 bits,
+                bits_by_encoding,
                 spans,
                 population,
             });
@@ -237,7 +315,10 @@ impl StratifiedSampler {
         self.resolved[stratum].population
     }
 
-    /// The eligible bit positions of stratum `stratum` (ascending).
+    /// The eligible Q15.16 bit positions of stratum `stratum` (ascending) —
+    /// what datapath models, which corrupt f32 activation values on the
+    /// campaign grid, draw from. Parameter-memory sites resolve against the
+    /// owning span's native encoding instead.
     pub fn bit_positions(&self, stratum: usize) -> &[u32] {
         &self.resolved[stratum].bits
     }
@@ -272,14 +353,15 @@ impl StratifiedSampler {
         };
         let (span_index, offset) = resolved.spans[idx];
         let span = &self.map.spans()[span_index];
+        let bits = &resolved.bits_by_encoding[encoding_index(span.encoding)];
         let local = address - offset;
-        let bits_per_word = resolved.bits.len() as u64;
+        let bits_per_word = bits.len() as u64;
         let element = (local / bits_per_word) as usize;
-        let bit = resolved.bits[(local % bits_per_word) as usize];
+        let bit = bits[(local % bits_per_word) as usize];
         debug_assert!(element < span.numel);
         FaultSite {
             param_index: span.param_index,
-            element,
+            element: span.element_base + element,
             bit,
         }
     }
@@ -313,6 +395,95 @@ mod tests {
             }
         }
         assert!(covered.iter().all(|&c| c == 1), "classes must partition");
+    }
+
+    #[test]
+    fn bit_classes_partition_every_encoding() {
+        for encoding in [
+            WordEncoding::Fixed32,
+            WordEncoding::F16,
+            WordEncoding::Int8,
+            WordEncoding::Scale32,
+        ] {
+            let mut covered = vec![0u8; encoding.bits() as usize];
+            for class in BitClass::ALL {
+                for bit in class.bits_in(encoding) {
+                    covered[bit as usize] += 1;
+                    assert_eq!(
+                        BitClass::of_in(bit, encoding),
+                        class,
+                        "{} bit {bit}",
+                        encoding.label()
+                    );
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "classes must partition the {} word",
+                encoding.label()
+            );
+        }
+    }
+
+    #[test]
+    fn f16_strata_use_the_native_bit_geometry() {
+        let mut net = small_network();
+        net.quantize_to(fitact_tensor::Precision::F16);
+        let map = MemoryMap::of_network(&net);
+        let sampler = StratifiedSampler::new(&map, &StratumSpec::by_bit_class()).unwrap();
+        // Weights: 10 f16 words (params 0 and 2); biases: 4 Q15.16 words.
+        assert_eq!(sampler.population(0), 10 + 4); // sign: 1 bit/word everywhere
+        assert_eq!(sampler.population(1), 10 * 5 + 4 * 15); // exponent
+        assert_eq!(sampler.population(2), 10 * 10 + 4 * 16); // mantissa
+        let total: u64 = (0..3).map(|s| sampler.population(s)).sum();
+        assert_eq!(total, map.total_bits());
+        // Sampled sites carry bit indices valid for — and classified by —
+        // their span's native encoding.
+        let mut rng = StdRng::seed_from_u64(3);
+        for (stratum, class) in BitClass::ALL.iter().enumerate() {
+            let sites = sampler.sample(stratum, 0.5, &mut rng);
+            assert!(!sites.is_empty(), "stratum {stratum}");
+            for site in sites {
+                let encoding = if site.param_index % 2 == 0 {
+                    WordEncoding::F16 // weights are params 0 and 2
+                } else {
+                    WordEncoding::Fixed32 // biases stay f32
+                };
+                assert_eq!(BitClass::of_in(site.bit, encoding), *class);
+            }
+        }
+    }
+
+    #[test]
+    fn int8_strata_address_scales_and_zero_points() {
+        let mut net = small_network();
+        net.quantize_to(fitact_tensor::Precision::Int8);
+        let map = MemoryMap::of_network(&net);
+        let sampler = StratifiedSampler::uniform(&map).unwrap();
+        assert_eq!(sampler.population(0), map.total_bits());
+        let info = net.param_info();
+        let mut scale_or_zp_sites = 0;
+        let mut rng = StdRng::seed_from_u64(5);
+        for site in sampler.sample(0, 0.5, &mut rng) {
+            let p = &info[site.param_index];
+            if p.precision == fitact_tensor::Precision::Int8 {
+                // Virtual axis: values, then C scales, then C zero-points.
+                assert!(site.element < p.numel + 2 * p.channels);
+                if site.element >= p.numel {
+                    scale_or_zp_sites += 1;
+                    let is_scale = site.element < p.numel + p.channels;
+                    assert!(site.bit < if is_scale { 32 } else { 8 });
+                } else {
+                    assert!(site.bit < 8);
+                }
+            } else {
+                assert!(site.element < p.numel && site.bit < 32);
+            }
+        }
+        assert!(
+            scale_or_zp_sites > 0,
+            "at a 0.5 rate some sites must land on scales/zero-points"
+        );
     }
 
     #[test]

@@ -8,10 +8,9 @@
 //! activation values, they are agnostic to whether the corruption was
 //! transient or permanent — which makes this a natural robustness extension.
 
-use crate::injector::FaultSite;
+use crate::injector::{mutate_word, FaultSite};
 use crate::map::MemoryMap;
 use fitact_nn::Network;
-use fitact_tensor::Fixed32;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -36,10 +35,12 @@ pub struct StuckAtFault {
 
 /// Forces the stuck bits of a defect map onto the network's parameter words.
 ///
-/// Every affected word is re-encoded with its stuck bits forced to their
-/// stuck values; unlike a transient flip, applying the same defect map twice
-/// is idempotent. Out-of-range elements are ignored. This is the primitive
-/// shared by [`StuckAtInjector`] and [`crate::StuckAtFaultModel`].
+/// Every affected word — the Q15.16 encoding for f32 parameters, the native
+/// binary16 word, quantised byte, scale word or zero-point byte for
+/// reduced-precision parameters — is rewritten with its stuck bits forced to
+/// their stuck values; unlike a transient flip, applying the same defect map
+/// twice is idempotent. Out-of-range elements are ignored. This is the
+/// primitive shared by [`StuckAtInjector`] and [`crate::StuckAtFaultModel`].
 pub fn apply_stuck_at(network: &mut Network, defects: &[StuckAtFault]) {
     if defects.is_empty() {
         return;
@@ -54,18 +55,12 @@ pub fn apply_stuck_at(network: &mut Network, defects: &[StuckAtFault]) {
     let mut index = 0usize;
     network.visit_params_mut(&mut |_, param| {
         if let Some(faults) = by_param.get(&index) {
-            let data = param.data_mut().as_mut_slice();
             for fault in faults {
-                if let Some(value) = data.get_mut(fault.site.element) {
-                    let word = Fixed32::from_f32(*value);
-                    let bits = word.bits();
-                    let mask = 1u32 << fault.site.bit;
-                    let stuck = match fault.value {
-                        StuckValue::One => bits | mask,
-                        StuckValue::Zero => bits & !mask,
-                    };
-                    *value = Fixed32::from_bits(stuck).to_f32();
-                }
+                let mask = 1u32 << fault.site.bit;
+                mutate_word(param, fault.site.element, |bits| match fault.value {
+                    StuckValue::One => bits | mask,
+                    StuckValue::Zero => bits & !mask,
+                });
             }
         }
         index += 1;
@@ -233,6 +228,54 @@ mod tests {
         let before = net.params()[0].data().as_slice()[1];
         injector.apply(&mut net, &[fault2]);
         assert_eq!(net.params()[0].data().as_slice()[1], before);
+    }
+
+    #[test]
+    fn stuck_at_forces_native_f16_and_int8_words_idempotently() {
+        let mut net = small_network();
+        net.quantize_to(fitact_tensor::Precision::F16);
+        let injector = StuckAtInjector::new(7);
+        let fault = StuckAtFault {
+            site: FaultSite {
+                param_index: 0,
+                element: 0,
+                bit: 14, // the top exponent bit of the binary16 word
+            },
+            value: StuckValue::One,
+        };
+        injector.apply(&mut net, &[fault]);
+        let word = match net.params()[0].native() {
+            Some(fitact_tensor::NativeParam::F16(p)) => p.words()[0],
+            other => panic!("expected f16 storage, got {other:?}"),
+        };
+        assert_eq!(word & (1 << 14), 1 << 14);
+        injector.apply(&mut net, &[fault]);
+        let again = match net.params()[0].native() {
+            Some(fitact_tensor::NativeParam::F16(p)) => p.words()[0],
+            other => panic!("expected f16 storage, got {other:?}"),
+        };
+        assert_eq!(word, again, "stuck-at is idempotent on native words");
+
+        let mut net = small_network();
+        net.quantize_to(fitact_tensor::Precision::Int8);
+        let numel = net.params()[0].native().unwrap().numel();
+        // Stick the channel-0 scale's sign bit: a negative scale inverts the
+        // whole channel — exactly the metadata corruption the model covers.
+        let fault = StuckAtFault {
+            site: FaultSite {
+                param_index: 0,
+                element: numel,
+                bit: 31,
+            },
+            value: StuckValue::One,
+        };
+        injector.apply(&mut net, &[fault]);
+        match net.params()[0].native() {
+            Some(fitact_tensor::NativeParam::Int8(p)) => {
+                assert!(p.scales()[0].is_sign_negative());
+            }
+            other => panic!("expected int8 storage, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Campaign determinism in reduced precision.
+//!
+//! The determinism contract — a trial's result depends only on `(seed,
+//! stratum, index)` and the loaded parameters, never on thread count,
+//! interruption or work partitioning — must hold when the network stores its
+//! weights as native f16 words or per-channel int8, and when the fault models
+//! corrupt those native encodings (f16 sign/exponent/mantissa classes, int8
+//! value bytes, scale words and zero-points). This suite pins, for both
+//! native precisions:
+//!
+//! * statistical campaigns bit-identical across 1/2/4 worker threads,
+//! * bit-exact restoration of the native words after a campaign,
+//! * checkpoint interrupt → resume equals a never-interrupted run,
+//! * [`UnitRunner`] work units (the distributed execution half) identical
+//!   regardless of partitioning and runner thread count.
+
+use fitact_faults::{
+    quantize_network, Campaign, CampaignControl, CampaignProgress, MultiBitBurst, RunOutcome,
+    StatCampaignConfig, StratumSpec, TransientBitFlip, UnitRunner,
+};
+use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
+use fitact_nn::loss::CrossEntropyLoss;
+use fitact_nn::optim::Sgd;
+use fitact_nn::Network;
+use fitact_tensor::{init, NativeParam, Precision, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small trained MLP quantised to `precision`, plus its evaluation set.
+fn trained_setup(precision: Precision) -> (Network, Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let root = Sequential::new()
+        .with(Box::new(Linear::new(2, 16, &mut rng)))
+        .with(Box::new(ActivationLayer::relu("h", &[16])))
+        .with(Box::new(Linear::new(16, 2, &mut rng)));
+    let mut net = Network::new("mlp", root);
+    let inputs = init::uniform(&[128, 2], -1.0, 1.0, &mut rng);
+    let targets: Vec<usize> = (0..128)
+        .map(|i| {
+            let row = &inputs.as_slice()[i * 2..(i + 1) * 2];
+            usize::from(row[0] > row[1])
+        })
+        .collect();
+    let loss = CrossEntropyLoss::new();
+    let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+    for _ in 0..40 {
+        net.train_batch(&inputs, &targets, &loss, &mut opt).unwrap();
+    }
+    quantize_network(&mut net);
+    net.quantize_to(precision);
+    assert_eq!(net.precision(), precision);
+    (net, inputs, targets)
+}
+
+fn stat_config() -> StatCampaignConfig {
+    StatCampaignConfig {
+        fault_rate: 2e-3,
+        batch_size: 64,
+        seed: 21,
+        epsilon: 0.08,
+        confidence: 0.95,
+        critical_threshold: 0.05,
+        round_trials: 4,
+        min_trials: 12,
+        max_trials: 96,
+        strata: StratumSpec::by_bit_class(),
+    }
+}
+
+/// Every stored word of the network, bit-exactly: f16 words and int8
+/// value/scale/zero-point bytes for native parameters, Q15.16-relevant f32
+/// bits for plain ones.
+fn stored_words(net: &Network) -> Vec<u32> {
+    let mut words = Vec::new();
+    for param in net.params() {
+        match param.native() {
+            None => words.extend(param.data().as_slice().iter().map(|v| v.to_bits())),
+            Some(NativeParam::F16(p)) => words.extend(p.words().iter().map(|&w| u32::from(w))),
+            Some(NativeParam::Int8(p)) => {
+                words.extend(p.q().iter().map(|&q| q as u8 as u32));
+                words.extend(p.scales().iter().map(|s| s.to_bits()));
+                words.extend(p.zero_points().iter().map(|&z| z as u8 as u32));
+            }
+        }
+    }
+    words
+}
+
+#[test]
+fn native_campaigns_are_bit_identical_across_thread_counts() {
+    for precision in [Precision::F16, Precision::Int8] {
+        let (mut net, inputs, targets) = trained_setup(precision);
+        let config = stat_config();
+        let serial = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_until_with_threads(&config, &TransientBitFlip, 1)
+            .unwrap();
+        for threads in [2, 4] {
+            let parallel = Campaign::new(&mut net, &inputs, &targets)
+                .unwrap()
+                .run_until_with_threads(&config, &TransientBitFlip, threads)
+                .unwrap();
+            assert_eq!(parallel, serial, "{precision} campaign, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn native_campaigns_restore_the_stored_words_bit_exactly() {
+    for precision in [Precision::F16, Precision::Int8] {
+        let (mut net, inputs, targets) = trained_setup(precision);
+        let before = stored_words(&net);
+        // A burst model exercises the width-aware expansion too.
+        let report = Campaign::new(&mut net, &inputs, &targets)
+            .unwrap()
+            .run_until(&stat_config(), &MultiBitBurst::new(4))
+            .unwrap();
+        assert!(report.total_trials() >= 12);
+        assert_eq!(
+            stored_words(&net),
+            before,
+            "{precision} words must survive the campaign"
+        );
+    }
+}
+
+#[test]
+fn f16_campaign_resumes_from_a_checkpoint_bit_identically() {
+    let (mut net, inputs, targets) = trained_setup(Precision::F16);
+    let config = stat_config();
+    let uninterrupted = Campaign::new(&mut net, &inputs, &targets)
+        .unwrap()
+        .run_until(&config, &TransientBitFlip)
+        .unwrap();
+    // Stop after the first completed round, checkpoint the pools…
+    let mut checkpoint: Option<CampaignProgress> = None;
+    let outcome = Campaign::new(&mut net, &inputs, &targets)
+        .unwrap()
+        .run_until_resumable(&config, &TransientBitFlip, 2, None, &mut |progress| {
+            checkpoint = Some(progress.clone());
+            CampaignControl::Stop
+        })
+        .unwrap();
+    let interrupted = match outcome {
+        RunOutcome::Interrupted(progress) => progress,
+        RunOutcome::Finished(_) => panic!("the observer requested a stop"),
+    };
+    assert_eq!(Some(&interrupted), checkpoint.as_ref());
+    assert!(interrupted.total_trials() < uninterrupted.total_trials());
+    // …and resume on a different thread count: same final report.
+    let resumed = match Campaign::new(&mut net, &inputs, &targets)
+        .unwrap()
+        .run_until_resumable(
+            &config,
+            &TransientBitFlip,
+            4,
+            Some(interrupted.pools),
+            &mut |_| CampaignControl::Continue,
+        )
+        .unwrap()
+    {
+        RunOutcome::Finished(report) => report,
+        RunOutcome::Interrupted(_) => panic!("nothing requests a stop on resume"),
+    };
+    assert_eq!(resumed, uninterrupted);
+}
+
+#[test]
+fn f16_work_units_are_identical_across_partitions_and_threads() {
+    let (net, inputs, targets) = trained_setup(Precision::F16);
+    let config = stat_config();
+    let mut whole =
+        UnitRunner::new(net.clone(), inputs.clone(), targets.clone(), &config, 1).unwrap();
+    let mut split = UnitRunner::new(net, inputs, targets, &config, 4).unwrap();
+    assert_eq!(whole.fault_free_accuracy(), split.fault_free_accuracy());
+    for stratum in 0..whole.num_strata() {
+        let one_unit = whole.run_unit(&TransientBitFlip, stratum, 0, 8).unwrap();
+        let mut two_units = split.run_unit(&TransientBitFlip, stratum, 0, 3).unwrap();
+        two_units.extend(split.run_unit(&TransientBitFlip, stratum, 3, 5).unwrap());
+        assert_eq!(one_unit, two_units, "stratum {stratum}");
+    }
+}

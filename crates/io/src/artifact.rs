@@ -34,10 +34,32 @@
 //! file ends exactly at `total_len`; shorter input is
 //! [`IoError::Truncated`], longer input is [`IoError::Corrupt`].
 //!
+//! # Format version 3 — native reduced-precision blobs
+//!
+//! Version 3 is the v2 layout with one change: each param record carries a
+//! `dtype` tag (`u8`, between `trainable` and `dims`) selecting the blob
+//! encoding, plus a `u32` channel count for int8 records:
+//!
+//! ```text
+//!   dtype 0  f32   blob = numel × 4 bytes, little-endian IEEE-754
+//!   dtype 1  f16   blob = numel × 2 bytes, raw binary16 words
+//!   dtype 2  int8  blob = numel × 1 byte (quantised values, two's
+//!                  complement), then channels × 4 bytes (f32 scales), then
+//!                  channels × 1 byte (i8 zero-points)
+//! ```
+//!
+//! `blob_len` stays the *element count* in every encoding; the byte span is
+//! derived from the dtype. A writer only stamps version 3 when some
+//! parameter actually uses a native encoding — an all-f32 artifact encodes
+//! byte-identically to format version 2, so v2 readers and goldens are
+//! unaffected. f16 blobs keep the 64-byte alignment and can be viewed
+//! zero-copy as `&[u16]` from a mapping; int8 blobs are decoded owned.
+//!
 //! Format version 1 (the previous revision, parameters inline as `f32[]`
 //! directly in the param records, no fixed header) is still decoded by
 //! [`ModelArtifact::from_bytes`] and can be written with
-//! [`ModelArtifact::to_bytes_v1`] for downgrade interchange.
+//! [`ModelArtifact::to_bytes_v1`] for downgrade interchange (native params
+//! are downgraded to their exact f32 decode).
 //!
 //! `string` = `u32` length + UTF-8 bytes; `T[]` = `u64` length + elements;
 //! `f32` values are raw IEEE-754 bit patterns (see [`crate::bytes`]).
@@ -71,8 +93,18 @@ use std::path::Path;
 /// The artifact file magic.
 pub const MAGIC: [u8; 8] = *b"FITACTRS";
 
-/// The artifact format version this build writes (it reads versions 1 and 2).
+/// The artifact format version this build writes for all-f32 models (it
+/// reads versions 1, 2 and 3).
 pub const FORMAT_VERSION: u32 = 2;
+
+/// The artifact format version stamped when any parameter is stored in a
+/// native reduced-precision encoding (f16 / int8 blobs).
+pub const FORMAT_VERSION_NATIVE: u32 = 3;
+
+// Param-record dtype tags (format version 3; append-only).
+const DTYPE_F32: u8 = 0;
+const DTYPE_F16: u8 = 1;
+const DTYPE_INT8: u8 = 2;
 
 /// Byte alignment of every parameter blob in a v2 artifact.
 ///
@@ -93,6 +125,22 @@ fn align_up(n: usize, align: usize) -> usize {
 /// Conventional file extension for artifacts (`model.fitact`).
 pub const FILE_EXTENSION: &str = "fitact";
 
+/// A parameter's native reduced-precision payload (format version 3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SavedNative {
+    /// Raw IEEE-754 binary16 words, row-major.
+    F16(Vec<u16>),
+    /// Per-channel affine int8 quantisation (channel = leading dim).
+    Int8 {
+        /// Quantised values, row-major.
+        q: Vec<i8>,
+        /// One decode scale per channel.
+        scales: Vec<f32>,
+        /// One zero-point per channel.
+        zero_points: Vec<i8>,
+    },
+}
+
 /// One parameter tensor, keyed by its deterministic traversal path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SavedParam {
@@ -102,8 +150,61 @@ pub struct SavedParam {
     pub trainable: bool,
     /// Tensor shape.
     pub dims: Vec<usize>,
-    /// Row-major values.
+    /// Row-major values. Empty when the parameter is stored natively in
+    /// `native` instead.
     pub data: Vec<f32>,
+    /// Reduced-precision payload; `None` for ordinary f32 parameters.
+    pub native: Option<SavedNative>,
+}
+
+impl SavedParam {
+    /// Logical number of scalar values, regardless of storage encoding.
+    pub fn numel(&self) -> usize {
+        match &self.native {
+            Some(SavedNative::F16(words)) => words.len(),
+            Some(SavedNative::Int8 { q, .. }) => q.len(),
+            None => self.data.len(),
+        }
+    }
+
+    /// The v3 dtype tag of this parameter's blob.
+    fn dtype_tag(&self) -> u8 {
+        match &self.native {
+            None => DTYPE_F32,
+            Some(SavedNative::F16(_)) => DTYPE_F16,
+            Some(SavedNative::Int8 { .. }) => DTYPE_INT8,
+        }
+    }
+
+    /// Exact byte span of this parameter's blob on disk.
+    fn blob_byte_len(&self) -> usize {
+        match &self.native {
+            None => 4 * self.data.len(),
+            Some(SavedNative::F16(words)) => 2 * words.len(),
+            Some(SavedNative::Int8 { q, scales, .. }) => q.len() + 5 * scales.len(),
+        }
+    }
+
+    /// The parameter values decoded to f32 (exact kernel arithmetic for
+    /// native encodings).
+    pub fn f32_values(&self) -> Vec<f32> {
+        match &self.native {
+            None => self.data.clone(),
+            Some(SavedNative::F16(words)) => fitact_tensor::half::decode_f16_slice(words),
+            Some(SavedNative::Int8 {
+                q,
+                scales,
+                zero_points,
+            }) => fitact_tensor::Int8Param::from_parts(
+                q.clone(),
+                scales.clone(),
+                zero_points.clone(),
+                &self.dims,
+            )
+            .expect("validated on capture/decode")
+            .dequantize(),
+        }
+    }
 }
 
 /// A complete serializable model: topology, parameters and the FitAct
@@ -137,11 +238,24 @@ impl ModelArtifact {
         let layers = network.to_spec()?;
         let mut params = Vec::new();
         network.visit_params(&mut |path, p| {
+            let native = p.native().map(|n| match n {
+                fitact_tensor::NativeParam::F16(w) => SavedNative::F16(w.words().to_vec()),
+                fitact_tensor::NativeParam::Int8(w) => SavedNative::Int8 {
+                    q: w.q().to_vec(),
+                    scales: w.scales().to_vec(),
+                    zero_points: w.zero_points().to_vec(),
+                },
+            });
             params.push(SavedParam {
                 path: path.to_owned(),
                 trainable: p.trainable(),
-                dims: p.data().dims().to_vec(),
-                data: p.data().as_slice().to_vec(),
+                dims: p.dims(),
+                data: if native.is_some() {
+                    Vec::new()
+                } else {
+                    p.data().as_slice().to_vec()
+                },
+                native,
             });
         });
         Ok(ModelArtifact {
@@ -186,9 +300,21 @@ impl ModelArtifact {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Total number of scalar parameter values.
+    /// Total number of scalar parameter values (logical count, independent
+    /// of the storage encoding).
     pub fn num_parameters(&self) -> usize {
-        self.params.iter().map(|p| p.data.len()).sum()
+        self.params.iter().map(SavedParam::numel).sum()
+    }
+
+    /// The format version [`ModelArtifact::to_bytes`] will stamp: 2 for an
+    /// all-f32 model (byte-identical to the previous revision), 3 when any
+    /// parameter is stored in a native reduced-precision encoding.
+    pub fn format_version(&self) -> u32 {
+        if self.params.iter().any(|p| p.native.is_some()) {
+            FORMAT_VERSION_NATIVE
+        } else {
+            FORMAT_VERSION
+        }
     }
 
     /// Rebuilds the network: topology from the specs, then every parameter
@@ -204,53 +330,84 @@ impl ModelArtifact {
         instantiate_with(&self.name, &self.layers, self)
     }
 
-    /// Encodes the artifact into its binary form (format version 2: head
-    /// followed by alignment-padded parameter blobs).
+    /// Encodes the artifact into its binary form: head followed by
+    /// alignment-padded parameter blobs. All-f32 models encode as format
+    /// version 2 (byte-identical to the previous revision); models with
+    /// native f16/int8 parameters encode as version 3 (see the module docs).
     pub fn to_bytes(&self) -> Vec<u8> {
+        let version = self.format_version();
         // Two-pass: encode the head once with placeholder offsets to learn
         // its length (offsets are fixed-width `u64`s, so the real head is
         // byte-for-byte the same size), then lay the blobs out after it.
         let placeholder = vec![0u64; self.params.len()];
-        let head_len = self.encode_v2_head(&placeholder).len();
+        let head_len = self.encode_blob_head(&placeholder, version).len();
         let mut offsets = Vec::with_capacity(self.params.len());
         let mut cursor = V2_HEADER_LEN + head_len;
         for p in &self.params {
             let offset = align_up(cursor, BLOB_ALIGN);
             offsets.push(offset as u64);
-            cursor = offset + 4 * p.data.len();
+            cursor = offset + p.blob_byte_len();
         }
         let total_len = cursor;
-        let head = self.encode_v2_head(&offsets);
+        let head = self.encode_blob_head(&offsets, version);
         debug_assert_eq!(head.len(), head_len);
         let mut out = Vec::with_capacity(total_len);
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&(BLOB_ALIGN as u32).to_le_bytes());
         out.extend_from_slice(&(total_len as u64).to_le_bytes());
         out.extend_from_slice(&(head_len as u64).to_le_bytes());
         out.extend_from_slice(&head);
         for (p, &offset) in self.params.iter().zip(&offsets) {
             out.resize(offset as usize, 0); // zero padding up to the blob
-            for v in &p.data {
-                out.extend_from_slice(&v.to_le_bytes());
+            match &p.native {
+                None => {
+                    for v in &p.data {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Some(SavedNative::F16(words)) => {
+                    for w in words {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                Some(SavedNative::Int8 {
+                    q,
+                    scales,
+                    zero_points,
+                }) => {
+                    out.extend(q.iter().map(|&v| v as u8));
+                    for s in scales {
+                        out.extend_from_slice(&s.to_le_bytes());
+                    }
+                    out.extend(zero_points.iter().map(|&v| v as u8));
+                }
             }
         }
         debug_assert_eq!(out.len(), total_len);
         out
     }
 
-    /// Encodes the v2 head (everything between the fixed header and the
-    /// first blob) with the given per-parameter blob offsets.
-    fn encode_v2_head(&self, offsets: &[u64]) -> Vec<u8> {
+    /// Encodes the v2/v3 head (everything between the fixed header and the
+    /// first blob) with the given per-parameter blob offsets. Version 3
+    /// inserts a dtype tag (and an int8 channel count) per param record;
+    /// version 2 is the tag-free legacy layout.
+    fn encode_blob_head(&self, offsets: &[u64], version: u32) -> Vec<u8> {
         let mut w = ByteWriter::new();
         self.write_head_prefix(&mut w);
         w.u32(self.params.len() as u32);
         for (p, &offset) in self.params.iter().zip(offsets) {
             w.string(&p.path);
             w.u8(u8::from(p.trainable));
+            if version >= FORMAT_VERSION_NATIVE {
+                w.u8(p.dtype_tag());
+                if let Some(SavedNative::Int8 { scales, .. }) = &p.native {
+                    w.u32(scales.len() as u32);
+                }
+            }
             w.usize_slice(&p.dims);
             w.u64(offset);
-            w.u64(p.data.len() as u64);
+            w.u64(p.numel() as u64);
         }
         self.write_head_trailer(&mut w);
         w.into_bytes()
@@ -269,7 +426,11 @@ impl ModelArtifact {
             w.string(&p.path);
             w.u8(u8::from(p.trainable));
             w.usize_slice(&p.dims);
-            w.f32_slice(&p.data);
+            // v1 is f32-only: native params downgrade to their exact decode.
+            match &p.native {
+                None => w.f32_slice(&p.data),
+                Some(_) => w.f32_slice(&p.f32_values()),
+            }
         }
         self.write_head_trailer(&mut w);
         w.into_bytes()
@@ -333,7 +494,7 @@ impl ModelArtifact {
         }
         match r.u32()? {
             1 => Self::from_bytes_v1(r),
-            2 => {
+            2 | 3 => {
                 let head = decode_v2(bytes)?;
                 // Copy every blob out into an owned buffer, byte-wise so the
                 // owned decode path stays endian-correct everywhere.
@@ -341,16 +502,44 @@ impl ModelArtifact {
                     .params
                     .into_iter()
                     .map(|p| {
-                        let raw = &bytes[p.byte_offset..p.byte_offset + 4 * p.numel];
-                        let data = raw
-                            .chunks_exact(4)
-                            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                            .collect();
+                        let raw = &bytes[p.byte_offset..p.byte_offset + p.byte_len()];
+                        let (data, native) = match p.encoding {
+                            BlobEncoding::F32 => (
+                                raw.chunks_exact(4)
+                                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                                    .collect(),
+                                None,
+                            ),
+                            BlobEncoding::F16 => (
+                                Vec::new(),
+                                Some(SavedNative::F16(
+                                    raw.chunks_exact(2)
+                                        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                                        .collect(),
+                                )),
+                            ),
+                            BlobEncoding::Int8 { channels } => {
+                                let (qraw, rest) = raw.split_at(p.numel);
+                                let (sraw, zraw) = rest.split_at(4 * channels);
+                                (
+                                    Vec::new(),
+                                    Some(SavedNative::Int8 {
+                                        q: qraw.iter().map(|&b| b as i8).collect(),
+                                        scales: sraw
+                                            .chunks_exact(4)
+                                            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                                            .collect(),
+                                        zero_points: zraw.iter().map(|&b| b as i8).collect(),
+                                    }),
+                                )
+                            }
+                        };
                         SavedParam {
                             path: p.path,
                             trainable: p.trainable,
                             dims: p.dims,
                             data,
+                            native,
                         }
                     })
                     .collect();
@@ -394,6 +583,7 @@ impl ModelArtifact {
                 trainable,
                 dims,
                 data,
+                native: None,
             });
         }
         let profile = read_profile(&mut r)?;
@@ -596,17 +786,56 @@ fn read_scheme(r: &mut ByteReader<'_>) -> Result<Option<ProtectionScheme>, IoErr
         .ok_or_else(|| IoError::Corrupt(format!("unknown protection-scheme tag {tag}")))
 }
 
-/// One parameter record of a decoded v2 head: shape plus the location of
+/// Blob storage encoding of one v2/v3 parameter record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlobEncoding {
+    /// 4 bytes per element, little-endian IEEE-754 binary32.
+    F32,
+    /// 2 bytes per element, raw binary16 words.
+    F16,
+    /// 1 byte per element plus `channels` trailing (f32 scale, i8 zero-point)
+    /// pairs.
+    Int8 {
+        /// Quantisation channel count (= leading dim).
+        channels: usize,
+    },
+}
+
+impl BlobEncoding {
+    /// Exact byte span of a blob holding `numel` elements.
+    pub(crate) fn byte_len(self, numel: usize) -> Option<usize> {
+        match self {
+            BlobEncoding::F32 => numel.checked_mul(4),
+            BlobEncoding::F16 => numel.checked_mul(2),
+            BlobEncoding::Int8 { channels } => numel.checked_add(channels.checked_mul(5)?),
+        }
+    }
+}
+
+/// One parameter record of a decoded v2/v3 head: shape plus the location of
 /// its blob inside the file, with the values themselves left in place.
 #[derive(Debug, Clone)]
 pub(crate) struct V2Param {
     pub(crate) path: String,
     pub(crate) trainable: bool,
     pub(crate) dims: Vec<usize>,
+    /// Blob storage encoding ([`BlobEncoding::F32`] in every v2 file).
+    pub(crate) encoding: BlobEncoding,
     /// Absolute byte offset of the blob, a multiple of the file's alignment.
     pub(crate) byte_offset: usize,
-    /// Element count of the blob (it spans `4 * numel` bytes).
+    /// Logical element count of the blob (the byte span depends on the
+    /// encoding; see [`V2Param::byte_len`]).
     pub(crate) numel: usize,
+}
+
+impl V2Param {
+    /// Exact byte span of this record's blob (validated in-bounds by
+    /// [`decode_v2`]).
+    pub(crate) fn byte_len(&self) -> usize {
+        self.encoding
+            .byte_len(self.numel)
+            .expect("validated by decode_v2")
+    }
 }
 
 /// A fully validated v2 head: everything in the artifact except the
@@ -635,7 +864,7 @@ pub(crate) fn decode_v2(bytes: &[u8]) -> Result<V2Artifact, IoError> {
         return Err(IoError::BadMagic);
     }
     let version = header.u32()?;
-    if version != 2 {
+    if version != 2 && version != 3 {
         return Err(IoError::UnsupportedVersion(version));
     }
     let align = header.u32()? as usize;
@@ -673,6 +902,22 @@ pub(crate) fn decode_v2(bytes: &[u8]) -> Result<V2Artifact, IoError> {
     for _ in 0..param_count {
         let path = r.string()?;
         let trainable = r.u8()? != 0;
+        let encoding = if version >= 3 {
+            match r.u8()? {
+                DTYPE_F32 => BlobEncoding::F32,
+                DTYPE_F16 => BlobEncoding::F16,
+                DTYPE_INT8 => BlobEncoding::Int8 {
+                    channels: r.u32()? as usize,
+                },
+                other => {
+                    return Err(IoError::Corrupt(format!(
+                        "parameter `{path}` has unknown dtype tag {other}"
+                    )))
+                }
+            }
+        } else {
+            BlobEncoding::F32
+        };
         let dims = r.usize_vec()?;
         let byte_offset = read_usize_from(r.u64()?)?;
         let numel = read_usize_from(r.u64()?)?;
@@ -682,13 +927,24 @@ pub(crate) fn decode_v2(bytes: &[u8]) -> Result<V2Artifact, IoError> {
                 "parameter `{path}` declares shape {dims:?} ({implied} values) but carries {numel}"
             )));
         }
+        if let BlobEncoding::Int8 { channels } = encoding {
+            // The quantisation channel is the leading dim; a disagreeing
+            // count means the artifact was hand-edited.
+            if dims.first().copied().unwrap_or(0) != channels {
+                return Err(IoError::Corrupt(format!(
+                    "parameter `{path}` declares {channels} int8 channels but its \
+                     leading dim is {:?}",
+                    dims.first()
+                )));
+            }
+        }
         if byte_offset % align != 0 {
             return Err(IoError::Corrupt(format!(
                 "parameter `{path}` blob offset {byte_offset} is not {align}-aligned"
             )));
         }
-        let end = numel
-            .checked_mul(4)
+        let end = encoding
+            .byte_len(numel)
             .and_then(|len| byte_offset.checked_add(len))
             .filter(|&end| byte_offset >= head_end && end <= total_len)
             .ok_or_else(|| {
@@ -701,6 +957,7 @@ pub(crate) fn decode_v2(bytes: &[u8]) -> Result<V2Artifact, IoError> {
             path,
             trainable,
             dims,
+            encoding,
             byte_offset,
             numel,
         });
@@ -746,6 +1003,12 @@ pub(crate) trait ParamSource {
     fn dims(&self, i: usize) -> &[usize];
     /// Materialises record `i` as a tensor (owned or shared-storage).
     fn tensor(&self, i: usize) -> Result<Tensor, IoError>;
+    /// Materialises record `i`'s native reduced-precision storage, when it
+    /// has one (f16 words may borrow a shared mapping). `Ok(None)` for
+    /// ordinary f32 records.
+    fn native(&self, _i: usize) -> Result<Option<fitact_tensor::NativeParam>, IoError> {
+        Ok(None)
+    }
 }
 
 impl ParamSource for ModelArtifact {
@@ -753,7 +1016,7 @@ impl ParamSource for ModelArtifact {
         self.params.len()
     }
     fn total_values(&self) -> u128 {
-        self.params.iter().map(|p| p.data.len() as u128).sum()
+        self.params.iter().map(|p| p.numel() as u128).sum()
     }
     fn path(&self, i: usize) -> &str {
         &self.params[i].path
@@ -766,6 +1029,32 @@ impl ParamSource for ModelArtifact {
     }
     fn tensor(&self, i: usize) -> Result<Tensor, IoError> {
         saved_param_tensor(&self.params[i])
+    }
+    fn native(&self, i: usize) -> Result<Option<fitact_tensor::NativeParam>, IoError> {
+        let p = &self.params[i];
+        let corrupt = |e: fitact_tensor::TensorError| {
+            IoError::Corrupt(format!("parameter `{}` native payload: {e}", p.path))
+        };
+        match &p.native {
+            None => Ok(None),
+            Some(SavedNative::F16(words)) => {
+                fitact_tensor::F16Param::from_words(words.clone(), &p.dims)
+                    .map(|w| Some(fitact_tensor::NativeParam::F16(w)))
+                    .map_err(corrupt)
+            }
+            Some(SavedNative::Int8 {
+                q,
+                scales,
+                zero_points,
+            }) => fitact_tensor::Int8Param::from_parts(
+                q.clone(),
+                scales.clone(),
+                zero_points.clone(),
+                &p.dims,
+            )
+            .map(|w| Some(fitact_tensor::NativeParam::Int8(w)))
+            .map_err(corrupt),
+        }
     }
 }
 
@@ -823,11 +1112,21 @@ pub(crate) fn instantiate_with(
             )));
             return;
         }
-        match source.tensor(index) {
-            // Replace the constructor-allocated tensor outright (the shape
-            // was just checked) so a shared-storage tensor stays shared
-            // instead of being copied element-wise.
-            Ok(tensor) => *p.data_mut() = tensor,
+        match source.native(index) {
+            // Native records move the parameter into reduced-precision
+            // storage (freezing it); `set_native` cannot panic because the
+            // shape was just checked and the source validated its payload.
+            Ok(Some(native)) => p.set_native(native),
+            Ok(None) => match source.tensor(index) {
+                // Replace the constructor-allocated tensor outright (the
+                // shape was just checked) so a shared-storage tensor stays
+                // shared instead of being copied element-wise.
+                Ok(tensor) => *p.data_mut() = tensor,
+                Err(e) => {
+                    failure = Some(e);
+                    return;
+                }
+            },
             Err(e) => {
                 failure = Some(e);
                 return;

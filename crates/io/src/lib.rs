@@ -69,7 +69,10 @@ pub mod mapped;
 #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
 mod mmap;
 
-pub use artifact::{ModelArtifact, SavedParam, BLOB_ALIGN, FILE_EXTENSION, FORMAT_VERSION, MAGIC};
+pub use artifact::{
+    ModelArtifact, SavedNative, SavedParam, BLOB_ALIGN, FILE_EXTENSION, FORMAT_VERSION,
+    FORMAT_VERSION_NATIVE, MAGIC,
+};
 pub use campaign_state::{
     fingerprint_bytes, CampaignCheckpoint, CampaignSpec, CAMPAIGN_SPEC_MAGIC, CAMPAIGN_STATE_MAGIC,
     CAMPAIGN_STATE_VERSION,
@@ -112,7 +115,7 @@ impl fmt::Display for IoError {
             IoError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported artifact format version {v} (this build reads version {FORMAT_VERSION})"
+                    "unsupported artifact format version {v} (this build reads versions 1 through {FORMAT_VERSION_NATIVE})"
                 )
             }
             IoError::Truncated { needed, remaining } => {

@@ -1,6 +1,8 @@
-//! Zero-copy artifact loading: [`MappedArtifact`] maps a v2 `.fitact` file
-//! read-only and instantiates networks whose parameter tensors *borrow* the
-//! mapping instead of owning copies.
+//! Zero-copy artifact loading: [`MappedArtifact`] maps a v2/v3 `.fitact`
+//! file read-only and instantiates networks whose parameter tensors *borrow*
+//! the mapping instead of owning copies. In a v3 file, f16 parameter words
+//! are likewise borrowed zero-copy; int8 blobs decode owned (they interleave
+//! values/scales/zero-points and are 4× smaller than f32 to begin with).
 //!
 //! Every network instantiated from one `MappedArtifact` shares the same
 //! physical parameter pages — N serving workers cost one copy of the model,
@@ -24,7 +26,7 @@
 
 use crate::artifact::{decode_v2, instantiate_with, ParamSource};
 #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
-use crate::artifact::{V2Artifact, MAGIC};
+use crate::artifact::{BlobEncoding, V2Artifact, MAGIC};
 use crate::{IoError, ModelArtifact};
 use fitact::calibration::ActivationProfile;
 use fitact::ProtectionScheme;
@@ -35,7 +37,7 @@ use std::path::Path;
 #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
 use {
     crate::mmap::Mapping,
-    fitact_tensor::{F32Slab, Tensor},
+    fitact_tensor::{F16Param, F32Slab, Int8Param, NativeParam, Tensor, U16Slab},
     std::sync::Arc,
 };
 
@@ -82,6 +84,17 @@ impl F32Slab for MappedSlab {
 }
 
 #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+impl U16Slab for MappedSlab {
+    fn as_u16(&self) -> &[u16] {
+        let bytes = self.map.bytes();
+        // SAFETY: as for `as_f32` — page alignment covers u16, the host is
+        // little-endian, every bit pattern is a valid u16, and the mapping
+        // is read-only for its whole lifetime.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u16>(), bytes.len() / 2) }
+    }
+}
+
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
 impl ParamSource for MappedModel {
     fn count(&self) -> usize {
         self.head.params.len()
@@ -105,6 +118,48 @@ impl ParamSource for MappedModel {
         let slab: Arc<dyn F32Slab> = self.slab.clone();
         Tensor::from_shared(slab, p.byte_offset / 4, &p.dims)
             .map_err(|e| IoError::Corrupt(format!("parameter `{}` is not a tensor: {e}", p.path)))
+    }
+    fn native(&self, i: usize) -> Result<Option<NativeParam>, IoError> {
+        let p = &self.head.params[i];
+        let corrupt = |e: fitact_tensor::TensorError| {
+            IoError::Corrupt(format!("parameter `{}` native payload: {e}", p.path))
+        };
+        match p.encoding {
+            BlobEncoding::F32 => Ok(None),
+            BlobEncoding::F16 => {
+                // Zero-copy: the f16 words borrow the shared mapping (offsets
+                // are BLOB_ALIGN-padded, hence u16-aligned and divisible by 2).
+                let slab: Arc<dyn U16Slab> = self.slab.clone();
+                F16Param::from_shared(slab, p.byte_offset / 2, &p.dims)
+                    .map(|w| Some(NativeParam::F16(w)))
+                    .map_err(corrupt)
+            }
+            BlobEncoding::Int8 { channels } => {
+                // Int8 blobs interleave three spans, so they decode owned —
+                // they are 4× smaller than f32 to begin with.
+                let bytes = self.map_bytes();
+                let blob = &bytes[p.byte_offset..p.byte_offset + p.byte_len()];
+                let (qraw, rest) = blob.split_at(p.numel);
+                let (sraw, zraw) = rest.split_at(4 * channels);
+                Int8Param::from_parts(
+                    qraw.iter().map(|&b| b as i8).collect(),
+                    sraw.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect(),
+                    zraw.iter().map(|&b| b as i8).collect(),
+                    &p.dims,
+                )
+                .map(|w| Some(NativeParam::Int8(w)))
+                .map_err(corrupt)
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+impl MappedModel {
+    fn map_bytes(&self) -> &[u8] {
+        self.slab.map.bytes()
     }
 }
 
@@ -140,7 +195,8 @@ impl MappedArtifact {
         if (&file).read_exact(&mut sniff).is_err() {
             return Ok(None); // shorter than a header: owned path reports it
         }
-        if sniff[..8] != MAGIC || sniff[8..12] != 2u32.to_le_bytes() {
+        let version = u32::from_le_bytes([sniff[8], sniff[9], sniff[10], sniff[11]]);
+        if sniff[..8] != MAGIC || !(version == 2 || version == 3) {
             return Ok(None);
         }
         let Ok(map) = Mapping::map_readonly(&file) else {

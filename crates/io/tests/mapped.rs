@@ -7,7 +7,7 @@ use fitact::{apply_protection, ActivationProfiler, ProtectionScheme};
 use fitact_io::{IoError, MappedArtifact, ModelArtifact};
 use fitact_nn::layers::{ActivationLayer, Conv2d, Flatten, Linear, MaxPool2d, Sequential};
 use fitact_nn::{Mode, Network};
-use fitact_tensor::{init, Tensor};
+use fitact_tensor::{init, NativeParam, Precision, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -178,6 +178,132 @@ fn corrupt_and_missing_files_are_typed_errors() {
         MappedArtifact::open(&empty),
         Err(IoError::Truncated { .. })
     ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A v3 f16 artifact maps zero-copy: every instantiation borrows its f16
+/// words from the one shared mapping (pointer-equal across workers), f32
+/// side parameters (biases, λ bounds) stay shared too, and the mapped
+/// network computes bit-identically to the owned decode.
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+#[test]
+fn f16_workers_share_one_native_word_mapping() {
+    let dir = tmp_dir("f16_share");
+    let path = dir.join("model.fitact");
+    let mut net = cnn();
+    net.quantize_to(Precision::F16);
+    let artifact = ModelArtifact::capture(&net).unwrap();
+    artifact.save(&path).unwrap();
+
+    let mapped = MappedArtifact::open(&path).unwrap();
+    assert!(mapped.is_mapped(), "v3 artifact on unix must map");
+
+    let worker_a = mapped.instantiate().unwrap();
+    let worker_b = mapped.instantiate().unwrap();
+    assert_eq!(worker_a.precision(), Precision::F16);
+    let mut quantized = 0;
+    for (a, b) in worker_a.params().iter().zip(worker_b.params()) {
+        match (a.native(), b.native()) {
+            (Some(NativeParam::F16(x)), Some(NativeParam::F16(y))) => {
+                quantized += 1;
+                assert!(
+                    x.is_shared(),
+                    "`{}` words must borrow the mapping, not own a copy",
+                    a.name()
+                );
+                assert_eq!(
+                    x.words().as_ptr(),
+                    y.words().as_ptr(),
+                    "`{}` must alias the same mapped words in every worker",
+                    a.name()
+                );
+            }
+            (None, None) => assert!(
+                a.data().is_shared(),
+                "f32 sidecar `{}` must stay mapped too",
+                a.name()
+            ),
+            _ => panic!("`{}`: unexpected precision mix", a.name()),
+        }
+    }
+    assert!(quantized >= 3, "the cnn has at least 3 matrix params");
+    drop(worker_a);
+
+    let mut owned = artifact.instantiate().unwrap();
+    let mut shared = worker_b;
+    let mut rng = StdRng::seed_from_u64(21);
+    let x = init::uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut rng);
+    assert_eq!(
+        shared.forward(&x, Mode::Eval).unwrap(),
+        owned.forward(&x, Mode::Eval).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Writing to mapped f16 words is copy-on-write: the writer detaches to a
+/// private buffer and other workers never observe the flip — the invariant
+/// a fault campaign over a mapped quantized model relies on.
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+#[test]
+fn f16_word_mutation_is_copy_on_write() {
+    let dir = tmp_dir("f16_cow");
+    let path = dir.join("model.fitact");
+    let mut net = cnn();
+    net.quantize_to(Precision::F16);
+    ModelArtifact::capture(&net).unwrap().save(&path).unwrap();
+    let mapped = MappedArtifact::open(&path).unwrap();
+    assert!(mapped.is_mapped());
+
+    let mut victim = mapped.instantiate().unwrap();
+    let observer = mapped.instantiate().unwrap();
+    let observe = |net: &Network| -> Vec<u16> {
+        match net.params()[0].native() {
+            Some(NativeParam::F16(w)) => w.words().to_vec(),
+            _ => panic!("conv weight must be f16"),
+        }
+    };
+    let before = observe(&observer);
+
+    match victim.params_mut()[0].native_mut() {
+        Some(NativeParam::F16(w)) => {
+            w.words_mut()[0] ^= 1 << 15; // a sign-bit fault
+            assert!(
+                !w.is_shared(),
+                "a written param must detach from the mapping"
+            );
+        }
+        _ => panic!("conv weight must be f16"),
+    }
+    assert_eq!(observe(&observer), before, "the fault must stay private");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Int8 blobs interleave values/scales/zero-points, so they decode owned —
+/// but the artifact still maps, instantiates, and computes bit-identically
+/// to the owned decode.
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+#[test]
+fn int8_mapped_artifacts_instantiate_and_match_owned() {
+    let dir = tmp_dir("int8");
+    let path = dir.join("model.fitact");
+    let mut net = cnn();
+    net.quantize_to(Precision::Int8);
+    let artifact = ModelArtifact::capture(&net).unwrap();
+    artifact.save(&path).unwrap();
+
+    let mapped = MappedArtifact::open(&path).unwrap();
+    assert!(mapped.is_mapped(), "v3 int8 artifact on unix must map");
+    assert_eq!(mapped.num_parameters(), artifact.num_parameters());
+
+    let mut from_map = mapped.instantiate().unwrap();
+    assert_eq!(from_map.precision(), Precision::Int8);
+    let mut owned = artifact.instantiate().unwrap();
+    let mut rng = StdRng::seed_from_u64(22);
+    let x = init::uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut rng);
+    assert_eq!(
+        from_map.forward(&x, Mode::Eval).unwrap(),
+        owned.forward(&x, Mode::Eval).unwrap()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

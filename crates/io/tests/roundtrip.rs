@@ -9,7 +9,7 @@ use fitact_nn::layers::{
     MaxPool2d, Sequential,
 };
 use fitact_nn::{Mode, Network};
-use fitact_tensor::{init, Tensor};
+use fitact_tensor::{init, NativeParam, Precision, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -215,6 +215,160 @@ fn tampered_topology_is_a_mismatch() {
     }
     assert!(matches!(artifact.instantiate(), Err(IoError::Mismatch(_))));
 }
+
+/// Native parameter payloads (f16 words, int8 values/scales/zero-points)
+/// of two networks are bit-for-bit equal, and f32 parameters bit-equal.
+fn assert_native_bit_equal(a: &Network, b: &Network, what: &str) {
+    for (pa, pb) in a.params().iter().zip(b.params()) {
+        match (pa.native(), pb.native()) {
+            (None, None) => assert_eq!(pa.data(), pb.data(), "{what}: f32 param `{}`", pa.name()),
+            (Some(NativeParam::F16(x)), Some(NativeParam::F16(y))) => {
+                assert_eq!(x.words(), y.words(), "{what}: f16 words of `{}`", pa.name());
+            }
+            (Some(NativeParam::Int8(x)), Some(NativeParam::Int8(y))) => {
+                assert_eq!(x.q(), y.q(), "{what}: int8 values of `{}`", pa.name());
+                let sx: Vec<u32> = x.scales().iter().map(|s| s.to_bits()).collect();
+                let sy: Vec<u32> = y.scales().iter().map(|s| s.to_bits()).collect();
+                assert_eq!(sx, sy, "{what}: int8 scales of `{}`", pa.name());
+                assert_eq!(
+                    x.zero_points(),
+                    y.zero_points(),
+                    "{what}: int8 zero points of `{}`",
+                    pa.name()
+                );
+            }
+            _ => panic!(
+                "{what}: precision of `{}` differs between networks",
+                pa.name()
+            ),
+        }
+    }
+}
+
+/// Every layer type × every precision: a quantized network re-encodes
+/// **bit-identically** — capture → bytes → decode → re-encode reproduces the
+/// same bytes, the reloaded network carries the same native payloads, and
+/// eval-mode forward passes match bit-for-bit.
+#[test]
+fn every_layer_and_precision_re_encodes_bit_identically() {
+    for (name, base) in [("cnn", cnn()), ("resnet-ish", resnet_ish())] {
+        let mut sizes = Vec::new();
+        for precision in [Precision::F32, Precision::F16, Precision::Int8] {
+            let mut net = base.clone();
+            net.quantize_to(precision);
+            assert_eq!(
+                net.precision(),
+                precision,
+                "{name}: quantize_to took effect"
+            );
+            let artifact = ModelArtifact::capture(&net).unwrap();
+            let want_version = if precision == Precision::F32 { 2 } else { 3 };
+            assert_eq!(
+                artifact.format_version(),
+                want_version,
+                "{name}/{precision}: version stamp"
+            );
+            let bytes = artifact.to_bytes();
+            sizes.push(bytes.len());
+            let decoded = ModelArtifact::from_bytes(&bytes).unwrap();
+            assert_eq!(
+                decoded, artifact,
+                "{name}/{precision}: structural round trip"
+            );
+            assert_eq!(
+                decoded.to_bytes(),
+                bytes,
+                "{name}/{precision}: re-encode is bit-identical"
+            );
+            let mut reloaded = decoded.instantiate().unwrap();
+            assert_eq!(reloaded.precision(), precision);
+            assert_native_bit_equal(&net, &reloaded, &format!("{name}/{precision}"));
+            assert_bit_identical(
+                &mut net,
+                &mut reloaded,
+                &eval_input(name),
+                &format!("{name}/{precision}"),
+            );
+        }
+        // Reduced-precision artifacts really are smaller on the wire.
+        assert!(
+            sizes[1] < sizes[0] && sizes[2] < sizes[1],
+            "{name}: artifact bytes must shrink with precision, got {sizes:?}"
+        );
+    }
+}
+
+/// Truncating a v3 (native-precision) artifact at any byte boundary yields a
+/// typed error, for both native encodings.
+#[test]
+fn native_truncation_yields_typed_errors_everywhere() {
+    for precision in [Precision::F16, Precision::Int8] {
+        let mut net = cnn();
+        net.quantize_to(precision);
+        let bytes = ModelArtifact::capture(&net).unwrap().to_bytes();
+        for cut in 0..bytes.len() {
+            match ModelArtifact::from_bytes(&bytes[..cut]) {
+                Err(IoError::Truncated { .. }) | Err(IoError::BadMagic) => {}
+                other => panic!(
+                    "{precision}, cut at {cut}: expected a typed truncation error, got {other:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// A native-precision artifact downgrades to the v1 encoding by storing the
+/// dequantized f32 values — older readers keep working, losing only the
+/// native storage (not the values it decodes to).
+#[test]
+fn native_artifacts_downgrade_to_v1_as_f32() {
+    for precision in [Precision::F16, Precision::Int8] {
+        let mut net = cnn();
+        net.quantize_to(precision);
+        let artifact = ModelArtifact::capture(&net).unwrap();
+        let v1 = ModelArtifact::from_bytes(&artifact.to_bytes_v1()).unwrap();
+        assert_eq!(v1.format_version(), 2, "{precision}: v1 decode is all-f32");
+        let reloaded = v1.instantiate().unwrap();
+        net.quantize_to(Precision::F32);
+        for (a, b) in net.params().iter().zip(reloaded.params()) {
+            assert_eq!(
+                a.data(),
+                b.data(),
+                "{precision}: dequantized `{}` via v1",
+                a.name()
+            );
+        }
+    }
+}
+
+/// All-f32 artifacts still encode as format version 2 and the exact v2 byte
+/// stream is pinned: old files decode unchanged, and new all-f32 files are
+/// byte-identical to what the pre-v3 writer produced.
+#[test]
+fn all_f32_artifacts_keep_the_v2_encoding_byte_identical() {
+    let bytes = ModelArtifact::capture(&cnn()).unwrap().to_bytes();
+    assert_eq!(&bytes[8..12], &2u32.to_le_bytes(), "version stamp is 2");
+    // FNV-1a over the deterministic (seeded) artifact pins the exact wire
+    // bytes — any change to the v2 encoding, intended or not, fails here.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    assert_eq!(
+        hash,
+        PINNED_V2_FNV1A,
+        "the all-f32 v2 wire format changed ({} bytes)",
+        bytes.len()
+    );
+    let decoded = ModelArtifact::from_bytes(&bytes).unwrap();
+    assert!(
+        decoded.params.iter().all(|p| p.native.is_none()),
+        "v2 decode must not invent native payloads"
+    );
+}
+
+/// See [`all_f32_artifacts_keep_the_v2_encoding_byte_identical`].
+const PINNED_V2_FNV1A: u64 = 5_815_570_999_583_705_985;
 
 proptest! {
     /// Arbitrary bytes never panic the decoder: anything that is not a valid

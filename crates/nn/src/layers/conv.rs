@@ -3,7 +3,9 @@
 use crate::layers::{cache_input, Layer, Mode};
 use crate::{NnError, Parameter};
 use fitact_tensor::matmul::{matmul_into, Layout};
-use fitact_tensor::{col2im_into, conv_output_size, im2col_into, init, Tensor, Workspace};
+use fitact_tensor::{
+    col2im_into, conv_output_size, im2col_into, init, simd, NativeParam, Tensor, Workspace,
+};
 use rand::Rng;
 
 /// Workspace slot holding the im2col column matrix.
@@ -146,8 +148,64 @@ impl Conv2d {
         out.ensure_shape(&[batch, self.out_channels, out_h, out_w]);
         // The [out_ch, in_ch, kh, kw] weight is already a row-major
         // [out_ch, in_ch·kh·kw] matrix; no reshape copy is needed.
-        let wmat = self.weight.data().as_slice();
+        let wnative = self.weight.native();
         let bias = self.bias.data();
+        if let Some(native) = wnative {
+            // Reduced-precision weights: the dispatching kernels compute
+            // row·Wᵀ products, so feed them the transposed column matrix
+            // (one row per output position) and transpose the result back
+            // into the [out_ch, spatial] feature-map layout.
+            let oc = self.out_channels;
+            let cols = self.ws.buf(WS_COLS, kmat * spatial);
+            let mut rows = vec![0.0f32; spatial * kmat];
+            let mut yt = vec![0.0f32; spatial * oc];
+            for n in 0..batch {
+                let sample = &input.as_slice()[n * in_size..(n + 1) * in_size];
+                im2col_into(
+                    sample,
+                    (self.in_channels, h, w),
+                    (self.kernel, self.kernel),
+                    self.stride,
+                    self.padding,
+                    cols,
+                )?;
+                for (r, crow) in cols.chunks_exact(spatial).enumerate() {
+                    for (s, v) in crow.iter().enumerate() {
+                        rows[s * kmat + r] = *v;
+                    }
+                }
+                match native {
+                    NativeParam::F16(wq) => simd::matmul_f16(
+                        &rows,
+                        wq.words(),
+                        Some(bias.as_slice()),
+                        &mut yt,
+                        spatial,
+                        kmat,
+                        oc,
+                    ),
+                    NativeParam::Int8(wq) => simd::matmul_i8(
+                        &rows,
+                        wq.q(),
+                        wq.scales(),
+                        wq.zero_points(),
+                        Some(bias.as_slice()),
+                        &mut yt,
+                        spatial,
+                        kmat,
+                        oc,
+                    ),
+                }
+                let y = &mut out.as_mut_slice()[n * out_size..(n + 1) * out_size];
+                for (s, yrow) in yt.chunks_exact(oc).enumerate() {
+                    for (c, v) in yrow.iter().enumerate() {
+                        y[c * spatial + s] = *v;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let wmat = self.weight.data().as_slice();
         let cols = self.ws.buf(WS_COLS, kmat * spatial);
         for n in 0..batch {
             let sample = &input.as_slice()[n * in_size..(n + 1) * in_size];
@@ -196,6 +254,12 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        if let Some(native) = self.weight.native() {
+            return Err(NnError::QuantizedBackward {
+                layer: self.name(),
+                precision: native.precision(),
+            });
+        }
         // Take the cache to avoid cloning it for the borrow checker; it is
         // restored before returning.
         let input = self

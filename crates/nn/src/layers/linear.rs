@@ -3,7 +3,7 @@
 use crate::layers::{cache_input, Layer, Mode};
 use crate::{NnError, Parameter};
 use fitact_tensor::matmul::{matmul_into, Layout};
-use fitact_tensor::{init, Tensor};
+use fitact_tensor::{init, simd, NativeParam, Tensor};
 use rand::Rng;
 
 /// A fully-connected layer computing `y = x Wᵀ + b` (paper Eq. 1).
@@ -75,18 +75,50 @@ impl Layer for Linear {
         }
         cache_input(&mut self.cached_input, input);
         // y = x Wᵀ + b
-        let mut y = input.matmul_nt(self.weight.data())?;
+        let (m, k, n) = (input.dims()[0], self.in_features, self.out_features);
         let bias = self.bias.data().as_slice();
-        let out = self.out_features;
-        for row in y.as_mut_slice().chunks_mut(out) {
-            for (v, b) in row.iter_mut().zip(bias) {
-                *v += b;
+        match self.weight.native() {
+            // Reduced-precision weights go through the dispatching kernels,
+            // which fuse the bias add and decode words on the fly.
+            Some(NativeParam::F16(w)) => {
+                let mut y = vec![0.0f32; m * n];
+                simd::matmul_f16(input.as_slice(), w.words(), Some(bias), &mut y, m, k, n);
+                Ok(Tensor::from_vec(y, &[m, n])?)
+            }
+            Some(NativeParam::Int8(w)) => {
+                let mut y = vec![0.0f32; m * n];
+                simd::matmul_i8(
+                    input.as_slice(),
+                    w.q(),
+                    w.scales(),
+                    w.zero_points(),
+                    Some(bias),
+                    &mut y,
+                    m,
+                    k,
+                    n,
+                );
+                Ok(Tensor::from_vec(y, &[m, n])?)
+            }
+            None => {
+                let mut y = input.matmul_nt(self.weight.data())?;
+                for row in y.as_mut_slice().chunks_mut(n) {
+                    for (v, b) in row.iter_mut().zip(bias) {
+                        *v += b;
+                    }
+                }
+                Ok(y)
             }
         }
-        Ok(y)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        if let Some(native) = self.weight.native() {
+            return Err(NnError::QuantizedBackward {
+                layer: self.name(),
+                precision: native.precision(),
+            });
+        }
         let input = self
             .cached_input
             .as_ref()

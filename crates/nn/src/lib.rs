@@ -49,7 +49,7 @@ pub mod trace;
 
 pub use activation::{Activation, ReLU};
 pub use layers::{Layer, Mode, Sequential};
-pub use network::{copy_batch_into, Network};
+pub use network::{copy_batch_into, Network, NetworkSnapshot};
 pub use param::Parameter;
 pub use spec::{ActivationBuilder, ActivationSpec, BaselineActivations, LayerSpec};
 pub use trace::ViolationTrace;
@@ -77,6 +77,15 @@ pub enum NnError {
     /// A configuration value was invalid (zero sizes, probabilities outside
     /// `[0, 1]`, …).
     InvalidConfig(String),
+    /// `backward` was called through a parameter stored in a reduced-precision
+    /// native encoding. Quantised parameters are inference-only; dequantise
+    /// the network (`Network::quantize_to(Precision::F32)`) before training.
+    QuantizedBackward {
+        /// The layer holding the reduced-precision parameter.
+        layer: String,
+        /// The native encoding of that parameter (e.g. "f16", "int8").
+        precision: fitact_tensor::Precision,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -97,6 +106,13 @@ impl fmt::Display for NnError {
                 write!(f, "backward called on `{layer}` before forward")
             }
             NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::QuantizedBackward { layer, precision } => {
+                write!(
+                    f,
+                    "layer `{layer}` holds {precision} parameters, which are \
+                     inference-only; dequantise to f32 before training"
+                )
+            }
         }
     }
 }

@@ -5,7 +5,7 @@ use crate::loss::CrossEntropyLoss;
 use crate::metrics::{accuracy, RunningMean};
 use crate::optim::Optimizer;
 use crate::{NnError, Parameter};
-use fitact_tensor::{Tensor, TensorArena};
+use fitact_tensor::{F16Param, Int8Param, NativeParam, Precision, Tensor, TensorArena};
 
 /// A neural network: a named [`Sequential`] stack plus the bookkeeping the
 /// FitAct workflow and the fault injector need (parameter enumeration,
@@ -50,6 +50,27 @@ pub struct ParamInfo {
     pub numel: usize,
     /// Whether the parameter is currently trainable.
     pub trainable: bool,
+    /// The element type the parameter is stored in.
+    pub precision: Precision,
+    /// Quantisation channels (int8 parameters only; 0 otherwise). Each
+    /// channel carries an f32 scale and an int8 zero point, which are part
+    /// of the deployed representation's fault space.
+    pub channels: usize,
+}
+
+/// A full-fidelity capture of every parameter's storage — f32 tensors *and*
+/// native reduced-precision words — taken with [`Network::snapshot_full`].
+///
+/// The plain [`Network::snapshot`] path captures only f32 tensors, which is
+/// lossy for native parameters: re-encoding a decoded value can quietise
+/// NaNs or re-round, so a campaign restoring through f32 would not be
+/// bit-faithful. `NetworkSnapshot` restores the exact stored words.
+#[derive(Debug, Clone)]
+pub struct NetworkSnapshot {
+    /// Per-parameter f32 values (empty placeholders for native params).
+    pub tensors: Vec<Tensor>,
+    /// Per-parameter native storage, aligned with `tensors`.
+    pub natives: Vec<Option<NativeParam>>,
 }
 
 /// Loss/accuracy summary of one pass over a dataset split.
@@ -195,6 +216,11 @@ impl Network {
                 path: path.to_owned(),
                 numel: p.numel(),
                 trainable: p.trainable(),
+                precision: p.precision(),
+                channels: match p.native() {
+                    Some(NativeParam::Int8(q)) => q.channels(),
+                    _ => 0,
+                },
             });
         });
         out
@@ -258,6 +284,112 @@ impl Network {
             p.data_mut().copy_from(s);
         }
         Ok(())
+    }
+
+    /// Captures every parameter's storage in full fidelity — including
+    /// native f16/int8 words — for bit-faithful restore in any precision.
+    pub fn snapshot_full(&self) -> NetworkSnapshot {
+        let params = self.params();
+        NetworkSnapshot {
+            tensors: params.iter().map(|p| p.data().clone()).collect(),
+            natives: params.iter().map(|p| p.native().cloned()).collect(),
+        }
+    }
+
+    /// Restores parameter storage from a [`Network::snapshot_full`] capture.
+    ///
+    /// Native parameters get their exact stored words back (never a decode →
+    /// re-encode round trip, which would not be bit-faithful for NaN
+    /// payloads produced by fault injection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the snapshot does not match the
+    /// current parameter list.
+    pub fn restore_full(&mut self, snapshot: &NetworkSnapshot) -> Result<(), NnError> {
+        let mut params = self.params_mut();
+        if params.len() != snapshot.tensors.len() || params.len() != snapshot.natives.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "snapshot has {} tensors but the network has {} parameters",
+                snapshot.tensors.len(),
+                params.len()
+            )));
+        }
+        for (p, (s, native)) in params
+            .iter_mut()
+            .zip(snapshot.tensors.iter().zip(&snapshot.natives))
+        {
+            match native {
+                Some(n) => {
+                    if p.dims() != n.dims() {
+                        return Err(NnError::InvalidConfig(format!(
+                            "snapshot native shape {:?} does not match parameter `{}` shape {:?}",
+                            n.dims(),
+                            p.name(),
+                            p.dims()
+                        )));
+                    }
+                    p.set_native(n.clone());
+                }
+                None => {
+                    if p.native().is_some() {
+                        p.dequantize();
+                    }
+                    if p.data().dims() != s.dims() {
+                        return Err(NnError::InvalidConfig(format!(
+                            "snapshot tensor shape {:?} does not match parameter `{}` shape {:?}",
+                            s.dims(),
+                            p.name(),
+                            p.data().dims()
+                        )));
+                    }
+                    p.data_mut().copy_from(s);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The element type the network's weights are stored in ([`Precision::F32`]
+    /// unless some parameter carries a native encoding).
+    pub fn precision(&self) -> Precision {
+        self.params()
+            .iter()
+            .find_map(|p| p.native().map(|n| n.precision()))
+            .unwrap_or(Precision::F32)
+    }
+
+    /// Converts the network's weight matrices to `precision` storage.
+    ///
+    /// Matrix-shaped trainable parameters (linear `[out, in]` weights and
+    /// convolution `[oc, ic, kh, kw]` kernels — anything with ≥ 2 dims) move
+    /// to the native encoding; biases, batch-norm vectors and activation
+    /// bounds stay f32, mirroring standard deployment practice. Converting
+    /// to [`Precision::F32`] decodes every native parameter back to owned
+    /// f32 storage (exact kernel arithmetic).
+    ///
+    /// Quantised parameters are inference-only: they are frozen, and
+    /// layers report a typed error if asked to backprop through them.
+    pub fn quantize_to(&mut self, precision: Precision) {
+        self.visit_params_mut(&mut |_, p| match precision {
+            Precision::F32 => p.dequantize(),
+            Precision::F16 | Precision::Int8 => {
+                let eligible = p.dims().len() >= 2 && (p.trainable() || p.native().is_some());
+                if !eligible || p.precision() == precision {
+                    return;
+                }
+                let (values, dims) = match p.native() {
+                    Some(n) => (n.to_f32_vec(), n.dims().to_vec()),
+                    None => (p.data().as_slice().to_vec(), p.data().dims().to_vec()),
+                };
+                let native = match precision {
+                    Precision::F16 => NativeParam::F16(F16Param::from_f32(&values, &dims)),
+                    Precision::Int8 => NativeParam::Int8(Int8Param::quantize(&values, &dims)),
+                    Precision::F32 => unreachable!("handled above"),
+                };
+                p.set_native(native);
+            }
+        });
     }
 
     /// Clears all parameter gradients.

@@ -1,6 +1,6 @@
 //! Named trainable parameters.
 
-use fitact_tensor::Tensor;
+use fitact_tensor::{NativeParam, Precision, Tensor};
 
 /// A named tensor of learnable values together with its gradient.
 ///
@@ -31,6 +31,10 @@ pub struct Parameter {
     data: Tensor,
     grad: Tensor,
     trainable: bool,
+    /// When set, the parameter lives in a reduced-precision native encoding
+    /// (f16 words / per-channel int8) instead of `data`; `data` and `grad`
+    /// are then empty placeholders. See [`Parameter::set_native`].
+    native: Option<NativeParam>,
 }
 
 impl Parameter {
@@ -42,6 +46,7 @@ impl Parameter {
             data,
             grad,
             trainable: true,
+            native: None,
         }
     }
 
@@ -110,9 +115,77 @@ impl Parameter {
         self.trainable = true;
     }
 
-    /// Number of scalar values stored in this parameter.
+    /// Number of scalar values stored in this parameter (native encodings
+    /// count their stored values, not the empty f32 placeholder).
     pub fn numel(&self) -> usize {
-        self.data.numel()
+        match &self.native {
+            Some(n) => n.numel(),
+            None => self.data.numel(),
+        }
+    }
+
+    /// Logical dimensions, regardless of storage encoding.
+    pub fn dims(&self) -> Vec<usize> {
+        match &self.native {
+            Some(n) => n.dims().to_vec(),
+            None => self.data.dims().to_vec(),
+        }
+    }
+
+    /// The element type this parameter is stored in.
+    pub fn precision(&self) -> Precision {
+        match &self.native {
+            Some(n) => n.precision(),
+            None => Precision::F32,
+        }
+    }
+
+    /// The native reduced-precision storage, when this parameter has one.
+    pub fn native(&self) -> Option<&NativeParam> {
+        self.native.as_ref()
+    }
+
+    /// Mutable native storage (fault injection flips bits here).
+    pub fn native_mut(&mut self) -> Option<&mut NativeParam> {
+        self.native.as_mut()
+    }
+
+    /// Moves the parameter into a native reduced-precision encoding.
+    ///
+    /// The f32 `data`/`grad` tensors are replaced by empty placeholders and
+    /// the parameter is frozen: reduced-precision parameters are inference-
+    /// only (kernels read the native words directly; training through them
+    /// is a typed error at the layer level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the native dims disagree with the current data dims (when
+    /// the parameter still holds data — an already-native parameter may be
+    /// re-encoded freely).
+    pub fn set_native(&mut self, native: NativeParam) {
+        let current = self.dims();
+        assert_eq!(
+            current,
+            native.dims(),
+            "native encoding must preserve parameter dims"
+        );
+        self.data = Tensor::zeros(&[0]);
+        self.grad = Tensor::zeros(&[0]);
+        self.trainable = false;
+        self.native = Some(native);
+    }
+
+    /// Decodes a native parameter back to owned f32 storage (exact kernel
+    /// arithmetic: f16 widening / int8 dequantisation). No-op for f32
+    /// parameters.
+    pub fn dequantize(&mut self) {
+        if let Some(native) = self.native.take() {
+            let values = native.to_f32_vec();
+            let dims = native.dims().to_vec();
+            self.data = Tensor::from_vec(values, &dims)
+                .expect("native value count always matches its dims");
+            self.grad = Tensor::zeros(&dims);
+        }
     }
 }
 

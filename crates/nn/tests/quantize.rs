@@ -1,0 +1,186 @@
+//! Reduced-precision network storage: quantisation, full-fidelity
+//! snapshots and the inference-only contract.
+
+use fitact_nn::layers::{ActivationLayer, Conv2d, Flatten, Linear, Mode, Sequential};
+use fitact_nn::{Network, NnError};
+use fitact_tensor::{init, NativeParam, Precision, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_mlp(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::new(
+        "mlp",
+        Sequential::new()
+            .with(Box::new(Linear::new(6, 5, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("act", &[5])))
+            .with(Box::new(Linear::new(5, 3, &mut rng))),
+    )
+}
+
+fn small_cnn(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::new(
+        "cnn",
+        Sequential::new()
+            .with(Box::new(Conv2d::new(1, 4, 3, 1, 1, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("act", &[4, 4, 4])))
+            .with(Box::new(Flatten::new()))
+            .with(Box::new(Linear::new(4 * 4 * 4, 3, &mut rng))),
+    )
+}
+
+fn batch(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::uniform(dims, -1.0, 1.0, &mut rng)
+}
+
+#[test]
+fn quantize_to_f16_converts_matrix_params_only() {
+    let mut net = small_mlp(1);
+    assert_eq!(net.precision(), Precision::F32);
+    net.quantize_to(Precision::F16);
+    assert_eq!(net.precision(), Precision::F16);
+    for p in net.params() {
+        if p.dims().len() >= 2 {
+            assert_eq!(p.precision(), Precision::F16, "param {}", p.name());
+            assert!(!p.trainable(), "quantised params must be frozen");
+        } else {
+            assert_eq!(p.precision(), Precision::F32, "param {}", p.name());
+        }
+    }
+}
+
+#[test]
+fn f16_forward_is_close_to_f32() {
+    let mut net = small_mlp(2);
+    let x = batch(&[4, 6], 7);
+    let y32 = net.forward(&x, Mode::Eval).unwrap();
+    net.quantize_to(Precision::F16);
+    let y16 = net.forward(&x, Mode::Eval).unwrap();
+    assert_eq!(y16.dims(), y32.dims());
+    for (a, b) in y16.as_slice().iter().zip(y32.as_slice()) {
+        assert!((a - b).abs() < 2e-2, "f16 {a} vs f32 {b}");
+    }
+}
+
+#[test]
+fn int8_forward_is_close_to_f32_on_cnn() {
+    let mut net = small_cnn(3);
+    let x = batch(&[2, 1, 4, 4], 9);
+    let y32 = net.forward(&x, Mode::Eval).unwrap();
+    net.quantize_to(Precision::Int8);
+    assert_eq!(net.precision(), Precision::Int8);
+    let y8 = net.forward(&x, Mode::Eval).unwrap();
+    for (a, b) in y8.as_slice().iter().zip(y32.as_slice()) {
+        assert!((a - b).abs() < 0.25, "int8 {a} vs f32 {b}");
+    }
+}
+
+#[test]
+fn dequantize_restores_f32_storage_and_close_values() {
+    let mut net = small_mlp(4);
+    let x = batch(&[3, 6], 11);
+    net.quantize_to(Precision::F16);
+    let y16 = net.forward(&x, Mode::Eval).unwrap();
+    net.quantize_to(Precision::F32);
+    assert_eq!(net.precision(), Precision::F32);
+    // Dequantised f32 weights are the exact decode of the f16 words, so the
+    // forward pass reproduces the f16 output except for kernel differences.
+    let y32 = net.forward(&x, Mode::Eval).unwrap();
+    for (a, b) in y32.as_slice().iter().zip(y16.as_slice()) {
+        assert!((a - b).abs() < 1e-4, "dequantised {a} vs f16 {b}");
+    }
+}
+
+#[test]
+fn backward_through_quantized_weights_is_a_typed_error() {
+    let mut net = small_mlp(5);
+    net.quantize_to(Precision::F16);
+    let x = batch(&[2, 6], 13);
+    net.forward(&x, Mode::Eval).unwrap();
+    let err = net
+        .backward(&Tensor::ones(&[2, 3]))
+        .expect_err("backward through f16 weights must fail");
+    assert!(
+        matches!(
+            err,
+            NnError::QuantizedBackward {
+                precision: Precision::F16,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn snapshot_full_round_trips_native_words_bit_exactly() {
+    let mut net = small_mlp(6);
+    net.quantize_to(Precision::F16);
+    let snapshot = net.snapshot_full();
+
+    // Corrupt a native word the way the fault injector does — including a
+    // signalling-NaN pattern that an f32 decode→re-encode would quietise.
+    {
+        let mut params = net.params_mut();
+        let native = params[0].native_mut().unwrap();
+        let NativeParam::F16(w) = native else {
+            panic!("expected f16 words")
+        };
+        w.words_mut()[0] = 0x7C01; // sNaN payload
+        w.words_mut()[1] ^= 0x8000;
+    }
+    let NativeParam::F16(corrupted) = net.params()[0].native().unwrap() else {
+        panic!("expected f16 words")
+    };
+    assert_eq!(corrupted.words()[0], 0x7C01);
+
+    net.restore_full(&snapshot).unwrap();
+    let params = net.params();
+    let NativeParam::F16(w) = params[0].native().unwrap() else {
+        panic!("expected f16 words")
+    };
+    let NativeParam::F16(orig) = snapshot.natives[0].as_ref().unwrap() else {
+        panic!("expected f16 snapshot")
+    };
+    assert_eq!(w.words(), orig.words(), "restore must be bit-exact");
+    assert_ne!(w.words()[0], 0x7C01, "corruption must be rolled back");
+}
+
+#[test]
+fn restore_full_moves_between_precisions() {
+    // Snapshot in f32, quantize, restore: the network must be f32 again.
+    let mut net = small_mlp(8);
+    let x = batch(&[2, 6], 17);
+    let y_before = net.forward(&x, Mode::Eval).unwrap();
+    let snapshot = net.snapshot_full();
+    net.quantize_to(Precision::Int8);
+    net.restore_full(&snapshot).unwrap();
+    assert_eq!(net.precision(), Precision::F32);
+    let y_after = net.forward(&x, Mode::Eval).unwrap();
+    assert_eq!(y_before.as_slice(), y_after.as_slice());
+}
+
+#[test]
+fn restore_full_rejects_mismatched_snapshot() {
+    let mut net = small_mlp(9);
+    let other = small_cnn(9).snapshot_full();
+    assert!(net.restore_full(&other).is_err());
+}
+
+#[test]
+fn quantize_is_idempotent() {
+    let mut net = small_mlp(10);
+    net.quantize_to(Precision::F16);
+    let words: Vec<u16> = match net.params()[0].native().unwrap() {
+        NativeParam::F16(w) => w.words().to_vec(),
+        NativeParam::Int8(_) => unreachable!(),
+    };
+    net.quantize_to(Precision::F16);
+    let again: Vec<u16> = match net.params()[0].native().unwrap() {
+        NativeParam::F16(w) => w.words().to_vec(),
+        NativeParam::Int8(_) => unreachable!(),
+    };
+    assert_eq!(words, again);
+}

@@ -69,7 +69,7 @@ use fitact_io::{JsonValue, MappedArtifact};
 use fitact_nn::spec::LayerSpec;
 use fitact_nn::{Mode, Network, ViolationTrace};
 use fitact_tensor::matmul::serial_scope;
-use fitact_tensor::{Tensor, TensorArena};
+use fitact_tensor::{Precision, Tensor, TensorArena};
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -157,6 +157,12 @@ pub struct ServeConfig {
     /// Per-bit fault rate for the canary shadow replica (`--canary-rate`);
     /// 0 disables the canary entirely.
     pub canary_rate: f64,
+    /// Expected stored element type of the artifact (`--precision`). When
+    /// set, startup and every hot reload verify the artifact actually stores
+    /// its parameters in this precision — so an operator asking for the
+    /// half-size f16 artifact cannot silently serve the f32 one. `None`
+    /// serves whatever the artifact stores.
+    pub precision: Option<Precision>,
     /// Deadline for socket progress while reading a request or writing a
     /// response (`--io-timeout-ms`); a stalled connection is answered 408
     /// and closed. Does **not** bound handler execution time.
@@ -180,6 +186,7 @@ impl Default for ServeConfig {
             retry_policy: RetryPolicy::Off,
             violation_threshold: 1,
             canary_rate: 0.0,
+            precision: None,
             io_timeout: Duration::from_secs(30),
             idle_timeout: Duration::from_secs(60),
         }
@@ -196,6 +203,8 @@ struct LoadedModel {
     name: String,
     scheme: Option<String>,
     num_parameters: usize,
+    /// The element type the weights are stored (and computed) in.
+    precision: Precision,
     /// Whether the parameters are served from a shared read-only mapping
     /// (`false` = owned-buffer fallback, e.g. a v1 artifact).
     mapped: bool,
@@ -204,9 +213,23 @@ struct LoadedModel {
     activation_layers: Vec<usize>,
 }
 
-fn load_model(path: &Path, override_shape: Option<&[usize]>) -> Result<LoadedModel, ServeError> {
+fn load_model(
+    path: &Path,
+    override_shape: Option<&[usize]>,
+    expected_precision: Option<Precision>,
+) -> Result<LoadedModel, ServeError> {
     let artifact = MappedArtifact::open(path)?;
     let mut template = artifact.instantiate()?;
+    let precision = template.precision();
+    if let Some(expected) = expected_precision {
+        if precision != expected {
+            return Err(ServeError::InvalidConfig(format!(
+                "artifact `{}` stores {precision} parameters, but --precision {expected} \
+                 was requested; point the server at an artifact saved in that precision",
+                path.display()
+            )));
+        }
+    }
     let activation_layers = recovery::activation_layer_indices(&mut template);
     let input_shape = match override_shape {
         Some(shape) if !shape.is_empty() => shape.to_vec(),
@@ -225,6 +248,7 @@ fn load_model(path: &Path, override_shape: Option<&[usize]>) -> Result<LoadedMod
         name: artifact.name().to_owned(),
         scheme: artifact.scheme().map(|s| s.name().to_owned()),
         num_parameters: artifact.num_parameters(),
+        precision,
         mapped: artifact.is_mapped(),
         activation_layers,
         template,
@@ -274,6 +298,8 @@ struct Shared {
     generation: AtomicU64,
     model_path: PathBuf,
     input_shape_override: Option<Vec<usize>>,
+    /// Precision pin from `--precision`: reloads re-verify it too.
+    expected_precision: Option<Precision>,
     stopping: AtomicBool,
     max_body: usize,
     workers: usize,
@@ -397,7 +423,7 @@ impl Server {
     #[cfg(unix)]
     fn start_unix(model_path: &Path, config: &ServeConfig) -> Result<Server, ServeError> {
         let model_path = model_path.to_path_buf();
-        let model = load_model(&model_path, config.input_shape.as_deref())?;
+        let model = load_model(&model_path, config.input_shape.as_deref(), config.precision)?;
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -414,6 +440,7 @@ impl Server {
             generation: AtomicU64::new(1),
             model_path,
             input_shape_override: config.input_shape.clone(),
+            expected_precision: config.precision,
             stopping: AtomicBool::new(false),
             max_body: config.max_body_bytes,
             workers: config.workers,
@@ -1374,6 +1401,10 @@ fn health_json(shared: &Arc<Shared>) -> JsonValue {
             "num_parameters".into(),
             JsonValue::Number(model.num_parameters as f64),
         ),
+        (
+            "precision".into(),
+            JsonValue::String(model.precision.name().into()),
+        ),
         ("mapped".into(), JsonValue::Bool(model.mapped)),
         (
             "generation".into(),
@@ -1507,7 +1538,11 @@ fn predict(shared: &Arc<Shared>, body: &[u8]) -> (u16, JsonValue) {
 }
 
 fn reload(shared: &Arc<Shared>) -> (u16, JsonValue) {
-    match load_model(&shared.model_path, shared.input_shape_override.as_deref()) {
+    match load_model(
+        &shared.model_path,
+        shared.input_shape_override.as_deref(),
+        shared.expected_precision,
+    ) {
         Ok(model) => {
             let num_parameters = model.num_parameters;
             *shared.model.write().expect("model lock poisoned") = Arc::new(model);

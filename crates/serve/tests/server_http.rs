@@ -486,3 +486,110 @@ fn reload_with_a_different_input_shape_fails_stale_rows_cleanly() {
     server.shutdown();
     server.join();
 }
+
+#[test]
+fn f16_artifact_serves_mapped_under_a_precision_pin() {
+    let path = temp_model("tiny_f16.fitact");
+    let mut rng = StdRng::seed_from_u64(79);
+    let mut net = Network::new(
+        "tiny-f16",
+        Sequential::new()
+            .with(Box::new(Linear::new(4, 16, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h", &[16])))
+            .with(Box::new(Linear::new(16, 3, &mut rng))),
+    );
+    net.quantize_to(fitact_tensor::Precision::F16);
+    ModelArtifact::capture(&net).unwrap().save(&path).unwrap();
+    let server = Server::start(
+        &path,
+        &ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+            workers: 2,
+            precision: Some(fitact_tensor::Precision::F16),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let (status, health) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("precision").unwrap().as_str().unwrap(), "f16");
+    assert_eq!(
+        health.get("mapped"),
+        Some(&JsonValue::Bool(true)),
+        "half-precision weights must serve zero-copy from the mapping"
+    );
+    let (status, response) = http(addr, "POST", "/predict", r#"{"input": [1, 2, 3, 4]}"#);
+    assert_eq!(status, 200, "{response}");
+    let outputs = response.get("outputs").unwrap();
+    let row = match outputs {
+        JsonValue::Array(rows) => match &rows[0] {
+            JsonValue::Array(row) => row.len(),
+            other => panic!("expected a row, got {other}"),
+        },
+        other => panic!("expected rows, got {other}"),
+    };
+    assert_eq!(row, 3);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn precision_mismatch_is_a_typed_startup_error() {
+    // An f32 artifact cannot be served under an f16 pin…
+    let path = temp_model("tiny_pinned.fitact");
+    tiny_artifact().save(&path).unwrap();
+    let err = Server::start(
+        &path,
+        &ServeConfig {
+            precision: Some(fitact_tensor::Precision::F16),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap_err();
+    match err {
+        ServeError::InvalidConfig(msg) => {
+            assert!(msg.contains("f32"), "{msg}");
+            assert!(msg.contains("f16"), "{msg}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    // …and a reload that swaps the precision out from under the pin fails,
+    // keeping the old model serving.
+    let mut rng = StdRng::seed_from_u64(80);
+    let mut net = Network::new(
+        "tiny-int8",
+        Sequential::new().with(Box::new(Linear::new(4, 3, &mut rng))),
+    );
+    net.quantize_to(fitact_tensor::Precision::Int8);
+    let int8_path = temp_model("tiny_pin_reload.fitact");
+    ModelArtifact::capture(&net)
+        .unwrap()
+        .save(&int8_path)
+        .unwrap();
+    let server = Server::start(
+        &int8_path,
+        &ServeConfig {
+            precision: Some(fitact_tensor::Precision::Int8),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    tiny_artifact().save(&int8_path).unwrap(); // now f32 on disk
+    let (status, body) = http(addr, "POST", "/admin/reload", "");
+    assert_eq!(status, 500, "{body}");
+    assert!(body
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("int8"));
+    // The int8 model is still the one serving.
+    let (status, health) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("precision").unwrap().as_str().unwrap(), "int8");
+    server.shutdown();
+    server.join();
+}

@@ -70,14 +70,15 @@ impl Fixed32 {
         self.raw as u32
     }
 
-    /// Encodes an `f32`, rounding to the nearest representable value and
-    /// saturating at the ends of the range. Non-finite inputs saturate in the
-    /// direction of their sign (NaN encodes as zero).
+    /// Encodes an `f32`, rounding to the nearest representable value (ties
+    /// to even, the same rounding mode as the f16 conversion path in
+    /// [`crate::half`]) and saturating at the ends of the range. Non-finite
+    /// inputs saturate in the direction of their sign (NaN encodes as zero).
     pub fn from_f32(value: f32) -> Self {
         if value.is_nan() {
             return Fixed32::ZERO;
         }
-        let scaled = (value as f64 * SCALE as f64).round();
+        let scaled = (value as f64 * SCALE as f64).round_ties_even();
         if scaled >= i32::MAX as f64 {
             Fixed32::MAX
         } else if scaled <= i32::MIN as f64 {
@@ -319,7 +320,58 @@ mod tests {
         assert_eq!(back, 2.5);
     }
 
+    #[test]
+    fn encode_rounds_ties_to_even() {
+        // Exact halfway points between representable Q15.16 values must go
+        // to the even raw word, matching the f16 path's rounding mode.
+        let half_lsb = 0.5 / SCALE;
+        assert_eq!(Fixed32::from_f32(half_lsb).raw(), 0, "0.5 ulp ties to 0");
+        assert_eq!(
+            Fixed32::from_f32(3.0 * half_lsb).raw(),
+            2,
+            "1.5 ulp ties to 2"
+        );
+        assert_eq!(
+            Fixed32::from_f32(5.0 * half_lsb).raw(),
+            2,
+            "2.5 ulp ties to 2"
+        );
+        assert_eq!(Fixed32::from_f32(-half_lsb).raw(), 0);
+        assert_eq!(Fixed32::from_f32(-3.0 * half_lsb).raw(), -2);
+    }
+
+    #[test]
+    fn saturation_boundaries_are_exact() {
+        // The first value at/above the top of the range maps to MAX, the
+        // last representable one below it round-trips.
+        assert_eq!(Fixed32::from_f32(32768.0), Fixed32::MAX);
+        assert_eq!(Fixed32::from_f32(-32768.0), Fixed32::MIN);
+        assert_eq!(Fixed32::from_f32(-32768.0).to_f32(), -32768.0);
+        let below_max = Fixed32::from_f32(32767.998);
+        assert!(below_max < Fixed32::MAX, "in-range values do not saturate");
+        assert_eq!(Fixed32::from_f32(32767.0).to_f32(), 32767.0);
+    }
+
     proptest! {
+        /// The Q15.16 encoder and the f16 narrowing path agree on rounding
+        /// mode: for values whose scaled magnitude lands exactly halfway,
+        /// both round to even. Cross-checked by construction: a value
+        /// `(2n+1)/2 · 2^-16` must encode to the even neighbour of `n`.
+        #[test]
+        fn q15_16_and_f16_agree_on_round_to_nearest_even(n in -1000i32..1000) {
+            let tie = (2.0 * n as f64 + 1.0) / 2.0 / SCALE as f64;
+            let q = Fixed32::from_f32(tie as f32);
+            let expected = if n % 2 == 0 { n } else { n + 1 };
+            prop_assert_eq!(q.raw(), expected, "tie at raw {}", n);
+            // Same experiment in f16: halfway between 1+2k·2^-10 and its
+            // successor must land on the even mantissa.
+            let k = n.unsigned_abs() % 512;
+            let even = f32::from_bits(0x3F80_0000 | (k << 14));
+            let halfway = even + f32::powi(2.0, -11);
+            let h = crate::half::f32_to_f16(halfway);
+            prop_assert_eq!(h & 1, 0, "f16 tie must land on an even mantissa");
+        }
+
         /// Encoding then decoding never moves a value by more than half an LSB
         /// (plus rounding), for values well inside the representable range.
         #[test]

@@ -1,0 +1,231 @@
+//! IEEE 754 binary16 ("f16") conversions, bit-exact with the x86 F16C
+//! instructions.
+//!
+//! The reduced-precision backend stores parameters as raw `u16` half-precision
+//! words and widens them on the fly inside the [`crate::simd`] kernels. The
+//! SIMD leg uses `vcvtph2ps` / `vcvtps2ph`; the scalar fallback uses the
+//! functions in this module, which are written to match those instructions
+//! **bit for bit** — including round-to-nearest-even on narrowing, overflow to
+//! infinity, gradual underflow to the f16 subnormal range and quietisation of
+//! signalling NaNs on widening. The `scalar==SIMD` identity suite pins the
+//! agreement on real hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use fitact_tensor::half::{f16_to_f32, f32_to_f16};
+//!
+//! let h = f32_to_f16(1.5);
+//! assert_eq!(h, 0x3E00);
+//! assert_eq!(f16_to_f32(h), 1.5);
+//! // Narrowing rounds to nearest even: 1 + 2^-11 is exactly halfway
+//! // between 1.0 and the next representable half value.
+//! assert_eq!(f32_to_f16(1.0 + f32::powi(2.0, -11)), f32_to_f16(1.0));
+//! ```
+
+/// Number of bits in a stored half-precision word.
+pub const F16_BITS: u32 = 16;
+
+/// Bit index of the f16 sign bit.
+pub const F16_SIGN_BIT: u32 = 15;
+
+/// Largest finite f16 value (65504).
+pub const F16_MAX: f32 = 65504.0;
+
+/// Widens a half-precision bit pattern to `f32`.
+///
+/// Exact for every finite value and for infinities. NaNs keep their sign and
+/// payload (shifted into the high mantissa bits) and are quietised, exactly
+/// as `vcvtph2ps` does.
+pub fn f16_to_f32(h: u16) -> f32 {
+    f32::from_bits(f16_to_f32_bits(h))
+}
+
+/// Bit-level form of [`f16_to_f32`].
+pub fn f16_to_f32_bits(h: u16) -> u32 {
+    let sign = (u32::from(h) & 0x8000) << 16;
+    let exp = u32::from(h >> 10) & 0x1F;
+    let man = u32::from(h) & 0x3FF;
+    match exp {
+        0 => {
+            if man == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: normalise the mantissa into the implicit-bit
+                // position. The value is exactly man · 2⁻²⁴, which is a
+                // normal f32.
+                let mut e = 113u32;
+                let mut m = man;
+                while m & 0x400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                sign | (e << 23) | ((m & 0x3FF) << 13)
+            }
+        }
+        31 => {
+            if man == 0 {
+                sign | 0x7F80_0000 // ±inf
+            } else {
+                // NaN: widen the payload and force the quiet bit (hardware
+                // quietises signalling NaNs on conversion).
+                sign | 0x7FC0_0000 | (man << 13)
+            }
+        }
+        _ => sign | ((exp + 112) << 23) | (man << 13),
+    }
+}
+
+/// Narrows an `f32` to a half-precision bit pattern with round-to-nearest-even.
+///
+/// Overflow (anything that rounds to a magnitude ≥ 65520) becomes infinity,
+/// tiny values underflow gradually through the f16 subnormals, and NaNs are
+/// quietised with their high payload bits preserved — all matching
+/// `vcvtps2ph` with the round-to-nearest control.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let abs = bits & 0x7FFF_FFFF;
+    if abs >= 0x7F80_0000 {
+        // Inf stays inf; NaN keeps the top ten payload bits, quietised.
+        let man = abs & 0x7F_FFFF;
+        return if man == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00 | ((man >> 13) as u16 & 0x3FF)
+        };
+    }
+    if abs >= 0x4780_0000 {
+        // ≥ 2¹⁶: past the largest value that could round back down.
+        return sign | 0x7C00;
+    }
+    let e = ((abs >> 23) as i32) - 127;
+    if e >= -14 {
+        // Normal f16 range. Round the 13 dropped mantissa bits to nearest
+        // even; a carry propagates cleanly into the exponent field (65504
+        // rounding up becomes the infinity encoding).
+        let man = abs & 0x7F_FFFF;
+        let base = (((e + 15) as u32) << 10) | (man >> 13);
+        let rem = man & 0x1FFF;
+        let round_up = rem > 0x1000 || (rem == 0x1000 && base & 1 == 1);
+        sign | (base + u32::from(round_up)) as u16
+    } else if e >= -25 {
+        // Subnormal f16 range (including halfway into the smallest
+        // subnormal): shift the full significand down with RNE. A carry out
+        // of the subnormal range lands exactly on the smallest normal.
+        let man = (abs & 0x7F_FFFF) | 0x80_0000;
+        let shift = (-e - 1) as u32;
+        let q = man >> shift;
+        let rem = man & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let round_up = rem > half || (rem == half && q & 1 == 1);
+        sign | (q + u32::from(round_up)) as u16
+    } else {
+        sign // rounds to ±0
+    }
+}
+
+/// Encodes a slice of `f32` values as f16 words (round-to-nearest-even).
+pub fn encode_f16_slice(values: &[f32]) -> Vec<u16> {
+    values.iter().map(|&v| f32_to_f16(v)).collect()
+}
+
+/// Decodes a slice of f16 words to `f32` values (exact widening).
+pub fn decode_f16_slice(words: &[u16]) -> Vec<f32> {
+    words.iter().map(|&w| f16_to_f32(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_values_roundtrip() {
+        for v in [0.0, -0.0, 1.0, -1.0, 0.5, 1.5, 2048.0, -65504.0, 65504.0] {
+            let h = f32_to_f16(v);
+            assert_eq!(f16_to_f32(h), v, "value {v}");
+        }
+        assert_eq!(f32_to_f16(0.0), 0x0000);
+        assert_eq!(f32_to_f16(-0.0), 0x8000);
+        assert_eq!(f32_to_f16(1.0), 0x3C00);
+        assert_eq!(f32_to_f16(65504.0), 0x7BFF);
+    }
+
+    #[test]
+    fn narrowing_rounds_ties_to_even() {
+        // 1 + 2^-11 sits exactly between 1.0 (even mantissa) and 1 + 2^-10.
+        assert_eq!(f32_to_f16(1.0 + f32::powi(2.0, -11)), 0x3C00);
+        // 1 + 3·2^-11 sits between 1 + 2^-10 (odd) and 1 + 2^-9 (even).
+        assert_eq!(f32_to_f16(1.0 + 3.0 * f32::powi(2.0, -11)), 0x3C02);
+    }
+
+    #[test]
+    fn saturation_at_the_representable_boundary() {
+        // 65520 is exactly halfway between 65504 and the next step (2^16);
+        // round-to-nearest-even sends it to infinity, as vcvtps2ph does.
+        assert_eq!(f32_to_f16(65520.0), 0x7C00);
+        assert_eq!(f32_to_f16(-65520.0), 0xFC00);
+        assert_eq!(f32_to_f16(65519.996), 0x7BFF);
+        assert_eq!(f32_to_f16(f32::INFINITY), 0x7C00);
+        assert_eq!(f32_to_f16(f32::NEG_INFINITY), 0xFC00);
+        assert_eq!(f32_to_f16(1e9), 0x7C00);
+    }
+
+    #[test]
+    fn subnormals_and_underflow() {
+        let smallest_sub = f32::powi(2.0, -24);
+        assert_eq!(f32_to_f16(smallest_sub), 0x0001);
+        assert_eq!(f16_to_f32(0x0001), smallest_sub);
+        // Half the smallest subnormal ties to even zero.
+        assert_eq!(f32_to_f16(smallest_sub / 2.0), 0x0000);
+        // Three quarters rounds up to the smallest subnormal.
+        assert_eq!(f32_to_f16(smallest_sub * 0.75), 0x0001);
+        // Largest subnormal and smallest normal are adjacent.
+        assert_eq!(f16_to_f32(0x03FF), 1023.0 * smallest_sub);
+        assert_eq!(f16_to_f32(0x0400), f32::powi(2.0, -14));
+        // A tiny normal f32 underflows to zero.
+        assert_eq!(f32_to_f16(f32::powi(2.0, -30)), 0x0000);
+    }
+
+    #[test]
+    fn nan_widening_quietises_and_keeps_payload() {
+        // Signalling f16 NaN (quiet bit clear, payload 1).
+        let wide = f16_to_f32_bits(0x7C01);
+        assert_eq!(wide, 0x7FC0_2000);
+        assert!(f32::from_bits(wide).is_nan());
+        // Quiet NaN round-trips its payload through the widening.
+        let q = f16_to_f32(0xFE00);
+        assert!(q.is_nan() && q.is_sign_negative());
+        assert_eq!(f32_to_f16(q), 0xFE00);
+    }
+
+    proptest! {
+        /// Widening then narrowing is the identity for every non-NaN word.
+        #[test]
+        fn widen_narrow_roundtrip(h in any::<u16>()) {
+            prop_assume!(!f16_to_f32(h).is_nan());
+            prop_assert_eq!(f32_to_f16(f16_to_f32(h)), h);
+        }
+
+        /// Narrowing error is at most half an ULP of the f16 result.
+        #[test]
+        fn narrowing_error_is_bounded(v in -60000.0f32..60000.0f32) {
+            let back = f16_to_f32(f32_to_f16(v));
+            // ULP at magnitude |v| is 2^(e-10) with e = floor(log2 |v|).
+            let ulp = if v == 0.0 {
+                f32::powi(2.0, -24)
+            } else {
+                f32::powi(2.0, (v.abs().log2().floor() as i32 - 10).max(-24))
+            };
+            prop_assert!((back - v).abs() <= ulp / 2.0 + f32::EPSILON);
+        }
+
+        /// Narrowing is monotone (order-preserving) on finite values.
+        #[test]
+        fn narrowing_is_monotone(a in -66000.0f32..66000.0f32, b in -66000.0f32..66000.0f32) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(f16_to_f32(f32_to_f16(lo)) <= f16_to_f32(f32_to_f16(hi)));
+        }
+    }
+}

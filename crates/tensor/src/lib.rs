@@ -50,13 +50,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fixed;
+pub mod half;
 pub mod init;
 pub mod matmul;
+pub mod native;
 mod shape;
+pub mod simd;
 mod tensor;
 pub mod workspace;
 
 pub use fixed::Fixed32;
+pub use native::{F16Param, Int8Param, NativeParam, Precision, U16Slab};
 pub use shape::Shape;
 pub use tensor::{col2im, col2im_into, conv_output_size, im2col, im2col_into, F32Slab, Tensor};
 pub use workspace::{TensorArena, Workspace};

@@ -100,6 +100,13 @@ pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Whether a [`serial_scope`] on this thread currently disables kernel
+/// thread fan-out (shared with the reduced-precision kernels in
+/// [`crate::simd`]).
+pub(crate) fn serial_forced() -> bool {
+    FORCE_SERIAL.with(Cell::get)
+}
+
 /// Computes `out[m,n] = op(a) · op(b)` (or `out += …` when `accumulate`).
 ///
 /// Slice lengths must match the layout: `a` is `m·k` elements (`k·m` for

@@ -1,0 +1,521 @@
+//! Native reduced-precision parameter storage: the element type as a real
+//! axis of the system.
+//!
+//! A [`NativeParam`] holds a parameter in the encoding the deployed system
+//! actually stores — IEEE binary16 words ([`F16Param`]) or per-channel
+//! affine-quantised int8 ([`Int8Param`]) — instead of the training-time
+//! `f32` tensor. The inference kernels in [`crate::simd`] compute directly
+//! from these words, fault campaigns flip bits *in* them, and the artifact
+//! format serialises them verbatim, so what is measured is the resilience of
+//! the representation that ships.
+//!
+//! `F16Param` mirrors [`crate::Tensor`]'s storage model: either a private
+//! owned buffer or a copy-on-write window into a shared read-only
+//! [`U16Slab`] (an mmap'd artifact), so N serving workers share one physical
+//! copy of a half-precision model.
+
+use crate::half::{decode_f16_slice, encode_f16_slice};
+use crate::TensorError;
+use std::fmt;
+use std::sync::Arc;
+
+/// The element type a parameter (or a whole model) is stored in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// 32-bit IEEE single precision — the training format.
+    #[default]
+    F32,
+    /// 16-bit IEEE half precision.
+    F16,
+    /// 8-bit per-channel affine-quantised integers.
+    Int8,
+}
+
+impl Precision {
+    /// Canonical lowercase name (`"f32"`, `"f16"`, `"int8"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Parses a precision name as accepted by `--precision`.
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f32" => Some(Precision::F32),
+            "f16" => Some(Precision::F16),
+            "int8" | "i8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+
+    /// Bits per stored parameter value in this encoding.
+    pub fn bits_per_value(self) -> u32 {
+        match self {
+            Precision::F32 => 32,
+            Precision::F16 => 16,
+            Precision::Int8 => 8,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A shared, read-only `u16` buffer (the f16 analogue of
+/// [`crate::F32Slab`]): typically an mmap'd artifact viewed as half words.
+pub trait U16Slab: Send + Sync + fmt::Debug {
+    /// Returns the whole slab as a `u16` slice.
+    fn as_u16(&self) -> &[u16];
+}
+
+/// Backing storage of an [`F16Param`]: owned words or a copy-on-write
+/// window into a shared [`U16Slab`].
+#[derive(Clone, Debug)]
+enum U16Storage {
+    Owned(Vec<u16>),
+    Shared {
+        slab: Arc<dyn U16Slab>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+/// A parameter stored as raw IEEE binary16 words.
+///
+/// Logical dims are kept alongside the words; the layout is dense row-major,
+/// matching the `f32` tensor the parameter was quantised from.
+#[derive(Clone, Debug)]
+pub struct F16Param {
+    words: U16Storage,
+    dims: Vec<usize>,
+}
+
+impl F16Param {
+    /// Quantises `f32` values (round-to-nearest-even) into owned f16 words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` disagrees with the volume of `dims`.
+    pub fn from_f32(values: &[f32], dims: &[usize]) -> Self {
+        assert_eq!(
+            values.len(),
+            dims.iter().product::<usize>(),
+            "value count must match dims"
+        );
+        F16Param {
+            words: U16Storage::Owned(encode_f16_slice(values)),
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Wraps existing f16 words without conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the word count disagrees
+    /// with `dims`.
+    pub fn from_words(words: Vec<u16>, dims: &[usize]) -> Result<Self, TensorError> {
+        let expected = dims.iter().product::<usize>();
+        if words.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: words.len(),
+            });
+        }
+        Ok(F16Param {
+            words: U16Storage::Owned(words),
+            dims: dims.to_vec(),
+        })
+    }
+
+    /// Creates a parameter whose words are a window into a shared slab
+    /// (zero-copy). Mutation copies the window out first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the window does not fit in
+    /// the slab.
+    pub fn from_shared(
+        slab: Arc<dyn U16Slab>,
+        offset: usize,
+        dims: &[usize],
+    ) -> Result<Self, TensorError> {
+        let len = dims.iter().product::<usize>();
+        let end = offset.saturating_add(len);
+        if end > slab.as_u16().len() {
+            return Err(TensorError::LengthMismatch {
+                expected: end,
+                actual: slab.as_u16().len(),
+            });
+        }
+        Ok(F16Param {
+            words: U16Storage::Shared { slab, offset, len },
+            dims: dims.to_vec(),
+        })
+    }
+
+    /// The raw f16 words, row-major.
+    pub fn words(&self) -> &[u16] {
+        match &self.words {
+            U16Storage::Owned(w) => w,
+            U16Storage::Shared { slab, offset, len } => &slab.as_u16()[*offset..*offset + *len],
+        }
+    }
+
+    /// Copy-on-write mutable access to the words: a parameter still
+    /// borrowing a shared slab copies its window out first.
+    pub fn words_mut(&mut self) -> &mut [u16] {
+        if let U16Storage::Shared { slab, offset, len } = &self.words {
+            let owned = slab.as_u16()[*offset..*offset + *len].to_vec();
+            self.words = U16Storage::Owned(owned);
+        }
+        match &mut self.words {
+            U16Storage::Owned(w) => w,
+            U16Storage::Shared { .. } => unreachable!("shared storage was just materialised"),
+        }
+    }
+
+    /// Whether the words still alias a shared slab.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.words, U16Storage::Shared { .. })
+    }
+
+    /// Logical dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of stored values.
+    pub fn numel(&self) -> usize {
+        self.words().len()
+    }
+
+    /// Exact widening of every word back to `f32`.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        decode_f16_slice(self.words())
+    }
+}
+
+impl PartialEq for F16Param {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims == other.dims && self.words() == other.words()
+    }
+}
+
+/// A parameter stored as per-channel affine-quantised int8.
+///
+/// Channel `c` (the leading dimension — output channels for linear and
+/// convolution weights) dequantises as `(q - zero_point[c]) · scale[c]`,
+/// which is exactly the arithmetic the int8 kernels perform. Scales are f32
+/// and zero-points are int8, so corruption of either is a first-class fault
+/// model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Int8Param {
+    q: Vec<i8>,
+    scales: Vec<f32>,
+    zero_points: Vec<i8>,
+    dims: Vec<usize>,
+}
+
+impl Int8Param {
+    /// Quantises `values` (row-major, leading dim = channels) with one
+    /// affine `(scale, zero_point)` pair per channel, rounding to nearest
+    /// even and saturating to the int8 range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` disagrees with `dims` or `dims` is empty.
+    pub fn quantize(values: &[f32], dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "int8 quantisation needs at least one dim");
+        assert_eq!(
+            values.len(),
+            dims.iter().product::<usize>(),
+            "value count must match dims"
+        );
+        let channels = dims[0];
+        let per = values.len().checked_div(channels).unwrap_or(0);
+        let mut q = Vec::with_capacity(values.len());
+        let mut scales = Vec::with_capacity(channels);
+        let mut zero_points = Vec::with_capacity(channels);
+        for c in 0..channels {
+            let row = &values[c * per..(c + 1) * per];
+            let (mut lo, mut hi) = (0.0f32, 0.0f32);
+            for &v in row {
+                if v.is_finite() {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            let scale = if hi > lo { (hi - lo) / 255.0 } else { 1.0 };
+            let zp = (-128.0 - lo / scale).round_ties_even().clamp(-128.0, 127.0) as i8;
+            scales.push(scale);
+            zero_points.push(zp);
+            for &v in row {
+                let qv = (v / scale).round_ties_even() + f32::from(zp);
+                q.push(qv.clamp(-128.0, 127.0) as i8);
+            }
+        }
+        Int8Param {
+            q,
+            scales,
+            zero_points,
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Reassembles a parameter from its serialised parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the value count disagrees
+    /// with `dims` or the scale/zero-point counts disagree with the leading
+    /// dimension.
+    pub fn from_parts(
+        q: Vec<i8>,
+        scales: Vec<f32>,
+        zero_points: Vec<i8>,
+        dims: &[usize],
+    ) -> Result<Self, TensorError> {
+        let expected = dims.iter().product::<usize>();
+        if q.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: q.len(),
+            });
+        }
+        let channels = dims.first().copied().unwrap_or(0);
+        if scales.len() != channels || zero_points.len() != channels {
+            return Err(TensorError::LengthMismatch {
+                expected: channels,
+                actual: scales.len().max(zero_points.len()),
+            });
+        }
+        Ok(Int8Param {
+            q,
+            scales,
+            zero_points,
+            dims: dims.to_vec(),
+        })
+    }
+
+    /// The quantised values, row-major.
+    pub fn q(&self) -> &[i8] {
+        &self.q
+    }
+
+    /// Mutable quantised values (for fault injection).
+    pub fn q_mut(&mut self) -> &mut [i8] {
+        &mut self.q
+    }
+
+    /// Per-channel scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Mutable per-channel scales (for scale-corruption fault models).
+    pub fn scales_mut(&mut self) -> &mut [f32] {
+        &mut self.scales
+    }
+
+    /// Per-channel zero points.
+    pub fn zero_points(&self) -> &[i8] {
+        &self.zero_points
+    }
+
+    /// Mutable per-channel zero points (for zero-point-corruption models).
+    pub fn zero_points_mut(&mut self) -> &mut [i8] {
+        &mut self.zero_points
+    }
+
+    /// Logical dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of stored values (excluding quantisation parameters).
+    pub fn numel(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Number of quantisation channels (the leading dimension).
+    pub fn channels(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Dequantises every value with the exact kernel arithmetic
+    /// `(q - zp) · scale`.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let per = if self.channels() == 0 {
+            0
+        } else {
+            self.q.len() / self.channels()
+        };
+        let mut out = Vec::with_capacity(self.q.len());
+        for c in 0..self.channels() {
+            let scale = self.scales[c];
+            let zp = i32::from(self.zero_points[c]);
+            for &qv in &self.q[c * per..(c + 1) * per] {
+                out.push((i32::from(qv) - zp) as f32 * scale);
+            }
+        }
+        out
+    }
+}
+
+/// A parameter in its native deployed encoding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NativeParam {
+    /// IEEE binary16 words.
+    F16(F16Param),
+    /// Per-channel affine int8.
+    Int8(Int8Param),
+}
+
+impl NativeParam {
+    /// The encoding's precision tag.
+    pub fn precision(&self) -> Precision {
+        match self {
+            NativeParam::F16(_) => Precision::F16,
+            NativeParam::Int8(_) => Precision::Int8,
+        }
+    }
+
+    /// Logical dimensions.
+    pub fn dims(&self) -> &[usize] {
+        match self {
+            NativeParam::F16(p) => p.dims(),
+            NativeParam::Int8(p) => p.dims(),
+        }
+    }
+
+    /// Number of stored parameter values.
+    pub fn numel(&self) -> usize {
+        match self {
+            NativeParam::F16(p) => p.numel(),
+            NativeParam::Int8(p) => p.numel(),
+        }
+    }
+
+    /// Decodes every value back to `f32` with the exact arithmetic the
+    /// kernels use (f16 widening / int8 dequantisation).
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        match self {
+            NativeParam::F16(p) => p.to_f32_vec(),
+            NativeParam::Int8(p) => p.dequantize(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::half::f32_to_f16;
+
+    #[test]
+    fn precision_names_parse_back() {
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            assert_eq!(Precision::parse(p.name()), Some(p));
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert_eq!(Precision::parse("i8"), Some(Precision::Int8));
+        assert_eq!(Precision::parse("fp64"), None);
+        assert_eq!(Precision::F16.bits_per_value(), 16);
+        assert_eq!(Precision::Int8.bits_per_value(), 8);
+        assert_eq!(Precision::F32.bits_per_value(), 32);
+    }
+
+    #[test]
+    fn f16_param_roundtrips_exact_values() {
+        let values = [1.0, -0.5, 0.25, 2048.0, 0.0, -1.5];
+        let p = F16Param::from_f32(&values, &[2, 3]);
+        assert_eq!(p.dims(), &[2, 3]);
+        assert_eq!(p.numel(), 6);
+        assert!(!p.is_shared());
+        assert_eq!(p.to_f32_vec(), values);
+        let rebuilt = F16Param::from_words(p.words().to_vec(), &[2, 3]).unwrap();
+        assert_eq!(rebuilt, p);
+        assert!(F16Param::from_words(vec![0; 5], &[2, 3]).is_err());
+    }
+
+    #[derive(Debug)]
+    struct VecSlab(Vec<u16>);
+    impl U16Slab for VecSlab {
+        fn as_u16(&self) -> &[u16] {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn shared_f16_param_copies_on_write() {
+        let words: Vec<u16> = (0..8).map(|v| f32_to_f16(v as f32)).collect();
+        let slab: Arc<dyn U16Slab> = Arc::new(VecSlab(words.clone()));
+        let mut p = F16Param::from_shared(Arc::clone(&slab), 2, &[3]).unwrap();
+        assert!(p.is_shared());
+        assert_eq!(p.words(), &words[2..5]);
+        p.words_mut()[0] ^= 1 << F16_SIGN_BIT_TEST;
+        assert!(!p.is_shared(), "mutation materialises a private copy");
+        assert_eq!(slab.as_u16(), &words[..], "slab is never written through");
+        assert!(F16Param::from_shared(slab, 7, &[3]).is_err());
+    }
+
+    const F16_SIGN_BIT_TEST: u32 = crate::half::F16_SIGN_BIT;
+
+    #[test]
+    fn int8_quantisation_reconstructs_within_one_scale_step() {
+        let values: Vec<f32> = (0..32).map(|i| (i as f32 - 11.0) * 0.37).collect();
+        let p = Int8Param::quantize(&values, &[4, 8]);
+        assert_eq!(p.channels(), 4);
+        assert_eq!(p.numel(), 32);
+        let back = p.dequantize();
+        for (c, chunk) in back.chunks(8).enumerate() {
+            let scale = p.scales()[c];
+            for (orig, deq) in values[c * 8..(c + 1) * 8].iter().zip(chunk) {
+                assert!(
+                    (orig - deq).abs() <= scale * 0.5 + 1e-6,
+                    "channel {c}: {orig} became {deq} (scale {scale})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_zero_row_uses_unit_scale() {
+        let p = Int8Param::quantize(&[0.0; 8], &[2, 4]);
+        assert_eq!(p.scales(), &[1.0, 1.0]);
+        assert_eq!(p.dequantize(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn int8_parts_roundtrip_and_validate() {
+        let p = Int8Param::quantize(&[1.0, -2.0, 0.5, 3.0], &[2, 2]);
+        let rebuilt = Int8Param::from_parts(
+            p.q().to_vec(),
+            p.scales().to_vec(),
+            p.zero_points().to_vec(),
+            &[2, 2],
+        )
+        .unwrap();
+        assert_eq!(rebuilt, p);
+        assert!(Int8Param::from_parts(vec![0; 3], vec![1.0; 2], vec![0; 2], &[2, 2]).is_err());
+        assert!(Int8Param::from_parts(vec![0; 4], vec![1.0; 1], vec![0; 2], &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn native_param_dispatch() {
+        let f16 = NativeParam::F16(F16Param::from_f32(&[1.0, 2.0], &[2]));
+        let i8p = NativeParam::Int8(Int8Param::quantize(&[1.0, 2.0], &[1, 2]));
+        assert_eq!(f16.precision(), Precision::F16);
+        assert_eq!(i8p.precision(), Precision::Int8);
+        assert_eq!(f16.dims(), &[2]);
+        assert_eq!(i8p.numel(), 2);
+        assert_eq!(f16.to_f32_vec(), vec![1.0, 2.0]);
+        assert_eq!(i8p.to_f32_vec().len(), 2);
+    }
+}

@@ -20,6 +20,7 @@ use fitact_nn::Network;
 use fitact_serve::http::Response;
 use fitact_serve::protocol::{http_call, Grant, UnitResult, WorkUnit, MAX_CONTROL_BODY};
 use fitact_serve::{run_worker_until, Coordinator, CoordinatorConfig, WorkerConfig};
+use fitact_tensor::Precision;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::net::SocketAddr;
@@ -48,6 +49,15 @@ fn artifact_bytes() -> Vec<u8> {
             .with(Box::new(ActivationLayer::relu("h1", &[hidden])))
             .with(Box::new(Linear::new(hidden, 3, &mut rng))),
     );
+    ModelArtifact::capture(&network).unwrap().to_bytes()
+}
+
+/// The same MLP captured with native f16 words: half-width storage, f16
+/// sign/exponent/mantissa fault strata in the campaign.
+fn f16_artifact_bytes() -> Vec<u8> {
+    let artifact = ModelArtifact::from_bytes(&artifact_bytes()).unwrap();
+    let mut network = artifact.instantiate().unwrap();
+    network.quantize_to(Precision::F16);
     ModelArtifact::capture(&network).unwrap().to_bytes()
 }
 
@@ -370,6 +380,85 @@ fn leases_redispatch_and_duplicates_are_idempotent() {
     assert_eq!(
         report, reference,
         "lease churn must be invisible in the report"
+    );
+}
+
+/// Reduced-precision acceptance: the campaign over the f16-native artifact —
+/// half-width words, f16 bit-class strata, native-encoding flips — is
+/// bit-identical between the serial path, a solo coordinator, and a
+/// coordinator feeding a real HTTP worker.
+#[test]
+fn f16_distributed_campaign_matches_serial() {
+    let reference = {
+        let artifact = ModelArtifact::from_bytes(&f16_artifact_bytes()).unwrap();
+        let mut network = artifact.instantiate().unwrap();
+        assert_eq!(network.precision(), Precision::F16, "artifact stores f16");
+        let (inputs, targets) = data_spec().materialize().unwrap();
+        fitact::assess_resilience(
+            &mut network,
+            &inputs,
+            &targets,
+            &campaign_config(),
+            &TransientBitFlip,
+        )
+        .unwrap()
+    };
+
+    // Degradation floor in half precision: solo coordinator, no workers.
+    let solo = Coordinator::start_with_data(
+        f16_artifact_bytes(),
+        data_spec(),
+        campaign_config(),
+        Arc::new(TransientBitFlip),
+        &CoordinatorConfig {
+            local_execute: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let solo_report = solo
+        .run_to_completion()
+        .unwrap()
+        .expect("solo f16 coordinator finishes the campaign");
+    solo.shutdown();
+    assert_eq!(
+        solo_report, reference,
+        "f16 solo coordinator must match serial"
+    );
+
+    // The full protocol: every trial executed by a real HTTP worker that
+    // pulled config, dataset spec and the f16 model from the coordinator.
+    let coordinator = Coordinator::start_with_data(
+        f16_artifact_bytes(),
+        data_spec(),
+        campaign_config(),
+        Arc::new(TransientBitFlip),
+        &CoordinatorConfig {
+            local_execute: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = coordinator.addr();
+    let worker = std::thread::spawn(move || {
+        run_worker_until(
+            &WorkerConfig {
+                coordinator: addr.to_string(),
+                worker_id: "half".into(),
+                ..Default::default()
+            },
+            &AtomicBool::new(false),
+        )
+    });
+    let report = coordinator
+        .run_to_completion()
+        .unwrap()
+        .expect("worker-driven f16 campaign finishes");
+    worker.join().unwrap().unwrap();
+    coordinator.shutdown();
+    assert_eq!(
+        report, reference,
+        "f16 worker-executed campaign must be bit-identical to serial"
     );
 }
 
