@@ -11,16 +11,22 @@
 //! suite), so any gap is pure scheduling overhead or speedup.
 //!
 //! Besides the criterion timings, the bench writes a machine-readable
-//! engine comparison to `BENCH_campaign.json` at the workspace root
-//! (median-of-3 wall-clock per engine plus the measured speedup), so the
-//! campaign-throughput trajectory is tracked across commits. Run with
-//! `cargo bench -- --test` for the CI smoke mode: every case executes once,
-//! untimed, and the JSON is still emitted (flagged as a smoke run).
+//! multi-case comparison to `BENCH_campaign.json` at the workspace root:
+//! `campaign_throughput` (median-of-3 wall-clock per trial engine plus the
+//! measured speedup) and `campaign_adaptive` (trials-to-target under equal
+//! vs Neyman allocation on the briefly-trained CNN, against the same
+//! stratified half-width criterion). Both cases are gated by CI via
+//! `fitact bench-gate --case`. Run with `cargo bench -- --test` for the CI
+//! smoke mode: every case executes once, untimed, and the JSON is still
+//! emitted (flagged as a smoke run, which the gate skips).
 
 use criterion::{BenchmarkId, Criterion};
+use fitact::{FitAct, FitActConfig};
+use fitact_data::{materialize, SyntheticCifar};
 use fitact_faults::{
-    quantize_network, Campaign, CampaignConfig, CampaignResult, StatCampaignConfig, StratumSpec,
-    TransientBitFlip, TrialEngine,
+    plan_round_allocated, quantize_network, stratified_half_width, z_for_confidence,
+    AllocationPolicy, Campaign, CampaignConfig, CampaignResult, MemoryMap, StatCampaignConfig,
+    StratumPool, StratumSpec, TransientBitFlip, TrialEngine, TrialOutcome, UnitRunner,
 };
 use fitact_nn::layers::{ActivationLayer, Linear, Sequential};
 use fitact_nn::loss::CrossEntropyLoss;
@@ -179,9 +185,177 @@ fn bench_cnn_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// The briefly-trained CNN demo of `tests/campaign_statistics.rs`: the
+/// adaptive-allocation case needs a model whose fault-free accuracy is well
+/// above chance, so exponent-bit flips actually produce critical SDC and the
+/// per-stratum variances differ — the regime Neyman allocation exploits. (The
+/// untrained `cnn_demo` sits at chance accuracy, where nothing can drop far
+/// enough to classify as critical and every stratum looks alike.)
+fn trained_cnn_demo() -> (Network, Tensor, Vec<usize>) {
+    let train = SyntheticCifar::train(10, 160, 33);
+    let test = SyntheticCifar::test(10, 80, 33);
+    let (train_x, train_y) = materialize(&train).expect("train split materialises");
+    let (test_x, test_y) = materialize(&test).expect("test split materialises");
+    let mut net = alexnet(
+        &ModelConfig::new(10)
+            .with_width(0.0626)
+            .with_seed(7)
+            .with_dropout(0.1),
+    )
+    .expect("alexnet builds at tiny width");
+    let fitact = FitAct::new(FitActConfig {
+        batch_size: 20,
+        ..Default::default()
+    });
+    fitact
+        .train_for_accuracy(&mut net, &train_x, &train_y, 4, 0.05)
+        .expect("brief training converges");
+    quantize_network(&mut net);
+    (net, test_x, test_y)
+}
+
+/// The statistical campaign shape of the adaptive-allocation case: a fault
+/// rate lopsided enough that variance concentrates in the exponent stratum —
+/// ~0.5 expected flips per trial, mostly masked with a visible critical
+/// minority.
+fn adaptive_config(smoke: bool, words: usize) -> StatCampaignConfig {
+    StatCampaignConfig {
+        fault_rate: 0.5 / (words as f64 * 15.0),
+        batch_size: 40,
+        seed: 2024,
+        epsilon: if smoke { 0.12 } else { 0.03 },
+        confidence: 0.95,
+        critical_threshold: 0.1,
+        round_trials: if smoke { 12 } else { 4 },
+        min_trials: if smoke { 24 } else { 12 },
+        max_trials: if smoke { 72 } else { 3000 },
+        strata: StratumSpec::by_bit_class(),
+        ..Default::default()
+    }
+}
+
+/// Runs the CNN demo campaign round by round under `policy` until the
+/// **stratified** critical-SDC half-width reaches the ε target, and returns
+/// the trials spent. Both policies are driven against the same metric — the
+/// one Neyman allocation minimises — so the comparison isolates what the
+/// allocation itself buys.
+fn trials_to_stratified_target(
+    policy: AllocationPolicy,
+    base: &StatCampaignConfig,
+    net: &Network,
+    inputs: &Tensor,
+    targets: &[usize],
+) -> usize {
+    let config = StatCampaignConfig {
+        allocation: policy,
+        ..base.clone()
+    };
+    let mut runner = UnitRunner::new(net.clone(), inputs.clone(), targets.to_vec(), &config, 1)
+        .expect("runner builds");
+    let z = z_for_confidence(config.confidence);
+    let fault_free = runner.fault_free_accuracy();
+    let sampler = runner.sampler().clone();
+    let num_strata = sampler.num_strata();
+    let populations: Vec<u64> = (0..num_strata).map(|s| sampler.population(s)).collect();
+    let total_pop: u64 = populations.iter().sum();
+    let weights: Vec<f64> = populations
+        .iter()
+        .map(|&p| p as f64 / total_pop as f64)
+        .collect();
+    let mut pools = vec![StratumPool::new(); num_strata];
+    let mut counts = vec![0usize; num_strata];
+    loop {
+        let specs = plan_round_allocated(&config, z, fault_free, &populations, &pools, &counts);
+        if specs.is_empty() {
+            break;
+        }
+        let mut per_stratum = vec![0usize; num_strata];
+        for spec in &specs {
+            per_stratum[spec.stratum] += 1;
+        }
+        for (stratum, &n) in per_stratum.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let points = runner
+                .run_unit(&TransientBitFlip, stratum, counts[stratum], n)
+                .expect("unit runs");
+            for (offset, point) in points.into_iter().enumerate() {
+                pools[stratum]
+                    .insert((counts[stratum] + offset) as u64, point)
+                    .expect("fresh index");
+            }
+            counts[stratum] += n;
+        }
+        let evidence: Vec<(u64, u64)> = pools
+            .iter()
+            .zip(&counts)
+            .map(|(pool, &count)| {
+                let mut critical = 0u64;
+                let mut trials = 0u64;
+                for (_, point) in pool.iter_below(count as u64) {
+                    trials += 1;
+                    if TrialOutcome::classify(fault_free, point.accuracy, config.critical_threshold)
+                        == TrialOutcome::CriticalSdc
+                    {
+                        critical += 1;
+                    }
+                }
+                (critical, trials)
+            })
+            .collect();
+        let total: usize = counts.iter().sum();
+        let half_width = stratified_half_width(z, &evidence, &weights);
+        if (total >= config.min_trials && half_width <= config.epsilon)
+            || total >= config.max_trials
+        {
+            break;
+        }
+    }
+    counts.iter().sum()
+}
+
+/// The adaptive-allocation case: trials-to-target under equal vs Neyman
+/// allocation, plus thread-count bit-identity of the Neyman engine itself.
+/// `speedup` is the trial-budget ratio `equal / neyman` — ≥ 1.333 means the
+/// adaptive policy reached the same stratified CI target in ≥25% fewer
+/// trials.
+fn adaptive_case(smoke: bool) -> (usize, usize, f64, bool) {
+    let (net, inputs, targets) = trained_cnn_demo();
+    let words = MemoryMap::of_network(&net).total_words() as usize;
+    let config = adaptive_config(smoke, words);
+    let equal_trials =
+        trials_to_stratified_target(AllocationPolicy::Equal, &config, &net, &inputs, &targets);
+    let neyman_trials =
+        trials_to_stratified_target(AllocationPolicy::Neyman, &config, &net, &inputs, &targets);
+    let speedup = equal_trials as f64 / neyman_trials.max(1) as f64;
+
+    // Bit-identity of the adaptive engine across worker counts (serial vs
+    // 2 and 4 threads), through the real `run_until` path.
+    let neyman_run = |threads: usize| {
+        let mut net = net.clone();
+        Campaign::new(&mut net, &inputs, &targets)
+            .expect("campaign builds")
+            .run_until_with_threads(
+                &StatCampaignConfig {
+                    allocation: AllocationPolicy::Neyman,
+                    ..config.clone()
+                },
+                &TransientBitFlip,
+                threads,
+            )
+            .expect("campaign runs")
+    };
+    let serial = neyman_run(1);
+    let bit_identical = [2, 4].iter().all(|&threads| neyman_run(threads) == serial);
+    (equal_trials, neyman_trials, speedup, bit_identical)
+}
+
 /// Times one serial CNN campaign per engine (median of `reps`), checks trial
-/// bit-identity, and writes the comparison to `BENCH_campaign.json` at the
-/// workspace root.
+/// bit-identity, measures the adaptive-allocation trial savings, and writes
+/// the multi-case comparison to `BENCH_campaign.json` at the workspace root
+/// (cases `campaign_throughput` and `campaign_adaptive`, gated separately by
+/// `fitact bench-gate --case`).
 fn emit_campaign_json(smoke: bool) {
     let (mut net, inputs, targets) = cnn_demo();
     let reps = if smoke { 1 } else { 3 };
@@ -208,20 +382,32 @@ fn emit_campaign_json(smoke: bool) {
     );
     let config = cnn_config();
     let speedup = full_seconds / resumed_seconds.max(1e-12);
+
+    let (equal_trials, neyman_trials, trial_speedup, neyman_identical) = adaptive_case(smoke);
+
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"campaign_throughput\",\n",
-            "  \"case\": \"full_forward_vs_checkpoint_resumed\",\n",
             "  \"network\": \"alexnet-tiny (CNN demo)\",\n",
-            "  \"eval_samples\": {eval},\n",
-            "  \"trials\": {trials},\n",
-            "  \"fault_rate\": {rate:e},\n",
             "  \"smoke\": {smoke},\n",
-            "  \"full_forward_seconds\": {full:.6},\n",
-            "  \"checkpoint_resumed_seconds\": {resumed:.6},\n",
-            "  \"speedup\": {speedup:.3},\n",
-            "  \"bit_identical\": {ident}\n",
+            "  \"campaign_throughput\": {{\n",
+            "    \"case\": \"full_forward_vs_checkpoint_resumed\",\n",
+            "    \"eval_samples\": {eval},\n",
+            "    \"trials\": {trials},\n",
+            "    \"fault_rate\": {rate:e},\n",
+            "    \"full_forward_seconds\": {full:.6},\n",
+            "    \"checkpoint_resumed_seconds\": {resumed:.6},\n",
+            "    \"speedup\": {speedup:.3},\n",
+            "    \"bit_identical\": {ident}\n",
+            "  }},\n",
+            "  \"campaign_adaptive\": {{\n",
+            "    \"case\": \"equal_vs_neyman_trials_to_target\",\n",
+            "    \"equal_trials\": {equal_trials},\n",
+            "    \"neyman_trials\": {neyman_trials},\n",
+            "    \"speedup\": {trial_speedup:.3},\n",
+            "    \"bit_identical\": {neyman_identical}\n",
+            "  }}\n",
             "}}\n"
         ),
         eval = targets.len(),
@@ -232,6 +418,10 @@ fn emit_campaign_json(smoke: bool) {
         resumed = resumed_seconds,
         speedup = speedup,
         ident = bit_identical,
+        equal_trials = equal_trials,
+        neyman_trials = neyman_trials,
+        trial_speedup = trial_speedup,
+        neyman_identical = neyman_identical,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -239,7 +429,8 @@ fn emit_campaign_json(smoke: bool) {
     std::fs::write(&path, &json).expect("BENCH_campaign.json is writable");
     println!(
         "campaign_cnn engines: full {full_seconds:.3}s vs resumed {resumed_seconds:.3}s \
-         ({speedup:.2}x) -> {}",
+         ({speedup:.2}x); adaptive: {equal_trials} equal vs {neyman_trials} neyman trials \
+         ({trial_speedup:.2}x) -> {}",
         path.display()
     );
 }

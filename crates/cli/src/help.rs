@@ -106,6 +106,13 @@ FLAGS:
     --round-trials N     trials per stratum per round     [default: 8]
     --min-trials N       minimum before early stopping    [default: 24]
     --max-trials N       total trial budget               [default: 256]
+    --allocation NAME    round-budget allocation policy: `equal` splits each
+                         round evenly across strata; `neyman` reallocates in
+                         proportion to stratum weight × estimated σ from the
+                         merged pools (deterministic, delivery-order
+                         independent)                     [default: equal]
+    --floor-trials N     per-stratum minimum per round under `neyman`
+                         (keeps every σ estimate alive)   [default: 1]
     --seed N             per-trial fault streams seed     [default: 0]
     --samples N          evaluation samples               [default: artifact's]
     --batch-size N       evaluation batch size            [default: 32]

@@ -81,6 +81,8 @@ pub const CAMPAIGN_FLAGS: &[&str] = &[
     "round-trials",
     "min-trials",
     "max-trials",
+    "allocation",
+    "floor-trials",
     "seed",
     "samples",
     "batch-size",
@@ -400,6 +402,10 @@ fn default_threads() -> usize {
 
 /// The statistical campaign configuration from CLI flags.
 fn campaign_config(args: &Args) -> Result<StatCampaignConfig, CliError> {
+    let name = args.get("allocation").unwrap_or("equal");
+    let allocation = fitact_faults::AllocationPolicy::parse(name).ok_or_else(|| {
+        format!("unknown allocation policy `{name}` (expected `equal` or `neyman`)")
+    })?;
     Ok(StatCampaignConfig {
         fault_rate: args.parse_or("fault-rate", 1e-3f64)?,
         batch_size: args.parse_or("batch-size", 32usize)?,
@@ -410,6 +416,8 @@ fn campaign_config(args: &Args) -> Result<StatCampaignConfig, CliError> {
         round_trials: args.parse_or("round-trials", 8usize)?,
         min_trials: args.parse_or("min-trials", 24usize)?,
         max_trials: args.parse_or("max-trials", 256usize)?,
+        allocation,
+        floor_trials: args.parse_or("floor-trials", 1usize)?,
         ..Default::default()
     })
 }

@@ -22,7 +22,10 @@
 use crate::checkpoint::{CheckpointCache, ResumePlan};
 use crate::map::MemoryMap;
 use crate::model::{FaultModel, TransientBitFlip, TrialContext};
-use crate::stats::{z_for_confidence, StratumPool, TrialOutcome, TrialPoint, WilsonInterval};
+use crate::stats::{
+    stratified_half_width, stratum_sigma, z_for_confidence, StratumPool, TrialOutcome, TrialPoint,
+    WilsonInterval,
+};
 use crate::strata::{StratifiedSampler, StratumSpec};
 use crate::FaultError;
 use fitact_nn::metrics::SampleStats;
@@ -104,6 +107,49 @@ impl CampaignConfig {
     }
 }
 
+/// How each round's trial budget is split across the strata.
+///
+/// Both policies are **deterministic functions of merged pool state** — the
+/// scheduling determinism contract of `docs/distributed.md` holds for
+/// either, so serial, threaded, checkpoint-resumed and distributed runs
+/// stay bit-identical under both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocationPolicy {
+    /// The classic round-robin split: every stratum receives
+    /// `round_trials` fresh trials per round (within one of equal at a
+    /// truncated final round). This is the legacy behaviour, byte-for-byte.
+    #[default]
+    Equal,
+    /// Neyman (variance-proportional) allocation: the round budget goes to
+    /// strata proportional to `w_h · σ̃_h` — population weight times the
+    /// Wilson-centre standard-deviation estimate of the stratum's
+    /// critical-SDC rate — with a per-stratum floor
+    /// ([`StatCampaignConfig::floor_trials`]) so no stratum starves. High-
+    /// variance strata (exponent bits, early layers) absorb the budget and
+    /// the stratified estimator tightens in fewer trials.
+    Neyman,
+}
+
+impl AllocationPolicy {
+    /// Short lowercase name — the CLI `--allocation` value and the report's
+    /// `allocation` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocationPolicy::Equal => "equal",
+            AllocationPolicy::Neyman => "neyman",
+        }
+    }
+
+    /// Parses a policy name as `--allocation` accepts it.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "equal" => Some(AllocationPolicy::Equal),
+            "neyman" => Some(AllocationPolicy::Neyman),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of a statistical (stratified, sequentially-stopped)
 /// campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,6 +177,14 @@ pub struct StatCampaignConfig {
     /// The strata trials are drawn from. Defaults to the sign / exponent /
     /// mantissa bit-class split.
     pub strata: Vec<StratumSpec>,
+    /// How each round's budget is split across the strata.
+    pub allocation: AllocationPolicy,
+    /// Minimum trials every stratum receives per round under
+    /// [`AllocationPolicy::Neyman`] (ignored under `Equal`, where every
+    /// stratum receives `round_trials`). A floor of at least 1 keeps every
+    /// Wilson interval accumulating calibration trials no matter how small
+    /// the stratum's estimated variance becomes.
+    pub floor_trials: usize,
 }
 
 impl Default for StatCampaignConfig {
@@ -146,6 +200,8 @@ impl Default for StatCampaignConfig {
             min_trials: 24,
             max_trials: 512,
             strata: StratumSpec::by_bit_class(),
+            allocation: AllocationPolicy::Equal,
+            floor_trials: 1,
         }
     }
 }
@@ -205,6 +261,12 @@ impl StatCampaignConfig {
                 self.max_trials, self.min_trials
             )));
         }
+        if self.floor_trials == 0 || self.floor_trials > self.round_trials {
+            return Err(FaultError::InvalidConfig(format!(
+                "floor_trials ({}) must be in 1..=round_trials ({})",
+                self.floor_trials, self.round_trials
+            )));
+        }
         Ok(())
     }
 }
@@ -243,6 +305,9 @@ pub struct StratumReport {
     pub label: String,
     /// Number of bits in the stratum's fault population.
     pub population_bits: u64,
+    /// The stratum's share of the total fault-space population — the weight
+    /// `w_h` of the stratified estimator (weights sum to 1).
+    pub weight: f64,
     /// Per-trial top-1 accuracies, in trial order.
     pub accuracies: Vec<f32>,
     /// Trials whose accuracy did not drop below the fault-free baseline.
@@ -319,6 +384,8 @@ pub struct CampaignReport {
     pub rounds: usize,
     /// Whether the ε target was reached within the trial budget.
     pub converged: bool,
+    /// The allocation policy the campaign planned its rounds with.
+    pub allocation: AllocationPolicy,
     /// One report per stratum, in the order of the configured specs.
     pub strata: Vec<StratumReport>,
 }
@@ -382,6 +449,22 @@ impl CampaignReport {
             .iter()
             .map(|s| s.critical_rate() * s.population_bits as f64 / total_bits as f64)
             .sum()
+    }
+
+    /// Half-width of the stratified critical-SDC estimator's interval —
+    /// the convergence measure the [`AllocationPolicy::Neyman`] stopping
+    /// rule tracks (`z · sqrt(Σ w_h² σ̃_h² / n_h)` with each stratum's
+    /// variance taken at the Wilson centre).
+    ///
+    /// Vacuously `0.5` while any stratum has no trials.
+    pub fn stratified_critical_half_width(&self) -> f64 {
+        let per_stratum: Vec<(u64, u64)> = self
+            .strata
+            .iter()
+            .map(|s| (s.critical as u64, s.trials() as u64))
+            .collect();
+        let weights: Vec<f64> = self.strata.iter().map(|s| s.weight).collect();
+        stratified_half_width(z_for_confidence(self.confidence), &per_stratum, &weights)
     }
 
     /// Looks a stratum up by label.
@@ -457,13 +540,181 @@ pub fn plan_round(config: &StatCampaignConfig, counts: &[usize]) -> Vec<TrialSpe
     specs
 }
 
+/// Counts one stratum's `(critical, trials)` among the scheduled points —
+/// only indices below `count` enter, so replayed decisions match live ones
+/// even when the pool already holds later-round trials.
+fn counted_criticals(
+    config: &StatCampaignConfig,
+    fault_free_accuracy: f32,
+    pool: &StratumPool,
+    count: usize,
+) -> (u64, u64) {
+    let mut critical = 0u64;
+    let mut trials = 0u64;
+    for (_, point) in pool.iter_below(count as u64) {
+        trials += 1;
+        if TrialOutcome::classify(
+            fault_free_accuracy,
+            point.accuracy,
+            config.critical_threshold,
+        ) == TrialOutcome::CriticalSdc
+        {
+            critical += 1;
+        }
+    }
+    (critical, trials)
+}
+
+/// The per-stratum population weights `w_h = population_h / Σ populations`.
+fn population_weights(populations: &[u64]) -> Vec<f64> {
+    let total: u64 = populations.iter().sum();
+    populations
+        .iter()
+        .map(|&p| {
+            if total == 0 {
+                0.0
+            } else {
+                p as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+/// Computes one Neyman round's per-stratum trial counts: `budget` trials
+/// split proportional to `w_h · σ̃_h` (population weight × Wilson-centre σ
+/// over the counted pool state), after granting every stratum the
+/// configured floor.
+///
+/// The split is a pure function of `(config, fault_free_accuracy,
+/// populations, counted pool state)`:
+///
+/// * fractional quotas resolve by **largest-remainder** apportionment with
+///   ties broken toward the lower stratum index, so the result is exact,
+///   integral, and invariant to stratum iteration order;
+/// * when the budget cannot cover every floor (a truncated final round),
+///   floors fill in stratum-index order;
+/// * `σ̃_h` is never zero or NaN ([`stratum_sigma`]), so the shares are
+///   always well defined — an all-masked stratum keeps its floor but no
+///   more, a zero-trial stratum looks maximally uncertain.
+///
+/// The returned counts always sum to exactly `budget`.
+pub fn neyman_allocations(
+    config: &StatCampaignConfig,
+    z: f64,
+    fault_free_accuracy: f32,
+    populations: &[u64],
+    pools: &[StratumPool],
+    counts: &[usize],
+    budget: usize,
+) -> Vec<usize> {
+    let num_strata = counts.len();
+    let mut allocations = vec![0usize; num_strata];
+    if num_strata == 0 || budget == 0 {
+        return allocations;
+    }
+    let floor = config.floor_trials.min(config.round_trials);
+    let mut remaining = budget;
+    for slot in allocations.iter_mut() {
+        let grant = floor.min(remaining);
+        *slot = grant;
+        remaining -= grant;
+    }
+    if remaining == 0 {
+        return allocations;
+    }
+    let weights = population_weights(populations);
+    let scores: Vec<f64> = (0..num_strata)
+        .map(|h| {
+            let (critical, trials) =
+                counted_criticals(config, fault_free_accuracy, &pools[h], counts[h]);
+            weights[h] * stratum_sigma(critical, trials, z)
+        })
+        .collect();
+    let score_sum: f64 = scores.iter().sum();
+    debug_assert!(score_sum > 0.0, "σ̃ and weights are strictly positive");
+    let mut assigned = 0usize;
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(num_strata);
+    for (h, &score) in scores.iter().enumerate() {
+        let quota = remaining as f64 * score / score_sum;
+        // The float cap guards Σ floor(quota) against rounding past the
+        // budget; mathematically Σ quota == remaining exactly.
+        let base = (quota.floor() as usize).min(remaining - assigned);
+        allocations[h] += base;
+        assigned += base;
+        remainders.push((quota - base as f64, h));
+    }
+    remainders.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    for &(_, h) in remainders.iter().take(remaining - assigned) {
+        allocations[h] += 1;
+    }
+    allocations
+}
+
+/// Plans one round under the configured [`AllocationPolicy`].
+///
+/// Under [`AllocationPolicy::Equal`] this **is** [`plan_round`] — the legacy
+/// round-robin plan, byte-for-byte. Under [`AllocationPolicy::Neyman`] the
+/// round budget (`round_trials × strata`, truncated at the remaining
+/// `max_trials` budget) is split by [`neyman_allocations`] and each
+/// stratum's trials take the next indices of its stream.
+///
+/// Determinism: the plan depends only on the configuration and the *counted*
+/// pool state — points with index at or above `counts[h]` are ignored
+/// (`iter_below`), so a resume replay, whose pools already hold later-round
+/// trials, derives exactly the plan the uninterrupted run derived at this
+/// round boundary. Delivery timing can never influence the plan.
+pub fn plan_round_allocated(
+    config: &StatCampaignConfig,
+    z: f64,
+    fault_free_accuracy: f32,
+    populations: &[u64],
+    pools: &[StratumPool],
+    counts: &[usize],
+) -> Vec<TrialSpec> {
+    if config.allocation == AllocationPolicy::Equal {
+        return plan_round(config, counts);
+    }
+    let total_so_far: usize = counts.iter().sum();
+    let budget =
+        (config.round_trials * counts.len()).min(config.max_trials.saturating_sub(total_so_far));
+    if budget == 0 {
+        return Vec::new();
+    }
+    let allocations = neyman_allocations(
+        config,
+        z,
+        fault_free_accuracy,
+        populations,
+        pools,
+        counts,
+        budget,
+    );
+    let mut specs = Vec::with_capacity(budget);
+    for (stratum, &n) in allocations.iter().enumerate() {
+        for offset in 0..n {
+            specs.push(TrialSpec {
+                stratum,
+                index: counts[stratum] + offset,
+            });
+        }
+    }
+    specs
+}
+
 /// The pooled stopping decision after a completed round.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundDecision {
     /// Trials counted by the decision (the scheduled trials of all completed
     /// rounds).
     pub total: usize,
-    /// Half-width of the pooled critical-SDC Wilson interval.
+    /// The convergence measure: the pooled critical-SDC Wilson half-width
+    /// under [`AllocationPolicy::Equal`], the stratified estimator's
+    /// half-width ([`stratified_half_width`]) under
+    /// [`AllocationPolicy::Neyman`].
     pub half_width: f64,
     /// The ε target was reached with at least `min_trials` trials.
     pub converged: bool,
@@ -477,27 +728,45 @@ pub struct RoundDecision {
 /// counted, so a pool holding a few early-delivered results from a later
 /// round — as a mid-round distributed checkpoint may — makes exactly the
 /// same decision the serial campaign made at this round boundary.
+///
+/// The convergence measure matches the allocation policy, because each
+/// policy minimises a different variance: `Equal` tracks the legacy pooled
+/// critical-SDC Wilson half-width (every trial weighted equally), `Neyman`
+/// tracks the **stratified** estimator's half-width
+/// `z · sqrt(Σ w_h² σ̃_h² / n_h)` — the quantity Neyman allocation is
+/// optimal for (a raw pooled proportion would *widen* as the budget shifts
+/// toward high-variance strata).
+///
+/// An **empty round state** (`counts` all zero) is explicitly defined: the
+/// half-width is the vacuous `0.5` under both policies — the zero-trial
+/// Wilson interval's half-width — so no sane ε can converge on no data.
 pub fn stopping_decision(
     config: &StatCampaignConfig,
     z: f64,
     fault_free_accuracy: f32,
+    populations: &[u64],
     pools: &[StratumPool],
     counts: &[usize],
 ) -> RoundDecision {
     let total: usize = counts.iter().sum();
-    let critical: u64 = pools
-        .iter()
-        .zip(counts)
-        .flat_map(|(pool, &count)| pool.iter_below(count as u64))
-        .filter(|&(_, point)| {
-            TrialOutcome::classify(
-                fault_free_accuracy,
-                point.accuracy,
-                config.critical_threshold,
-            ) == TrialOutcome::CriticalSdc
-        })
-        .count() as u64;
-    let half_width = WilsonInterval::new(critical, total as u64, z).half_width();
+    let half_width = match config.allocation {
+        AllocationPolicy::Equal => {
+            let critical: u64 = pools
+                .iter()
+                .zip(counts)
+                .map(|(pool, &count)| counted_criticals(config, fault_free_accuracy, pool, count).0)
+                .sum();
+            WilsonInterval::new(critical, total as u64, z).half_width()
+        }
+        AllocationPolicy::Neyman => {
+            let per_stratum: Vec<(u64, u64)> = pools
+                .iter()
+                .zip(counts)
+                .map(|(pool, &count)| counted_criticals(config, fault_free_accuracy, pool, count))
+                .collect();
+            stratified_half_width(z, &per_stratum, &population_weights(populations))
+        }
+    };
     RoundDecision {
         total,
         half_width,
@@ -522,6 +791,10 @@ pub fn assemble_report(
     converged: bool,
 ) -> CampaignReport {
     let z = z_for_confidence(config.confidence);
+    let populations: Vec<u64> = (0..sampler.num_strata())
+        .map(|s| sampler.population(s))
+        .collect();
+    let weights = population_weights(&populations);
     let strata = pools
         .iter()
         .enumerate()
@@ -541,6 +814,7 @@ pub fn assemble_report(
             StratumReport {
                 label: sampler.specs()[stratum].label.clone(),
                 population_bits: sampler.population(stratum),
+                weight: weights[stratum],
                 accuracies,
                 masked,
                 tolerable,
@@ -560,6 +834,7 @@ pub fn assemble_report(
         critical_threshold: config.critical_threshold,
         rounds,
         converged,
+        allocation: config.allocation,
         strata,
     }
 }
@@ -961,11 +1236,19 @@ impl<'a> Campaign<'a> {
         // reuse them across every round (each trial restores the snapshot, so
         // a worker network is interchangeable between rounds).
         let mut workers = spawn_worker_networks(self.network, threads, round_size);
+        let populations: Vec<u64> = (0..num_strata).map(|s| sampler.population(s)).collect();
         let mut counts = vec![0usize; num_strata];
         let mut rounds = 0usize;
         let mut converged = false;
         loop {
-            let specs = plan_round(config, &counts);
+            let specs = plan_round_allocated(
+                config,
+                z,
+                fault_free_accuracy,
+                &populations,
+                &pools,
+                &counts,
+            );
             if specs.is_empty() {
                 // The budget ran out exactly at a round boundary.
                 break;
@@ -1000,7 +1283,14 @@ impl<'a> Campaign<'a> {
             }
             rounds += 1;
 
-            let decision = stopping_decision(config, z, fault_free_accuracy, &pools, &counts);
+            let decision = stopping_decision(
+                config,
+                z,
+                fault_free_accuracy,
+                &populations,
+                &pools,
+                &counts,
+            );
             if decision.converged {
                 converged = true;
                 break;
@@ -1685,6 +1975,7 @@ mod tests {
             min_trials: 12,
             max_trials: 96,
             strata: StratumSpec::by_bit_class(),
+            ..Default::default()
         }
     }
 

@@ -61,13 +61,14 @@ impl StratumReport {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"label\":{},\"population_bits\":{},\"trials\":{},",
+                "{{\"label\":{},\"population_bits\":{},\"weight\":{},\"trials\":{},",
                 "\"masked\":{},\"tolerable\":{},\"critical\":{},",
                 "\"total_faults\":{},\"mean_accuracy\":{},",
                 "\"critical_ci\":{},\"sdc_ci\":{}}}"
             ),
             quoted(&self.label),
             self.population_bits,
+            number(self.weight),
             self.trials(),
             self.masked,
             self.tolerable,
@@ -89,9 +90,11 @@ impl CampaignReport {
     /// {
     ///   "fault_free_accuracy": 0.97, "fault_rate": 1e-6, "model": "bitflip",
     ///   "confidence": 0.95, "epsilon": 0.02, "critical_threshold": 0.05,
+    ///   "allocation": "equal",
     ///   "rounds": 4, "converged": true, "total_trials": 96, "total_faults": 12,
     ///   "pooled_critical": {"successes":1,"trials":96,"point":…,"low":…,"high":…},
     ///   "pooled_sdc": {…},
+    ///   "stratified_critical_half_width": 0.0312,
     ///   "population_weighted_critical_rate": 0.0104,
     ///   "strata": [ {…}, … ]
     /// }
@@ -102,8 +105,10 @@ impl CampaignReport {
             concat!(
                 "{{\"fault_free_accuracy\":{},\"fault_rate\":{},\"model\":{},",
                 "\"confidence\":{},\"epsilon\":{},\"critical_threshold\":{},",
+                "\"allocation\":{},",
                 "\"rounds\":{},\"converged\":{},\"total_trials\":{},\"total_faults\":{},",
                 "\"pooled_critical\":{},\"pooled_sdc\":{},",
+                "\"stratified_critical_half_width\":{},",
                 "\"population_weighted_critical_rate\":{},\"strata\":[{}]}}"
             ),
             number(f64::from(self.fault_free_accuracy)),
@@ -112,12 +117,14 @@ impl CampaignReport {
             number(self.confidence),
             number(self.epsilon),
             number(f64::from(self.critical_threshold)),
+            quoted(self.allocation.name()),
             self.rounds,
             self.converged,
             self.total_trials(),
             self.total_faults(),
             self.pooled_critical().to_json(),
             self.pooled_sdc().to_json(),
+            number(self.stratified_critical_half_width()),
             number(self.population_weighted_critical_rate()),
             strata.join(",")
         )

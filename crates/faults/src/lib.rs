@@ -120,9 +120,10 @@ mod strata;
 mod stuck_at;
 
 pub use campaign::{
-    assemble_report, plan_round, stopping_decision, Campaign, CampaignConfig, CampaignControl,
-    CampaignProgress, CampaignReport, CampaignResult, RoundDecision, RunOutcome,
-    StatCampaignConfig, StratumReport, TrialEngine, TrialSpec, UnitRunner, TRIAL_STREAM_PROVENANCE,
+    assemble_report, neyman_allocations, plan_round, plan_round_allocated, stopping_decision,
+    AllocationPolicy, Campaign, CampaignConfig, CampaignControl, CampaignProgress, CampaignReport,
+    CampaignResult, RoundDecision, RunOutcome, StatCampaignConfig, StratumReport, TrialEngine,
+    TrialSpec, UnitRunner, TRIAL_STREAM_PROVENANCE,
 };
 pub use checkpoint::{CheckpointCache, ResumePlan};
 pub use injector::{apply_bit_flips, quantize_network, BitFlipInjector, FaultSite};
@@ -132,7 +133,8 @@ pub use model::{
     TransientBitFlip, TrialContext,
 };
 pub use stats::{
-    sample_binomial, z_for_confidence, StratumPool, TrialOutcome, TrialPoint, WilsonInterval,
+    sample_binomial, stratified_half_width, stratum_sigma, z_for_confidence, StratumPool,
+    TrialOutcome, TrialPoint, WilsonInterval,
 };
 pub use strata::{BitClass, StratifiedSampler, StratumSpec};
 pub use stuck_at::{apply_stuck_at, StuckAtFault, StuckAtInjector, StuckValue};

@@ -221,6 +221,55 @@ impl StratumPool {
     }
 }
 
+/// Estimated standard deviation of one stratum's critical-SDC Bernoulli
+/// variable, computed from the **Wilson centre** rather than the raw
+/// proportion: `p̃ = (x + z²/2) / (n + z²)`, `σ̃ = sqrt(p̃ (1 − p̃))`.
+///
+/// The Wilson centre is the same shrinkage the interval itself uses, and it
+/// is what makes the estimate safe in the degenerate regimes an adaptive
+/// allocator must survive:
+///
+/// * **zero trials** — nothing is known, so the estimate is the maximal
+///   Bernoulli σ of `0.5` (an unexplored stratum looks maximally uncertain,
+///   never invisible);
+/// * **all-masked (`x = 0`) and all-critical (`x = n`) strata** — the raw
+///   plug-in `sqrt(p̂(1−p̂))` collapses to exactly `0`, which would starve
+///   the stratum forever on the strength of a handful of trials; the Wilson
+///   centre keeps `0 < p̃ < 1` strictly, so σ̃ is always positive and finite
+///   (never NaN, never a division by zero).
+pub fn stratum_sigma(successes: u64, trials: u64, z: f64) -> f64 {
+    debug_assert!(successes <= trials, "more successes than trials");
+    if trials == 0 {
+        return 0.5;
+    }
+    let z2 = z * z;
+    let p_tilde = (successes as f64 + z2 / 2.0) / (trials as f64 + z2);
+    (p_tilde * (1.0 - p_tilde)).sqrt()
+}
+
+/// Half-width of the normal-approximation interval of the **stratified**
+/// critical-SDC estimator `p̂_st = Σ_h w_h p̂_h`:
+/// `z · sqrt(Σ_h w_h² σ̃_h² / n_h)` with the per-stratum variance taken at
+/// the Wilson centre ([`stratum_sigma`]).
+///
+/// `strata` carries one `(successes, trials)` pair per stratum and `weights`
+/// the matching population shares (summing to 1). Any stratum with zero
+/// counted trials makes the estimator undefined, so the half-width is the
+/// vacuous `0.5` — exactly the value a zero-trial [`WilsonInterval`]
+/// reports, and wide enough that no sane ε can stop on it.
+pub fn stratified_half_width(z: f64, strata: &[(u64, u64)], weights: &[f64]) -> f64 {
+    debug_assert_eq!(strata.len(), weights.len());
+    let mut variance = 0.0f64;
+    for (&(successes, trials), &weight) in strata.iter().zip(weights) {
+        if trials == 0 {
+            return 0.5;
+        }
+        let sigma = stratum_sigma(successes, trials, z);
+        variance += weight * weight * sigma * sigma / trials as f64;
+    }
+    (z * variance.sqrt()).min(0.5)
+}
+
 /// Converts a two-sided confidence level (e.g. `0.95`) into the standard
 /// normal critical value `z` (e.g. `1.96`).
 ///
@@ -467,6 +516,52 @@ mod tests {
         assert_eq!((ci.low, ci.high), (0.0, 1.0));
         assert_eq!(ci.point(), 0.0);
         assert_eq!(ci.half_width(), 0.5);
+    }
+
+    #[test]
+    fn sigma_estimate_survives_degenerate_strata() {
+        let z = z_for_confidence(0.95);
+        // Zero trials: maximal uncertainty, not NaN and not zero.
+        assert_eq!(stratum_sigma(0, 0, z), 0.5);
+        // All-masked and all-critical strata: the raw plug-in variance is
+        // exactly 0 here; the Wilson centre keeps the estimate positive so
+        // the allocator can never starve a stratum on boundary data.
+        for (successes, trials) in [(0u64, 1u64), (0, 40), (1, 1), (40, 40)] {
+            let sigma = stratum_sigma(successes, trials, z);
+            assert!(
+                sigma.is_finite() && sigma > 0.0,
+                "σ({successes}/{trials}) = {sigma}"
+            );
+            assert!(sigma <= 0.5, "Bernoulli σ is capped at 0.5, got {sigma}");
+        }
+        // The estimate tightens toward the plug-in value as n grows.
+        let near_boundary = stratum_sigma(0, 10_000, z);
+        assert!(near_boundary < 0.02, "0/10000 must look near-deterministic");
+        // And peaks at p = 1/2.
+        let balanced = stratum_sigma(50, 100, z);
+        assert!((balanced - 0.5).abs() < 0.01, "σ(50/100) = {balanced}");
+    }
+
+    #[test]
+    fn stratified_half_width_degenerate_and_limit_cases() {
+        let z = z_for_confidence(0.95);
+        // Any zero-trial stratum makes the estimator vacuous — exactly the
+        // zero-trial Wilson half-width.
+        assert_eq!(
+            stratified_half_width(z, &[(0, 40), (0, 0)], &[0.5, 0.5]),
+            0.5
+        );
+        assert_eq!(stratified_half_width(z, &[], &[]), 0.0);
+        // More trials tighten the interval monotonically.
+        let wide = stratified_half_width(z, &[(2, 20), (0, 20)], &[0.7, 0.3]);
+        let tight = stratified_half_width(z, &[(20, 200), (0, 200)], &[0.7, 0.3]);
+        assert!(tight < wide, "tight {tight} vs wide {wide}");
+        // A zero-weight stratum contributes nothing.
+        let without = stratified_half_width(z, &[(2, 20)], &[1.0]);
+        let with = stratified_half_width(z, &[(2, 20), (19, 20)], &[1.0, 0.0]);
+        assert!((without - with).abs() < 1e-15);
+        // Never escapes the vacuous bound.
+        assert!(stratified_half_width(z, &[(1, 1)], &[1.0]) <= 0.5);
     }
 
     #[test]

@@ -128,6 +128,7 @@ fn statistical_campaigns_match_the_full_forward_engine_for_every_model() {
         min_trials: 9,
         max_trials: 36,
         strata: StratumSpec::by_bit_class(),
+        ..Default::default()
     };
     for model in all_models() {
         let reference = Campaign::new(&mut net, &inputs, &targets)

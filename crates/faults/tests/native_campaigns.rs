@@ -64,6 +64,7 @@ fn stat_config() -> StatCampaignConfig {
         min_trials: 12,
         max_trials: 96,
         strata: StratumSpec::by_bit_class(),
+        ..Default::default()
     }
 }
 

@@ -32,15 +32,27 @@
 use crate::bytes::{ByteReader, ByteWriter};
 use crate::IoError;
 use fitact_faults::{
-    BitClass, StatCampaignConfig, StratumPool, StratumSpec, TrialPoint, TRIAL_STREAM_PROVENANCE,
+    AllocationPolicy, BitClass, StatCampaignConfig, StratumPool, StratumSpec, TrialPoint,
+    TRIAL_STREAM_PROVENANCE,
 };
 use std::path::Path;
 
 /// Magic prefix of a campaign-state checkpoint file.
 pub const CAMPAIGN_STATE_MAGIC: &[u8; 8] = b"FITCAMPS";
 
-/// Format revision this build writes and reads.
-pub const CAMPAIGN_STATE_VERSION: u32 = 1;
+/// Format revision this build writes.
+///
+/// Version history:
+/// * **1** — original format; campaigns are implicitly `equal`-allocated
+///   with a floor of one trial per stratum per round.
+/// * **2** — the config block carries the allocation policy tag and the
+///   per-stratum floor after `max_trials` (adaptive Neyman allocation).
+pub const CAMPAIGN_STATE_VERSION: u32 = 2;
+
+/// Oldest format revision this build still decodes. Version-1 state decodes
+/// with [`AllocationPolicy::Equal`] and a floor of 1 implied — exactly the
+/// semantics the writing build ran under, so resume stays bit-identical.
+pub const CAMPAIGN_STATE_MIN_VERSION: u32 = 1;
 
 /// A resumable snapshot of a statistical campaign's partial state.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,10 +108,25 @@ impl CampaignCheckpoint {
 
     /// Encodes the checkpoint (little-endian, `f32` as raw bit patterns).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_at(CAMPAIGN_STATE_VERSION)
+    }
+
+    /// Encodes the checkpoint in the **version-1** layout, dropping the
+    /// allocation policy and floor from the config block.
+    ///
+    /// This is a lossy downgrade — meaningful only for campaigns whose
+    /// config matches the v1 implied semantics (`equal` allocation, floor
+    /// 1). It exists so compatibility tests can fabricate genuine old-format
+    /// state without keeping binary fixtures around.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        self.to_bytes_at(1)
+    }
+
+    fn to_bytes_at(&self, version: u32) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.raw(CAMPAIGN_STATE_MAGIC);
-        w.u32(CAMPAIGN_STATE_VERSION);
-        encode_config(&mut w, &self.config);
+        w.u32(version);
+        encode_config(&mut w, &self.config, version);
         w.string(&self.model);
         w.string(&self.network);
         w.u64(self.artifact_fingerprint);
@@ -132,10 +159,10 @@ impl CampaignCheckpoint {
             return Err(IoError::BadMagic);
         }
         let version = r.u32()?;
-        if version != CAMPAIGN_STATE_VERSION {
+        if !(CAMPAIGN_STATE_MIN_VERSION..=CAMPAIGN_STATE_VERSION).contains(&version) {
             return Err(IoError::UnsupportedVersion(version));
         }
-        let config = decode_config(&mut r)?;
+        let config = decode_config(&mut r, version)?;
         let model = r.string()?;
         let network = r.string()?;
         let artifact_fingerprint = r.u64()?;
@@ -301,10 +328,20 @@ pub struct CampaignSpec {
 impl CampaignSpec {
     /// Encodes the spec (little-endian, `f32`/`f64` as raw bit patterns).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_at(CAMPAIGN_STATE_VERSION)
+    }
+
+    /// Encodes the spec in the version-1 layout (see
+    /// [`CampaignCheckpoint::to_bytes_v1`]).
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        self.to_bytes_at(1)
+    }
+
+    fn to_bytes_at(&self, version: u32) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.raw(CAMPAIGN_SPEC_MAGIC);
-        w.u32(CAMPAIGN_STATE_VERSION);
-        encode_config(&mut w, &self.config);
+        w.u32(version);
+        encode_config(&mut w, &self.config, version);
         w.string(&self.model);
         w.string(&self.network);
         w.u64(self.artifact_fingerprint);
@@ -330,10 +367,10 @@ impl CampaignSpec {
             return Err(IoError::BadMagic);
         }
         let version = r.u32()?;
-        if version != CAMPAIGN_STATE_VERSION {
+        if !(CAMPAIGN_STATE_MIN_VERSION..=CAMPAIGN_STATE_VERSION).contains(&version) {
             return Err(IoError::UnsupportedVersion(version));
         }
-        let config = decode_config(&mut r)?;
+        let config = decode_config(&mut r, version)?;
         let model = r.string()?;
         let network = r.string()?;
         let artifact_fingerprint = r.u64()?;
@@ -378,7 +415,7 @@ pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
     hash
 }
 
-fn encode_config(w: &mut ByteWriter, config: &StatCampaignConfig) {
+fn encode_config(w: &mut ByteWriter, config: &StatCampaignConfig, version: u32) {
     w.f64(config.fault_rate);
     w.u64(config.batch_size as u64);
     w.u64(config.seed);
@@ -388,6 +425,13 @@ fn encode_config(w: &mut ByteWriter, config: &StatCampaignConfig) {
     w.u64(config.round_trials as u64);
     w.u64(config.min_trials as u64);
     w.u64(config.max_trials as u64);
+    if version >= 2 {
+        w.u8(match config.allocation {
+            AllocationPolicy::Equal => 0,
+            AllocationPolicy::Neyman => 1,
+        });
+        w.u64(config.floor_trials as u64);
+    }
     w.len(config.strata.len());
     for spec in &config.strata {
         w.string(&spec.label);
@@ -415,7 +459,7 @@ fn read_usize(r: &mut ByteReader<'_>, what: &str) -> Result<usize, IoError> {
         .map_err(|_| IoError::Corrupt(format!("{what} {raw} exceeds the address space")))
 }
 
-fn decode_config(r: &mut ByteReader<'_>) -> Result<StatCampaignConfig, IoError> {
+fn decode_config(r: &mut ByteReader<'_>, version: u32) -> Result<StatCampaignConfig, IoError> {
     let fault_rate = r.f64()?;
     let batch_size = read_usize(r, "batch_size")?;
     let seed = r.u64()?;
@@ -425,6 +469,19 @@ fn decode_config(r: &mut ByteReader<'_>) -> Result<StatCampaignConfig, IoError> 
     let round_trials = read_usize(r, "round_trials")?;
     let min_trials = read_usize(r, "min_trials")?;
     let max_trials = read_usize(r, "max_trials")?;
+    // Version-1 state predates allocation policies: those campaigns ran
+    // fixed equal allocation with an implicit floor of one, so decoding to
+    // exactly that keeps resumed replay bit-identical.
+    let (allocation, floor_trials) = if version >= 2 {
+        let allocation = match r.u8()? {
+            0 => AllocationPolicy::Equal,
+            1 => AllocationPolicy::Neyman,
+            tag => return Err(IoError::Corrupt(format!("unknown allocation tag {tag}"))),
+        };
+        (allocation, read_usize(r, "floor_trials")?)
+    } else {
+        (AllocationPolicy::Equal, 1)
+    };
     let num_strata = r.len(1)?;
     let mut strata = Vec::with_capacity(num_strata);
     for _ in 0..num_strata {
@@ -460,6 +517,8 @@ fn decode_config(r: &mut ByteReader<'_>) -> Result<StatCampaignConfig, IoError> 
         round_trials,
         min_trials,
         max_trials,
+        allocation,
+        floor_trials,
         strata,
     })
 }
@@ -598,6 +657,90 @@ mod tests {
             CampaignSpec::from_bytes(&bytes),
             Err(IoError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn v2_round_trips_nondefault_allocation() {
+        let mut ck = sample_checkpoint();
+        ck.config.allocation = AllocationPolicy::Neyman;
+        ck.config.floor_trials = 3;
+        let decoded = CampaignCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(decoded, ck);
+        assert_eq!(decoded.config.allocation, AllocationPolicy::Neyman);
+        assert_eq!(decoded.config.floor_trials, 3);
+    }
+
+    #[test]
+    fn v1_checkpoints_decode_with_equal_policy_implied() {
+        let ck = sample_checkpoint();
+        let v1_bytes = ck.to_bytes_v1();
+        assert_ne!(v1_bytes, ck.to_bytes(), "v1 layout must differ from v2");
+        let decoded = CampaignCheckpoint::from_bytes(&v1_bytes).unwrap();
+        assert_eq!(decoded.config.allocation, AllocationPolicy::Equal);
+        assert_eq!(decoded.config.floor_trials, 1);
+        // Everything else — pools, baseline, provenance — survives intact,
+        // and since the defaults match the v1 implied semantics the decoded
+        // checkpoint equals the original.
+        assert_eq!(decoded, ck);
+    }
+
+    #[test]
+    fn v1_specs_decode_with_equal_policy_implied() {
+        let spec = CampaignSpec {
+            config: StatCampaignConfig::default(),
+            model: "bitflip".into(),
+            network: "mlp".into(),
+            artifact_fingerprint: 7,
+            provenance: TRIAL_STREAM_PROVENANCE.into(),
+            fault_free_accuracy: 0.75,
+            unit_trials: 4,
+            data_meta: vec![("data.kind".into(), "blobs".into())],
+        };
+        let decoded = CampaignSpec::from_bytes(&spec.to_bytes_v1()).unwrap();
+        assert_eq!(decoded.config.allocation, AllocationPolicy::Equal);
+        assert_eq!(decoded.config.floor_trials, 1);
+        assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn unknown_allocation_tag_is_corrupt() {
+        let mut ck = sample_checkpoint();
+        ck.config.allocation = AllocationPolicy::Neyman;
+        let mut bytes = ck.to_bytes();
+        // The allocation tag follows the header and the fixed-width config
+        // scalars: magic (8) + version (4) + eight 8-byte fields (fault_rate,
+        // batch_size, seed, epsilon, confidence, round/min/max_trials) +
+        // critical_threshold (4).
+        let tag_offset = 8 + 4 + 8 * 8 + 4;
+        assert_eq!(bytes[tag_offset], 1, "expected the neyman tag here");
+        bytes[tag_offset] = 7;
+        match CampaignCheckpoint::from_bytes(&bytes) {
+            Err(IoError::Corrupt(msg)) => assert!(msg.contains("allocation tag")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_bitflipped_v2_state_never_panics() {
+        let mut ck = sample_checkpoint();
+        ck.config.allocation = AllocationPolicy::Neyman;
+        ck.config.floor_trials = 2;
+        let bytes = ck.to_bytes();
+        // Every prefix decodes to a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                CampaignCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} bytes must fail"
+            );
+        }
+        // Single-bit corruption anywhere yields Ok (bit landed in a
+        // don't-care position such as a float payload) or a typed error —
+        // decoding must never panic or loop.
+        for byte in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 0x01;
+            let _ = CampaignCheckpoint::from_bytes(&corrupt);
+        }
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub use artifact::{
 };
 pub use campaign_state::{
     fingerprint_bytes, CampaignCheckpoint, CampaignSpec, CAMPAIGN_SPEC_MAGIC, CAMPAIGN_STATE_MAGIC,
-    CAMPAIGN_STATE_VERSION,
+    CAMPAIGN_STATE_MIN_VERSION, CAMPAIGN_STATE_VERSION,
 };
 pub use json::JsonValue;
 pub use mapped::MappedArtifact;

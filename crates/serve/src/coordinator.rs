@@ -27,8 +27,10 @@
 //! # Determinism and resume
 //!
 //! The coordinator never invents scheduling state: each round's unit list is
-//! derived from [`fitact_faults::plan_round`] over the per-stratum scheduled
-//! counts, and every stopping decision from
+//! derived from [`fitact_faults::plan_round_allocated`] over the per-stratum
+//! scheduled counts and the merged pools (restricted to completed rounds, so
+//! adaptive Neyman allocation sees the same evidence regardless of delivery
+//! timing), and every stopping decision from
 //! [`fitact_faults::stopping_decision`] over the merged pools — exactly the
 //! computation the single-process campaign performs. Resume replays rounds
 //! from zero against the checkpointed pools, so a coordinator restarted
@@ -40,8 +42,8 @@ use crate::protocol::{unit_id, unit_round, Grant, UnitResult, WorkUnit, MAX_CONT
 use crate::ServeError;
 use fitact_data::DataSpec;
 use fitact_faults::{
-    assemble_report, plan_round, stopping_decision, z_for_confidence, CampaignReport, FaultError,
-    FaultModel, StatCampaignConfig, StratifiedSampler, StratumPool, UnitRunner,
+    assemble_report, plan_round_allocated, stopping_decision, z_for_confidence, CampaignReport,
+    FaultError, FaultModel, StatCampaignConfig, StratifiedSampler, StratumPool, UnitRunner,
 };
 use fitact_io::{fingerprint_bytes, CampaignCheckpoint, CampaignSpec, ModelArtifact};
 use std::io::Write;
@@ -118,6 +120,9 @@ struct Shared {
     z: f64,
     fault_free: f32,
     sampler: StratifiedSampler,
+    /// Per-stratum population sizes (bit counts) — the Neyman weights'
+    /// numerators, precomputed so planning never touches the sampler.
+    populations: Vec<u64>,
     model_name: String,
     network_name: String,
     artifact_bytes: Vec<u8>,
@@ -150,15 +155,22 @@ pub struct Coordinator {
 }
 
 /// Builds the unit list for round `round` given the per-stratum scheduled
-/// counts — a pure function of the campaign config, so every coordinator
-/// incarnation derives identical units and ids.
+/// counts and the merged pool state — a pure function of campaign config and
+/// completed-round evidence (the allocator reads only trials below `counts`,
+/// never in-flight points), so every coordinator incarnation derives
+/// identical units and ids.
+#[allow(clippy::too_many_arguments)]
 fn plan_units(
     config: &StatCampaignConfig,
+    z: f64,
+    fault_free: f32,
+    populations: &[u64],
+    pools: &[StratumPool],
     counts: &[usize],
     round: usize,
     unit_trials: usize,
 ) -> Vec<UnitSlot> {
-    let specs = plan_round(config, counts);
+    let specs = plan_round_allocated(config, z, fault_free, populations, pools, counts);
     let mut per_stratum = vec![0usize; counts.len()];
     for spec in &specs {
         per_stratum[spec.stratum] += 1;
@@ -190,7 +202,16 @@ impl Shared {
     /// completion.
     fn advance(&self, ledger: &mut Ledger, unit_trials: usize) {
         loop {
-            let mut units = plan_units(&self.campaign, &ledger.counts, ledger.rounds, unit_trials);
+            let mut units = plan_units(
+                &self.campaign,
+                self.z,
+                self.fault_free,
+                &self.populations,
+                &ledger.pools,
+                &ledger.counts,
+                ledger.rounds,
+                unit_trials,
+            );
             if units.is_empty() {
                 ledger.finished = true;
                 return;
@@ -218,6 +239,7 @@ impl Shared {
                 &self.campaign,
                 self.z,
                 self.fault_free,
+                &self.populations,
                 &ledger.pools,
                 &ledger.counts,
             );
@@ -558,6 +580,9 @@ impl Coordinator {
             z: z_for_confidence(campaign.confidence),
             campaign,
             fault_free,
+            populations: (0..sampler.num_strata())
+                .map(|s| sampler.population(s))
+                .collect(),
             sampler,
             model_name: model.name().to_owned(),
             network_name,
@@ -850,11 +875,18 @@ mod tests {
         }
     }
 
+    /// Planning inputs for a pool-less test: unit populations and empty
+    /// pools, which under `equal` allocation are never consulted.
+    fn empty_state(strata: usize) -> (Vec<u64>, Vec<StratumPool>) {
+        (vec![1; strata], vec![StratumPool::new(); strata])
+    }
+
     #[test]
     fn unit_planning_is_deterministic_and_covers_the_round() {
         let config = test_config(2, 5, 1000);
         let counts = vec![10, 10];
-        let units = plan_units(&config, &counts, 3, 2);
+        let (populations, pools) = empty_state(2);
+        let units = plan_units(&config, 1.96, 0.9, &populations, &pools, &counts, 3, 2);
         // 5 trials per stratum in units of ≤2: 3 units each.
         assert_eq!(units.len(), 6);
         assert_eq!(units[0].unit.id, unit_id(3, 0));
@@ -865,7 +897,7 @@ mod tests {
             assert!(slot.unit.count <= 2);
         }
         // Bit-for-bit identical on re-derivation (resume contract).
-        let again = plan_units(&config, &counts, 3, 2);
+        let again = plan_units(&config, 1.96, 0.9, &populations, &pools, &counts, 3, 2);
         for (a, b) in units.iter().zip(&again) {
             assert_eq!(a.unit, b.unit);
         }
@@ -876,9 +908,54 @@ mod tests {
         let config = test_config(3, 8, 20);
         // 18 scheduled so far; round would be 24, only 2 remain.
         let counts = vec![6, 6, 6];
-        let units = plan_units(&config, &counts, 2, 8);
+        let (populations, pools) = empty_state(3);
+        let units = plan_units(&config, 1.96, 0.9, &populations, &pools, &counts, 2, 8);
         let covered: usize = units.iter().map(|s| s.unit.count).sum();
         assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn neyman_unit_planning_is_a_pure_function_of_pool_state() {
+        let config = StatCampaignConfig {
+            allocation: fitact_faults::AllocationPolicy::Neyman,
+            ..test_config(2, 6, 1000)
+        };
+        let populations = vec![100, 100];
+        // Seed stratum 1 with visibly mixed outcomes so its σ estimate —
+        // and therefore its allocation share — exceeds stratum 0's.
+        let mut pools = vec![StratumPool::new(); 2];
+        for i in 0..8u64 {
+            let accuracy = if i % 2 == 0 { 0.9 } else { 0.1 };
+            let steady = fitact_faults::TrialPoint {
+                accuracy: 0.9,
+                faults: 1,
+            };
+            let mixed = fitact_faults::TrialPoint {
+                accuracy,
+                faults: 1,
+            };
+            pools[0].insert(i, steady).unwrap();
+            pools[1].insert(i, mixed).unwrap();
+        }
+        let counts = vec![8, 8];
+        let units = plan_units(&config, 1.96, 0.9, &populations, &pools, &counts, 1, 3);
+        let covered: usize = units.iter().map(|s| s.unit.count).sum();
+        assert_eq!(covered, 12, "round budget is strata × round_trials");
+        let stratum1: usize = units
+            .iter()
+            .filter(|s| s.unit.stratum == 1)
+            .map(|s| s.unit.count)
+            .sum();
+        assert!(
+            stratum1 > 6,
+            "high-variance stratum must receive more than an equal share, got {stratum1}"
+        );
+        // Identical pools ⇒ identical plan, bit for bit.
+        let again = plan_units(&config, 1.96, 0.9, &populations, &pools, &counts, 1, 3);
+        assert_eq!(units.len(), again.len());
+        for (a, b) in units.iter().zip(&again) {
+            assert_eq!(a.unit, b.unit);
+        }
     }
 
     #[test]

@@ -10,14 +10,17 @@
 //! mantissa-bit flips.
 
 use fitact::{FitAct, FitActConfig};
-use fitact_data::{materialize, SyntheticCifar};
+use fitact_data::{materialize, DataSpec, SyntheticCifar};
 use fitact_faults::{
-    quantize_network, z_for_confidence, Campaign, MemoryMap, StatCampaignConfig, StratumSpec,
-    TransientBitFlip,
+    quantize_network, z_for_confidence, AllocationPolicy, Campaign, MemoryMap, StatCampaignConfig,
+    StratumSpec, TransientBitFlip,
 };
+use fitact_nn::layers::{ActivationLayer, Flatten, Linear, Sequential};
 use fitact_nn::models::{alexnet, ModelConfig};
 use fitact_nn::Network;
 use fitact_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// The briefly-trained, quantised tiny AlexNet used by the CNN pipeline
 /// tests, plus its evaluation set.
@@ -76,6 +79,7 @@ fn stratified_campaign_converges_early_and_ranks_bit_classes() {
         min_trials: 90,
         max_trials: 2500,
         strata: StratumSpec::by_bit_class(),
+        ..Default::default()
     };
     let report = Campaign::new(&mut net, &test_x, &test_y)
         .unwrap()
@@ -185,4 +189,132 @@ fn statistical_campaign_is_deterministic_across_thread_counts_on_the_cnn() {
             .unwrap();
         assert_eq!(parallel, serial, "threads = {threads}");
     }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "three CNN campaigns back to back; run with --release (the CI release-test job does)"
+)]
+fn neyman_campaign_is_deterministic_across_thread_counts_on_the_cnn() {
+    let (mut net, test_x, test_y) = trained_cnn();
+    let words = MemoryMap::of_network(&net).total_words();
+    // The adaptive planner reallocates every round from the merged pools;
+    // this pins that its early-stopped reports are bit-identical at any
+    // worker count, exactly as the equal-allocation leg above.
+    let config = StatCampaignConfig {
+        fault_rate: 0.2 / (words as f64 * 15.0),
+        batch_size: 40,
+        seed: 7,
+        epsilon: 0.12,
+        round_trials: 4,
+        min_trials: 12,
+        max_trials: 36,
+        allocation: AllocationPolicy::Neyman,
+        ..Default::default()
+    };
+    let serial = Campaign::new(&mut net, &test_x, &test_y)
+        .unwrap()
+        .run_until_with_threads(&config, &TransientBitFlip, 1)
+        .unwrap();
+    assert_eq!(serial.allocation, AllocationPolicy::Neyman);
+    for threads in [2, 4] {
+        let parallel = Campaign::new(&mut net, &test_x, &test_y)
+            .unwrap()
+            .run_until_with_threads(&config, &TransientBitFlip, threads)
+            .unwrap();
+        assert_eq!(parallel, serial, "threads = {threads}");
+    }
+}
+
+/// A tiny deterministic MLP over 3-class blobs — cheap enough to run an
+/// effectively exhaustive campaign against in debug builds.
+fn small_mlp() -> (Network, Tensor, Vec<usize>) {
+    let spec = DataSpec::blobs(3, 96, 5);
+    let features: usize = spec.input_shape().iter().product();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut net = Network::new(
+        "mlp",
+        Sequential::new()
+            .with(Box::new(Flatten::new()))
+            .with(Box::new(Linear::new(features, 16, &mut rng)))
+            .with(Box::new(ActivationLayer::relu("h1", &[16])))
+            .with(Box::new(Linear::new(16, 3, &mut rng))),
+    );
+    quantize_network(&mut net);
+    let (x, y) = spec.materialize().unwrap();
+    (net, x, y)
+}
+
+/// Statistical correctness of the adaptive estimator: the Neyman campaign's
+/// stratified CI must cover the critical rate established by a near-
+/// exhaustive reference campaign of the same model, seed and fault process.
+#[test]
+fn neyman_ci_covers_the_exhaustive_ground_truth_on_the_small_mlp() {
+    let base = StatCampaignConfig {
+        fault_rate: 2e-3,
+        batch_size: 32,
+        seed: 11,
+        confidence: 0.95,
+        critical_threshold: 0.05,
+        ..Default::default()
+    };
+
+    // Ground truth: a fixed-budget equal-allocation campaign with an
+    // unreachable ε so it never stops early — the population-weighted
+    // critical rate over 1800 trials, with its own (tight) uncertainty.
+    let truth = {
+        let (mut net, x, y) = small_mlp();
+        let config = StatCampaignConfig {
+            epsilon: 1e-9,
+            round_trials: 100,
+            min_trials: 1800,
+            max_trials: 1800,
+            ..base.clone()
+        };
+        Campaign::new(&mut net, &x, &y)
+            .unwrap()
+            .run_until(&config, &TransientBitFlip)
+            .unwrap()
+    };
+    assert_eq!(truth.total_trials(), 1800);
+    let truth_rate = truth.population_weighted_critical_rate();
+    let truth_slack = truth.stratified_critical_half_width();
+
+    // The adaptive campaign: stops as soon as the stratified CI half-width
+    // reaches ε, reallocating every round.
+    let adaptive = {
+        let (mut net, x, y) = small_mlp();
+        let config = StatCampaignConfig {
+            epsilon: 0.05,
+            round_trials: 12,
+            min_trials: 72,
+            max_trials: 1200,
+            allocation: AllocationPolicy::Neyman,
+            ..base
+        };
+        Campaign::new(&mut net, &x, &y)
+            .unwrap()
+            .run_until(&config, &TransientBitFlip)
+            .unwrap()
+    };
+    assert!(
+        adaptive.converged,
+        "the adaptive campaign should reach ε within its budget \
+         ({} trials, half-width {})",
+        adaptive.total_trials(),
+        adaptive.stratified_critical_half_width()
+    );
+    assert!(
+        adaptive.total_trials() < truth.total_trials(),
+        "early stopping must beat the exhaustive budget"
+    );
+
+    let estimate = adaptive.population_weighted_critical_rate();
+    let half_width = adaptive.stratified_critical_half_width();
+    assert!(
+        (estimate - truth_rate).abs() <= half_width + truth_slack,
+        "adaptive estimate {estimate} ± {half_width} must cover the \
+         exhaustive ground truth {truth_rate} ± {truth_slack}"
+    );
 }

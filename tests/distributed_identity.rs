@@ -11,8 +11,8 @@
 
 use fitact_data::DataSpec;
 use fitact_faults::{
-    quantize_network, Campaign, CampaignControl, RunOutcome, StatCampaignConfig, TransientBitFlip,
-    UnitRunner,
+    quantize_network, AllocationPolicy, Campaign, CampaignControl, RunOutcome, StatCampaignConfig,
+    TransientBitFlip, UnitRunner,
 };
 use fitact_io::ModelArtifact;
 use fitact_nn::layers::{ActivationLayer, Flatten, Linear, Sequential};
@@ -78,29 +78,32 @@ fn campaign_config() -> StatCampaignConfig {
     }
 }
 
+/// The same campaign under adaptive Neyman allocation — every identity
+/// scenario must hold for the adaptive planner too, since its plans depend
+/// only on merged pool state.
+fn neyman_config() -> StatCampaignConfig {
+    StatCampaignConfig {
+        allocation: AllocationPolicy::Neyman,
+        ..campaign_config()
+    }
+}
+
 /// The single-process reference: exactly the `fitact campaign` serial path.
-fn serial_reference() -> fitact_faults::CampaignReport {
+fn serial_reference(config: &StatCampaignConfig) -> fitact_faults::CampaignReport {
     let artifact = ModelArtifact::from_bytes(&artifact_bytes()).unwrap();
     let mut network = artifact.instantiate().unwrap();
     let (inputs, targets) = data_spec().materialize().unwrap();
-    fitact::assess_resilience(
-        &mut network,
-        &inputs,
-        &targets,
-        &campaign_config(),
-        &TransientBitFlip,
-    )
-    .unwrap()
+    fitact::assess_resilience(&mut network, &inputs, &targets, config, &TransientBitFlip).unwrap()
 }
 
 /// The same bit-identical trial engine the workers embed, for driving the
 /// coordinator protocol by hand.
-fn make_runner() -> UnitRunner {
+fn make_runner(config: &StatCampaignConfig) -> UnitRunner {
     let artifact = ModelArtifact::from_bytes(&artifact_bytes()).unwrap();
     let mut network = artifact.instantiate().unwrap();
     quantize_network(&mut network);
     let (inputs, targets) = data_spec().materialize().unwrap();
-    UnitRunner::new(network, inputs, targets, &campaign_config(), 1).unwrap()
+    UnitRunner::new(network, inputs, targets, config, 1).unwrap()
 }
 
 fn call(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> Response {
@@ -151,13 +154,12 @@ fn status_field(status: &str, key: &str) -> u64 {
 
 /// Degradation floor: with `local_execute` the coordinator completes the
 /// campaign with zero workers, bit-identical to the serial run.
-#[test]
-fn coordinator_solo_matches_the_serial_run() {
-    let reference = serial_reference();
+fn solo_matches_serial(config: StatCampaignConfig) {
+    let reference = serial_reference(&config);
     let coordinator = Coordinator::start_with_data(
         artifact_bytes(),
         data_spec(),
-        campaign_config(),
+        config,
         Arc::new(TransientBitFlip),
         &CoordinatorConfig {
             local_execute: true,
@@ -173,14 +175,23 @@ fn coordinator_solo_matches_the_serial_run() {
     assert_eq!(report, reference, "solo coordinator must match serial");
 }
 
+#[test]
+fn coordinator_solo_matches_the_serial_run() {
+    solo_matches_serial(campaign_config());
+}
+
+#[test]
+fn neyman_coordinator_solo_matches_the_serial_run() {
+    solo_matches_serial(neyman_config());
+}
+
 /// The tentpole scenario: a worker that dies after two units, a ghost worker
 /// that dies holding a lease, a coordinator stop/checkpoint/restart on the
 /// same port, then two real HTTP workers (one killed while the campaign
 /// runs) — and the final report is bit-identical to serial.
-#[test]
-fn distributed_with_worker_death_and_coordinator_restart_matches_serial() {
-    let reference = serial_reference();
-    let checkpoint = scratch_path("distributed-restart.ckpt");
+fn death_and_restart_matches_serial(config: StatCampaignConfig, ckpt_name: &str) {
+    let reference = serial_reference(&config);
+    let checkpoint = scratch_path(ckpt_name);
     let _ = std::fs::remove_file(&checkpoint);
 
     let options = CoordinatorConfig {
@@ -192,22 +203,24 @@ fn distributed_with_worker_death_and_coordinator_restart_matches_serial() {
     // Phase 1: worker `mortal` completes exactly two units over the real
     // protocol and dies; worker `ghost` leases a unit and dies without ever
     // reporting; then the coordinator is stopped gracefully.
+    let mut merged_trials = 0usize;
     let port = {
         let coordinator = Coordinator::start_with_data(
             artifact_bytes(),
             data_spec(),
-            campaign_config(),
+            config.clone(),
             Arc::new(TransientBitFlip),
             &options,
         )
         .unwrap();
         let addr = coordinator.addr();
-        let mut runner = make_runner();
+        let mut runner = make_runner(&config);
 
         for _ in 0..2 {
             let Grant::Unit { unit, .. } = fetch_unit(addr, "mortal") else {
                 panic!("round 0 has pending units to grant");
             };
+            merged_trials += unit.count;
             let result = execute(&mut runner, unit, "mortal");
             let response = call(
                 addr,
@@ -241,7 +254,7 @@ fn distributed_with_worker_death_and_coordinator_restart_matches_serial() {
     let coordinator = Coordinator::start_with_data(
         artifact_bytes(),
         data_spec(),
-        campaign_config(),
+        config,
         Arc::new(TransientBitFlip),
         &CoordinatorConfig {
             listen: format!("127.0.0.1:{port}"),
@@ -252,9 +265,10 @@ fn distributed_with_worker_death_and_coordinator_restart_matches_serial() {
     let addr = coordinator.addr();
     assert_eq!(addr.port(), port, "coordinator rebinds its old port");
     assert!(
-        status_field(&coordinator.status(), "total_trials") >= 6,
+        status_field(&coordinator.status(), "total_trials") >= merged_trials as u64,
         "restart resumed the two merged units from the checkpoint"
     );
+    assert!(merged_trials > 0, "mortal merged at least one trial");
 
     let doomed_stop = Arc::new(AtomicBool::new(false));
     let spawn_worker = |id: &str, stop: &Arc<AtomicBool>| {
@@ -297,12 +311,25 @@ fn distributed_with_worker_death_and_coordinator_restart_matches_serial() {
     );
 }
 
+#[test]
+fn distributed_with_worker_death_and_coordinator_restart_matches_serial() {
+    death_and_restart_matches_serial(campaign_config(), "distributed-restart.ckpt");
+}
+
+/// The same fault-tolerance gauntlet under adaptive allocation: worker
+/// death, lease abandonment and a coordinator restart must be invisible in
+/// the neyman report too — its plans replay from pool state alone.
+#[test]
+fn neyman_distributed_with_worker_death_and_coordinator_restart_matches_serial() {
+    death_and_restart_matches_serial(neyman_config(), "neyman-restart.ckpt");
+}
+
 /// Lease-machinery contract over the raw protocol: straggler re-issue,
 /// expired-lease re-dispatch, idempotent duplicate completion and the 409
 /// taxonomy — then the manually-driven campaign still matches serial.
 #[test]
 fn leases_redispatch_and_duplicates_are_idempotent() {
-    let reference = serial_reference();
+    let reference = serial_reference(&campaign_config());
     let coordinator = Coordinator::start_with_data(
         artifact_bytes(),
         data_spec(),
@@ -317,7 +344,7 @@ fn leases_redispatch_and_duplicates_are_idempotent() {
     )
     .unwrap();
     let addr = coordinator.addr();
-    let mut runner = make_runner();
+    let mut runner = make_runner(&campaign_config());
 
     // Worker `slow` leases every unit of round 0 and reports nothing.
     let mut held = Vec::new();
@@ -465,15 +492,14 @@ fn f16_distributed_campaign_matches_serial() {
 /// Graceful interruption of the in-process engine (what the CLI's SIGTERM
 /// path uses): stop after the first round, resume from the captured pools,
 /// and the finished report is bit-identical to an uninterrupted run.
-#[test]
-fn interrupted_and_resumed_serial_campaign_matches_uninterrupted() {
+fn interrupt_resume_matches_uninterrupted(base: StatCampaignConfig) {
     let artifact = ModelArtifact::from_bytes(&artifact_bytes()).unwrap();
     let (inputs, targets) = data_spec().materialize().unwrap();
     // At least two rounds (min_trials > one round's worth), so the observer
     // is consulted after round one instead of the campaign finishing first.
     let config = StatCampaignConfig {
         min_trials: 36,
-        ..campaign_config()
+        ..base
     };
     let reference = {
         let mut network = artifact.instantiate().unwrap();
@@ -511,4 +537,17 @@ fn interrupted_and_resumed_serial_campaign_matches_uninterrupted() {
         panic!("resumed campaign runs to completion");
     };
     assert_eq!(report, reference, "interrupt/resume must be invisible");
+}
+
+#[test]
+fn interrupted_and_resumed_serial_campaign_matches_uninterrupted() {
+    interrupt_resume_matches_uninterrupted(campaign_config());
+}
+
+/// Interrupt/resume under adaptive allocation: the resumed engine replans
+/// every round from the captured pools, so the adaptive plans — which depend
+/// on those very pools — must replay identically.
+#[test]
+fn neyman_interrupted_and_resumed_campaign_matches_uninterrupted() {
+    interrupt_resume_matches_uninterrupted(neyman_config());
 }
